@@ -1,0 +1,214 @@
+// Benchmarks regenerating each table/figure of the paper's evaluation
+// (§9). Each benchmark runs the full machinery behind its figure on the
+// histogram kernel (the suite's cheapest member); `cmd/lasagne-bench -all`
+// prints the complete multi-kernel rows the paper reports.
+package lasagne
+
+import (
+	"testing"
+
+	"lasagne/internal/backend"
+	"lasagne/internal/core"
+	"lasagne/internal/eval"
+	"lasagne/internal/fences"
+	"lasagne/internal/lifter"
+	"lasagne/internal/memmodel"
+	"lasagne/internal/minic"
+	"lasagne/internal/obj"
+	"lasagne/internal/opt"
+	"lasagne/internal/phoenix"
+	"lasagne/internal/refine"
+	"lasagne/internal/sim"
+)
+
+// buildHTBinary compiles the histogram kernel to an x86-64 object once.
+func buildHTBinary(b *testing.B) *obj.File {
+	b.Helper()
+	bench := phoenix.Get("HT")
+	m, err := minic.Compile(bench.Name, bench.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := opt.Optimize(m); err != nil {
+		b.Fatal(err)
+	}
+	bin, err := backend.Compile(m, "x86-64")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bin
+}
+
+// BenchmarkTable1Inventory regenerates the Table 1 rows.
+func BenchmarkTable1Inventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bench := range phoenix.All() {
+			_ = bench.Functions()
+			_ = bench.LoC()
+		}
+	}
+}
+
+// BenchmarkFig11aCell model-checks one cell of the reordering table.
+func BenchmarkFig11aCell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if v, _ := memmodel.CheckReorder(memmodel.CatRna, memmodel.CatWna); v != memmodel.Safe {
+			b.Fatal("Rna·Wna should be safe")
+		}
+	}
+}
+
+// BenchmarkFig12NativeRuntime measures the Native data point of Fig. 12.
+func BenchmarkFig12NativeRuntime(b *testing.B) {
+	bench := phoenix.Get("HT")
+	m, err := minic.Compile(bench.Name, bench.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := opt.Optimize(m); err != nil {
+		b.Fatal(err)
+	}
+	o, err := backend.Compile(m, "arm64")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach, err := sim.NewMachine(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mach.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12TranslatedRuntime measures the PPOpt data point of Fig. 12
+// (full translation included).
+func BenchmarkFig12TranslatedRuntime(b *testing.B) {
+	bin := buildHTBinary(b)
+	armObj, _, err := core.Translate(bin, core.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach, err := sim.NewMachine(armObj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mach.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13Refinement measures the lift+refine pipeline behind the
+// pointer-cast reduction figure.
+func BenchmarkFig13Refinement(b *testing.B) {
+	bin := buildHTBinary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := lifter.Lift(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		before := refine.CountPtrCasts(m)
+		refine.Run(m)
+		after := refine.CountPtrCasts(m)
+		if after >= before {
+			b.Fatal("refinement did not reduce casts")
+		}
+	}
+}
+
+// BenchmarkFig14FencePlacement measures fence placement + merging.
+func BenchmarkFig14FencePlacement(b *testing.B) {
+	bin := buildHTBinary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := lifter.Lift(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refine.Run(m)
+		placed := fences.Place(m, fences.Options{SkipStackAccesses: true})
+		fences.Merge(m)
+		if placed == 0 {
+			b.Fatal("no fences placed")
+		}
+	}
+}
+
+// BenchmarkFig15FenceOnlyRuntime measures the fence-cost isolation runs.
+func BenchmarkFig15FenceOnlyRuntime(b *testing.B) {
+	bin := buildHTBinary(b)
+	m, err := lifter.Lift(bin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refine.Run(m)
+	fences.Place(m, fences.Options{SkipStackAccesses: true})
+	fences.Merge(m)
+	o, err := backend.Compile(m, "arm64")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach, err := sim.NewMachine(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mach.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16CodeSize measures the code-size metric computation across
+// pipeline configurations.
+func BenchmarkFig16CodeSize(b *testing.B) {
+	bin := buildHTBinary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range []core.Config{{}, {Optimize: true}, core.Default()} {
+			m, _, err := core.TranslateToIR(bin, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.NumInstrs() == 0 {
+				b.Fatal("empty module")
+			}
+		}
+	}
+}
+
+// BenchmarkFig17PassIsolation measures one isolated-pass data point.
+func BenchmarkFig17PassIsolation(b *testing.B) {
+	bin := buildHTBinary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := lifter.Lift(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refine.Run(m)
+		fences.Place(m, fences.Options{SkipStackAccesses: true})
+		if _, err := opt.Run(m, "instcombine"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalSuiteMetrics regenerates all static metrics (no simulation)
+// for one kernel — the build half of Figs. 12-16.
+func BenchmarkEvalSuiteMetrics(b *testing.B) {
+	bench := phoenix.Get("HT")
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.BuildAll(*bench); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// lasagne-bench regenerates every table and figure of the paper's
+// evaluation section (§9) on the minic ports of the Phoenix suite.
+//
+// Usage:
+//
+//	lasagne-bench -all          # everything (Table 1, Figs 12-17)
+//	lasagne-bench -table1
+//	lasagne-bench -fig12 ... -fig17
+//	lasagne-bench -fig11a       # the reordering-table "figure"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lasagne/internal/eval"
+	"lasagne/internal/memmodel"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run the full evaluation")
+	table1 := flag.Bool("table1", false, "print Table 1")
+	fig11a := flag.Bool("fig11a", false, "recompute the Fig. 11a table")
+	fig12 := flag.Bool("fig12", false, "normalized runtimes")
+	fig13 := flag.Bool("fig13", false, "pointer cast reduction")
+	fig14 := flag.Bool("fig14", false, "fence reduction")
+	fig15 := flag.Bool("fig15", false, "runtime reduction from fences alone")
+	fig16 := flag.Bool("fig16", false, "code size increase")
+	fig17 := flag.Bool("fig17", false, "per-pass code reduction on kmeans")
+	flag.Parse()
+
+	if *table1 || *all {
+		fmt.Println(eval.Table1())
+	}
+	if *fig11a || *all {
+		got := memmodel.ReorderTable()
+		fmt.Println("Figure 11a (recomputed by bounded model checking):")
+		fmt.Print(memmodel.FormatTable(got))
+		if got == memmodel.PaperReorderTable() {
+			fmt.Println("matches the paper ✓")
+		}
+		fmt.Println()
+	}
+
+	needSuite := *all || *fig12 || *fig13 || *fig14 || *fig15 || *fig16 || *fig17
+	if !needSuite {
+		if !*table1 && !*fig11a {
+			flag.Usage()
+		}
+		return
+	}
+	fmt.Fprintln(os.Stderr, "building and simulating all five variants of all five kernels...")
+	suite, err := eval.RunSuite()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
+		os.Exit(1)
+	}
+	if *fig12 || *all {
+		fmt.Println(suite.Fig12())
+	}
+	if *fig13 || *all {
+		fmt.Println(suite.Fig13())
+	}
+	if *fig14 || *all {
+		fmt.Println(suite.Fig14())
+	}
+	if *fig15 || *all {
+		out, err := suite.Fig15()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if *fig16 || *all {
+		fmt.Println(suite.Fig16())
+	}
+	if *fig17 || *all {
+		out, err := suite.Fig17()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,120 @@
+// lasagne is the end-to-end static binary translator: it lifts an x86-64
+// object produced by minicc, refines the IR, places and merges the LIMM
+// fences, re-optimizes, and emits an Arm64 object.
+//
+// Usage:
+//
+//	lasagne [-refine=false] [-merge=false] [-opt=false] [-emit-ir]
+//	        [-run] [-stats] [-o out.obj] prog.x86.obj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lasagne/internal/core"
+	"lasagne/internal/obj"
+	"lasagne/internal/sim"
+)
+
+func main() {
+	refineF := flag.Bool("refine", true, "run IR refinement (§5)")
+	merge := flag.Bool("merge", true, "merge fences (§7.2)")
+	optimize := flag.Bool("opt", true, "re-optimize the lifted IR")
+	emitIR := flag.Bool("emit-ir", false, "print the final IR instead of compiling")
+	run := flag.Bool("run", false, "simulate the translated Arm64 binary")
+	stats := flag.Bool("stats", false, "print pipeline statistics")
+	reverse := flag.Bool("reverse", false, "translate arm64 -> x86-64 (Appendix B direction)")
+	out := flag.String("o", "", "output object file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lasagne [flags] prog.x86.obj")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	bin, err := obj.Unmarshal(data)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{Refine: *refineF, MergeFences: *merge, Optimize: *optimize}
+
+	if *reverse {
+		x86Obj, st, err := core.TranslateArmToX86(bin, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(*stats, st)
+		if *run {
+			mach, err := sim.NewMachine(x86Obj)
+			if err != nil {
+				fatal(err)
+			}
+			cycles, err := mach.Run()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(mach.Out.String())
+			fmt.Fprintf(os.Stderr, "[x86-64: %d cycles]\n", cycles)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, x86Obj.Marshal(), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	if *emitIR {
+		m, st, err := core.TranslateToIR(bin, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(m.String())
+		printStats(*stats, st)
+		return
+	}
+	armObj, st, err := core.Translate(bin, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printStats(*stats, st)
+	if *run {
+		mach, err := sim.NewMachine(armObj)
+		if err != nil {
+			fatal(err)
+		}
+		cycles, err := mach.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(mach.Out.String())
+		fmt.Fprintf(os.Stderr, "[arm64: %d cycles]\n", cycles)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, armObj.Marshal(), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func printStats(show bool, st *core.Stats) {
+	if !show {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "lifted IR instructions:   %d\n", st.LiftedInstrs)
+	fmt.Fprintf(os.Stderr, "final IR instructions:    %d\n", st.FinalInstrs)
+	fmt.Fprintf(os.Stderr, "pointer casts:            %d -> %d\n", st.PtrCastsBefore, st.PtrCastsAfter)
+	fmt.Fprintf(os.Stderr, "fences placed/merged:     %d / %d (final %d)\n",
+		st.FencesPlaced, st.FencesMerged, st.FencesFinal)
+	fmt.Fprintf(os.Stderr, "refinement rewrites:      %d\n", st.RefineRewrites)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lasagne:", err)
+	os.Exit(1)
+}

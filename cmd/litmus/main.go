@@ -1,0 +1,86 @@
+// litmus explores litmus tests under the x86-TSO, Armv8 and LIMM axiomatic
+// models, checks the paper's mapping schemes (Thm 7.1), and recomputes the
+// Fig. 11a reordering table.
+//
+// Usage:
+//
+//	litmus                  # enumerate behaviors of the classic tests
+//	litmus -check-mappings  # verify x86 -> IR -> Arm on the classics
+//	litmus -exhaustive N    # bounded verification over generated programs
+//	litmus -fig11a          # recompute the reordering table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lasagne/internal/memmodel"
+)
+
+func main() {
+	checkMappings := flag.Bool("check-mappings", false, "verify the Fig. 8 mapping schemes")
+	exhaustive := flag.Int("exhaustive", 0, "bounded mapping verification with N ops per thread")
+	fig11a := flag.Bool("fig11a", false, "recompute the Fig. 11a reordering table")
+	flag.Parse()
+
+	switch {
+	case *fig11a:
+		fmt.Println("Recomputing the Fig. 11a reordering table (bounded model checking)...")
+		got := memmodel.ReorderTable()
+		fmt.Print(memmodel.FormatTable(got))
+		if got == memmodel.PaperReorderTable() {
+			fmt.Println("matches the paper's table ✓")
+		} else {
+			fmt.Println("DIFFERS from the paper's table ✗")
+			os.Exit(1)
+		}
+
+	case *checkMappings:
+		for _, p := range memmodel.ClassicTests() {
+			err1 := memmodel.CheckMapping(p, memmodel.X86, memmodel.MapX86ToIR, memmodel.LIMM)
+			ir := memmodel.MapX86ToIR(p)
+			err2 := memmodel.CheckMapping(ir, memmodel.LIMM, memmodel.MapIRToArm, memmodel.Arm)
+			status := "ok"
+			if err1 != nil || err2 != nil {
+				status = fmt.Sprintf("FAIL (%v %v)", err1, err2)
+			}
+			fmt.Printf("%-12s x86→IR→Arm: %s\n", p.Name, status)
+		}
+
+	case *exhaustive > 0:
+		progs := memmodel.GenerateX86Programs(*exhaustive)
+		fmt.Printf("checking %d generated programs...\n", len(progs))
+		for i, p := range progs {
+			if err := memmodel.CheckMapping(p, memmodel.X86, func(q *memmodel.Program) *memmodel.Program {
+				return memmodel.MapIRToArm(memmodel.MapX86ToIR(q))
+			}, memmodel.Arm); err != nil {
+				fmt.Println("FAIL:", err)
+				os.Exit(1)
+			}
+			if (i+1)%500 == 0 {
+				fmt.Printf("  %d/%d ok\n", i+1, len(progs))
+			}
+		}
+		fmt.Println("all mappings verified ✓")
+
+	default:
+		for _, p := range memmodel.ClassicTests() {
+			fmt.Println(p)
+			for _, m := range []memmodel.Model{memmodel.SC, memmodel.X86, memmodel.Arm, memmodel.LIMM} {
+				bs := memmodel.BehaviorsOf(p, m, true)
+				keys := make([]string, 0, len(bs))
+				for k := range bs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				fmt.Printf("  %-5s %d behaviors\n", m.Name+":", len(keys))
+				for _, k := range keys {
+					fmt.Printf("        %s\n", k)
+				}
+			}
+			fmt.Println()
+		}
+	}
+}

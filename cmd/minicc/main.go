@@ -1,0 +1,80 @@
+// minicc compiles minic source files to IR, x86-64 or Arm64 objects, and
+// can run the result directly on the built-in simulator. It stands in for
+// the C toolchain that produced the paper's input binaries.
+//
+// Usage:
+//
+//	minicc [-arch x86-64|arm64] [-O] [-emit-ir] [-run] [-o out.obj] prog.mc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lasagne/internal/backend"
+	"lasagne/internal/minic"
+	"lasagne/internal/opt"
+	"lasagne/internal/sim"
+)
+
+func main() {
+	arch := flag.String("arch", "x86-64", "target architecture (x86-64 or arm64)")
+	optimize := flag.Bool("O", true, "run the standard optimization pipeline")
+	emitIR := flag.Bool("emit-ir", false, "print the IR instead of compiling")
+	run := flag.Bool("run", false, "simulate the compiled binary and print its output")
+	out := flag.String("o", "", "output object file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [flags] prog.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := minic.Compile(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		if err := opt.Optimize(m); err != nil {
+			fatal(err)
+		}
+	}
+	if *emitIR {
+		fmt.Print(m.String())
+		return
+	}
+	bin, err := backend.Compile(m, *arch)
+	if err != nil {
+		fatal(err)
+	}
+	if *run {
+		mach, err := sim.NewMachine(bin)
+		if err != nil {
+			fatal(err)
+		}
+		cycles, err := mach.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(mach.Out.String())
+		fmt.Fprintf(os.Stderr, "[%s: %d cycles, %d instructions]\n", *arch, cycles, mach.InstrCount())
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, bin.Marshal(), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if !*run && *out == "" {
+		fmt.Fprintf(os.Stderr, "compiled %s for %s (%d bytes of text); use -o or -run\n",
+			flag.Arg(0), *arch, len(bin.Section(".text").Data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+package lasagne_test
+
+import (
+	"fmt"
+	"log"
+
+	"lasagne"
+	"lasagne/internal/backend"
+	"lasagne/internal/minic"
+	"lasagne/internal/opt"
+	"lasagne/internal/sim"
+)
+
+// Example translates a concurrent message-passing binary from x86-64 to
+// Arm64 and runs both on the built-in simulators.
+func Example() {
+	// A legacy program: producer/consumer communicating through shared
+	// memory, relying on x86-TSO's store ordering.
+	src := `
+int data; int flag;
+void producer(int v) { data = v; flag = 1; }
+void consumer(int x) { while (flag == 0) { } print_int(data); }
+int main() { spawn(consumer, 0); spawn(producer, 42); join(); return 0; }
+`
+	m, err := minic.Compile("mp", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := opt.Optimize(m); err != nil {
+		log.Fatal(err)
+	}
+	x86bin, err := backend.Compile(m, "x86-64")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Lasagne pipeline: lift, refine, place LIMM fences, optimize,
+	// emit Arm64.
+	armbin, stats, err := lasagne.Translate(x86bin, lasagne.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mach, err := sim.NewMachine(armbin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mach.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("output: %s", mach.Out.String())
+	fmt.Printf("fences in the translated code: %d\n", stats.FencesFinal)
+	// Output:
+	// output: 42
+	// fences in the translated code: 4
+}

@@ -1,0 +1,3 @@
+module lasagne
+
+go 1.22

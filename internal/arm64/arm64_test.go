@@ -1,0 +1,220 @@
+package arm64
+
+import (
+	"reflect"
+	"testing"
+)
+
+func roundTrip(t *testing.T, in Inst) {
+	t.Helper()
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatalf("encode %+v: %v", in, err)
+	}
+	got, err := Decode(w, 0)
+	if err != nil {
+		t.Fatalf("decode %#08x (%+v): %v", w, in, err)
+	}
+	got.Addr, got.Len = 0, 0
+	if got.Size == 0 {
+		got.Size = 8
+	}
+	norm := in
+	if norm.Size == 0 {
+		norm.Size = 8
+	}
+	if !reflect.DeepEqual(norm, got) {
+		t.Fatalf("round trip mismatch:\n  in:  %+v (%s)\n  out: %+v (%s)\n  word: %#08x",
+			norm, norm.String(), got, got.String(), w)
+	}
+}
+
+func TestRoundTripInteger(t *testing.T) {
+	cases := []Inst{
+		{Op: ADD, Size: 8, Rd: X0, Rn: X1, Rm: X2},
+		{Op: ADD, Size: 4, Rd: X10, Rn: X11, Rm: X12},
+		{Op: SUB, Size: 8, Rd: X3, Rn: X4, Rm: X5},
+		{Op: SUBS, Size: 8, Rd: XZR, Rn: X1, Rm: X2}, // cmp x1, x2
+		{Op: ADDI, Size: 8, Rd: SP, Rn: SP, Imm: 32},
+		{Op: SUBI, Size: 8, Rd: SP, Rn: SP, Imm: 48},
+		{Op: SUBSI, Size: 8, Rd: XZR, Rn: X0, Imm: 100},
+		{Op: AND, Size: 8, Rd: X0, Rn: X0, Rm: X9},
+		{Op: ORR, Size: 8, Rd: X7, Rn: XZR, Rm: X3}, // mov x7, x3
+		{Op: EOR, Size: 4, Rd: X1, Rn: X1, Rm: X1},
+		{Op: MADD, Size: 8, Rd: X0, Rn: X1, Rm: X2, Ra: XZR}, // mul
+		{Op: MSUB, Size: 8, Rd: X0, Rn: X1, Rm: X2, Ra: X3},
+		{Op: SDIV, Size: 8, Rd: X0, Rn: X1, Rm: X2},
+		{Op: UDIV, Size: 4, Rd: X0, Rn: X1, Rm: X2},
+		{Op: LSLV, Size: 8, Rd: X0, Rn: X1, Rm: X2},
+		{Op: LSRV, Size: 8, Rd: X0, Rn: X1, Rm: X2},
+		{Op: ASRV, Size: 8, Rd: X0, Rn: X1, Rm: X2},
+		{Op: LSLI, Size: 8, Rd: X0, Rn: X1, Imm: 3},
+		{Op: LSLI, Size: 8, Rd: X0, Rn: X1, Imm: 63},
+		{Op: LSRI, Size: 8, Rd: X0, Rn: X1, Imm: 7},
+		{Op: ASRI, Size: 8, Rd: X0, Rn: X1, Imm: 31},
+		{Op: LSLI, Size: 4, Rd: X0, Rn: X1, Imm: 5},
+		{Op: SXTB, Size: 8, Rd: X0, Rn: X1},
+		{Op: SXTH, Size: 8, Rd: X2, Rn: X3},
+		{Op: SXTW, Size: 8, Rd: X4, Rn: X5},
+		{Op: UXTB, Size: 4, Rd: X6, Rn: X7},
+		{Op: UXTH, Size: 4, Rd: X8, Rn: X9},
+		{Op: MOVZ, Size: 8, Rd: X0, Imm: 0xBEEF, Shift: 0},
+		{Op: MOVK, Size: 8, Rd: X0, Imm: 0xDEAD, Shift: 2},
+		{Op: MOVN, Size: 8, Rd: X1, Imm: 0, Shift: 0},
+		{Op: CSEL, Size: 8, Cond: NE, Rd: X0, Rn: X1, Rm: X2},
+		{Op: CSINC, Size: 8, Cond: EQ, Rd: X0, Rn: XZR, Rm: XZR},
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestRoundTripLoadsStores(t *testing.T) {
+	cases := []Inst{
+		{Op: LDR, Size: 8, Rd: X0, Rn: SP, Imm: 16},
+		{Op: STR, Size: 8, Rd: X1, Rn: SP, Imm: 24},
+		{Op: LDR, Size: 4, Rd: X2, Rn: X3, Imm: 8},
+		{Op: STR, Size: 4, Rd: X4, Rn: X5, Imm: 0},
+		{Op: LDR, Size: 1, Rd: X6, Rn: X7, Imm: 3},
+		{Op: STR, Size: 1, Rd: X8, Rn: X9, Imm: 1},
+		{Op: LDR, Size: 2, Rd: X10, Rn: X11, Imm: 6},
+		{Op: STR, Size: 2, Rd: X12, Rn: X13, Imm: 2},
+		{Op: LDR, Size: 8, Rd: D0, Rn: X0, Imm: 8},
+		{Op: STR, Size: 8, Rd: D1, Rn: SP, Imm: 32},
+		{Op: LDR, Size: 4, Rd: D2, Rn: X1, Imm: 4},
+		{Op: LDRR, Size: 8, Rd: X0, Rn: X1, Rm: X2, Imm: 0},
+		{Op: LDRR, Size: 8, Rd: X0, Rn: X1, Rm: X2, Imm: 1},
+		{Op: STRR, Size: 4, Rd: X3, Rn: X4, Rm: X5, Imm: 1},
+		{Op: STRR, Size: 8, Rd: D3, Rn: X4, Rm: X5, Imm: 0},
+		{Op: LDUR, Size: 8, Rd: X0, Rn: X1, Imm: -8},
+		{Op: STUR, Size: 4, Rd: X2, Rn: SP, Imm: -4},
+		{Op: LDRSB, Size: 1, Rd: X0, Rn: X1, Imm: 2},
+		{Op: LDRSH, Size: 2, Rd: X2, Rn: X3, Imm: 4},
+		{Op: LDRSW, Size: 4, Rd: X4, Rn: X5, Imm: 8},
+		{Op: LDXR, Size: 8, Rd: X0, Rn: X1},
+		{Op: LDXR, Size: 4, Rd: X2, Rn: X3},
+		{Op: LDAXR, Size: 8, Rd: X0, Rn: X1},
+		{Op: STXR, Size: 8, Rd: X0, Rn: X1, Ra: X9},
+		{Op: STLXR, Size: 4, Rd: X2, Rn: X3, Ra: X10},
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestRoundTripBarriersAndBranches(t *testing.T) {
+	for _, bar := range []Barrier{BarrierISH, BarrierISHLD, BarrierISHST} {
+		roundTrip(t, Inst{Op: DMB, Barrier: bar, Size: 8})
+	}
+	// Branch targets decode to absolute addresses.
+	w, err := Encode(Inst{Op: B, Imm: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(w, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != B || got.Imm != 0x1040 {
+		t.Fatalf("b target %#x, want 0x1040", got.Imm)
+	}
+	w, _ = Encode(Inst{Op: BCOND, Cond: LT, Imm: -32})
+	got, err = Decode(w, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cond != LT || got.Imm != 0x1FE0 {
+		t.Fatalf("b.lt target %#x cond %v", got.Imm, got.Cond)
+	}
+	w, _ = Encode(Inst{Op: CBZ, Size: 8, Rd: X3, Imm: 16})
+	got, err = Decode(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != CBZ || got.Rd != X3 || got.Imm != 16 {
+		t.Fatalf("cbz decode %+v", got)
+	}
+	roundTrip(t, Inst{Op: RET, Size: 8, Rn: X30})
+	roundTrip(t, Inst{Op: BR, Size: 8, Rn: X5})
+	roundTrip(t, Inst{Op: BLR, Size: 8, Rn: X6})
+}
+
+func TestRoundTripFP(t *testing.T) {
+	cases := []Inst{
+		{Op: FADD, Size: 8, Rd: D0, Rn: D1, Rm: D2},
+		{Op: FSUB, Size: 8, Rd: D3, Rn: D4, Rm: D5},
+		{Op: FMUL, Size: 4, Rd: D0, Rn: D1, Rm: D2},
+		{Op: FDIV, Size: 8, Rd: D6, Rn: D7, Rm: D8},
+		{Op: FSQRT, Size: 8, Rd: D0, Rn: D1},
+		{Op: FCMP, Size: 8, Rn: D0, Rm: D1},
+		{Op: FMOV, Size: 8, Rd: D0, Rn: D1},
+		{Op: FMOVTOG, Size: 8, Rd: X0, Rn: D0},
+		{Op: FMOVTOF, Size: 8, Rd: D0, Rn: X0},
+		{Op: FMOVTOG, Size: 4, Rd: X1, Rn: D2},
+		{Op: SCVTF, Size: 8, Rd: D0, Rn: X1},
+		{Op: FCVTZS, Size: 8, Rd: X0, Rn: D1},
+		{Op: FCVTDS, Size: 8, Rd: D0, Rn: D1},
+		{Op: FCVTSD, Size: 4, Rd: D0, Rn: D1},
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	if _, err := Encode(Inst{Op: ADDI, Size: 8, Rd: X0, Rn: X0, Imm: 5000}); err == nil {
+		t.Error("addi out-of-range imm accepted")
+	}
+	if _, err := Encode(Inst{Op: LDR, Size: 8, Rd: X0, Rn: X1, Imm: 7}); err == nil {
+		t.Error("misaligned ldr offset accepted")
+	}
+	if _, err := Encode(Inst{Op: B, Imm: 3}); err == nil {
+		t.Error("misaligned branch accepted")
+	}
+	if _, err := Encode(Inst{Op: MOVZ, Size: 8, Rd: X0, Imm: 1 << 17}); err == nil {
+		t.Error("movz imm out of range accepted")
+	}
+}
+
+func TestPrinterAliases(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: SUBS, Size: 8, Rd: XZR, Rn: X1, Rm: X2}, "cmp x1, x2"},
+		{Inst{Op: ORR, Size: 8, Rd: X7, Rn: XZR, Rm: X3}, "mov x7, x3"},
+		{Inst{Op: MADD, Size: 8, Rd: X0, Rn: X1, Rm: X2, Ra: XZR}, "mul x0, x1, x2"},
+		{Inst{Op: CSINC, Size: 8, Cond: NE, Rd: X0, Rn: XZR, Rm: XZR}, "cset x0, eq"},
+		{Inst{Op: DMB, Barrier: BarrierISHST}, "dmb ishst"},
+		{Inst{Op: LDR, Size: 4, Rd: X2, Rn: X3, Imm: 8}, "ldr w2, [x3, #8]"},
+		{Inst{Op: STXR, Size: 8, Rd: X1, Rn: X2, Ra: X9}, "stxr w9, x1, [x2]"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	prog := []Inst{
+		{Op: MOVZ, Size: 8, Rd: X0, Imm: 42},
+		{Op: ADDI, Size: 8, Rd: X0, Rn: X0, Imm: 1},
+		{Op: RET, Size: 8, Rn: X30},
+	}
+	var code []byte
+	for _, in := range prog {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code = append(code, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	out, err := DecodeAll(code, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[1].Addr != 0x4004 {
+		t.Fatalf("decode all: %+v", out)
+	}
+}

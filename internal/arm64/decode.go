@@ -1,0 +1,348 @@
+package arm64
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Decode decodes the 32-bit instruction word w located at address addr.
+// Direct branch targets are resolved to absolute addresses in Imm.
+func Decode(w uint32, addr uint64) (Inst, error) {
+	in, err := decodeWord(w, addr)
+	if err != nil {
+		return Inst{}, fmt.Errorf("arm64: decode %#08x at %#x: %w", w, addr, err)
+	}
+	in.Addr = addr
+	in.Len = 4
+	return in, nil
+}
+
+// DecodeAll decodes a code region of little-endian instruction words.
+func DecodeAll(code []byte, base uint64) ([]Inst, error) {
+	if len(code)%4 != 0 {
+		return nil, fmt.Errorf("arm64: code length %d not a multiple of 4", len(code))
+	}
+	out := make([]Inst, 0, len(code)/4)
+	for i := 0; i < len(code); i += 4 {
+		w := binary.LittleEndian.Uint32(code[i:])
+		in, err := Decode(w, base+uint64(i))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+func signExtend(v uint32, bits int) int64 {
+	shift := 64 - bits
+	return int64(v) << shift >> shift
+}
+
+func gp(enc uint32, sp bool) Reg {
+	if enc == 31 {
+		if sp {
+			return SP
+		}
+		return XZR
+	}
+	return Reg(enc)
+}
+
+func fp(enc uint32) Reg { return D0 + Reg(enc) }
+
+func decodeWord(w uint32, addr uint64) (Inst, error) {
+	sf := w >> 31
+	size := 8
+	if sf == 0 {
+		size = 4
+	}
+	rd := w & 31
+	rn := (w >> 5) & 31
+	rm := (w >> 16) & 31
+	ra := (w >> 10) & 31
+	b := w & 0x7FFFFFFF // sf cleared
+
+	switch {
+	case w == 0xD503201F:
+		return Inst{Op: NOP}, nil
+	case w&0xFFFFF0FF == 0xD50330BF:
+		crm := (w >> 8) & 0xF
+		var bar Barrier
+		switch crm {
+		case 0xB:
+			bar = BarrierISH
+		case 0x9:
+			bar = BarrierISHLD
+		case 0xA:
+			bar = BarrierISHST
+		default:
+			return Inst{}, fmt.Errorf("unsupported DMB CRm %#x", crm)
+		}
+		return Inst{Op: DMB, Barrier: bar}, nil
+	case w&0xFFFFFC1F == 0xD65F0000:
+		return Inst{Op: RET, Rn: gp(rn, false)}, nil
+	case w&0xFFFFFC1F == 0xD61F0000:
+		return Inst{Op: BR, Rn: gp(rn, false)}, nil
+	case w&0xFFFFFC1F == 0xD63F0000:
+		return Inst{Op: BLR, Rn: gp(rn, false)}, nil
+	}
+
+	// Unconditional immediate branches.
+	switch w >> 26 {
+	case 0x05: // B
+		off := signExtend(w&0x3FFFFFF, 26) * 4
+		return Inst{Op: B, Imm: int64(addr) + off}, nil
+	case 0x25: // BL
+		off := signExtend(w&0x3FFFFFF, 26) * 4
+		return Inst{Op: BL, Imm: int64(addr) + off}, nil
+	}
+	if w&0xFF000010 == 0x54000000 {
+		off := signExtend((w>>5)&0x7FFFF, 19) * 4
+		return Inst{Op: BCOND, Cond: Cond(w & 0xF), Imm: int64(addr) + off}, nil
+	}
+	if b&0x7F000000 == 0x34000000 || b&0x7F000000 == 0x35000000 {
+		op := CBZ
+		if b&0x7F000000 == 0x35000000 {
+			op = CBNZ
+		}
+		off := signExtend((w>>5)&0x7FFFF, 19) * 4
+		return Inst{Op: op, Size: size, Rd: gp(rd, false), Imm: int64(addr) + off}, nil
+	}
+
+	// Data processing, shifted register (shift and amount always 0 here).
+	switch b & 0x7FE0FC00 {
+	case 0x0B000000:
+		return Inst{Op: ADD, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	case 0x4B000000:
+		return Inst{Op: SUB, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	case 0x6B000000:
+		return Inst{Op: SUBS, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	case 0x0A000000:
+		return Inst{Op: AND, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	case 0x2A000000:
+		return Inst{Op: ORR, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	case 0x4A000000:
+		return Inst{Op: EOR, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	case 0x1AC00C00:
+		return Inst{Op: SDIV, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	case 0x1AC00800:
+		return Inst{Op: UDIV, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	case 0x1AC02000:
+		return Inst{Op: LSLV, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	case 0x1AC02400:
+		return Inst{Op: LSRV, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	case 0x1AC02800:
+		return Inst{Op: ASRV, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	}
+
+	// Immediate arithmetic.
+	switch b & 0x7FC00000 {
+	case 0x11000000:
+		return Inst{Op: ADDI, Size: size, Rd: gp(rd, true), Rn: gp(rn, true), Imm: int64((w >> 10) & 0xFFF)}, nil
+	case 0x51000000:
+		return Inst{Op: SUBI, Size: size, Rd: gp(rd, true), Rn: gp(rn, true), Imm: int64((w >> 10) & 0xFFF)}, nil
+	case 0x71000000:
+		return Inst{Op: SUBSI, Size: size, Rd: gp(rd, false), Rn: gp(rn, true), Imm: int64((w >> 10) & 0xFFF)}, nil
+	}
+
+	// MADD/MSUB.
+	if b&0x7FE08000 == 0x1B000000 {
+		return Inst{Op: MADD, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false), Ra: gp(ra, false)}, nil
+	}
+	if b&0x7FE08000 == 0x1B008000 {
+		return Inst{Op: MSUB, Size: size, Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false), Ra: gp(ra, false)}, nil
+	}
+
+	// CSEL/CSINC.
+	if b&0x7FE00C00 == 0x1A800000 {
+		return Inst{Op: CSEL, Size: size, Cond: Cond((w >> 12) & 0xF), Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	}
+	if b&0x7FE00C00 == 0x1A800400 {
+		return Inst{Op: CSINC, Size: size, Cond: Cond((w >> 12) & 0xF), Rd: gp(rd, false), Rn: gp(rn, false), Rm: gp(rm, false)}, nil
+	}
+
+	// Move wide.
+	switch b & 0x7F800000 {
+	case 0x52800000:
+		return Inst{Op: MOVZ, Size: size, Rd: gp(rd, false), Imm: int64((w >> 5) & 0xFFFF), Shift: int((w >> 21) & 3)}, nil
+	case 0x12800000:
+		return Inst{Op: MOVN, Size: size, Rd: gp(rd, false), Imm: int64((w >> 5) & 0xFFFF), Shift: int((w >> 21) & 3)}, nil
+	case 0x72800000:
+		return Inst{Op: MOVK, Size: size, Rd: gp(rd, false), Imm: int64((w >> 5) & 0xFFFF), Shift: int((w >> 21) & 3)}, nil
+	}
+
+	// Bitfield (UBFM/SBFM aliases).
+	if b&0x7F800000 == 0x53000000 || b&0x7F800000 == 0x13000000 {
+		signed := b&0x7F800000 == 0x13000000
+		immr := int64((w >> 16) & 0x3F)
+		imms := int64((w >> 10) & 0x3F)
+		width := int64(64)
+		if sf == 0 {
+			width = 32
+		}
+		in := Inst{Size: size, Rd: gp(rd, false), Rn: gp(rn, false)}
+		switch {
+		case signed && immr == 0 && imms == 7:
+			in.Op = SXTB
+		case signed && immr == 0 && imms == 15:
+			in.Op = SXTH
+		case signed && immr == 0 && imms == 31 && sf == 1:
+			in.Op = SXTW
+		case !signed && sf == 0 && immr == 0 && imms == 7:
+			in.Op = UXTB
+		case !signed && sf == 0 && immr == 0 && imms == 15:
+			in.Op = UXTH
+		case imms == width-1 && signed:
+			in.Op, in.Imm = ASRI, immr
+		case imms == width-1:
+			in.Op, in.Imm = LSRI, immr
+		case !signed && immr == (width-(width-1-imms))%width:
+			in.Op, in.Imm = LSLI, width-1-imms
+		default:
+			return Inst{}, fmt.Errorf("unsupported bitfield immr=%d imms=%d", immr, imms)
+		}
+		return in, nil
+	}
+
+	// Exclusive loads/stores.
+	if w&0xBFFFFC00 == 0x885F7C00 {
+		return Inst{Op: LDXR, Size: exSize(w), Rd: gp(rd, false), Rn: gp(rn, true)}, nil
+	}
+	if w&0xBFFFFC00 == 0x885FFC00 {
+		return Inst{Op: LDAXR, Size: exSize(w), Rd: gp(rd, false), Rn: gp(rn, true)}, nil
+	}
+	if w&0xBFE0FC00 == 0x88007C00 {
+		return Inst{Op: STXR, Size: exSize(w), Rd: gp(rd, false), Rn: gp(rn, true), Ra: gp(rm, false)}, nil
+	}
+	if w&0xBFE0FC00 == 0x8800FC00 {
+		return Inst{Op: STLXR, Size: exSize(w), Rd: gp(rd, false), Rn: gp(rn, true), Ra: gp(rm, false)}, nil
+	}
+
+	// Loads/stores.
+	if w&0x3B000000 == 0x39000000 {
+		// Unsigned scaled offset.
+		sizeBits := w >> 30
+		isFP := w&(1<<26) != 0
+		opc := (w >> 22) & 3
+		imm := int64((w>>10)&0xFFF) << sizeBits
+		accSize := 1 << sizeBits
+		rt := rd
+		var dst Reg
+		if isFP {
+			dst = fp(rt)
+		} else {
+			dst = gp(rt, false)
+		}
+		switch opc {
+		case 0:
+			return Inst{Op: STR, Size: accSize, Rd: dst, Rn: gp(rn, true), Imm: imm}, nil
+		case 1:
+			return Inst{Op: LDR, Size: accSize, Rd: dst, Rn: gp(rn, true), Imm: imm}, nil
+		case 2: // sign-extending load to 64-bit
+			var op Op
+			switch sizeBits {
+			case 0:
+				op = LDRSB
+			case 1:
+				op = LDRSH
+			case 2:
+				op = LDRSW
+			default:
+				return Inst{}, fmt.Errorf("bad signed load size")
+			}
+			return Inst{Op: op, Size: accSize, Rd: gp(rt, false), Rn: gp(rn, true), Imm: imm}, nil
+		}
+		return Inst{}, fmt.Errorf("unsupported load/store opc %d", opc)
+	}
+	if w&0x3B200C00 == 0x38200800 {
+		// Register offset.
+		sizeBits := w >> 30
+		isFP := w&(1<<26) != 0
+		opc := (w >> 22) & 3
+		accSize := 1 << sizeBits
+		var dst Reg
+		if isFP {
+			dst = fp(rd)
+		} else {
+			dst = gp(rd, false)
+		}
+		s := int64((w >> 12) & 1)
+		op := STRR
+		if opc == 1 {
+			op = LDRR
+		}
+		return Inst{Op: op, Size: accSize, Rd: dst, Rn: gp(rn, true), Rm: gp(rm, false), Imm: s}, nil
+	}
+	if w&0x3B200C00 == 0x38000000 {
+		// Unscaled 9-bit offset.
+		sizeBits := w >> 30
+		isFP := w&(1<<26) != 0
+		opc := (w >> 22) & 3
+		accSize := 1 << sizeBits
+		imm := signExtend((w>>12)&0x1FF, 9)
+		var dst Reg
+		if isFP {
+			dst = fp(rd)
+		} else {
+			dst = gp(rd, false)
+		}
+		op := STUR
+		if opc == 1 {
+			op = LDUR
+		}
+		return Inst{Op: op, Size: accSize, Rd: dst, Rn: gp(rn, true), Imm: imm}, nil
+	}
+
+	// Floating point.
+	ftype := (w >> 22) & 3
+	fsize := 8
+	if ftype == 0 {
+		fsize = 4
+	}
+	noft := w &^ (3 << 22)
+	if noft&0xFF200C00 == 0x1E200800 {
+		opc := (w >> 12) & 0xF
+		ops := map[uint32]Op{0x0: FMUL, 0x1: FDIV, 0x2: FADD, 0x3: FSUB}
+		if op, ok := ops[opc]; ok {
+			return Inst{Op: op, Size: fsize, Rd: fp(rd), Rn: fp(rn), Rm: fp(rm)}, nil
+		}
+		return Inst{}, fmt.Errorf("unsupported FP opcode %#x", opc)
+	}
+	switch noft & 0xFFFFFC00 {
+	case 0x1E204000:
+		return Inst{Op: FMOV, Size: fsize, Rd: fp(rd), Rn: fp(rn)}, nil
+	case 0x1E21C000:
+		return Inst{Op: FSQRT, Size: fsize, Rd: fp(rd), Rn: fp(rn)}, nil
+	case 0x9E220000:
+		return Inst{Op: SCVTF, Size: fsize, Rd: fp(rd), Rn: gp(rn, false)}, nil
+	case 0x9E380000:
+		return Inst{Op: FCVTZS, Size: fsize, Rd: gp(rd, false), Rn: fp(rn)}, nil
+	}
+	if noft&0xFFE0FC1F == 0x1E202000 {
+		return Inst{Op: FCMP, Size: fsize, Rn: fp(rn), Rm: fp(rm)}, nil
+	}
+	switch w & 0xFFFFFC00 {
+	case 0x9E660000:
+		return Inst{Op: FMOVTOG, Size: 8, Rd: gp(rd, false), Rn: fp(rn)}, nil
+	case 0x1E260000:
+		return Inst{Op: FMOVTOG, Size: 4, Rd: gp(rd, false), Rn: fp(rn)}, nil
+	case 0x9E670000:
+		return Inst{Op: FMOVTOF, Size: 8, Rd: fp(rd), Rn: gp(rn, false)}, nil
+	case 0x1E270000:
+		return Inst{Op: FMOVTOF, Size: 4, Rd: fp(rd), Rn: gp(rn, false)}, nil
+	case 0x1E22C000:
+		return Inst{Op: FCVTDS, Size: 8, Rd: fp(rd), Rn: fp(rn)}, nil
+	case 0x1E624000:
+		return Inst{Op: FCVTSD, Size: 4, Rd: fp(rd), Rn: fp(rn)}, nil
+	}
+
+	return Inst{}, fmt.Errorf("unsupported instruction word")
+}
+
+func exSize(w uint32) int {
+	if w>>30 == 3 {
+		return 8
+	}
+	return 4
+}

@@ -1,0 +1,345 @@
+package arm64
+
+import "fmt"
+
+// Encode produces the 32-bit machine encoding of in. Branch immediates are
+// byte offsets relative to the instruction's own address.
+func Encode(in Inst) (uint32, error) {
+	sf := uint32(1)
+	if in.Size == 4 {
+		sf = 0
+	}
+	rd := func() uint32 { return in.Rd.Enc() }
+	rn := func() uint32 { return in.Rn.Enc() }
+	rm := func() uint32 { return in.Rm.Enc() }
+
+	checkBr := func(bits int) (uint32, error) {
+		if in.Imm%4 != 0 {
+			return 0, fmt.Errorf("arm64: misaligned branch offset %d", in.Imm)
+		}
+		off := in.Imm / 4
+		lim := int64(1) << (bits - 1)
+		if off < -lim || off >= lim {
+			return 0, fmt.Errorf("arm64: branch offset %d out of range", in.Imm)
+		}
+		return uint32(off) & (1<<bits - 1), nil
+	}
+
+	switch in.Op {
+	case NOP:
+		return 0xD503201F, nil
+	case RET:
+		return 0xD65F0000 | X30.Enc()<<5, nil
+	case BR:
+		return 0xD61F0000 | rn()<<5, nil
+	case BLR:
+		return 0xD63F0000 | rn()<<5, nil
+
+	case ADD, SUB, SUBS:
+		base := map[Op]uint32{ADD: 0x0B000000, SUB: 0x4B000000, SUBS: 0x6B000000}[in.Op]
+		return base | sf<<31 | rm()<<16 | rn()<<5 | rd(), nil
+
+	case ADDI, SUBI, SUBSI:
+		if in.Imm < 0 || in.Imm > 4095 {
+			return 0, fmt.Errorf("arm64: %s immediate %d out of range", in.Op, in.Imm)
+		}
+		base := map[Op]uint32{ADDI: 0x11000000, SUBI: 0x51000000, SUBSI: 0x71000000}[in.Op]
+		return base | sf<<31 | uint32(in.Imm)<<10 | rn()<<5 | rd(), nil
+
+	case AND, ORR, EOR:
+		base := map[Op]uint32{AND: 0x0A000000, ORR: 0x2A000000, EOR: 0x4A000000}[in.Op]
+		return base | sf<<31 | rm()<<16 | rn()<<5 | rd(), nil
+
+	case MADD, MSUB:
+		base := uint32(0x1B000000)
+		if in.Op == MSUB {
+			base |= 0x8000
+		}
+		return base | sf<<31 | rm()<<16 | in.Ra.Enc()<<10 | rn()<<5 | rd(), nil
+
+	case SDIV:
+		return 0x1AC00C00 | sf<<31 | rm()<<16 | rn()<<5 | rd(), nil
+	case UDIV:
+		return 0x1AC00800 | sf<<31 | rm()<<16 | rn()<<5 | rd(), nil
+	case LSLV:
+		return 0x1AC02000 | sf<<31 | rm()<<16 | rn()<<5 | rd(), nil
+	case LSRV:
+		return 0x1AC02400 | sf<<31 | rm()<<16 | rn()<<5 | rd(), nil
+	case ASRV:
+		return 0x1AC02800 | sf<<31 | rm()<<16 | rn()<<5 | rd(), nil
+
+	case LSLI, LSRI, ASRI, SXTB, SXTH, SXTW, UXTB, UXTH:
+		return encodeBitfield(in, sf)
+
+	case MOVZ, MOVN, MOVK:
+		base := map[Op]uint32{MOVZ: 0x52800000, MOVN: 0x12800000, MOVK: 0x72800000}[in.Op]
+		if in.Imm < 0 || in.Imm > 0xFFFF {
+			return 0, fmt.Errorf("arm64: %s imm16 %d out of range", in.Op, in.Imm)
+		}
+		if in.Shift < 0 || in.Shift > 3 || (sf == 0 && in.Shift > 1) {
+			return 0, fmt.Errorf("arm64: %s shift %d out of range", in.Op, in.Shift)
+		}
+		return base | sf<<31 | uint32(in.Shift)<<21 | uint32(in.Imm)<<5 | rd(), nil
+
+	case CSEL:
+		return 0x1A800000 | sf<<31 | rm()<<16 | uint32(in.Cond)<<12 | rn()<<5 | rd(), nil
+	case CSINC:
+		return 0x1A800400 | sf<<31 | rm()<<16 | uint32(in.Cond)<<12 | rn()<<5 | rd(), nil
+
+	case LDR, STR:
+		return encodeLoadStore(in)
+
+	case LDRR, STRR:
+		return encodeLoadStoreReg(in)
+
+	case LDUR, STUR:
+		if in.Imm < -256 || in.Imm > 255 {
+			return 0, fmt.Errorf("arm64: unscaled offset %d out of range", in.Imm)
+		}
+		var base uint32
+		fp := in.Rd.IsFP()
+		sizeBits, err := lsSizeBits(in.Size, fp)
+		if err != nil {
+			return 0, err
+		}
+		if in.Op == LDUR {
+			base = 0x38400000
+		} else {
+			base = 0x38000000
+		}
+		if fp {
+			base |= 1 << 26
+		}
+		return base | sizeBits<<30 | (uint32(in.Imm)&0x1FF)<<12 | rn()<<5 | rd(), nil
+
+	case LDRSB, LDRSH, LDRSW:
+		// Sign-extending loads to 64 bits, unsigned scaled offset.
+		var base uint32
+		var scale int64
+		switch in.Op {
+		case LDRSB:
+			base, scale = 0x39800000, 1
+		case LDRSH:
+			base, scale = 0x79800000, 2
+		case LDRSW:
+			base, scale = 0xB9800000, 4
+		}
+		if in.Imm < 0 || in.Imm%scale != 0 || in.Imm/scale > 4095 {
+			return 0, fmt.Errorf("arm64: %s offset %d invalid", in.Op, in.Imm)
+		}
+		return base | uint32(in.Imm/scale)<<10 | rn()<<5 | rd(), nil
+
+	case LDXR:
+		base := uint32(0x885F7C00)
+		if in.Size == 8 {
+			base = 0xC85F7C00
+		}
+		return base | rn()<<5 | rd(), nil
+	case LDAXR:
+		base := uint32(0x885FFC00)
+		if in.Size == 8 {
+			base = 0xC85FFC00
+		}
+		return base | rn()<<5 | rd(), nil
+	case STXR:
+		// Ra is the status register.
+		base := uint32(0x88007C00)
+		if in.Size == 8 {
+			base = 0xC8007C00
+		}
+		return base | in.Ra.Enc()<<16 | rn()<<5 | rd(), nil
+	case STLXR:
+		base := uint32(0x8800FC00)
+		if in.Size == 8 {
+			base = 0xC800FC00
+		}
+		return base | in.Ra.Enc()<<16 | rn()<<5 | rd(), nil
+
+	case DMB:
+		crm := map[Barrier]uint32{BarrierISH: 0xB, BarrierISHLD: 0x9, BarrierISHST: 0xA}[in.Barrier]
+		return 0xD50330BF | crm<<8, nil
+
+	case B, BL:
+		off, err := checkBr(26)
+		if err != nil {
+			return 0, err
+		}
+		base := uint32(0x14000000)
+		if in.Op == BL {
+			base = 0x94000000
+		}
+		return base | off, nil
+
+	case BCOND:
+		off, err := checkBr(19)
+		if err != nil {
+			return 0, err
+		}
+		return 0x54000000 | off<<5 | uint32(in.Cond), nil
+
+	case CBZ, CBNZ:
+		off, err := checkBr(19)
+		if err != nil {
+			return 0, err
+		}
+		base := uint32(0x34000000)
+		if in.Op == CBNZ {
+			base = 0x35000000
+		}
+		return base | sf<<31 | off<<5 | rd(), nil
+
+	case FADD, FSUB, FMUL, FDIV:
+		ftype := uint32(1) // double
+		if in.Size == 4 {
+			ftype = 0
+		}
+		opc := map[Op]uint32{FMUL: 0x0800, FDIV: 0x1800, FADD: 0x2800, FSUB: 0x3800}[in.Op]
+		return 0x1E200000 | ftype<<22 | rm()<<16 | opc | rn()<<5 | rd(), nil
+
+	case FSQRT:
+		ftype := uint32(1)
+		if in.Size == 4 {
+			ftype = 0
+		}
+		return 0x1E21C000 | ftype<<22 | rn()<<5 | rd(), nil
+
+	case FCMP:
+		ftype := uint32(1)
+		if in.Size == 4 {
+			ftype = 0
+		}
+		return 0x1E202000 | ftype<<22 | rm()<<16 | rn()<<5, nil
+
+	case FMOV:
+		ftype := uint32(1)
+		if in.Size == 4 {
+			ftype = 0
+		}
+		return 0x1E204000 | ftype<<22 | rn()<<5 | rd(), nil
+
+	case FMOVTOG: // Xd/Wd <- Dn/Sn
+		if in.Size == 4 {
+			return 0x1E260000 | rn()<<5 | rd(), nil
+		}
+		return 0x9E660000 | rn()<<5 | rd(), nil
+	case FMOVTOF: // Dd/Sd <- Xn/Wn
+		if in.Size == 4 {
+			return 0x1E270000 | rn()<<5 | rd(), nil
+		}
+		return 0x9E670000 | rn()<<5 | rd(), nil
+
+	case SCVTF: // Dd <- Xn (Size is the FP width; integer source is 64-bit)
+		ftype := uint32(1)
+		if in.Size == 4 {
+			ftype = 0
+		}
+		return 0x9E220000 | ftype<<22 | rn()<<5 | rd(), nil
+	case FCVTZS: // Xd <- Dn
+		ftype := uint32(1)
+		if in.Size == 4 {
+			ftype = 0
+		}
+		return 0x9E380000 | ftype<<22 | rn()<<5 | rd(), nil
+	case FCVTDS: // Dd <- Sn
+		return 0x1E22C000 | rn()<<5 | rd(), nil
+	case FCVTSD: // Sd <- Dn
+		return 0x1E624000 | rn()<<5 | rd(), nil
+	}
+	return 0, fmt.Errorf("arm64: cannot encode %s", in.Op)
+}
+
+func encodeBitfield(in Inst, sf uint32) (uint32, error) {
+	ubfm := uint32(0x53000000)
+	sbfm := uint32(0x13000000)
+	width := int64(64)
+	if sf == 0 {
+		width = 32
+	}
+	n := sf // N matches sf for the aliases we use
+	mk := func(base uint32, immr, imms int64) (uint32, error) {
+		if immr < 0 || immr >= width || imms < 0 || imms >= width {
+			return 0, fmt.Errorf("arm64: bitfield out of range (immr=%d imms=%d)", immr, imms)
+		}
+		return base | sf<<31 | n<<22 | uint32(immr)<<16 | uint32(imms)<<10 | in.Rn.Enc()<<5 | in.Rd.Enc(), nil
+	}
+	sh := in.Imm
+	switch in.Op {
+	case LSLI:
+		if sh <= 0 || sh >= width {
+			return 0, fmt.Errorf("arm64: lsl #%d out of range", sh)
+		}
+		return mk(ubfm, (width-sh)%width, width-1-sh)
+	case LSRI:
+		return mk(ubfm, sh, width-1)
+	case ASRI:
+		return mk(sbfm, sh, width-1)
+	case SXTB:
+		return mk(sbfm, 0, 7)
+	case SXTH:
+		return mk(sbfm, 0, 15)
+	case SXTW:
+		return mk(sbfm, 0, 31)
+	case UXTB:
+		return 0x53000000 | uint32(7)<<10 | in.Rn.Enc()<<5 | in.Rd.Enc(), nil // 32-bit UBFM 0,7
+	case UXTH:
+		return 0x53000000 | uint32(15)<<10 | in.Rn.Enc()<<5 | in.Rd.Enc(), nil
+	}
+	return 0, fmt.Errorf("arm64: bad bitfield op %s", in.Op)
+}
+
+// lsSizeBits maps an access width to the size field of load/store
+// encodings.
+func lsSizeBits(size int, fp bool) (uint32, error) {
+	switch size {
+	case 1:
+		return 0, nil
+	case 2:
+		return 1, nil
+	case 4:
+		return 2, nil
+	case 8, 0:
+		return 3, nil
+	}
+	return 0, fmt.Errorf("arm64: bad access size %d", size)
+}
+
+func encodeLoadStore(in Inst) (uint32, error) {
+	fp := in.Rd.IsFP()
+	sizeBits, err := lsSizeBits(in.Size, fp)
+	if err != nil {
+		return 0, err
+	}
+	scale := int64(1) << sizeBits
+	if in.Imm < 0 || in.Imm%scale != 0 || in.Imm/scale > 4095 {
+		return 0, fmt.Errorf("arm64: %s scaled offset %d invalid for size %d", in.Op, in.Imm, in.Size)
+	}
+	base := uint32(0x39000000) // STR unsigned offset
+	if in.Op == LDR {
+		base = 0x39400000
+	}
+	if fp {
+		base |= 1 << 26
+	}
+	return base | sizeBits<<30 | uint32(in.Imm/scale)<<10 | in.Rn.Enc()<<5 | in.Rd.Enc(), nil
+}
+
+func encodeLoadStoreReg(in Inst) (uint32, error) {
+	fp := in.Rd.IsFP()
+	sizeBits, err := lsSizeBits(in.Size, fp)
+	if err != nil {
+		return 0, err
+	}
+	base := uint32(0x38200800) // STR register offset, option=LSL(011) set below
+	if in.Op == LDRR {
+		base = 0x38600800
+	}
+	if fp {
+		base |= 1 << 26
+	}
+	// option = 011 (LSL), S from Imm (0 = no scale, 1 = scale by size).
+	s := uint32(0)
+	if in.Imm == 1 {
+		s = 1
+	}
+	return base | sizeBits<<30 | in.Rm.Enc()<<16 | 3<<13 | s<<12 | in.Rn.Enc()<<5 | in.Rd.Enc(), nil
+}

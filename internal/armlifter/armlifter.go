@@ -1,0 +1,440 @@
+// Package armlifter lifts Arm64 binaries to the IR — the Appendix B
+// direction of the paper (Arm → IR → x86). It mirrors the x86 lifter's
+// structure: CFG reconstruction with symbolic SP tracking, eager NZCV flag
+// materialization, per-register slots with block-local value caching, and
+// global/function rediscovery from composed MOVZ/MOVK constants.
+//
+// Arm's LL/SC read-modify-write loops (the canonical
+// `dmb; L: ldxr; op; stxr; cbnz L; dmb` sequence emitted by compilers) are
+// recognized as idioms and lifted to seq_cst atomicrmw/cmpxchg, matching
+// the Appendix B mapping table:
+//
+//	ld      -> ld.na        DMBLD -> Frm
+//	st      -> st.na        DMBST -> Fww
+//	RMW     -> RMWsc        DMBFF -> Fsc
+//
+// The resulting IR compiles with the x86-64 backend, whose Fsc -> MFENCE /
+// Frm,Fww -> (nothing) lowering completes the weak-to-strong translation.
+package armlifter
+
+import (
+	"fmt"
+	"sort"
+
+	"lasagne/internal/arm64"
+	"lasagne/internal/ir"
+	"lasagne/internal/obj"
+	"lasagne/internal/rt"
+)
+
+// unit is one lifting unit: a plain instruction or a recognized atomic
+// idiom spanning several instructions.
+type unit struct {
+	inst arm64.Inst // valid when kind == unitInst
+	kind unitKind
+
+	// Atomic idiom fields.
+	rmwOp   ir.RMWOp
+	size    int
+	addrReg arm64.Reg
+	operand arm64.Reg // value register (RMW) or new-value register (CAS)
+	expect  arm64.Reg // expected-value register (CAS)
+	result  arm64.Reg // register receiving the old value
+	addr    uint64
+	length  int // bytes covered
+}
+
+type unitKind int
+
+const (
+	unitInst unitKind = iota
+	unitRMW
+	unitCAS
+)
+
+// Lift translates an entire Arm64 object file into an IR module.
+func Lift(file *obj.File) (*ir.Module, error) {
+	if file.Arch != "arm64" {
+		return nil, fmt.Errorf("armlifter: cannot lift %q binaries", file.Arch)
+	}
+	text := file.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("armlifter: no .text section")
+	}
+	mod := ir.NewModule(file.Entry + ".lifted")
+	rt.Declare(mod)
+
+	data := file.Section(".data")
+	for _, s := range file.Symbols {
+		if s.Kind != obj.SymData {
+			continue
+		}
+		g := mod.NewGlobal(s.Name, ir.ArrayOf(ir.I8, int(s.Size)))
+		if data != nil && s.Addr >= data.Addr && s.Addr+s.Size <= data.Addr+uint64(len(data.Data)) {
+			g.Init = append([]byte(nil), data.Data[s.Addr-data.Addr:s.Addr-data.Addr+s.Size]...)
+		}
+	}
+
+	l := &lifter{file: file, mod: mod, funcs: map[string]*mfunc{}}
+	for _, sym := range file.FuncSymbols() {
+		code := text.Data[sym.Addr-text.Addr : sym.Addr-text.Addr+sym.Size]
+		insts, err := arm64.DecodeAll(code, sym.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("armlifter: %s: %w", sym.Name, err)
+		}
+		units, err := recognizeAtomics(insts)
+		if err != nil {
+			return nil, fmt.Errorf("armlifter: %s: %w", sym.Name, err)
+		}
+		mf, err := buildCFG(sym, units)
+		if err != nil {
+			return nil, fmt.Errorf("armlifter: %s: %w", sym.Name, err)
+		}
+		discoverType(mf)
+		l.funcs[sym.Name] = mf
+		var params []ir.Type
+		for _, p := range mf.params {
+			if p.fp {
+				params = append(params, ir.F64)
+			} else {
+				params = append(params, ir.I64)
+			}
+		}
+		var ret ir.Type = ir.Void
+		switch mf.ret {
+		case retInt:
+			ret = ir.I64
+		case retF64:
+			ret = ir.F64
+		}
+		mod.NewFunc(sym.Name, &ir.FuncType{Ret: ret, Params: params})
+	}
+	for _, sym := range file.FuncSymbols() {
+		if err := l.liftFunc(l.funcs[sym.Name]); err != nil {
+			return nil, fmt.Errorf("armlifter: @%s: %w", sym.Name, err)
+		}
+	}
+	if err := ir.Verify(mod); err != nil {
+		return nil, fmt.Errorf("armlifter: produced invalid IR: %w", err)
+	}
+	return mod, nil
+}
+
+// recognizeAtomics scans the instruction stream for the canonical LL/SC
+// idioms and collapses them into single units.
+//
+//	RMW:  DMBFF; L: ldxr Rb,[Ra]; <op> Rc,...; stxr We,Rc,[Ra]; cbnz We,L; DMBFF
+//	CAS:  DMBFF; L: ldxr Rb,[Ra]; subs zr,Rb,Rc; b.ne +12; stxr We,Rd,[Ra]; cbnz We,L; DMBFF
+func recognizeAtomics(insts []arm64.Inst) ([]unit, error) {
+	var out []unit
+	for i := 0; i < len(insts); i++ {
+		in := insts[i]
+		if in.Op != arm64.LDXR && in.Op != arm64.LDAXR {
+			out = append(out, unit{inst: in})
+			continue
+		}
+		// Try the CAS shape first (it is longer).
+		if i+4 < len(insts) {
+			cmp, bne, stxr, cbnz := insts[i+1], insts[i+2], insts[i+3], insts[i+4]
+			if cmp.Op == arm64.SUBS && cmp.Rd == arm64.XZR && cmp.Rn == in.Rd &&
+				bne.Op == arm64.BCOND && bne.Cond == arm64.NE &&
+				(stxr.Op == arm64.STXR || stxr.Op == arm64.STLXR) && stxr.Rn == in.Rn &&
+				cbnz.Op == arm64.CBNZ && cbnz.Rd == stxr.Ra && uint64(cbnz.Imm) == in.Addr &&
+				uint64(bne.Imm) == cbnz.Addr+4 {
+				out = append(out, unit{
+					kind: unitCAS, size: in.Size,
+					addrReg: in.Rn, expect: cmp.Rm, operand: stxr.Rd, result: in.Rd,
+					addr: in.Addr, length: 5 * 4,
+				})
+				i += 4
+				continue
+			}
+		}
+		// RMW shape.
+		if i+3 < len(insts) {
+			op, stxr, cbnz := insts[i+1], insts[i+2], insts[i+3]
+			var rmwOp ir.RMWOp
+			matched := true
+			switch op.Op {
+			case arm64.ADD:
+				rmwOp = ir.RMWAdd
+			case arm64.SUB:
+				rmwOp = ir.RMWSub
+			case arm64.AND:
+				rmwOp = ir.RMWAnd
+			case arm64.ORR:
+				if op.Rn == arm64.XZR {
+					rmwOp = ir.RMWXchg
+				} else {
+					rmwOp = ir.RMWOr
+				}
+			case arm64.EOR:
+				rmwOp = ir.RMWXor
+			default:
+				matched = false
+			}
+			if matched &&
+				(stxr.Op == arm64.STXR || stxr.Op == arm64.STLXR) && stxr.Rn == in.Rn && stxr.Rd == op.Rd &&
+				cbnz.Op == arm64.CBNZ && cbnz.Rd == stxr.Ra && uint64(cbnz.Imm) == in.Addr {
+				operand := op.Rm
+				if rmwOp != ir.RMWXchg && op.Rn != in.Rd {
+					// Operand on the left instead.
+					operand = op.Rn
+				}
+				out = append(out, unit{
+					kind: unitRMW, rmwOp: rmwOp, size: in.Size,
+					addrReg: in.Rn, operand: operand, result: in.Rd,
+					addr: in.Addr, length: 4 * 4,
+				})
+				i += 3
+				continue
+			}
+		}
+		return nil, fmt.Errorf("unrecognized exclusive-access idiom at %#x", in.Addr)
+	}
+	return out, nil
+}
+
+// uaddr returns the address of a unit.
+func (u *unit) uaddr() uint64 {
+	if u.kind == unitInst {
+		return u.inst.Addr
+	}
+	return u.addr
+}
+
+func (u *unit) ulen() int {
+	if u.kind == unitInst {
+		return 4
+	}
+	return u.length
+}
+
+func (u *unit) isTerminator() bool {
+	return u.kind == unitInst && u.inst.IsTerminator()
+}
+
+// mblock is a machine basic block of units.
+type mblock struct {
+	start uint64
+	units []unit
+	succs []*mblock
+}
+
+type paramInfo struct{ fp bool }
+
+type retKind int
+
+const (
+	retVoid retKind = iota
+	retInt
+	retF64
+)
+
+// mfunc is a reconstructed machine function.
+type mfunc struct {
+	sym    obj.Symbol
+	blocks []*mblock
+	params []paramInfo
+	ret    retKind
+}
+
+func buildCFG(sym obj.Symbol, units []unit) (*mfunc, error) {
+	end := sym.Addr + sym.Size
+	leaders := map[uint64]bool{sym.Addr: true}
+	for _, u := range units {
+		if u.kind != unitInst {
+			continue
+		}
+		in := u.inst
+		if tgt, ok := in.BranchTarget(); ok && in.Op != arm64.BL {
+			if tgt < sym.Addr || tgt >= end {
+				return nil, fmt.Errorf("branch to %#x outside function", tgt)
+			}
+			leaders[tgt] = true
+		}
+		if in.IsTerminator() {
+			leaders[in.Addr+4] = true
+		}
+	}
+	byStart := map[uint64]*mblock{}
+	mf := &mfunc{sym: sym}
+	var cur *mblock
+	for _, u := range units {
+		if leaders[u.uaddr()] || cur == nil {
+			cur = &mblock{start: u.uaddr()}
+			byStart[u.uaddr()] = cur
+			mf.blocks = append(mf.blocks, cur)
+		}
+		cur.units = append(cur.units, u)
+	}
+	for _, b := range mf.blocks {
+		last := b.units[len(b.units)-1]
+		next := last.uaddr() + uint64(last.ulen())
+		addSucc := func(a uint64) error {
+			s, ok := byStart[a]
+			if !ok {
+				return fmt.Errorf("no block at %#x", a)
+			}
+			b.succs = append(b.succs, s)
+			return nil
+		}
+		if last.kind != unitInst {
+			if next < end {
+				if err := addSucc(next); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		in := last.inst
+		switch in.Op {
+		case arm64.RET, arm64.BR:
+		case arm64.B:
+			if err := addSucc(uint64(in.Imm)); err != nil {
+				return nil, err
+			}
+		case arm64.BCOND, arm64.CBZ, arm64.CBNZ:
+			if err := addSucc(uint64(in.Imm)); err != nil {
+				return nil, err
+			}
+			if next < end {
+				if err := addSucc(next); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			if next < end {
+				if err := addSucc(next); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	sort.Slice(mf.blocks, func(i, j int) bool { return mf.blocks[i].start < mf.blocks[j].start })
+	return mf, nil
+}
+
+// discoverType recovers parameters (X0-X7/D0-D7 live-in at entry) and the
+// return kind (X0/D0 defined before RET), mirroring §4.1 for the AAPCS.
+func discoverType(mf *mfunc) {
+	entry := mf.blocks[0]
+	usedBeforeDef := func(r arm64.Reg) bool {
+		defined := map[arm64.Reg]bool{}
+		for _, u := range entry.units {
+			uses, defs := unitUseDef(u)
+			for _, x := range uses {
+				if x == r && !defined[r] {
+					return true
+				}
+			}
+			for _, d := range defs {
+				defined[d] = true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 8; i++ {
+		if !usedBeforeDef(arm64.X0 + arm64.Reg(i)) {
+			break
+		}
+		mf.params = append(mf.params, paramInfo{fp: false})
+	}
+	for i := 0; i < 8; i++ {
+		if !usedBeforeDef(arm64.D0 + arm64.Reg(i)) {
+			break
+		}
+		mf.params = append(mf.params, paramInfo{fp: true})
+	}
+	// Return kind: walk back from RET blocks looking for X0/D0 defs.
+	mf.ret = retVoid
+	for _, b := range mf.blocks {
+		last := b.units[len(b.units)-1]
+		if last.kind != unitInst || last.inst.Op != arm64.RET {
+			continue
+		}
+	scan:
+		for i := len(b.units) - 2; i >= 0; i-- {
+			u := b.units[i]
+			if u.kind == unitInst && u.inst.Op == arm64.BL {
+				break
+			}
+			_, defs := unitUseDef(u)
+			for _, d := range defs {
+				if d == arm64.X0 {
+					mf.ret = retInt
+					break scan
+				}
+				if d == arm64.D0 {
+					mf.ret = retF64
+					break scan
+				}
+			}
+		}
+	}
+}
+
+// unitUseDef returns registers read and written by a unit (approximate; SP
+// and XZR excluded).
+func unitUseDef(u unit) (uses, defs []arm64.Reg) {
+	norm := func(rs []arm64.Reg) []arm64.Reg {
+		var out []arm64.Reg
+		for _, r := range rs {
+			if r == arm64.XZR || r == arm64.SP || r == arm64.RegNone {
+				continue
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	if u.kind == unitCAS {
+		return norm([]arm64.Reg{u.addrReg, u.operand, u.expect}), norm([]arm64.Reg{u.result})
+	}
+	if u.kind == unitRMW {
+		return norm([]arm64.Reg{u.addrReg, u.operand}), norm([]arm64.Reg{u.result})
+	}
+	in := u.inst
+	switch in.Op {
+	case arm64.ADD, arm64.SUB, arm64.SUBS, arm64.AND, arm64.ORR, arm64.EOR,
+		arm64.SDIV, arm64.UDIV, arm64.LSLV, arm64.LSRV, arm64.ASRV,
+		arm64.FADD, arm64.FSUB, arm64.FMUL, arm64.FDIV, arm64.CSEL, arm64.CSINC:
+		return norm([]arm64.Reg{in.Rn, in.Rm}), norm([]arm64.Reg{in.Rd})
+	case arm64.ADDI, arm64.SUBI, arm64.SUBSI, arm64.LSLI, arm64.LSRI, arm64.ASRI,
+		arm64.SXTB, arm64.SXTH, arm64.SXTW, arm64.UXTB, arm64.UXTH,
+		arm64.FMOV, arm64.FMOVTOG, arm64.FMOVTOF, arm64.SCVTF, arm64.FCVTZS,
+		arm64.FCVTDS, arm64.FCVTSD, arm64.FSQRT:
+		return norm([]arm64.Reg{in.Rn}), norm([]arm64.Reg{in.Rd})
+	case arm64.MADD, arm64.MSUB:
+		return norm([]arm64.Reg{in.Rn, in.Rm, in.Ra}), norm([]arm64.Reg{in.Rd})
+	case arm64.MOVZ, arm64.MOVN:
+		return nil, norm([]arm64.Reg{in.Rd})
+	case arm64.MOVK:
+		return norm([]arm64.Reg{in.Rd}), norm([]arm64.Reg{in.Rd})
+	case arm64.LDR, arm64.LDUR, arm64.LDRSB, arm64.LDRSH, arm64.LDRSW:
+		return norm([]arm64.Reg{in.Rn}), norm([]arm64.Reg{in.Rd})
+	case arm64.LDRR:
+		return norm([]arm64.Reg{in.Rn, in.Rm}), norm([]arm64.Reg{in.Rd})
+	case arm64.STR, arm64.STUR:
+		return norm([]arm64.Reg{in.Rd, in.Rn}), nil
+	case arm64.STRR:
+		return norm([]arm64.Reg{in.Rd, in.Rn, in.Rm}), nil
+	case arm64.FCMP:
+		return norm([]arm64.Reg{in.Rn, in.Rm}), nil
+	case arm64.CBZ, arm64.CBNZ:
+		return norm([]arm64.Reg{in.Rd}), nil
+	case arm64.BL:
+		// Calls clobber caller-saved registers; argument registers are
+		// read before the call (same approximation as the x86 lifter).
+		var defs []arm64.Reg
+		for r := arm64.X0; r <= arm64.X18; r++ {
+			defs = append(defs, r)
+		}
+		for r := arm64.D0; r <= arm64.D31; r++ {
+			defs = append(defs, r)
+		}
+		return nil, defs
+	case arm64.BLR, arm64.BR:
+		return norm([]arm64.Reg{in.Rn}), nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,807 @@
+package backend
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lasagne/internal/arm64"
+	"lasagne/internal/ir"
+	"lasagne/internal/obj"
+	"lasagne/internal/rt"
+)
+
+var armIntArgs = []arm64.Reg{arm64.X0, arm64.X1, arm64.X2, arm64.X3, arm64.X4, arm64.X5, arm64.X6, arm64.X7}
+var armFPArgs = []arm64.Reg{arm64.D0, arm64.D1, arm64.D2, arm64.D3, arm64.D4, arm64.D5, arm64.D6, arm64.D7}
+
+// Scratch registers used by the slot-based code generator.
+const (
+	sA = arm64.X9  // primary
+	sB = arm64.X10 // secondary
+	sC = arm64.X11
+	sD = arm64.X12
+	sE = arm64.X13 // store-exclusive status
+	fA = arm64.D16
+	fB = arm64.D17
+)
+
+type arm64gen struct {
+	m   *ir.Module
+	dl  *dataLayout
+	txt []byte
+	fix []fixup
+
+	funcOff  map[string]int
+	funcSize map[string]int
+
+	f        *ir.Func
+	fr       *frameInfo
+	total    int64 // frame size incl. saved x30
+	blockOff map[*ir.Block]int
+	localFix []struct {
+		pos    int
+		target *ir.Block
+	}
+	err error
+}
+
+func compileArm64(m *ir.Module) (*obj.File, error) {
+	g := &arm64gen{
+		m:        m,
+		dl:       layoutGlobals(m),
+		funcOff:  make(map[string]int),
+		funcSize: make(map[string]int),
+	}
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		if err := g.genFunc(f); err != nil {
+			return nil, fmt.Errorf("arm64 backend: @%s: %w", f.Name, err)
+		}
+	}
+	syms, addr := symbolAddrs(m, g.funcOff, g.funcSize, g.dl)
+	for _, fx := range g.fix {
+		a, ok := addr[fx.target]
+		if !ok {
+			return nil, fmt.Errorf("arm64 backend: unresolved symbol %q", fx.target)
+		}
+		switch fx.kind {
+		case fixBL:
+			rel := (int64(a) - int64(obj.TextBase+fx.pos)) / 4
+			w := binary.LittleEndian.Uint32(g.txt[fx.pos:])
+			w = w&^uint32(0x3FFFFFF) | uint32(rel)&0x3FFFFFF
+			binary.LittleEndian.PutUint32(g.txt[fx.pos:], w)
+		case fixMovSeq:
+			for k := 0; k < 3; k++ {
+				chunk := uint32(a>>(16*k)) & 0xFFFF
+				w := binary.LittleEndian.Uint32(g.txt[fx.pos+4*k:])
+				w = w&^uint32(0xFFFF<<5) | chunk<<5
+				binary.LittleEndian.PutUint32(g.txt[fx.pos+4*k:], w)
+			}
+		}
+	}
+	return &obj.File{
+		Arch:  "arm64",
+		Entry: "main",
+		Sections: []obj.Section{
+			{Name: ".text", Addr: obj.TextBase, Data: g.txt},
+			{Name: ".data", Addr: obj.DataBase, Data: g.dl.data},
+		},
+		Symbols: syms,
+	}, nil
+}
+
+func (g *arm64gen) emit(in arm64.Inst) {
+	if g.err != nil {
+		return
+	}
+	w, err := arm64.Encode(in)
+	if err != nil {
+		g.err = err
+		return
+	}
+	g.txt = binary.LittleEndian.AppendUint32(g.txt, w)
+}
+
+func (g *arm64gen) emitJump(op arm64.Op, cond arm64.Cond, reg arm64.Reg, target *ir.Block) {
+	g.emit(arm64.Inst{Op: op, Cond: cond, Rd: reg, Size: 8, Imm: 0})
+	g.localFix = append(g.localFix, struct {
+		pos    int
+		target *ir.Block
+	}{len(g.txt) - 4, target})
+}
+
+func (g *arm64gen) emitCallSym(name string) {
+	g.emit(arm64.Inst{Op: arm64.BL, Imm: 0})
+	g.fix = append(g.fix, fixup{pos: len(g.txt) - 4, kind: fixBL, target: name})
+}
+
+// loadConst materializes a 64-bit constant with MOVZ/MOVN + MOVK.
+func (g *arm64gen) loadConst(v int64, r arm64.Reg) {
+	u := uint64(v)
+	if v < 0 {
+		g.emit(arm64.Inst{Op: arm64.MOVN, Size: 8, Rd: r, Imm: int64(^u & 0xFFFF), Shift: 0})
+		for k := 1; k < 4; k++ {
+			chunk := (u >> (16 * k)) & 0xFFFF
+			if chunk != 0xFFFF {
+				g.emit(arm64.Inst{Op: arm64.MOVK, Size: 8, Rd: r, Imm: int64(chunk), Shift: k})
+			}
+		}
+		return
+	}
+	g.emit(arm64.Inst{Op: arm64.MOVZ, Size: 8, Rd: r, Imm: int64(u & 0xFFFF), Shift: 0})
+	for k := 1; k < 4; k++ {
+		chunk := (u >> (16 * k)) & 0xFFFF
+		if chunk != 0 {
+			g.emit(arm64.Inst{Op: arm64.MOVK, Size: 8, Rd: r, Imm: int64(chunk), Shift: k})
+		}
+	}
+}
+
+// slotAccess emits a load/store of rd at [SP + off], routing the address
+// through X14 when the scaled unsigned offset does not fit the encoding.
+func (g *arm64gen) slotAccess(op arm64.Op, rd arm64.Reg, size int, off int64) {
+	scale := int64(size)
+	switch op {
+	case arm64.LDRSB:
+		scale = 1
+	case arm64.LDRSH:
+		scale = 2
+	case arm64.LDRSW:
+		scale = 4
+	}
+	if off >= 0 && off%scale == 0 && off/scale <= 4095 {
+		g.emit(arm64.Inst{Op: op, Size: size, Rd: rd, Rn: arm64.SP, Imm: off})
+		return
+	}
+	rem := off
+	first := true
+	for rem > 0 || first {
+		step := rem
+		if step > 4095 {
+			step = 4095
+		}
+		src := arm64.X14
+		if first {
+			src = arm64.SP
+			first = false
+		}
+		g.emit(arm64.Inst{Op: arm64.ADDI, Size: 8, Rd: arm64.X14, Rn: src, Imm: step})
+		rem -= step
+	}
+	g.emit(arm64.Inst{Op: op, Size: size, Rd: rd, Rn: arm64.X14, Imm: 0})
+}
+
+func (g *arm64gen) slotOff(v ir.Value) int64 {
+	off, ok := g.fr.slot[v]
+	if !ok {
+		g.err = fmt.Errorf("no slot for %s", v.Ref())
+		return 0
+	}
+	return off
+}
+
+// loadVal places v's payload into GP register r.
+func (g *arm64gen) loadVal(v ir.Value, r arm64.Reg) {
+	switch c := v.(type) {
+	case *ir.ConstInt:
+		g.loadConst(c.V, r)
+	case *ir.ConstFloat:
+		var bits int64
+		if c.Ty.Bits == 32 {
+			bits = int64(math.Float32bits(float32(c.V)))
+		} else {
+			bits = int64(math.Float64bits(c.V))
+		}
+		g.loadConst(bits, r)
+	case *ir.ConstNull, *ir.Undef:
+		g.emit(arm64.Inst{Op: arm64.ORR, Size: 8, Rd: r, Rn: arm64.XZR, Rm: arm64.XZR})
+	case *ir.Global:
+		g.loadConst(int64(g.dl.addr[c.Name]), r)
+	case *ir.Func:
+		// movz+movk+movk triple patched with the function address.
+		g.emit(arm64.Inst{Op: arm64.MOVZ, Size: 8, Rd: r, Imm: 0, Shift: 0})
+		g.emit(arm64.Inst{Op: arm64.MOVK, Size: 8, Rd: r, Imm: 0, Shift: 1})
+		g.emit(arm64.Inst{Op: arm64.MOVK, Size: 8, Rd: r, Imm: 0, Shift: 2})
+		g.fix = append(g.fix, fixup{pos: len(g.txt) - 12, kind: fixMovSeq, target: c.Name})
+	default:
+		g.slotAccess(arm64.LDR, r, 8, g.slotOff(v))
+	}
+}
+
+func (g *arm64gen) storeVal(v *ir.Instr, r arm64.Reg) {
+	g.slotAccess(arm64.STR, r, 8, g.slotOff(v))
+}
+
+// loadValSext loads v sign-extended to 64 bits.
+func (g *arm64gen) loadValSext(v ir.Value, r arm64.Reg) {
+	if c, ok := v.(*ir.ConstInt); ok {
+		g.loadConst(c.V, r)
+		return
+	}
+	switch width(v.Type()) {
+	case 8:
+		g.loadVal(v, r)
+	case 4:
+		g.slotAccess(arm64.LDRSW, r, 4, g.slotOff(v))
+	case 2:
+		g.slotAccess(arm64.LDRSH, r, 2, g.slotOff(v))
+	default:
+		g.slotAccess(arm64.LDRSB, r, 1, g.slotOff(v))
+	}
+}
+
+// loadValZext loads v zero-extended to 64 bits.
+func (g *arm64gen) loadValZext(v ir.Value, r arm64.Reg) {
+	if c, ok := v.(*ir.ConstInt); ok {
+		mask := ^uint64(0)
+		if w := width(v.Type()); w < 8 {
+			mask = 1<<(uint(w)*8) - 1
+		}
+		g.loadConst(int64(uint64(c.V)&mask), r)
+		return
+	}
+	w := width(v.Type())
+	if w == 8 {
+		g.loadVal(v, r)
+		return
+	}
+	g.slotAccess(arm64.LDR, r, w, g.slotOff(v))
+}
+
+// loadFP places a float value into FP register r.
+func (g *arm64gen) loadFP(v ir.Value, r arm64.Reg) {
+	sz := 8
+	if ft, ok := v.Type().(*ir.FloatType); ok && ft.Bits == 32 {
+		sz = 4
+	}
+	if ir.IsConst(v) {
+		g.loadVal(v, sA)
+		g.emit(arm64.Inst{Op: arm64.FMOVTOF, Size: sz, Rd: r, Rn: sA})
+		return
+	}
+	g.slotAccess(arm64.LDR, r, sz, g.slotOff(v))
+}
+
+func (g *arm64gen) storeFP(v *ir.Instr, r arm64.Reg) {
+	sz := 8
+	if ft, ok := v.Ty.(*ir.FloatType); ok && ft.Bits == 32 {
+		sz = 4
+	}
+	g.slotAccess(arm64.STR, r, sz, g.slotOff(v))
+}
+
+// adjustSP moves SP by delta using imm12 chunks (SUB/ADD with SP operands).
+func (g *arm64gen) adjustSP(delta int64) {
+	op := arm64.SUBI
+	if delta < 0 {
+		op = arm64.ADDI
+		delta = -delta
+	}
+	for delta > 0 {
+		step := delta
+		if step > 4095 {
+			step = 4095
+		}
+		g.emit(arm64.Inst{Op: op, Size: 8, Rd: arm64.SP, Rn: arm64.SP, Imm: step})
+		delta -= step
+	}
+}
+
+// testBit0 leaves (v & 1) in r.
+func (g *arm64gen) testBit0(v ir.Value, r arm64.Reg) {
+	g.loadVal(v, r)
+	g.loadConst(1, sD)
+	g.emit(arm64.Inst{Op: arm64.AND, Size: 8, Rd: r, Rn: r, Rm: sD})
+}
+
+func (g *arm64gen) genFunc(f *ir.Func) error {
+	fr, err := buildFrame(f)
+	if err != nil {
+		return err
+	}
+	g.f, g.fr, g.err = f, fr, nil
+	g.total = fr.size + 16
+	g.blockOff = make(map[*ir.Block]int)
+	g.localFix = g.localFix[:0]
+	start := len(g.txt)
+
+	if fr.size+8 > 32760 {
+		return fmt.Errorf("frame too large (%d bytes)", fr.size)
+	}
+
+	// Prologue: allocate frame, save LR.
+	g.adjustSP(g.total)
+	g.emit(arm64.Inst{Op: arm64.STR, Size: 8, Rd: arm64.X30, Rn: arm64.SP, Imm: fr.size + 8})
+	intIdx, fpIdx := 0, 0
+	for _, p := range f.Params {
+		if ir.IsFloat(p.Ty) {
+			if fpIdx >= len(armFPArgs) {
+				return fmt.Errorf("too many FP parameters")
+			}
+			sz := 8
+			if p.Ty.(*ir.FloatType).Bits == 32 {
+				sz = 4
+			}
+			g.slotAccess(arm64.STR, armFPArgs[fpIdx], sz, fr.slot[p])
+			fpIdx++
+		} else {
+			if intIdx >= len(armIntArgs) {
+				return fmt.Errorf("too many integer parameters")
+			}
+			g.slotAccess(arm64.STR, armIntArgs[intIdx], 8, fr.slot[p])
+			intIdx++
+		}
+	}
+
+	for _, b := range f.Blocks {
+		g.blockOff[b] = len(g.txt)
+		for _, phi := range b.Phis() {
+			g.slotAccess(arm64.LDR, sA, 8, g.fr.shadow[phi])
+			g.storeVal(phi, sA)
+		}
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				continue
+			}
+			if in.IsTerminator() {
+				g.writePhiShadows(b)
+			}
+			g.genInstr(in)
+			if g.err != nil {
+				return fmt.Errorf("%s: %w", in, g.err)
+			}
+		}
+	}
+
+	for _, lf := range g.localFix {
+		off, ok := g.blockOff[lf.target]
+		if !ok {
+			return fmt.Errorf("branch to unemitted block %%%s", lf.target.Name)
+		}
+		rel := int64(off - lf.pos)
+		w := binary.LittleEndian.Uint32(g.txt[lf.pos:])
+		switch {
+		case w>>26 == 0x05: // B
+			w = w&^uint32(0x3FFFFFF) | uint32(rel/4)&0x3FFFFFF
+		default: // BCOND / CBZ / CBNZ: imm19 at bits 23-5
+			w = w&^uint32(0x7FFFF<<5) | (uint32(rel/4)&0x7FFFF)<<5
+		}
+		binary.LittleEndian.PutUint32(g.txt[lf.pos:], w)
+	}
+	g.funcOff[f.Name] = start
+	g.funcSize[f.Name] = len(g.txt) - start
+	return g.err
+}
+
+func (g *arm64gen) writePhiShadows(b *ir.Block) {
+	for _, succ := range b.Succs() {
+		for _, phi := range succ.Phis() {
+			for k, pred := range phi.Blocks {
+				if pred == b {
+					g.loadVal(phi.Args[k], sA)
+					g.slotAccess(arm64.STR, sA, 8, g.fr.shadow[phi])
+					break
+				}
+			}
+		}
+	}
+}
+
+var armCondOf = map[ir.Pred]arm64.Cond{
+	ir.PredEQ: arm64.EQ, ir.PredNE: arm64.NE,
+	ir.PredSLT: arm64.LT, ir.PredSLE: arm64.LE,
+	ir.PredSGT: arm64.GT, ir.PredSGE: arm64.GE,
+	ir.PredULT: arm64.LO, ir.PredULE: arm64.LS,
+	ir.PredUGT: arm64.HI, ir.PredUGE: arm64.HS,
+}
+
+func (g *arm64gen) genInstr(in *ir.Instr) {
+	switch in.Op {
+	case ir.OpAlloca:
+		off := g.fr.bulk[in]
+		if off <= 4095 {
+			g.emit(arm64.Inst{Op: arm64.ADDI, Size: 8, Rd: sA, Rn: arm64.SP, Imm: off})
+		} else {
+			g.loadConst(off, sA)
+			// add sA, sp, sA: ADD shifted-register cannot use SP; go through a mov.
+			g.emit(arm64.Inst{Op: arm64.ADDI, Size: 8, Rd: sB, Rn: arm64.SP, Imm: 0})
+			g.emit(arm64.Inst{Op: arm64.ADD, Size: 8, Rd: sA, Rn: sB, Rm: sA})
+		}
+		g.storeVal(in, sA)
+
+	case ir.OpLoad:
+		g.loadVal(in.Args[0], sA)
+		w := width(in.Ty)
+		g.emit(arm64.Inst{Op: arm64.LDR, Size: w, Rd: sB, Rn: sA, Imm: 0})
+		g.storeVal(in, sB)
+
+	case ir.OpStore:
+		g.loadVal(in.Args[0], sB)
+		g.loadVal(in.Args[1], sA)
+		w := width(in.Args[0].Type())
+		g.emit(arm64.Inst{Op: arm64.STR, Size: w, Rd: sB, Rn: sA, Imm: 0})
+
+	case ir.OpFence:
+		// Fig. 8b mapping: Frm→DMB ISHLD, Fww→DMB ISHST, Fsc→DMB ISH.
+		switch in.Fence {
+		case ir.FenceRM:
+			g.emit(arm64.Inst{Op: arm64.DMB, Barrier: arm64.BarrierISHLD})
+		case ir.FenceWW:
+			g.emit(arm64.Inst{Op: arm64.DMB, Barrier: arm64.BarrierISHST})
+		case ir.FenceSC:
+			g.emit(arm64.Inst{Op: arm64.DMB, Barrier: arm64.BarrierISH})
+		}
+
+	case ir.OpRMW:
+		g.genRMW(in)
+
+	case ir.OpCmpXchg:
+		g.genCmpXchg(in)
+
+	case ir.OpGEP:
+		g.loadVal(in.Args[0], sA)
+		elem := in.Elem
+		for k, idx := range in.Args[1:] {
+			es := int64(elem.Size())
+			if k > 0 {
+				at, ok := elem.(*ir.ArrayType)
+				if !ok {
+					g.err = fmt.Errorf("GEP through non-array")
+					return
+				}
+				elem = at.Elem
+				es = int64(elem.Size())
+			}
+			if c, ok := ir.ConstIntValue(idx); ok {
+				if c != 0 {
+					g.loadConst(c*es, sB)
+					g.emit(arm64.Inst{Op: arm64.ADD, Size: 8, Rd: sA, Rn: sA, Rm: sB})
+				}
+				continue
+			}
+			g.loadValSext(idx, sB)
+			if es != 1 {
+				g.loadConst(es, sC)
+				g.emit(arm64.Inst{Op: arm64.MADD, Size: 8, Rd: sB, Rn: sB, Rm: sC, Ra: arm64.XZR})
+			}
+			g.emit(arm64.Inst{Op: arm64.ADD, Size: 8, Rd: sA, Rn: sA, Rm: sB})
+		}
+		g.storeVal(in, sA)
+
+	case ir.OpICmp:
+		g.genICmp(in)
+
+	case ir.OpFCmp:
+		g.genFCmp(in)
+
+	case ir.OpSelect:
+		g.testBit0(in.Args[0], sA)
+		g.loadVal(in.Args[1], sB)
+		g.loadVal(in.Args[2], sC)
+		g.emit(arm64.Inst{Op: arm64.SUBSI, Size: 8, Rd: arm64.XZR, Rn: sA, Imm: 0})
+		g.emit(arm64.Inst{Op: arm64.CSEL, Size: 8, Cond: arm64.NE, Rd: sA, Rn: sB, Rm: sC})
+		g.storeVal(in, sA)
+
+	case ir.OpCall:
+		g.genCall(in)
+
+	case ir.OpRet:
+		if len(in.Args) == 1 {
+			if ir.IsFloat(in.Args[0].Type()) {
+				g.loadFP(in.Args[0], arm64.D0)
+			} else {
+				g.loadVal(in.Args[0], arm64.X0)
+			}
+		}
+		g.emit(arm64.Inst{Op: arm64.LDR, Size: 8, Rd: arm64.X30, Rn: arm64.SP, Imm: g.fr.size + 8})
+		g.adjustSP(-g.total)
+		g.emit(arm64.Inst{Op: arm64.RET, Rn: arm64.X30})
+
+	case ir.OpBr:
+		g.emitJump(arm64.B, 0, arm64.XZR, in.Blocks[0])
+
+	case ir.OpCondBr:
+		g.testBit0(in.Args[0], sA)
+		g.emitJump(arm64.CBNZ, 0, sA, in.Blocks[0])
+		g.emitJump(arm64.B, 0, arm64.XZR, in.Blocks[1])
+
+	case ir.OpUnreachable:
+		// Branch-to-self; the simulator traps on it.
+		g.emit(arm64.Inst{Op: arm64.B, Imm: 0})
+
+	default:
+		switch {
+		case ir.IsBinaryOp(in.Op):
+			g.genBinary(in)
+		case ir.IsCast(in.Op):
+			g.genCast(in)
+		default:
+			g.err = fmt.Errorf("arm64 backend: unhandled op %s", in.Op)
+		}
+	}
+}
+
+// genRMW implements the Fig. 8b RMWsc mapping: DMBFF; LL/SC loop; DMBFF.
+func (g *arm64gen) genRMW(in *ir.Instr) {
+	w := width(in.Ty)
+	if w < 4 {
+		g.err = fmt.Errorf("atomicrmw on sub-word type")
+		return
+	}
+	g.loadVal(in.Args[0], sA)
+	g.loadVal(in.Args[1], sD)
+	g.emit(arm64.Inst{Op: arm64.DMB, Barrier: arm64.BarrierISH})
+	loop := len(g.txt)
+	g.emit(arm64.Inst{Op: arm64.LDXR, Size: w, Rd: sB, Rn: sA})
+	switch in.RMWOp {
+	case ir.RMWXchg:
+		g.emit(arm64.Inst{Op: arm64.ORR, Size: 8, Rd: sC, Rn: arm64.XZR, Rm: sD})
+	case ir.RMWAdd:
+		g.emit(arm64.Inst{Op: arm64.ADD, Size: 8, Rd: sC, Rn: sB, Rm: sD})
+	case ir.RMWSub:
+		g.emit(arm64.Inst{Op: arm64.SUB, Size: 8, Rd: sC, Rn: sB, Rm: sD})
+	case ir.RMWAnd:
+		g.emit(arm64.Inst{Op: arm64.AND, Size: 8, Rd: sC, Rn: sB, Rm: sD})
+	case ir.RMWOr:
+		g.emit(arm64.Inst{Op: arm64.ORR, Size: 8, Rd: sC, Rn: sB, Rm: sD})
+	case ir.RMWXor:
+		g.emit(arm64.Inst{Op: arm64.EOR, Size: 8, Rd: sC, Rn: sB, Rm: sD})
+	}
+	g.emit(arm64.Inst{Op: arm64.STXR, Size: w, Rd: sC, Rn: sA, Ra: sE})
+	g.emitLoopBack(arm64.CBNZ, sE, loop)
+	g.emit(arm64.Inst{Op: arm64.DMB, Barrier: arm64.BarrierISH})
+	g.storeVal(in, sB)
+}
+
+func (g *arm64gen) genCmpXchg(in *ir.Instr) {
+	w := width(in.Ty)
+	g.loadVal(in.Args[0], sA)
+	g.loadVal(in.Args[1], sC) // expected
+	g.loadVal(in.Args[2], sD) // new
+	g.emit(arm64.Inst{Op: arm64.DMB, Barrier: arm64.BarrierISH})
+	loop := len(g.txt)
+	g.emit(arm64.Inst{Op: arm64.LDXR, Size: w, Rd: sB, Rn: sA})
+	g.emit(arm64.Inst{Op: arm64.SUBS, Size: w, Rd: arm64.XZR, Rn: sB, Rm: sC})
+	// b.ne +12 (skip stxr and cbnz)
+	g.emit(arm64.Inst{Op: arm64.BCOND, Cond: arm64.NE, Imm: 12})
+	g.emit(arm64.Inst{Op: arm64.STXR, Size: w, Rd: sD, Rn: sA, Ra: sE})
+	g.emitLoopBack(arm64.CBNZ, sE, loop)
+	g.emit(arm64.Inst{Op: arm64.DMB, Barrier: arm64.BarrierISH})
+	g.storeVal(in, sB)
+}
+
+// emitLoopBack emits a cbz/cbnz back to byte position pos.
+func (g *arm64gen) emitLoopBack(op arm64.Op, r arm64.Reg, pos int) {
+	rel := int64(pos - len(g.txt))
+	g.emit(arm64.Inst{Op: op, Size: 8, Rd: r, Imm: rel})
+}
+
+func (g *arm64gen) genICmp(in *ir.Instr) {
+	w := width(in.Args[0].Type())
+	signed := in.Pred == ir.PredSLT || in.Pred == ir.PredSLE || in.Pred == ir.PredSGT || in.Pred == ir.PredSGE
+	if w >= 4 {
+		g.loadVal(in.Args[0], sA)
+		g.loadVal(in.Args[1], sB)
+		g.emit(arm64.Inst{Op: arm64.SUBS, Size: w, Rd: arm64.XZR, Rn: sA, Rm: sB})
+	} else if signed {
+		g.loadValSext(in.Args[0], sA)
+		g.loadValSext(in.Args[1], sB)
+		g.emit(arm64.Inst{Op: arm64.SUBS, Size: 8, Rd: arm64.XZR, Rn: sA, Rm: sB})
+	} else {
+		g.loadValZext(in.Args[0], sA)
+		g.loadValZext(in.Args[1], sB)
+		g.emit(arm64.Inst{Op: arm64.SUBS, Size: 8, Rd: arm64.XZR, Rn: sA, Rm: sB})
+	}
+	// cset = csinc rd, xzr, xzr, inverted cond
+	g.emit(arm64.Inst{Op: arm64.CSINC, Size: 8, Cond: armCondOf[in.Pred].Invert(), Rd: sA, Rn: arm64.XZR, Rm: arm64.XZR})
+	g.storeVal(in, sA)
+}
+
+func (g *arm64gen) genFCmp(in *ir.Instr) {
+	sz := 8
+	if in.Args[0].Type().(*ir.FloatType).Bits == 32 {
+		sz = 4
+	}
+	g.loadFP(in.Args[0], fA)
+	g.loadFP(in.Args[1], fB)
+	g.emit(arm64.Inst{Op: arm64.FCMP, Size: sz, Rn: fA, Rm: fB})
+	cset := func(c arm64.Cond, r arm64.Reg) {
+		g.emit(arm64.Inst{Op: arm64.CSINC, Size: 8, Cond: c.Invert(), Rd: r, Rn: arm64.XZR, Rm: arm64.XZR})
+	}
+	switch in.Pred {
+	case ir.PredOEQ:
+		cset(arm64.EQ, sA)
+	case ir.PredONE:
+		// ordered and not equal: MI (less) or GT (greater).
+		cset(arm64.MI, sA)
+		cset(arm64.GT, sB)
+		g.emit(arm64.Inst{Op: arm64.ORR, Size: 8, Rd: sA, Rn: sA, Rm: sB})
+	case ir.PredOLT:
+		cset(arm64.MI, sA)
+	case ir.PredOLE:
+		cset(arm64.LS, sA)
+	case ir.PredOGT:
+		cset(arm64.GT, sA)
+	case ir.PredOGE:
+		cset(arm64.GE, sA)
+	case ir.PredUNO:
+		cset(arm64.VS, sA)
+	default:
+		g.err = fmt.Errorf("unhandled fcmp pred %s", in.Pred)
+		return
+	}
+	g.storeVal(in, sA)
+}
+
+func (g *arm64gen) genBinary(in *ir.Instr) {
+	if ir.IsFloat(in.Ty) {
+		sz := 8
+		if in.Ty.(*ir.FloatType).Bits == 32 {
+			sz = 4
+		}
+		op := map[ir.Op]arm64.Op{ir.OpFAdd: arm64.FADD, ir.OpFSub: arm64.FSUB, ir.OpFMul: arm64.FMUL, ir.OpFDiv: arm64.FDIV}[in.Op]
+		g.loadFP(in.Args[0], fA)
+		g.loadFP(in.Args[1], fB)
+		g.emit(arm64.Inst{Op: op, Size: sz, Rd: fA, Rn: fA, Rm: fB})
+		g.storeFP(in, fA)
+		return
+	}
+
+	w := width(in.Ty)
+	ow := w
+	if ow < 4 {
+		ow = 4
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor:
+		op := map[ir.Op]arm64.Op{ir.OpAdd: arm64.ADD, ir.OpSub: arm64.SUB, ir.OpAnd: arm64.AND, ir.OpOr: arm64.ORR, ir.OpXor: arm64.EOR}[in.Op]
+		g.loadVal(in.Args[0], sA)
+		if c, ok := ir.ConstIntValue(in.Args[1]); ok && c >= 0 && c <= 4095 && (in.Op == ir.OpAdd || in.Op == ir.OpSub) {
+			iop := arm64.ADDI
+			if in.Op == ir.OpSub {
+				iop = arm64.SUBI
+			}
+			g.emit(arm64.Inst{Op: iop, Size: ow, Rd: sA, Rn: sA, Imm: c})
+		} else {
+			g.loadVal(in.Args[1], sB)
+			g.emit(arm64.Inst{Op: op, Size: ow, Rd: sA, Rn: sA, Rm: sB})
+		}
+		g.storeVal(in, sA)
+
+	case ir.OpMul:
+		g.loadVal(in.Args[0], sA)
+		g.loadVal(in.Args[1], sB)
+		g.emit(arm64.Inst{Op: arm64.MADD, Size: ow, Rd: sA, Rn: sA, Rm: sB, Ra: arm64.XZR})
+		g.storeVal(in, sA)
+
+	case ir.OpSDiv, ir.OpSRem:
+		if w >= 4 {
+			g.loadVal(in.Args[0], sA)
+			g.loadVal(in.Args[1], sB)
+		} else {
+			g.loadValSext(in.Args[0], sA)
+			g.loadValSext(in.Args[1], sB)
+		}
+		g.emit(arm64.Inst{Op: arm64.SDIV, Size: ow, Rd: sC, Rn: sA, Rm: sB})
+		if in.Op == ir.OpSDiv {
+			g.storeVal(in, sC)
+		} else {
+			// rem = a - (a/b)*b
+			g.emit(arm64.Inst{Op: arm64.MSUB, Size: ow, Rd: sC, Rn: sC, Rm: sB, Ra: sA})
+			g.storeVal(in, sC)
+		}
+
+	case ir.OpUDiv, ir.OpURem:
+		g.loadValZext(in.Args[0], sA)
+		g.loadValZext(in.Args[1], sB)
+		g.emit(arm64.Inst{Op: arm64.UDIV, Size: ow, Rd: sC, Rn: sA, Rm: sB})
+		if in.Op == ir.OpUDiv {
+			g.storeVal(in, sC)
+		} else {
+			g.emit(arm64.Inst{Op: arm64.MSUB, Size: ow, Rd: sC, Rn: sC, Rm: sB, Ra: sA})
+			g.storeVal(in, sC)
+		}
+
+	case ir.OpShl:
+		g.loadVal(in.Args[0], sA)
+		g.loadVal(in.Args[1], sB)
+		g.emit(arm64.Inst{Op: arm64.LSLV, Size: ow, Rd: sA, Rn: sA, Rm: sB})
+		g.storeVal(in, sA)
+
+	case ir.OpLShr:
+		g.loadValZext(in.Args[0], sA)
+		g.loadVal(in.Args[1], sB)
+		g.emit(arm64.Inst{Op: arm64.LSRV, Size: ow, Rd: sA, Rn: sA, Rm: sB})
+		g.storeVal(in, sA)
+
+	case ir.OpAShr:
+		g.loadValSext(in.Args[0], sA)
+		g.loadVal(in.Args[1], sB)
+		g.emit(arm64.Inst{Op: arm64.ASRV, Size: 8, Rd: sA, Rn: sA, Rm: sB})
+		g.storeVal(in, sA)
+
+	default:
+		g.err = fmt.Errorf("unhandled binary op %s", in.Op)
+	}
+}
+
+func (g *arm64gen) genCast(in *ir.Instr) {
+	switch in.Op {
+	case ir.OpTrunc, ir.OpBitcast, ir.OpIntToPtr, ir.OpPtrToInt:
+		g.loadVal(in.Args[0], sA)
+		g.storeVal(in, sA)
+	case ir.OpZext:
+		g.loadValZext(in.Args[0], sA)
+		g.storeVal(in, sA)
+	case ir.OpSext:
+		g.loadValSext(in.Args[0], sA)
+		g.storeVal(in, sA)
+	case ir.OpSIToFP:
+		g.loadValSext(in.Args[0], sA)
+		sz := 8
+		if in.Ty.(*ir.FloatType).Bits == 32 {
+			sz = 4
+		}
+		g.emit(arm64.Inst{Op: arm64.SCVTF, Size: sz, Rd: fA, Rn: sA})
+		g.storeFP(in, fA)
+	case ir.OpFPToSI:
+		sz := 8
+		if in.Args[0].Type().(*ir.FloatType).Bits == 32 {
+			sz = 4
+		}
+		g.loadFP(in.Args[0], fA)
+		g.emit(arm64.Inst{Op: arm64.FCVTZS, Size: sz, Rd: sA, Rn: fA})
+		g.storeVal(in, sA)
+	case ir.OpFPExt:
+		g.loadFP(in.Args[0], fA)
+		g.emit(arm64.Inst{Op: arm64.FCVTDS, Size: 8, Rd: fA, Rn: fA})
+		g.storeFP(in, fA)
+	case ir.OpFPTrunc:
+		g.loadFP(in.Args[0], fA)
+		g.emit(arm64.Inst{Op: arm64.FCVTSD, Size: 4, Rd: fA, Rn: fA})
+		g.storeFP(in, fA)
+	default:
+		g.err = fmt.Errorf("unhandled cast %s", in.Op)
+	}
+}
+
+func (g *arm64gen) genCall(in *ir.Instr) {
+	args := in.CallArgs()
+	intIdx, fpIdx := 0, 0
+	for _, a := range args {
+		if ir.IsFloat(a.Type()) {
+			if fpIdx >= len(armFPArgs) {
+				g.err = fmt.Errorf("too many FP call arguments")
+				return
+			}
+			g.loadFP(a, armFPArgs[fpIdx])
+			fpIdx++
+		} else {
+			if intIdx >= len(armIntArgs) {
+				g.err = fmt.Errorf("too many integer call arguments")
+				return
+			}
+			g.loadVal(a, armIntArgs[intIdx])
+			intIdx++
+		}
+	}
+	if callee, ok := in.Args[0].(*ir.Func); ok {
+		if callee.External && rt.Lookup(callee.Name) == nil {
+			g.err = fmt.Errorf("call to unknown extern %q", callee.Name)
+			return
+		}
+		g.emitCallSym(callee.Name)
+	} else {
+		g.loadVal(in.Args[0], sA)
+		g.emit(arm64.Inst{Op: arm64.BLR, Rn: sA})
+	}
+	if !ir.IsVoid(in.Ty) {
+		if ir.IsFloat(in.Ty) {
+			g.storeFP(in, arm64.D0)
+		} else {
+			g.storeVal(in, arm64.X0)
+		}
+	}
+}

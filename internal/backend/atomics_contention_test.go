@@ -1,0 +1,101 @@
+package backend
+
+import (
+	"testing"
+
+	"lasagne/internal/ir"
+	"lasagne/internal/minic"
+	"lasagne/internal/opt"
+	"lasagne/internal/sim"
+)
+
+// Regression tests for the simulator's global exclusive-monitor semantics:
+// an intervening store by another core must fail a pending STXR. Without
+// that, contended CAS loops double-count (found by the arm2x86 example).
+
+const casContentionSrc = `
+int stock;
+int sold;
+void seller(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int cur = stock;
+    while (cur > 0) {
+      int got = atomic_cas(&stock, cur, cur - 1);
+      if (got == cur) { atomic_add(&sold, 1); cur = 0 - 1; }
+      else { cur = got; }
+    }
+  }
+}
+int main() {
+  stock = 150;
+  int t;
+  for (t = 0; t < 4; t = t + 1) spawn(seller, 50);
+  join();
+  print_int(stock);
+  print_int(sold);
+  return 0;
+}`
+
+func TestCASContention(t *testing.T) {
+	m, err := minic.Compile("t", casContentionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(m)
+	if _, err := ip.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	want := ip.Out.String()
+	if want != "0\n150\n" {
+		t.Fatalf("reference outcome %q", want)
+	}
+	for _, arch := range []string{"x86-64", "arm64"} {
+		m2, _ := minic.Compile("t", casContentionSrc)
+		if err := opt.Optimize(m2); err != nil {
+			t.Fatal(err)
+		}
+		o, err := Compile(m2, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach, err := sim.NewMachine(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mach.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if mach.Out.String() != want {
+			t.Errorf("%s: %q, want %q (exclusive monitor regression?)", arch, mach.Out.String(), want)
+		}
+	}
+}
+
+const rmwContentionSrc = `
+int ctr;
+void w(int n) { int i; for (i = 0; i < n; i = i + 1) atomic_add(&ctr, 1); }
+int main() { spawn(w, 500); spawn(w, 500); join(); print_int(ctr); return 0; }`
+
+func TestRMWContention(t *testing.T) {
+	for _, arch := range []string{"x86-64", "arm64"} {
+		m2, _ := minic.Compile("t", rmwContentionSrc)
+		if err := opt.Optimize(m2); err != nil {
+			t.Fatal(err)
+		}
+		o, err := Compile(m2, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach, err := sim.NewMachine(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mach.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if mach.Out.String() != "1000\n" {
+			t.Errorf("%s: %q, want 1000", arch, mach.Out.String())
+		}
+	}
+}

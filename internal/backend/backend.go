@@ -1,0 +1,157 @@
+// Package backend lowers IR modules to machine code. It contains two
+// targets sharing one design:
+//
+//   - the x86-64 target implements the IR-to-x86 mapping (non-atomic
+//     accesses become plain MOVs, RMWsc becomes LOCK-prefixed operations,
+//     Fsc becomes MFENCE, Frm/Fww need no instruction under TSO), and is
+//     used to produce the input binaries that the lifter consumes;
+//   - the Arm64 target implements the paper's IR-to-Arm mapping scheme
+//     (Fig. 8b): Frm→DMB ISHLD, Fww→DMB ISHST, Fsc→DMB ISH, and
+//     RMWsc→DMB ISH; LL/SC loop; DMB ISH.
+//
+// Code generation uses write-through stack slots: every IR value has a
+// frame slot, instructions load operands from slots into scratch registers
+// and store results back. Phi nodes get an additional shadow slot written
+// by predecessors and committed at block entry, giving correct parallel-copy
+// semantics.
+package backend
+
+import (
+	"fmt"
+
+	"lasagne/internal/ir"
+	"lasagne/internal/obj"
+	"lasagne/internal/rt"
+)
+
+// Compile lowers m for the named architecture ("x86-64" or "arm64").
+func Compile(m *ir.Module, arch string) (*obj.File, error) {
+	switch arch {
+	case "x86-64":
+		return compileX86(m)
+	case "arm64":
+		return compileArm64(m)
+	}
+	return nil, fmt.Errorf("backend: unknown architecture %q", arch)
+}
+
+// dataLayout assigns addresses to globals and builds the .data image.
+type dataLayout struct {
+	addr map[string]uint64
+	data []byte
+}
+
+func layoutGlobals(m *ir.Module) *dataLayout {
+	dl := &dataLayout{addr: make(map[string]uint64)}
+	off := 0
+	for _, g := range m.Globals {
+		off = (off + 15) &^ 15
+		dl.addr[g.Name] = obj.DataBase + uint64(off)
+		size := g.Elem.Size()
+		for len(dl.data) < off+size {
+			dl.data = append(dl.data, 0)
+		}
+		copy(dl.data[off:], g.Init)
+		off += size
+	}
+	return dl
+}
+
+// frameInfo assigns frame offsets. Offsets are relative to the frame base
+// (low address of the frame region) and 8-byte aligned; alloca storage is
+// 16-byte aligned.
+type frameInfo struct {
+	slot   map[ir.Value]int64 // result slot of values
+	shadow map[*ir.Instr]int64
+	bulk   map[*ir.Instr]int64 // alloca storage
+	size   int64
+}
+
+func buildFrame(f *ir.Func) (*frameInfo, error) {
+	fr := &frameInfo{
+		slot:   make(map[ir.Value]int64),
+		shadow: make(map[*ir.Instr]int64),
+		bulk:   make(map[*ir.Instr]int64),
+	}
+	off := int64(0)
+	take := func(n int64, align int64) int64 {
+		off = (off + align - 1) &^ (align - 1)
+		a := off
+		off += n
+		return a
+	}
+	for _, p := range f.Params {
+		fr.slot[p] = take(8, 8)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !ir.IsVoid(in.Ty) {
+				if ir.IsVector(in.Ty) {
+					return nil, fmt.Errorf("backend: vector value %s reaches codegen (run scalarization)", in.Ref())
+				}
+				fr.slot[in] = take(8, 8)
+				if in.Op == ir.OpPhi {
+					fr.shadow[in] = take(8, 8)
+				}
+			}
+			if in.Op == ir.OpAlloca {
+				n := int64(1)
+				if len(in.Args) == 1 {
+					c, ok := ir.ConstIntValue(in.Args[0])
+					if !ok {
+						return nil, fmt.Errorf("backend: dynamic alloca in @%s", f.Name)
+					}
+					n = c
+				}
+				fr.bulk[in] = take(n*int64(in.Elem.Size()), 16)
+			}
+		}
+	}
+	fr.size = (off + 15) &^ 15
+	return fr, nil
+}
+
+// fixupKind identifies how a recorded fixup patches the image.
+type fixupKind int
+
+const (
+	fixRel32  fixupKind = iota // x86 call/jmp rel32 at pos..pos+4, relative to pos+4
+	fixAbs64                   // x86 movabs imm64
+	fixBL                      // arm64 BL imm26 at the word at pos
+	fixMovSeq                  // arm64 movz/movk/movk 48-bit address at words pos, pos+4, pos+8
+)
+
+// fixup records an unresolved symbol reference in the encoded image.
+type fixup struct {
+	pos    int // byte offset within .text
+	kind   fixupKind
+	target string // symbol name
+}
+
+// symbolAddrs builds the final symbol table: functions laid out at their
+// recorded offsets, globals from the data layout, externs at PLT slots.
+func symbolAddrs(m *ir.Module, funcOff map[string]int, funcSize map[string]int, dl *dataLayout) ([]obj.Symbol, map[string]uint64) {
+	var syms []obj.Symbol
+	addr := make(map[string]uint64)
+	for _, f := range m.Funcs {
+		if f.External {
+			idx := rt.Index(f.Name)
+			if idx < 0 {
+				continue // unreferenced non-runtime extern
+			}
+			a := uint64(obj.PLTBase + idx*obj.PLTSlot)
+			addr[f.Name] = a
+			syms = append(syms, obj.Symbol{Name: f.Name, Kind: obj.SymExtern, Addr: a, Size: obj.PLTSlot})
+			continue
+		}
+		a := uint64(obj.TextBase + funcOff[f.Name])
+		addr[f.Name] = a
+		syms = append(syms, obj.Symbol{Name: f.Name, Kind: obj.SymFunc, Addr: a, Size: uint64(funcSize[f.Name])})
+	}
+	for _, g := range m.Globals {
+		a := dl.addr[g.Name]
+		addr[g.Name] = a
+		syms = append(syms, obj.Symbol{Name: g.Name, Kind: obj.SymData, Addr: a, Size: uint64(g.Elem.Size())})
+	}
+	return syms, addr
+}

@@ -1,0 +1,413 @@
+package backend
+
+import (
+	"testing"
+
+	"lasagne/internal/ir"
+	"lasagne/internal/rt"
+	"lasagne/internal/sim"
+)
+
+// runAllWorlds executes main() of the module in the IR interpreter, the x86
+// simulator and the Arm64 simulator and checks all three produce the same
+// result value and output.
+func runAllWorlds(t *testing.T, m *ir.Module) {
+	t.Helper()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	ip := ir.NewInterp(m)
+	wantRet, err := ip.Run("main")
+	if err != nil {
+		t.Fatalf("ir interp: %v", err)
+	}
+	wantOut := ip.Out.String()
+
+	for _, arch := range []string{"x86-64", "arm64"} {
+		f, err := Compile(m, arch)
+		if err != nil {
+			t.Fatalf("%s compile: %v", arch, err)
+		}
+		mach, err := sim.NewMachine(f)
+		if err != nil {
+			t.Fatalf("%s machine: %v", arch, err)
+		}
+		if _, err := mach.Run(); err != nil {
+			t.Fatalf("%s run: %v", arch, err)
+		}
+		if got := mach.Out.String(); got != wantOut {
+			t.Errorf("%s output = %q, want %q", arch, got, wantOut)
+		}
+		_ = wantRet // return values flow out via __print_int in these tests
+	}
+}
+
+// printInt appends a call to __print_int.
+func printInt(b *ir.Builder, m *ir.Module, v ir.Value) {
+	b.Call(m.Func("__print_int"), v)
+}
+
+func printFloat(b *ir.Builder, m *ir.Module, v ir.Value) {
+	b.Call(m.Func("__print_float"), v)
+}
+
+func newModule() *ir.Module {
+	m := ir.NewModule("t")
+	rt.Declare(m)
+	return m
+}
+
+func TestArithmeticAllWidths(t *testing.T) {
+	m := newModule()
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+
+	// i64 arithmetic chain.
+	a := b.Add(ir.I64Const(1000), ir.I64Const(-58))
+	c := b.Mul(a, ir.I64Const(3))
+	d := b.SDiv(c, ir.I64Const(7))
+	e := b.Sub(d, ir.I64Const(100))
+	printInt(b, m, e) // (942*3)/7 - 100 = 403 - 100 = 303
+
+	// i32 with wraparound.
+	x := b.Bin(ir.OpAdd, ir.I32Const(2147483647), ir.I32Const(1))
+	xs := b.Sext(x, ir.I64)
+	printInt(b, m, xs) // -2147483648
+
+	// Unsigned division at i32.
+	u := b.Bin(ir.OpUDiv, ir.I32Const(-2), ir.I32Const(3)) // 0xFFFFFFFE/3
+	uz := b.Zext(u, ir.I64)
+	printInt(b, m, uz) // 1431655764
+
+	// Shifts.
+	sh := b.Shl(ir.I64Const(3), ir.I64Const(10))
+	printInt(b, m, sh) // 3072
+	sr := b.Bin(ir.OpAShr, ir.I64Const(-1024), ir.I64Const(3))
+	printInt(b, m, sr) // -128
+	lr := b.Bin(ir.OpLShr, ir.IntConst(ir.I32, -1), ir.I32Const(28))
+	printInt(b, m, b.Zext(lr, ir.I64)) // 15
+
+	// Remainders.
+	printInt(b, m, b.Bin(ir.OpSRem, ir.I64Const(-17), ir.I64Const(5))) // -2
+	printInt(b, m, b.Bin(ir.OpURem, ir.I64Const(17), ir.I64Const(5)))  // 2
+
+	// Bitwise.
+	printInt(b, m, b.And(ir.I64Const(0xF0F0), ir.I64Const(0x0FF0))) // 0x0F0
+	printInt(b, m, b.Or(ir.I64Const(0xF000), ir.I64Const(0x000F)))  // 0xF00F
+	printInt(b, m, b.Xor(ir.I64Const(0xFF), ir.I64Const(0x0F)))     // 0xF0
+
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestComparisonsAndSelect(t *testing.T) {
+	m := newModule()
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	preds := []struct {
+		p    ir.Pred
+		a, c int64
+	}{
+		{ir.PredEQ, 5, 5}, {ir.PredEQ, 5, 6},
+		{ir.PredNE, 5, 6}, {ir.PredNE, 5, 5},
+		{ir.PredSLT, -3, 2}, {ir.PredSLT, 2, -3},
+		{ir.PredSLE, 4, 4}, {ir.PredSGT, 9, 1},
+		{ir.PredSGE, 1, 9}, {ir.PredULT, -1, 1}, // unsigned: 0xFF... < 1 is false
+		{ir.PredULE, 3, 3}, {ir.PredUGT, -1, 1}, // unsigned: huge > 1 true
+		{ir.PredUGE, 0, 1},
+	}
+	for _, c := range preds {
+		r := b.ICmp(c.p, ir.I64Const(c.a), ir.I64Const(c.c))
+		printInt(b, m, b.Zext(r, ir.I64))
+	}
+	// select
+	cond := b.ICmp(ir.PredSGT, ir.I64Const(10), ir.I64Const(3))
+	sel := b.Select(cond, ir.I64Const(111), ir.I64Const(222))
+	printInt(b, m, sel)
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestControlFlowLoop(t *testing.T) {
+	m := newModule()
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+	b := ir.NewBuilder(entry)
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	acc := b.Phi(ir.I64)
+	ir.AddIncoming(i, ir.I64Const(0), entry)
+	ir.AddIncoming(acc, ir.I64Const(0), entry)
+	acc2 := b.Add(acc, i)
+	i2 := b.Add(i, ir.I64Const(1))
+	ir.AddIncoming(i, i2, loop)
+	ir.AddIncoming(acc, acc2, loop)
+	cond := b.ICmp(ir.PredSLT, i2, ir.I64Const(100))
+	b.CondBr(cond, loop, exit)
+	b.SetBlock(exit)
+	printInt(b, m, acc2) // 4950
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestMemoryGlobalsAndGEP(t *testing.T) {
+	m := newModule()
+	arr := m.NewGlobal("arr", ir.ArrayOf(ir.I64, 10))
+	g := m.NewGlobal("g", ir.I32)
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+	b := ir.NewBuilder(entry)
+	base := b.Bitcast(arr, ir.PointerTo(ir.I64))
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	ir.AddIncoming(i, ir.I64Const(0), entry)
+	p := b.GEP(ir.I64, base, i)
+	sq := b.Mul(i, i)
+	b.Store(sq, p)
+	i2 := b.Add(i, ir.I64Const(1))
+	ir.AddIncoming(i, i2, loop)
+	b.CondBr(b.ICmp(ir.PredSLT, i2, ir.I64Const(10)), loop, exit)
+	b.SetBlock(exit)
+	p7 := b.GEP(ir.I64, base, ir.I64Const(7))
+	printInt(b, m, b.Load(p7)) // 49
+	b.Store(ir.I32Const(-5), g)
+	gv := b.Load(g)
+	printInt(b, m, b.Sext(gv, ir.I64)) // -5
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestAllocaStack(t *testing.T) {
+	m := newModule()
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	slot := b.Alloca(ir.I64)
+	buf := b.AllocaN(ir.I8, ir.I64Const(64))
+	b.Store(ir.I64Const(77), slot)
+	// Write a byte pattern into buf and read it back as i64.
+	for k := int64(0); k < 8; k++ {
+		p := b.GEP(ir.I8, buf, ir.I64Const(k))
+		b.Store(ir.IntConst(ir.I8, k+1), p)
+	}
+	wide := b.Bitcast(buf, ir.PointerTo(ir.I64))
+	printInt(b, m, b.Load(wide)) // 0x0807060504030201
+	printInt(b, m, b.Load(slot))
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	m := newModule()
+	fib := m.NewFunc("fib", ir.Signature(ir.I64, ir.I64))
+	entry := fib.NewBlock("entry")
+	rec := fib.NewBlock("rec")
+	baseB := fib.NewBlock("base")
+	b := ir.NewBuilder(entry)
+	isSmall := b.ICmp(ir.PredSLT, fib.Params[0], ir.I64Const(2))
+	b.CondBr(isSmall, baseB, rec)
+	b.SetBlock(baseB)
+	b.Ret(fib.Params[0])
+	b.SetBlock(rec)
+	n1 := b.Sub(fib.Params[0], ir.I64Const(1))
+	n2 := b.Sub(fib.Params[0], ir.I64Const(2))
+	r1 := b.Call(fib, n1)
+	r2 := b.Call(fib, n2)
+	b.Ret(b.Add(r1, r2))
+
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	b = ir.NewBuilder(f.NewBlock("entry"))
+	printInt(b, m, b.Call(fib, ir.I64Const(15))) // 610
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := newModule()
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	x := b.FAdd(ir.FloatConst(ir.F64, 1.5), ir.FloatConst(ir.F64, 2.25))
+	y := b.FMul(x, ir.FloatConst(ir.F64, 4.0))
+	z := b.FDiv(y, ir.FloatConst(ir.F64, 3.0))
+	w := b.FSub(z, ir.FloatConst(ir.F64, 0.5))
+	printFloat(b, m, w) // (3.75*4)/3 - 0.5 = 4.5
+	// int <-> float conversions
+	ic := b.SIToFP(ir.I64Const(-9), ir.F64)
+	printFloat(b, m, ic)
+	back := b.FPToSI(ir.FloatConst(ir.F64, 123.9), ir.I64)
+	printInt(b, m, back) // 123 (truncation)
+	// comparisons
+	lt := b.FCmp(ir.PredOLT, ir.FloatConst(ir.F64, 1.0), ir.FloatConst(ir.F64, 2.0))
+	printInt(b, m, b.Zext(lt, ir.I64)) // 1
+	ge := b.FCmp(ir.PredOGE, ir.FloatConst(ir.F64, 1.0), ir.FloatConst(ir.F64, 2.0))
+	printInt(b, m, b.Zext(ge, ir.I64)) // 0
+	eq := b.FCmp(ir.PredOEQ, ir.FloatConst(ir.F64, 2.5), ir.FloatConst(ir.F64, 2.5))
+	printInt(b, m, b.Zext(eq, ir.I64)) // 1
+	// f32 round trip
+	s := b.Cast(ir.OpFPTrunc, ir.FloatConst(ir.F64, 0.25), ir.F32)
+	d := b.Cast(ir.OpFPExt, s, ir.F64)
+	printFloat(b, m, d) // 0.25
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestAtomicsSingleThread(t *testing.T) {
+	m := newModule()
+	g := m.NewGlobal("ctr", ir.I64)
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Store(ir.I64Const(10), g)
+	old1 := b.RMW(ir.RMWAdd, g, ir.I64Const(5))
+	printInt(b, m, old1) // 10
+	old2 := b.RMW(ir.RMWSub, g, ir.I64Const(3))
+	printInt(b, m, old2) // 15
+	old3 := b.RMW(ir.RMWXchg, g, ir.I64Const(100))
+	printInt(b, m, old3) // 12
+	old4 := b.RMW(ir.RMWAnd, g, ir.I64Const(0x6F))
+	printInt(b, m, old4) // 100
+	old5 := b.RMW(ir.RMWOr, g, ir.I64Const(0x10))
+	printInt(b, m, old5) // 100 & 0x6F = 68
+	old6 := b.RMW(ir.RMWXor, g, ir.I64Const(0xFF))
+	printInt(b, m, old6) // 68 | 0x10 = 84
+	cur := b.Load(g)
+	printInt(b, m, cur) // 84 ^ 0xFF = 171
+	// cmpxchg success and failure
+	ok1 := b.CmpXchg(g, ir.I64Const(171), ir.I64Const(500))
+	printInt(b, m, ok1) // 171
+	ok2 := b.CmpXchg(g, ir.I64Const(171), ir.I64Const(999))
+	printInt(b, m, ok2) // 500 (failed)
+	printInt(b, m, b.Load(g))
+	b.Fence(ir.FenceSC)
+	b.Fence(ir.FenceRM)
+	b.Fence(ir.FenceWW)
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestThreadsSharedCounter(t *testing.T) {
+	m := newModule()
+	ctr := m.NewGlobal("ctr", ir.I64)
+
+	worker := m.NewFunc("worker", ir.Signature(ir.Void, ir.I64))
+	entry := worker.NewBlock("entry")
+	loop := worker.NewBlock("loop")
+	exit := worker.NewBlock("exit")
+	b := ir.NewBuilder(entry)
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	ir.AddIncoming(i, ir.I64Const(0), entry)
+	b.RMW(ir.RMWAdd, ctr, ir.I64Const(1))
+	i2 := b.Add(i, ir.I64Const(1))
+	ir.AddIncoming(i, i2, loop)
+	b.CondBr(b.ICmp(ir.PredSLT, i2, worker.Params[0]), loop, exit)
+	b.SetBlock(exit)
+	b.Ret(nil)
+
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	b = ir.NewBuilder(f.NewBlock("entry"))
+	fnPtr := b.Bitcast(worker, ir.PointerTo(ir.I8))
+	for k := 0; k < 3; k++ {
+		b.Call(m.Func("__spawn"), fnPtr, ir.I64Const(50))
+	}
+	b.Call(m.Func("__join"))
+	printInt(b, m, b.Load(ctr)) // 150
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestSmallWidthsRoundTrip(t *testing.T) {
+	m := newModule()
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	slot8 := b.Alloca(ir.I8)
+	slot16 := b.Alloca(ir.I16)
+	b.Store(ir.IntConst(ir.I8, -1), slot8)
+	b.Store(ir.IntConst(ir.I16, -2), slot16)
+	v8 := b.Load(slot8)
+	v16 := b.Load(slot16)
+	printInt(b, m, b.Sext(v8, ir.I64))  // -1
+	printInt(b, m, b.Zext(v8, ir.I64))  // 255
+	printInt(b, m, b.Sext(v16, ir.I64)) // -2
+	printInt(b, m, b.Zext(v16, ir.I64)) // 65534
+	// i8 arithmetic wraps
+	w := b.Bin(ir.OpAdd, ir.IntConst(ir.I8, 200), ir.IntConst(ir.I8, 100))
+	printInt(b, m, b.Zext(w, ir.I64)) // 44
+	// i8 comparisons are width-correct
+	lt := b.ICmp(ir.PredSLT, ir.IntConst(ir.I8, -100), ir.IntConst(ir.I8, 100))
+	printInt(b, m, b.Zext(lt, ir.I64)) // 1
+	ult := b.ICmp(ir.PredULT, ir.IntConst(ir.I8, -100), ir.IntConst(ir.I8, 100))
+	printInt(b, m, b.Zext(ult, ir.I64)) // 0 (156 < 100 unsigned is false)
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestIndirectCall(t *testing.T) {
+	m := newModule()
+	add5 := m.NewFunc("add5", ir.Signature(ir.I64, ir.I64))
+	b := ir.NewBuilder(add5.NewBlock("entry"))
+	b.Ret(b.Add(add5.Params[0], ir.I64Const(5)))
+
+	f := m.NewFunc("main", ir.Signature(ir.Void))
+	b = ir.NewBuilder(f.NewBlock("entry"))
+	slot := b.Alloca(ir.PointerTo(ir.I8))
+	fp := b.Bitcast(add5, ir.PointerTo(ir.I8))
+	b.Store(fp, slot)
+	loaded := b.Load(slot)
+	callee := b.Bitcast(loaded, add5.Sig)
+	printInt(b, m, b.Call(callee, ir.I64Const(37))) // 42
+	b.Ret(nil)
+	runAllWorlds(t, m)
+}
+
+func TestFenceCycleCosts(t *testing.T) {
+	// An arm64 program with fences must cost more than without.
+	mk := func(withFences bool) *ir.Module {
+		m := newModule()
+		g := m.NewGlobal("x", ir.I64)
+		f := m.NewFunc("main", ir.Signature(ir.Void))
+		b := ir.NewBuilder(f.NewBlock("entry"))
+		for i := 0; i < 10; i++ {
+			if withFences {
+				b.Fence(ir.FenceWW)
+			}
+			b.Store(ir.I64Const(int64(i)), g)
+			v := b.Load(g)
+			if withFences {
+				b.Fence(ir.FenceRM)
+			}
+			_ = v
+		}
+		b.Ret(nil)
+		return m
+	}
+	run := func(m *ir.Module) int64 {
+		f, err := Compile(m, "arm64")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach, err := sim.NewMachine(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles, err := mach.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	plain := run(mk(false))
+	fenced := run(mk(true))
+	if fenced <= plain {
+		t.Fatalf("fenced (%d cycles) not slower than plain (%d)", fenced, plain)
+	}
+	// 20 fences at 25 cycles each should account for ~500 extra cycles.
+	if fenced-plain < 400 {
+		t.Fatalf("fence overhead only %d cycles", fenced-plain)
+	}
+}

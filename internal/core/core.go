@@ -1,0 +1,165 @@
+// Package core is the Lasagne pipeline: the end-to-end static binary
+// translator from x86-64 (TSO) objects to Arm64 (weak memory) objects,
+// matching Fig. 3 of the paper:
+//
+//	x86 binary → binary lifting → IR refinement → optimized fence
+//	placement → LLVM-style optimizations → Arm64 backend
+//
+// Each stage can be toggled via Config to reproduce the paper's evaluation
+// variants (Lifted / Opt / POpt / PPOpt).
+package core
+
+import (
+	"fmt"
+
+	"lasagne/internal/armlifter"
+	"lasagne/internal/backend"
+	"lasagne/internal/fences"
+	"lasagne/internal/ir"
+	"lasagne/internal/lifter"
+	"lasagne/internal/obj"
+	"lasagne/internal/opt"
+	"lasagne/internal/refine"
+)
+
+// Config selects pipeline stages. The zero value is the bare correct
+// translation (the paper's "Lifted" variant); Default() enables everything
+// (the paper's PPOpt, i.e. full Lasagne).
+type Config struct {
+	// Refine runs the §5 IR refinement (pointer peepholes + parameter
+	// promotion) before fence placement.
+	Refine bool
+	// MergeFences applies the §7.2 fence merging rules after placement.
+	MergeFences bool
+	// Optimize re-runs the LLVM-style optimization pipeline on the lifted
+	// IR after fence placement.
+	Optimize bool
+	// VerifyIR runs the IR verifier between stages (slower; for debugging).
+	VerifyIR bool
+}
+
+// Default returns the full Lasagne configuration.
+func Default() Config {
+	return Config{Refine: true, MergeFences: true, Optimize: true}
+}
+
+// Stats reports what the pipeline did.
+type Stats struct {
+	LiftedInstrs   int // IR instructions straight out of the lifter
+	FinalInstrs    int // IR instructions handed to the backend
+	PtrCastsBefore int // inttoptr+ptrtoint before refinement
+	PtrCastsAfter  int // ... after refinement
+	FencesPlaced   int // fences inserted by placement
+	FencesMerged   int // fences removed by merging
+	FencesFinal    int // fences left in the final IR
+	RefineRewrites int
+	PromotedParams int
+}
+
+// Translate lifts an x86-64 object and compiles it to an Arm64 object.
+func Translate(bin *obj.File, cfg Config) (*obj.File, *Stats, error) {
+	m, stats, err := TranslateToIR(bin, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := backend.Compile(m, "arm64")
+	if err != nil {
+		return nil, nil, fmt.Errorf("lasagne: arm64 backend: %w", err)
+	}
+	return out, stats, nil
+}
+
+// TranslateToIR runs the pipeline up to (but not including) code
+// generation, returning the final IR module.
+func TranslateToIR(bin *obj.File, cfg Config) (*ir.Module, *Stats, error) {
+	if bin.Arch != "x86-64" {
+		return nil, nil, fmt.Errorf("lasagne: expected an x86-64 binary, got %q", bin.Arch)
+	}
+	stats := &Stats{}
+
+	m, err := lifter.Lift(bin)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.LiftedInstrs = m.NumInstrs()
+	stats.PtrCastsBefore = refine.CountPtrCasts(m)
+
+	if cfg.Refine {
+		stats.RefineRewrites = refine.Run(m)
+		if err := verify(m, cfg, "refinement"); err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.PtrCastsAfter = refine.CountPtrCasts(m)
+
+	stats.FencesPlaced = fences.Place(m, fences.Options{SkipStackAccesses: true})
+	if err := verify(m, cfg, "fence placement"); err != nil {
+		return nil, nil, err
+	}
+	if cfg.MergeFences {
+		stats.FencesMerged = fences.Merge(m)
+	}
+	stats.FencesFinal = fences.Count(m)
+
+	if cfg.Optimize {
+		if err := opt.RunPipeline(m, opt.StandardPipeline, cfg.VerifyIR); err != nil {
+			return nil, nil, err
+		}
+		if err := verify(m, cfg, "optimization"); err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.FinalInstrs = m.NumInstrs()
+	return m, stats, nil
+}
+
+// TranslateArmToX86 runs the Appendix B direction: an Arm64 object is
+// lifted (DMB fences become LIMM fences, LL/SC idioms become seq_cst
+// atomics), refined and optimized, and compiled with the x86-64 backend
+// (Fsc becomes MFENCE; Frm/Fww need no instruction under TSO). The
+// weak-to-strong direction requires no fence placement pass: every x86
+// access is already at least as ordered as its Arm counterpart.
+func TranslateArmToX86(bin *obj.File, cfg Config) (*obj.File, *Stats, error) {
+	if bin.Arch != "arm64" {
+		return nil, nil, fmt.Errorf("lasagne: expected an arm64 binary, got %q", bin.Arch)
+	}
+	stats := &Stats{}
+	m, err := armlifter.Lift(bin)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.LiftedInstrs = m.NumInstrs()
+	stats.PtrCastsBefore = refine.CountPtrCasts(m)
+	if cfg.Refine {
+		stats.RefineRewrites = refine.Run(m)
+		if err := verify(m, cfg, "refinement"); err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.PtrCastsAfter = refine.CountPtrCasts(m)
+	if cfg.MergeFences {
+		stats.FencesMerged = fences.Merge(m)
+	}
+	stats.FencesFinal = fences.Count(m)
+	if cfg.Optimize {
+		if err := opt.RunPipeline(m, opt.StandardPipeline, cfg.VerifyIR); err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.FinalInstrs = m.NumInstrs()
+	out, err := backend.Compile(m, "x86-64")
+	if err != nil {
+		return nil, nil, fmt.Errorf("lasagne: x86-64 backend: %w", err)
+	}
+	return out, stats, nil
+}
+
+func verify(m *ir.Module, cfg Config, stage string) error {
+	if !cfg.VerifyIR {
+		return nil
+	}
+	if err := ir.Verify(m); err != nil {
+		return fmt.Errorf("lasagne: invalid IR after %s: %w", stage, err)
+	}
+	return nil
+}

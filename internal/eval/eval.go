@@ -1,0 +1,333 @@
+// Package eval implements the paper's evaluation pipeline (§9): it builds
+// the five variants of each Phoenix kernel —
+//
+//	Native — minic → IR → O2 → Arm64
+//	Lifted — minic → IR → O2 → x86-64 bytes → lift → fence placement → Arm64
+//	Opt    — Lifted + IR re-optimization
+//	POpt   — Opt + fence merging
+//	PPOpt  — POpt + IR refinement before fence placement (full Lasagne)
+//
+// and measures the metrics behind Table 1 and Figures 12–17: simulated
+// cycles, static fence counts, pointer-cast counts and IR code size.
+package eval
+
+import (
+	"fmt"
+
+	"lasagne/internal/backend"
+	"lasagne/internal/fences"
+	"lasagne/internal/ir"
+	"lasagne/internal/lifter"
+	"lasagne/internal/minic"
+	"lasagne/internal/obj"
+	"lasagne/internal/opt"
+	"lasagne/internal/phoenix"
+	"lasagne/internal/refine"
+	"lasagne/internal/sim"
+)
+
+// Variant identifies one build configuration of §9.1.
+type Variant int
+
+const (
+	Native Variant = iota
+	Lifted
+	Opt
+	POpt
+	PPOpt
+	NumVariants
+)
+
+var variantNames = [NumVariants]string{"Native", "Lifted", "Opt", "POpt", "PPOpt"}
+
+func (v Variant) String() string { return variantNames[v] }
+
+// Build is one compiled variant plus its static metrics.
+type Build struct {
+	Variant  Variant
+	Module   *ir.Module
+	Obj      *obj.File
+	Fences   int // static fences after placement (+merging)
+	IRInstrs int // code size after all IR processing
+}
+
+// Result holds everything measured for one benchmark.
+type Result struct {
+	Bench    phoenix.Benchmark
+	Builds   [NumVariants]*Build
+	Cycles   [NumVariants]int64
+	Output   [NumVariants]string
+	XBinary  *obj.File
+	CastsRaw int // pointer casts in the raw lifted module
+	CastsRef int // pointer casts after refinement
+}
+
+// placement is the fence placement used by every variant (it is part of
+// correctness, §8 step 1).
+var placement = fences.Options{SkipStackAccesses: true}
+
+// compileSource builds a fresh optimized IR module from minic source.
+func compileSource(b phoenix.Benchmark) (*ir.Module, error) {
+	m, err := minic.Compile(b.Name, b.Source)
+	if err != nil {
+		return nil, err
+	}
+	if err := opt.Optimize(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BuildAll produces all five variants of a benchmark.
+func BuildAll(b phoenix.Benchmark) (*Result, error) {
+	res := &Result{Bench: b}
+
+	// Native.
+	nat, err := compileSource(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s native: %w", b.Name, err)
+	}
+	natObj, err := backend.Compile(nat, "arm64")
+	if err != nil {
+		return nil, fmt.Errorf("%s native arm64: %w", b.Name, err)
+	}
+	res.Builds[Native] = &Build{Variant: Native, Module: nat, Obj: natObj, IRInstrs: nat.NumInstrs()}
+
+	// The input x86 binary (what the paper's gcc produced).
+	xsrc, err := compileSource(b)
+	if err != nil {
+		return nil, err
+	}
+	xbin, err := backend.Compile(xsrc, "x86-64")
+	if err != nil {
+		return nil, fmt.Errorf("%s x86: %w", b.Name, err)
+	}
+	res.XBinary = xbin
+
+	relift := func() (*ir.Module, error) { return lifter.Lift(xbin) }
+
+	// Lifted: naive pipeline, fences only.
+	lm, err := relift()
+	if err != nil {
+		return nil, fmt.Errorf("%s lift: %w", b.Name, err)
+	}
+	res.CastsRaw = refine.CountPtrCasts(lm)
+	fences.Place(lm, placement)
+	bl := &Build{Variant: Lifted, Module: lm, Fences: fences.Count(lm), IRInstrs: lm.NumInstrs()}
+	if bl.Obj, err = backend.Compile(lm, "arm64"); err != nil {
+		return nil, fmt.Errorf("%s lifted arm64: %w", b.Name, err)
+	}
+	res.Builds[Lifted] = bl
+
+	// Opt: Lifted + IR re-optimization.
+	om, err := relift()
+	if err != nil {
+		return nil, err
+	}
+	fences.Place(om, placement)
+	fcount := fences.Count(om)
+	if err := opt.Optimize(om); err != nil {
+		return nil, err
+	}
+	bo := &Build{Variant: Opt, Module: om, Fences: fcount, IRInstrs: om.NumInstrs()}
+	if bo.Obj, err = backend.Compile(om, "arm64"); err != nil {
+		return nil, fmt.Errorf("%s opt arm64: %w", b.Name, err)
+	}
+	res.Builds[Opt] = bo
+
+	// POpt: Opt + fence merging.
+	pm, err := relift()
+	if err != nil {
+		return nil, err
+	}
+	fences.Place(pm, placement)
+	fences.Merge(pm)
+	fcount = fences.Count(pm)
+	if err := opt.Optimize(pm); err != nil {
+		return nil, err
+	}
+	bp := &Build{Variant: POpt, Module: pm, Fences: fcount, IRInstrs: pm.NumInstrs()}
+	if bp.Obj, err = backend.Compile(pm, "arm64"); err != nil {
+		return nil, fmt.Errorf("%s popt arm64: %w", b.Name, err)
+	}
+	res.Builds[POpt] = bp
+
+	// PPOpt: POpt + IR refinement before fence placement (full Lasagne).
+	qm, err := relift()
+	if err != nil {
+		return nil, err
+	}
+	refine.Run(qm)
+	res.CastsRef = refine.CountPtrCasts(qm)
+	fences.Place(qm, placement)
+	fences.Merge(qm)
+	fcount = fences.Count(qm)
+	if err := opt.Optimize(qm); err != nil {
+		return nil, err
+	}
+	bq := &Build{Variant: PPOpt, Module: qm, Fences: fcount, IRInstrs: qm.NumInstrs()}
+	if bq.Obj, err = backend.Compile(qm, "arm64"); err != nil {
+		return nil, fmt.Errorf("%s ppopt arm64: %w", b.Name, err)
+	}
+	res.Builds[PPOpt] = bq
+	return res, nil
+}
+
+// RunVariant simulates one build and records cycles and output.
+func (r *Result) RunVariant(v Variant) error {
+	mach, err := sim.NewMachine(r.Builds[v].Obj)
+	if err != nil {
+		return err
+	}
+	cycles, err := mach.Run()
+	if err != nil {
+		return fmt.Errorf("%s/%s: %w", r.Bench.Name, v, err)
+	}
+	r.Cycles[v] = cycles
+	r.Output[v] = mach.Out.String()
+	return nil
+}
+
+// RunAll simulates every variant and verifies they all produce the Native
+// output.
+func (r *Result) RunAll() error {
+	for v := Variant(0); v < NumVariants; v++ {
+		if err := r.RunVariant(v); err != nil {
+			return err
+		}
+	}
+	for v := Lifted; v < NumVariants; v++ {
+		if r.Output[v] != r.Output[Native] {
+			return fmt.Errorf("%s/%s output %q differs from native %q",
+				r.Bench.Name, v, r.Output[v], r.Output[Native])
+		}
+	}
+	return nil
+}
+
+// FenceOnlyCycles measures Fig. 15: the runtime of the *unoptimized* lifted
+// code with (a) naive fences, (b) merged fences, (c) refinement-informed
+// placement — isolating the effect of fence reduction from the other
+// optimizations.
+func FenceOnlyCycles(r *Result) (naive, merged, refined int64, err error) {
+	run := func(m *ir.Module) (int64, error) {
+		o, err := backend.Compile(m, "arm64")
+		if err != nil {
+			return 0, err
+		}
+		mach, err := sim.NewMachine(o)
+		if err != nil {
+			return 0, err
+		}
+		return mach.Run()
+	}
+	m1, err := lifter.Lift(r.XBinary)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	fences.Place(m1, placement)
+	if naive, err = run(m1); err != nil {
+		return 0, 0, 0, err
+	}
+	m2, err := lifter.Lift(r.XBinary)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	fences.Place(m2, placement)
+	fences.Merge(m2)
+	if merged, err = run(m2); err != nil {
+		return 0, 0, 0, err
+	}
+	m3, err := lifter.Lift(r.XBinary)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	refine.Run(m3)
+	fences.Place(m3, placement)
+	fences.Merge(m3)
+	if refined, err = run(m3); err != nil {
+		return 0, 0, 0, err
+	}
+	return naive, merged, refined, nil
+}
+
+// PassIsolation measures Fig. 17: the code-size reduction of each pass run
+// in isolation on the benchmark's refined, fence-placed lifted bitcode.
+func PassIsolation(r *Result, passes []string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, p := range passes {
+		m, err := lifter.Lift(r.XBinary)
+		if err != nil {
+			return nil, err
+		}
+		refine.Run(m)
+		fences.Place(m, placement)
+		fences.Merge(m)
+		before := m.NumInstrs()
+		if _, err := opt.Run(m, p); err != nil {
+			return nil, err
+		}
+		after := m.NumInstrs()
+		out[p] = 100 * float64(before-after) / float64(before)
+	}
+	return out, nil
+}
+
+// Fig17Passes is the pass list of Fig. 17.
+var Fig17Passes = []string{
+	"instcombine", "dce", "adce", "licm", "reassociate", "gvn",
+	"mem2reg", "sroa", "sccp", "ipsccp", "dse",
+}
+
+// GeoMean computes the geometric mean of positive values.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, v := range vals {
+		prod *= v
+	}
+	if prod <= 0 {
+		return 0
+	}
+	return mathPow(prod, 1/float64(len(vals)))
+}
+
+// AblationFences quantifies the stack-access analysis of §8 step 1: the
+// number of fences placed (and the simulated cycles) with and without the
+// use-def stack filter on the raw lifted module.
+func AblationFences(b phoenix.Benchmark) (withSkip, withoutSkip int, cyclesSkip, cyclesNo int64, err error) {
+	src, err := compileSource(b)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	xbin, err := backend.Compile(src, "x86-64")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	run := func(opts fences.Options) (int, int64, error) {
+		m, err := lifter.Lift(xbin)
+		if err != nil {
+			return 0, 0, err
+		}
+		fences.Place(m, opts)
+		n := fences.Count(m)
+		o, err := backend.Compile(m, "arm64")
+		if err != nil {
+			return 0, 0, err
+		}
+		mach, err := sim.NewMachine(o)
+		if err != nil {
+			return 0, 0, err
+		}
+		c, err := mach.Run()
+		return n, c, err
+	}
+	withSkip, cyclesSkip, err = run(fences.Options{SkipStackAccesses: true})
+	if err != nil {
+		return
+	}
+	withoutSkip, cyclesNo, err = run(fences.Options{})
+	return
+}

@@ -1,0 +1,162 @@
+// Package fences implements the x86-to-IR fence mapping of Fig. 8a and the
+// optimized placement algorithm of §8:
+//
+//  1. every load gets a trailing Frm and every store a leading Fww, unless
+//     the accessed pointer provably refers to stack memory (the use-def
+//     chain, looking through bitcast and getelementptr, reaches an alloca);
+//  2. fence pairs within a basic block merge when no potentially
+//     memory-accessing instruction sits between them, using the §7.2 rules
+//     (equal fences collapse; Frm·Fww strengthens to a single Fsc).
+//
+// RMW and cmpxchg instructions are already seq_cst and act as full fences
+// (Fig. 8a maps x86 RMWs to RMWsc), so they need no additional fences.
+package fences
+
+import "lasagne/internal/ir"
+
+// Options controls fence placement.
+type Options struct {
+	// SkipStackAccesses enables the use-def stack analysis (§8 step 1).
+	// The naive placement used by the paper's "Lifted" baseline keeps it
+	// on too — it is part of correctness-preserving placement — so this
+	// exists only for ablation studies.
+	SkipStackAccesses bool
+}
+
+// Place inserts Frm/Fww fences for every shared load/store in the module
+// per the Fig. 8a mapping. It returns the number of fences inserted.
+func Place(m *ir.Module, opts Options) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			insts := append([]*ir.Instr(nil), b.Instrs...)
+			for _, in := range insts {
+				switch in.Op {
+				case ir.OpLoad:
+					if in.Order == ir.SeqCst {
+						continue
+					}
+					if opts.SkipStackAccesses && isStackPointer(in.Args[0]) {
+						continue
+					}
+					insertAfter(b, in, &ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceRM})
+					n++
+				case ir.OpStore:
+					if in.Order == ir.SeqCst {
+						continue
+					}
+					if opts.SkipStackAccesses && isStackPointer(in.Args[1]) {
+						continue
+					}
+					b.InsertBefore(&ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceWW}, in)
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func insertAfter(b *ir.Block, pos, in *ir.Instr) {
+	idx := b.Index(pos)
+	if idx == len(b.Instrs)-1 {
+		b.Append(in)
+		return
+	}
+	b.InsertBefore(in, b.Instrs[idx+1])
+}
+
+// isStackPointer walks the use-def chain of a pointer through bitcasts and
+// getelementptrs looking for an alloca (§8 step 1). Anything else —
+// inttoptr chains, parameters, loaded pointers, globals — is conservatively
+// treated as shared memory.
+func isStackPointer(v ir.Value) bool {
+	for depth := 0; depth < 64; depth++ {
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			return false
+		}
+		switch in.Op {
+		case ir.OpAlloca:
+			return true
+		case ir.OpBitcast, ir.OpGEP:
+			v = in.Args[0]
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// mayAccessMemory reports whether an instruction can observe or modify
+// *shared* memory ordering between two fences. Provably stack-local
+// accesses are thread-private: a fence commutes with them without any
+// observable difference, so they do not block merging.
+func mayAccessMemory(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpLoad:
+		return !isStackPointer(in.Args[0])
+	case ir.OpStore:
+		return !isStackPointer(in.Args[1])
+	case ir.OpRMW, ir.OpCmpXchg, ir.OpCall:
+		return true
+	}
+	return false
+}
+
+// Merge applies the fence-merging rules within each basic block and returns
+// the number of fences removed.
+func Merge(m *ir.Module) int {
+	removed := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			removed += mergeBlock(b)
+		}
+	}
+	return removed
+}
+
+func mergeBlock(b *ir.Block) int {
+	removed := 0
+	var pending *ir.Instr // last fence with no memory access since
+	for i := 0; i < len(b.Instrs); i++ {
+		in := b.Instrs[i]
+		switch {
+		case in.Op == ir.OpFence:
+			if pending != nil {
+				// Merge: equal kinds collapse; different kinds strengthen
+				// to Fsc (Frm·Fww -> Fsc·Fsc -> Fsc, §7.2).
+				if pending.Fence != in.Fence {
+					pending.Fence = ir.FenceSC
+				}
+				if in.Fence == ir.FenceSC {
+					pending.Fence = ir.FenceSC
+				}
+				b.Remove(in)
+				i--
+				removed++
+				continue
+			}
+			pending = in
+		case mayAccessMemory(in):
+			pending = nil
+		}
+	}
+	return removed
+}
+
+// Count returns the number of fence instructions in the module — the
+// Fig. 14 metric.
+func Count(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpFence {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package fences
+
+import (
+	"testing"
+
+	"lasagne/internal/ir"
+)
+
+// buildSharedAccess creates a function loading and storing a global.
+func buildSharedAccess() (*ir.Module, *ir.Func) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	v := b.Load(g)
+	b.Store(v, g)
+	b.Ret(nil)
+	return m, f
+}
+
+func countKind(f *ir.Func, k ir.FenceKind) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpFence && in.Fence == k {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestPlaceMapping(t *testing.T) {
+	m, f := buildSharedAccess()
+	n := Place(m, Options{SkipStackAccesses: true})
+	if n != 2 {
+		t.Fatalf("placed %d fences, want 2", n)
+	}
+	// Fig. 8a: trailing Frm after the load, leading Fww before the store.
+	if countKind(f, ir.FenceRM) != 1 || countKind(f, ir.FenceWW) != 1 {
+		t.Fatalf("wrong fence kinds: %s", f)
+	}
+	entry := f.Entry()
+	// Order: load, frm, fww, store, ret.
+	ops := []ir.Op{ir.OpLoad, ir.OpFence, ir.OpFence, ir.OpStore, ir.OpRet}
+	if len(entry.Instrs) != len(ops) {
+		t.Fatalf("got %d instructions: %s", len(entry.Instrs), f)
+	}
+	for i, op := range ops {
+		if entry.Instrs[i].Op != op {
+			t.Fatalf("instr %d is %s, want %s:\n%s", i, entry.Instrs[i].Op, op, f)
+		}
+	}
+	if entry.Instrs[1].Fence != ir.FenceRM || entry.Instrs[2].Fence != ir.FenceWW {
+		t.Fatal("fence kinds misplaced")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceSkipsStack(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.I64))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	slot := b.Alloca(ir.I64)
+	b.Store(ir.I64Const(1), slot)
+	// Also through a GEP+bitcast chain.
+	arr := b.Alloca(ir.ArrayOf(ir.I8, 16))
+	p8 := b.Bitcast(arr, ir.PointerTo(ir.I8))
+	gep := b.GEP(ir.I8, p8, ir.I64Const(8))
+	wide := b.Bitcast(gep, ir.PointerTo(ir.I64))
+	b.Store(ir.I64Const(2), wide)
+	v := b.Load(slot)
+	b.Ret(v)
+	if n := Place(m, Options{SkipStackAccesses: true}); n != 0 {
+		t.Fatalf("placed %d fences on pure stack accesses", n)
+	}
+	// Without the analysis everything gets fenced.
+	if n := Place(m, Options{}); n != 3 {
+		t.Fatalf("naive placement inserted %d fences, want 3", n)
+	}
+}
+
+func TestPlaceSkipsAtomics(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.RMW(ir.RMWAdd, g, ir.I64Const(1))
+	b.CmpXchg(g, ir.I64Const(0), ir.I64Const(1))
+	b.Ret(nil)
+	if n := Place(m, Options{SkipStackAccesses: true}); n != 0 {
+		t.Fatalf("atomics need no extra fences, placed %d", n)
+	}
+	_ = f
+}
+
+func TestInttoptrBlocksStackAnalysis(t *testing.T) {
+	// The lifted pattern: inttoptr(add(ptrtoint(stacktop), 16)) must be
+	// treated as shared before refinement.
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	stack := b.Alloca(ir.ArrayOf(ir.I8, 64))
+	top := b.Bitcast(stack, ir.PointerTo(ir.I8))
+	tos := b.PtrToInt(top, ir.I64)
+	addr := b.Add(tos, ir.I64Const(16))
+	p := b.IntToPtr(addr, ir.PointerTo(ir.I64))
+	b.Store(ir.I64Const(1), p)
+	b.Ret(nil)
+	if n := Place(m, Options{SkipStackAccesses: true}); n != 1 {
+		t.Fatalf("raw-pointer store should be fenced, placed %d", n)
+	}
+}
+
+func TestMergeAdjacent(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Fence(ir.FenceRM)
+	b.Fence(ir.FenceWW) // Frm·Fww -> Fsc
+	b.Ret(nil)
+	removed := Merge(m)
+	if removed != 1 {
+		t.Fatalf("removed %d, want 1", removed)
+	}
+	if countKind(f, ir.FenceSC) != 1 || Count(m) != 1 {
+		t.Fatalf("expected a single Fsc: %s", f)
+	}
+}
+
+func TestMergeSameKind(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Fence(ir.FenceRM)
+	b.Fence(ir.FenceRM)
+	b.Fence(ir.FenceRM)
+	b.Ret(nil)
+	Merge(m)
+	if Count(m) != 1 || countKind(f, ir.FenceRM) != 1 {
+		t.Fatalf("same-kind fences should collapse without strengthening: %s", f)
+	}
+}
+
+func TestMergeBlockedBySharedAccess(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Fence(ir.FenceRM)
+	b.Load(g) // shared access blocks merging
+	b.Fence(ir.FenceWW)
+	b.Ret(nil)
+	if removed := Merge(m); removed != 0 {
+		t.Fatalf("merged across a shared access (removed %d): %s", removed, f)
+	}
+}
+
+func TestMergeAcrossStackAccess(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	slot := b.Alloca(ir.I64)
+	b.Fence(ir.FenceRM)
+	b.Store(ir.I64Const(1), slot) // thread-private: does not block
+	b.Fence(ir.FenceWW)
+	b.Ret(nil)
+	if removed := Merge(m); removed != 1 {
+		t.Fatalf("expected merge across stack access, removed %d", removed)
+	}
+	if countKind(f, ir.FenceSC) != 1 {
+		t.Fatal("expected strengthened Fsc")
+	}
+}
+
+func TestMergeBlockedByCall(t *testing.T) {
+	m := ir.NewModule("t")
+	callee := m.DeclareFunc("ext", ir.Signature(ir.Void))
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Fence(ir.FenceSC)
+	b.Call(callee)
+	b.Fence(ir.FenceSC)
+	b.Ret(nil)
+	if removed := Merge(m); removed != 0 {
+		t.Fatal("merged across a call")
+	}
+}

@@ -1,0 +1,201 @@
+package ir
+
+import "fmt"
+
+// Builder appends instructions to a basic block. All factory methods return
+// the created instruction so it can be used as an operand.
+type Builder struct {
+	Block *Block
+}
+
+// NewBuilder returns a builder positioned at the end of b.
+func NewBuilder(b *Block) *Builder { return &Builder{Block: b} }
+
+// SetBlock repositions the builder at the end of b.
+func (bd *Builder) SetBlock(b *Block) { bd.Block = b }
+
+func (bd *Builder) emit(i *Instr) *Instr { return bd.Block.Append(i) }
+
+// Alloca allocates stack storage for one value of type elem.
+func (bd *Builder) Alloca(elem Type) *Instr {
+	return bd.emit(&Instr{Op: OpAlloca, Ty: PointerTo(elem), Elem: elem})
+}
+
+// AllocaN allocates stack storage for n values of type elem.
+func (bd *Builder) AllocaN(elem Type, n Value) *Instr {
+	return bd.emit(&Instr{Op: OpAlloca, Ty: PointerTo(elem), Elem: elem, Args: []Value{n}})
+}
+
+// Load emits a non-atomic load from ptr.
+func (bd *Builder) Load(ptr Value) *Instr {
+	et := Elem(ptr.Type())
+	if et == nil {
+		panic(fmt.Sprintf("ir: load from non-pointer %s", ptr.Type()))
+	}
+	return bd.emit(&Instr{Op: OpLoad, Ty: et, Args: []Value{ptr}})
+}
+
+// LoadAtomic emits a load with the given ordering.
+func (bd *Builder) LoadAtomic(ptr Value, ord Ordering) *Instr {
+	i := bd.Load(ptr)
+	i.Order = ord
+	return i
+}
+
+// Store emits a non-atomic store of val to ptr.
+func (bd *Builder) Store(val, ptr Value) *Instr {
+	return bd.emit(&Instr{Op: OpStore, Ty: Void, Args: []Value{val, ptr}})
+}
+
+// StoreAtomic emits a store with the given ordering.
+func (bd *Builder) StoreAtomic(val, ptr Value, ord Ordering) *Instr {
+	i := bd.Store(val, ptr)
+	i.Order = ord
+	return i
+}
+
+// Fence emits a LIMM fence of the given kind.
+func (bd *Builder) Fence(kind FenceKind) *Instr {
+	return bd.emit(&Instr{Op: OpFence, Ty: Void, Fence: kind})
+}
+
+// RMW emits a seq_cst atomic read-modify-write and returns the old value.
+func (bd *Builder) RMW(op RMWOp, ptr, operand Value) *Instr {
+	return bd.emit(&Instr{Op: OpRMW, Ty: Elem(ptr.Type()), Args: []Value{ptr, operand}, RMWOp: op, Order: SeqCst})
+}
+
+// CmpXchg emits a seq_cst compare-exchange and returns the old value.
+func (bd *Builder) CmpXchg(ptr, expected, newVal Value) *Instr {
+	return bd.emit(&Instr{Op: OpCmpXchg, Ty: Elem(ptr.Type()), Args: []Value{ptr, expected, newVal}, Order: SeqCst})
+}
+
+// GEP emits a getelementptr with source element type elem. The result
+// points to elem as well (all our GEPs are single-dimension offsets).
+func (bd *Builder) GEP(elem Type, base Value, indices ...Value) *Instr {
+	args := append([]Value{base}, indices...)
+	return bd.emit(&Instr{Op: OpGEP, Ty: PointerTo(elem), Elem: elem, Args: args})
+}
+
+// Bin emits a binary arithmetic/logic instruction.
+func (bd *Builder) Bin(op Op, a, b Value) *Instr {
+	if !IsBinaryOp(op) {
+		panic("ir: Bin with non-binary op " + op.String())
+	}
+	return bd.emit(&Instr{Op: op, Ty: a.Type(), Args: []Value{a, b}})
+}
+
+// Convenience wrappers for common binary ops.
+func (bd *Builder) Add(a, b Value) *Instr  { return bd.Bin(OpAdd, a, b) }
+func (bd *Builder) Sub(a, b Value) *Instr  { return bd.Bin(OpSub, a, b) }
+func (bd *Builder) Mul(a, b Value) *Instr  { return bd.Bin(OpMul, a, b) }
+func (bd *Builder) SDiv(a, b Value) *Instr { return bd.Bin(OpSDiv, a, b) }
+func (bd *Builder) And(a, b Value) *Instr  { return bd.Bin(OpAnd, a, b) }
+func (bd *Builder) Or(a, b Value) *Instr   { return bd.Bin(OpOr, a, b) }
+func (bd *Builder) Xor(a, b Value) *Instr  { return bd.Bin(OpXor, a, b) }
+func (bd *Builder) Shl(a, b Value) *Instr  { return bd.Bin(OpShl, a, b) }
+func (bd *Builder) FAdd(a, b Value) *Instr { return bd.Bin(OpFAdd, a, b) }
+func (bd *Builder) FSub(a, b Value) *Instr { return bd.Bin(OpFSub, a, b) }
+func (bd *Builder) FMul(a, b Value) *Instr { return bd.Bin(OpFMul, a, b) }
+func (bd *Builder) FDiv(a, b Value) *Instr { return bd.Bin(OpFDiv, a, b) }
+
+// ICmp emits an integer comparison producing i1.
+func (bd *Builder) ICmp(p Pred, a, b Value) *Instr {
+	return bd.emit(&Instr{Op: OpICmp, Ty: I1, Pred: p, Args: []Value{a, b}})
+}
+
+// FCmp emits a float comparison producing i1.
+func (bd *Builder) FCmp(p Pred, a, b Value) *Instr {
+	return bd.emit(&Instr{Op: OpFCmp, Ty: I1, Pred: p, Args: []Value{a, b}})
+}
+
+// Cast emits a conversion instruction to type to.
+func (bd *Builder) Cast(op Op, v Value, to Type) *Instr {
+	if !IsCast(op) {
+		panic("ir: Cast with non-cast op " + op.String())
+	}
+	return bd.emit(&Instr{Op: op, Ty: to, Args: []Value{v}})
+}
+
+func (bd *Builder) Trunc(v Value, to Type) *Instr    { return bd.Cast(OpTrunc, v, to) }
+func (bd *Builder) Zext(v Value, to Type) *Instr     { return bd.Cast(OpZext, v, to) }
+func (bd *Builder) Sext(v Value, to Type) *Instr     { return bd.Cast(OpSext, v, to) }
+func (bd *Builder) Bitcast(v Value, to Type) *Instr  { return bd.Cast(OpBitcast, v, to) }
+func (bd *Builder) IntToPtr(v Value, to Type) *Instr { return bd.Cast(OpIntToPtr, v, to) }
+func (bd *Builder) PtrToInt(v Value, to Type) *Instr { return bd.Cast(OpPtrToInt, v, to) }
+func (bd *Builder) SIToFP(v Value, to Type) *Instr   { return bd.Cast(OpSIToFP, v, to) }
+func (bd *Builder) FPToSI(v Value, to Type) *Instr   { return bd.Cast(OpFPToSI, v, to) }
+
+// ExtractElement reads element idx from a vector.
+func (bd *Builder) ExtractElement(vec, idx Value) *Instr {
+	vt := vec.Type().(*VectorType)
+	return bd.emit(&Instr{Op: OpExtractElement, Ty: vt.Elem, Args: []Value{vec, idx}})
+}
+
+// InsertElement writes val at element idx of a vector.
+func (bd *Builder) InsertElement(vec, val, idx Value) *Instr {
+	return bd.emit(&Instr{Op: OpInsertElement, Ty: vec.Type(), Args: []Value{vec, val, idx}})
+}
+
+// Select emits cond ? a : b.
+func (bd *Builder) Select(cond, a, b Value) *Instr {
+	return bd.emit(&Instr{Op: OpSelect, Ty: a.Type(), Args: []Value{cond, a, b}})
+}
+
+// Phi emits an empty phi of type ty; incoming edges are added with
+// AddIncoming. Phis must precede all non-phi instructions.
+func (bd *Builder) Phi(ty Type) *Instr {
+	i := &Instr{Op: OpPhi, Ty: ty}
+	// Insert after existing phis, before other instructions.
+	b := bd.Block
+	pos := 0
+	for pos < len(b.Instrs) && b.Instrs[pos].Op == OpPhi {
+		pos++
+	}
+	if pos == len(b.Instrs) {
+		return b.Append(i)
+	}
+	b.InsertBefore(i, b.Instrs[pos])
+	return i
+}
+
+// AddIncoming appends an incoming edge to a phi instruction.
+func AddIncoming(phi *Instr, v Value, from *Block) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.Args = append(phi.Args, v)
+	phi.Blocks = append(phi.Blocks, from)
+}
+
+// Call emits a function call.
+func (bd *Builder) Call(callee Value, args ...Value) *Instr {
+	ft, ok := callee.Type().(*FuncType)
+	if !ok {
+		panic(fmt.Sprintf("ir: call of non-function %s", callee.Type()))
+	}
+	return bd.emit(&Instr{Op: OpCall, Ty: ft.Ret, Args: append([]Value{callee}, args...)})
+}
+
+// Ret emits a return; v may be nil for void functions.
+func (bd *Builder) Ret(v Value) *Instr {
+	i := &Instr{Op: OpRet, Ty: Void}
+	if v != nil {
+		i.Args = []Value{v}
+	}
+	return bd.emit(i)
+}
+
+// Br emits an unconditional branch.
+func (bd *Builder) Br(target *Block) *Instr {
+	return bd.emit(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{target}})
+}
+
+// CondBr emits a conditional branch.
+func (bd *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return bd.emit(&Instr{Op: OpCondBr, Ty: Void, Args: []Value{cond}, Blocks: []*Block{then, els}})
+}
+
+// Unreachable emits an unreachable terminator.
+func (bd *Builder) Unreachable() *Instr {
+	return bd.emit(&Instr{Op: OpUnreachable, Ty: Void})
+}

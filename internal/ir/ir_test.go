@@ -1,0 +1,480 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildSumFunc builds: define i64 @sum(i64 %n) { loop 0..n-1 accumulating }.
+func buildSumFunc(m *Module) *Func {
+	f := m.NewFunc("sum", Signature(I64, I64))
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+
+	b := NewBuilder(entry)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	i := b.Phi(I64)
+	acc := b.Phi(I64)
+	AddIncoming(i, I64Const(0), entry)
+	AddIncoming(acc, I64Const(0), entry)
+	nextAcc := b.Add(acc, i)
+	nextI := b.Add(i, I64Const(1))
+	AddIncoming(i, nextI, loop)
+	AddIncoming(acc, nextAcc, loop)
+	cond := b.ICmp(PredSLT, nextI, f.Params[0])
+	b.CondBr(cond, loop, exit)
+
+	b.SetBlock(exit)
+	b.Ret(nextAcc)
+	return f
+}
+
+func TestVerifySumFunc(t *testing.T) {
+	m := NewModule("t")
+	buildSumFunc(m)
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestInterpSum(t *testing.T) {
+	m := NewModule("t")
+	buildSumFunc(m)
+	ip := NewInterp(m)
+	got, err := ip.Run("sum", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 45 {
+		t.Fatalf("sum(10) = %d, want 45", got)
+	}
+}
+
+func TestInterpMemoryOps(t *testing.T) {
+	m := NewModule("t")
+	g := m.NewGlobal("x", I64)
+	f := m.NewFunc("main", Signature(I64))
+	b := NewBuilder(f.NewBlock("entry"))
+	b.Store(I64Const(7), g)
+	old := b.RMW(RMWAdd, g, I64Const(5))
+	ld := b.Load(g)
+	sum := b.Add(old, ld)
+	b.Ret(sum)
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(m)
+	got, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 19 { // old=7, after rmw x=12, 7+12
+		t.Fatalf("got %d, want 19", got)
+	}
+}
+
+func TestInterpCmpXchg(t *testing.T) {
+	m := NewModule("t")
+	g := m.NewGlobal("x", I32)
+	f := m.NewFunc("main", Signature(I32))
+	b := NewBuilder(f.NewBlock("entry"))
+	b.Store(I32Const(1), g)
+	old1 := b.CmpXchg(g, I32Const(1), I32Const(2)) // succeeds
+	old2 := b.CmpXchg(g, I32Const(1), I32Const(9)) // fails, x stays 2
+	ld := b.Load(g)
+	s := b.Add(old1, old2)
+	s2 := b.Add(s, ld)
+	b.Ret(s2)
+	ip := NewInterp(m)
+	got, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 { // 1 + 2 + 2
+		t.Fatalf("got %d, want 5", got)
+	}
+}
+
+func TestInterpGEPAndAlloca(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("main", Signature(I64))
+	b := NewBuilder(f.NewBlock("entry"))
+	arr := b.AllocaN(I64, I64Const(4))
+	for k := int64(0); k < 4; k++ {
+		p := b.GEP(I64, arr, I64Const(k))
+		b.Store(I64Const(k*k), p)
+	}
+	p2 := b.GEP(I64, arr, I64Const(3))
+	v := b.Load(p2)
+	b.Ret(v)
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(m)
+	got, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("got %d, want 9", got)
+	}
+}
+
+func TestInterpCallAndExtern(t *testing.T) {
+	m := NewModule("t")
+	callee := m.NewFunc("double", Signature(I64, I64))
+	cb := NewBuilder(callee.NewBlock("entry"))
+	cb.Ret(cb.Add(callee.Params[0], callee.Params[0]))
+
+	m.DeclareFunc("__print_int", Signature(Void, I64))
+	f := m.NewFunc("main", Signature(I64))
+	b := NewBuilder(f.NewBlock("entry"))
+	r := b.Call(callee, I64Const(21))
+	b.Call(m.Func("__print_int"), r)
+	b.Ret(r)
+	ip := NewInterp(m)
+	got, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+	if ip.Out.String() != "42\n" {
+		t.Fatalf("output %q", ip.Out.String())
+	}
+}
+
+func TestInterpFloat(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("main", Signature(I64))
+	b := NewBuilder(f.NewBlock("entry"))
+	x := b.FMul(FloatConst(F64, 1.5), FloatConst(F64, 4.0))
+	i := b.FPToSI(x, I64)
+	b.Ret(i)
+	ip := NewInterp(m)
+	got, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("got %d, want 6", got)
+	}
+}
+
+func TestInterpVectorBitcast(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("main", Signature(I64))
+	b := NewBuilder(f.NewBlock("entry"))
+	v2 := VectorOf(I32, 2)
+	vec := b.InsertElement(NewUndef(v2), I32Const(1), I64Const(0))
+	vec2 := b.InsertElement(vec, I32Const(2), I64Const(1))
+	asI64 := b.Bitcast(vec2, I64)
+	b.Ret(asI64)
+	ip := NewInterp(m)
+	got, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(2)<<32 | 1
+	if got != want {
+		t.Fatalf("got %#x, want %#x", got, want)
+	}
+}
+
+func TestVerifyCatchesBadTypes(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("bad", Signature(I64))
+	b := f.NewBlock("entry")
+	// store i32 0, i64* ptr -> type error
+	g := m.NewGlobal("g", I64)
+	b.Append(&Instr{Op: OpStore, Ty: Void, Args: []Value{I32Const(0), g}})
+	b.Append(&Instr{Op: OpRet, Ty: Void, Args: []Value{I64Const(0)}})
+	if err := Verify(m); err == nil {
+		t.Fatal("expected type error")
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("bad", Signature(Void))
+	b := NewBuilder(f.NewBlock("entry"))
+	b.Fence(FenceSC)
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Fatalf("expected terminator error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesDominanceViolation(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("bad", Signature(I64, I1))
+	bb1 := f.NewBlock("entry")
+	bb2 := f.NewBlock("a")
+	bb3 := f.NewBlock("b")
+	b := NewBuilder(bb1)
+	b.CondBr(f.Params[0], bb2, bb3)
+	b.SetBlock(bb2)
+	v := b.Add(I64Const(1), I64Const(2))
+	b.Br(bb3)
+	b.SetBlock(bb3)
+	b.Ret(v) // v does not dominate bb3
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "dominate") {
+		t.Fatalf("expected dominance error, got %v", err)
+	}
+}
+
+func TestDomTree(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", Signature(Void, I1))
+	e := f.NewBlock("entry")
+	a := f.NewBlock("a")
+	c := f.NewBlock("c")
+	d := f.NewBlock("d")
+	b := NewBuilder(e)
+	b.CondBr(f.Params[0], a, c)
+	b.SetBlock(a)
+	b.Br(d)
+	b.SetBlock(c)
+	b.Br(d)
+	b.SetBlock(d)
+	b.Ret(nil)
+	dt := ComputeDomTree(f)
+	if dt.IDom[d] != e {
+		t.Fatalf("idom(d) = %v, want entry", dt.IDom[d])
+	}
+	if !dt.Dominates(e, d) || dt.Dominates(a, d) {
+		t.Fatal("dominance incorrect")
+	}
+}
+
+func TestDominanceFrontier(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", Signature(Void, I1))
+	e := f.NewBlock("entry")
+	a := f.NewBlock("a")
+	c := f.NewBlock("c")
+	d := f.NewBlock("d")
+	b := NewBuilder(e)
+	b.CondBr(f.Params[0], a, c)
+	b.SetBlock(a)
+	b.Br(d)
+	b.SetBlock(c)
+	b.Br(d)
+	b.SetBlock(d)
+	b.Ret(nil)
+	dt := ComputeDomTree(f)
+	df := DominanceFrontier(f, dt)
+	if len(df[a]) != 1 || df[a][0] != d {
+		t.Fatalf("DF(a) = %v, want [d]", df[a])
+	}
+	if len(df[e]) != 0 {
+		t.Fatalf("DF(entry) = %v, want empty", df[e])
+	}
+}
+
+func TestReplaceAllUses(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", Signature(I64, I64))
+	b := NewBuilder(f.NewBlock("entry"))
+	x := b.Add(f.Params[0], I64Const(1))
+	y := b.Mul(x, x)
+	b.Ret(y)
+	n := ReplaceAllUses(f, x, f.Params[0])
+	if n != 2 {
+		t.Fatalf("replaced %d uses, want 2", n)
+	}
+	if y.Args[0] != f.Params[0] || y.Args[1] != f.Params[0] {
+		t.Fatal("uses not replaced")
+	}
+}
+
+func TestPrinterOutput(t *testing.T) {
+	m := NewModule("t")
+	g := m.NewGlobal("X", I32)
+	f := m.NewFunc("mp0", Signature(Void))
+	b := NewBuilder(f.NewBlock("entry"))
+	b.Fence(FenceWW)
+	b.Store(I32Const(1), g)
+	ld := b.Load(g)
+	b.Fence(FenceRM)
+	_ = ld
+	b.Ret(nil)
+	s := m.String()
+	for _, want := range []string{"fence.ww", "fence.rm", "store i32 1, i32* @X", "load i32, i32* @X"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printer output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTypeEquality(t *testing.T) {
+	cases := []struct {
+		a, b Type
+		eq   bool
+	}{
+		{I32, &IntType{Bits: 32}, true},
+		{I32, I64, false},
+		{PointerTo(I8), PointerTo(I8), true},
+		{PointerTo(I8), PointerTo(I16), false},
+		{VectorOf(F64, 2), VectorOf(F64, 2), true},
+		{VectorOf(F64, 2), VectorOf(F32, 4), false},
+		{ArrayOf(I8, 16), ArrayOf(I8, 16), true},
+		{Signature(I32, I64), Signature(I32, I64), true},
+		{Signature(I32, I64), Signature(I32), false},
+	}
+	for i, c := range cases {
+		if c.a.Equal(c.b) != c.eq {
+			t.Errorf("case %d: Equal(%s,%s) != %v", i, c.a, c.b, c.eq)
+		}
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	if I1.Size() != 1 || I8.Size() != 1 || I32.Size() != 4 || I64.Size() != 8 {
+		t.Fatal("int sizes wrong")
+	}
+	if PointerTo(I8).Size() != 8 {
+		t.Fatal("ptr size wrong")
+	}
+	if VectorOf(F64, 2).Size() != 16 || ArrayOf(I8, 40).Size() != 40 {
+		t.Fatal("aggregate sizes wrong")
+	}
+}
+
+// Property: trunc/sext round trip preserves the signed value for in-range
+// integers; this protects the constant-folding helpers.
+func TestTruncSignedProperty(t *testing.T) {
+	prop := func(v int32) bool {
+		return truncSigned(int64(v), 32) == int64(v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interpreter binary add matches Go arithmetic at i64.
+func TestInterpAddProperty(t *testing.T) {
+	prop := func(a, b int64) bool {
+		m := NewModule("t")
+		f := m.NewFunc("f", Signature(I64, I64, I64))
+		bd := NewBuilder(f.NewBlock("entry"))
+		bd.Ret(bd.Add(f.Params[0], f.Params[1]))
+		ip := NewInterp(m)
+		got, err := ip.Run("f", uint64(a), uint64(b))
+		return err == nil && int64(got) == a+b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: icmp predicate negation is an involution and flips results.
+func TestPredNegateProperty(t *testing.T) {
+	preds := []Pred{PredEQ, PredNE, PredSLT, PredSLE, PredSGT, PredSGE, PredULT, PredULE, PredUGT, PredUGE}
+	for _, p := range preds {
+		if p.Negate().Negate() != p {
+			t.Fatalf("negate not involutive for %s", p)
+		}
+	}
+	prop := func(a, b int16, pi uint8) bool {
+		p := preds[int(pi)%len(preds)]
+		m := NewModule("t")
+		f := m.NewFunc("f", Signature(I1, I16, I16))
+		bd := NewBuilder(f.NewBlock("entry"))
+		bd.Ret(bd.ICmp(p, f.Params[0], f.Params[1]))
+		f2 := m.NewFunc("g", Signature(I1, I16, I16))
+		bd2 := NewBuilder(f2.NewBlock("entry"))
+		bd2.Ret(bd2.ICmp(p.Negate(), f2.Params[0], f2.Params[1]))
+		ip := NewInterp(m)
+		r1, err1 := ip.Run("f", uint64(a), uint64(b))
+		r2, err2 := ip.Run("g", uint64(a), uint64(b))
+		return err1 == nil && err2 == nil && r1 != r2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockManipulation(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", Signature(Void))
+	blk := f.NewBlock("entry")
+	b := NewBuilder(blk)
+	f1 := b.Fence(FenceSC)
+	r := b.Ret(nil)
+	f2 := &Instr{Op: OpFence, Ty: Void, Fence: FenceRM}
+	blk.InsertBefore(f2, r)
+	if blk.Index(f2) != 1 {
+		t.Fatalf("insert position %d", blk.Index(f2))
+	}
+	blk.Remove(f1)
+	if len(blk.Instrs) != 2 || blk.Instrs[0] != f2 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestPhiOrderingInBuilder(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", Signature(Void))
+	blk := f.NewBlock("entry")
+	b := NewBuilder(blk)
+	b.Fence(FenceSC)
+	p := b.Phi(I64) // must be inserted before the fence
+	if blk.Instrs[0] != p {
+		t.Fatal("phi not placed at block head")
+	}
+}
+
+// Property: the parallel-phi interpreter semantics — swapping two phis via
+// a loop produces the rotation, not the collapsed value (regression for the
+// sequential-phi bug found by the pipeline fuzzer).
+func TestInterpParallelPhis(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("main", Signature(I64, I64))
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+	b := NewBuilder(entry)
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(I64)
+	a := b.Phi(I64)
+	c := b.Phi(I64)
+	AddIncoming(i, I64Const(0), entry)
+	AddIncoming(a, I64Const(1), entry)
+	AddIncoming(c, I64Const(2), entry)
+	// Swap a and c every iteration.
+	AddIncoming(a, c, loop)
+	AddIncoming(c, a, loop)
+	i2 := b.Add(i, I64Const(1))
+	AddIncoming(i, i2, loop)
+	cond := b.ICmp(PredSLT, i2, f.Params[0])
+	b.CondBr(cond, loop, exit)
+	b.SetBlock(exit)
+	// After n iterations: (a,c) = (1,2) if n even else (2,1).
+	r := b.Mul(a, I64Const(10))
+	r2 := b.Add(r, c)
+	b.Ret(r2)
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(m)
+	// main(1): the back edge is never taken -> (a,c) stay (1,2).
+	noSwap, err := ip.Run("main", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noSwap != 12 {
+		t.Fatalf("with no back edge got %d, want 12", noSwap)
+	}
+	// main(2): one back edge -> one parallel swap -> (a,c) = (2,1). A
+	// sequential-phi interpreter would collapse both to the same value.
+	oneSwap, _ := ip.Run("main", 2)
+	if oneSwap != 21 {
+		t.Fatalf("after one swap got %d, want 21", oneSwap)
+	}
+}

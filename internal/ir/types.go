@@ -1,0 +1,208 @@
+// Package ir implements a typed, LLVM-like intermediate representation with
+// the LIMM concurrency primitives from the Lasagne paper (PLDI 2022):
+// non-atomic and seq_cst memory accesses, atomic read-modify-write
+// operations, and the three LIMM fences Frm, Fww and Fsc.
+//
+// The package provides the data structures (Module, Func, Block, Instr), a
+// builder, a verifier, a textual printer, standard analyses (dominators,
+// use/def chains) and a reference interpreter used for differential testing
+// against the machine-code simulators.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the interface implemented by all IR types.
+type Type interface {
+	// String returns the LLVM-like spelling of the type (e.g. "i32",
+	// "double", "i8*", "<2 x double>").
+	String() string
+	// Size returns the store size of the type in bytes.
+	Size() int
+	// Equal reports whether t is structurally identical to the receiver.
+	Equal(t Type) bool
+}
+
+// VoidType is the type of instructions that produce no value.
+type VoidType struct{}
+
+func (VoidType) String() string    { return "void" }
+func (VoidType) Size() int         { return 0 }
+func (VoidType) Equal(t Type) bool { _, ok := t.(VoidType); return ok }
+
+// IntType is an integer type of a fixed bit width (i1, i8, i16, i32, i64).
+type IntType struct {
+	Bits int
+}
+
+func (t *IntType) String() string { return fmt.Sprintf("i%d", t.Bits) }
+func (t *IntType) Size() int      { return (t.Bits + 7) / 8 }
+func (t *IntType) Equal(u Type) bool {
+	v, ok := u.(*IntType)
+	return ok && v.Bits == t.Bits
+}
+
+// FloatType is an IEEE-754 floating point type (float or double).
+type FloatType struct {
+	Bits int // 32 or 64
+}
+
+func (t *FloatType) String() string {
+	if t.Bits == 32 {
+		return "float"
+	}
+	return "double"
+}
+func (t *FloatType) Size() int { return t.Bits / 8 }
+func (t *FloatType) Equal(u Type) bool {
+	v, ok := u.(*FloatType)
+	return ok && v.Bits == t.Bits
+}
+
+// PtrType is a typed pointer. All pointers are 8 bytes wide.
+type PtrType struct {
+	Elem Type
+}
+
+func (t *PtrType) String() string { return t.Elem.String() + "*" }
+func (t *PtrType) Size() int      { return 8 }
+func (t *PtrType) Equal(u Type) bool {
+	v, ok := u.(*PtrType)
+	return ok && v.Elem.Equal(t.Elem)
+}
+
+// VectorType is a fixed-length SIMD vector (e.g. <2 x double>, <4 x i32>).
+type VectorType struct {
+	Elem Type
+	Len  int
+}
+
+func (t *VectorType) String() string {
+	return fmt.Sprintf("<%d x %s>", t.Len, t.Elem)
+}
+func (t *VectorType) Size() int { return t.Len * t.Elem.Size() }
+func (t *VectorType) Equal(u Type) bool {
+	v, ok := u.(*VectorType)
+	return ok && v.Len == t.Len && v.Elem.Equal(t.Elem)
+}
+
+// ArrayType is a fixed-length array, used for stack frames ([n x i8]) and
+// global data.
+type ArrayType struct {
+	Elem Type
+	Len  int
+}
+
+func (t *ArrayType) String() string {
+	return fmt.Sprintf("[%d x %s]", t.Len, t.Elem)
+}
+func (t *ArrayType) Size() int { return t.Len * t.Elem.Size() }
+func (t *ArrayType) Equal(u Type) bool {
+	v, ok := u.(*ArrayType)
+	return ok && v.Len == t.Len && v.Elem.Equal(t.Elem)
+}
+
+// FuncType describes a function signature.
+type FuncType struct {
+	Ret      Type
+	Params   []Type
+	Variadic bool
+}
+
+func (t *FuncType) String() string {
+	var b strings.Builder
+	b.WriteString(t.Ret.String())
+	b.WriteString(" (")
+	for i, p := range t.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	if t.Variadic {
+		if len(t.Params) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("...")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+func (t *FuncType) Size() int { return 8 }
+func (t *FuncType) Equal(u Type) bool {
+	v, ok := u.(*FuncType)
+	if !ok || v.Variadic != t.Variadic || len(v.Params) != len(t.Params) || !v.Ret.Equal(t.Ret) {
+		return false
+	}
+	for i := range t.Params {
+		if !v.Params[i].Equal(t.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Singleton types for the common cases.
+var (
+	Void = VoidType{}
+	I1   = &IntType{Bits: 1}
+	I8   = &IntType{Bits: 8}
+	I16  = &IntType{Bits: 16}
+	I32  = &IntType{Bits: 32}
+	I64  = &IntType{Bits: 64}
+	F32  = &FloatType{Bits: 32}
+	F64  = &FloatType{Bits: 64}
+)
+
+// PointerTo returns the pointer type to elem.
+func PointerTo(elem Type) *PtrType { return &PtrType{Elem: elem} }
+
+// VectorOf returns the vector type <n x elem>.
+func VectorOf(elem Type, n int) *VectorType { return &VectorType{Elem: elem, Len: n} }
+
+// ArrayOf returns the array type [n x elem].
+func ArrayOf(elem Type, n int) *ArrayType { return &ArrayType{Elem: elem, Len: n} }
+
+// Signature returns a function type with the given return and parameter
+// types.
+func Signature(ret Type, params ...Type) *FuncType {
+	return &FuncType{Ret: ret, Params: params}
+}
+
+// VariadicSignature returns a variadic function type.
+func VariadicSignature(ret Type, params ...Type) *FuncType {
+	return &FuncType{Ret: ret, Params: params, Variadic: true}
+}
+
+// IsInt reports whether t is an integer type.
+func IsInt(t Type) bool { _, ok := t.(*IntType); return ok }
+
+// IsFloat reports whether t is a floating point type.
+func IsFloat(t Type) bool { _, ok := t.(*FloatType); return ok }
+
+// IsPtr reports whether t is a pointer type.
+func IsPtr(t Type) bool { _, ok := t.(*PtrType); return ok }
+
+// IsVector reports whether t is a vector type.
+func IsVector(t Type) bool { _, ok := t.(*VectorType); return ok }
+
+// IsVoid reports whether t is void.
+func IsVoid(t Type) bool { _, ok := t.(VoidType); return ok }
+
+// IntBits returns the width of an integer type, or 0 if t is not an integer.
+func IntBits(t Type) int {
+	if it, ok := t.(*IntType); ok {
+		return it.Bits
+	}
+	return 0
+}
+
+// Elem returns the pointee of a pointer type, or nil.
+func Elem(t Type) Type {
+	if pt, ok := t.(*PtrType); ok {
+		return pt.Elem
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is anything that can appear as an instruction operand: constants,
+// function parameters, globals, functions, and the results of instructions.
+type Value interface {
+	// Type returns the type of the value.
+	Type() Type
+	// Ref returns the short operand spelling used when the value is
+	// referenced (e.g. "%t3", "42", "@g").
+	Ref() string
+}
+
+// ConstInt is an integer constant. The value is stored sign-extended in V
+// regardless of the type's width.
+type ConstInt struct {
+	Ty *IntType
+	V  int64
+}
+
+func (c *ConstInt) Type() Type  { return c.Ty }
+func (c *ConstInt) Ref() string { return strconv.FormatInt(c.V, 10) }
+
+// ConstFloat is a floating point constant.
+type ConstFloat struct {
+	Ty *FloatType
+	V  float64
+}
+
+func (c *ConstFloat) Type() Type { return c.Ty }
+func (c *ConstFloat) Ref() string {
+	if c.V == math.Trunc(c.V) && math.Abs(c.V) < 1e15 {
+		return fmt.Sprintf("%.1f", c.V)
+	}
+	return strconv.FormatFloat(c.V, 'g', -1, 64)
+}
+
+// ConstNull is the null pointer constant of a given pointer type.
+type ConstNull struct {
+	Ty *PtrType
+}
+
+func (c *ConstNull) Type() Type  { return c.Ty }
+func (c *ConstNull) Ref() string { return "null" }
+
+// Undef is an undefined value of an arbitrary type, produced e.g. when
+// lifting reads of uninitialized registers.
+type Undef struct {
+	Ty Type
+}
+
+func (c *Undef) Type() Type  { return c.Ty }
+func (c *Undef) Ref() string { return "undef" }
+
+// Param is a function parameter.
+type Param struct {
+	Nam string
+	Ty  Type
+	Idx int // position in the parameter list
+}
+
+func (p *Param) Type() Type  { return p.Ty }
+func (p *Param) Ref() string { return "%" + p.Nam }
+
+// Global is a module-level variable. Its value is the address of the
+// storage, so its type is a pointer to the element type.
+type Global struct {
+	Name  string
+	Elem  Type   // type of the storage
+	Init  []byte // initial bytes (zero-filled if shorter than Elem.Size())
+	Align int
+}
+
+func (g *Global) Type() Type  { return PointerTo(g.Elem) }
+func (g *Global) Ref() string { return "@" + g.Name }
+
+// IntConst returns an integer constant of the given type.
+func IntConst(ty *IntType, v int64) *ConstInt {
+	return &ConstInt{Ty: ty, V: truncSigned(v, ty.Bits)}
+}
+
+// I64Const returns an i64 constant.
+func I64Const(v int64) *ConstInt { return &ConstInt{Ty: I64, V: v} }
+
+// I32Const returns an i32 constant.
+func I32Const(v int64) *ConstInt { return IntConst(I32, v) }
+
+// I1Const returns an i1 constant (0 or 1).
+func I1Const(b bool) *ConstInt {
+	if b {
+		return &ConstInt{Ty: I1, V: 1}
+	}
+	return &ConstInt{Ty: I1, V: 0}
+}
+
+// FloatConst returns a floating point constant of the given type.
+func FloatConst(ty *FloatType, v float64) *ConstFloat { return &ConstFloat{Ty: ty, V: v} }
+
+// Null returns the null constant of the given pointer type.
+func Null(ty *PtrType) *ConstNull { return &ConstNull{Ty: ty} }
+
+// NewUndef returns an undef value of the given type.
+func NewUndef(ty Type) *Undef { return &Undef{Ty: ty} }
+
+// IsConst reports whether v is a constant (integer, float, null or undef).
+func IsConst(v Value) bool {
+	switch v.(type) {
+	case *ConstInt, *ConstFloat, *ConstNull, *Undef:
+		return true
+	}
+	return false
+}
+
+// ConstIntValue returns the integer value of v if v is a ConstInt.
+func ConstIntValue(v Value) (int64, bool) {
+	if c, ok := v.(*ConstInt); ok {
+		return c.V, true
+	}
+	return 0, false
+}
+
+// truncSigned truncates v to bits and sign-extends the result.
+func truncSigned(v int64, bits int) int64 {
+	if bits >= 64 {
+		return v
+	}
+	shift := uint(64 - bits)
+	return v << shift >> shift
+}

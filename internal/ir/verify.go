@@ -1,0 +1,264 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural and type well-formedness of the module:
+// terminator placement, operand types, phi consistency and SSA dominance.
+// It returns the first violation found, or nil.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := VerifyFunc(f); err != nil {
+			return fmt.Errorf("function @%s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// VerifyFunc checks a single function.
+func VerifyFunc(f *Func) error {
+	if f.External {
+		if len(f.Blocks) != 0 {
+			return fmt.Errorf("external function has a body")
+		}
+		return nil
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("defined function has no blocks")
+	}
+	defined := make(map[Value]bool)
+	for _, p := range f.Params {
+		defined[p] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %%%s is empty", b.Name)
+		}
+		if b.Terminator() == nil {
+			return fmt.Errorf("block %%%s has no terminator", b.Name)
+		}
+		for k, in := range b.Instrs {
+			if in.IsTerminator() && k != len(b.Instrs)-1 {
+				return fmt.Errorf("block %%%s: terminator %q not at end", b.Name, in)
+			}
+			if in.Op == OpPhi && k > 0 && b.Instrs[k-1].Op != OpPhi {
+				return fmt.Errorf("block %%%s: phi %q after non-phi", b.Name, in)
+			}
+			if err := checkInstrTypes(in); err != nil {
+				return fmt.Errorf("block %%%s: %q: %w", b.Name, in, err)
+			}
+			if !IsVoid(in.Ty) {
+				defined[in] = true
+			}
+		}
+	}
+	// All operands must be defined somewhere (params, constants, globals,
+	// funcs or instructions of this function).
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				switch a.(type) {
+				case *ConstInt, *ConstFloat, *ConstNull, *Undef, *Global, *Func:
+					continue
+				}
+				if !defined[a] {
+					return fmt.Errorf("block %%%s: %q uses undefined value %s", b.Name, in, a.Ref())
+				}
+			}
+		}
+	}
+	// SSA dominance for instruction operands.
+	dt := ComputeDomTree(f)
+	reach := ReachableBlocks(f)
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Op == OpPhi {
+				if len(in.Args) != len(in.Blocks) {
+					return fmt.Errorf("phi %q: args/blocks mismatch", in)
+				}
+				preds := b.Preds()
+				if len(in.Args) != len(preds) {
+					return fmt.Errorf("phi %q in %%%s: %d incoming edges, %d predecessors",
+						in, b.Name, len(in.Args), len(preds))
+				}
+				for k, a := range in.Args {
+					def, ok := a.(*Instr)
+					if !ok {
+						continue
+					}
+					if !reach[def.Parent] {
+						continue
+					}
+					// The definition must dominate the end of the incoming block.
+					inc := in.Blocks[k]
+					if !dt.Dominates(def.Parent, inc) {
+						return fmt.Errorf("phi %q: incoming %s does not dominate edge from %%%s",
+							in, a.Ref(), inc.Name)
+					}
+				}
+				continue
+			}
+			for _, a := range in.Args {
+				def, ok := a.(*Instr)
+				if !ok {
+					continue
+				}
+				if def.Parent == nil {
+					return fmt.Errorf("%q uses removed instruction %s", in, a.Ref())
+				}
+				if !reach[def.Parent] {
+					continue
+				}
+				if !InstrDominates(dt, def, in) {
+					return fmt.Errorf("%q: operand %s does not dominate use", in, a.Ref())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkInstrTypes(in *Instr) error {
+	argn := func(n int) error {
+		if len(in.Args) != n {
+			return fmt.Errorf("want %d operands, have %d", n, len(in.Args))
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpLoad:
+		if err := argn(1); err != nil {
+			return err
+		}
+		pt, ok := in.Args[0].Type().(*PtrType)
+		if !ok {
+			return fmt.Errorf("load from non-pointer %s", in.Args[0].Type())
+		}
+		if !pt.Elem.Equal(in.Ty) {
+			return fmt.Errorf("load type %s from %s", in.Ty, pt)
+		}
+	case OpStore:
+		if err := argn(2); err != nil {
+			return err
+		}
+		pt, ok := in.Args[1].Type().(*PtrType)
+		if !ok {
+			return fmt.Errorf("store to non-pointer %s", in.Args[1].Type())
+		}
+		if !pt.Elem.Equal(in.Args[0].Type()) {
+			return fmt.Errorf("store %s to %s", in.Args[0].Type(), pt)
+		}
+	case OpRMW:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if !IsPtr(in.Args[0].Type()) {
+			return fmt.Errorf("atomicrmw on non-pointer")
+		}
+	case OpCmpXchg:
+		if err := argn(3); err != nil {
+			return err
+		}
+		if !IsPtr(in.Args[0].Type()) {
+			return fmt.Errorf("cmpxchg on non-pointer")
+		}
+	case OpGEP:
+		if len(in.Args) < 2 {
+			return fmt.Errorf("getelementptr needs base and index")
+		}
+		if !IsPtr(in.Args[0].Type()) {
+			return fmt.Errorf("getelementptr base is %s", in.Args[0].Type())
+		}
+	case OpICmp:
+		if err := argn(2); err != nil {
+			return err
+		}
+		a, b := in.Args[0].Type(), in.Args[1].Type()
+		if !a.Equal(b) {
+			return fmt.Errorf("icmp operand types %s vs %s", a, b)
+		}
+		if !IsInt(a) && !IsPtr(a) {
+			return fmt.Errorf("icmp on %s", a)
+		}
+	case OpFCmp:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if !IsFloat(in.Args[0].Type()) {
+			return fmt.Errorf("fcmp on %s", in.Args[0].Type())
+		}
+	case OpSelect:
+		if err := argn(3); err != nil {
+			return err
+		}
+		if !in.Args[1].Type().Equal(in.Args[2].Type()) {
+			return fmt.Errorf("select arms %s vs %s", in.Args[1].Type(), in.Args[2].Type())
+		}
+	case OpCondBr:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if IntBits(in.Args[0].Type()) != 1 {
+			return fmt.Errorf("condbr condition is %s", in.Args[0].Type())
+		}
+		if len(in.Blocks) != 2 {
+			return fmt.Errorf("condbr needs 2 targets")
+		}
+	case OpBr:
+		if len(in.Blocks) != 1 {
+			return fmt.Errorf("br needs 1 target")
+		}
+	case OpCall:
+		if len(in.Args) < 1 {
+			return fmt.Errorf("call without callee")
+		}
+		ft, ok := in.Args[0].Type().(*FuncType)
+		if !ok {
+			return fmt.Errorf("call of non-function %s", in.Args[0].Type())
+		}
+		fixed := len(ft.Params)
+		if len(in.Args)-1 < fixed || (!ft.Variadic && len(in.Args)-1 != fixed) {
+			return fmt.Errorf("call arity %d, signature %s", len(in.Args)-1, ft)
+		}
+		for k := 0; k < fixed; k++ {
+			if !in.Args[1+k].Type().Equal(ft.Params[k]) {
+				return fmt.Errorf("call arg %d is %s, want %s", k, in.Args[1+k].Type(), ft.Params[k])
+			}
+		}
+	case OpTrunc:
+		if IntBits(in.Args[0].Type()) <= IntBits(in.Ty) {
+			return fmt.Errorf("trunc %s to %s", in.Args[0].Type(), in.Ty)
+		}
+	case OpZext, OpSext:
+		if IntBits(in.Args[0].Type()) >= IntBits(in.Ty) {
+			return fmt.Errorf("%s %s to %s", in.Op, in.Args[0].Type(), in.Ty)
+		}
+	case OpBitcast:
+		if in.Args[0].Type().Size() != in.Ty.Size() {
+			return fmt.Errorf("bitcast size mismatch %s to %s", in.Args[0].Type(), in.Ty)
+		}
+	case OpIntToPtr:
+		if !IsInt(in.Args[0].Type()) || !IsPtr(in.Ty) {
+			return fmt.Errorf("inttoptr %s to %s", in.Args[0].Type(), in.Ty)
+		}
+	case OpPtrToInt:
+		if !IsPtr(in.Args[0].Type()) || !IsInt(in.Ty) {
+			return fmt.Errorf("ptrtoint %s to %s", in.Args[0].Type(), in.Ty)
+		}
+	default:
+		if IsBinaryOp(in.Op) {
+			if err := argn(2); err != nil {
+				return err
+			}
+			if !in.Args[0].Type().Equal(in.Args[1].Type()) {
+				return fmt.Errorf("%s operand types %s vs %s", in.Op, in.Args[0].Type(), in.Args[1].Type())
+			}
+			if !in.Ty.Equal(in.Args[0].Type()) {
+				return fmt.Errorf("%s result %s, operands %s", in.Op, in.Ty, in.Args[0].Type())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,410 @@
+// Package machine implements the MachineInstr lifting layer (Fig. 4): it
+// reconstructs control-flow graphs from decoded instruction streams and
+// performs the function-type discovery of §4.1 — live-register analysis
+// against the System-V calling convention to recover parameter lists and
+// return types that were erased by compilation.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"lasagne/internal/mc"
+	"lasagne/internal/x86"
+)
+
+// Block is one basic block of machine instructions.
+type Block struct {
+	Start uint64
+	Insts []x86.Inst
+	Succs []*Block
+
+	// Liveness sets over registers (GP and XMM).
+	use, def map[x86.Reg]bool
+	in, out  map[x86.Reg]bool
+}
+
+// ParamKind distinguishes integer/pointer parameters from SSE ones.
+type ParamKind int
+
+const (
+	ParamInt ParamKind = iota
+	ParamF64
+	ParamF32
+)
+
+// Param is one discovered parameter with its source register.
+type Param struct {
+	Reg  x86.Reg
+	Kind ParamKind
+}
+
+// RetKind is the discovered return type.
+type RetKind int
+
+const (
+	RetVoid RetKind = iota
+	RetInt
+	RetF64
+)
+
+// Function is a machine function with a CFG and a discovered type.
+type Function struct {
+	Name   string
+	Entry  uint64
+	Blocks []*Block
+	Params []Param
+	Ret    RetKind
+}
+
+// System-V parameter registers in ABI order.
+var intParamRegs = []x86.Reg{x86.RDI, x86.RSI, x86.RDX, x86.RCX, x86.R8, x86.R9}
+var fpParamRegs = []x86.Reg{x86.XMM0, x86.XMM1, x86.XMM2, x86.XMM3, x86.XMM4, x86.XMM5, x86.XMM6, x86.XMM7}
+
+// Build reconstructs the CFG of a disassembled function and discovers its
+// type.
+func Build(s mc.Stream) (*Function, error) {
+	if len(s.Insts) == 0 {
+		return nil, fmt.Errorf("machine: %s is empty", s.Sym.Name)
+	}
+	f := &Function{Name: s.Sym.Name, Entry: s.Sym.Addr}
+	if err := f.buildCFG(s); err != nil {
+		return nil, err
+	}
+	f.liveness()
+	f.discoverParams()
+	f.discoverReturn()
+	return f, nil
+}
+
+func (f *Function) buildCFG(s mc.Stream) error {
+	end := s.Sym.Addr + s.Sym.Size
+	// Leaders: entry, branch targets, instruction after each terminator.
+	leaders := map[uint64]bool{s.Sym.Addr: true}
+	for _, in := range s.Insts {
+		if tgt, ok := in.BranchTarget(); ok && in.Op != x86.CALL {
+			if tgt < s.Sym.Addr || tgt >= end {
+				return fmt.Errorf("machine: %s: branch to %#x outside function", f.Name, tgt)
+			}
+			leaders[tgt] = true
+		}
+		if in.IsTerminator() {
+			leaders[in.Addr+uint64(in.Len)] = true
+		}
+	}
+	// Split into blocks.
+	byStart := map[uint64]*Block{}
+	var cur *Block
+	for _, in := range s.Insts {
+		if leaders[in.Addr] || cur == nil {
+			cur = &Block{Start: in.Addr}
+			byStart[in.Addr] = cur
+			f.Blocks = append(f.Blocks, cur)
+		}
+		cur.Insts = append(cur.Insts, in)
+	}
+	// Successor edges.
+	for _, b := range f.Blocks {
+		last := b.Insts[len(b.Insts)-1]
+		next := last.Addr + uint64(last.Len)
+		addSucc := func(addr uint64) error {
+			s, ok := byStart[addr]
+			if !ok {
+				return fmt.Errorf("machine: %s: no block at %#x", f.Name, addr)
+			}
+			b.Succs = append(b.Succs, s)
+			return nil
+		}
+		switch last.Op {
+		case x86.RET, x86.UD2:
+		case x86.JMP:
+			tgt, ok := last.BranchTarget()
+			if !ok {
+				return fmt.Errorf("machine: %s: indirect jump at %#x unsupported", f.Name, last.Addr)
+			}
+			if err := addSucc(tgt); err != nil {
+				return err
+			}
+		case x86.JCC:
+			tgt, _ := last.BranchTarget()
+			if err := addSucc(tgt); err != nil {
+				return err
+			}
+			if next < end {
+				if err := addSucc(next); err != nil {
+					return err
+				}
+			}
+		default:
+			if next < end {
+				if err := addSucc(next); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Stable order by address.
+	sort.Slice(f.Blocks, func(i, j int) bool { return f.Blocks[i].Start < f.Blocks[j].Start })
+	return nil
+}
+
+// callerSaved are the registers clobbered by a call under System-V.
+var callerSaved = func() []x86.Reg {
+	regs := []x86.Reg{x86.RAX, x86.RCX, x86.RDX, x86.RSI, x86.RDI, x86.R8, x86.R9, x86.R10, x86.R11}
+	for r := x86.XMM0; r <= x86.XMM15; r++ {
+		regs = append(regs, r)
+	}
+	return regs
+}()
+
+// useDef returns the registers read and written by one instruction.
+// Memory operand base/index registers are always uses.
+func useDef(in x86.Inst) (uses, defs []x86.Reg) {
+	addMemUses := func(o x86.Operand) {
+		if o.Kind != x86.KindMem {
+			return
+		}
+		if o.Mem.Base != x86.RegNone && o.Mem.Base != x86.RIP {
+			uses = append(uses, o.Mem.Base)
+		}
+		if o.Mem.Index != x86.RegNone {
+			uses = append(uses, o.Mem.Index)
+		}
+	}
+	for _, o := range in.Ops {
+		addMemUses(o)
+	}
+	reg := func(i int) (x86.Reg, bool) {
+		if i < len(in.Ops) && in.Ops[i].Kind == x86.KindReg {
+			return in.Ops[i].Reg, true
+		}
+		return 0, false
+	}
+
+	switch in.Op {
+	case x86.MOV, x86.MOVZX, x86.MOVSX, x86.MOVSXD, x86.LEA,
+		x86.MOVSD_X, x86.MOVSS_X, x86.MOVQ, x86.MOVD, x86.MOVAPS, x86.MOVUPS,
+		x86.CVTSI2SD, x86.CVTTSD2SI, x86.CVTSS2SD, x86.CVTSD2SS, x86.SETCC:
+		// dst := f(src): dst written (if register), src read.
+		if r, ok := reg(0); ok {
+			defs = append(defs, r)
+		}
+		if r, ok := reg(1); ok {
+			uses = append(uses, r)
+		}
+	case x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR,
+		x86.SHL, x86.SHR, x86.SAR, x86.NEG, x86.NOT,
+		x86.ADDSD, x86.SUBSD, x86.MULSD, x86.DIVSD, x86.SQRTSD,
+		x86.ADDSS, x86.SUBSS, x86.MULSS, x86.DIVSS,
+		x86.PXOR, x86.XORPS, x86.ADDPD, x86.MULPD, x86.ADDPS, x86.PADDD,
+		x86.CMOVCC:
+		// dst := dst op src. An xor/pxor of a register with itself is the
+		// conventional zeroing idiom: a pure definition, not a use.
+		zeroIdiom := (in.Op == x86.XOR || in.Op == x86.PXOR || in.Op == x86.XORPS) &&
+			len(in.Ops) == 2 && in.Ops[0].Kind == x86.KindReg && in.Ops[1].Kind == x86.KindReg &&
+			in.Ops[0].Reg == in.Ops[1].Reg
+		if r, ok := reg(0); ok {
+			defs = append(defs, r)
+			if !zeroIdiom {
+				uses = append(uses, r)
+			}
+		}
+		if r, ok := reg(1); ok && !zeroIdiom {
+			uses = append(uses, r)
+		}
+	case x86.CMP, x86.TEST, x86.UCOMISD:
+		for i := 0; i < 2; i++ {
+			if r, ok := reg(i); ok {
+				uses = append(uses, r)
+			}
+		}
+	case x86.IMUL:
+		if r, ok := reg(0); ok {
+			defs = append(defs, r)
+			if len(in.Ops) == 2 {
+				uses = append(uses, r)
+			}
+		}
+		if r, ok := reg(1); ok {
+			uses = append(uses, r)
+		}
+	case x86.IMUL1, x86.MUL1, x86.IDIV, x86.DIV:
+		uses = append(uses, x86.RAX, x86.RDX)
+		defs = append(defs, x86.RAX, x86.RDX)
+		if r, ok := reg(0); ok {
+			uses = append(uses, r)
+		}
+	case x86.CQO, x86.CDQ:
+		uses = append(uses, x86.RAX)
+		defs = append(defs, x86.RDX)
+	case x86.PUSH:
+		if r, ok := reg(0); ok {
+			uses = append(uses, r)
+		}
+		uses = append(uses, x86.RSP)
+		defs = append(defs, x86.RSP)
+	case x86.POP:
+		if r, ok := reg(0); ok {
+			defs = append(defs, r)
+		}
+		uses = append(uses, x86.RSP)
+		defs = append(defs, x86.RSP)
+	case x86.XCHG, x86.XADD:
+		if r, ok := reg(0); ok {
+			uses = append(uses, r)
+			defs = append(defs, r)
+		}
+		if r, ok := reg(1); ok {
+			uses = append(uses, r)
+			defs = append(defs, r)
+		}
+	case x86.CMPXCHG:
+		uses = append(uses, x86.RAX)
+		defs = append(defs, x86.RAX)
+		if r, ok := reg(0); ok {
+			uses = append(uses, r)
+			defs = append(defs, r)
+		}
+		if r, ok := reg(1); ok {
+			uses = append(uses, r)
+		}
+	case x86.CALL:
+		// Calls clobber all caller-saved registers. Argument registers are
+		// not modeled as uses here; parameter discovery relies on reads
+		// that occur before the call (mctoll behaves equivalently because
+		// compilers load argument registers immediately before calls).
+		defs = append(defs, callerSaved...)
+		if r, ok := reg(0); ok {
+			uses = append(uses, r)
+		}
+	}
+	// Shift by CL reads RCX.
+	if (in.Op == x86.SHL || in.Op == x86.SHR || in.Op == x86.SAR) &&
+		len(in.Ops) == 2 && in.Ops[1].Kind == x86.KindReg {
+		uses = append(uses, x86.RCX)
+	}
+	return uses, defs
+}
+
+// liveness computes per-block live-in/live-out register sets.
+func (f *Function) liveness() {
+	for _, b := range f.Blocks {
+		b.use = map[x86.Reg]bool{}
+		b.def = map[x86.Reg]bool{}
+		b.in = map[x86.Reg]bool{}
+		b.out = map[x86.Reg]bool{}
+		for _, in := range b.Insts {
+			uses, defs := useDef(in)
+			for _, r := range uses {
+				if !b.def[r] {
+					b.use[r] = true
+				}
+			}
+			for _, r := range defs {
+				b.def[r] = true
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			for _, s := range b.Succs {
+				for r := range s.in {
+					if !b.out[r] {
+						b.out[r] = true
+						changed = true
+					}
+				}
+			}
+			for r := range b.use {
+				if !b.in[r] {
+					b.in[r] = true
+					changed = true
+				}
+			}
+			for r := range b.out {
+				if !b.def[r] && !b.in[r] {
+					b.in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// discoverParams applies §4.1: a conventional parameter register that is
+// live-in at the entry block is a parameter. The System-V prefix property
+// holds (a compiler never passes an argument in RSI without also using
+// RDI), so discovery stops at the first non-live register.
+func (f *Function) discoverParams() {
+	entry := f.Blocks[0]
+	for _, r := range intParamRegs {
+		if !entry.in[r] {
+			break
+		}
+		f.Params = append(f.Params, Param{Reg: r, Kind: ParamInt})
+	}
+	for _, r := range fpParamRegs {
+		if !entry.in[r] {
+			break
+		}
+		kind := ParamF64
+		if f.firstXMMUseIsF32(r) {
+			kind = ParamF32
+		}
+		f.Params = append(f.Params, Param{Reg: r, Kind: kind})
+	}
+}
+
+// firstXMMUseIsF32 inspects the instructions using an XMM register to derive
+// its type (§4.1: scalar instructions determine float vs double).
+func (f *Function) firstXMMUseIsF32(r x86.Reg) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			for _, o := range in.Ops {
+				if o.Kind == x86.KindReg && o.Reg == r {
+					switch in.Op {
+					case x86.MOVSS_X, x86.ADDSS, x86.SUBSS, x86.MULSS, x86.DIVSS, x86.CVTSS2SD:
+						return true
+					case x86.MOVSD_X, x86.ADDSD, x86.SUBSD, x86.MULSD, x86.DIVSD, x86.UCOMISD, x86.CVTSD2SS:
+						return false
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// discoverReturn applies the §4.1 heuristic: walk backwards from each RET;
+// a definition of RAX (or XMM0) before any call indicates a return value.
+func (f *Function) discoverReturn() {
+	ret := RetVoid
+	for _, b := range f.Blocks {
+		last := b.Insts[len(b.Insts)-1]
+		if last.Op != x86.RET {
+			continue
+		}
+	scan:
+		for i := len(b.Insts) - 2; i >= 0; i-- {
+			in := b.Insts[i]
+			if in.Op == x86.CALL {
+				break
+			}
+			_, defs := useDef(in)
+			for _, d := range defs {
+				if d == x86.RAX {
+					ret = RetInt
+					break scan
+				}
+				if d == x86.XMM0 {
+					ret = RetF64
+					break scan
+				}
+			}
+		}
+	}
+	f.Ret = ret
+}

@@ -1,0 +1,41 @@
+// Package mc implements the lowest lifting layer (the MCInst stage of
+// Fig. 4): it disassembles the .text section of an x86-64 object into
+// per-function instruction streams using the symbol table.
+package mc
+
+import (
+	"fmt"
+
+	"lasagne/internal/obj"
+	"lasagne/internal/x86"
+)
+
+// Stream is the decoded instruction sequence of one function.
+type Stream struct {
+	Sym   obj.Symbol
+	Insts []x86.Inst
+}
+
+// Disassemble decodes every function symbol of an x86-64 object file.
+func Disassemble(f *obj.File) ([]Stream, error) {
+	if f.Arch != "x86-64" {
+		return nil, fmt.Errorf("mc: cannot disassemble %q binaries", f.Arch)
+	}
+	text := f.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("mc: no .text section")
+	}
+	var out []Stream
+	for _, sym := range f.FuncSymbols() {
+		if sym.Addr < text.Addr || sym.Addr+sym.Size > text.Addr+uint64(len(text.Data)) {
+			return nil, fmt.Errorf("mc: function %s outside .text", sym.Name)
+		}
+		start := sym.Addr - text.Addr
+		insts, err := x86.DecodeAll(text.Data[start:start+sym.Size], sym.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("mc: disassembling %s: %w", sym.Name, err)
+		}
+		out = append(out, Stream{Sym: sym, Insts: insts})
+	}
+	return out, nil
+}

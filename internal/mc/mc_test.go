@@ -1,0 +1,68 @@
+package mc
+
+import (
+	"testing"
+
+	"lasagne/internal/obj"
+	"lasagne/internal/x86"
+)
+
+func TestDisassembleFunctions(t *testing.T) {
+	enc := func(in x86.Inst) []byte {
+		code, err := x86.Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return code
+	}
+	f1 := append(enc(x86.NewInst(x86.MOV, 8, x86.RegOp(x86.RAX), x86.ImmOp(1))),
+		enc(x86.NewInst(x86.RET, 0))...)
+	f2 := enc(x86.NewInst(x86.RET, 0))
+	text := append(append([]byte{}, f1...), f2...)
+
+	file := &obj.File{
+		Arch:  "x86-64",
+		Entry: "a",
+		Sections: []obj.Section{
+			{Name: ".text", Addr: obj.TextBase, Data: text},
+		},
+		Symbols: []obj.Symbol{
+			{Name: "a", Kind: obj.SymFunc, Addr: obj.TextBase, Size: uint64(len(f1))},
+			{Name: "b", Kind: obj.SymFunc, Addr: obj.TextBase + uint64(len(f1)), Size: uint64(len(f2))},
+		},
+	}
+	streams, err := Disassemble(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 2 {
+		t.Fatalf("%d streams", len(streams))
+	}
+	if len(streams[0].Insts) != 2 || streams[0].Insts[1].Op != x86.RET {
+		t.Fatalf("stream a: %v", streams[0].Insts)
+	}
+	if len(streams[1].Insts) != 1 {
+		t.Fatalf("stream b: %v", streams[1].Insts)
+	}
+	if streams[0].Insts[0].Addr != obj.TextBase {
+		t.Fatal("addresses not anchored at the symbol")
+	}
+}
+
+func TestDisassembleRejectsWrongArch(t *testing.T) {
+	f := &obj.File{Arch: "arm64"}
+	if _, err := Disassemble(f); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDisassembleRejectsOutOfRangeSymbol(t *testing.T) {
+	f := &obj.File{
+		Arch:     "x86-64",
+		Sections: []obj.Section{{Name: ".text", Addr: obj.TextBase, Data: []byte{0xC3}}},
+		Symbols:  []obj.Symbol{{Name: "f", Kind: obj.SymFunc, Addr: obj.TextBase, Size: 100}},
+	}
+	if _, err := Disassemble(f); err == nil {
+		t.Fatal("expected range error")
+	}
+}

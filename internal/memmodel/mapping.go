@@ -1,0 +1,233 @@
+package memmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MapX86ToIR applies the Fig. 8a mapping scheme:
+//
+//	ld     -> ld.na ; Frm
+//	st     -> Fww ; st.na
+//	RMW    -> RMWsc
+//	MFENCE -> Fsc
+func MapX86ToIR(p *Program) *Program {
+	out := &Program{Name: p.Name + "→IR", Init: p.Init}
+	for _, th := range p.Threads {
+		var t []Op
+		for _, o := range th {
+			switch o.Kind {
+			case OpLoad:
+				t = append(t, Ld(o.Loc), Fn(Frm))
+			case OpStore:
+				t = append(t, Fn(Fww), St(o.Loc, o.Val))
+			case OpRMW:
+				t = append(t, o) // RMW -> RMWsc (expectation preserved)
+			case OpFence:
+				t = append(t, Fn(Fsc))
+			}
+		}
+		out.Threads = append(out.Threads, t)
+	}
+	return out
+}
+
+// MapIRToArm applies the Fig. 8b mapping scheme:
+//
+//	ld.na  -> ld
+//	st.na  -> st
+//	RMWsc  -> DMBFF ; RMW ; DMBFF
+//	Frm    -> DMBLD
+//	Fww    -> DMBST
+//	Fsc    -> DMBFF
+func MapIRToArm(p *Program) *Program {
+	out := &Program{Name: p.Name + "→Arm", Init: p.Init}
+	for _, th := range p.Threads {
+		var t []Op
+		for _, o := range th {
+			switch o.Kind {
+			case OpLoad:
+				t = append(t, Ld(o.Loc))
+			case OpStore:
+				t = append(t, St(o.Loc, o.Val))
+			case OpRMW:
+				t = append(t, Fn(DMBFF), o, Fn(DMBFF))
+			case OpFence:
+				switch o.Fence {
+				case Frm:
+					t = append(t, Fn(DMBLD))
+				case Fww:
+					t = append(t, Fn(DMBST))
+				default:
+					t = append(t, Fn(DMBFF))
+				}
+			}
+		}
+		out.Threads = append(out.Threads, t)
+	}
+	return out
+}
+
+// MapIRToX86 applies the Appendix B mapping (IR back to x86, used for the
+// Arm-to-x86 direction): non-atomic accesses need no fences under TSO, Fsc
+// becomes MFENCE, Frm/Fww vanish.
+func MapIRToX86(p *Program) *Program {
+	out := &Program{Name: p.Name + "→x86", Init: p.Init}
+	for _, th := range p.Threads {
+		var t []Op
+		for _, o := range th {
+			switch o.Kind {
+			case OpLoad:
+				t = append(t, Ld(o.Loc))
+			case OpStore:
+				t = append(t, St(o.Loc, o.Val))
+			case OpRMW:
+				t = append(t, o)
+			case OpFence:
+				if o.Fence == Fsc {
+					t = append(t, Fn(MFENCE))
+				}
+				// Frm/Fww: x86 loads and stores are already ordered.
+			}
+		}
+		out.Threads = append(out.Threads, t)
+	}
+	return out
+}
+
+// MapArmToIR lifts Arm programs into the IR (Appendix B direction).
+func MapArmToIR(p *Program) *Program {
+	out := &Program{Name: p.Name + "→IR", Init: p.Init}
+	for _, th := range p.Threads {
+		var t []Op
+		for _, o := range th {
+			switch o.Kind {
+			case OpLoad:
+				t = append(t, Ld(o.Loc))
+			case OpStore:
+				t = append(t, St(o.Loc, o.Val))
+			case OpRMW:
+				t = append(t, o)
+			case OpFence:
+				switch o.Fence {
+				case DMBLD:
+					t = append(t, Fn(Frm))
+				case DMBST:
+					t = append(t, Fn(Fww))
+				default:
+					t = append(t, Fn(Fsc))
+				}
+			}
+		}
+		out.Threads = append(out.Threads, t)
+	}
+	return out
+}
+
+// CheckMapping verifies Theorem 7.1 on one program: every behavior of the
+// target program under the target model is a behavior of the source program
+// under the source model. Loads map 1:1 across our mapping schemes, so
+// behaviors are compared including read values.
+func CheckMapping(src *Program, srcModel Model, mapFn func(*Program) *Program, tgtModel Model) error {
+	tgt := mapFn(src)
+	srcB := BehaviorsOf(src, srcModel, true)
+	tgtB := BehaviorsOf(tgt, tgtModel, true)
+	var extra []string
+	for b := range tgtB {
+		if _, ok := srcB[b]; !ok {
+			extra = append(extra, b)
+		}
+	}
+	if len(extra) > 0 {
+		return fmt.Errorf("mapping %s -> %s unsound on %s: target-only behaviors %s",
+			srcModel.Name, tgtModel.Name, src, strings.Join(extra, " | "))
+	}
+	return nil
+}
+
+// ClassicTests returns the named litmus programs used throughout the paper
+// (Figs. 1, 9, 10) plus the standard shapes LB, 2+2W and IRIW.
+func ClassicTests() []*Program {
+	return []*Program{
+		{Name: "SB", Threads: [][]Op{
+			{St("X", 1), Ld("Y")},
+			{St("Y", 1), Ld("X")},
+		}},
+		{Name: "MP", Threads: [][]Op{
+			{St("X", 1), St("Y", 1)},
+			{Ld("Y"), Ld("X")},
+		}},
+		{Name: "LB", Threads: [][]Op{
+			{Ld("X"), St("Y", 1)},
+			{Ld("Y"), St("X", 1)},
+		}},
+		{Name: "2+2W", Threads: [][]Op{
+			{St("X", 1), St("Y", 2)},
+			{St("Y", 1), St("X", 2)},
+		}},
+		{Name: "R", Threads: [][]Op{
+			{St("X", 1), St("Y", 1)},
+			{St("Y", 2), Ld("X")},
+		}},
+		{Name: "MP+mfence", Threads: [][]Op{
+			{St("X", 1), Fn(MFENCE), St("Y", 1)},
+			{Ld("Y"), Fn(MFENCE), Ld("X")},
+		}},
+		{Name: "SB+mfence", Threads: [][]Op{
+			{St("X", 1), Fn(MFENCE), Ld("Y")},
+			{St("Y", 1), Fn(MFENCE), Ld("X")},
+		}},
+		{Name: "Fig10a", Threads: [][]Op{
+			{St("X", 1), RMW("Y", 2)},
+			{St("Y", 1), RMW("X", 2)},
+		}},
+		{Name: "Fig10b", Threads: [][]Op{
+			{RMW("X", 2), Ld("Y")},
+			{RMW("Y", 2), Ld("X")},
+		}},
+		{Name: "RMW-MP", Threads: [][]Op{
+			{St("X", 1), RMW("Y", 1)},
+			{Ld("Y"), Ld("X")},
+		}},
+	}
+}
+
+// GenerateX86Programs enumerates small x86-level litmus programs: two
+// threads, up to maxOps operations each, over two locations. This is the
+// exhaustive family backing the bounded mapping proofs.
+func GenerateX86Programs(maxOps int) []*Program {
+	ops := []Op{
+		Ld("X"), Ld("Y"),
+		St("X", 1), St("Y", 1),
+		RMW("X", 2), RMW("Y", 2),
+		Fn(MFENCE),
+	}
+	var threads [][]Op
+	var gen func(cur []Op)
+	gen = func(cur []Op) {
+		if len(cur) > 0 {
+			threads = append(threads, append([]Op(nil), cur...))
+		}
+		if len(cur) == maxOps {
+			return
+		}
+		for _, o := range ops {
+			gen(append(cur, o))
+		}
+	}
+	gen(nil)
+
+	var out []*Program
+	for i, t0 := range threads {
+		for j, t1 := range threads {
+			if j < i {
+				continue // symmetric
+			}
+			out = append(out, &Program{
+				Name:    fmt.Sprintf("gen_%d_%d", i, j),
+				Threads: [][]Op{t0, t1},
+			})
+		}
+	}
+	return out
+}

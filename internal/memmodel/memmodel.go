@@ -1,0 +1,572 @@
+// Package memmodel implements the axiomatic concurrency machinery of §6–7:
+// events, the po/rf/co/fr/rmw relations, the consistency predicates of the
+// x86-TSO, Armv8 and LIMM models, exhaustive enumeration of the consistent
+// executions of litmus programs, and bounded checkers for the mapping
+// correctness theorem (Thm 7.1) and the transformation soundness results
+// (Fig. 11a/11b, fence merging). Where the paper proves these statements in
+// ~12k lines of Agda, this package verifies them exhaustively over all
+// programs up to a size bound — every ✓ in Fig. 11a is confirmed on every
+// generated context, and every ✗ is witnessed by a concrete counterexample.
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKind is a litmus operation kind.
+type OpKind int
+
+const (
+	OpLoad OpKind = iota
+	OpStore
+	OpRMW // unconditional atomic read-modify-write (reads, then writes Val)
+	OpFence
+)
+
+// Fence identifies a fence at any level of the translation stack.
+type Fence int
+
+const (
+	FenceNone Fence = iota
+	// x86.
+	MFENCE
+	// IR (LIMM).
+	Frm
+	Fww
+	Fsc
+	// Arm.
+	DMBFF
+	DMBLD
+	DMBST
+)
+
+var fenceNames = map[Fence]string{
+	MFENCE: "mfence", Frm: "Frm", Fww: "Fww", Fsc: "Fsc",
+	DMBFF: "dmb.ff", DMBLD: "dmb.ld", DMBST: "dmb.st",
+}
+
+// Op is one instruction of a litmus thread.
+type Op struct {
+	Kind   OpKind
+	Loc    string
+	Val    int   // value written (stores, RMW)
+	SC     bool  // seq_cst access (LIMM's Rsc/Wsc; x86/Arm accesses ignore it)
+	Fence  Fence // for OpFence
+	HasExp bool  // RMW with a required read value (the paper's RMW(x,vr,vw))
+	Exp    int
+	// Acq/Rel mark Arm acquire loads (LDAR) and release stores (STLR),
+	// the half-fence accesses of Appendix A.
+	Acq bool
+	Rel bool
+}
+
+// Convenience constructors.
+func Ld(loc string) Op          { return Op{Kind: OpLoad, Loc: loc} }
+func St(loc string, v int) Op   { return Op{Kind: OpStore, Loc: loc, Val: v} }
+func LdSC(loc string) Op        { return Op{Kind: OpLoad, Loc: loc, SC: true} }
+func StSC(loc string, v int) Op { return Op{Kind: OpStore, Loc: loc, Val: v, SC: true} }
+func RMW(loc string, v int) Op  { return Op{Kind: OpRMW, Loc: loc, Val: v, SC: true} }
+
+// RMWE is an RMW that must read exp (the paper's RMW(x, vr, vw) notation).
+func RMWE(loc string, exp, v int) Op {
+	return Op{Kind: OpRMW, Loc: loc, Val: v, SC: true, HasExp: true, Exp: exp}
+}
+
+// LdA is an Arm acquire load (LDAR) and StR an Arm release store (STLR) —
+// the Appendix A half-fence accesses.
+func LdA(loc string) Op        { return Op{Kind: OpLoad, Loc: loc, Acq: true} }
+func StR(loc string, v int) Op { return Op{Kind: OpStore, Loc: loc, Val: v, Rel: true} }
+func Fn(f Fence) Op            { return Op{Kind: OpFence, Fence: f} }
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpLoad:
+		if o.SC {
+			return "Rsc(" + o.Loc + ")"
+		}
+		return "R(" + o.Loc + ")"
+	case OpStore:
+		s := fmt.Sprintf("W(%s,%d)", o.Loc, o.Val)
+		if o.SC {
+			s = "Wsc" + s[1:]
+		}
+		return s
+	case OpRMW:
+		if o.HasExp {
+			return fmt.Sprintf("RMW(%s,%d,%d)", o.Loc, o.Exp, o.Val)
+		}
+		return fmt.Sprintf("RMW(%s,%d)", o.Loc, o.Val)
+	case OpFence:
+		return fenceNames[o.Fence]
+	}
+	return "?"
+}
+
+// Program is a litmus test: initialization writes (default 0) plus threads.
+type Program struct {
+	Name    string
+	Init    map[string]int
+	Threads [][]Op
+}
+
+func (p *Program) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.Name + ": ")
+	for i, t := range p.Threads {
+		if i > 0 {
+			sb.WriteString(" || ")
+		}
+		for j, o := range t {
+			if j > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(o.String())
+		}
+	}
+	return sb.String()
+}
+
+// Locs returns the sorted set of locations used.
+func (p *Program) Locs() []string {
+	set := map[string]bool{}
+	for l := range p.Init {
+		set[l] = true
+	}
+	for _, t := range p.Threads {
+		for _, o := range t {
+			if o.Kind != OpFence {
+				set[o.Loc] = true
+			}
+		}
+	}
+	var out []string
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EvKind classifies events.
+type EvKind int
+
+const (
+	EvR EvKind = iota
+	EvW
+	EvF
+)
+
+// Event is one execution event (§6.1).
+type Event struct {
+	ID   int
+	Tid  int // -1 for initialization writes
+	Idx  int // program order index within the thread
+	Kind EvKind
+	Loc  string
+	Val  int // written value (W) or read value (R, filled per execution)
+	SC   bool
+	Acq  bool
+	Rel  bool
+	Fen  Fence
+	RMW  int // partner event ID for rmw pairs, else -1
+	// HasExp constrains the read value of an expected-value RMW.
+	HasExp bool
+	Exp    int
+}
+
+// Execution is a candidate execution: events plus the rf and co choices.
+type Execution struct {
+	Events []*Event
+	RF     map[int]int      // read event ID -> write event ID
+	CO     map[string][]int // location -> write event IDs in coherence order
+	n      int
+}
+
+// buildEvents lowers a program to its event skeleton (shared across all
+// executions).
+func buildEvents(p *Program) []*Event {
+	var evs []*Event
+	id := 0
+	add := func(e Event) *Event {
+		e.ID = id
+		id++
+		ev := e
+		evs = append(evs, &ev)
+		return evs[len(evs)-1]
+	}
+	// Initialization writes.
+	for _, loc := range p.Locs() {
+		add(Event{Tid: -1, Kind: EvW, Loc: loc, Val: p.Init[loc], RMW: -1})
+	}
+	for tid, th := range p.Threads {
+		for idx, o := range th {
+			switch o.Kind {
+			case OpLoad:
+				add(Event{Tid: tid, Idx: idx, Kind: EvR, Loc: o.Loc, SC: o.SC, Acq: o.Acq, RMW: -1})
+			case OpStore:
+				add(Event{Tid: tid, Idx: idx, Kind: EvW, Loc: o.Loc, Val: o.Val, SC: o.SC, Rel: o.Rel, RMW: -1})
+			case OpRMW:
+				r := add(Event{Tid: tid, Idx: idx, Kind: EvR, Loc: o.Loc, SC: true, RMW: -1, HasExp: o.HasExp, Exp: o.Exp})
+				w := add(Event{Tid: tid, Idx: idx, Kind: EvW, Loc: o.Loc, Val: o.Val, SC: true, RMW: -1})
+				r.RMW, w.RMW = w.ID, r.ID
+			case OpFence:
+				add(Event{Tid: tid, Idx: idx, Kind: EvF, Fen: o.Fence, RMW: -1})
+			}
+		}
+	}
+	return evs
+}
+
+// po reports program order: same thread, earlier index; for rmw pairs the
+// read precedes the write. Initialization writes precede everything.
+func (x *Execution) po(a, b *Event) bool {
+	if a.Tid == -1 && b.Tid != -1 {
+		return true
+	}
+	if a.Tid != b.Tid {
+		return false
+	}
+	if a.Idx != b.Idx {
+		return a.Idx < b.Idx
+	}
+	// Same instruction: rmw read before rmw write.
+	return a.Kind == EvR && b.Kind == EvW && a.RMW == b.ID
+}
+
+// coIndex returns the position of a write in its location's coherence
+// order, with init first.
+func (x *Execution) coIndex(w *Event) int {
+	for i, id := range x.CO[w.Loc] {
+		if id == w.ID {
+			return i
+		}
+	}
+	return -1
+}
+
+// fr reports from-read: r reads from a write co-before w'.
+func (x *Execution) fr(r, w *Event) bool {
+	if r.Kind != EvR || w.Kind != EvW || r.Loc != w.Loc {
+		return false
+	}
+	src, ok := x.RF[r.ID]
+	if !ok {
+		return false
+	}
+	return x.coIndex(x.Events[src]) < x.coIndex(w)
+}
+
+// Executions enumerates every candidate execution of p (all rf choices ×
+// all coherence orders), filling read values from rf.
+func Executions(p *Program) []*Execution {
+	skeleton := buildEvents(p)
+	// Writes per location.
+	writesAt := map[string][]*Event{}
+	var reads []*Event
+	for _, e := range skeleton {
+		if e.Kind == EvW {
+			writesAt[e.Loc] = append(writesAt[e.Loc], e)
+		}
+		if e.Kind == EvR {
+			reads = append(reads, e)
+		}
+	}
+	locs := p.Locs()
+
+	// Enumerate coherence orders per location (init write always first).
+	coChoices := make([][][]int, len(locs))
+	for i, loc := range locs {
+		var initW *Event
+		var others []*Event
+		for _, w := range writesAt[loc] {
+			if w.Tid == -1 {
+				initW = w
+			} else {
+				others = append(others, w)
+			}
+		}
+		perms := permutations(others)
+		for _, perm := range perms {
+			order := []int{initW.ID}
+			for _, w := range perm {
+				order = append(order, w.ID)
+			}
+			coChoices[i] = append(coChoices[i], order)
+		}
+	}
+
+	// Enumerate rf choices per read.
+	rfChoices := make([][]int, len(reads))
+	for i, r := range reads {
+		for _, w := range writesAt[r.Loc] {
+			if w.RMW == r.ID {
+				continue // an rmw's own write cannot feed its read
+			}
+			rfChoices[i] = append(rfChoices[i], w.ID)
+		}
+	}
+
+	var out []*Execution
+	var rec func(ci int, co map[string][]int)
+	rec = func(ci int, co map[string][]int) {
+		if ci == len(locs) {
+			// Now enumerate rf.
+			rf := map[int]int{}
+			var rrec func(ri int)
+			rrec = func(ri int) {
+				if ri == len(reads) {
+					x := &Execution{RF: map[int]int{}, CO: map[string][]int{}, n: len(skeleton)}
+					// Deep copy events so read values are per-execution.
+					byID := map[int]*Event{}
+					for _, e := range skeleton {
+						c := *e
+						x.Events = append(x.Events, &c)
+						byID[c.ID] = &c
+					}
+					ok := true
+					for k, v := range rf {
+						x.RF[k] = v
+						byID[k].Val = byID[v].Val
+						if byID[k].HasExp && byID[k].Val != byID[k].Exp {
+							ok = false
+						}
+					}
+					if !ok {
+						return
+					}
+					for k, v := range co {
+						x.CO[k] = append([]int(nil), v...)
+					}
+					out = append(out, x)
+					return
+				}
+				for _, w := range rfChoices[ri] {
+					rf[reads[ri].ID] = w
+					rrec(ri + 1)
+				}
+				delete(rf, reads[ri].ID)
+			}
+			rrec(0)
+			return
+		}
+		for _, order := range coChoices[ci] {
+			co[locs[ci]] = order
+			rec(ci+1, co)
+		}
+	}
+	rec(0, map[string][]int{})
+	return out
+}
+
+func permutations(evs []*Event) [][]*Event {
+	if len(evs) == 0 {
+		return [][]*Event{nil}
+	}
+	var out [][]*Event
+	for i := range evs {
+		rest := make([]*Event, 0, len(evs)-1)
+		rest = append(rest, evs[:i]...)
+		rest = append(rest, evs[i+1:]...)
+		for _, perm := range permutations(rest) {
+			out = append(out, append([]*Event{evs[i]}, perm...))
+		}
+	}
+	return out
+}
+
+// relation is an n×n boolean adjacency matrix over event IDs.
+type relation struct {
+	n int
+	m []bool
+}
+
+func newRel(n int) *relation { return &relation{n: n, m: make([]bool, n*n)} }
+
+func (r *relation) set(a, b int)      { r.m[a*r.n+b] = true }
+func (r *relation) has(a, b int) bool { return r.m[a*r.n+b] }
+func (r *relation) union(o *relation) {
+	for i := range r.m {
+		r.m[i] = r.m[i] || o.m[i]
+	}
+}
+
+// transitiveClosure computes r+ in place (Floyd-Warshall style).
+func (r *relation) transitiveClosure() {
+	for k := 0; k < r.n; k++ {
+		for i := 0; i < r.n; i++ {
+			if !r.has(i, k) {
+				continue
+			}
+			for j := 0; j < r.n; j++ {
+				if r.has(k, j) {
+					r.set(i, j)
+				}
+			}
+		}
+	}
+}
+
+func (r *relation) irreflexive() bool {
+	for i := 0; i < r.n; i++ {
+		if r.has(i, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// baseRelations builds po|loc ∪ rf ∪ co ∪ fr plus the external subsets used
+// by the models.
+type rels struct {
+	n             int
+	events        []*Event
+	poR           *relation // full po
+	rf, co, fr    *relation
+	rfe, coe, fre *relation
+	rmw           *relation
+}
+
+func (x *Execution) relations() *rels {
+	n := x.n
+	r := &rels{
+		n: n, events: x.Events,
+		poR: newRel(n), rf: newRel(n), co: newRel(n), fr: newRel(n),
+		rfe: newRel(n), coe: newRel(n), fre: newRel(n), rmw: newRel(n),
+	}
+	byID := x.Events // events are stored in dense ID order
+	for _, a := range x.Events {
+		for _, b := range x.Events {
+			if a.ID != b.ID && x.po(a, b) {
+				r.poR.set(a.ID, b.ID)
+			}
+		}
+	}
+	for rID, wID := range x.RF {
+		r.rf.set(wID, rID)
+		if !x.po(byID[wID], byID[rID]) && !x.po(byID[rID], byID[wID]) {
+			r.rfe.set(wID, rID)
+		}
+	}
+	for _, order := range x.CO {
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				r.co.set(order[i], order[j])
+				a, b := byID[order[i]], byID[order[j]]
+				if !x.po(a, b) && !x.po(b, a) {
+					r.coe.set(order[i], order[j])
+				}
+			}
+		}
+	}
+	for _, a := range x.Events {
+		if a.Kind != EvR {
+			continue
+		}
+		for _, b := range x.Events {
+			if b.Kind == EvW && a.Loc == b.Loc && x.fr(a, b) {
+				r.fr.set(a.ID, b.ID)
+				if !x.po(a, b) && !x.po(b, a) {
+					r.fre.set(a.ID, b.ID)
+				}
+			}
+		}
+	}
+	for _, e := range x.Events {
+		if e.Kind == EvR && e.RMW >= 0 {
+			r.rmw.set(e.ID, e.RMW)
+		}
+	}
+	return r
+}
+
+// Behavior is the observable result of an execution: the co-maximal value
+// per location (the paper's Behav), optionally extended with every read's
+// observed value. Reads are keyed "t<tid>.<loc>.<k>" where k is the
+// occurrence index of that location's reads within the thread — a keying
+// that is stable under the reordering and elimination transformations.
+type Behavior struct {
+	Finals string
+	Reads  map[string]int
+}
+
+// Key returns a canonical string for map keys.
+func (b Behavior) Key(withReads bool) string {
+	if !withReads {
+		return b.Finals
+	}
+	keys := make([]string, 0, len(b.Reads))
+	for k := range b.Reads {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(b.Finals)
+	sb.WriteString("#")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%d;", k, b.Reads[k])
+	}
+	return sb.String()
+}
+
+// behaviorOf extracts the behavior of a consistent execution.
+func (x *Execution) behaviorOf() Behavior {
+	byID := x.Events
+	var locs []string
+	for l := range x.CO {
+		locs = append(locs, l)
+	}
+	sort.Strings(locs)
+	var fin []string
+	for _, l := range locs {
+		order := x.CO[l]
+		last := byID[order[len(order)-1]]
+		fin = append(fin, fmt.Sprintf("%s=%d", l, last.Val))
+	}
+	var reads []*Event
+	for _, e := range x.Events {
+		if e.Kind == EvR {
+			reads = append(reads, e)
+		}
+	}
+	sort.Slice(reads, func(i, j int) bool {
+		if reads[i].Tid != reads[j].Tid {
+			return reads[i].Tid < reads[j].Tid
+		}
+		return reads[i].Idx < reads[j].Idx
+	})
+	rd := map[string]int{}
+	occ := map[string]int{}
+	for _, e := range reads {
+		ok := fmt.Sprintf("t%d.%s", e.Tid, e.Loc)
+		k := occ[ok]
+		occ[ok]++
+		rd[fmt.Sprintf("%s.%d", ok, k)] = e.Val
+	}
+	return Behavior{Finals: strings.Join(fin, ";"), Reads: rd}
+}
+
+// Model is a consistency predicate over executions.
+type Model struct {
+	Name       string
+	Consistent func(x *Execution, r *rels) bool
+}
+
+// BehaviorsOf returns the behaviors of p's consistent executions under the
+// model, keyed canonically.
+func BehaviorsOf(p *Program, m Model, withReads bool) map[string]Behavior {
+	out := map[string]Behavior{}
+	for _, x := range Executions(p) {
+		r := x.relations()
+		if !scPerLoc(x, r) || !atomicity(x, r) {
+			continue
+		}
+		if !m.Consistent(x, r) {
+			continue
+		}
+		b := x.behaviorOf()
+		out[b.Key(withReads)] = b
+	}
+	return out
+}

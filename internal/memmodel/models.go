@@ -1,0 +1,217 @@
+package memmodel
+
+// scPerLoc checks SC-per-location: (po|loc ∪ rf ∪ co ∪ fr) is acyclic.
+// Both x86 and Arm satisfy it, and LIMM requires it (§6.2).
+func scPerLoc(x *Execution, r *rels) bool {
+	rel := newRel(r.n)
+	for _, a := range r.events {
+		for _, b := range r.events {
+			if a.ID == b.ID {
+				continue
+			}
+			if r.poR.has(a.ID, b.ID) && a.Kind != EvF && b.Kind != EvF && a.Loc == b.Loc {
+				rel.set(a.ID, b.ID)
+			}
+		}
+	}
+	rel.union(r.rf)
+	rel.union(r.co)
+	rel.union(r.fr)
+	rel.transitiveClosure()
+	return rel.irreflexive()
+}
+
+// atomicity checks rmw ∩ (fre;coe) = ∅ (§6.2).
+func atomicity(x *Execution, r *rels) bool {
+	for _, a := range r.events {
+		if a.Kind != EvR || a.RMW < 0 {
+			continue
+		}
+		w := a.RMW
+		// Exists w' with fre(a, w') and coe(w', w)?
+		for _, wp := range r.events {
+			if wp.Kind == EvW && r.fre.has(a.ID, wp.ID) && r.coe.has(wp.ID, w) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// X86 implements the (GHB) axiom of Fig. 6:
+//
+//	ppo     = ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po
+//	implid  = po;[At ∪ F] ∪ [At ∪ F];po      At = dom(rmw) ∪ codom(rmw)
+//	hb      = ppo ∪ implid ∪ rfe ∪ fr ∪ co
+//	axiom: hb+ irreflexive
+var X86 = Model{Name: "x86", Consistent: func(x *Execution, r *rels) bool {
+	hb := newRel(r.n)
+	isAt := func(e *Event) bool { return e.RMW >= 0 }
+	for _, a := range r.events {
+		for _, b := range r.events {
+			if a.ID == b.ID || !r.poR.has(a.ID, b.ID) {
+				continue
+			}
+			// ppo.
+			switch {
+			case a.Kind == EvW && b.Kind == EvW,
+				a.Kind == EvR && b.Kind == EvW,
+				a.Kind == EvR && b.Kind == EvR:
+				hb.set(a.ID, b.ID)
+			}
+			// implid: ordering through fences and atomics.
+			aF := a.Kind == EvF && a.Fen == MFENCE
+			bF := b.Kind == EvF && b.Fen == MFENCE
+			if isAt(b) || bF || isAt(a) || aF {
+				hb.set(a.ID, b.ID)
+			}
+		}
+	}
+	hb.union(r.rfe)
+	hb.union(r.fr)
+	hb.union(r.co)
+	hb.transitiveClosure()
+	return hb.irreflexive()
+}}
+
+// Arm implements the (external) axiom of Fig. 6 following Pulte et al.:
+//
+//	obs = rfe ∪ coe ∪ fre
+//	aob = rmw
+//	bob = po;[DMBFF];po ∪ [R];po;[DMBLD];po ∪ [W];po;[DMBST];po;[W]
+//	ob  = (obs ∪ aob ∪ dob ∪ bob)+ irreflexive
+//
+// Dependency ordering (dob) is omitted: our litmus programs carry no
+// address/data/control dependencies, and dropping dob only *weakens* the
+// target model, making the mapping-correctness check stricter (§6.2).
+var Arm = Model{Name: "arm", Consistent: func(x *Execution, r *rels) bool {
+	ob := newRel(r.n)
+	ob.union(r.rfe)
+	ob.union(r.coe)
+	ob.union(r.fre)
+	ob.union(r.rmw)
+	// Release/acquire half-fence ordering (Appendix A, following Pulte et
+	// al.): an acquire read orders before everything po-after it; a
+	// release write orders after everything po-before it.
+	for _, a := range r.events {
+		for _, b := range r.events {
+			if a.ID == b.ID || !r.poR.has(a.ID, b.ID) || a.Tid != b.Tid {
+				continue
+			}
+			if a.Kind == EvR && a.Acq {
+				ob.set(a.ID, b.ID)
+			}
+			if b.Kind == EvW && b.Rel {
+				ob.set(a.ID, b.ID)
+			}
+		}
+	}
+	// bob.
+	for _, f := range r.events {
+		if f.Kind != EvF {
+			continue
+		}
+		for _, a := range r.events {
+			if !r.poR.has(a.ID, f.ID) || a.Tid != f.Tid {
+				continue
+			}
+			for _, b := range r.events {
+				if !r.poR.has(f.ID, b.ID) || b.Tid != f.Tid {
+					continue
+				}
+				switch f.Fen {
+				case DMBFF:
+					if a.Kind != EvF && b.Kind != EvF {
+						ob.set(a.ID, b.ID)
+					}
+				case DMBLD:
+					if a.Kind == EvR && b.Kind != EvF {
+						ob.set(a.ID, b.ID)
+					}
+				case DMBST:
+					if a.Kind == EvW && b.Kind == EvW {
+						ob.set(a.ID, b.ID)
+					}
+				}
+			}
+		}
+	}
+	ob.transitiveClosure()
+	return ob.irreflexive()
+}}
+
+// LIMM implements the (GOrd) axiom of Fig. 7:
+//
+//	ord1 = [R];po;[Frm];po;[R∪W]
+//	ord2 = [W];po;[Fww];po;[W]
+//	ord3 = [Fsc ∪ Rsc ∪ codom(rmw)];po
+//	ord4 = po;[Fsc ∪ Wsc ∪ dom(rmw)]
+//	ghb  = (ord ∪ rfe ∪ coe ∪ fre)+ irreflexive
+var LIMM = Model{Name: "limm", Consistent: func(x *Execution, r *rels) bool {
+	ghb := newRel(r.n)
+	ghb.union(r.rfe)
+	ghb.union(r.coe)
+	ghb.union(r.fre)
+
+	isRsc := func(e *Event) bool { return e.Kind == EvR && e.SC }
+	isWsc := func(e *Event) bool { return e.Kind == EvW && e.SC }
+	rmwR := func(e *Event) bool { return e.Kind == EvR && e.RMW >= 0 }
+	rmwW := func(e *Event) bool { return e.Kind == EvW && e.RMW >= 0 }
+
+	// ord1/ord2: fence-mediated ordering between same-thread accesses.
+	for _, f := range r.events {
+		if f.Kind != EvF {
+			continue
+		}
+		for _, a := range r.events {
+			if !r.poR.has(a.ID, f.ID) || a.Tid != f.Tid {
+				continue
+			}
+			for _, b := range r.events {
+				if !r.poR.has(f.ID, b.ID) || b.Tid != f.Tid {
+					continue
+				}
+				switch f.Fen {
+				case Frm:
+					if a.Kind == EvR && (b.Kind == EvR || b.Kind == EvW) {
+						ghb.set(a.ID, b.ID)
+					}
+				case Fww:
+					if a.Kind == EvW && b.Kind == EvW {
+						ghb.set(a.ID, b.ID)
+					}
+				}
+			}
+		}
+	}
+	// ord3/ord4.
+	for _, a := range r.events {
+		for _, b := range r.events {
+			if a.ID == b.ID || !r.poR.has(a.ID, b.ID) {
+				continue
+			}
+			aFsc := a.Kind == EvF && a.Fen == Fsc
+			bFsc := b.Kind == EvF && b.Fen == Fsc
+			if aFsc || isRsc(a) || rmwW(a) { // ord3
+				ghb.set(a.ID, b.ID)
+			}
+			if bFsc || isWsc(b) || rmwR(b) { // ord4
+				ghb.set(a.ID, b.ID)
+			}
+		}
+	}
+	ghb.transitiveClosure()
+	return ghb.irreflexive()
+}}
+
+// SC is the sequential-consistency reference model (interleaving only),
+// used as an oracle in tests: hb = po ∪ rf ∪ co ∪ fr acyclic.
+var SC = Model{Name: "sc", Consistent: func(x *Execution, r *rels) bool {
+	hb := newRel(r.n)
+	hb.union(r.poR)
+	hb.union(r.rf)
+	hb.union(r.co)
+	hb.union(r.fr)
+	hb.transitiveClosure()
+	return hb.irreflexive()
+}}

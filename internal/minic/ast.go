@@ -1,0 +1,185 @@
+package minic
+
+import "fmt"
+
+// Ty is a minic type.
+type Ty interface {
+	String() string
+	equal(Ty) bool
+}
+
+type basicTy int
+
+const (
+	TyVoid basicTy = iota
+	TyInt          // 64-bit signed
+	TyDouble
+	TyByte // 8-bit unsigned storage, sign-agnostic arithmetic via int
+)
+
+func (b basicTy) String() string {
+	switch b {
+	case TyVoid:
+		return "void"
+	case TyInt:
+		return "int"
+	case TyDouble:
+		return "double"
+	case TyByte:
+		return "byte"
+	}
+	return "?"
+}
+func (b basicTy) equal(o Ty) bool { ob, ok := o.(basicTy); return ok && ob == b }
+
+// ptrTy is a pointer type.
+type ptrTy struct{ elem Ty }
+
+func (p ptrTy) String() string { return p.elem.String() + "*" }
+func (p ptrTy) equal(o Ty) bool {
+	op, ok := o.(ptrTy)
+	return ok && op.elem.equal(p.elem)
+}
+
+// arrayTy is a fixed-size array type (globals and locals only).
+type arrayTy struct {
+	elem Ty
+	n    int64
+}
+
+func (a arrayTy) String() string { return fmt.Sprintf("%s[%d]", a.elem, a.n) }
+func (a arrayTy) equal(o Ty) bool {
+	oa, ok := o.(arrayTy)
+	return ok && oa.n == a.n && oa.elem.equal(a.elem)
+}
+
+// Expressions.
+
+type expr interface{ exprNode() }
+
+type intLit struct {
+	v    int64
+	line int
+}
+type floatLit struct {
+	v    float64
+	line int
+}
+type varRef struct {
+	name string
+	line int
+}
+type binExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+type unExpr struct {
+	op   string // "-", "!", "*", "&"
+	e    expr
+	line int
+}
+type indexExpr struct {
+	base expr
+	idx  expr
+	line int
+}
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+type castExpr struct {
+	to   Ty
+	e    expr
+	line int
+}
+
+func (intLit) exprNode()    {}
+func (floatLit) exprNode()  {}
+func (varRef) exprNode()    {}
+func (binExpr) exprNode()   {}
+func (unExpr) exprNode()    {}
+func (indexExpr) exprNode() {}
+func (callExpr) exprNode()  {}
+func (castExpr) exprNode()  {}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type declStmt struct {
+	name string
+	ty   Ty
+	init expr // may be nil
+	line int
+}
+type assignStmt struct {
+	lhs  expr // varRef, indexExpr or unExpr{op:"*"}
+	rhs  expr
+	line int
+}
+type exprStmt struct {
+	e    expr
+	line int
+}
+type ifStmt struct {
+	cond      expr
+	then, els *blockStmt // els may be nil
+	line      int
+}
+type whileStmt struct {
+	cond expr
+	body *blockStmt
+	line int
+}
+type forStmt struct {
+	init stmt // may be nil (declStmt/assignStmt/exprStmt)
+	cond expr // may be nil
+	post stmt // may be nil
+	body *blockStmt
+	line int
+}
+type returnStmt struct {
+	e    expr // may be nil
+	line int
+}
+type blockStmt struct {
+	stmts []stmt
+}
+
+func (declStmt) stmtNode()   {}
+func (assignStmt) stmtNode() {}
+func (exprStmt) stmtNode()   {}
+func (ifStmt) stmtNode()     {}
+func (whileStmt) stmtNode()  {}
+func (forStmt) stmtNode()    {}
+func (returnStmt) stmtNode() {}
+func (blockStmt) stmtNode()  {}
+
+// Top-level declarations.
+
+type param struct {
+	name string
+	ty   Ty
+}
+
+type funcDecl struct {
+	name   string
+	ret    Ty
+	params []param
+	body   *blockStmt
+	line   int
+}
+
+type globalDecl struct {
+	name string
+	ty   Ty
+	line int
+}
+
+// program is a parsed translation unit.
+type program struct {
+	globals []globalDecl
+	funcs   []funcDecl
+}

@@ -1,0 +1,865 @@
+package minic
+
+import (
+	"fmt"
+
+	"lasagne/internal/ir"
+	"lasagne/internal/rt"
+)
+
+// Compile parses and compiles a minic source file into an IR module.
+func Compile(name, src string) (*ir.Module, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("minic: %w", err)
+	}
+	cg := &codegen{m: ir.NewModule(name), funcs: map[string]*funcInfo{}}
+	rt.Declare(cg.m)
+	if err := cg.run(prog); err != nil {
+		return nil, fmt.Errorf("minic: %w", err)
+	}
+	if err := ir.Verify(cg.m); err != nil {
+		return nil, fmt.Errorf("minic: generated invalid IR: %w", err)
+	}
+	return cg.m, nil
+}
+
+// irType lowers a minic type.
+func irType(t Ty) ir.Type {
+	switch ty := t.(type) {
+	case basicTy:
+		switch ty {
+		case TyInt:
+			return ir.I64
+		case TyDouble:
+			return ir.F64
+		case TyByte:
+			return ir.I8
+		case TyVoid:
+			return ir.Void
+		}
+	case ptrTy:
+		return ir.PointerTo(irType(ty.elem))
+	case arrayTy:
+		return ir.ArrayOf(irType(ty.elem), int(ty.n))
+	}
+	panic("minic: bad type")
+}
+
+type funcInfo struct {
+	decl funcDecl
+	f    *ir.Func
+}
+
+type local struct {
+	addr ir.Value // alloca
+	ty   Ty
+}
+
+type codegen struct {
+	m     *ir.Module
+	funcs map[string]*funcInfo
+
+	// Per-function state.
+	fi     *funcInfo
+	b      *ir.Builder
+	scopes []map[string]local
+	term   bool // current block already terminated
+	nblk   int
+}
+
+func (cg *codegen) run(prog *program) error {
+	for _, g := range prog.globals {
+		cg.m.NewGlobal(g.name, irType(g.ty))
+	}
+	// Declare all functions first (mutual recursion).
+	for _, fd := range prog.funcs {
+		var params []ir.Type
+		for _, p := range fd.params {
+			params = append(params, irType(p.ty))
+		}
+		f := cg.m.NewFunc(fd.name, ir.Signature(irType(fd.ret), params...))
+		for i, p := range fd.params {
+			f.Params[i].Nam = p.name
+		}
+		fd := fd
+		cg.funcs[fd.name] = &funcInfo{decl: fd, f: f}
+	}
+	for _, fd := range prog.funcs {
+		if err := cg.genFunc(cg.funcs[fd.name]); err != nil {
+			return fmt.Errorf("in %s: %w", fd.name, err)
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) newBlock(hint string) *ir.Block {
+	cg.nblk++
+	return cg.fi.f.NewBlock(fmt.Sprintf("%s%d", hint, cg.nblk))
+}
+
+func (cg *codegen) pushScope() { cg.scopes = append(cg.scopes, map[string]local{}) }
+func (cg *codegen) popScope()  { cg.scopes = cg.scopes[:len(cg.scopes)-1] }
+
+func (cg *codegen) lookup(name string) (local, bool) {
+	for i := len(cg.scopes) - 1; i >= 0; i-- {
+		if l, ok := cg.scopes[i][name]; ok {
+			return l, true
+		}
+	}
+	return local{}, false
+}
+
+func (cg *codegen) genFunc(fi *funcInfo) error {
+	cg.fi = fi
+	cg.scopes = nil
+	cg.term = false
+	cg.nblk = 0
+	entry := fi.f.NewBlock("entry")
+	cg.b = ir.NewBuilder(entry)
+	cg.pushScope()
+	for i, p := range fi.decl.params {
+		slot := cg.b.Alloca(irType(p.ty))
+		cg.b.Store(fi.f.Params[i], slot)
+		cg.scopes[0][p.name] = local{addr: slot, ty: p.ty}
+	}
+	if err := cg.genBlockStmt(fi.decl.body); err != nil {
+		return err
+	}
+	if !cg.term {
+		if fi.decl.ret.equal(TyVoid) {
+			cg.b.Ret(nil)
+		} else if fi.decl.ret.equal(TyInt) {
+			cg.b.Ret(ir.I64Const(0))
+		} else {
+			return fmt.Errorf("missing return in non-void function")
+		}
+	}
+	cg.popScope()
+	return nil
+}
+
+func (cg *codegen) genBlockStmt(blk *blockStmt) error {
+	cg.pushScope()
+	defer cg.popScope()
+	for _, s := range blk.stmts {
+		if cg.term {
+			return nil // unreachable statements are dropped
+		}
+		if err := cg.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) genStmt(s stmt) error {
+	switch st := s.(type) {
+	case declStmt:
+		slot := cg.b.Alloca(irType(st.ty))
+		cg.scopes[len(cg.scopes)-1][st.name] = local{addr: slot, ty: st.ty}
+		if st.init != nil {
+			v, vt, err := cg.genExpr(st.init)
+			if err != nil {
+				return err
+			}
+			cv, err := cg.convert(v, vt, st.ty, st.line)
+			if err != nil {
+				return err
+			}
+			cg.b.Store(cv, slot)
+		}
+		return nil
+
+	case assignStmt:
+		addr, elemTy, err := cg.genLValue(st.lhs)
+		if err != nil {
+			return err
+		}
+		v, vt, err := cg.genExpr(st.rhs)
+		if err != nil {
+			return err
+		}
+		cv, err := cg.convert(v, vt, elemTy, st.line)
+		if err != nil {
+			return err
+		}
+		cg.b.Store(cv, addr)
+		return nil
+
+	case exprStmt:
+		_, _, err := cg.genExpr(st.e)
+		return err
+
+	case returnStmt:
+		if st.e == nil {
+			cg.b.Ret(nil)
+		} else {
+			v, vt, err := cg.genExpr(st.e)
+			if err != nil {
+				return err
+			}
+			cv, err := cg.convert(v, vt, cg.fi.decl.ret, st.line)
+			if err != nil {
+				return err
+			}
+			cg.b.Ret(cv)
+		}
+		cg.term = true
+		return nil
+
+	case ifStmt:
+		cond, err := cg.genCond(st.cond)
+		if err != nil {
+			return err
+		}
+		thenB := cg.newBlock("then")
+		var elsB *ir.Block
+		joinB := cg.newBlock("endif")
+		if st.els != nil {
+			elsB = cg.newBlock("else")
+			cg.b.CondBr(cond, thenB, elsB)
+		} else {
+			cg.b.CondBr(cond, thenB, joinB)
+		}
+		cg.b.SetBlock(thenB)
+		cg.term = false
+		if err := cg.genBlockStmt(st.then); err != nil {
+			return err
+		}
+		if !cg.term {
+			cg.b.Br(joinB)
+		}
+		if st.els != nil {
+			cg.b.SetBlock(elsB)
+			cg.term = false
+			if err := cg.genBlockStmt(st.els); err != nil {
+				return err
+			}
+			if !cg.term {
+				cg.b.Br(joinB)
+			}
+		}
+		cg.b.SetBlock(joinB)
+		cg.term = false
+		return nil
+
+	case whileStmt:
+		head := cg.newBlock("while")
+		body := cg.newBlock("body")
+		exit := cg.newBlock("endwhile")
+		cg.b.Br(head)
+		cg.b.SetBlock(head)
+		cond, err := cg.genCond(st.cond)
+		if err != nil {
+			return err
+		}
+		cg.b.CondBr(cond, body, exit)
+		cg.b.SetBlock(body)
+		cg.term = false
+		if err := cg.genBlockStmt(st.body); err != nil {
+			return err
+		}
+		if !cg.term {
+			cg.b.Br(head)
+		}
+		cg.b.SetBlock(exit)
+		cg.term = false
+		return nil
+
+	case forStmt:
+		cg.pushScope()
+		defer cg.popScope()
+		if st.init != nil {
+			if err := cg.genStmt(st.init); err != nil {
+				return err
+			}
+		}
+		head := cg.newBlock("for")
+		body := cg.newBlock("body")
+		exit := cg.newBlock("endfor")
+		cg.b.Br(head)
+		cg.b.SetBlock(head)
+		if st.cond != nil {
+			cond, err := cg.genCond(st.cond)
+			if err != nil {
+				return err
+			}
+			cg.b.CondBr(cond, body, exit)
+		} else {
+			cg.b.Br(body)
+		}
+		cg.b.SetBlock(body)
+		cg.term = false
+		if err := cg.genBlockStmt(st.body); err != nil {
+			return err
+		}
+		if !cg.term {
+			if st.post != nil {
+				if err := cg.genStmt(st.post); err != nil {
+					return err
+				}
+			}
+			cg.b.Br(head)
+		}
+		cg.b.SetBlock(exit)
+		cg.term = false
+		return nil
+
+	case *blockStmt:
+		return cg.genBlockStmt(st)
+	case blockStmt:
+		return cg.genBlockStmt(&st)
+	}
+	return fmt.Errorf("unhandled statement %T", s)
+}
+
+// genCond evaluates e as an i1 condition.
+func (cg *codegen) genCond(e expr) (ir.Value, error) {
+	v, t, err := cg.genExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	return cg.toBool(v, t)
+}
+
+func (cg *codegen) toBool(v ir.Value, t Ty) (ir.Value, error) {
+	if ir.IntBits(v.Type()) == 1 {
+		return v, nil
+	}
+	switch tt := t.(type) {
+	case basicTy:
+		switch tt {
+		case TyInt, TyByte:
+			return cg.b.ICmp(ir.PredNE, v, ir.IntConst(v.Type().(*ir.IntType), 0)), nil
+		case TyDouble:
+			return cg.b.FCmp(ir.PredONE, v, ir.FloatConst(ir.F64, 0)), nil
+		}
+	case ptrTy:
+		asInt := cg.b.PtrToInt(v, ir.I64)
+		return cg.b.ICmp(ir.PredNE, asInt, ir.I64Const(0)), nil
+	}
+	return nil, fmt.Errorf("cannot use %s as condition", t)
+}
+
+// convert coerces v (of minic type from) to minic type to.
+func (cg *codegen) convert(v ir.Value, from, to Ty, line int) (ir.Value, error) {
+	if from.equal(to) {
+		return v, nil
+	}
+	// i1 widths appear from comparisons typed as int.
+	if to.equal(TyInt) && ir.IntBits(v.Type()) == 1 {
+		return cg.b.Zext(v, ir.I64), nil
+	}
+	switch {
+	case from.equal(TyInt) && to.equal(TyDouble):
+		return cg.b.SIToFP(v, ir.F64), nil
+	case from.equal(TyDouble) && to.equal(TyInt):
+		return cg.b.FPToSI(v, ir.I64), nil
+	case from.equal(TyByte) && to.equal(TyInt):
+		return cg.b.Zext(v, ir.I64), nil
+	case from.equal(TyInt) && to.equal(TyByte):
+		return cg.b.Trunc(v, ir.I8), nil
+	case from.equal(TyByte) && to.equal(TyDouble):
+		z := cg.b.Zext(v, ir.I64)
+		return cg.b.SIToFP(z, ir.F64), nil
+	}
+	// Pointer-to-pointer casts.
+	if _, ok := from.(ptrTy); ok {
+		if pt, ok := to.(ptrTy); ok {
+			return cg.b.Bitcast(v, ir.PointerTo(irType(pt.elem))), nil
+		}
+		if to.equal(TyInt) {
+			return cg.b.PtrToInt(v, ir.I64), nil
+		}
+	}
+	if _, ok := to.(ptrTy); ok && from.equal(TyInt) {
+		return cg.b.IntToPtr(v, irType(to).(*ir.PtrType)), nil
+	}
+	return nil, fmt.Errorf("line %d: cannot convert %s to %s", line, from, to)
+}
+
+// genLValue returns the address and element type of an assignable location.
+func (cg *codegen) genLValue(e expr) (ir.Value, Ty, error) {
+	switch ex := e.(type) {
+	case varRef:
+		if l, ok := cg.lookup(ex.name); ok {
+			if _, isArr := l.ty.(arrayTy); isArr {
+				return nil, nil, fmt.Errorf("line %d: cannot assign to array %s", ex.line, ex.name)
+			}
+			return l.addr, l.ty, nil
+		}
+		if g := cg.m.Global(ex.name); g != nil {
+			gt := cg.globalTy(ex.name)
+			if _, isArr := gt.(arrayTy); isArr {
+				return nil, nil, fmt.Errorf("line %d: cannot assign to array %s", ex.line, ex.name)
+			}
+			return g, gt, nil
+		}
+		return nil, nil, fmt.Errorf("line %d: undefined variable %s", ex.line, ex.name)
+
+	case indexExpr:
+		base, bt, err := cg.genExpr(ex.base)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt, ok := bt.(ptrTy)
+		if !ok {
+			return nil, nil, fmt.Errorf("line %d: indexing non-pointer %s", ex.line, bt)
+		}
+		idx, it, err := cg.genExpr(ex.idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx64, err := cg.convert(idx, it, TyInt, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		addr := cg.b.GEP(irType(pt.elem), base, idx64)
+		return addr, pt.elem, nil
+
+	case unExpr:
+		if ex.op == "*" {
+			v, t, err := cg.genExpr(ex.e)
+			if err != nil {
+				return nil, nil, err
+			}
+			pt, ok := t.(ptrTy)
+			if !ok {
+				return nil, nil, fmt.Errorf("line %d: dereferencing non-pointer %s", ex.line, t)
+			}
+			return v, pt.elem, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("not an lvalue")
+}
+
+// globalTy recovers the minic type of a global from its IR type.
+func (cg *codegen) globalTy(name string) Ty {
+	g := cg.m.Global(name)
+	return fromIR(g.Elem)
+}
+
+func fromIR(t ir.Type) Ty {
+	switch tt := t.(type) {
+	case *ir.IntType:
+		if tt.Bits == 8 {
+			return TyByte
+		}
+		return TyInt
+	case *ir.FloatType:
+		return TyDouble
+	case *ir.PtrType:
+		return ptrTy{elem: fromIR(tt.Elem)}
+	case *ir.ArrayType:
+		return arrayTy{elem: fromIR(tt.Elem), n: int64(tt.Len)}
+	}
+	return TyInt
+}
+
+// decay converts array-typed locations to element pointers.
+func (cg *codegen) decay(addr ir.Value, t Ty) (ir.Value, Ty) {
+	if at, ok := t.(arrayTy); ok {
+		elemPtr := cg.b.Bitcast(addr, ir.PointerTo(irType(at.elem)))
+		return elemPtr, ptrTy{elem: at.elem}
+	}
+	return addr, t
+}
+
+func (cg *codegen) genExpr(e expr) (ir.Value, Ty, error) {
+	switch ex := e.(type) {
+	case intLit:
+		return ir.I64Const(ex.v), TyInt, nil
+	case floatLit:
+		return ir.FloatConst(ir.F64, ex.v), TyDouble, nil
+
+	case varRef:
+		if l, ok := cg.lookup(ex.name); ok {
+			if _, isArr := l.ty.(arrayTy); isArr {
+				v, t := cg.decay(l.addr, l.ty)
+				return v, t, nil
+			}
+			return cg.b.Load(l.addr), l.ty, nil
+		}
+		if g := cg.m.Global(ex.name); g != nil {
+			gt := cg.globalTy(ex.name)
+			if _, isArr := gt.(arrayTy); isArr {
+				v, t := cg.decay(g, gt)
+				return v, t, nil
+			}
+			return cg.b.Load(g), gt, nil
+		}
+		return nil, nil, fmt.Errorf("line %d: undefined variable %s", ex.line, ex.name)
+
+	case unExpr:
+		switch ex.op {
+		case "-":
+			v, t, err := cg.genExpr(ex.e)
+			if err != nil {
+				return nil, nil, err
+			}
+			if t.equal(TyDouble) {
+				return cg.b.FSub(ir.FloatConst(ir.F64, 0), v), TyDouble, nil
+			}
+			v64, err := cg.convert(v, t, TyInt, ex.line)
+			if err != nil {
+				return nil, nil, err
+			}
+			return cg.b.Sub(ir.I64Const(0), v64), TyInt, nil
+		case "!":
+			c, err := cg.genCond(ex.e)
+			if err != nil {
+				return nil, nil, err
+			}
+			nc := cg.b.Xor(c, ir.I1Const(true))
+			return cg.b.Zext(nc, ir.I64), TyInt, nil
+		case "*":
+			addr, elemTy, err := cg.genLValue(ex)
+			if err != nil {
+				return nil, nil, err
+			}
+			if at, ok := elemTy.(arrayTy); ok {
+				v, t := cg.decay(addr, arrayTy{elem: at.elem, n: at.n})
+				return v, t, nil
+			}
+			return cg.b.Load(addr), elemTy, nil
+		case "&":
+			addr, elemTy, err := cg.genLValueForAddr(ex.e)
+			if err != nil {
+				return nil, nil, err
+			}
+			return addr, ptrTy{elem: elemTy}, nil
+		}
+		return nil, nil, fmt.Errorf("line %d: bad unary op %s", ex.line, ex.op)
+
+	case castExpr:
+		v, t, err := cg.genExpr(ex.e)
+		if err != nil {
+			return nil, nil, err
+		}
+		cv, err := cg.convert(v, t, ex.to, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cv, ex.to, nil
+
+	case indexExpr:
+		addr, elemTy, err := cg.genLValue(ex)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cg.b.Load(addr), elemTy, nil
+
+	case binExpr:
+		return cg.genBin(ex)
+
+	case callExpr:
+		return cg.genCall(ex)
+	}
+	return nil, nil, fmt.Errorf("unhandled expression %T", e)
+}
+
+// genLValueForAddr is genLValue but also allows &arr (address of the first
+// element) and &global.
+func (cg *codegen) genLValueForAddr(e expr) (ir.Value, Ty, error) {
+	if vr, ok := e.(varRef); ok {
+		if l, ok := cg.lookup(vr.name); ok {
+			if at, isArr := l.ty.(arrayTy); isArr {
+				v, _ := cg.decay(l.addr, l.ty)
+				return v, at.elem, nil
+			}
+			return l.addr, l.ty, nil
+		}
+		if g := cg.m.Global(vr.name); g != nil {
+			gt := cg.globalTy(vr.name)
+			if at, isArr := gt.(arrayTy); isArr {
+				v, _ := cg.decay(g, gt)
+				return v, at.elem, nil
+			}
+			return g, gt, nil
+		}
+	}
+	return cg.genLValue(e)
+}
+
+func (cg *codegen) genBin(ex binExpr) (ir.Value, Ty, error) {
+	// Short-circuit logical operators.
+	if ex.op == "&&" || ex.op == "||" {
+		return cg.genShortCircuit(ex)
+	}
+
+	lv, lt, err := cg.genExpr(ex.l)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, rot, err := cg.genExpr(ex.r)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Pointer arithmetic and comparisons.
+	if pt, ok := lt.(ptrTy); ok {
+		switch ex.op {
+		case "+", "-":
+			idx, err := cg.convert(rv, rot, TyInt, ex.line)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ex.op == "-" {
+				if _, alsoPtr := rot.(ptrTy); alsoPtr {
+					// pointer difference in elements
+					li := cg.b.PtrToInt(lv, ir.I64)
+					ri := cg.b.PtrToInt(rv, ir.I64)
+					diff := cg.b.Sub(li, ri)
+					es := int64(irType(pt.elem).Size())
+					return cg.b.SDiv(diff, ir.I64Const(es)), TyInt, nil
+				}
+				idx = cg.b.Sub(ir.I64Const(0), idx)
+			}
+			return cg.b.GEP(irType(pt.elem), lv, idx), lt, nil
+		case "==", "!=", "<", "<=", ">", ">=":
+			li := cg.b.PtrToInt(lv, ir.I64)
+			var ri ir.Value
+			if _, rp := rot.(ptrTy); rp {
+				ri = cg.b.PtrToInt(rv, ir.I64)
+			} else {
+				ri, err = cg.convert(rv, rot, TyInt, ex.line)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			pred := map[string]ir.Pred{"==": ir.PredEQ, "!=": ir.PredNE, "<": ir.PredULT, "<=": ir.PredULE, ">": ir.PredUGT, ">=": ir.PredUGE}[ex.op]
+			c := cg.b.ICmp(pred, li, ri)
+			return cg.b.Zext(c, ir.I64), TyInt, nil
+		}
+		return nil, nil, fmt.Errorf("line %d: bad pointer operation %s", ex.line, ex.op)
+	}
+
+	// Numeric promotion: double wins; byte promotes to int.
+	if lt.equal(TyDouble) || rot.equal(TyDouble) {
+		lf, err := cg.convert(lv, lt, TyDouble, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		rf, err := cg.convert(rv, rot, TyDouble, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch ex.op {
+		case "+":
+			return cg.b.FAdd(lf, rf), TyDouble, nil
+		case "-":
+			return cg.b.FSub(lf, rf), TyDouble, nil
+		case "*":
+			return cg.b.FMul(lf, rf), TyDouble, nil
+		case "/":
+			return cg.b.FDiv(lf, rf), TyDouble, nil
+		case "==", "!=", "<", "<=", ">", ">=":
+			pred := map[string]ir.Pred{"==": ir.PredOEQ, "!=": ir.PredONE, "<": ir.PredOLT, "<=": ir.PredOLE, ">": ir.PredOGT, ">=": ir.PredOGE}[ex.op]
+			c := cg.b.FCmp(pred, lf, rf)
+			return cg.b.Zext(c, ir.I64), TyInt, nil
+		}
+		return nil, nil, fmt.Errorf("line %d: bad double operation %s", ex.line, ex.op)
+	}
+
+	li, err := cg.convert(lv, lt, TyInt, ex.line)
+	if err != nil {
+		return nil, nil, err
+	}
+	ri, err := cg.convert(rv, rot, TyInt, ex.line)
+	if err != nil {
+		return nil, nil, err
+	}
+	ops := map[string]ir.Op{
+		"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpSDiv, "%": ir.OpSRem,
+		"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpAShr,
+	}
+	if op, ok := ops[ex.op]; ok {
+		return cg.b.Bin(op, li, ri), TyInt, nil
+	}
+	preds := map[string]ir.Pred{"==": ir.PredEQ, "!=": ir.PredNE, "<": ir.PredSLT, "<=": ir.PredSLE, ">": ir.PredSGT, ">=": ir.PredSGE}
+	if p, ok := preds[ex.op]; ok {
+		c := cg.b.ICmp(p, li, ri)
+		return cg.b.Zext(c, ir.I64), TyInt, nil
+	}
+	return nil, nil, fmt.Errorf("line %d: bad integer operation %s", ex.line, ex.op)
+}
+
+// genShortCircuit lowers && and || with control flow.
+func (cg *codegen) genShortCircuit(ex binExpr) (ir.Value, Ty, error) {
+	lc, err := cg.genCond(ex.l)
+	if err != nil {
+		return nil, nil, err
+	}
+	fromB := cg.b.Block
+	rhsB := cg.newBlock("sc_rhs")
+	joinB := cg.newBlock("sc_join")
+	if ex.op == "&&" {
+		cg.b.CondBr(lc, rhsB, joinB)
+	} else {
+		cg.b.CondBr(lc, joinB, rhsB)
+	}
+	cg.b.SetBlock(rhsB)
+	rc, err := cg.genCond(ex.r)
+	if err != nil {
+		return nil, nil, err
+	}
+	rhsEnd := cg.b.Block
+	cg.b.Br(joinB)
+	cg.b.SetBlock(joinB)
+	phi := cg.b.Phi(ir.I1)
+	ir.AddIncoming(phi, ir.I1Const(ex.op == "||"), fromB)
+	ir.AddIncoming(phi, rc, rhsEnd)
+	return cg.b.Zext(phi, ir.I64), TyInt, nil
+}
+
+func (cg *codegen) genCall(ex callExpr) (ir.Value, Ty, error) {
+	// Builtins first.
+	switch ex.name {
+	case "print_int", "print_float", "alloc", "join", "nthreads":
+		return cg.genBuiltin(ex)
+	case "spawn":
+		if len(ex.args) != 2 {
+			return nil, nil, fmt.Errorf("line %d: spawn(fn, arg)", ex.line)
+		}
+		fnRef, ok := ex.args[0].(varRef)
+		if !ok {
+			return nil, nil, fmt.Errorf("line %d: spawn target must be a function name", ex.line)
+		}
+		fi, ok := cg.funcs[fnRef.name]
+		if !ok {
+			return nil, nil, fmt.Errorf("line %d: unknown function %s", ex.line, fnRef.name)
+		}
+		arg, at, err := cg.genExpr(ex.args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		arg64, err := cg.convert(arg, at, TyInt, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		fp := cg.b.Bitcast(fi.f, ir.PointerTo(ir.I8))
+		cg.b.Call(cg.m.Func("__spawn"), fp, arg64)
+		return ir.I64Const(0), TyVoid, nil
+	case "atomic_add":
+		if len(ex.args) != 2 {
+			return nil, nil, fmt.Errorf("line %d: atomic_add(ptr, v)", ex.line)
+		}
+		p, pt, err := cg.genExpr(ex.args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if !pt.equal(ptrTy{elem: TyInt}) {
+			return nil, nil, fmt.Errorf("line %d: atomic_add needs an int*", ex.line)
+		}
+		v, vt, err := cg.genExpr(ex.args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		v64, err := cg.convert(v, vt, TyInt, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		old := cg.b.RMW(ir.RMWAdd, p, v64)
+		return old, TyInt, nil
+	case "atomic_cas":
+		if len(ex.args) != 3 {
+			return nil, nil, fmt.Errorf("line %d: atomic_cas(ptr, old, new)", ex.line)
+		}
+		p, pt, err := cg.genExpr(ex.args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if !pt.equal(ptrTy{elem: TyInt}) {
+			return nil, nil, fmt.Errorf("line %d: atomic_cas needs an int*", ex.line)
+		}
+		oldv, ot, err := cg.genExpr(ex.args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		old64, err := cg.convert(oldv, ot, TyInt, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		newv, nt, err := cg.genExpr(ex.args[2])
+		if err != nil {
+			return nil, nil, err
+		}
+		new64, err := cg.convert(newv, nt, TyInt, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		got := cg.b.CmpXchg(p, old64, new64)
+		return got, TyInt, nil
+	case "fence":
+		cg.b.Fence(ir.FenceSC)
+		return ir.I64Const(0), TyVoid, nil
+	}
+
+	fi, ok := cg.funcs[ex.name]
+	if !ok {
+		return nil, nil, fmt.Errorf("line %d: unknown function %s", ex.line, ex.name)
+	}
+	if len(ex.args) != len(fi.decl.params) {
+		return nil, nil, fmt.Errorf("line %d: %s expects %d arguments", ex.line, ex.name, len(fi.decl.params))
+	}
+	var args []ir.Value
+	for i, a := range ex.args {
+		v, t, err := cg.genExpr(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		cv, err := cg.convert(v, t, fi.decl.params[i].ty, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		args = append(args, cv)
+	}
+	r := cg.b.Call(fi.f, args...)
+	return r, fi.decl.ret, nil
+}
+
+func (cg *codegen) genBuiltin(ex callExpr) (ir.Value, Ty, error) {
+	switch ex.name {
+	case "print_int":
+		v, t, err := cg.genExpr(ex.args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		v64, err := cg.convert(v, t, TyInt, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		cg.b.Call(cg.m.Func("__print_int"), v64)
+		return ir.I64Const(0), TyVoid, nil
+	case "print_float":
+		v, t, err := cg.genExpr(ex.args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		vf, err := cg.convert(v, t, TyDouble, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		cg.b.Call(cg.m.Func("__print_float"), vf)
+		return ir.I64Const(0), TyVoid, nil
+	case "alloc":
+		v, t, err := cg.genExpr(ex.args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		v64, err := cg.convert(v, t, TyInt, ex.line)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := cg.b.Call(cg.m.Func("__alloc"), v64)
+		return r, ptrTy{elem: TyByte}, nil
+	case "join":
+		cg.b.Call(cg.m.Func("__join"))
+		return ir.I64Const(0), TyVoid, nil
+	case "nthreads":
+		r := cg.b.Call(cg.m.Func("__nthreads"))
+		return r, TyInt, nil
+	}
+	return nil, nil, fmt.Errorf("line %d: bad builtin", ex.line)
+}

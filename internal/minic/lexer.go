@@ -1,0 +1,158 @@
+// Package minic implements a small C-like language and its compiler to the
+// Lasagne IR. It stands in for the C toolchain that produced the paper's
+// input binaries: the Phoenix kernels are written in minic, compiled to IR,
+// optimized, and lowered by the x86-64 backend into the machine code that
+// the binary lifter consumes. Compiling the same IR with the Arm64 backend
+// yields the paper's "Native" baseline.
+//
+// The language has three scalar types (int = 64-bit signed, double, byte),
+// pointers, fixed-size arrays, functions, global variables and the runtime
+// builtins spawn/join/nthreads/alloc/print_int/print_float plus the
+// concurrency primitives atomic_add/atomic_cas/fence.
+package minic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokPunct // operators and punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "double": true, "byte": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+}
+
+// lex tokenizes src. It reports errors with line numbers.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			isFloat := false
+			for j < n && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'x' ||
+				(src[j] >= 'a' && src[j] <= 'f') || (src[j] >= 'A' && src[j] <= 'F')) {
+				if src[j] == '.' {
+					isFloat = true
+				}
+				j++
+			}
+			text := src[i:j]
+			if isFloat {
+				var f float64
+				if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+					return nil, fmt.Errorf("line %d: bad float literal %q", line, text)
+				}
+				toks = append(toks, token{kind: tokFloat, text: text, fval: f, line: line})
+			} else {
+				var v int64
+				var err error
+				if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+					_, err = fmt.Sscanf(text, "%v", &v)
+				} else {
+					_, err = fmt.Sscanf(text, "%d", &v)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad integer literal %q", line, text)
+				}
+				toks = append(toks, token{kind: tokInt, text: text, ival: v, line: line})
+			}
+			i = j
+		case c == '\'':
+			// Character literal.
+			if i+2 < n && src[i+1] != '\\' && src[i+2] == '\'' {
+				toks = append(toks, token{kind: tokInt, text: src[i : i+3], ival: int64(src[i+1]), line: line})
+				i += 3
+			} else if i+3 < n && src[i+1] == '\\' && src[i+3] == '\'' {
+				var v byte
+				switch src[i+2] {
+				case 'n':
+					v = '\n'
+				case 't':
+					v = '\t'
+				case '0':
+					v = 0
+				case '\\':
+					v = '\\'
+				case '\'':
+					v = '\''
+				default:
+					return nil, fmt.Errorf("line %d: bad escape", line)
+				}
+				toks = append(toks, token{kind: tokInt, text: src[i : i+4], ival: int64(v), line: line})
+				i += 4
+			} else {
+				return nil, fmt.Errorf("line %d: bad character literal", line)
+			}
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>":
+				toks = append(toks, token{kind: tokPunct, text: two, line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^', '(', ')', '{', '}', '[', ']', ';', ',':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}

@@ -1,0 +1,388 @@
+package minic
+
+import (
+	"testing"
+
+	"lasagne/internal/backend"
+	"lasagne/internal/ir"
+	"lasagne/internal/sim"
+)
+
+// runSource compiles src and runs it in the IR interpreter, returning its
+// output.
+func runSource(t *testing.T, src string) string {
+	t.Helper()
+	m, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ip := ir.NewInterp(m)
+	if _, err := ip.Run("main"); err != nil {
+		t.Fatalf("run: %v\nIR:\n%s", err, m)
+	}
+	return ip.Out.String()
+}
+
+// runEverywhere additionally checks x86 and Arm64 pipelines agree.
+func runEverywhere(t *testing.T, src string) string {
+	t.Helper()
+	want := runSource(t, src)
+	m, err := Compile("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []string{"x86-64", "arm64"} {
+		f, err := backend.Compile(m, arch)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		mach, err := sim.NewMachine(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mach.Run(); err != nil {
+			t.Fatalf("%s run: %v", arch, err)
+		}
+		if got := mach.Out.String(); got != want {
+			t.Errorf("%s output = %q, want %q", arch, got, want)
+		}
+	}
+	return want
+}
+
+func TestHelloArithmetic(t *testing.T) {
+	out := runEverywhere(t, `
+int main() {
+  int x = 6;
+  int y = 7;
+  print_int(x * y);
+  print_int(x - y);
+  print_int((x + 1) % 3);
+  print_int(x / 2);
+  return 0;
+}`)
+	if out != "42\n-1\n1\n3\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out := runEverywhere(t, `
+int fact(int n) {
+  if (n <= 1) return 1;
+  return n * fact(n - 1);
+}
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) acc = acc + i;
+    else acc = acc - 1;
+  }
+  print_int(acc);
+  print_int(fact(10));
+  int j = 0;
+  while (j < 100) j = j + 7;
+  print_int(j);
+  return 0;
+}`)
+	if out != "15\n3628800\n105\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	out := runEverywhere(t, `
+int data[16];
+int sum(int* p, int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) s = s + p[i];
+  return s;
+}
+int main() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) data[i] = i * i;
+  print_int(sum(data, 16));
+  int local[4];
+  local[0] = 10; local[1] = 20; local[2] = 30; local[3] = 40;
+  int* p = &local[1];
+  print_int(*p);
+  print_int(p[1]);
+  *p = 99;
+  print_int(local[1]);
+  print_int(sum(local, 4));
+  return 0;
+}`)
+	if out != "1240\n20\n30\n99\n179\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestDoublesAndCasts(t *testing.T) {
+	out := runEverywhere(t, `
+double half(double x) { return x / 2.0; }
+int main() {
+  double d = 3.5;
+  print_float(d * 2.0);
+  print_float(half(9.0));
+  print_int((int)(d + 0.5));
+  print_float((double)7 / 2.0);
+  byte b = (byte)200;
+  print_int((int)b + 100);
+  return 0;
+}`)
+	want := "7.000000\n4.500000\n4\n3.500000\n300\n"
+	if out != want {
+		t.Fatalf("output %q, want %q", out, want)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	out := runEverywhere(t, `
+int g;
+int bump() { g = g + 1; return 1; }
+int main() {
+  g = 0;
+  if (0 && bump()) print_int(111);
+  print_int(g);
+  if (1 || bump()) print_int(222);
+  print_int(g);
+  if (1 && bump()) print_int(333);
+  print_int(g);
+  return 0;
+}`)
+	if out != "0\n222\n0\n333\n1\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestLogicalNotAndCompare(t *testing.T) {
+	out := runEverywhere(t, `
+int main() {
+  print_int(!0);
+  print_int(!5);
+  print_int(3 < 4);
+  print_int(4 < 3);
+  print_int(1 << 10);
+  print_int(-16 >> 2);
+  print_int(0xF0 & 0x3C);
+  print_int(0xF0 | 0x0C);
+  print_int(0xF0 ^ 0xFF);
+  return 0;
+}`)
+	if out != "1\n0\n1\n0\n1024\n-4\n48\n252\n15\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestThreadsAndAtomics(t *testing.T) {
+	out := runEverywhere(t, `
+int counter;
+void worker(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) atomic_add(&counter, 2);
+}
+int main() {
+  int t;
+  for (t = 0; t < nthreads(); t = t + 1) spawn(worker, 25);
+  join();
+  print_int(counter);
+  int old = atomic_cas(&counter, 200, 7);
+  print_int(old);
+  print_int(counter);
+  fence();
+  return 0;
+}`)
+	if out != "200\n200\n7\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestAllocAndByteBuffers(t *testing.T) {
+	out := runEverywhere(t, `
+int main() {
+  byte* buf = alloc(32);
+  int i;
+  for (i = 0; i < 32; i = i + 1) buf[i] = (byte)(i + 1);
+  int s = 0;
+  for (i = 0; i < 32; i = i + 1) s = s + (int)buf[i];
+  print_int(s);
+  int* words = (int*)buf;
+  print_int(words[0] & 0xFF);
+  return 0;
+}`)
+	if out != "528\n1\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int main( {}",
+		"int main() { return }",
+		"int main() { x = 1; }",
+		"int main() { int a[x]; }",
+		"float main() {}",
+		"int main() { foo(); }",
+	}
+	for _, src := range cases {
+		if _, err := Compile("bad", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestCharLiteralsAndComments(t *testing.T) {
+	out := runEverywhere(t, `
+// line comment
+/* block
+   comment */
+int main() {
+  print_int('A');
+  print_int('\n');
+  return 0; // trailing
+}`)
+	if out != "65\n10\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestNestedLoopsMatrix(t *testing.T) {
+	out := runEverywhere(t, `
+double a[16];
+double b[16];
+double c[16];
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < 16; i = i + 1) { a[i] = (double)(i + 1); b[i] = (double)(16 - i); }
+  for (i = 0; i < 4; i = i + 1)
+    for (j = 0; j < 4; j = j + 1) {
+      double s = 0.0;
+      for (k = 0; k < 4; k = k + 1)
+        s = s + a[i * 4 + k] * b[k * 4 + j];
+      c[i * 4 + j] = s;
+    }
+  print_float(c[0]);
+  print_float(c[15]);
+  return 0;
+}`)
+	if out != "80.000000\n386.000000\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestWhileWithComplexConditions(t *testing.T) {
+	out := runEverywhere(t, `
+int main() {
+  int i = 0;
+  int n = 0;
+  while (i < 20 && n < 50) {
+    if (i % 4 == 0 || i % 6 == 0) n = n + i;
+    i = i + 1;
+  }
+  print_int(i);
+  print_int(n);
+  return 0;
+}`)
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestPointerComparisonsAndArithmetic(t *testing.T) {
+	out := runEverywhere(t, `
+int buf[10];
+int main() {
+  int* lo = &buf[2];
+  int* hi = &buf[7];
+  print_int(hi - lo);
+  print_int(lo < hi);
+  print_int(lo == lo);
+  int* p = lo + 3;
+  *p = 99;
+  print_int(buf[5]);
+  p = p - 1;
+  *p = 7;
+  print_int(buf[4]);
+  return 0;
+}`)
+	if out != "5\n1\n1\n99\n7\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestNegativeModuloAndDivision(t *testing.T) {
+	out := runEverywhere(t, `
+int main() {
+  print_int(-17 / 5);
+  print_int(-17 % 5);
+  print_int(17 / -5);
+  print_int(17 % -5);
+  return 0;
+}`)
+	// Truncated division semantics (like C99 and Go).
+	if out != "-3\n-2\n-3\n2\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestGlobalDoubleArraysAcrossCalls(t *testing.T) {
+	runEverywhere(t, `
+double m[9];
+void fill(int k) {
+  int i;
+  for (i = 0; i < 9; i = i + 1) m[i] = (double)(i * k);
+}
+double trace() { return m[0] + m[4] + m[8]; }
+int main() {
+  fill(3);
+  print_float(trace());
+  return 0;
+}`)
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	out := runEverywhere(t, `
+int main() {
+  int x = ((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 - 8))) << 1) / 2;
+  print_int(x);
+  return 0;
+}`)
+	if out != "20\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestByteComparisonSemantics(t *testing.T) {
+	out := runEverywhere(t, `
+int main() {
+  byte a = (byte)200;
+  byte b = (byte)100;
+  // bytes promote to int as unsigned values
+  print_int((int)a > (int)b);
+  print_int((int)a);
+  return 0;
+}`)
+	if out != "1\n200\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestMoreParseErrors(t *testing.T) {
+	cases := []string{
+		"int main() { while }",
+		"int main() { if (1 { } }",
+		"int main() { int x = ; }",
+		"int main() { 3 = x; }",
+		"int main() { spawn(5, 1); }",
+		"int main() { atomic_add(5, 1); }",
+		"void f(int a, int a2) {} int main() { f(1); }",
+		"int main() { return (double*)1.5; }",
+	}
+	for _, src := range cases {
+		if _, err := Compile("bad", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptIdent(name string) bool {
+	if p.cur().kind == tokIdent && p.cur().text == name {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// isTypeName reports whether the current token starts a type.
+func (p *parser) isTypeName() bool {
+	t := p.cur()
+	return t.kind == tokIdent && (t.text == "int" || t.text == "double" || t.text == "byte" || t.text == "void")
+}
+
+// parseType parses a base type plus pointer stars.
+func (p *parser) parseType() (Ty, error) {
+	t := p.next()
+	var ty Ty
+	switch t.text {
+	case "int":
+		ty = TyInt
+	case "double":
+		ty = TyDouble
+	case "byte":
+		ty = TyByte
+	case "void":
+		ty = TyVoid
+	default:
+		return nil, fmt.Errorf("line %d: expected type, found %q", t.line, t.text)
+	}
+	for p.accept("*") {
+		ty = ptrTy{elem: ty}
+	}
+	return ty, nil
+}
+
+// Parse parses a translation unit.
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{}
+	for p.cur().kind != tokEOF {
+		if !p.isTypeName() {
+			return nil, p.errf("expected declaration, found %q", p.cur().text)
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.next()
+		if nameTok.kind != tokIdent {
+			return nil, fmt.Errorf("line %d: expected name", nameTok.line)
+		}
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			fd, err := p.parseFunc(ty, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, *fd)
+			continue
+		}
+		// Global variable (possibly an array).
+		gty := ty
+		for p.accept("[") {
+			sz := p.next()
+			if sz.kind != tokInt {
+				return nil, fmt.Errorf("line %d: array size must be an integer literal", sz.line)
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			gty = arrayTy{elem: gty, n: sz.ival}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		prog.globals = append(prog.globals, globalDecl{name: nameTok.text, ty: gty, line: nameTok.line})
+	}
+	return prog, nil
+}
+
+func (p *parser) parseFunc(ret Ty, nameTok token) (*funcDecl, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []param
+	for !p.accept(")") {
+		if len(params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn := p.next()
+		if pn.kind != tokIdent {
+			return nil, fmt.Errorf("line %d: expected parameter name", pn.line)
+		}
+		params = append(params, param{name: pn.text, ty: pt})
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &funcDecl{name: nameTok.text, ret: ret, params: params, body: body, line: nameTok.line}, nil
+}
+
+func (p *parser) parseBlock() (*blockStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	blk := &blockStmt{}
+	for !p.accept("}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.stmts = append(blk.stmts, s)
+	}
+	return blk, nil
+}
+
+// blockOf wraps a single statement in a block if needed.
+func (p *parser) parseBody() (*blockStmt, error) {
+	if p.cur().kind == tokPunct && p.cur().text == "{" {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &blockStmt{stmts: []stmt{s}}, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.acceptIdent("return"):
+		if p.accept(";") {
+			return returnStmt{line: line}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return returnStmt{e: e, line: line}, nil
+
+	case p.acceptIdent("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBody()
+		if err != nil {
+			return nil, err
+		}
+		var els *blockStmt
+		if p.acceptIdent("else") {
+			els, err = p.parseBody()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ifStmt{cond: cond, then: then, els: els, line: line}, nil
+
+	case p.acceptIdent("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBody()
+		if err != nil {
+			return nil, err
+		}
+		return whileStmt{cond: cond, body: body, line: line}, nil
+
+	case p.acceptIdent("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init, post stmt
+		var cond expr
+		var err error
+		if !p.accept(";") {
+			init, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(";") {
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().text != ")" {
+			post, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBody()
+		if err != nil {
+			return nil, err
+		}
+		return forStmt{init: init, cond: cond, post: post, body: body, line: line}, nil
+
+	case p.cur().kind == tokPunct && p.cur().text == "{":
+		return p.parseBlock()
+
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseSimpleStmt parses a declaration, assignment or expression statement
+// (no trailing semicolon).
+func (p *parser) parseSimpleStmt() (stmt, error) {
+	line := p.cur().line
+	if p.isTypeName() {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.next()
+		if nameTok.kind != tokIdent {
+			return nil, fmt.Errorf("line %d: expected variable name", nameTok.line)
+		}
+		vty := ty
+		for p.accept("[") {
+			sz := p.next()
+			if sz.kind != tokInt {
+				return nil, fmt.Errorf("line %d: array size must be an integer literal", sz.line)
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			vty = arrayTy{elem: vty, n: sz.ival}
+		}
+		var init expr
+		if p.accept("=") {
+			init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return declStmt{name: nameTok.text, ty: vty, init: init, line: line}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=") {
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return assignStmt{lhs: e, rhs: rhs, line: line}, nil
+	}
+	return exprStmt{e: e, line: line}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = binExpr{op: t.text, l: lhs, r: rhs, line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "*", "&":
+			p.pos++
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return unExpr{op: t.text, e: e, line: t.line}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			save := p.pos
+			p.pos++
+			if p.isTypeName() {
+				ty, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if p.accept(")") {
+					e, err := p.parseUnary()
+					if err != nil {
+						return nil, err
+					}
+					return castExpr{to: ty, e: e, line: t.line}, nil
+				}
+			}
+			p.pos = save
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept("[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = indexExpr{base: e, idx: idx, line: p.cur().line}
+			continue
+		}
+		return e, nil
+	}
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		return intLit{v: t.ival, line: t.line}, nil
+	case tokFloat:
+		return floatLit{v: t.fval, line: t.line}, nil
+	case tokIdent:
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			p.pos++
+			var args []expr
+			for !p.accept(")") {
+				if len(args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			return callExpr{name: t.text, args: args, line: t.line}, nil
+		}
+		return varRef{name: t.text, line: t.line}, nil
+	case tokPunct:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("line %d: unexpected token %q", t.line, t.text)
+}

@@ -1,0 +1,205 @@
+// Package obj defines a minimal object/executable container standing in for
+// ELF: named sections with load addresses, a symbol table, and a serialized
+// byte format. The compiler backends produce obj files; the binary lifter
+// and the machine-code simulators consume them.
+package obj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Conventional load addresses.
+const (
+	TextBase = 0x400000 // machine code
+	DataBase = 0x600000 // globals
+	PLTBase  = 0x700000 // one slot per external (runtime-provided) function
+	PLTSlot  = 16       // bytes per PLT slot
+)
+
+// SymKind classifies a symbol.
+type SymKind int
+
+const (
+	SymFunc SymKind = iota
+	SymData
+	SymExtern // runtime-provided function, resolved by the simulator
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymFunc:
+		return "func"
+	case SymData:
+		return "data"
+	case SymExtern:
+		return "extern"
+	}
+	return "?"
+}
+
+// Symbol is a named address range.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Addr uint64
+	Size uint64
+}
+
+// Section is a named, loaded byte range.
+type Section struct {
+	Name string
+	Addr uint64
+	Data []byte
+}
+
+// File is a fully linked executable image.
+type File struct {
+	Arch     string // "x86-64" or "arm64"
+	Entry    string // entry function symbol
+	Sections []Section
+	Symbols  []Symbol
+}
+
+// Section returns the named section, or nil.
+func (f *File) Section(name string) *Section {
+	for i := range f.Sections {
+		if f.Sections[i].Name == name {
+			return &f.Sections[i]
+		}
+	}
+	return nil
+}
+
+// Symbol returns the named symbol, or nil.
+func (f *File) Symbol(name string) *Symbol {
+	for i := range f.Symbols {
+		if f.Symbols[i].Name == name {
+			return &f.Symbols[i]
+		}
+	}
+	return nil
+}
+
+// SymbolAt returns the symbol covering addr, or nil. Function symbols match
+// [Addr, Addr+Size); zero-size symbols match only their exact address.
+func (f *File) SymbolAt(addr uint64) *Symbol {
+	for i := range f.Symbols {
+		s := &f.Symbols[i]
+		if addr == s.Addr || (addr > s.Addr && addr < s.Addr+s.Size) {
+			return s
+		}
+	}
+	return nil
+}
+
+// FuncSymbols returns the function symbols sorted by address.
+func (f *File) FuncSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range f.Symbols {
+		if s.Kind == SymFunc {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+const magic = "LSGN\x01"
+
+// Marshal serializes the file.
+func (f *File) Marshal() []byte {
+	var b bytes.Buffer
+	b.WriteString(magic)
+	writeStr(&b, f.Arch)
+	writeStr(&b, f.Entry)
+	writeU32(&b, uint32(len(f.Sections)))
+	for _, s := range f.Sections {
+		writeStr(&b, s.Name)
+		writeU64(&b, s.Addr)
+		writeU32(&b, uint32(len(s.Data)))
+		b.Write(s.Data)
+	}
+	writeU32(&b, uint32(len(f.Symbols)))
+	for _, s := range f.Symbols {
+		writeStr(&b, s.Name)
+		writeU32(&b, uint32(s.Kind))
+		writeU64(&b, s.Addr)
+		writeU64(&b, s.Size)
+	}
+	return b.Bytes()
+}
+
+// Unmarshal parses a serialized file.
+func Unmarshal(data []byte) (*File, error) {
+	r := &reader{data: data}
+	if string(r.bytes(len(magic))) != magic {
+		return nil, fmt.Errorf("obj: bad magic")
+	}
+	f := &File{}
+	f.Arch = r.str()
+	f.Entry = r.str()
+	nsec := int(r.u32())
+	for i := 0; i < nsec && r.err == nil; i++ {
+		var s Section
+		s.Name = r.str()
+		s.Addr = r.u64()
+		n := int(r.u32())
+		s.Data = append([]byte(nil), r.bytes(n)...)
+		f.Sections = append(f.Sections, s)
+	}
+	nsym := int(r.u32())
+	for i := 0; i < nsym && r.err == nil; i++ {
+		var s Symbol
+		s.Name = r.str()
+		s.Kind = SymKind(r.u32())
+		s.Addr = r.u64()
+		s.Size = r.u64()
+		f.Symbols = append(f.Symbols, s)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("obj: %w", r.err)
+	}
+	return f, nil
+}
+
+func writeStr(b *bytes.Buffer, s string) {
+	writeU32(b, uint32(len(s)))
+	b.WriteString(s)
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func writeU64(b *bytes.Buffer, v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || r.pos+n > len(r.data) {
+		if r.err == nil {
+			r.err = fmt.Errorf("truncated at %d", r.pos)
+		}
+		return make([]byte, n)
+	}
+	out := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.bytes(8)) }
+func (r *reader) str() string { return string(r.bytes(int(r.u32()))) }

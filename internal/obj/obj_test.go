@@ -1,0 +1,93 @@
+package obj
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFile() *File {
+	return &File{
+		Arch:  "x86-64",
+		Entry: "main",
+		Sections: []Section{
+			{Name: ".text", Addr: TextBase, Data: []byte{0x90, 0xC3}},
+			{Name: ".data", Addr: DataBase, Data: make([]byte, 64)},
+		},
+		Symbols: []Symbol{
+			{Name: "main", Kind: SymFunc, Addr: TextBase, Size: 2},
+			{Name: "g", Kind: SymData, Addr: DataBase, Size: 8},
+			{Name: "__print_int", Kind: SymExtern, Addr: PLTBase, Size: PLTSlot},
+		},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := sampleFile()
+	data := f.Marshal()
+	g, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, g) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", f, g)
+	}
+}
+
+func TestUnmarshalBadMagic(t *testing.T) {
+	if _, err := Unmarshal([]byte("NOPE")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	data := sampleFile().Marshal()
+	for _, cut := range []int{6, 10, 20, len(data) - 1} {
+		if _, err := Unmarshal(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	f := sampleFile()
+	if f.Section(".text") == nil || f.Section(".bss") != nil {
+		t.Fatal("section lookup")
+	}
+	if f.Symbol("main") == nil || f.Symbol("nope") != nil {
+		t.Fatal("symbol lookup")
+	}
+	if s := f.SymbolAt(TextBase + 1); s == nil || s.Name != "main" {
+		t.Fatalf("SymbolAt mid-function: %v", s)
+	}
+	if s := f.SymbolAt(TextBase + 2); s != nil {
+		t.Fatalf("SymbolAt past end: %v", s)
+	}
+	funcs := f.FuncSymbols()
+	if len(funcs) != 1 || funcs[0].Name != "main" {
+		t.Fatalf("FuncSymbols: %v", funcs)
+	}
+}
+
+// Property: marshal/unmarshal round-trips arbitrary section payloads.
+func TestMarshalProperty(t *testing.T) {
+	prop := func(name string, data []byte, addr uint64) bool {
+		f := &File{
+			Arch:     "arm64",
+			Entry:    name,
+			Sections: []Section{{Name: name, Addr: addr, Data: append([]byte(nil), data...)}},
+		}
+		if f.Sections[0].Data == nil {
+			f.Sections[0].Data = []byte{}
+		}
+		g, err := Unmarshal(f.Marshal())
+		if err != nil {
+			return false
+		}
+		return g.Entry == name && g.Sections[0].Addr == addr &&
+			string(g.Sections[0].Data) == string(data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package opt
+
+import "lasagne/internal/ir"
+
+// DCE removes instructions whose results are unused and which have no side
+// effects, iterating to a fixpoint. Stores into write-only private allocas
+// (never loaded, never escaping — e.g. the lifter's dead flag slots) are
+// also dead: the memory is thread-private and never read.
+func DCE(f *ir.Func) bool {
+	changed := false
+	for {
+		uses := ir.ComputeUses(f)
+		dead := writeOnlyAllocas(f, uses)
+		n := 0
+		for _, b := range f.Blocks {
+			for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+				if in.Op == ir.OpStore && in.Order == ir.NotAtomic {
+					if a, ok := in.Args[1].(*ir.Instr); ok && dead[a] {
+						b.Remove(in)
+						n++
+					}
+					continue
+				}
+				if in.HasSideEffects() || in.IsTerminator() {
+					continue
+				}
+				if ir.IsVoid(in.Ty) {
+					continue
+				}
+				if len(uses[in]) == 0 {
+					b.Remove(in)
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// writeOnlyAllocas returns the allocas whose only uses are non-atomic
+// stores *to* them (no loads, no escapes): their stores are unobservable.
+func writeOnlyAllocas(f *ir.Func, uses ir.Uses) map[*ir.Instr]bool {
+	out := map[*ir.Instr]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpAlloca {
+				continue
+			}
+			ok := true
+			for _, u := range uses[in] {
+				if u.Op != ir.OpStore || u.Args[1] != ir.Value(in) ||
+					u.Args[0] == ir.Value(in) || u.Order != ir.NotAtomic {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[in] = true
+			}
+		}
+	}
+	return out
+}
+
+// ADCE is aggressive dead-code elimination: it assumes everything dead and
+// marks live only what is reachable from side-effecting roots, then deletes
+// the rest (including cyclic dead phi webs that plain DCE cannot remove).
+func ADCE(f *ir.Func) bool {
+	removeUnreachable(f)
+	live := map[*ir.Instr]bool{}
+	var work []*ir.Instr
+	markLive := func(in *ir.Instr) {
+		if !live[in] {
+			live[in] = true
+			work = append(work, in)
+		}
+	}
+	deadSlots := writeOnlyAllocas(f, ir.ComputeUses(f))
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore && in.Order == ir.NotAtomic {
+				if a, ok := in.Args[1].(*ir.Instr); ok && deadSlots[a] {
+					continue // unobservable store: not a root
+				}
+			}
+			if in.HasSideEffects() || in.IsTerminator() {
+				markLive(in)
+			}
+		}
+	}
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range in.Args {
+			if ai, ok := a.(*ir.Instr); ok {
+				markLive(ai)
+			}
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+			if !live[in] {
+				b.Remove(in)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// removeUnreachable deletes blocks not reachable from the entry and prunes
+// phi edges from removed predecessors.
+func removeUnreachable(f *ir.Func) bool {
+	reach := ir.ReachableBlocks(f)
+	if len(reach) == len(f.Blocks) {
+		return false
+	}
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			for _, in := range b.Instrs {
+				in.Parent = nil
+			}
+		}
+	}
+	f.Blocks = kept
+	// Prune phi incoming edges from unreachable predecessors.
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			for k := 0; k < len(phi.Blocks); {
+				if !reach[phi.Blocks[k]] {
+					phi.Args = append(phi.Args[:k], phi.Args[k+1:]...)
+					phi.Blocks = append(phi.Blocks[:k], phi.Blocks[k+1:]...)
+				} else {
+					k++
+				}
+			}
+		}
+	}
+	return true
+}

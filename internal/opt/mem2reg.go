@@ -1,0 +1,163 @@
+package opt
+
+import (
+	"lasagne/internal/ir"
+)
+
+// Mem2Reg promotes allocas whose only uses are same-typed loads and stores
+// into SSA registers, inserting phi nodes at dominance frontiers (the
+// classic algorithm). Escaping allocas — address taken by ptrtoint, passed
+// to calls, cast to other pointer types, or accessed atomically — are left
+// in memory.
+func Mem2Reg(f *ir.Func) bool {
+	if len(f.Blocks) == 0 {
+		return false
+	}
+	removeUnreachable(f)
+	uses := ir.ComputeUses(f)
+	var candidates []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca && len(in.Args) == 0 && promotable(in, uses) {
+				candidates = append(candidates, in)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+
+	dt := ir.ComputeDomTree(f)
+	df := ir.DominanceFrontier(f, dt)
+
+	for _, a := range candidates {
+		promoteAlloca(f, a, dt, df, uses)
+	}
+	return true
+}
+
+// promotable reports whether every use of the alloca is a non-atomic load
+// of the element type or a store of the element type *to* it.
+func promotable(a *ir.Instr, uses ir.Uses) bool {
+	if ir.IsVector(a.Elem) {
+		return false
+	}
+	for _, u := range uses[a] {
+		switch u.Op {
+		case ir.OpLoad:
+			if u.Order != ir.NotAtomic || !u.Ty.Equal(a.Elem) {
+				return false
+			}
+		case ir.OpStore:
+			// The alloca must be the address, not the stored value.
+			if u.Args[1] != ir.Value(a) || u.Order != ir.NotAtomic || !u.Args[0].Type().Equal(a.Elem) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func promoteAlloca(f *ir.Func, a *ir.Instr, dt *ir.DomTree, df map[*ir.Block][]*ir.Block, uses ir.Uses) {
+	// Blocks containing stores (definitions).
+	defBlocks := map[*ir.Block]bool{}
+	for _, u := range uses[a] {
+		if u.Op == ir.OpStore {
+			defBlocks[u.Parent] = true
+		}
+	}
+
+	// Phi placement via iterated dominance frontier.
+	phiBlocks := map[*ir.Block]*ir.Instr{}
+	work := make([]*ir.Block, 0, len(defBlocks))
+	for b := range defBlocks {
+		work = append(work, b)
+	}
+	inWork := map[*ir.Block]bool{}
+	for _, b := range work {
+		inWork[b] = true
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, fb := range df[b] {
+			if _, done := phiBlocks[fb]; done {
+				continue
+			}
+			phi := &ir.Instr{Op: ir.OpPhi, Ty: a.Elem}
+			if len(fb.Instrs) > 0 {
+				fb.InsertBefore(phi, fb.Instrs[0])
+			} else {
+				fb.Append(phi)
+			}
+			phiBlocks[fb] = phi
+			if !inWork[fb] {
+				inWork[fb] = true
+				work = append(work, fb)
+			}
+		}
+	}
+
+	// Rename pass: walk the dominator tree carrying the current value.
+	var rename func(b *ir.Block, cur ir.Value)
+	rename = func(b *ir.Block, cur ir.Value) {
+		if phi, ok := phiBlocks[b]; ok {
+			cur = phi
+		}
+		for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+			switch {
+			case in.Op == ir.OpLoad && in.Args[0] == ir.Value(a):
+				if cur == nil {
+					cur = ir.NewUndef(a.Elem)
+				}
+				ir.ReplaceAllUses(f, in, cur)
+				b.Remove(in)
+			case in.Op == ir.OpStore && in.Args[1] == ir.Value(a):
+				cur = in.Args[0]
+				b.Remove(in)
+			}
+		}
+		seen := map[*ir.Block]bool{}
+		for _, s := range b.Succs() {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			if phi, ok := phiBlocks[s]; ok {
+				v := cur
+				if v == nil {
+					v = ir.NewUndef(a.Elem)
+				}
+				ir.AddIncoming(phi, v, b)
+			}
+		}
+		for _, child := range dt.Children[b] {
+			rename(child, cur)
+		}
+	}
+	rename(f.Entry(), nil)
+
+	// Phis in unreachable blocks got no incoming edges; leave them — ADCE /
+	// simplifycfg removes unreachable blocks. Finally drop the alloca.
+	a.Parent.Remove(a)
+
+	// Prune phis whose incoming edges are fewer than predecessors (can
+	// happen when a predecessor is unreachable): fill with undef.
+	for b, phi := range phiBlocks {
+		preds := b.Preds()
+		if len(phi.Args) == len(preds) {
+			continue
+		}
+		have := map[*ir.Block]bool{}
+		for _, ib := range phi.Blocks {
+			have[ib] = true
+		}
+		for _, p := range preds {
+			if !have[p] {
+				ir.AddIncoming(phi, ir.NewUndef(a.Elem), p)
+			}
+		}
+	}
+}

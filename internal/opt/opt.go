@@ -1,0 +1,173 @@
+// Package opt implements the LLVM-style optimization passes that the paper
+// re-runs on lifted code (§8, Fig. 17): mem2reg, instcombine, dce, adce,
+// simplifycfg, gvn (with the Fig. 11b load/store eliminations), dse, licm,
+// reassociate, sccp, ipsccp and sroa, plus a vector scalarization pass used
+// before the scalar backends.
+//
+// All passes are LIMM-correct: transformations never move or remove memory
+// accesses across fences or atomics except where Fig. 11a/11b allows it,
+// and the correctness of those rules is checked independently by the
+// memmodel package's bounded verifier.
+package opt
+
+import (
+	"fmt"
+
+	"lasagne/internal/ir"
+)
+
+// Pass is a named function-level transformation returning whether it
+// changed anything.
+type Pass struct {
+	Name string
+	Run  func(*ir.Func) bool
+}
+
+// Registry lists all passes by name.
+var Registry = map[string]Pass{}
+
+func register(name string, run func(*ir.Func) bool) {
+	Registry[name] = Pass{Name: name, Run: run}
+}
+
+func init() {
+	register("mem2reg", Mem2Reg)
+	register("instcombine", InstCombine)
+	register("dce", DCE)
+	register("adce", ADCE)
+	register("simplifycfg", SimplifyCFG)
+	register("gvn", GVN)
+	register("dse", DSE)
+	register("licm", LICM)
+	register("reassociate", Reassociate)
+	register("sccp", SCCP)
+	register("ipsccp", SCCP) // module-level propagation approximated per-function
+	register("sroa", SROA)
+	register("scalarize", Scalarize)
+}
+
+// StandardPipeline is the -O2-like pipeline used for Native compilation and
+// the Opt/POpt/PPOpt variants.
+var StandardPipeline = []string{
+	"mem2reg", "sroa", "instcombine", "simplifycfg", "sccp",
+	"reassociate", "gvn", "licm", "dse",
+	"instcombine", "adce", "simplifycfg", "mem2reg", "sroa", "gvn", "instcombine", "dce",
+}
+
+// Run applies the named pass to every defined function in the module.
+func Run(m *ir.Module, name string) (bool, error) {
+	p, ok := Registry[name]
+	if !ok {
+		return false, fmt.Errorf("opt: unknown pass %q", name)
+	}
+	changed := false
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		if p.Run(f) {
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// RunPipeline applies a sequence of passes, verifying the module after each
+// when verify is set.
+func RunPipeline(m *ir.Module, names []string, verify bool) error {
+	for _, n := range names {
+		if _, err := Run(m, n); err != nil {
+			return err
+		}
+		if verify {
+			if err := ir.Verify(m); err != nil {
+				return fmt.Errorf("opt: module invalid after %s: %w", n, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Optimize runs the standard pipeline.
+func Optimize(m *ir.Module) error {
+	return RunPipeline(m, StandardPipeline, false)
+}
+
+// baseObject traces a pointer to its underlying object: an alloca
+// instruction, a global, or nil when unknown.
+func baseObject(v ir.Value) ir.Value {
+	for depth := 0; depth < 64; depth++ {
+		switch x := v.(type) {
+		case *ir.Global:
+			return x
+		case *ir.Instr:
+			switch x.Op {
+			case ir.OpAlloca:
+				return x
+			case ir.OpBitcast, ir.OpGEP:
+				v = x.Args[0]
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// mayAlias conservatively decides whether two pointers can refer to
+// overlapping memory. Distinct identified objects never alias.
+func mayAlias(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	oa, ob := baseObject(a), baseObject(b)
+	if oa != nil && ob != nil && oa != ob {
+		return false
+	}
+	return true
+}
+
+// isPrivate reports whether the pointer provably refers to a non-escaping
+// alloca: thread-private memory that fences cannot order. GVN and DSE only
+// move accesses across fences for private memory — strictly stronger than
+// the Fig. 11b fenced rules, which are stated for the paper's final-values
+// behavior definition (see internal/memmodel's strong-observation tests).
+func isPrivate(f *ir.Func, p ir.Value) bool {
+	base := baseObject(p)
+	a, ok := base.(*ir.Instr)
+	if !ok || a.Op != ir.OpAlloca {
+		return false
+	}
+	return !escapes(f, a)
+}
+
+// escapes reports whether any use chain of the alloca leaves the
+// load/store-address discipline (ptrtoint, calls, stored as a value, ...).
+func escapes(f *ir.Func, a *ir.Instr) bool {
+	uses := ir.ComputeUses(f)
+	var visit func(v ir.Value, depth int) bool
+	visit = func(v ir.Value, depth int) bool {
+		if depth > 16 {
+			return true
+		}
+		for _, u := range uses[v] {
+			switch u.Op {
+			case ir.OpLoad:
+			case ir.OpStore:
+				if u.Args[0] == v {
+					return true // the pointer itself is stored
+				}
+			case ir.OpBitcast, ir.OpGEP:
+				if visit(u, depth+1) {
+					return true
+				}
+			default:
+				return true
+			}
+		}
+		return false
+	}
+	return visit(a, 0)
+}

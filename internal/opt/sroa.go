@@ -1,0 +1,317 @@
+package opt
+
+import (
+	"lasagne/internal/ir"
+)
+
+// Reassociate re-ranks commutative expression chains so constants sink to
+// the outermost position where instcombine can fold them:
+// (x + c) + y -> (x + y) + c.
+func Reassociate(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !ir.CommutativeOp(in.Op) || len(in.Args) != 2 {
+				continue
+			}
+			ai, ok := in.Args[0].(*ir.Instr)
+			if !ok || ai.Op != in.Op || len(ai.Args) != 2 {
+				continue
+			}
+			_, innerConst := ai.Args[1].(*ir.ConstInt)
+			_, outerConst := in.Args[1].(*ir.ConstInt)
+			if innerConst && !outerConst {
+				// (x op c) op y  ->  (x op y) op c, reusing ai only if this
+				// is its single use (otherwise we would duplicate work).
+				uses := ir.ComputeUses(f)
+				if len(uses[ai]) != 1 {
+					continue
+				}
+				c := ai.Args[1]
+				y := in.Args[1]
+				ai.Args[1] = y
+				in.Args[1] = c
+				changed = true
+			}
+		}
+	}
+	if changed {
+		InstCombine(f)
+	}
+	return changed
+}
+
+// cell is one scalar slot discovered inside a byte-array alloca.
+type cell struct {
+	off int64
+	ty  ir.Type
+}
+
+// SROA (scalar replacement of aggregates) splits byte-array allocas that
+// are only accessed through constant offsets at consistent scalar types
+// into one scalar alloca per cell, unlocking mem2reg for lifted stack
+// frames. Any escaping use (ptrtoint, calls, dynamic offsets, overlapping
+// cells) disqualifies the alloca — which is exactly why the §5 refinement
+// matters: before it, frame addresses flow through ptrtoint chains.
+func SROA(f *ir.Func) bool {
+	removeUnreachable(f)
+	uses := ir.ComputeUses(f)
+	changed := false
+	for _, b := range f.Blocks {
+		for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+			if in.Op != ir.OpAlloca || in.Parent == nil {
+				continue
+			}
+			at, ok := in.Elem.(*ir.ArrayType)
+			if !ok || !at.Elem.Equal(ir.I8) || len(in.Args) != 0 {
+				continue
+			}
+			if splitAlloca(f, in, uses) {
+				changed = true
+				uses = ir.ComputeUses(f)
+			}
+		}
+	}
+	if changed {
+		DCE(f)
+	}
+	return changed
+}
+
+// access records one load/store reaching the alloca at a constant offset.
+type access struct {
+	instr *ir.Instr
+	off   int64
+	ty    ir.Type
+}
+
+// collectAccesses walks the use tree of v (bitcasts and constant GEPs) and
+// gathers all terminal accesses. It returns false if any use escapes.
+func collectAccesses(uses ir.Uses, v ir.Value, off int64, out *[]access, chain *[]*ir.Instr) bool {
+	for _, u := range uses[v] {
+		switch u.Op {
+		case ir.OpBitcast:
+			*chain = append(*chain, u)
+			if !collectAccesses(uses, u, off, out, chain) {
+				return false
+			}
+		case ir.OpGEP:
+			if u.Args[0] != v {
+				return false // used as an index?!
+			}
+			delta := int64(0)
+			elem := u.Elem
+			for k, idx := range u.Args[1:] {
+				c, ok := ir.ConstIntValue(idx)
+				if !ok {
+					return false
+				}
+				es := int64(elem.Size())
+				if k > 0 {
+					at, ok := elem.(*ir.ArrayType)
+					if !ok {
+						return false
+					}
+					elem = at.Elem
+					es = int64(elem.Size())
+				}
+				delta += c * es
+			}
+			*chain = append(*chain, u)
+			if !collectAccesses(uses, u, off+delta, out, chain) {
+				return false
+			}
+		case ir.OpLoad:
+			if u.Order != ir.NotAtomic {
+				return false
+			}
+			*out = append(*out, access{instr: u, off: off, ty: u.Ty})
+		case ir.OpStore:
+			if u.Args[1] != v || u.Order != ir.NotAtomic {
+				return false // stored as a value, or atomic
+			}
+			*out = append(*out, access{instr: u, off: off, ty: u.Args[0].Type()})
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitAlloca(f *ir.Func, a *ir.Instr, uses ir.Uses) bool {
+	var accs []access
+	var chain []*ir.Instr
+	if !collectAccesses(uses, a, 0, &accs, &chain) {
+		return false
+	}
+	if len(accs) == 0 {
+		return false
+	}
+	// Build non-overlapping cells; any overlap or type conflict aborts.
+	cells := map[int64]ir.Type{}
+	for _, ac := range accs {
+		if ir.IsVector(ac.ty) {
+			return false
+		}
+		if prev, ok := cells[ac.off]; ok {
+			if !prev.Equal(ac.ty) {
+				return false
+			}
+			continue
+		}
+		cells[ac.off] = ac.ty
+	}
+	// Overlap check.
+	type span struct{ lo, hi int64 }
+	var spans []span
+	for off, ty := range cells {
+		spans = append(spans, span{off, off + int64(ty.Size())})
+	}
+	for i := range spans {
+		for j := range spans {
+			if i != j && spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				return false
+			}
+		}
+	}
+
+	// Create one alloca per cell.
+	entry := f.Entry()
+	cellAlloca := map[int64]*ir.Instr{}
+	for off, ty := range cells {
+		na := &ir.Instr{Op: ir.OpAlloca, Ty: ir.PointerTo(ty), Elem: ty}
+		entry.InsertBefore(na, entry.Instrs[0])
+		cellAlloca[off] = na
+	}
+	// Rewrite accesses.
+	for _, ac := range accs {
+		na := cellAlloca[ac.off]
+		switch ac.instr.Op {
+		case ir.OpLoad:
+			ac.instr.Args[0] = na
+		case ir.OpStore:
+			ac.instr.Args[1] = na
+		}
+	}
+	// Remove the dead address chain and the original alloca.
+	for i := len(chain) - 1; i >= 0; i-- {
+		in := chain[i]
+		if in.Parent != nil && !ir.HasUses(f, in) {
+			in.Parent.Remove(in)
+		}
+	}
+	if !ir.HasUses(f, a) {
+		a.Parent.Remove(a)
+	}
+	return true
+}
+
+// Scalarize rewrites vector-typed operations into scalar sequences so the
+// scalar backends can compile modules whose lifted code used packed SSE
+// semantics. Vector loads/stores become per-lane accesses, vector
+// arithmetic becomes per-lane arithmetic, and vector<->scalar bitcasts
+// become shift/or packing.
+func Scalarize(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+			if in.Parent == nil {
+				continue
+			}
+			if scalarizeInstr(f, b, in) {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		DCE(f)
+	}
+	return changed
+}
+
+func scalarizeInstr(f *ir.Func, b *ir.Block, in *ir.Instr) bool {
+	vt, isVec := in.Ty.(*ir.VectorType)
+	if !isVec {
+		// Vector stores are void-typed.
+		if in.Op == ir.OpStore {
+			if svt, ok := in.Args[0].Type().(*ir.VectorType); ok {
+				lanes := explodeVector(f, b, in, in.Args[0], svt)
+				base := castLanePtr(b, in, in.Args[1], svt.Elem)
+				for k, lane := range lanes {
+					gep := &ir.Instr{Op: ir.OpGEP, Ty: ir.PointerTo(svt.Elem), Elem: svt.Elem,
+						Args: []ir.Value{base, ir.I64Const(int64(k))}}
+					b.InsertBefore(gep, in)
+					st := &ir.Instr{Op: ir.OpStore, Ty: ir.Void, Args: []ir.Value{lane, gep}}
+					b.InsertBefore(st, in)
+				}
+				b.Remove(in)
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case in.Op == ir.OpLoad:
+		base := castLanePtr(b, in, in.Args[0], vt.Elem)
+		lanes := make([]ir.Value, vt.Len)
+		for k := range lanes {
+			gep := &ir.Instr{Op: ir.OpGEP, Ty: ir.PointerTo(vt.Elem), Elem: vt.Elem,
+				Args: []ir.Value{base, ir.I64Const(int64(k))}}
+			b.InsertBefore(gep, in)
+			ld := &ir.Instr{Op: ir.OpLoad, Ty: vt.Elem, Args: []ir.Value{gep}}
+			b.InsertBefore(ld, in)
+			lanes[k] = ld
+		}
+		replaceVector(f, b, in, lanes, vt)
+		return true
+	case ir.IsBinaryOp(in.Op):
+		la := explodeVector(f, b, in, in.Args[0], vt)
+		lb := explodeVector(f, b, in, in.Args[1], vt)
+		lanes := make([]ir.Value, vt.Len)
+		for k := range lanes {
+			op := &ir.Instr{Op: in.Op, Ty: vt.Elem, Args: []ir.Value{la[k], lb[k]}}
+			b.InsertBefore(op, in)
+			lanes[k] = op
+		}
+		replaceVector(f, b, in, lanes, vt)
+		return true
+	}
+	return false
+}
+
+// castLanePtr converts a vector pointer to an element pointer.
+func castLanePtr(b *ir.Block, pos *ir.Instr, p ir.Value, elem ir.Type) ir.Value {
+	want := ir.PointerTo(elem)
+	if p.Type().Equal(want) {
+		return p
+	}
+	bc := &ir.Instr{Op: ir.OpBitcast, Ty: want, Args: []ir.Value{p}}
+	b.InsertBefore(bc, pos)
+	return bc
+}
+
+// explodeVector extracts all lanes of a vector value before pos.
+func explodeVector(f *ir.Func, b *ir.Block, pos *ir.Instr, v ir.Value, vt *ir.VectorType) []ir.Value {
+	lanes := make([]ir.Value, vt.Len)
+	for k := range lanes {
+		ee := &ir.Instr{Op: ir.OpExtractElement, Ty: vt.Elem,
+			Args: []ir.Value{v, ir.I64Const(int64(k))}}
+		b.InsertBefore(ee, pos)
+		lanes[k] = ee
+	}
+	return lanes
+}
+
+// replaceVector rebuilds a vector value from lanes (via insertelement) and
+// substitutes it for in.
+func replaceVector(f *ir.Func, b *ir.Block, in *ir.Instr, lanes []ir.Value, vt *ir.VectorType) {
+	var cur ir.Value = ir.NewUndef(vt)
+	for k, lane := range lanes {
+		ie := &ir.Instr{Op: ir.OpInsertElement, Ty: vt,
+			Args: []ir.Value{cur, lane, ir.I64Const(int64(k))}}
+		b.InsertBefore(ie, in)
+		cur = ie
+	}
+	ir.ReplaceAllUses(f, in, cur)
+	b.Remove(in)
+}

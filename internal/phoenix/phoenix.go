@@ -1,0 +1,411 @@
+// Package phoenix ports the five Phoenix multi-threaded kernels used in the
+// paper's evaluation (Table 1) to minic: histogram, kmeans,
+// linear_regression, matrix_multiply and string_match. Each program
+// deterministically generates its own workload (an LCG replaces the input
+// files the paper's testbed read from disk), partitions work across
+// nthreads() spawned threads, and prints result checksums so every pipeline
+// variant can be verified against the native run.
+//
+// Workload sizes are scaled down from the Phoenix defaults so that all five
+// variants of all five kernels simulate in seconds; the paper's performance
+// claims are about ratios between variants, which the scaling preserves.
+package phoenix
+
+import "strings"
+
+// Benchmark is one kernel of the suite.
+type Benchmark struct {
+	Name   string
+	Abbrev string
+	Source string
+}
+
+// All returns the suite in the paper's Table 1 order.
+func All() []Benchmark {
+	return []Benchmark{
+		{"histogram", "HT", histogramSrc},
+		{"kmeans", "KM", kmeansSrc},
+		{"linear_regression", "LR", linregSrc},
+		{"matrix_multiply", "MM", matmulSrc},
+		{"string_match", "SM", strmatchSrc},
+	}
+}
+
+// Get returns the named benchmark (by name or abbreviation), or nil.
+func Get(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name || b.Abbrev == name {
+			bb := b
+			return &bb
+		}
+	}
+	return nil
+}
+
+// Functions counts the function definitions in a benchmark source.
+func (b *Benchmark) Functions() int {
+	n := 0
+	for _, line := range strings.Split(b.Source, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.Contains(trimmed, "(") && !strings.HasPrefix(trimmed, "//") &&
+			(strings.HasPrefix(trimmed, "int ") || strings.HasPrefix(trimmed, "void ") ||
+				strings.HasPrefix(trimmed, "double ") || strings.HasPrefix(trimmed, "byte ")) &&
+			strings.HasSuffix(trimmed, "{") {
+			n++
+		}
+	}
+	return n
+}
+
+// LoC counts non-blank, non-comment source lines.
+func (b *Benchmark) LoC() int {
+	n := 0
+	for _, line := range strings.Split(b.Source, "\n") {
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "//") {
+			n++
+		}
+	}
+	return n
+}
+
+// histogram: bucket 24-bit "pixels" into per-channel histograms, with the
+// worker threads updating the shared histogram atomically.
+const histogramSrc = `
+// histogram (HT): Phoenix-style pixel histogram.
+int seed;
+byte img[49152];
+int histo[768];
+int nworkers;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+void fill_image(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    img[i] = (byte)(rnd() % 256);
+  }
+}
+
+void worker(int tid) {
+  int per = 49152 / nworkers;
+  int lo = tid * per;
+  int hi = lo + per;
+  int i;
+  for (i = lo; i < hi; i = i + 1) {
+    int v = (int)img[i];
+    int channel = i % 3;
+    atomic_add(&histo[channel * 256 + v], 1);
+  }
+}
+
+int checksum() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 768; i = i + 1) s = s + histo[i] * (i % 97 + 1);
+  return s;
+}
+
+int main() {
+  seed = 42;
+  nworkers = nthreads();
+  fill_image(49152);
+  int t;
+  for (t = 0; t < nworkers; t = t + 1) spawn(worker, t);
+  join();
+  print_int(checksum());
+  return 0;
+}
+`
+
+// kmeans: iterative 2-D k-means with shared cluster accumulators.
+const kmeansSrc = `
+// kmeans (KM): 2-D k-means clustering, Phoenix-style.
+int seed;
+double px[512];
+double py[512];
+int assign[512];
+double cx[8];
+double cy[8];
+int csize[8];
+double sumx[8];
+double sumy[8];
+int changed;
+int nworkers;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+double dist2(double ax, double ay, double bx, double by) {
+  double dx = ax - bx;
+  double dy = ay - by;
+  return dx * dx + dy * dy;
+}
+
+void gen_points(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    px[i] = (double)(rnd() % 1000) / 10.0;
+    py[i] = (double)(rnd() % 1000) / 10.0;
+    assign[i] = 0;
+  }
+}
+
+void assign_worker(int tid) {
+  int per = 512 / nworkers;
+  int lo = tid * per;
+  int hi = lo + per;
+  int i;
+  for (i = lo; i < hi; i = i + 1) {
+    int best = 0;
+    double bestd = dist2(px[i], py[i], cx[0], cy[0]);
+    int c;
+    for (c = 1; c < 8; c = c + 1) {
+      double d = dist2(px[i], py[i], cx[c], cy[c]);
+      if (d < bestd) { bestd = d; best = c; }
+    }
+    if (assign[i] != best) {
+      assign[i] = best;
+      atomic_add(&changed, 1);
+    }
+  }
+}
+
+void accumulate(int n) {
+  int c;
+  for (c = 0; c < 8; c = c + 1) { sumx[c] = 0.0; sumy[c] = 0.0; csize[c] = 0; }
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int c2 = assign[i];
+    sumx[c2] = sumx[c2] + px[i];
+    sumy[c2] = sumy[c2] + py[i];
+    csize[c2] = csize[c2] + 1;
+  }
+  for (c = 0; c < 8; c = c + 1) {
+    if (csize[c] > 0) {
+      cx[c] = sumx[c] / (double)csize[c];
+      cy[c] = sumy[c] / (double)csize[c];
+    }
+  }
+}
+
+int main() {
+  seed = 7;
+  nworkers = nthreads();
+  gen_points(512);
+  int c;
+  for (c = 0; c < 8; c = c + 1) {
+    cx[c] = (double)(c * 13 % 100);
+    cy[c] = (double)(c * 31 % 100);
+  }
+  int iter;
+  for (iter = 0; iter < 5; iter = iter + 1) {
+    changed = 0;
+    int t;
+    for (t = 0; t < nworkers; t = t + 1) spawn(assign_worker, t);
+    join();
+    accumulate(512);
+  }
+  int i;
+  int acc = 0;
+  for (i = 0; i < 512; i = i + 1) acc = acc + assign[i] * (i % 17 + 1);
+  print_int(acc);
+  for (c = 0; c < 8; c = c + 1) print_int((int)(cx[c] * 100.0) + (int)(cy[c] * 100.0));
+  return 0;
+}
+`
+
+// linear_regression: least-squares fit over generated points with shared
+// accumulators updated atomically.
+const linregSrc = `
+// linear_regression (LR): Phoenix-style least-squares accumulation.
+int seed;
+int xs[8192];
+int ys[8192];
+int sx;
+int sy;
+int sxx;
+int syy;
+int sxy;
+int nworkers;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+void gen_points(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int x = rnd() % 100;
+    xs[i] = x;
+    ys[i] = 3 * x + 7 + rnd() % 5;
+  }
+}
+
+void worker(int tid) {
+  int per = 8192 / nworkers;
+  int lo = tid * per;
+  int hi = lo + per;
+  int i;
+  int lsx = 0; int lsy = 0; int lsxx = 0; int lsyy = 0; int lsxy = 0;
+  for (i = lo; i < hi; i = i + 1) {
+    int x = xs[i];
+    int y = ys[i];
+    lsx = lsx + x;
+    lsy = lsy + y;
+    lsxx = lsxx + x * x;
+    lsyy = lsyy + y * y;
+    lsxy = lsxy + x * y;
+  }
+  atomic_add(&sx, lsx);
+  atomic_add(&sy, lsy);
+  atomic_add(&sxx, lsxx);
+  atomic_add(&syy, lsyy);
+  atomic_add(&sxy, lsxy);
+}
+
+int main() {
+  seed = 99;
+  nworkers = nthreads();
+  gen_points(8192);
+  int t;
+  for (t = 0; t < nworkers; t = t + 1) spawn(worker, t);
+  join();
+  int n = 8192;
+  // slope = (n*sxy - sx*sy) / (n*sxx - sx*sx), scaled by 1000.
+  int num = n * sxy - sx * sy;
+  int den = n * sxx - sx * sx;
+  print_int(num / (den / 1000));
+  print_int(sx);
+  print_int(sy);
+  print_int(sxy % 1000000);
+  return 0;
+}
+`
+
+// matrix_multiply: blocked-by-rows parallel matrix multiply on doubles.
+const matmulSrc = `
+// matrix_multiply (MM): Phoenix-style dense matrix multiply.
+int seed;
+double a[1600];
+double b[1600];
+double c[1600];
+int nworkers;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+void gen(int n) {
+  int i;
+  for (i = 0; i < n * n; i = i + 1) {
+    a[i] = (double)(rnd() % 19) - 9.0;
+    b[i] = (double)(rnd() % 19) - 9.0;
+  }
+}
+
+void worker(int tid) {
+  int n = 40;
+  int rows = n / nworkers;
+  int lo = tid * rows;
+  int hi = lo + rows;
+  int i; int j; int k;
+  for (i = lo; i < hi; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      double s = 0.0;
+      for (k = 0; k < n; k = k + 1) {
+        s = s + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = s;
+    }
+  }
+}
+
+int main() {
+  seed = 1234;
+  nworkers = nthreads();
+  gen(40);
+  int t;
+  for (t = 0; t < nworkers; t = t + 1) spawn(worker, t);
+  join();
+  double acc = 0.0;
+  int i;
+  for (i = 0; i < 1600; i = i + 1) {
+    if (i % 7 == 0) acc = acc + c[i];
+    else acc = acc - c[i] / 2.0;
+  }
+  print_float(acc);
+  return 0;
+}
+`
+
+// string_match: count occurrences of key patterns in a generated text, with
+// the match counters shared across workers.
+const strmatchSrc = `
+// string_match (SM): Phoenix-style multi-pattern byte matching.
+int seed;
+byte text[16384];
+byte key1[4];
+byte key2[4];
+byte key3[4];
+int count1;
+int count2;
+int count3;
+int nworkers;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+void gen_text(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    text[i] = (byte)(97 + rnd() % 4);
+  }
+  key1[0] = 'a'; key1[1] = 'b'; key1[2] = 'c'; key1[3] = 'd';
+  key2[0] = 'b'; key2[1] = 'a'; key2[2] = 'a'; key2[3] = 'b';
+  key3[0] = 'c'; key3[1] = 'c'; key3[2] = 'a'; key3[3] = 'd';
+}
+
+int match_at(byte* key, int pos) {
+  int k;
+  for (k = 0; k < 4; k = k + 1) {
+    if ((int)text[pos + k] != (int)key[k]) return 0;
+  }
+  return 1;
+}
+
+void worker(int tid) {
+  int per = (16384 - 4) / nworkers;
+  int lo = tid * per;
+  int hi = lo + per;
+  int i;
+  for (i = lo; i < hi; i = i + 1) {
+    if (match_at(key1, i)) atomic_add(&count1, 1);
+    if (match_at(key2, i)) atomic_add(&count2, 1);
+    if (match_at(key3, i)) atomic_add(&count3, 1);
+  }
+}
+
+int main() {
+  seed = 2024;
+  nworkers = nthreads();
+  gen_text(16384);
+  int t;
+  for (t = 0; t < nworkers; t = t + 1) spawn(worker, t);
+  join();
+  print_int(count1);
+  print_int(count2);
+  print_int(count3);
+  print_int(count1 * 3 + count2 * 5 + count3 * 7);
+  return 0;
+}
+`

@@ -1,0 +1,72 @@
+package phoenix
+
+import (
+	"testing"
+
+	"lasagne/internal/ir"
+	"lasagne/internal/minic"
+)
+
+func TestAllCompile(t *testing.T) {
+	for _, b := range All() {
+		m, err := minic.Compile(b.Name, b.Source)
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if err := ir.Verify(m); err != nil {
+			t.Errorf("%s: invalid IR: %v", b.Name, err)
+		}
+	}
+}
+
+func TestAllRunDeterministically(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			m, err := minic.Compile(b.Name, b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ip := ir.NewInterp(m)
+			if _, err := ip.Run("main"); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			out1 := ip.Out.String()
+			if out1 == "" {
+				t.Fatal("no output")
+			}
+			// Re-run: the LCG-seeded workload must be deterministic.
+			m2, _ := minic.Compile(b.Name, b.Source)
+			ip2 := ir.NewInterp(m2)
+			if _, err := ip2.Run("main"); err != nil {
+				t.Fatal(err)
+			}
+			if ip2.Out.String() != out1 {
+				t.Fatalf("nondeterministic output:\n%q\n%q", out1, ip2.Out.String())
+			}
+		})
+	}
+}
+
+func TestGet(t *testing.T) {
+	if Get("HT") == nil || Get("histogram") == nil {
+		t.Fatal("lookup by abbrev and name")
+	}
+	if Get("nope") != nil {
+		t.Fatal("unknown benchmark should be nil")
+	}
+}
+
+func TestInventoryMatchesTable1Shape(t *testing.T) {
+	// The paper's Table 1 lists 2-7 functions and 120-235 LoC per kernel;
+	// our ports are the same order of magnitude.
+	for _, b := range All() {
+		if fn := b.Functions(); fn < 2 || fn > 10 {
+			t.Errorf("%s: %d functions", b.Name, fn)
+		}
+		if loc := b.LoC(); loc < 40 || loc > 300 {
+			t.Errorf("%s: %d LoC", b.Name, loc)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package refine
+
+import (
+	"strings"
+	"testing"
+
+	"lasagne/internal/ir"
+)
+
+// TestRule1PointerCasting reproduces Fig. 5 Rule 1: inttoptr(ptrtoint p)
+// becomes a bitcast.
+func TestRule1PointerCasting(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	stack := b.Alloca(ir.ArrayOf(ir.I8, 32))
+	top := b.Bitcast(stack, ir.PointerTo(ir.I8))
+	tos := b.PtrToInt(top, ir.I64)
+	p := b.IntToPtr(tos, ir.PointerTo(ir.I32))
+	b.Store(ir.I32Const(1), p)
+	b.Ret(nil)
+
+	n := Peephole(m)
+	if n != 1 {
+		t.Fatalf("rewrote %d inttoptrs, want 1", n)
+	}
+	text := f.String()
+	if strings.Contains(text, "inttoptr") {
+		t.Fatalf("inttoptr survived:\n%s", text)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRule2StackOffset reproduces Fig. 5 Rule 2: an integer offset from
+// ptrtoint(stacktop) becomes a GEP.
+func TestRule2StackOffset(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.I32))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	stack := b.Alloca(ir.ArrayOf(ir.I8, 64))
+	top := b.Bitcast(stack, ir.PointerTo(ir.I8))
+	tos := b.PtrToInt(top, ir.I64)
+	sum := b.Add(tos, ir.I64Const(16))
+	p := b.IntToPtr(sum, ir.PointerTo(ir.I32))
+	v := b.Load(p)
+	b.Ret(v)
+
+	Run(m)
+	text := f.String()
+	if !strings.Contains(text, "getelementptr i8") {
+		t.Fatalf("expected a GEP:\n%s", text)
+	}
+	if strings.Contains(text, "inttoptr") || strings.Contains(text, "ptrtoint") {
+		t.Fatalf("raw casts survived:\n%s", text)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// Semantics preserved.
+	ip := ir.NewInterp(m)
+	if _, err := ip.Run("f"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRule3ParameterOffset reproduces Fig. 5 Rule 3 plus §5.2 parameter
+// promotion: an i64 parameter used as a raw address becomes a typed
+// pointer parameter.
+func TestRule3ParameterOffset(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.I32, ir.I64))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	sum := b.Add(f.Params[0], ir.I64Const(8))
+	p := b.IntToPtr(sum, ir.PointerTo(ir.I32))
+	v := b.Load(p)
+	b.Ret(v)
+
+	// A caller passing a raw stack address.
+	g := m.NewFunc("main", ir.Signature(ir.I32))
+	gb := ir.NewBuilder(g.NewBlock("entry"))
+	stack := gb.Alloca(ir.ArrayOf(ir.I8, 32))
+	top := gb.Bitcast(stack, ir.PointerTo(ir.I8))
+	pp := gb.GEP(ir.I8, top, ir.I64Const(8))
+	wide := gb.Bitcast(pp, ir.PointerTo(ir.I32))
+	gb.Store(ir.I32Const(77), wide)
+	addr := gb.PtrToInt(top, ir.I64)
+	r := gb.Call(f, addr)
+	gb.Ret(r)
+
+	Run(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("invalid after refinement: %v\n%s", err, m)
+	}
+	if !ir.IsPtr(f.Params[0].Ty) {
+		t.Fatalf("parameter not promoted: %s", f.Params[0].Ty)
+	}
+	ip := ir.NewInterp(m)
+	got, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Fatalf("got %d, want 77", got)
+	}
+}
+
+// TestPromotionMixedDestTypes: different inttoptr destination types promote
+// the parameter to i8*.
+func TestPromotionMixedDestTypes(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void, ir.I64))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	p32 := b.IntToPtr(f.Params[0], ir.PointerTo(ir.I32))
+	p64 := b.IntToPtr(f.Params[0], ir.PointerTo(ir.I64))
+	b.Store(ir.I32Const(1), p32)
+	b.Store(ir.I64Const(2), p64)
+	b.Ret(nil)
+	PromoteParams(m)
+	if !f.Params[0].Ty.Equal(ir.PointerTo(ir.I8)) {
+		t.Fatalf("mixed types should promote to i8*, got %s", f.Params[0].Ty)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoPromotionWhenUsedAsInteger: a parameter with a non-inttoptr use
+// stays an integer (§5.2).
+func TestNoPromotionWhenUsedAsInteger(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.I64, ir.I64))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	p := b.IntToPtr(f.Params[0], ir.PointerTo(ir.I64))
+	v := b.Load(p)
+	sum := b.Add(v, f.Params[0]) // arithmetic use
+	b.Ret(sum)
+	PromoteParams(m)
+	if !ir.IsInt(f.Params[0].Ty) {
+		t.Fatal("parameter with integer uses must not be promoted")
+	}
+}
+
+func TestCountPtrCasts(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void, ir.I64))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	p := b.IntToPtr(f.Params[0], ir.PointerTo(ir.I64))
+	i := b.PtrToInt(p, ir.I64)
+	p2 := b.IntToPtr(i, ir.PointerTo(ir.I64))
+	b.Store(ir.I64Const(0), p2)
+	b.Ret(nil)
+	if got := CountPtrCasts(m); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+}
+
+// TestRunTerminates guards the fixpoint loop against the bare
+// inttoptr(param) pattern that must not be rewritten forever.
+func TestRunTerminates(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void, ir.I64, ir.I64))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	// Param 0 promotable; param 1 also used as an integer.
+	p := b.IntToPtr(f.Params[0], ir.PointerTo(ir.I8))
+	b.Store(ir.IntConst(ir.I8, 1), p)
+	q := b.IntToPtr(f.Params[1], ir.PointerTo(ir.I8))
+	b.Store(ir.IntConst(ir.I8, 2), q)
+	sum := b.Add(f.Params[1], ir.I64Const(1))
+	qq := b.IntToPtr(sum, ir.PointerTo(ir.I8))
+	b.Store(ir.IntConst(ir.I8, 3), qq)
+	b.Ret(nil)
+	Run(m) // must terminate
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+// Package rt defines the runtime ABI shared by every execution environment
+// (the IR interpreter and the x86/Arm64 machine simulators): the names and
+// signatures of the runtime-provided functions that compiled and lifted
+// programs may call. It stands in for the C standard library headers that
+// mctoll consults when lifting calls to known externals (§4.2.1).
+package rt
+
+import "lasagne/internal/ir"
+
+// Builtin describes one runtime-provided function.
+type Builtin struct {
+	Name string
+	Sig  *ir.FuncType
+}
+
+// Builtins lists every runtime function, in stable order. PLT slots are
+// assigned in this order.
+var Builtins = []Builtin{
+	{"__print_int", ir.Signature(ir.Void, ir.I64)},
+	{"__print_float", ir.Signature(ir.Void, ir.F64)},
+	{"__alloc", ir.Signature(ir.PointerTo(ir.I8), ir.I64)},
+	{"__spawn", ir.Signature(ir.Void, ir.PointerTo(ir.I8), ir.I64)},
+	{"__join", ir.Signature(ir.Void)},
+	{"__nthreads", ir.Signature(ir.I64)},
+}
+
+// Lookup returns the builtin with the given name, or nil.
+func Lookup(name string) *Builtin {
+	for i := range Builtins {
+		if Builtins[i].Name == name {
+			return &Builtins[i]
+		}
+	}
+	return nil
+}
+
+// Index returns the PLT slot index of name, or -1.
+func Index(name string) int {
+	for i := range Builtins {
+		if Builtins[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Declare adds declarations for all builtins to a module (skipping names
+// already present) and returns nothing; callers look the functions up by
+// name.
+func Declare(m *ir.Module) {
+	for _, b := range Builtins {
+		if m.Func(b.Name) == nil {
+			m.DeclareFunc(b.Name, b.Sig)
+		}
+	}
+}

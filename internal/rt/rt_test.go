@@ -1,0 +1,38 @@
+package rt
+
+import (
+	"testing"
+
+	"lasagne/internal/ir"
+)
+
+func TestLookupAndIndex(t *testing.T) {
+	for i, b := range Builtins {
+		if Lookup(b.Name) == nil {
+			t.Errorf("Lookup(%q) = nil", b.Name)
+		}
+		if Index(b.Name) != i {
+			t.Errorf("Index(%q) = %d, want %d", b.Name, Index(b.Name), i)
+		}
+	}
+	if Lookup("nope") != nil || Index("nope") != -1 {
+		t.Error("unknown builtin should be absent")
+	}
+}
+
+func TestDeclareIdempotent(t *testing.T) {
+	m := ir.NewModule("t")
+	Declare(m)
+	n := len(m.Funcs)
+	Declare(m)
+	if len(m.Funcs) != n {
+		t.Fatalf("Declare added duplicates: %d -> %d", n, len(m.Funcs))
+	}
+	if f := m.Func("__spawn"); f == nil || !f.External {
+		t.Fatal("__spawn must be declared external")
+	}
+	spawn := m.Func("__spawn")
+	if len(spawn.Sig.Params) != 2 || !spawn.Sig.Params[0].Equal(ir.PointerTo(ir.I8)) {
+		t.Fatalf("__spawn signature %s", spawn.Sig)
+	}
+}

@@ -1,0 +1,694 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Decode disassembles the instruction beginning at code[0], which is located
+// at address addr. Direct branch targets are resolved to absolute addresses
+// in the immediate operand.
+func Decode(code []byte, addr uint64) (Inst, error) {
+	d := &decoder{code: code, addr: addr}
+	in, err := d.decode()
+	if err != nil {
+		return Inst{}, fmt.Errorf("x86: decode at %#x: %w", addr, err)
+	}
+	in.Addr = addr
+	in.Len = d.pos
+	return in, nil
+}
+
+// DecodeAll disassembles an entire code region starting at base.
+func DecodeAll(code []byte, base uint64) ([]Inst, error) {
+	var out []Inst
+	pos := 0
+	for pos < len(code) {
+		in, err := Decode(code[pos:], base+uint64(pos))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, in)
+		pos += in.Len
+	}
+	return out, nil
+}
+
+type decoder struct {
+	code []byte
+	addr uint64
+	pos  int
+
+	lock  bool
+	osize bool
+	rep   byte // 0xF2 / 0xF3 / 0
+	rex   byte
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.pos >= len(d.code) {
+		return 0, fmt.Errorf("truncated instruction")
+	}
+	b := d.code[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) i8() (int64, error) {
+	b, err := d.u8()
+	return int64(int8(b)), err
+}
+
+func (d *decoder) i16() (int64, error) {
+	if d.pos+2 > len(d.code) {
+		return 0, fmt.Errorf("truncated imm16")
+	}
+	v := int64(int16(binary.LittleEndian.Uint16(d.code[d.pos:])))
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) i32() (int64, error) {
+	if d.pos+4 > len(d.code) {
+		return 0, fmt.Errorf("truncated imm32")
+	}
+	v := int64(int32(binary.LittleEndian.Uint32(d.code[d.pos:])))
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) i64() (int64, error) {
+	if d.pos+8 > len(d.code) {
+		return 0, fmt.Errorf("truncated imm64")
+	}
+	v := int64(binary.LittleEndian.Uint64(d.code[d.pos:]))
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) rexW() bool { return d.rex&8 != 0 }
+func (d *decoder) rexR() int  { return int(d.rex>>2) & 1 }
+func (d *decoder) rexX() int  { return int(d.rex>>1) & 1 }
+func (d *decoder) rexB() int  { return int(d.rex) & 1 }
+
+// opSize returns the operand size given the prefixes.
+func (d *decoder) opSize() int {
+	if d.rexW() {
+		return 8
+	}
+	if d.osize {
+		return 2
+	}
+	return 4
+}
+
+// immBySize reads the immediate matching an operation size (imm32 for
+// 64-bit ops, sign-extended).
+func (d *decoder) immBySize(size int) (int64, error) {
+	switch size {
+	case 1:
+		return d.i8()
+	case 2:
+		return d.i16()
+	default:
+		return d.i32()
+	}
+}
+
+// modRM parses a ModRM byte (plus SIB/displacement) and returns the reg
+// field and the r/m operand. xmm selects whether register encodings in the
+// r/m slot name XMM registers.
+func (d *decoder) modRM(xmmRM bool) (regField int, rm Operand, err error) {
+	b, err := d.u8()
+	if err != nil {
+		return 0, Operand{}, err
+	}
+	mod := b >> 6
+	reg := int(b>>3)&7 | d.rexR()<<3
+	rmBits := int(b) & 7
+
+	if mod == 3 {
+		r := Reg(rmBits | d.rexB()<<3)
+		if xmmRM {
+			r += XMM0
+		}
+		return reg, RegOp(r), nil
+	}
+
+	m := Mem{Base: RegNone, Index: RegNone, Scale: 1}
+	if rmBits == 4 {
+		sib, err := d.u8()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		scale := 1 << (sib >> 6)
+		idx := int(sib>>3)&7 | d.rexX()<<3
+		base := int(sib)&7 | d.rexB()<<3
+		if idx != 4 { // 4 (without REX.X) means "no index"
+			m.Index = Reg(idx)
+			m.Scale = scale
+		}
+		if sib&7 == 5 && mod == 0 {
+			// no base, disp32
+			disp, err := d.i32()
+			if err != nil {
+				return 0, Operand{}, err
+			}
+			m.Disp = int32(disp)
+			return reg, Operand{Kind: KindMem, Mem: m}, nil
+		}
+		m.Base = Reg(base)
+	} else if mod == 0 && rmBits == 5 {
+		// RIP-relative.
+		disp, err := d.i32()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		m.Base = RIP
+		m.Disp = int32(disp)
+		return reg, Operand{Kind: KindMem, Mem: m}, nil
+	} else {
+		m.Base = Reg(rmBits | d.rexB()<<3)
+	}
+
+	switch mod {
+	case 1:
+		disp, err := d.i8()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		m.Disp = int32(disp)
+	case 2:
+		disp, err := d.i32()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		m.Disp = int32(disp)
+	}
+	return reg, Operand{Kind: KindMem, Mem: m}, nil
+}
+
+func gpReg(enc int) Operand  { return RegOp(Reg(enc)) }
+func xmmReg(enc int) Operand { return RegOp(XMM0 + Reg(enc)) }
+
+// branchTarget converts a rel32 displacement into an absolute address.
+func (d *decoder) branchTarget(rel int64) int64 {
+	return int64(d.addr) + int64(d.pos) + rel
+}
+
+func (d *decoder) decode() (Inst, error) {
+	// Prefixes.
+	for {
+		b, err := d.u8()
+		if err != nil {
+			return Inst{}, err
+		}
+		switch {
+		case b == 0xF0:
+			d.lock = true
+		case b == 0x66:
+			d.osize = true
+		case b == 0xF2 || b == 0xF3:
+			d.rep = b
+		case b >= 0x40 && b <= 0x4F:
+			d.rex = b
+		default:
+			return d.opcode(b)
+		}
+	}
+}
+
+func (d *decoder) opcode(b byte) (Inst, error) {
+	size := d.opSize()
+	switch {
+	case b == 0x0F:
+		return d.opcode0F()
+
+	case b < 0x40 && b&7 <= 3 && (b&0x38) != 0x10 && (b&0x38) != 0x18:
+		// Classic ALU block: ADD/OR/AND/SUB/XOR/CMP (skip ADC 0x10, SBB 0x18).
+		var op Op
+		switch b & 0x38 {
+		case 0x00:
+			op = ADD
+		case 0x08:
+			op = OR
+		case 0x20:
+			op = AND
+		case 0x28:
+			op = SUB
+		case 0x30:
+			op = XOR
+		case 0x38:
+			op = CMP
+		}
+		form := b & 3
+		if form <= 1 { // r/m, r
+			sz := size
+			if form == 0 {
+				sz = 1
+			}
+			reg, rm, err := d.modRM(false)
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: op, Lock: d.lock, Size: sz, Ops: []Operand{rm, gpReg(reg)}}, nil
+		}
+		sz := size
+		if form == 2 {
+			sz = 1
+		}
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Size: sz, Ops: []Operand{gpReg(reg), rm}}, nil
+
+	case b >= 0x50 && b <= 0x57:
+		return Inst{Op: PUSH, Size: 8, Ops: []Operand{gpReg(int(b-0x50) | d.rexB()<<3)}}, nil
+	case b >= 0x58 && b <= 0x5F:
+		return Inst{Op: POP, Size: 8, Ops: []Operand{gpReg(int(b-0x58) | d.rexB()<<3)}}, nil
+
+	case b == 0x63:
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOVSXD, Size: 8, SrcSize: 4, Ops: []Operand{gpReg(reg), rm}}, nil
+
+	case b == 0x68:
+		imm, err := d.i32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: PUSH, Size: 8, Ops: []Operand{ImmOp(imm)}}, nil
+
+	case b == 0x69 || b == 0x6B:
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		var imm int64
+		var err2 error
+		if b == 0x6B {
+			imm, err2 = d.i8()
+		} else {
+			imm, err2 = d.i32()
+		}
+		if err2 != nil {
+			return Inst{}, err2
+		}
+		return Inst{Op: IMUL, Size: size, Ops: []Operand{gpReg(reg), rm, ImmOp(imm)}}, nil
+
+	case b == 0x80 || b == 0x81 || b == 0x83:
+		sz := size
+		if b == 0x80 {
+			sz = 1
+		}
+		digit, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		var imm int64
+		if b == 0x83 {
+			imm, err = d.i8()
+		} else {
+			imm, err = d.immBySize(sz)
+		}
+		if err != nil {
+			return Inst{}, err
+		}
+		ops := [8]Op{ADD, OR, BAD, BAD, AND, SUB, XOR, CMP}
+		op := ops[digit&7]
+		if op == BAD {
+			return Inst{}, fmt.Errorf("unsupported ALU group digit %d", digit&7)
+		}
+		return Inst{Op: op, Lock: d.lock, Size: sz, Ops: []Operand{rm, ImmOp(imm)}}, nil
+
+	case b == 0x84 || b == 0x85:
+		sz := size
+		if b == 0x84 {
+			sz = 1
+		}
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: TEST, Size: sz, Ops: []Operand{rm, gpReg(reg)}}, nil
+
+	case b == 0x86 || b == 0x87:
+		sz := size
+		if b == 0x86 {
+			sz = 1
+		}
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: XCHG, Lock: d.lock, Size: sz, Ops: []Operand{rm, gpReg(reg)}}, nil
+
+	case b >= 0x88 && b <= 0x8B:
+		sz := size
+		if b == 0x88 || b == 0x8A {
+			sz = 1
+		}
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		if b <= 0x89 { // store form
+			return Inst{Op: MOV, Size: sz, Ops: []Operand{rm, gpReg(reg)}}, nil
+		}
+		return Inst{Op: MOV, Size: sz, Ops: []Operand{gpReg(reg), rm}}, nil
+
+	case b == 0x8D:
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: LEA, Size: size, Ops: []Operand{gpReg(reg), rm}}, nil
+
+	case b == 0x90:
+		return Inst{Op: NOP}, nil
+
+	case b == 0x99:
+		if d.rexW() {
+			return Inst{Op: CQO, Size: 8}, nil
+		}
+		return Inst{Op: CDQ, Size: 4}, nil
+
+	case b >= 0xB8 && b <= 0xBF:
+		r := int(b-0xB8) | d.rexB()<<3
+		if d.rexW() {
+			imm, err := d.i64()
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: MOV, Size: 8, Ops: []Operand{gpReg(r), ImmOp(imm)}}, nil
+		}
+		imm, err := d.i32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOV, Size: 4, Ops: []Operand{gpReg(r), ImmOp(imm)}}, nil
+
+	case b == 0xC0 || b == 0xC1 || b == 0xD2 || b == 0xD3:
+		sz := size
+		if b == 0xC0 || b == 0xD2 {
+			sz = 1
+		}
+		digit, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		ops := map[int]Op{4: SHL, 5: SHR, 7: SAR}
+		op, ok := ops[digit&7]
+		if !ok {
+			return Inst{}, fmt.Errorf("unsupported shift digit %d", digit&7)
+		}
+		if b == 0xD2 || b == 0xD3 {
+			return Inst{Op: op, Size: sz, Ops: []Operand{rm, RegOp(RCX)}}, nil
+		}
+		imm, err := d.i8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Size: sz, Ops: []Operand{rm, ImmOp(imm)}}, nil
+
+	case b == 0xC3:
+		return Inst{Op: RET}, nil
+
+	case b == 0xC6 || b == 0xC7:
+		sz := size
+		if b == 0xC6 {
+			sz = 1
+		}
+		_, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := d.immBySize(sz)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOV, Size: sz, Ops: []Operand{rm, ImmOp(imm)}}, nil
+
+	case b == 0xE8 || b == 0xE9:
+		rel, err := d.i32()
+		if err != nil {
+			return Inst{}, err
+		}
+		op := CALL
+		if b == 0xE9 {
+			op = JMP
+		}
+		return Inst{Op: op, Ops: []Operand{ImmOp(d.branchTarget(rel))}}, nil
+
+	case b == 0xF6 || b == 0xF7:
+		sz := size
+		if b == 0xF6 {
+			sz = 1
+		}
+		digit, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		switch digit & 7 {
+		case 0:
+			imm, err := d.immBySize(sz)
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: TEST, Size: sz, Ops: []Operand{rm, ImmOp(imm)}}, nil
+		case 2:
+			return Inst{Op: NOT, Lock: d.lock, Size: sz, Ops: []Operand{rm}}, nil
+		case 3:
+			return Inst{Op: NEG, Lock: d.lock, Size: sz, Ops: []Operand{rm}}, nil
+		case 4:
+			return Inst{Op: MUL1, Size: sz, Ops: []Operand{rm}}, nil
+		case 5:
+			return Inst{Op: IMUL1, Size: sz, Ops: []Operand{rm}}, nil
+		case 6:
+			return Inst{Op: DIV, Size: sz, Ops: []Operand{rm}}, nil
+		case 7:
+			return Inst{Op: IDIV, Size: sz, Ops: []Operand{rm}}, nil
+		}
+		return Inst{}, fmt.Errorf("unsupported group-3 digit %d", digit&7)
+
+	case b == 0xFF:
+		digit, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		switch digit & 7 {
+		case 2:
+			return Inst{Op: CALL, Ops: []Operand{rm}}, nil
+		case 4:
+			return Inst{Op: JMP, Ops: []Operand{rm}}, nil
+		case 6:
+			return Inst{Op: PUSH, Size: 8, Ops: []Operand{rm}}, nil
+		}
+		return Inst{}, fmt.Errorf("unsupported group-5 digit %d", digit&7)
+	}
+	return Inst{}, fmt.Errorf("unsupported opcode %#02x", b)
+}
+
+func (d *decoder) opcode0F() (Inst, error) {
+	b, err := d.u8()
+	if err != nil {
+		return Inst{}, err
+	}
+	size := d.opSize()
+	switch {
+	case b == 0x0B:
+		return Inst{Op: UD2}, nil
+
+	case b == 0x10 || b == 0x11:
+		var op Op
+		switch d.rep {
+		case 0xF2:
+			op = MOVSD_X
+		case 0xF3:
+			op = MOVSS_X
+		default:
+			op = MOVUPS
+		}
+		reg, rm, err := d.modRM(true)
+		if err != nil {
+			return Inst{}, err
+		}
+		if b == 0x10 {
+			return Inst{Op: op, Ops: []Operand{xmmReg(reg), rm}}, nil
+		}
+		return Inst{Op: op, Ops: []Operand{rm, xmmReg(reg)}}, nil
+
+	case b == 0x28 || b == 0x29:
+		reg, rm, err := d.modRM(true)
+		if err != nil {
+			return Inst{}, err
+		}
+		if b == 0x28 {
+			return Inst{Op: MOVAPS, Ops: []Operand{xmmReg(reg), rm}}, nil
+		}
+		return Inst{Op: MOVAPS, Ops: []Operand{rm, xmmReg(reg)}}, nil
+
+	case b == 0x2A:
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: CVTSI2SD, Size: size, Ops: []Operand{xmmReg(reg), rm}}, nil
+
+	case b == 0x2C:
+		reg, rm, err := d.modRM(true)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: CVTTSD2SI, Size: size, Ops: []Operand{gpReg(reg), rm}}, nil
+
+	case b == 0x2E:
+		reg, rm, err := d.modRM(true)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: UCOMISD, Ops: []Operand{xmmReg(reg), rm}}, nil
+
+	case b >= 0x40 && b <= 0x4F:
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: CMOVCC, Cond: Cond(b - 0x40), Size: size, Ops: []Operand{gpReg(reg), rm}}, nil
+
+	case b == 0x51 || b == 0x57 || b == 0x58 || b == 0x59 || b == 0x5A || b == 0x5C || b == 0x5E || b == 0xEF || b == 0xFE:
+		var op Op
+		switch {
+		case b == 0x51 && d.rep == 0xF2:
+			op = SQRTSD
+		case b == 0x57:
+			op = XORPS
+		case b == 0x58 && d.rep == 0xF2:
+			op = ADDSD
+		case b == 0x58 && d.rep == 0xF3:
+			op = ADDSS
+		case b == 0x58 && d.osize:
+			op = ADDPD
+		case b == 0x58:
+			op = ADDPS
+		case b == 0x59 && d.rep == 0xF2:
+			op = MULSD
+		case b == 0x59 && d.rep == 0xF3:
+			op = MULSS
+		case b == 0x59 && d.osize:
+			op = MULPD
+		case b == 0x5A && d.rep == 0xF3:
+			op = CVTSS2SD
+		case b == 0x5A && d.rep == 0xF2:
+			op = CVTSD2SS
+		case b == 0x5C && d.rep == 0xF2:
+			op = SUBSD
+		case b == 0x5C && d.rep == 0xF3:
+			op = SUBSS
+		case b == 0x5E && d.rep == 0xF2:
+			op = DIVSD
+		case b == 0x5E && d.rep == 0xF3:
+			op = DIVSS
+		case b == 0xEF && d.osize:
+			op = PXOR
+		case b == 0xFE && d.osize:
+			op = PADDD
+		default:
+			return Inst{}, fmt.Errorf("unsupported SSE opcode 0f %02x (rep=%#x osize=%v)", b, d.rep, d.osize)
+		}
+		reg, rm, err := d.modRM(true)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Ops: []Operand{xmmReg(reg), rm}}, nil
+
+	case b == 0x6E || b == 0x7E:
+		if !d.osize {
+			return Inst{}, fmt.Errorf("movq/movd without 66 prefix")
+		}
+		op := MOVD
+		if d.rexW() {
+			op = MOVQ
+		}
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		if b == 0x6E {
+			return Inst{Op: op, Ops: []Operand{xmmReg(reg), rm}}, nil
+		}
+		return Inst{Op: op, Ops: []Operand{rm, xmmReg(reg)}}, nil
+
+	case b >= 0x80 && b <= 0x8F:
+		rel, err := d.i32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: JCC, Cond: Cond(b - 0x80), Ops: []Operand{ImmOp(d.branchTarget(rel))}}, nil
+
+	case b >= 0x90 && b <= 0x9F:
+		_, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: SETCC, Cond: Cond(b - 0x90), Size: 1, Ops: []Operand{rm}}, nil
+
+	case b == 0xAE:
+		mrm, err := d.u8()
+		if err != nil {
+			return Inst{}, err
+		}
+		if mrm == 0xF0 {
+			return Inst{Op: MFENCE}, nil
+		}
+		return Inst{}, fmt.Errorf("unsupported 0f ae modrm %#02x", mrm)
+
+	case b == 0xAF:
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: IMUL, Size: size, Ops: []Operand{gpReg(reg), rm}}, nil
+
+	case b == 0xB0 || b == 0xB1:
+		sz := size
+		if b == 0xB0 {
+			sz = 1
+		}
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: CMPXCHG, Lock: d.lock, Size: sz, Ops: []Operand{rm, gpReg(reg)}}, nil
+
+	case b == 0xB6 || b == 0xB7 || b == 0xBE || b == 0xBF:
+		op := MOVZX
+		if b >= 0xBE {
+			op = MOVSX
+		}
+		src := 1
+		if b == 0xB7 || b == 0xBF {
+			src = 2
+		}
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Size: size, SrcSize: src, Ops: []Operand{gpReg(reg), rm}}, nil
+
+	case b == 0xC0 || b == 0xC1:
+		sz := size
+		if b == 0xC0 {
+			sz = 1
+		}
+		reg, rm, err := d.modRM(false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: XADD, Lock: d.lock, Size: sz, Ops: []Operand{rm, gpReg(reg)}}, nil
+	}
+	return Inst{}, fmt.Errorf("unsupported opcode 0f %02x", b)
+}

@@ -1,0 +1,735 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// parts accumulates the components of one encoded instruction.
+type parts struct {
+	lock     bool
+	legacy   []byte // operand-size and mandatory prefixes (0x66, 0xF2, 0xF3)
+	rexW     bool
+	rexR     bool
+	rexX     bool
+	rexB     bool
+	forceRex bool // SPL/BPL/SIL/DIL byte registers require an empty REX
+	opcode   []byte
+	hasModRM bool
+	modrm    byte
+	hasSib   bool
+	sib      byte
+	disp     []byte
+	imm      []byte
+}
+
+func (p *parts) assemble() []byte {
+	var out []byte
+	if p.lock {
+		out = append(out, 0xF0)
+	}
+	out = append(out, p.legacy...)
+	if p.rexW || p.rexR || p.rexX || p.rexB || p.forceRex {
+		rex := byte(0x40)
+		if p.rexW {
+			rex |= 8
+		}
+		if p.rexR {
+			rex |= 4
+		}
+		if p.rexX {
+			rex |= 2
+		}
+		if p.rexB {
+			rex |= 1
+		}
+		out = append(out, rex)
+	}
+	out = append(out, p.opcode...)
+	if p.hasModRM {
+		out = append(out, p.modrm)
+	}
+	if p.hasSib {
+		out = append(out, p.sib)
+	}
+	out = append(out, p.disp...)
+	out = append(out, p.imm...)
+	return out
+}
+
+func (p *parts) setImm8(v int64)  { p.imm = append(p.imm, byte(v)) }
+func (p *parts) setImm16(v int64) { p.imm = binary.LittleEndian.AppendUint16(p.imm, uint16(v)) }
+func (p *parts) setImm32(v int64) { p.imm = binary.LittleEndian.AppendUint32(p.imm, uint32(v)) }
+func (p *parts) setImm64(v int64) { p.imm = binary.LittleEndian.AppendUint64(p.imm, uint64(v)) }
+
+func (p *parts) setImmBySize(v int64, size int) {
+	switch size {
+	case 1:
+		p.setImm8(v)
+	case 2:
+		p.setImm16(v)
+	default:
+		p.setImm32(v) // 32- and 64-bit use sign-extended imm32
+	}
+}
+
+// setRM fills the ModRM (and SIB/disp) fields for the r/m operand o, with
+// regField occupying the reg slot of the ModRM byte.
+func (p *parts) setRM(regField int, o Operand) error {
+	p.hasModRM = true
+	if regField >= 8 {
+		p.rexR = true
+	}
+	reg3 := byte(regField & 7)
+	switch o.Kind {
+	case KindReg:
+		enc := o.Reg.Enc()
+		if enc >= 8 {
+			p.rexB = true
+		}
+		p.modrm = 0xC0 | reg3<<3 | byte(enc&7)
+		return nil
+	case KindMem:
+		m := o.Mem
+		if m.Base == RIP {
+			p.modrm = 0x00 | reg3<<3 | 0x05
+			p.disp = binary.LittleEndian.AppendUint32(nil, uint32(m.Disp))
+			return nil
+		}
+		if m.Index == RSP {
+			return fmt.Errorf("x86: rsp cannot be an index register")
+		}
+		needSIB := m.Index != RegNone || m.Base == RSP || m.Base == R12 || m.Base == RegNone
+		mod, dispBytes := memModDisp(m)
+		if !needSIB {
+			enc := m.Base.Enc()
+			if enc >= 8 {
+				p.rexB = true
+			}
+			p.modrm = mod<<6 | reg3<<3 | byte(enc&7)
+			p.disp = dispBytes
+			return nil
+		}
+		// SIB form.
+		var baseBits byte
+		if m.Base == RegNone {
+			// [index*scale + disp32]: mod=00, base=101, disp32 required.
+			mod = 0
+			baseBits = 5
+			dispBytes = binary.LittleEndian.AppendUint32(nil, uint32(m.Disp))
+		} else {
+			enc := m.Base.Enc()
+			if enc >= 8 {
+				p.rexB = true
+			}
+			baseBits = byte(enc & 7)
+		}
+		var idxBits byte = 4 // none
+		if m.Index != RegNone {
+			enc := m.Index.Enc()
+			if enc >= 8 {
+				p.rexX = true
+			}
+			idxBits = byte(enc & 7)
+		}
+		var scaleBits byte
+		switch m.Scale {
+		case 1, 0:
+			scaleBits = 0
+		case 2:
+			scaleBits = 1
+		case 4:
+			scaleBits = 2
+		case 8:
+			scaleBits = 3
+		default:
+			return fmt.Errorf("x86: bad scale %d", m.Scale)
+		}
+		p.modrm = mod<<6 | reg3<<3 | 0x04
+		p.hasSib = true
+		p.sib = scaleBits<<6 | idxBits<<3 | baseBits
+		p.disp = dispBytes
+		return nil
+	}
+	return fmt.Errorf("x86: bad r/m operand kind %d", o.Kind)
+}
+
+// memModDisp picks the shortest mod/displacement encoding for m.
+func memModDisp(m Mem) (mod byte, disp []byte) {
+	base5 := m.Base != RegNone && m.Base.Enc()&7 == 5 // RBP/R13 need explicit disp
+	switch {
+	case m.Disp == 0 && !base5:
+		return 0, nil
+	case m.Disp >= -128 && m.Disp <= 127:
+		return 1, []byte{byte(m.Disp)}
+	default:
+		return 2, binary.LittleEndian.AppendUint32(nil, uint32(m.Disp))
+	}
+}
+
+// sizePrefix applies the operand-size prefix and REX.W bit for width size.
+func (p *parts) sizePrefix(size int) {
+	switch size {
+	case 2:
+		p.legacy = append(p.legacy, 0x66)
+	case 8:
+		p.rexW = true
+	}
+}
+
+// forceRexForByteReg marks byte-register operands that need a REX prefix.
+func (p *parts) forceRexForByteReg(size int, ops ...Operand) {
+	if size != 1 {
+		return
+	}
+	for _, o := range ops {
+		if o.Kind == KindReg && o.Reg >= RSP && o.Reg <= RDI {
+			p.forceRex = true
+		}
+	}
+}
+
+// aluInfo describes the classic ALU opcode family layout.
+var aluInfo = map[Op]struct {
+	base  byte // ADD=0x00 family base
+	digit int  // /digit for the imm group 0x80/0x81/0x83
+}{
+	ADD: {0x00, 0},
+	OR:  {0x08, 1},
+	AND: {0x20, 4},
+	SUB: {0x28, 5},
+	XOR: {0x30, 6},
+	CMP: {0x38, 7},
+}
+
+var shiftDigit = map[Op]int{SHL: 4, SHR: 5, SAR: 7}
+
+var sseArith = map[Op]struct {
+	prefix byte // mandatory prefix, 0 for none
+	opc    byte // second opcode byte after 0F
+}{
+	ADDSD:    {0xF2, 0x58},
+	SUBSD:    {0xF2, 0x5C},
+	MULSD:    {0xF2, 0x59},
+	DIVSD:    {0xF2, 0x5E},
+	ADDSS:    {0xF3, 0x58},
+	SUBSS:    {0xF3, 0x5C},
+	MULSS:    {0xF3, 0x59},
+	DIVSS:    {0xF3, 0x5E},
+	SQRTSD:   {0xF2, 0x51},
+	UCOMISD:  {0x66, 0x2E},
+	CVTSS2SD: {0xF3, 0x5A},
+	CVTSD2SS: {0xF2, 0x5A},
+	XORPS:    {0x00, 0x57},
+	PXOR:     {0x66, 0xEF},
+	ADDPD:    {0x66, 0x58},
+	MULPD:    {0x66, 0x59},
+	ADDPS:    {0x00, 0x58},
+	PADDD:    {0x66, 0xFE},
+}
+
+// Encode produces the machine bytes for in. Direct branch targets
+// (JMP/JCC/CALL with immediate operands) are encoded as rel32 values taken
+// verbatim from the immediate.
+func Encode(in Inst) ([]byte, error) {
+	p := &parts{lock: in.Lock}
+	size := in.Size
+	if size == 0 {
+		size = 8
+	}
+	ops := in.Ops
+	opn := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("x86: %s wants %d operands, has %d", in.Op, n, len(ops))
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case NOP:
+		return []byte{0x90}, nil
+	case UD2:
+		return []byte{0x0F, 0x0B}, nil
+	case RET:
+		return []byte{0xC3}, nil
+	case MFENCE:
+		return []byte{0x0F, 0xAE, 0xF0}, nil
+	case CQO:
+		return []byte{0x48, 0x99}, nil
+	case CDQ:
+		return []byte{0x99}, nil
+
+	case MOV:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		dst, src := ops[0], ops[1]
+		p.sizePrefix(size)
+		p.forceRexForByteReg(size, dst, src)
+		switch {
+		case src.Kind == KindImm && dst.Kind == KindReg && size == 8 && !fitsInt32(src.Imm):
+			// movabs r64, imm64
+			enc := dst.Reg.Enc()
+			if enc >= 8 {
+				p.rexB = true
+			}
+			p.opcode = []byte{0xB8 + byte(enc&7)}
+			p.setImm64(src.Imm)
+		case src.Kind == KindImm:
+			op := byte(0xC7)
+			if size == 1 {
+				op = 0xC6
+			}
+			p.opcode = []byte{op}
+			if err := p.setRM(0, dst); err != nil {
+				return nil, err
+			}
+			p.setImmBySize(src.Imm, size)
+		case dst.Kind == KindReg:
+			op := byte(0x8B)
+			if size == 1 {
+				op = 0x8A
+			}
+			p.opcode = []byte{op}
+			if err := p.setRM(dst.Reg.Enc(), src); err != nil {
+				return nil, err
+			}
+		case src.Kind == KindReg:
+			op := byte(0x89)
+			if size == 1 {
+				op = 0x88
+			}
+			p.opcode = []byte{op}
+			if err := p.setRM(src.Reg.Enc(), dst); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("x86: mov mem,mem")
+		}
+
+	case ADD, SUB, AND, OR, XOR, CMP:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		info := aluInfo[in.Op]
+		dst, src := ops[0], ops[1]
+		p.sizePrefix(size)
+		p.forceRexForByteReg(size, dst, src)
+		switch {
+		case src.Kind == KindImm:
+			switch {
+			case size == 1:
+				p.opcode = []byte{0x80}
+				if err := p.setRM(info.digit, dst); err != nil {
+					return nil, err
+				}
+				p.setImm8(src.Imm)
+			case fitsInt8(src.Imm):
+				p.opcode = []byte{0x83}
+				if err := p.setRM(info.digit, dst); err != nil {
+					return nil, err
+				}
+				p.setImm8(src.Imm)
+			default:
+				p.opcode = []byte{0x81}
+				if err := p.setRM(info.digit, dst); err != nil {
+					return nil, err
+				}
+				p.setImmBySize(src.Imm, size)
+			}
+		case dst.Kind == KindReg:
+			op := info.base + 0x03
+			if size == 1 {
+				op = info.base + 0x02
+			}
+			p.opcode = []byte{op}
+			if err := p.setRM(dst.Reg.Enc(), src); err != nil {
+				return nil, err
+			}
+		case src.Kind == KindReg:
+			op := info.base + 0x01
+			if size == 1 {
+				op = info.base
+			}
+			p.opcode = []byte{op}
+			if err := p.setRM(src.Reg.Enc(), dst); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("x86: %s mem,mem", in.Op)
+		}
+
+	case TEST:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		dst, src := ops[0], ops[1]
+		p.sizePrefix(size)
+		p.forceRexForByteReg(size, dst, src)
+		if src.Kind == KindImm {
+			op := byte(0xF7)
+			if size == 1 {
+				op = 0xF6
+			}
+			p.opcode = []byte{op}
+			if err := p.setRM(0, dst); err != nil {
+				return nil, err
+			}
+			p.setImmBySize(src.Imm, size)
+		} else {
+			op := byte(0x85)
+			if size == 1 {
+				op = 0x84
+			}
+			p.opcode = []byte{op}
+			if err := p.setRM(src.Reg.Enc(), dst); err != nil {
+				return nil, err
+			}
+		}
+
+	case IMUL:
+		p.sizePrefix(size)
+		switch len(ops) {
+		case 2:
+			p.opcode = []byte{0x0F, 0xAF}
+			if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+				return nil, err
+			}
+		case 3:
+			if fitsInt8(ops[2].Imm) {
+				p.opcode = []byte{0x6B}
+				if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+					return nil, err
+				}
+				p.setImm8(ops[2].Imm)
+			} else {
+				p.opcode = []byte{0x69}
+				if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+					return nil, err
+				}
+				p.setImm32(ops[2].Imm)
+			}
+		default:
+			return nil, fmt.Errorf("x86: imul with %d operands", len(ops))
+		}
+
+	case IMUL1, MUL1, IDIV, DIV, NEG, NOT:
+		if err := opn(1); err != nil {
+			return nil, err
+		}
+		digit := map[Op]int{NOT: 2, NEG: 3, MUL1: 4, IMUL1: 5, DIV: 6, IDIV: 7}[in.Op]
+		p.sizePrefix(size)
+		p.forceRexForByteReg(size, ops[0])
+		op := byte(0xF7)
+		if size == 1 {
+			op = 0xF6
+		}
+		p.opcode = []byte{op}
+		if err := p.setRM(digit, ops[0]); err != nil {
+			return nil, err
+		}
+
+	case SHL, SHR, SAR:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		digit := shiftDigit[in.Op]
+		p.sizePrefix(size)
+		p.forceRexForByteReg(size, ops[0])
+		if ops[1].Kind == KindImm {
+			op := byte(0xC1)
+			if size == 1 {
+				op = 0xC0
+			}
+			p.opcode = []byte{op}
+			if err := p.setRM(digit, ops[0]); err != nil {
+				return nil, err
+			}
+			p.setImm8(ops[1].Imm)
+		} else if ops[1].Kind == KindReg && ops[1].Reg == RCX {
+			op := byte(0xD3)
+			if size == 1 {
+				op = 0xD2
+			}
+			p.opcode = []byte{op}
+			if err := p.setRM(digit, ops[0]); err != nil {
+				return nil, err
+			}
+		} else {
+			return nil, fmt.Errorf("x86: shift count must be imm or cl")
+		}
+
+	case MOVZX, MOVSX:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		var second byte
+		switch {
+		case in.Op == MOVZX && in.SrcSize == 1:
+			second = 0xB6
+		case in.Op == MOVZX && in.SrcSize == 2:
+			second = 0xB7
+		case in.Op == MOVSX && in.SrcSize == 1:
+			second = 0xBE
+		case in.Op == MOVSX && in.SrcSize == 2:
+			second = 0xBF
+		default:
+			return nil, fmt.Errorf("x86: %s src size %d", in.Op, in.SrcSize)
+		}
+		p.sizePrefix(size)
+		p.forceRexForByteReg(in.SrcSize, ops[1])
+		p.opcode = []byte{0x0F, second}
+		if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+			return nil, err
+		}
+
+	case MOVSXD:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		p.rexW = true
+		p.opcode = []byte{0x63}
+		if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+			return nil, err
+		}
+
+	case LEA:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		p.sizePrefix(size)
+		p.opcode = []byte{0x8D}
+		if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+			return nil, err
+		}
+
+	case PUSH:
+		if err := opn(1); err != nil {
+			return nil, err
+		}
+		if ops[0].Kind == KindImm {
+			p.opcode = []byte{0x68}
+			p.setImm32(ops[0].Imm)
+		} else {
+			enc := ops[0].Reg.Enc()
+			if enc >= 8 {
+				p.rexB = true
+			}
+			p.opcode = []byte{0x50 + byte(enc&7)}
+		}
+
+	case POP:
+		if err := opn(1); err != nil {
+			return nil, err
+		}
+		enc := ops[0].Reg.Enc()
+		if enc >= 8 {
+			p.rexB = true
+		}
+		p.opcode = []byte{0x58 + byte(enc&7)}
+
+	case XCHG:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		p.sizePrefix(size)
+		op := byte(0x87)
+		if size == 1 {
+			op = 0x86
+		}
+		p.opcode = []byte{op}
+		if err := p.setRM(ops[1].Reg.Enc(), ops[0]); err != nil {
+			return nil, err
+		}
+
+	case CMPXCHG:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		p.sizePrefix(size)
+		second := byte(0xB1)
+		if size == 1 {
+			second = 0xB0
+		}
+		p.opcode = []byte{0x0F, second}
+		if err := p.setRM(ops[1].Reg.Enc(), ops[0]); err != nil {
+			return nil, err
+		}
+
+	case XADD:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		p.sizePrefix(size)
+		second := byte(0xC1)
+		if size == 1 {
+			second = 0xC0
+		}
+		p.opcode = []byte{0x0F, second}
+		if err := p.setRM(ops[1].Reg.Enc(), ops[0]); err != nil {
+			return nil, err
+		}
+
+	case JMP:
+		if err := opn(1); err != nil {
+			return nil, err
+		}
+		if ops[0].Kind == KindImm {
+			p.opcode = []byte{0xE9}
+			p.setImm32(ops[0].Imm)
+		} else {
+			p.opcode = []byte{0xFF}
+			if err := p.setRM(4, ops[0]); err != nil {
+				return nil, err
+			}
+		}
+
+	case CALL:
+		if err := opn(1); err != nil {
+			return nil, err
+		}
+		if ops[0].Kind == KindImm {
+			p.opcode = []byte{0xE8}
+			p.setImm32(ops[0].Imm)
+		} else {
+			p.opcode = []byte{0xFF}
+			if err := p.setRM(2, ops[0]); err != nil {
+				return nil, err
+			}
+		}
+
+	case JCC:
+		if err := opn(1); err != nil {
+			return nil, err
+		}
+		p.opcode = []byte{0x0F, 0x80 + byte(in.Cond)}
+		p.setImm32(ops[0].Imm)
+
+	case SETCC:
+		if err := opn(1); err != nil {
+			return nil, err
+		}
+		p.forceRexForByteReg(1, ops[0])
+		p.opcode = []byte{0x0F, 0x90 + byte(in.Cond)}
+		if err := p.setRM(0, ops[0]); err != nil {
+			return nil, err
+		}
+
+	case CMOVCC:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		p.sizePrefix(size)
+		p.opcode = []byte{0x0F, 0x40 + byte(in.Cond)}
+		if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+			return nil, err
+		}
+
+	case MOVSD_X, MOVSS_X:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		pre := byte(0xF2)
+		if in.Op == MOVSS_X {
+			pre = 0xF3
+		}
+		p.legacy = append(p.legacy, pre)
+		if ops[0].Kind == KindReg && ops[0].Reg.IsXMM() {
+			p.opcode = []byte{0x0F, 0x10}
+			if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+				return nil, err
+			}
+		} else {
+			p.opcode = []byte{0x0F, 0x11}
+			if err := p.setRM(ops[1].Reg.Enc(), ops[0]); err != nil {
+				return nil, err
+			}
+		}
+
+	case MOVAPS, MOVUPS:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		load, store := byte(0x28), byte(0x29)
+		if in.Op == MOVUPS {
+			load, store = 0x10, 0x11
+		}
+		if ops[0].Kind == KindReg && ops[0].Reg.IsXMM() {
+			p.opcode = []byte{0x0F, load}
+			if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+				return nil, err
+			}
+		} else {
+			p.opcode = []byte{0x0F, store}
+			if err := p.setRM(ops[1].Reg.Enc(), ops[0]); err != nil {
+				return nil, err
+			}
+		}
+
+	case MOVQ, MOVD:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		p.legacy = append(p.legacy, 0x66)
+		if in.Op == MOVQ {
+			p.rexW = true
+		}
+		if ops[0].Kind == KindReg && ops[0].Reg.IsXMM() {
+			p.opcode = []byte{0x0F, 0x6E}
+			if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+				return nil, err
+			}
+		} else {
+			p.opcode = []byte{0x0F, 0x7E}
+			if err := p.setRM(ops[1].Reg.Enc(), ops[0]); err != nil {
+				return nil, err
+			}
+		}
+
+	case CVTSI2SD:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		p.legacy = append(p.legacy, 0xF2)
+		if size == 8 {
+			p.rexW = true
+		}
+		p.opcode = []byte{0x0F, 0x2A}
+		if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+			return nil, err
+		}
+
+	case CVTTSD2SI:
+		if err := opn(2); err != nil {
+			return nil, err
+		}
+		p.legacy = append(p.legacy, 0xF2)
+		if size == 8 {
+			p.rexW = true
+		}
+		p.opcode = []byte{0x0F, 0x2C}
+		if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+			return nil, err
+		}
+
+	default:
+		if info, ok := sseArith[in.Op]; ok {
+			if err := opn(2); err != nil {
+				return nil, err
+			}
+			if info.prefix != 0 {
+				p.legacy = append(p.legacy, info.prefix)
+			}
+			p.opcode = []byte{0x0F, info.opc}
+			if err := p.setRM(ops[0].Reg.Enc(), ops[1]); err != nil {
+				return nil, err
+			}
+			break
+		}
+		return nil, fmt.Errorf("x86: cannot encode %s", in.Op)
+	}
+	return p.assemble(), nil
+}
+
+func fitsInt8(v int64) bool  { return v >= -128 && v <= 127 }
+func fitsInt32(v int64) bool { return v >= -(1<<31) && v < 1<<31 }

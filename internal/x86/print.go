@@ -1,0 +1,88 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the operand in Intel syntax at the given width.
+func (o Operand) format(size int) string {
+	switch o.Kind {
+	case KindReg:
+		if o.Reg.IsGP() {
+			return o.Reg.Name(size)
+		}
+		return o.Reg.String()
+	case KindImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case KindMem:
+		var b strings.Builder
+		b.WriteString("[")
+		first := true
+		if o.Mem.Base != RegNone {
+			b.WriteString(o.Mem.Base.String())
+			first = false
+		}
+		if o.Mem.Index != RegNone {
+			if !first {
+				b.WriteString(" + ")
+			}
+			fmt.Fprintf(&b, "%s*%d", o.Mem.Index, o.Mem.Scale)
+			first = false
+		}
+		if o.Mem.Disp != 0 || first {
+			if !first && o.Mem.Disp >= 0 {
+				fmt.Fprintf(&b, " + %d", o.Mem.Disp)
+			} else if !first {
+				fmt.Fprintf(&b, " - %d", -int64(o.Mem.Disp))
+			} else {
+				fmt.Fprintf(&b, "%d", o.Mem.Disp)
+			}
+		}
+		b.WriteString("]")
+		return b.String()
+	}
+	return "?"
+}
+
+// String renders the instruction in Intel syntax.
+func (i Inst) String() string {
+	var b strings.Builder
+	if i.Lock {
+		b.WriteString("lock ")
+	}
+	switch i.Op {
+	case JCC:
+		fmt.Fprintf(&b, "j%s", i.Cond)
+	case SETCC:
+		fmt.Fprintf(&b, "set%s", i.Cond)
+	case CMOVCC:
+		fmt.Fprintf(&b, "cmov%s", i.Cond)
+	default:
+		b.WriteString(i.Op.String())
+	}
+	size := i.Size
+	if size == 0 {
+		size = 8
+	}
+	for k, o := range i.Ops {
+		if k == 0 {
+			b.WriteString(" ")
+		} else {
+			b.WriteString(", ")
+		}
+		sz := size
+		if (i.Op == MOVZX || i.Op == MOVSX || i.Op == MOVSXD) && k == 1 {
+			sz = i.SrcSize
+		}
+		if i.Op == SETCC {
+			sz = 1
+		}
+		if (i.Op == JMP || i.Op == JCC || i.Op == CALL) && o.Kind == KindImm {
+			fmt.Fprintf(&b, "%#x", uint64(o.Imm))
+			continue
+		}
+		b.WriteString(o.format(sz))
+	}
+	return b.String()
+}

@@ -1,0 +1,326 @@
+package x86
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// roundTrip encodes in, decodes the bytes at address 0 and compares.
+func roundTrip(t *testing.T, in Inst) {
+	t.Helper()
+	code, err := Encode(in)
+	if err != nil {
+		t.Fatalf("encode %v: %v", in, err)
+	}
+	got, err := Decode(code, 0)
+	if err != nil {
+		t.Fatalf("decode %v (% x): %v", in, code, err)
+	}
+	got.Addr, got.Len = 0, 0
+	norm := normalize(in)
+	gotn := normalize(got)
+	if !reflect.DeepEqual(norm, gotn) {
+		t.Fatalf("round trip mismatch:\n  in:   %+v\n  out:  %+v\n  code: % x", norm, gotn, code)
+	}
+}
+
+// normalize canonicalizes fields that legally differ across the round trip
+// (e.g. default sizes, scale on plain base addressing).
+func normalize(in Inst) Inst {
+	in.Addr, in.Len = 0, 0
+	if in.Size == 0 {
+		in.Size = defaultSize(in.Op)
+	}
+	for k, o := range in.Ops {
+		if o.Kind == KindMem && o.Mem.Index == RegNone {
+			o.Mem.Scale = 1
+			in.Ops[k] = o
+		}
+	}
+	return in
+}
+
+func defaultSize(op Op) int {
+	switch op {
+	case RET, NOP, UD2, MFENCE, JMP, JCC, CALL:
+		return 0
+	}
+	return 8
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	cases := []Inst{
+		NewInst(MOV, 8, RegOp(RAX), RegOp(RBX)),
+		NewInst(MOV, 4, RegOp(R8), RegOp(RDI)),
+		NewInst(MOV, 8, RegOp(RAX), ImmOp(42)),
+		NewInst(MOV, 8, RegOp(R11), ImmOp(0x1122334455667788)),
+		NewInst(MOV, 4, RegOp(RCX), ImmOp(-1)),
+		NewInst(MOV, 8, RegOp(RDX), MemOp(RSP, 16)),
+		NewInst(MOV, 8, MemOp(RBP, -8), RegOp(RSI)),
+		NewInst(MOV, 1, RegOp(RSI), MemOp(RDI, 0)),
+		NewInst(MOV, 2, MemOp(R13, 0), RegOp(RAX)),
+		NewInst(MOV, 8, MemSIB(RDI, RCX, 8, 24), RegOp(RAX)),
+		NewInst(MOV, 4, RegOp(RAX), MemSIB(RegNone, RBX, 4, 0x1000)),
+		NewInst(MOV, 8, RegOp(RAX), Operand{Kind: KindMem, Mem: Mem{Base: RIP, Index: RegNone, Scale: 1, Disp: 0x100}}),
+		NewInst(ADD, 8, RegOp(RAX), RegOp(RBX)),
+		NewInst(ADD, 8, RegOp(RAX), ImmOp(1)),
+		NewInst(ADD, 8, RegOp(RAX), ImmOp(1000)),
+		NewInst(SUB, 4, MemOp(RSP, 8), RegOp(R9)),
+		NewInst(AND, 8, RegOp(R15), ImmOp(-16)),
+		NewInst(OR, 4, RegOp(RBX), MemOp(RAX, 4)),
+		NewInst(XOR, 8, RegOp(RAX), RegOp(RAX)),
+		NewInst(CMP, 8, RegOp(RDI), ImmOp(100)),
+		NewInst(CMP, 1, MemOp(RSI, 3), ImmOp(65)),
+		NewInst(TEST, 8, RegOp(RAX), RegOp(RAX)),
+		NewInst(TEST, 4, RegOp(RCX), ImmOp(7)),
+		NewInst(IMUL, 8, RegOp(RAX), RegOp(RBX)),
+		NewInst(IMUL, 8, RegOp(RAX), RegOp(RBX), ImmOp(10)),
+		NewInst(IMUL, 8, RegOp(RAX), RegOp(RBX), ImmOp(1000)),
+		NewInst(IDIV, 8, RegOp(RCX)),
+		NewInst(NEG, 8, RegOp(RDX)),
+		NewInst(NOT, 4, RegOp(R10)),
+		NewInst(SHL, 8, RegOp(RAX), ImmOp(3)),
+		NewInst(SHR, 8, RegOp(RAX), RegOp(RCX)),
+		NewInst(SAR, 4, RegOp(RBX), ImmOp(31)),
+		NewInst(LEA, 8, RegOp(RAX), MemSIB(RBX, RCX, 2, 5)),
+		NewInst(PUSH, 8, RegOp(RBP)),
+		NewInst(POP, 8, RegOp(R12)),
+		NewInst(RET, 0),
+		NewInst(NOP, 0),
+		NewInst(UD2, 0),
+		NewInst(MFENCE, 0),
+		NewInst(CQO, 8),
+		NewInst(CDQ, 4),
+		{Op: MOVSXD, Size: 8, SrcSize: 4, Ops: []Operand{RegOp(RAX), RegOp(RCX)}},
+		{Op: MOVZX, Size: 4, SrcSize: 1, Ops: []Operand{RegOp(RAX), MemOp(RDI, 0)}},
+		{Op: MOVZX, Size: 8, SrcSize: 2, Ops: []Operand{RegOp(R9), RegOp(RBX)}},
+		{Op: MOVSX, Size: 8, SrcSize: 1, Ops: []Operand{RegOp(RCX), RegOp(RDX)}},
+		{Op: SETCC, Cond: CondE, Size: 1, Ops: []Operand{RegOp(RAX)}},
+		{Op: SETCC, Cond: CondL, Size: 1, Ops: []Operand{RegOp(RSI)}},
+		{Op: CMOVCC, Cond: CondNE, Size: 8, Ops: []Operand{RegOp(RAX), RegOp(RBX)}},
+		NewInst(XCHG, 8, MemOp(RDI, 0), RegOp(RAX)),
+		{Op: CMPXCHG, Lock: true, Size: 8, Ops: []Operand{MemOp(RDI, 0), RegOp(RSI)}},
+		{Op: XADD, Lock: true, Size: 4, Ops: []Operand{MemOp(RBX, 8), RegOp(RCX)}},
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestRoundTripSSE(t *testing.T) {
+	cases := []Inst{
+		NewInst(MOVSD_X, 0, RegOp(XMM0), MemOp(RDI, 8)),
+		NewInst(MOVSD_X, 0, MemOp(RSP, 16), RegOp(XMM3)),
+		NewInst(MOVSD_X, 0, RegOp(XMM1), RegOp(XMM2)),
+		NewInst(MOVSS_X, 0, RegOp(XMM8), MemOp(RAX, 0)),
+		NewInst(ADDSD, 0, RegOp(XMM0), RegOp(XMM1)),
+		NewInst(SUBSD, 0, RegOp(XMM2), MemOp(RBX, 8)),
+		NewInst(MULSD, 0, RegOp(XMM4), RegOp(XMM5)),
+		NewInst(DIVSD, 0, RegOp(XMM6), RegOp(XMM7)),
+		NewInst(SQRTSD, 0, RegOp(XMM0), RegOp(XMM0)),
+		NewInst(UCOMISD, 0, RegOp(XMM0), RegOp(XMM1)),
+		NewInst(CVTSI2SD, 8, RegOp(XMM0), RegOp(RAX)),
+		NewInst(CVTTSD2SI, 8, RegOp(RAX), RegOp(XMM0)),
+		NewInst(MOVQ, 0, RegOp(XMM0), RegOp(RAX)),
+		NewInst(MOVQ, 0, RegOp(RCX), RegOp(XMM9)),
+		NewInst(PXOR, 0, RegOp(XMM0), RegOp(XMM0)),
+		NewInst(XORPS, 0, RegOp(XMM1), RegOp(XMM1)),
+		NewInst(MOVAPS, 0, RegOp(XMM0), MemOp(RSI, 0)),
+		NewInst(MOVAPS, 0, MemOp(RSI, 16), RegOp(XMM2)),
+		NewInst(MOVUPS, 0, RegOp(XMM3), MemOp(RDX, 4)),
+		NewInst(ADDPD, 0, RegOp(XMM0), RegOp(XMM1)),
+		NewInst(MULPD, 0, RegOp(XMM2), MemOp(RDI, 0)),
+		NewInst(ADDPS, 0, RegOp(XMM4), RegOp(XMM5)),
+		NewInst(PADDD, 0, RegOp(XMM6), RegOp(XMM7)),
+	}
+	for _, c := range cases {
+		c.Size = 0
+		if c.Op == CVTSI2SD || c.Op == CVTTSD2SI {
+			c.Size = 8
+		}
+		in := c
+		code, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got, err := Decode(code, 0)
+		if err != nil {
+			t.Fatalf("decode %v (% x): %v", in, code, err)
+		}
+		if got.Op != in.Op {
+			t.Fatalf("op mismatch: in %v, out %v (% x)", in.Op, got.Op, code)
+		}
+		for k := range in.Ops {
+			a, b := normalizeOp(in.Ops[k]), normalizeOp(got.Ops[k])
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%v operand %d: in %+v, out %+v (% x)", in.Op, k, a, b, code)
+			}
+		}
+	}
+}
+
+func normalizeOp(o Operand) Operand {
+	if o.Kind == KindMem && o.Mem.Index == RegNone {
+		o.Mem.Scale = 1
+	}
+	return o
+}
+
+func TestBranchTargets(t *testing.T) {
+	// jmp rel32: encode a forward jump of 0x10 bytes and decode at 0x400000.
+	in := NewInst(JMP, 0, ImmOp(0x10))
+	code, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(code, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0x400000) + uint64(len(code)) + 0x10
+	tgt, ok := got.BranchTarget()
+	if !ok || tgt != want {
+		t.Fatalf("target %#x, want %#x", tgt, want)
+	}
+
+	// jcc with negative displacement.
+	in = Inst{Op: JCC, Cond: CondNE, Ops: []Operand{ImmOp(-6)}}
+	code, err = Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, _ = got.BranchTarget()
+	if tgt != 0x1000 {
+		t.Fatalf("backward target %#x, want 0x1000", tgt)
+	}
+	if got.Cond != CondNE {
+		t.Fatalf("cond %v", got.Cond)
+	}
+}
+
+func TestDecodeAllSequence(t *testing.T) {
+	prog := []Inst{
+		NewInst(PUSH, 8, RegOp(RBP)),
+		NewInst(MOV, 8, RegOp(RBP), RegOp(RSP)),
+		NewInst(MOV, 4, RegOp(RAX), ImmOp(7)),
+		NewInst(ADD, 4, RegOp(RAX), ImmOp(35)),
+		NewInst(POP, 8, RegOp(RBP)),
+		NewInst(RET, 0),
+	}
+	var code []byte
+	for _, in := range prog {
+		b, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code = append(code, b...)
+	}
+	out, err := DecodeAll(code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(prog) {
+		t.Fatalf("decoded %d instructions, want %d", len(out), len(prog))
+	}
+	if out[0].Addr != 0x1000 || out[1].Addr != 0x1001 {
+		t.Fatalf("addresses %#x %#x", out[0].Addr, out[1].Addr)
+	}
+}
+
+// TestRoundTripRandom fuzzes the encoder/decoder pair over the supported
+// instruction space.
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gprs := []Reg{RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI, R8, R9, R10, R11, R12, R13, R14, R15}
+	sizes := []int{1, 2, 4, 8}
+	randMem := func() Operand {
+		base := gprs[rng.Intn(len(gprs))]
+		var idx Reg = RegNone
+		scale := 1
+		if rng.Intn(2) == 0 {
+			for {
+				idx = gprs[rng.Intn(len(gprs))]
+				if idx != RSP {
+					break
+				}
+			}
+			scale = []int{1, 2, 4, 8}[rng.Intn(4)]
+		}
+		disp := int32(rng.Intn(4096) - 2048)
+		return MemSIB(base, idx, scale, disp)
+	}
+	randRM := func() Operand {
+		if rng.Intn(2) == 0 {
+			return RegOp(gprs[rng.Intn(len(gprs))])
+		}
+		return randMem()
+	}
+	aluOps := []Op{ADD, SUB, AND, OR, XOR, CMP, MOV}
+	for i := 0; i < 3000; i++ {
+		op := aluOps[rng.Intn(len(aluOps))]
+		size := sizes[rng.Intn(len(sizes))]
+		var in Inst
+		switch rng.Intn(3) {
+		case 0: // dst reg, src r/m
+			in = NewInst(op, size, RegOp(gprs[rng.Intn(len(gprs))]), randRM())
+		case 1: // dst r/m, src reg
+			in = NewInst(op, size, randRM(), RegOp(gprs[rng.Intn(len(gprs))]))
+		case 2: // dst r/m, imm
+			imm := int64(int32(rng.Uint32()))
+			if size == 1 {
+				imm = int64(int8(imm))
+			} else if size == 2 {
+				imm = int64(int16(imm))
+			}
+			in = NewInst(op, size, randRM(), ImmOp(imm))
+		}
+		roundTrip(t, in)
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		size int
+		want string
+	}{
+		{RAX, 8, "rax"}, {RAX, 4, "eax"}, {RAX, 2, "ax"}, {RAX, 1, "al"},
+		{RSP, 1, "spl"}, {RDI, 1, "dil"},
+		{R8, 8, "r8"}, {R8, 4, "r8d"}, {R8, 2, "r8w"}, {R8, 1, "r8b"},
+		{XMM3, 8, "xmm3"},
+	}
+	for _, c := range cases {
+		if got := c.r.Name(c.size); got != c.want {
+			t.Errorf("Name(%v,%d) = %q, want %q", c.r, c.size, got, c.want)
+		}
+	}
+}
+
+func TestPrinter(t *testing.T) {
+	in := Inst{Op: CMPXCHG, Lock: true, Size: 8, Ops: []Operand{MemOp(RDI, 0), RegOp(RSI)}}
+	if got := in.String(); got != "lock cmpxchg [rdi], rsi" {
+		t.Errorf("printer: %q", got)
+	}
+	in2 := NewInst(MOV, 4, RegOp(RAX), MemSIB(RBX, RCX, 4, 8))
+	if got := in2.String(); got != "mov eax, [rbx + rcx*4 + 8]" {
+		t.Errorf("printer: %q", got)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	// RSP as index register is illegal.
+	_, err := Encode(NewInst(MOV, 8, RegOp(RAX), MemSIB(RBX, RSP, 2, 0)))
+	if err == nil {
+		t.Fatal("expected error for rsp index")
+	}
+	// mem,mem mov is unencodable.
+	_, err = Encode(NewInst(MOV, 8, MemOp(RAX, 0), MemOp(RBX, 0)))
+	if err == nil {
+		t.Fatal("expected error for mem,mem")
+	}
+}

@@ -1,0 +1,45 @@
+// Package lasagne is a from-scratch Go reproduction of "Lasagne: A Static
+// Binary Translator for Weak Memory Model Architectures" (PLDI 2022). It
+// re-exports the end-to-end translator pipeline; the substrates live in
+// internal/ packages:
+//
+//	internal/minic    — a small C-like compiler producing input binaries
+//	internal/x86      — x86-64 encoder/decoder
+//	internal/lifter   — binary lifting (§4)
+//	internal/refine   — IR refinement (§5)
+//	internal/memmodel — LIMM and the verified mappings (§6–7)
+//	internal/fences   — fence placement and merging (§8)
+//	internal/opt      — LLVM-style optimization passes
+//	internal/backend  — x86-64 and Arm64 code generation
+//	internal/sim      — machine simulators with a cycle cost model
+//	internal/eval     — the §9 evaluation harness
+package lasagne
+
+import (
+	"lasagne/internal/core"
+	"lasagne/internal/obj"
+)
+
+// Config selects the pipeline stages (see internal/core).
+type Config = core.Config
+
+// Stats reports pipeline metrics.
+type Stats = core.Stats
+
+// Default returns the full Lasagne configuration (the paper's PPOpt).
+func Default() Config { return core.Default() }
+
+// Translate statically translates an x86-64 object file into an Arm64
+// object file, preserving x86-TSO concurrency semantics via the verified
+// fence mapping.
+func Translate(bin *obj.File, cfg Config) (*obj.File, *Stats, error) {
+	return core.Translate(bin, cfg)
+}
+
+// TranslateArmToX86 translates an Arm64 object file into an x86-64 object
+// file (the paper's Appendix B direction): DMB fences map through the IR's
+// LIMM fences onto TSO's implicit ordering (plus MFENCE for full fences),
+// and LL/SC loops become LOCK-prefixed instructions.
+func TranslateArmToX86(bin *obj.File, cfg Config) (*obj.File, *Stats, error) {
+	return core.TranslateArmToX86(bin, cfg)
+}
