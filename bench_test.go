@@ -212,3 +212,40 @@ func BenchmarkEvalSuiteMetrics(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExecutionsEnumeration measures the streaming candidate-execution
+// enumerator on the SB+RMW shape — the inner loop of every bounded
+// model-checking result (Fig. 11, Thm 7.1). The visitor reuses one scratch
+// Execution, so steady-state allocation stays flat regardless of how many
+// candidates the program has.
+func BenchmarkExecutionsEnumeration(b *testing.B) {
+	p := &memmodel.Program{Name: "bench", Threads: [][]memmodel.Op{
+		{memmodel.St("X", 1), memmodel.RMW("Y", 2), memmodel.Ld("Y")},
+		{memmodel.St("Y", 1), memmodel.RMW("X", 2), memmodel.Ld("X")},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		memmodel.VisitExecutions(p, func(x *memmodel.Execution) { n++ })
+		if n == 0 {
+			b.Fatal("no executions enumerated")
+		}
+	}
+}
+
+// BenchmarkEvalPipelineParallel measures the full build+simulate pipeline
+// for one kernel with the worker pool enabled (GOMAXPROCS workers), i.e.
+// one kernel row of Figs. 12-16 end to end.
+func BenchmarkEvalPipelineParallel(b *testing.B) {
+	bench := phoenix.Get("HT")
+	for i := 0; i < b.N; i++ {
+		r, err := eval.BuildAll(*bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

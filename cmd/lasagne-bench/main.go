@@ -7,12 +7,17 @@
 //	lasagne-bench -table1
 //	lasagne-bench -fig12 ... -fig17
 //	lasagne-bench -fig11a       # the reordering-table "figure"
+//
+// -parallel N bounds the worker pool (1 = fully serial; the output is
+// byte-identical either way). -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lasagne/internal/eval"
 	"lasagne/internal/memmodel"
@@ -28,12 +33,52 @@ func main() {
 	fig15 := flag.Bool("fig15", false, "runtime reduction from fences alone")
 	fig16 := flag.Bool("fig16", false, "code size increase")
 	fig17 := flag.Bool("fig17", false, "per-pass code reduction on kmeans")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker pool size for builds, simulations and model checking (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if *table1 || *all {
+	eval.Parallelism = *parallel
+	memmodel.DefaultParallelism = *parallel
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	code := run(*all, *table1, *fig11a, *fig12, *fig13, *fig14, *fig15, *fig16, *fig17)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
+	os.Exit(1)
+}
+
+func run(all, table1, fig11a, fig12, fig13, fig14, fig15, fig16, fig17 bool) int {
+	if table1 || all {
 		fmt.Println(eval.Table1())
 	}
-	if *fig11a || *all {
+	if fig11a || all {
 		got := memmodel.ReorderTable()
 		fmt.Println("Figure 11a (recomputed by bounded model checking):")
 		fmt.Print(memmodel.FormatTable(got))
@@ -43,45 +88,46 @@ func main() {
 		fmt.Println()
 	}
 
-	needSuite := *all || *fig12 || *fig13 || *fig14 || *fig15 || *fig16 || *fig17
+	needSuite := all || fig12 || fig13 || fig14 || fig15 || fig16 || fig17
 	if !needSuite {
-		if !*table1 && !*fig11a {
+		if !table1 && !fig11a {
 			flag.Usage()
 		}
-		return
+		return 0
 	}
 	fmt.Fprintln(os.Stderr, "building and simulating all five variants of all five kernels...")
 	suite, err := eval.RunSuite()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
-		os.Exit(1)
+		return 1
 	}
-	if *fig12 || *all {
+	if fig12 || all {
 		fmt.Println(suite.Fig12())
 	}
-	if *fig13 || *all {
+	if fig13 || all {
 		fmt.Println(suite.Fig13())
 	}
-	if *fig14 || *all {
+	if fig14 || all {
 		fmt.Println(suite.Fig14())
 	}
-	if *fig15 || *all {
+	if fig15 || all {
 		out, err := suite.Fig15()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(out)
 	}
-	if *fig16 || *all {
+	if fig16 || all {
 		fmt.Println(suite.Fig16())
 	}
-	if *fig17 || *all {
+	if fig17 || all {
 		out, err := suite.Fig17()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(out)
 	}
+	return 0
 }

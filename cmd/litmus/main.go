@@ -14,16 +14,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync/atomic"
 
 	"lasagne/internal/memmodel"
+	"lasagne/internal/par"
 )
 
 func main() {
 	checkMappings := flag.Bool("check-mappings", false, "verify the Fig. 8 mapping schemes")
 	exhaustive := flag.Int("exhaustive", 0, "bounded mapping verification with N ops per thread")
 	fig11a := flag.Bool("fig11a", false, "recompute the Fig. 11a reordering table")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker pool size for the model checkers (1 = serial)")
 	flag.Parse()
+
+	memmodel.DefaultParallelism = *parallel
 
 	switch {
 	case *fig11a:
@@ -52,16 +59,25 @@ func main() {
 	case *exhaustive > 0:
 		progs := memmodel.GenerateX86Programs(*exhaustive)
 		fmt.Printf("checking %d generated programs...\n", len(progs))
-		for i, p := range progs {
-			if err := memmodel.CheckMapping(p, memmodel.X86, func(q *memmodel.Program) *memmodel.Program {
+		// The generated programs are checked across the worker pool; on
+		// failure the reported counterexample is the same one a serial scan
+		// would hit first (lowest-index error selection). Each program is
+		// checked with a serial inner enumeration to avoid oversubscription:
+		// the outer loop owns the parallelism here.
+		memmodel.DefaultParallelism = 1
+		var done atomic.Int64
+		err := par.FirstErr(len(progs), *parallel, func(i int) error {
+			e := memmodel.CheckMapping(progs[i], memmodel.X86, func(q *memmodel.Program) *memmodel.Program {
 				return memmodel.MapIRToArm(memmodel.MapX86ToIR(q))
-			}, memmodel.Arm); err != nil {
-				fmt.Println("FAIL:", err)
-				os.Exit(1)
+			}, memmodel.Arm)
+			if n := done.Add(1); n%500 == 0 {
+				fmt.Printf("  %d/%d checked\n", n, int64(len(progs)))
 			}
-			if (i+1)%500 == 0 {
-				fmt.Printf("  %d/%d ok\n", i+1, len(progs))
-			}
+			return e
+		})
+		if err != nil {
+			fmt.Println("FAIL:", err)
+			os.Exit(1)
 		}
 		fmt.Println("all mappings verified ✓")
 

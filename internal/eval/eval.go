@@ -21,6 +21,7 @@ import (
 	"lasagne/internal/minic"
 	"lasagne/internal/obj"
 	"lasagne/internal/opt"
+	"lasagne/internal/par"
 	"lasagne/internal/phoenix"
 	"lasagne/internal/refine"
 	"lasagne/internal/sim"
@@ -60,6 +61,21 @@ type Result struct {
 	XBinary  *obj.File
 	CastsRaw int // pointer casts in the raw lifted module
 	CastsRef int // pointer casts after refinement
+
+	// liftedBase is the pristine lifted module, before any fence placement
+	// or optimization. BuildAll lifts XBinary exactly once; every consumer
+	// (the four lifted variants, FenceOnlyCycles, PassIsolation) works on a
+	// deep copy of this module instead of re-lifting.
+	liftedBase *ir.Module
+}
+
+// lifted returns a fresh mutable copy of the benchmark's raw lifted module,
+// falling back to lifting XBinary for Results not built via BuildAll.
+func (r *Result) lifted() (*ir.Module, error) {
+	if r.liftedBase != nil {
+		return r.liftedBase.Clone(), nil
+	}
+	return lifter.Lift(r.XBinary)
 }
 
 // placement is the fence placement used by every variant (it is part of
@@ -79,97 +95,111 @@ func compileSource(b phoenix.Benchmark) (*ir.Module, error) {
 }
 
 // BuildAll produces all five variants of a benchmark.
+//
+// The pipeline prefix shared by every variant runs once: the source is
+// compiled a single time (the x86 input binary starts from a deep copy of
+// the native module) and the x86 binary is lifted a single time. Each
+// variant then applies its pass recipe to its own ir.Module copy, and the
+// five builds run concurrently on up to Parallelism workers.
 func BuildAll(b phoenix.Benchmark) (*Result, error) {
 	res := &Result{Bench: b}
 
-	// Native.
+	// Shared prefix: one compile, one x86 codegen, one lift.
 	nat, err := compileSource(b)
 	if err != nil {
 		return nil, fmt.Errorf("%s native: %w", b.Name, err)
 	}
-	natObj, err := backend.Compile(nat, "arm64")
-	if err != nil {
-		return nil, fmt.Errorf("%s native arm64: %w", b.Name, err)
-	}
-	res.Builds[Native] = &Build{Variant: Native, Module: nat, Obj: natObj, IRInstrs: nat.NumInstrs()}
-
-	// The input x86 binary (what the paper's gcc produced).
-	xsrc, err := compileSource(b)
-	if err != nil {
-		return nil, err
-	}
-	xbin, err := backend.Compile(xsrc, "x86-64")
+	xbin, err := backend.Compile(nat.Clone(), "x86-64")
 	if err != nil {
 		return nil, fmt.Errorf("%s x86: %w", b.Name, err)
 	}
 	res.XBinary = xbin
-
-	relift := func() (*ir.Module, error) { return lifter.Lift(xbin) }
-
-	// Lifted: naive pipeline, fences only.
-	lm, err := relift()
+	base, err := lifter.Lift(xbin)
 	if err != nil {
 		return nil, fmt.Errorf("%s lift: %w", b.Name, err)
 	}
-	res.CastsRaw = refine.CountPtrCasts(lm)
-	fences.Place(lm, placement)
-	bl := &Build{Variant: Lifted, Module: lm, Fences: fences.Count(lm), IRInstrs: lm.NumInstrs()}
-	if bl.Obj, err = backend.Compile(lm, "arm64"); err != nil {
-		return nil, fmt.Errorf("%s lifted arm64: %w", b.Name, err)
-	}
-	res.Builds[Lifted] = bl
+	res.liftedBase = base
+	res.CastsRaw = refine.CountPtrCasts(base)
 
-	// Opt: Lifted + IR re-optimization.
-	om, err := relift()
-	if err != nil {
+	// The five builds are independent given nat/base; each writes only its
+	// own Builds slot (plus CastsRef, owned by the PPOpt job).
+	jobs := [NumVariants]func() error{
+		Native: func() error {
+			natObj, err := backend.Compile(nat, "arm64")
+			if err != nil {
+				return fmt.Errorf("%s native arm64: %w", b.Name, err)
+			}
+			res.Builds[Native] = &Build{Variant: Native, Module: nat, Obj: natObj, IRInstrs: nat.NumInstrs()}
+			return nil
+		},
+		Lifted: func() error {
+			// Naive pipeline, fences only.
+			lm := base.Clone()
+			fences.Place(lm, placement)
+			bl := &Build{Variant: Lifted, Module: lm, Fences: fences.Count(lm), IRInstrs: lm.NumInstrs()}
+			var err error
+			if bl.Obj, err = backend.Compile(lm, "arm64"); err != nil {
+				return fmt.Errorf("%s lifted arm64: %w", b.Name, err)
+			}
+			res.Builds[Lifted] = bl
+			return nil
+		},
+		Opt: func() error {
+			// Lifted + IR re-optimization.
+			om := base.Clone()
+			fences.Place(om, placement)
+			fcount := fences.Count(om)
+			if err := opt.Optimize(om); err != nil {
+				return err
+			}
+			bo := &Build{Variant: Opt, Module: om, Fences: fcount, IRInstrs: om.NumInstrs()}
+			var err error
+			if bo.Obj, err = backend.Compile(om, "arm64"); err != nil {
+				return fmt.Errorf("%s opt arm64: %w", b.Name, err)
+			}
+			res.Builds[Opt] = bo
+			return nil
+		},
+		POpt: func() error {
+			// Opt + fence merging.
+			pm := base.Clone()
+			fences.Place(pm, placement)
+			fences.Merge(pm)
+			fcount := fences.Count(pm)
+			if err := opt.Optimize(pm); err != nil {
+				return err
+			}
+			bp := &Build{Variant: POpt, Module: pm, Fences: fcount, IRInstrs: pm.NumInstrs()}
+			var err error
+			if bp.Obj, err = backend.Compile(pm, "arm64"); err != nil {
+				return fmt.Errorf("%s popt arm64: %w", b.Name, err)
+			}
+			res.Builds[POpt] = bp
+			return nil
+		},
+		PPOpt: func() error {
+			// POpt + IR refinement before fence placement (full Lasagne).
+			qm := base.Clone()
+			refine.Run(qm)
+			res.CastsRef = refine.CountPtrCasts(qm)
+			fences.Place(qm, placement)
+			fences.Merge(qm)
+			fcount := fences.Count(qm)
+			if err := opt.Optimize(qm); err != nil {
+				return err
+			}
+			bq := &Build{Variant: PPOpt, Module: qm, Fences: fcount, IRInstrs: qm.NumInstrs()}
+			var err error
+			if bq.Obj, err = backend.Compile(qm, "arm64"); err != nil {
+				return fmt.Errorf("%s ppopt arm64: %w", b.Name, err)
+			}
+			res.Builds[PPOpt] = bq
+			return nil
+		},
+	}
+	if err := par.FirstErr(len(jobs), Parallelism, func(i int) error { return jobs[i]() }); err != nil {
 		return nil, err
 	}
-	fences.Place(om, placement)
-	fcount := fences.Count(om)
-	if err := opt.Optimize(om); err != nil {
-		return nil, err
-	}
-	bo := &Build{Variant: Opt, Module: om, Fences: fcount, IRInstrs: om.NumInstrs()}
-	if bo.Obj, err = backend.Compile(om, "arm64"); err != nil {
-		return nil, fmt.Errorf("%s opt arm64: %w", b.Name, err)
-	}
-	res.Builds[Opt] = bo
-
-	// POpt: Opt + fence merging.
-	pm, err := relift()
-	if err != nil {
-		return nil, err
-	}
-	fences.Place(pm, placement)
-	fences.Merge(pm)
-	fcount = fences.Count(pm)
-	if err := opt.Optimize(pm); err != nil {
-		return nil, err
-	}
-	bp := &Build{Variant: POpt, Module: pm, Fences: fcount, IRInstrs: pm.NumInstrs()}
-	if bp.Obj, err = backend.Compile(pm, "arm64"); err != nil {
-		return nil, fmt.Errorf("%s popt arm64: %w", b.Name, err)
-	}
-	res.Builds[POpt] = bp
-
-	// PPOpt: POpt + IR refinement before fence placement (full Lasagne).
-	qm, err := relift()
-	if err != nil {
-		return nil, err
-	}
-	refine.Run(qm)
-	res.CastsRef = refine.CountPtrCasts(qm)
-	fences.Place(qm, placement)
-	fences.Merge(qm)
-	fcount = fences.Count(qm)
-	if err := opt.Optimize(qm); err != nil {
-		return nil, err
-	}
-	bq := &Build{Variant: PPOpt, Module: qm, Fences: fcount, IRInstrs: qm.NumInstrs()}
-	if bq.Obj, err = backend.Compile(qm, "arm64"); err != nil {
-		return nil, fmt.Errorf("%s ppopt arm64: %w", b.Name, err)
-	}
-	res.Builds[PPOpt] = bq
 	return res, nil
 }
 
@@ -189,12 +219,13 @@ func (r *Result) RunVariant(v Variant) error {
 }
 
 // RunAll simulates every variant and verifies they all produce the Native
-// output.
+// output. Variants run concurrently: each simulation owns a private Machine
+// and writes only its own Cycles/Output slots.
 func (r *Result) RunAll() error {
-	for v := Variant(0); v < NumVariants; v++ {
-		if err := r.RunVariant(v); err != nil {
-			return err
-		}
+	if err := par.FirstErr(int(NumVariants), Parallelism, func(i int) error {
+		return r.RunVariant(Variant(i))
+	}); err != nil {
+		return err
 	}
 	for v := Lifted; v < NumVariants; v++ {
 		if r.Output[v] != r.Output[Native] {
@@ -221,54 +252,54 @@ func FenceOnlyCycles(r *Result) (naive, merged, refined int64, err error) {
 		}
 		return mach.Run()
 	}
-	m1, err := lifter.Lift(r.XBinary)
-	if err != nil {
+	recipes := []func(m *ir.Module){
+		func(m *ir.Module) { fences.Place(m, placement) },
+		func(m *ir.Module) { fences.Place(m, placement); fences.Merge(m) },
+		func(m *ir.Module) { refine.Run(m); fences.Place(m, placement); fences.Merge(m) },
+	}
+	var cycles [3]int64
+	if err := par.FirstErr(len(recipes), Parallelism, func(i int) error {
+		m, err := r.lifted()
+		if err != nil {
+			return err
+		}
+		recipes[i](m)
+		cycles[i], err = run(m)
+		return err
+	}); err != nil {
 		return 0, 0, 0, err
 	}
-	fences.Place(m1, placement)
-	if naive, err = run(m1); err != nil {
-		return 0, 0, 0, err
-	}
-	m2, err := lifter.Lift(r.XBinary)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	fences.Place(m2, placement)
-	fences.Merge(m2)
-	if merged, err = run(m2); err != nil {
-		return 0, 0, 0, err
-	}
-	m3, err := lifter.Lift(r.XBinary)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	refine.Run(m3)
-	fences.Place(m3, placement)
-	fences.Merge(m3)
-	if refined, err = run(m3); err != nil {
-		return 0, 0, 0, err
-	}
-	return naive, merged, refined, nil
+	return cycles[0], cycles[1], cycles[2], nil
 }
 
 // PassIsolation measures Fig. 17: the code-size reduction of each pass run
-// in isolation on the benchmark's refined, fence-placed lifted bitcode.
+// in isolation on the benchmark's refined, fence-placed lifted bitcode. The
+// per-pass measurements are independent and run across the worker pool; the
+// shared refined prefix is prepared once and cloned per pass.
 func PassIsolation(r *Result, passes []string) (map[string]float64, error) {
+	pre, err := r.lifted()
+	if err != nil {
+		return nil, err
+	}
+	refine.Run(pre)
+	fences.Place(pre, placement)
+	fences.Merge(pre)
+	before := pre.NumInstrs()
+
+	red := make([]float64, len(passes))
+	if err := par.FirstErr(len(passes), Parallelism, func(i int) error {
+		m := pre.Clone()
+		if _, err := opt.Run(m, passes[i]); err != nil {
+			return err
+		}
+		red[i] = 100 * float64(before-m.NumInstrs()) / float64(before)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	out := map[string]float64{}
-	for _, p := range passes {
-		m, err := lifter.Lift(r.XBinary)
-		if err != nil {
-			return nil, err
-		}
-		refine.Run(m)
-		fences.Place(m, placement)
-		fences.Merge(m)
-		before := m.NumInstrs()
-		if _, err := opt.Run(m, p); err != nil {
-			return nil, err
-		}
-		after := m.NumInstrs()
-		out[p] = 100 * float64(before-after) / float64(before)
+	for i, p := range passes {
+		out[p] = red[i]
 	}
 	return out, nil
 }
@@ -306,11 +337,11 @@ func AblationFences(b phoenix.Benchmark) (withSkip, withoutSkip int, cyclesSkip,
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	run := func(opts fences.Options) (int, int64, error) {
-		m, err := lifter.Lift(xbin)
-		if err != nil {
-			return 0, 0, err
-		}
+	base, err := lifter.Lift(xbin)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	run := func(m *ir.Module, opts fences.Options) (int, int64, error) {
 		fences.Place(m, opts)
 		n := fences.Count(m)
 		o, err := backend.Compile(m, "arm64")
@@ -324,10 +355,16 @@ func AblationFences(b phoenix.Benchmark) (withSkip, withoutSkip int, cyclesSkip,
 		c, err := mach.Run()
 		return n, c, err
 	}
-	withSkip, cyclesSkip, err = run(fences.Options{SkipStackAccesses: true})
-	if err != nil {
-		return
+	opts := []fences.Options{{SkipStackAccesses: true}, {}}
+	mods := [2]*ir.Module{base, base.Clone()} // cloned before the fan-out
+	var ns [2]int
+	var cs [2]int64
+	if err = par.FirstErr(len(opts), Parallelism, func(i int) error {
+		var e error
+		ns[i], cs[i], e = run(mods[i], opts[i])
+		return e
+	}); err != nil {
+		return 0, 0, 0, 0, err
 	}
-	withoutSkip, cyclesNo, err = run(fences.Options{})
-	return
+	return ns[0], ns[1], cs[0], cs[1], nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"lasagne/internal/par"
 	"lasagne/internal/phoenix"
 )
 
@@ -15,18 +16,25 @@ type Suite struct {
 	Results []*Result
 }
 
-// RunSuite builds and simulates every benchmark variant.
+// RunSuite builds and simulates every benchmark variant. Benchmarks are
+// processed concurrently on up to Parallelism workers; results land in
+// index-fixed slots, so Results keeps the phoenix.All() order regardless of
+// completion order and the rendered figures are identical to a serial run.
 func RunSuite() (*Suite, error) {
-	s := &Suite{}
-	for _, b := range phoenix.All() {
-		r, err := BuildAll(b)
+	benches := phoenix.All()
+	s := &Suite{Results: make([]*Result, len(benches))}
+	if err := par.FirstErr(len(benches), Parallelism, func(i int) error {
+		r, err := BuildAll(benches[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := r.RunAll(); err != nil {
-			return nil, err
+			return err
 		}
-		s.Results = append(s.Results, r)
+		s.Results[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -1,0 +1,108 @@
+package ir
+
+// Clone returns a deep copy of the module: every function, block and
+// instruction is duplicated so that passes mutating the copy leave the
+// original untouched. Immutable values (integer/float/null constants, undef)
+// are shared between the two modules; types are immutable and always shared.
+//
+// The evaluation pipeline uses this to lift a kernel once and run each
+// optimization-pass recipe on its own copy instead of re-lifting.
+func (m *Module) Clone() *Module {
+	nm := &Module{
+		Name:         m.Name,
+		funcByName:   make(map[string]*Func, len(m.Funcs)),
+		globalByName: make(map[string]*Global, len(m.Globals)),
+	}
+
+	vmap := make(map[Value]Value) // old operand -> new operand
+
+	for _, g := range m.Globals {
+		ng := &Global{
+			Name:  g.Name,
+			Elem:  g.Elem,
+			Init:  append([]byte(nil), g.Init...),
+			Align: g.Align,
+		}
+		nm.Globals = append(nm.Globals, ng)
+		nm.globalByName[ng.Name] = ng
+		vmap[g] = ng
+	}
+
+	// Create all function shells first: call instructions may reference any
+	// function in the module, including ones defined later.
+	fmap := make(map[*Func]*Func, len(m.Funcs))
+	for _, f := range m.Funcs {
+		nf := &Func{
+			Name:     f.Name,
+			Sig:      f.Sig,
+			Module:   nm,
+			External: f.External,
+			nextID:   f.nextID,
+		}
+		for _, p := range f.Params {
+			np := &Param{Nam: p.Nam, Ty: p.Ty, Idx: p.Idx}
+			nf.Params = append(nf.Params, np)
+			vmap[p] = np
+		}
+		nm.Funcs = append(nm.Funcs, nf)
+		nm.funcByName[nf.Name] = nf
+		fmap[f] = nf
+		vmap[f] = nf
+	}
+
+	for _, f := range m.Funcs {
+		nf := fmap[f]
+		bmap := make(map[*Block]*Block, len(f.Blocks))
+		for _, b := range f.Blocks {
+			nb := &Block{Name: b.Name, Parent: nf}
+			nf.Blocks = append(nf.Blocks, nb)
+			bmap[b] = nb
+		}
+		// Pass 1: clone every instruction without operands, so that phi
+		// arguments referencing instructions from later blocks (or later in
+		// the same block) already have a mapping in pass 2.
+		for _, b := range f.Blocks {
+			nb := bmap[b]
+			for _, i := range b.Instrs {
+				ni := &Instr{
+					Op:     i.Op,
+					Ty:     i.Ty,
+					Elem:   i.Elem,
+					Order:  i.Order,
+					Fence:  i.Fence,
+					RMWOp:  i.RMWOp,
+					Pred:   i.Pred,
+					ID:     i.ID,
+					Nam:    i.Nam,
+					Parent: nb,
+				}
+				nb.Instrs = append(nb.Instrs, ni)
+				vmap[i] = ni
+			}
+		}
+		// Pass 2: fill in operands and successor/incoming blocks.
+		for _, b := range f.Blocks {
+			nb := bmap[b]
+			for k, i := range b.Instrs {
+				ni := nb.Instrs[k]
+				if len(i.Args) > 0 {
+					ni.Args = make([]Value, len(i.Args))
+					for ai, a := range i.Args {
+						if na, ok := vmap[a]; ok {
+							ni.Args[ai] = na
+						} else {
+							ni.Args[ai] = a // shared immutable constant
+						}
+					}
+				}
+				if len(i.Blocks) > 0 {
+					ni.Blocks = make([]*Block, len(i.Blocks))
+					for bi, sb := range i.Blocks {
+						ni.Blocks[bi] = bmap[sb]
+					}
+				}
+			}
+		}
+	}
+	return nm
+}

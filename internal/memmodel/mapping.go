@@ -2,6 +2,7 @@ package memmodel
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -130,8 +131,8 @@ func MapArmToIR(p *Program) *Program {
 // behaviors are compared including read values.
 func CheckMapping(src *Program, srcModel Model, mapFn func(*Program) *Program, tgtModel Model) error {
 	tgt := mapFn(src)
-	srcB := BehaviorsOf(src, srcModel, true)
-	tgtB := BehaviorsOf(tgt, tgtModel, true)
+	srcB := BehaviorsOfParallel(src, srcModel, true, DefaultParallelism)
+	tgtB := BehaviorsOfParallel(tgt, tgtModel, true, DefaultParallelism)
 	var extra []string
 	for b := range tgtB {
 		if _, ok := srcB[b]; !ok {
@@ -139,6 +140,7 @@ func CheckMapping(src *Program, srcModel Model, mapFn func(*Program) *Program, t
 		}
 	}
 	if len(extra) > 0 {
+		sort.Strings(extra) // map order is random; keep the message stable
 		return fmt.Errorf("mapping %s -> %s unsound on %s: target-only behaviors %s",
 			srcModel.Name, tgtModel.Name, src, strings.Join(extra, " | "))
 	}

@@ -258,26 +258,53 @@ func (x *Execution) fr(r, w *Event) bool {
 	return x.coIndex(x.Events[src]) < x.coIndex(w)
 }
 
-// Executions enumerates every candidate execution of p (all rf choices ×
-// all coherence orders), filling read values from rf.
-func Executions(p *Program) []*Execution {
-	skeleton := buildEvents(p)
-	// Writes per location.
+// enumSpace is the shared, read-only description of a program's candidate
+// execution space: the event skeleton plus the pruned per-location coherence
+// orders and per-read rf choices. It is computed once and then walked by one
+// or more enumeration workers, each with its own scratch Execution.
+type enumSpace struct {
+	skeleton  []*Event
+	locs      []string
+	coChoices [][][]int // per location: the admissible coherence orders
+	reads     []*Event  // skeleton read events, in ID order
+	rfChoices [][]int   // per read: candidate source write IDs
+}
+
+// newEnumSpace lowers p and enumerates the per-location coherence orders
+// with pruning: a coherence prefix placing a write co-before a write that
+// precedes it in program order already violates SC-per-location (po|loc ∪ co
+// has a 2-cycle) for every rf choice, so such permutations are never built.
+// Similarly, rf choices that contradict an RMW's expected read value are
+// dropped up front.
+func newEnumSpace(p *Program) *enumSpace {
+	s := &enumSpace{skeleton: buildEvents(p), locs: p.Locs()}
 	writesAt := map[string][]*Event{}
-	var reads []*Event
-	for _, e := range skeleton {
+	for _, e := range s.skeleton {
 		if e.Kind == EvW {
 			writesAt[e.Loc] = append(writesAt[e.Loc], e)
 		}
 		if e.Kind == EvR {
-			reads = append(reads, e)
+			s.reads = append(s.reads, e)
 		}
 	}
-	locs := p.Locs()
 
-	// Enumerate coherence orders per location (init write always first).
-	coChoices := make([][][]int, len(locs))
-	for i, loc := range locs {
+	// po among writes of one location, restricted to the skeleton (init
+	// writes have Tid -1 and precede everything).
+	poBefore := func(a, b *Event) bool {
+		if a.Tid == -1 && b.Tid != -1 {
+			return true
+		}
+		if a.Tid != b.Tid {
+			return false
+		}
+		if a.Idx != b.Idx {
+			return a.Idx < b.Idx
+		}
+		return a.Kind == EvR && b.Kind == EvW && a.RMW == b.ID
+	}
+
+	s.coChoices = make([][][]int, len(s.locs))
+	for i, loc := range s.locs {
 		var initW *Event
 		var others []*Event
 		for _, w := range writesAt[loc] {
@@ -287,92 +314,154 @@ func Executions(p *Program) []*Execution {
 				others = append(others, w)
 			}
 		}
-		perms := permutations(others)
-		for _, perm := range perms {
-			order := []int{initW.ID}
-			for _, w := range perm {
-				order = append(order, w.ID)
+		// Build permutations of the non-init writes, pruning any prefix that
+		// places a write before one of its po-predecessors.
+		order := make([]int, 1, len(others)+1)
+		order[0] = initW.ID
+		used := make([]bool, len(others))
+		var rec func()
+		rec = func() {
+			if len(order) == len(others)+1 {
+				s.coChoices[i] = append(s.coChoices[i], append([]int(nil), order...))
+				return
 			}
-			coChoices[i] = append(coChoices[i], order)
+			for k, w := range others {
+				if used[k] {
+					continue
+				}
+				// w may be placed next only if every unplaced write is not a
+				// po-predecessor of w.
+				ok := true
+				for k2, w2 := range others {
+					if k2 != k && !used[k2] && poBefore(w2, w) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				used[k] = true
+				order = append(order, w.ID)
+				rec()
+				order = order[:len(order)-1]
+				used[k] = false
+			}
 		}
+		rec()
 	}
 
-	// Enumerate rf choices per read.
-	rfChoices := make([][]int, len(reads))
-	for i, r := range reads {
+	s.rfChoices = make([][]int, len(s.reads))
+	for i, r := range s.reads {
 		for _, w := range writesAt[r.Loc] {
 			if w.RMW == r.ID {
 				continue // an rmw's own write cannot feed its read
 			}
-			rfChoices[i] = append(rfChoices[i], w.ID)
-		}
-	}
-
-	var out []*Execution
-	var rec func(ci int, co map[string][]int)
-	rec = func(ci int, co map[string][]int) {
-		if ci == len(locs) {
-			// Now enumerate rf.
-			rf := map[int]int{}
-			var rrec func(ri int)
-			rrec = func(ri int) {
-				if ri == len(reads) {
-					x := &Execution{RF: map[int]int{}, CO: map[string][]int{}, n: len(skeleton)}
-					// Deep copy events so read values are per-execution.
-					byID := map[int]*Event{}
-					for _, e := range skeleton {
-						c := *e
-						x.Events = append(x.Events, &c)
-						byID[c.ID] = &c
-					}
-					ok := true
-					for k, v := range rf {
-						x.RF[k] = v
-						byID[k].Val = byID[v].Val
-						if byID[k].HasExp && byID[k].Val != byID[k].Exp {
-							ok = false
-						}
-					}
-					if !ok {
-						return
-					}
-					for k, v := range co {
-						x.CO[k] = append([]int(nil), v...)
-					}
-					out = append(out, x)
-					return
-				}
-				for _, w := range rfChoices[ri] {
-					rf[reads[ri].ID] = w
-					rrec(ri + 1)
-				}
-				delete(rf, reads[ri].ID)
+			if r.HasExp && w.Val != r.Exp {
+				continue // expected-value RMW: this rf can never satisfy it
 			}
-			rrec(0)
-			return
-		}
-		for _, order := range coChoices[ci] {
-			co[locs[ci]] = order
-			rec(ci+1, co)
+			s.rfChoices[i] = append(s.rfChoices[i], w.ID)
 		}
 	}
-	rec(0, map[string][]int{})
-	return out
+	return s
 }
 
-func permutations(evs []*Event) [][]*Event {
-	if len(evs) == 0 {
-		return [][]*Event{nil}
+// walker is one enumeration worker's scratch state: a private copy of the
+// events (read values are filled in place per rf assignment) and a reusable
+// Execution handed to the visit callback.
+type walker struct {
+	s      *enumSpace
+	events []Event
+	x      *Execution
+}
+
+func (s *enumSpace) newWalker() *walker {
+	w := &walker{s: s, events: make([]Event, len(s.skeleton))}
+	evs := make([]*Event, len(s.skeleton))
+	for i, e := range s.skeleton {
+		w.events[i] = *e
+		evs[i] = &w.events[i]
 	}
-	var out [][]*Event
-	for i := range evs {
-		rest := make([]*Event, 0, len(evs)-1)
-		rest = append(rest, evs[:i]...)
-		rest = append(rest, evs[i+1:]...)
-		for _, perm := range permutations(rest) {
-			out = append(out, append([]*Event{evs[i]}, perm...))
-		}
+	w.x = &Execution{
+		Events: evs,
+		RF:     make(map[int]int, len(s.reads)),
+		CO:     make(map[string][]int, len(s.locs)),
+		n:      len(s.skeleton),
 	}
+	return w
+}
+
+// walkReads enumerates rf assignments for reads[ri:] on top of the walker's
+// current co/rf prefix, calling visit with the scratch Execution at each
+// leaf.
+func (w *walker) walkReads(ri int, visit func(*Execution)) {
+	if ri == len(w.s.reads) {
+		visit(w.x)
+		return
+	}
+	r := w.s.reads[ri]
+	for _, src := range w.s.rfChoices[ri] {
+		w.x.RF[r.ID] = src
+		w.events[r.ID].Val = w.events[src].Val
+		w.walkReads(ri+1, visit)
+	}
+}
+
+// walkCo enumerates coherence orders for locs[ci:], then descends into rf.
+func (w *walker) walkCo(ci int, visit func(*Execution)) {
+	if ci == len(w.s.locs) {
+		w.walkReads(0, visit)
+		return
+	}
+	for _, order := range w.s.coChoices[ci] {
+		w.x.CO[w.s.locs[ci]] = order
+		w.walkCo(ci+1, visit)
+	}
+}
+
+// VisitExecutions streams every candidate execution of p (all rf choices ×
+// all admissible coherence orders) to visit, filling read values from rf.
+// Coherence orders that contradict po on their location — and rf choices
+// that contradict an RMW's expected value — are pruned during construction;
+// both could never appear in a consistent execution of any supported model.
+//
+// The *Execution passed to visit is a scratch value reused between calls:
+// visitors must copy anything they retain (see (*Execution).Clone).
+func VisitExecutions(p *Program, visit func(*Execution)) {
+	s := newEnumSpace(p)
+	s.newWalker().walkCo(0, visit)
+}
+
+// Clone returns a deep copy of the execution, safe to retain after the
+// VisitExecutions callback returns.
+func (x *Execution) Clone() *Execution {
+	c := &Execution{
+		Events: make([]*Event, len(x.Events)),
+		RF:     make(map[int]int, len(x.RF)),
+		CO:     make(map[string][]int, len(x.CO)),
+		n:      x.n,
+	}
+	for i, e := range x.Events {
+		ev := *e
+		c.Events[i] = &ev
+	}
+	for k, v := range x.RF {
+		c.RF[k] = v
+	}
+	for k, v := range x.CO {
+		c.CO[k] = append([]int(nil), v...)
+	}
+	return c
+}
+
+// Executions materializes every candidate execution of p. It is a thin
+// compatibility wrapper over VisitExecutions; enumeration-heavy callers
+// should stream instead of materializing.
+func Executions(p *Program) []*Execution {
+	var out []*Execution
+	VisitExecutions(p, func(x *Execution) {
+		out = append(out, x.Clone())
+	})
 	return out
 }
 
@@ -386,6 +475,11 @@ func newRel(n int) *relation { return &relation{n: n, m: make([]bool, n*n)} }
 
 func (r *relation) set(a, b int)      { r.m[a*r.n+b] = true }
 func (r *relation) has(a, b int) bool { return r.m[a*r.n+b] }
+func (r *relation) clear() {
+	for i := range r.m {
+		r.m[i] = false
+	}
+}
 func (r *relation) union(o *relation) {
 	for i := range r.m {
 		r.m[i] = r.m[i] || o.m[i]
@@ -428,18 +522,41 @@ type rels struct {
 	rmw           *relation
 }
 
-func (x *Execution) relations() *rels {
+func (x *Execution) relations() *rels { return x.relationsInto(nil) }
+
+// relationsInto computes the relation set, reusing buf's matrices when it
+// was built for the same event skeleton (same size and same backing events,
+// as during one streamed enumeration). The program-order and rmw relations
+// depend only on the skeleton, so a reused buffer keeps them as-is.
+func (x *Execution) relationsInto(buf *rels) *rels {
 	n := x.n
-	r := &rels{
-		n: n, events: x.Events,
-		poR: newRel(n), rf: newRel(n), co: newRel(n), fr: newRel(n),
-		rfe: newRel(n), coe: newRel(n), fre: newRel(n), rmw: newRel(n),
+	var r *rels
+	reuse := buf != nil && buf.n == n && len(buf.events) == len(x.Events) &&
+		len(x.Events) > 0 && buf.events[0] == x.Events[0]
+	if reuse {
+		r = buf
+		for _, m := range []*relation{r.rf, r.co, r.fr, r.rfe, r.coe, r.fre} {
+			m.clear()
+		}
+	} else {
+		r = &rels{
+			n: n, events: x.Events,
+			poR: newRel(n), rf: newRel(n), co: newRel(n), fr: newRel(n),
+			rfe: newRel(n), coe: newRel(n), fre: newRel(n), rmw: newRel(n),
+		}
 	}
 	byID := x.Events // events are stored in dense ID order
-	for _, a := range x.Events {
-		for _, b := range x.Events {
-			if a.ID != b.ID && x.po(a, b) {
-				r.poR.set(a.ID, b.ID)
+	if !reuse {
+		for _, a := range x.Events {
+			for _, b := range x.Events {
+				if a.ID != b.ID && x.po(a, b) {
+					r.poR.set(a.ID, b.ID)
+				}
+			}
+		}
+		for _, e := range x.Events {
+			if e.Kind == EvR && e.RMW >= 0 {
+				r.rmw.set(e.ID, e.RMW)
 			}
 		}
 	}
@@ -471,11 +588,6 @@ func (x *Execution) relations() *rels {
 					r.fre.set(a.ID, b.ID)
 				}
 			}
-		}
-	}
-	for _, e := range x.Events {
-		if e.Kind == EvR && e.RMW >= 0 {
-			r.rmw.set(e.ID, e.RMW)
 		}
 	}
 	return r
@@ -554,19 +666,22 @@ type Model struct {
 }
 
 // BehaviorsOf returns the behaviors of p's consistent executions under the
-// model, keyed canonically.
+// model, keyed canonically. Executions are streamed, never materialized: the
+// relation buffer is reused across candidates, so the peak footprint is one
+// execution regardless of how many candidates the program has.
 func BehaviorsOf(p *Program, m Model, withReads bool) map[string]Behavior {
 	out := map[string]Behavior{}
-	for _, x := range Executions(p) {
-		r := x.relations()
-		if !scPerLoc(x, r) || !atomicity(x, r) {
-			continue
+	var rbuf *rels
+	VisitExecutions(p, func(x *Execution) {
+		rbuf = x.relationsInto(rbuf)
+		if !scPerLoc(x, rbuf) || !atomicity(x, rbuf) {
+			return
 		}
-		if !m.Consistent(x, r) {
-			continue
+		if !m.Consistent(x, rbuf) {
+			return
 		}
 		b := x.behaviorOf()
 		out[b.Key(withReads)] = b
-	}
+	})
 	return out
 }

@@ -1,0 +1,145 @@
+package memmodel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lasagne/internal/par"
+)
+
+// DefaultParallelism is the worker count used by the parallel enumeration
+// driver and the bounded checkers. Commands override it via their -parallel
+// flag; 1 disables concurrency entirely.
+var DefaultParallelism = runtime.GOMAXPROCS(0)
+
+// parallelFor and firstFailure are package-local shorthands for the shared
+// worker-pool primitives.
+func parallelFor(n, workers int, fn func(i int)) { par.For(n, workers, fn) }
+
+func firstFailure(n, workers int, fn func(i int) error) error {
+	return par.FirstErr(n, workers, fn)
+}
+
+// enumTask fixes one subtree root of the enumeration: a choice of coherence
+// order per location plus, when the program has reads, the rf source of the
+// first read.
+type enumTask struct {
+	coSel []int // index into coChoices per location
+	rf0   int   // index into rfChoices[0]; -1 when the program has no reads
+}
+
+// VisitExecutionsParallel streams the candidate executions of p like
+// VisitExecutions, but splits the enumeration across up to workers
+// goroutines: each task fixes the coherence orders and the first read's rf
+// choice, and a worker enumerates the remaining rf subtree. visit may be
+// called concurrently from multiple goroutines, each with its own scratch
+// Execution.
+func VisitExecutionsParallel(p *Program, workers int, visit func(*Execution)) {
+	if workers <= 1 {
+		VisitExecutions(p, visit)
+		return
+	}
+	s := newEnumSpace(p)
+
+	// Materializing tasks is cheap: the co cross product is small (few
+	// writes per location) and only the first read's choices multiply it.
+	var tasks []enumTask
+	sel := make([]int, len(s.locs))
+	var gen func(ci int)
+	gen = func(ci int) {
+		if ci == len(s.locs) {
+			if len(s.reads) == 0 {
+				tasks = append(tasks, enumTask{coSel: append([]int(nil), sel...), rf0: -1})
+				return
+			}
+			for k := range s.rfChoices[0] {
+				tasks = append(tasks, enumTask{coSel: append([]int(nil), sel...), rf0: k})
+			}
+			return
+		}
+		for k := range s.coChoices[ci] {
+			sel[ci] = k
+			gen(ci + 1)
+		}
+	}
+	gen(0)
+
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		s.newWalker().walkCo(0, visit)
+		return
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			walk := s.newWalker()
+			for {
+				ti := int(next.Add(1)) - 1
+				if ti >= len(tasks) {
+					return
+				}
+				t := tasks[ti]
+				for ci, k := range t.coSel {
+					walk.x.CO[s.locs[ci]] = s.coChoices[ci][k]
+				}
+				if t.rf0 < 0 {
+					walk.walkReads(0, visit)
+					continue
+				}
+				r0 := s.reads[0]
+				src := s.rfChoices[0][t.rf0]
+				walk.x.RF[r0.ID] = src
+				walk.events[r0.ID].Val = walk.events[src].Val
+				walk.walkReads(1, visit)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BehaviorsOfParallel computes BehaviorsOf using the parallel enumeration
+// driver: each worker filters and folds behaviors into a private map, and
+// the maps are merged at the end. The result is identical to BehaviorsOf.
+func BehaviorsOfParallel(p *Program, m Model, withReads bool, workers int) map[string]Behavior {
+	if workers <= 1 {
+		return BehaviorsOf(p, m, withReads)
+	}
+	type shard struct {
+		out  map[string]Behavior
+		rbuf *rels
+	}
+	var mu sync.Mutex
+	shards := map[*Execution]*shard{} // keyed by each worker's scratch Execution
+	VisitExecutionsParallel(p, workers, func(x *Execution) {
+		mu.Lock()
+		sh := shards[x]
+		if sh == nil {
+			sh = &shard{out: map[string]Behavior{}}
+			shards[x] = sh
+		}
+		mu.Unlock()
+		sh.rbuf = x.relationsInto(sh.rbuf)
+		if !scPerLoc(x, sh.rbuf) || !atomicity(x, sh.rbuf) {
+			return
+		}
+		if !m.Consistent(x, sh.rbuf) {
+			return
+		}
+		b := x.behaviorOf()
+		sh.out[b.Key(withReads)] = b
+	})
+	out := map[string]Behavior{}
+	for _, sh := range shards {
+		for k, v := range sh.out {
+			out[k] = v
+		}
+	}
+	return out
+}

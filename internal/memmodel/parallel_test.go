@@ -1,0 +1,227 @@
+package memmodel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// bruteForceBehaviors is an independent reference implementation of
+// BehaviorsOf: it materializes every rf choice × every coherence permutation
+// with no pruning and filters afterwards. The streaming enumerator must
+// produce exactly the same behavior sets.
+func bruteForceBehaviors(p *Program, m Model, withReads bool) map[string]Behavior {
+	evs := buildEvents(p)
+	var reads []*Event
+	writesAt := map[string][]*Event{}
+	for _, e := range evs {
+		switch e.Kind {
+		case EvR:
+			reads = append(reads, e)
+		case EvW:
+			writesAt[e.Loc] = append(writesAt[e.Loc], e)
+		}
+	}
+	locs := p.Locs()
+
+	// All permutations of each location's non-init writes, init first.
+	perms := make([][][]int, len(locs))
+	for i, loc := range locs {
+		var initID int
+		var rest []int
+		for _, w := range writesAt[loc] {
+			if w.Tid == -1 {
+				initID = w.ID
+			} else {
+				rest = append(rest, w.ID)
+			}
+		}
+		var rec func(cur, remaining []int)
+		rec = func(cur, remaining []int) {
+			if len(remaining) == 0 {
+				perms[i] = append(perms[i], append([]int(nil), cur...))
+				return
+			}
+			for k, id := range remaining {
+				next := append(append([]int(nil), remaining[:k]...), remaining[k+1:]...)
+				rec(append(cur, id), next)
+			}
+		}
+		rec([]int{initID}, rest)
+	}
+
+	out := map[string]Behavior{}
+	var walkRF func(ri int, x *Execution)
+	walkCO := func(x *Execution) {
+		var rec func(ci int)
+		rec = func(ci int) {
+			if ci == len(locs) {
+				r := x.relations()
+				if scPerLoc(x, r) && atomicity(x, r) && m.Consistent(x, r) {
+					b := x.behaviorOf()
+					out[b.Key(withReads)] = b
+				}
+				return
+			}
+			for k := range perms[ci] {
+				x.CO[locs[ci]] = perms[ci][k]
+				rec(ci + 1)
+			}
+		}
+		rec(0)
+	}
+	walkRF = func(ri int, x *Execution) {
+		if ri == len(reads) {
+			walkCO(x)
+			return
+		}
+		r := reads[ri]
+		for _, w := range writesAt[r.Loc] {
+			if w.RMW == r.ID {
+				continue
+			}
+			// Expected-value RMWs whose rf cannot match are inconsistent in
+			// every model; the reference drops them like the enumerator does.
+			if r.HasExp && w.Val != r.Exp {
+				continue
+			}
+			x.RF[r.ID] = w.ID
+			x.Events[r.ID].Val = w.Val
+			walkRF(ri+1, x)
+		}
+	}
+	x := &Execution{
+		Events: evs,
+		RF:     map[int]int{},
+		CO:     map[string][]int{},
+		n:      len(evs),
+	}
+	walkRF(0, x)
+	return out
+}
+
+func behaviorKeysEqual(a, b map[string]Behavior) string {
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return fmt.Sprintf("only in first: %s", k)
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			return fmt.Sprintf("only in second: %s", k)
+		}
+	}
+	return ""
+}
+
+// TestStreamingMatchesBruteForce cross-checks the pruned streaming
+// enumerator against the unpruned reference on the classic litmus shapes
+// under every model.
+func TestStreamingMatchesBruteForce(t *testing.T) {
+	progs := append(ClassicTests(),
+		&Program{Name: "RMWE", Threads: [][]Op{
+			{RMWE("X", 0, 1), Ld("Y")},
+			{RMWE("X", 0, 2), St("Y", 1)},
+		}},
+		&Program{Name: "3W", Threads: [][]Op{
+			{St("X", 1), St("X", 2)},
+			{St("X", 3), Ld("X")},
+		}},
+	)
+	for _, p := range progs {
+		for _, m := range []Model{SC, X86, Arm, LIMM} {
+			got := BehaviorsOf(p, m, true)
+			want := bruteForceBehaviors(p, m, true)
+			if diff := behaviorKeysEqual(got, want); diff != "" {
+				t.Errorf("%s under %s: %s", p.Name, m.Name, diff)
+			}
+		}
+	}
+}
+
+// TestParallelBehaviorsMatchSerial checks that the worker-pool enumeration
+// driver computes exactly the serial behavior sets.
+func TestParallelBehaviorsMatchSerial(t *testing.T) {
+	for _, p := range ClassicTests() {
+		for _, m := range []Model{SC, X86, Arm, LIMM} {
+			serial := BehaviorsOf(p, m, true)
+			for _, workers := range []int{2, 4, 8} {
+				parallel := BehaviorsOfParallel(p, m, true, workers)
+				if diff := behaviorKeysEqual(serial, parallel); diff != "" {
+					t.Errorf("%s under %s with %d workers: %s", p.Name, m.Name, workers, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelVisitCountsMatch checks the raw candidate streams agree in
+// size between the serial walker and the subtree-splitting driver.
+func TestParallelVisitCountsMatch(t *testing.T) {
+	for _, p := range ClassicTests() {
+		serial := 0
+		VisitExecutions(p, func(*Execution) { serial++ })
+		var count atomic.Int64
+		VisitExecutionsParallel(p, 4, func(*Execution) { count.Add(1) })
+		if int(count.Load()) != serial {
+			t.Errorf("%s: parallel visited %d candidates, serial %d", p.Name, count.Load(), serial)
+		}
+	}
+}
+
+// TestExecutionsClonesAreIndependent checks the compatibility wrapper hands
+// out deep copies, not aliases of the enumeration scratch state.
+func TestExecutionsClonesAreIndependent(t *testing.T) {
+	p := ClassicTests()[0] // SB
+	xs := Executions(p)
+	if len(xs) < 2 {
+		t.Fatalf("expected several executions, got %d", len(xs))
+	}
+	seen := map[*Event]bool{}
+	for _, x := range xs {
+		for _, e := range x.Events {
+			if seen[e] {
+				t.Fatal("two executions share an Event pointer")
+			}
+			seen[e] = true
+		}
+	}
+	// Mutating one execution must not affect another.
+	xs[0].Events[0].Val = 999
+	if xs[1].Events[0].Val == 999 {
+		t.Fatal("executions share event storage")
+	}
+}
+
+// TestFirstFailureDeterministic checks the parallel error selection always
+// reports the lowest-index failure, matching a serial scan.
+func TestFirstFailureDeterministic(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		err := firstFailure(100, 8, func(i int) error {
+			if i == 3 || i == 7 || i == 95 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("trial %d: got %v, want fail at 3", trial, err)
+		}
+	}
+	if err := firstFailure(10, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestParallelReorderTableMatchesSerial recomputes Fig. 11a with and
+// without the worker pool and requires identical tables.
+func TestParallelReorderTableMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recomputes the full Fig. 11a table twice")
+	}
+	par := ReorderTable()
+	ser := ReorderTableSerial()
+	if par != ser {
+		t.Fatalf("parallel table differs from serial:\nparallel:\n%s\nserial:\n%s",
+			FormatTable(par), FormatTable(ser))
+	}
+}

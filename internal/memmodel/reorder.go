@@ -3,6 +3,7 @@ package memmodel
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Cat is one row/column category of the Fig. 11a reordering table.
@@ -68,8 +69,19 @@ func (v Verdict) String() string {
 
 // contexts enumerates observer threads used by the bounded transformation
 // checker: single accesses, access pairs and fence-separated access pairs
-// over the two locations touched by the transformed thread.
+// over the two locations touched by the transformed thread. The set is
+// static, so it is built once and shared (callers must not mutate it).
 func contexts() [][]Op {
+	ctxOnce.Do(func() { ctxCache = buildContexts() })
+	return ctxCache
+}
+
+var (
+	ctxOnce  sync.Once
+	ctxCache [][]Op
+)
+
+func buildContexts() [][]Op {
 	accesses := []Op{
 		Ld("X"), Ld("Y"),
 		St("X", 2), St("Y", 2),
@@ -116,8 +128,13 @@ var neighborOps = []Op{{Kind: OpFence, Fence: FenceNone}, Ld("Y"), St("Y", 5)}
 // CheckReorder decides one Fig. 11a cell by bounded exhaustive search:
 // thread0 executes prefix·a(X)·b(Y)·suffix in the source and the pair
 // swapped in the target, against every generated observer context. It
-// returns Safe and an empty witness, or Unsafe with a counterexample.
+// returns Safe and an empty witness, or Unsafe with a counterexample (the
+// same one the serial search would find first).
 func CheckReorder(a, b Cat) (Verdict, string) {
+	return checkReorder(a, b, DefaultParallelism)
+}
+
+func checkReorder(a, b Cat, workers int) (Verdict, string) {
 	if a.IsFence() && b.IsFence() && a == b {
 		return Equal, ""
 	}
@@ -130,38 +147,63 @@ func CheckReorder(a, b Cat) (Verdict, string) {
 	}
 	opA := a.inst(locA, 1)
 	opB := b.inst(locB, 1)
-	real := func(o Op) bool { return !(o.Kind == OpFence && o.Fence == FenceNone) }
-	wrap := func(pre, post Op, mid ...Op) []Op {
-		var t []Op
-		if real(pre) {
-			t = append(t, pre)
+	ctxs := contexts()
+	nc := len(ctxs)
+	n := len(neighborOps) * len(neighborOps) * nc
+	err := firstFailure(n, workers, func(i int) error {
+		pre := neighborOps[i/(len(neighborOps)*nc)]
+		post := neighborOps[(i/nc)%len(neighborOps)]
+		ctx := ctxs[i%nc]
+		src := &Program{Name: "reorder-src", Threads: [][]Op{wrapOps(pre, post, opA, opB), ctx}}
+		tgt := &Program{Name: "reorder-tgt", Threads: [][]Op{wrapOps(pre, post, opB, opA), ctx}}
+		if witness, ok := inclusion(src, tgt, LIMM); !ok {
+			return fmt.Errorf("pre=%v post=%v context %v admits %s", pre, post, ctx, witness)
 		}
-		t = append(t, mid...)
-		if real(post) {
-			t = append(t, post)
-		}
-		return t
-	}
-	for _, pre := range neighborOps {
-		for _, post := range neighborOps {
-			for _, ctx := range contexts() {
-				src := &Program{Name: "reorder-src", Threads: [][]Op{wrap(pre, post, opA, opB), ctx}}
-				tgt := &Program{Name: "reorder-tgt", Threads: [][]Op{wrap(pre, post, opB, opA), ctx}}
-				if witness, ok := inclusion(src, tgt, LIMM); !ok {
-					return Unsafe, fmt.Sprintf("pre=%v post=%v context %v admits %s", pre, post, ctx, witness)
-				}
-			}
-		}
+		return nil
+	})
+	if err != nil {
+		return Unsafe, err.Error()
 	}
 	return Safe, ""
 }
 
-// ReorderTable computes the full Fig. 11a table.
+// realOp reports whether o is an actual instruction (FenceNone is the "no
+// neighbour / no separator" placeholder).
+func realOp(o Op) bool { return !(o.Kind == OpFence && o.Fence == FenceNone) }
+
+// wrapOps surrounds mid with the optional pre/post neighbour ops.
+func wrapOps(pre, post Op, mid ...Op) []Op {
+	var t []Op
+	if realOp(pre) {
+		t = append(t, pre)
+	}
+	t = append(t, mid...)
+	if realOp(post) {
+		t = append(t, post)
+	}
+	return t
+}
+
+// ReorderTable computes the full Fig. 11a table, checking the 49 cells
+// across DefaultParallelism workers. Each cell's verdict is independent, so
+// the table is identical to ReorderTableSerial.
 func ReorderTable() [NumCats][NumCats]Verdict {
+	var t [NumCats][NumCats]Verdict
+	n := int(NumCats) * int(NumCats)
+	parallelFor(n, DefaultParallelism, func(i int) {
+		a, b := Cat(i/int(NumCats)), Cat(i%int(NumCats))
+		v, _ := checkReorder(a, b, 1)
+		t[a][b] = v
+	})
+	return t
+}
+
+// ReorderTableSerial computes the Fig. 11a table on a single goroutine.
+func ReorderTableSerial() [NumCats][NumCats]Verdict {
 	var t [NumCats][NumCats]Verdict
 	for a := Cat(0); a < NumCats; a++ {
 		for b := Cat(0); b < NumCats; b++ {
-			v, _ := CheckReorder(a, b)
+			v, _ := checkReorder(a, b, 1)
 			t[a][b] = v
 		}
 	}
@@ -273,39 +315,29 @@ func CheckElimination(rule Elim, fence Fence, withReads bool) error {
 		}
 	}
 
-	real := func(o Op) bool { return !(o.Kind == OpFence && o.Fence == FenceNone) }
-	wrap := func(pre, post Op, mid []Op) []Op {
-		var t []Op
-		if real(pre) {
-			t = append(t, pre)
+	ctxs := contexts()
+	nc := len(ctxs)
+	n := len(neighborOps) * len(neighborOps) * nc
+	return firstFailure(n, DefaultParallelism, func(i int) error {
+		pre := neighborOps[i/(len(neighborOps)*nc)]
+		post := neighborOps[(i/nc)%len(neighborOps)]
+		ctx := ctxs[i%nc]
+		srcP := &Program{Name: "elim-src", Threads: [][]Op{wrapOps(pre, post, src...), ctx}}
+		tgtP := &Program{Name: "elim-tgt", Threads: [][]Op{wrapOps(pre, post, tgt...), ctx}}
+		srcB := BehaviorsOf(srcP, LIMM, withReads)
+		tgtB := BehaviorsOf(tgtP, LIMM, withReads)
+		projected := map[string]bool{}
+		for _, b := range srcB {
+			projected[drop(b).Key(withReads)] = true
 		}
-		t = append(t, mid...)
-		if real(post) {
-			t = append(t, post)
-		}
-		return t
-	}
-	for _, pre := range neighborOps {
-		for _, post := range neighborOps {
-			for _, ctx := range contexts() {
-				srcP := &Program{Name: "elim-src", Threads: [][]Op{wrap(pre, post, src), ctx}}
-				tgtP := &Program{Name: "elim-tgt", Threads: [][]Op{wrap(pre, post, tgt), ctx}}
-				srcB := BehaviorsOf(srcP, LIMM, withReads)
-				tgtB := BehaviorsOf(tgtP, LIMM, withReads)
-				projected := map[string]bool{}
-				for _, b := range srcB {
-					projected[drop(b).Key(withReads)] = true
-				}
-				for k := range tgtB {
-					if !projected[k] {
-						return fmt.Errorf("elimination rule %d with fence %v: pre=%v post=%v context %v admits %s",
-							rule, fence, pre, post, ctx, k)
-					}
-				}
+		for k := range tgtB {
+			if !projected[k] {
+				return fmt.Errorf("elimination rule %d with fence %v: pre=%v post=%v context %v admits %s",
+					rule, fence, pre, post, ctx, k)
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // CheckFenceMerge verifies that replacing the fence pair (f1; f2) with the
@@ -333,7 +365,9 @@ func CheckFenceMerge(f1, f2, merged Fence) error {
 // CheckLoadIntroduction verifies speculative load introduction (§7.2): the
 // target executes an extra unused load that the source lacks.
 func CheckLoadIntroduction() error {
-	for _, ctx := range contexts() {
+	ctxs := contexts()
+	return firstFailure(len(ctxs), DefaultParallelism, func(i int) error {
+		ctx := ctxs[i]
 		// X is initialized in both programs so the final-state location
 		// universe matches even when the context never touches X.
 		init := map[string]int{"X": 0, "Y": 0}
@@ -353,6 +387,6 @@ func CheckLoadIntroduction() error {
 				return fmt.Errorf("speculative load introduction: context %v admits %s", ctx, nb.Key(true))
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }

@@ -47,27 +47,36 @@ func valueKey(in *ir.Instr) (string, bool) {
 	if in.Elem != nil {
 		sb.WriteString(in.Elem.String())
 	}
-	args := in.Args
-	// Canonicalize commutative operand order by pointer identity.
-	if ir.CommutativeOp(in.Op) && len(args) == 2 {
-		a, b := fmt.Sprintf("%p%v", args[0], args[0].Ref()), fmt.Sprintf("%p%v", args[1], args[1].Ref())
-		if b < a {
-			args = []ir.Value{args[1], args[0]}
-		}
+	toks := make([]string, len(in.Args))
+	for i, a := range in.Args {
+		toks[i] = argToken(a)
 	}
-	for _, a := range args {
-		switch c := a.(type) {
-		case *ir.ConstInt:
-			fmt.Fprintf(&sb, "ci%s:%d;", c.Ty, c.V)
-		case *ir.ConstFloat:
-			fmt.Fprintf(&sb, "cf%s:%v;", c.Ty, c.V)
-		case *ir.ConstNull:
-			fmt.Fprintf(&sb, "null%s;", c.Ty)
-		default:
-			fmt.Fprintf(&sb, "%p;", a)
-		}
+	// Canonicalize commutative operand order by the serialized token, so
+	// that e.g. `add x, 5` and `add 5, x` always produce the same key:
+	// constants serialize structurally, which keeps the ordering stable
+	// across runs (raw pointer addresses are not).
+	if ir.CommutativeOp(in.Op) && len(toks) == 2 && toks[1] < toks[0] {
+		toks[0], toks[1] = toks[1], toks[0]
+	}
+	for _, t := range toks {
+		sb.WriteString(t)
 	}
 	return sb.String(), true
+}
+
+// argToken serializes one operand for valueKey: constants structurally,
+// SSA values by identity.
+func argToken(a ir.Value) string {
+	switch c := a.(type) {
+	case *ir.ConstInt:
+		return fmt.Sprintf("ci%s:%d;", c.Ty, c.V)
+	case *ir.ConstFloat:
+		return fmt.Sprintf("cf%s:%v;", c.Ty, c.V)
+	case *ir.ConstNull:
+		return fmt.Sprintf("null%s;", c.Ty)
+	default:
+		return fmt.Sprintf("%p;", a)
+	}
 }
 
 // pureCSE eliminates structurally identical pure instructions dominated by

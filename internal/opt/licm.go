@@ -19,10 +19,13 @@ func LICM(f *ir.Func) bool {
 			in, ok := v.(*ir.Instr)
 			return ok && in.Parent != nil && loop.body[in.Parent]
 		}
+		body := loop.orderedBody(f)
 		// Iterate: hoisting one instruction can make others invariant.
+		// Blocks are visited in layout order so hoisted instructions land in
+		// the pre-header in a deterministic sequence.
 		for again := true; again; {
 			again = false
-			for blk := range loop.body {
+			for _, blk := range body {
 				for _, in := range append([]*ir.Instr(nil), blk.Instrs...) {
 					if !hoistable(in) {
 						continue
@@ -60,7 +63,8 @@ func promoteLoopLoads(f *ir.Func, l *loopInfo, pre *ir.Block, inLoop func(ir.Val
 	// Addresses stored to inside the loop (by identified base object).
 	storedTo := map[ir.Value]bool{}
 	hasAtomicOrCall := false
-	for blk := range l.body {
+	body := l.orderedBody(f)
+	for _, blk := range body {
 		for _, in := range blk.Instrs {
 			switch in.Op {
 			case ir.OpStore:
@@ -74,7 +78,7 @@ func promoteLoopLoads(f *ir.Func, l *loopInfo, pre *ir.Block, inLoop func(ir.Val
 	}
 	changed := false
 	hoisted := map[ir.Value]*ir.Instr{}
-	for blk := range l.body {
+	for _, blk := range body {
 		for _, in := range append([]*ir.Instr(nil), blk.Instrs...) {
 			if in.Op != ir.OpLoad || in.Order != ir.NotAtomic || in.Parent == nil {
 				continue
@@ -140,6 +144,18 @@ func hoistable(in *ir.Instr) bool {
 type loopInfo struct {
 	header *ir.Block
 	body   map[*ir.Block]bool
+}
+
+// orderedBody returns the loop's blocks in function layout order, so passes
+// that move instructions between blocks behave identically on every run.
+func (l *loopInfo) orderedBody(f *ir.Func) []*ir.Block {
+	out := make([]*ir.Block, 0, len(l.body))
+	for _, b := range f.Blocks {
+		if l.body[b] {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // findLoops identifies natural loops from back edges (tail -> header where

@@ -69,11 +69,15 @@ func promoteAlloca(f *ir.Func, a *ir.Instr, dt *ir.DomTree, df map[*ir.Block][]*
 		}
 	}
 
-	// Phi placement via iterated dominance frontier.
+	// Phi placement via iterated dominance frontier. The worklist is seeded
+	// in block layout order so phi discovery follows the same sequence on
+	// every run.
 	phiBlocks := map[*ir.Block]*ir.Instr{}
 	work := make([]*ir.Block, 0, len(defBlocks))
-	for b := range defBlocks {
-		work = append(work, b)
+	for _, b := range f.Blocks {
+		if defBlocks[b] {
+			work = append(work, b)
+		}
 	}
 	inWork := map[*ir.Block]bool{}
 	for _, b := range work {

@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"sort"
+
 	"lasagne/internal/ir"
 )
 
@@ -161,11 +163,18 @@ func splitAlloca(f *ir.Func, a *ir.Instr, uses ir.Uses) bool {
 		}
 		cells[ac.off] = ac.ty
 	}
+	// Work in ascending offset order so the replacement allocas appear in a
+	// deterministic sequence in the entry block.
+	offs := make([]int64, 0, len(cells))
+	for off := range cells {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
 	// Overlap check.
 	type span struct{ lo, hi int64 }
 	var spans []span
-	for off, ty := range cells {
-		spans = append(spans, span{off, off + int64(ty.Size())})
+	for _, off := range offs {
+		spans = append(spans, span{off, off + int64(cells[off].Size())})
 	}
 	for i := range spans {
 		for j := range spans {
@@ -178,7 +187,8 @@ func splitAlloca(f *ir.Func, a *ir.Instr, uses ir.Uses) bool {
 	// Create one alloca per cell.
 	entry := f.Entry()
 	cellAlloca := map[int64]*ir.Instr{}
-	for off, ty := range cells {
+	for _, off := range offs {
+		ty := cells[off]
 		na := &ir.Instr{Op: ir.OpAlloca, Ty: ir.PointerTo(ty), Elem: ty}
 		entry.InsertBefore(na, entry.Instrs[0])
 		cellAlloca[off] = na

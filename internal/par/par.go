@@ -1,0 +1,76 @@
+// Package par provides the bounded worker-pool primitives shared by the
+// parallel evaluation pipeline and the parallel memory-model checkers. Only
+// stdlib sync is used: the module carries no dependencies.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines. With
+// workers <= 1 it degenerates to a plain sequential loop.
+func For(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FirstErr runs fn(i) over [0, n) in parallel and returns the error with the
+// smallest index, or nil. The result is deterministic — identical to the
+// error a sequential loop would return first: an index is only skipped once
+// a smaller index has already failed, so the winning failure is always fully
+// evaluated.
+func FirstErr(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var minFail atomic.Int64
+	minFail.Store(int64(n))
+	For(n, workers, func(i int) {
+		if int64(i) > minFail.Load() {
+			return // a smaller index already failed; i cannot win
+		}
+		if err := fn(i); err != nil {
+			errs[i] = err
+			for {
+				cur := minFail.Load()
+				if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+		}
+	})
+	if idx := minFail.Load(); idx < int64(n) {
+		return errs[idx]
+	}
+	return nil
+}

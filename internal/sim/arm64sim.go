@@ -25,12 +25,10 @@ type arm64CPU struct {
 	icount  int64
 	done    bool
 	joining bool
-
-	cache map[uint64]arm64.Inst
 }
 
 func newArm64CPU(m *Machine, entry, arg, stackTop uint64, clock int64) (*arm64CPU, error) {
-	c := &arm64CPU{m: m, pc: entry, clock: clock, cache: m.icacheArm}
+	c := &arm64CPU{m: m, pc: entry, clock: clock}
 	c.sp = stackTop &^ 15
 	c.x[0] = arg
 	c.x[30] = sentinel
@@ -44,20 +42,20 @@ func (c *arm64CPU) Joining() bool     { return c.joining }
 func (c *arm64CPU) SetClock(v int64)  { c.clock = v; c.joining = false }
 
 func (c *arm64CPU) fetch() (arm64.Inst, error) {
-	if in, ok := c.cache[c.pc]; ok {
-		return in, nil
-	}
-	text := c.m.File.Section(".text")
-	if text == nil || c.pc < text.Addr || c.pc+4 > text.Addr+uint64(len(text.Data)) {
+	m := c.m
+	if c.pc < m.textAddr || c.pc+4 > m.textEnd {
 		return arm64.Inst{}, fmt.Errorf("sim: arm64 fetch outside .text at %#x", c.pc)
 	}
-	w := binary.LittleEndian.Uint32(text.Data[c.pc-text.Addr:])
-	in, err := arm64.Decode(w, c.pc)
-	if err != nil {
-		return arm64.Inst{}, err
+	off := c.pc - m.textAddr
+	if off%4 == 0 {
+		if i := off / 4; m.armOK[i] {
+			return m.armTab[i], nil
+		}
 	}
-	c.cache[c.pc] = in
-	return in, nil
+	// Misaligned pc or a word the predecoder rejected: decode directly so the
+	// original error surfaces.
+	w := binary.LittleEndian.Uint32(m.text[off:])
+	return arm64.Decode(w, c.pc)
 }
 
 // rd reads a register operand (XZR reads 0, SP reads the stack pointer).

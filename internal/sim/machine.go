@@ -81,22 +81,26 @@ type Machine struct {
 	heapTop uint64
 	steps   int64
 
-	// Shared decode caches (instructions are decoded once per address).
-	icacheX86 map[uint64]x86.Inst
-	icacheArm map[uint64]arm64.Inst
+	// Predecoded instruction table over .text, built once per machine and
+	// shared by all CPUs: fetch is an array index on the pc offset instead
+	// of a per-address map lookup and re-decode.
+	text     []byte
+	textAddr uint64
+	textEnd  uint64
+	armTab   []arm64.Inst // entry per 4-byte word; armOK marks valid decodes
+	armOK    []bool
+	x86Tab   []x86.Inst // entry per byte offset; Len==0 means not predecoded
 }
 
 // NewMachine loads an object file into a fresh machine.
 func NewMachine(f *obj.File) (*Machine, error) {
 	m := &Machine{
-		File:      f,
-		Mem:       make([]byte, MemSize),
-		Out:       &strings.Builder{},
-		NThreads:  4,
-		MaxSteps:  400_000_000,
-		heapTop:   HeapBase,
-		icacheX86: make(map[uint64]x86.Inst),
-		icacheArm: make(map[uint64]arm64.Inst),
+		File:     f,
+		Mem:      make([]byte, MemSize),
+		Out:      &strings.Builder{},
+		NThreads: 4,
+		MaxSteps: 400_000_000,
+		heapTop:  HeapBase,
 	}
 	for _, s := range f.Sections {
 		if s.Addr+uint64(len(s.Data)) > MemSize {
@@ -104,7 +108,46 @@ func NewMachine(f *obj.File) (*Machine, error) {
 		}
 		copy(m.Mem[s.Addr:], s.Data)
 	}
+	m.predecode()
 	return m, nil
+}
+
+// predecode builds the dense instruction table for .text. Arm64 words decode
+// independently; x86 is swept linearly from the section start (the backends
+// emit pure instruction streams, so every sweep boundary is a real
+// instruction start). Offsets the sweep could not reach — e.g. after a
+// decode error over padding — fall back to on-demand decoding in fetch.
+func (m *Machine) predecode() {
+	text := m.File.Section(".text")
+	if text == nil {
+		return
+	}
+	m.text = text.Data
+	m.textAddr = text.Addr
+	m.textEnd = text.Addr + uint64(len(text.Data))
+	switch m.File.Arch {
+	case "arm64":
+		n := len(text.Data) / 4
+		m.armTab = make([]arm64.Inst, n)
+		m.armOK = make([]bool, n)
+		for i := 0; i < n; i++ {
+			w := binary.LittleEndian.Uint32(text.Data[i*4:])
+			if in, err := arm64.Decode(w, text.Addr+uint64(i*4)); err == nil {
+				m.armTab[i] = in
+				m.armOK[i] = true
+			}
+		}
+	case "x86-64":
+		m.x86Tab = make([]x86.Inst, len(text.Data))
+		for off := 0; off < len(text.Data); {
+			in, err := x86.Decode(text.Data[off:], text.Addr+uint64(off))
+			if err != nil || in.Len <= 0 {
+				break
+			}
+			m.x86Tab[off] = in
+			off += in.Len
+		}
+	}
 }
 
 // Run executes the entry function on thread 0 until all threads finish.

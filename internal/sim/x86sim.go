@@ -21,12 +21,10 @@ type x86CPU struct {
 	icount  int64
 	done    bool
 	joining bool
-
-	cache map[uint64]x86.Inst
 }
 
 func newX86CPU(m *Machine, entry, arg, stackTop uint64, clock int64) (*x86CPU, error) {
-	c := &x86CPU{m: m, rip: entry, clock: clock, cache: m.icacheX86}
+	c := &x86CPU{m: m, rip: entry, clock: clock}
 	c.regs[x86.RSP] = stackTop
 	c.regs[x86.RDI] = arg
 	// Push the sentinel return address.
@@ -44,18 +42,21 @@ func (c *x86CPU) Joining() bool     { return c.joining }
 func (c *x86CPU) SetClock(v int64)  { c.clock = v; c.joining = false }
 
 func (c *x86CPU) fetch() (x86.Inst, error) {
-	if in, ok := c.cache[c.rip]; ok {
-		return in, nil
-	}
-	text := c.m.File.Section(".text")
-	if text == nil || c.rip < text.Addr || c.rip >= text.Addr+uint64(len(text.Data)) {
+	m := c.m
+	if c.rip < m.textAddr || c.rip >= m.textEnd {
 		return x86.Inst{}, fmt.Errorf("sim: x86 fetch outside .text at %#x", c.rip)
 	}
-	in, err := x86.Decode(text.Data[c.rip-text.Addr:], c.rip)
+	off := c.rip - m.textAddr
+	if in := m.x86Tab[off]; in.Len > 0 {
+		return in, nil
+	}
+	// An offset the linear sweep did not reach: decode on demand and memoize
+	// in the shared table (CPUs within a machine step one at a time).
+	in, err := x86.Decode(m.text[off:], c.rip)
 	if err != nil {
 		return x86.Inst{}, err
 	}
-	c.cache[c.rip] = in
+	m.x86Tab[off] = in
 	return in, nil
 }
 
