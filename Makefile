@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test verify fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the robustness gate: static analysis plus the diagnostic and
+# fault-injection suites under the race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/diag/... ./internal/core/...
+
+# fuzz runs the FuzzTranslate target for 30s (the fault-tolerance contract:
+# no escaped panics, every failure yields a diagnostic).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTranslate -fuzztime 30s .
+
+bench:
+	$(GO) test -bench . -benchmem .

@@ -88,7 +88,7 @@ func BenchmarkFig12NativeRuntime(b *testing.B) {
 // (full translation included).
 func BenchmarkFig12TranslatedRuntime(b *testing.B) {
 	bin := buildHTBinary(b)
-	armObj, _, err := core.Translate(bin, core.Default())
+	armObj, _, _, err := core.Translate(bin, core.Default())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func BenchmarkFig16CodeSize(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range []core.Config{{}, {Optimize: true}, core.Default()} {
-			m, _, err := core.TranslateToIR(bin, cfg)
+			m, _, _, err := core.TranslateToIR(bin, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -10,9 +10,13 @@
 //
 // -parallel N bounds the worker pool (1 = fully serial; the output is
 // byte-identical either way). -cpuprofile/-memprofile write pprof profiles.
+// -timeout bounds the whole evaluation and -max-steps caps each simulation;
+// when either budget trips, the run fails with a partial-result error
+// instead of hanging.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +25,7 @@ import (
 
 	"lasagne/internal/eval"
 	"lasagne/internal/memmodel"
+	"lasagne/internal/sim"
 )
 
 func main() {
@@ -35,12 +40,24 @@ func main() {
 	fig17 := flag.Bool("fig17", false, "per-pass code reduction on kmeans")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker pool size for builds, simulations and model checking (1 = serial)")
+	timeout := flag.Duration("timeout", 0,
+		"deadline for the whole evaluation; on expiry running simulations abort with a partial-result error (default 0 = unbounded)")
+	maxSteps := flag.Int64("max-steps", 0,
+		fmt.Sprintf("per-simulation instruction cap (default 0 = simulator default, %d)", sim.DefaultMaxSteps))
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	eval.Parallelism = *parallel
 	memmodel.DefaultParallelism = *parallel
+	eval.MaxSimSteps = *maxSteps
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -51,7 +68,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	code := run(*all, *table1, *fig11a, *fig12, *fig13, *fig14, *fig15, *fig16, *fig17)
+	code := run(ctx, *all, *table1, *fig11a, *fig12, *fig13, *fig14, *fig15, *fig16, *fig17)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -74,7 +91,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(all, table1, fig11a, fig12, fig13, fig14, fig15, fig16, fig17 bool) int {
+func run(ctx context.Context, all, table1, fig11a, fig12, fig13, fig14, fig15, fig16, fig17 bool) int {
 	if table1 || all {
 		fmt.Println(eval.Table1())
 	}
@@ -96,7 +113,7 @@ func run(all, table1, fig11a, fig12, fig13, fig14, fig15, fig16, fig17 bool) int
 		return 0
 	}
 	fmt.Fprintln(os.Stderr, "building and simulating all five variants of all five kernels...")
-	suite, err := eval.RunSuite()
+	suite, err := eval.RunSuiteContext(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
 		return 1

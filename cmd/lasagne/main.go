@@ -5,7 +5,8 @@
 // Usage:
 //
 //	lasagne [-refine=false] [-merge=false] [-opt=false] [-emit-ir]
-//	        [-run] [-stats] [-o out.obj] prog.x86.obj
+//	        [-run] [-stats] [-func-budget 1s] [-allow-partial]
+//	        [-o out.obj] prog.x86.obj
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"lasagne/internal/core"
+	"lasagne/internal/diag"
 	"lasagne/internal/obj"
 	"lasagne/internal/sim"
 )
@@ -26,6 +28,10 @@ func main() {
 	run := flag.Bool("run", false, "simulate the translated Arm64 binary")
 	stats := flag.Bool("stats", false, "print pipeline statistics")
 	reverse := flag.Bool("reverse", false, "translate arm64 -> x86-64 (Appendix B direction)")
+	funcBudget := flag.Duration("func-budget", 0,
+		"per-function time budget for refine/fences/opt; on expiry the function degrades to conservative fences (0 = unbounded)")
+	allowPartial := flag.Bool("allow-partial", false,
+		"keep translating when a function cannot be lifted (it becomes a flagged stub)")
 	out := flag.String("o", "", "output object file")
 	flag.Parse()
 
@@ -41,10 +47,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.Config{Refine: *refineF, MergeFences: *merge, Optimize: *optimize}
+	cfg := core.Config{Refine: *refineF, MergeFences: *merge, Optimize: *optimize,
+		FuncBudget: *funcBudget, AllowPartial: *allowPartial}
 
 	if *reverse {
-		x86Obj, st, err := core.TranslateArmToX86(bin, cfg)
+		x86Obj, st, rep, err := core.TranslateArmToX86(bin, cfg)
+		printReport(rep)
 		if err != nil {
 			fatal(err)
 		}
@@ -70,7 +78,8 @@ func main() {
 	}
 
 	if *emitIR {
-		m, st, err := core.TranslateToIR(bin, cfg)
+		m, st, rep, err := core.TranslateToIR(bin, cfg)
+		printReport(rep)
 		if err != nil {
 			fatal(err)
 		}
@@ -78,7 +87,8 @@ func main() {
 		printStats(*stats, st)
 		return
 	}
-	armObj, st, err := core.Translate(bin, cfg)
+	armObj, st, rep, err := core.Translate(bin, cfg)
+	printReport(rep)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,6 +110,15 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// printReport surfaces pipeline diagnostics — degraded functions, stubs,
+// budget expiries — on stderr.
+func printReport(rep *diag.Report) {
+	if rep.Len() == 0 {
+		return
+	}
+	fmt.Fprint(os.Stderr, rep.String())
 }
 
 func printStats(show bool, st *core.Stats) {

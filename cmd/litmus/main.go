@@ -8,9 +8,15 @@
 //	litmus -check-mappings  # verify x86 -> IR -> Arm on the classics
 //	litmus -exhaustive N    # bounded verification over generated programs
 //	litmus -fig11a          # recompute the reordering table
+//
+// -timeout and -max-steps bound the enumeration (default: unbounded); when
+// a budget trips, the command reports a partial-result error and exits 1
+// rather than hanging.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"lasagne/internal/diag"
 	"lasagne/internal/memmodel"
 	"lasagne/internal/par"
 )
@@ -28,9 +35,20 @@ func main() {
 	fig11a := flag.Bool("fig11a", false, "recompute the Fig. 11a reordering table")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker pool size for the model checkers (1 = serial)")
+	timeout := flag.Duration("timeout", 0,
+		"deadline for the whole run; on expiry enumeration stops and a partial-result error is reported (default 0 = unbounded)")
+	maxSteps := flag.Int64("max-steps", 0,
+		"cap on candidate executions visited per enumeration (default 0 = unlimited)")
 	flag.Parse()
 
 	memmodel.DefaultParallelism = *parallel
+
+	budget := memmodel.Budget{MaxVisits: *maxSteps}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		budget.Ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+	}
 
 	switch {
 	case *fig11a:
@@ -45,15 +63,23 @@ func main() {
 		}
 
 	case *checkMappings:
+		failed := false
 		for _, p := range memmodel.ClassicTests() {
-			err1 := memmodel.CheckMapping(p, memmodel.X86, memmodel.MapX86ToIR, memmodel.LIMM)
+			err1 := memmodel.CheckMappingBudget(p, memmodel.X86, memmodel.MapX86ToIR, memmodel.LIMM, budget)
 			ir := memmodel.MapX86ToIR(p)
-			err2 := memmodel.CheckMapping(ir, memmodel.LIMM, memmodel.MapIRToArm, memmodel.Arm)
+			err2 := memmodel.CheckMappingBudget(ir, memmodel.LIMM, memmodel.MapIRToArm, memmodel.Arm, budget)
 			status := "ok"
 			if err1 != nil || err2 != nil {
+				failed = true
 				status = fmt.Sprintf("FAIL (%v %v)", err1, err2)
+				if errors.Is(err1, diag.ErrBudgetExceeded) || errors.Is(err2, diag.ErrBudgetExceeded) {
+					status = fmt.Sprintf("PARTIAL — budget exhausted, no verdict (%v %v)", err1, err2)
+				}
 			}
 			fmt.Printf("%-12s x86→IR→Arm: %s\n", p.Name, status)
+		}
+		if failed {
+			os.Exit(1)
 		}
 
 	case *exhaustive > 0:
@@ -67,14 +93,19 @@ func main() {
 		memmodel.DefaultParallelism = 1
 		var done atomic.Int64
 		err := par.FirstErr(len(progs), *parallel, func(i int) error {
-			e := memmodel.CheckMapping(progs[i], memmodel.X86, func(q *memmodel.Program) *memmodel.Program {
+			e := memmodel.CheckMappingBudget(progs[i], memmodel.X86, func(q *memmodel.Program) *memmodel.Program {
 				return memmodel.MapIRToArm(memmodel.MapX86ToIR(q))
-			}, memmodel.Arm)
+			}, memmodel.Arm, budget)
 			if n := done.Add(1); n%500 == 0 {
 				fmt.Printf("  %d/%d checked\n", n, int64(len(progs)))
 			}
 			return e
 		})
+		if errors.Is(err, diag.ErrBudgetExceeded) {
+			fmt.Printf("PARTIAL: %d/%d programs checked before the budget ran out: %v\n",
+				done.Load(), len(progs), err)
+			os.Exit(1)
+		}
 		if err != nil {
 			fmt.Println("FAIL:", err)
 			os.Exit(1)
@@ -85,7 +116,11 @@ func main() {
 		for _, p := range memmodel.ClassicTests() {
 			fmt.Println(p)
 			for _, m := range []memmodel.Model{memmodel.SC, memmodel.X86, memmodel.Arm, memmodel.LIMM} {
-				bs := memmodel.BehaviorsOf(p, m, true)
+				bs, err := memmodel.BehaviorsOfBudget(p, m, true, budget)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "litmus: %s under %s: partial results only: %v\n", p.Name, m.Name, err)
+					os.Exit(1)
+				}
 				keys := make([]string, 0, len(bs))
 				for k := range bs {
 					keys = append(keys, k)

@@ -36,7 +36,7 @@ int main() { spawn(consumer, 0); spawn(producer, 42); join(); return 0; }
 
 	// The Lasagne pipeline: lift, refine, place LIMM fences, optimize,
 	// emit Arm64.
-	armbin, stats, err := lasagne.Translate(x86bin, lasagne.Default())
+	armbin, stats, _, err := lasagne.Translate(x86bin, lasagne.Default())
 	if err != nil {
 		log.Fatal(err)
 	}

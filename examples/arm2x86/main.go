@@ -67,7 +67,7 @@ func main() {
 	fmt.Printf("arm64 original:   %q in %d cycles\n", armOut, armCycles)
 
 	// Translate weak -> strong.
-	x86Bin, stats, err := core.TranslateArmToX86(armBin, core.Default())
+	x86Bin, stats, _, err := core.TranslateArmToX86(armBin, core.Default())
 	if err != nil {
 		log.Fatal(err)
 	}

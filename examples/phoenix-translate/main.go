@@ -67,7 +67,7 @@ func main() {
 		{"PPOpt (+ refinement)", core.Default()},
 	}
 	for _, c := range configs {
-		armObj, stats, err := core.Translate(x86bin, c.cfg)
+		armObj, stats, _, err := core.Translate(x86bin, c.cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

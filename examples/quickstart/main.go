@@ -67,7 +67,7 @@ func main() {
 	fmt.Printf("x86-64 output: %q\n", mach.Out.String())
 
 	// 3. Translate: lift → refine → place fences → optimize → Arm64.
-	armbin, stats, err := core.Translate(x86bin, core.Default())
+	armbin, stats, _, err := core.Translate(x86bin, core.Default())
 	if err != nil {
 		log.Fatal(err)
 	}

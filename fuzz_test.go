@@ -10,6 +10,7 @@ import (
 	"lasagne/internal/core"
 	"lasagne/internal/ir"
 	"lasagne/internal/minic"
+	"lasagne/internal/obj"
 	"lasagne/internal/opt"
 	"lasagne/internal/sim"
 )
@@ -202,7 +203,7 @@ func TestPipelineFuzz(t *testing.T) {
 
 		// Every translation configuration agrees.
 		for _, cfg := range []core.Config{{}, {Optimize: true}, core.Default()} {
-			armObj, _, err := core.Translate(bin, cfg)
+			armObj, _, _, err := core.Translate(bin, cfg)
 			if err != nil {
 				t.Fatalf("seed %d cfg %+v: translate: %v\n%s", seed, cfg, err, src)
 			}
@@ -219,4 +220,57 @@ func TestPipelineFuzz(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzTranslate feeds arbitrary bytes to the pipeline as an x86-64 .text
+// section and asserts the fault-tolerance contract: no panic ever escapes
+// Translate, and every failed translation carries at least one Error
+// diagnostic explaining why. With AllowPartial the pipeline additionally
+// must survive by stubbing whatever it cannot lift.
+func FuzzTranslate(f *testing.F) {
+	// Seed with real machine code, a truncated copy of it (cuts an
+	// instruction mid-encoding), and plain garbage.
+	m, err := minic.Compile("seed", "int g; int main() { g = 41; print_int(g + 1); return 0; }")
+	if err != nil {
+		f.Fatal(err)
+	}
+	bin, err := backend.Compile(m, "x86-64")
+	if err != nil {
+		f.Fatal(err)
+	}
+	var text []byte
+	for _, s := range bin.Sections {
+		if s.Name == ".text" {
+			text = s.Data
+		}
+	}
+	f.Add(text)
+	f.Add(text[:len(text)/2])
+	f.Add(text[:1])
+	f.Add([]byte{0x90, 0xcc, 0xff, 0x00, 0x41, 0xf4, 0x0f, 0x05})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzed := &obj.File{
+			Arch:  "x86-64",
+			Entry: "main",
+			Sections: []obj.Section{
+				{Name: ".text", Addr: obj.TextBase, Data: data},
+				{Name: ".data", Addr: obj.DataBase, Data: make([]byte, 64)},
+			},
+			Symbols: []obj.Symbol{
+				{Name: "main", Kind: obj.SymFunc, Addr: obj.TextBase, Size: uint64(len(data))},
+				{Name: "g", Kind: obj.SymData, Addr: obj.DataBase, Size: 8},
+			},
+		}
+		for _, cfg := range []core.Config{
+			core.Default(),
+			{Refine: true, MergeFences: true, Optimize: true, AllowPartial: true},
+		} {
+			_, _, rep, err := core.Translate(fuzzed, cfg)
+			if err != nil && (rep == nil || !rep.HasErrors()) {
+				t.Fatalf("cfg %+v: failure carries no Error diagnostic: %v", cfg, err)
+			}
+		}
+	})
 }

@@ -77,6 +77,9 @@ func Lift(file *obj.File) (*ir.Module, error) {
 
 	l := &lifter{file: file, mod: mod, funcs: map[string]*mfunc{}}
 	for _, sym := range file.FuncSymbols() {
+		if sym.Addr < text.Addr || sym.Addr+sym.Size > text.Addr+uint64(len(text.Data)) {
+			return nil, fmt.Errorf("armlifter: function %s outside .text", sym.Name)
+		}
 		code := text.Data[sym.Addr-text.Addr : sym.Addr-text.Addr+sym.Size]
 		insts, err := arm64.DecodeAll(code, sym.Addr)
 		if err != nil {

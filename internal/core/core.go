@@ -7,13 +7,29 @@
 //
 // Each stage can be toggled via Config to reproduce the paper's evaluation
 // variants (Lifted / Opt / POpt / PPOpt).
+//
+// The pipeline is fault tolerant at function granularity. Every function
+// passes through the optimizing stages inside its own recover boundary
+// (diag.Guard) and, when Config.FuncBudget is set, under its own deadline.
+// When refinement, optimized fence placement or an optimization pass fails
+// — by error, panic or budget expiry — the function's body is restored to
+// its post-lift snapshot and re-fenced with the conservative full-fence
+// mapping of Fig. 8a, which is always sound (§7); the fallback is recorded
+// as a Warning in the returned diag.Report. Only lift-stage failures are
+// unrecoverable per function: those become flagged stubs with Error
+// diagnostics, and Translate fails unless Config.AllowPartial is set.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"lasagne/internal/armlifter"
 	"lasagne/internal/backend"
+	"lasagne/internal/diag"
+	"lasagne/internal/diag/inject"
 	"lasagne/internal/fences"
 	"lasagne/internal/ir"
 	"lasagne/internal/lifter"
@@ -34,8 +50,20 @@ type Config struct {
 	// Optimize re-runs the LLVM-style optimization pipeline on the lifted
 	// IR after fence placement.
 	Optimize bool
-	// VerifyIR runs the IR verifier between stages (slower; for debugging).
+	// VerifyIR runs the IR verifier between stages. Under the fault-tolerant
+	// pipeline a per-function verification failure degrades that function to
+	// the conservative translation instead of failing the module.
 	VerifyIR bool
+	// FuncBudget bounds the wall-clock time the refine/fences/opt stages may
+	// spend on any single function; on expiry the function falls back to the
+	// conservative full-fence translation (the diagnostic cause wraps
+	// diag.ErrBudgetExceeded). Zero means no per-function budget.
+	FuncBudget time.Duration
+	// AllowPartial lets Translate succeed when some functions could not be
+	// lifted at all: each becomes a stub returning zero, flagged with an
+	// Error diagnostic. Without AllowPartial any lift failure aborts the
+	// translation (the Report still describes every failure).
+	AllowPartial bool
 }
 
 // Default returns the full Lasagne configuration.
@@ -56,61 +84,117 @@ type Stats struct {
 	PromotedParams int
 }
 
-// Translate lifts an x86-64 object and compiles it to an Arm64 object.
-func Translate(bin *obj.File, cfg Config) (*obj.File, *Stats, error) {
-	m, stats, err := TranslateToIR(bin, cfg)
+// Translate lifts an x86-64 object and compiles it to an Arm64 object. The
+// returned Report is non-nil whenever bin reached the pipeline, including on
+// error.
+func Translate(bin *obj.File, cfg Config) (*obj.File, *Stats, *diag.Report, error) {
+	return TranslateContext(context.Background(), bin, cfg)
+}
+
+// TranslateContext is Translate bounded by ctx: when the context expires the
+// pipeline stops between stages and returns an error wrapping
+// diag.ErrBudgetExceeded together with the diagnostics gathered so far.
+func TranslateContext(ctx context.Context, bin *obj.File, cfg Config) (*obj.File, *Stats, *diag.Report, error) {
+	m, stats, rep, err := TranslateToIRContext(ctx, bin, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, stats, rep, err
 	}
-	out, err := backend.Compile(m, "arm64")
-	if err != nil {
-		return nil, nil, fmt.Errorf("lasagne: arm64 backend: %w", err)
+	var out *obj.File
+	gerr := diag.Guard(diag.StageBackend, "", func() error {
+		if err := inject.Hit("backend:module"); err != nil {
+			return err
+		}
+		var cerr error
+		out, cerr = backend.Compile(m, "arm64")
+		return cerr
+	})
+	if gerr != nil {
+		return nil, stats, rep, fail(rep, diag.StageBackend, "", "arm64 backend failed", gerr)
 	}
-	return out, stats, nil
+	return out, stats, rep, nil
 }
 
 // TranslateToIR runs the pipeline up to (but not including) code
 // generation, returning the final IR module.
-func TranslateToIR(bin *obj.File, cfg Config) (*ir.Module, *Stats, error) {
+func TranslateToIR(bin *obj.File, cfg Config) (*ir.Module, *Stats, *diag.Report, error) {
+	return TranslateToIRContext(context.Background(), bin, cfg)
+}
+
+// TranslateToIRContext is TranslateToIR bounded by ctx.
+func TranslateToIRContext(ctx context.Context, bin *obj.File, cfg Config) (*ir.Module, *Stats, *diag.Report, error) {
+	rep := diag.NewReport()
 	if bin.Arch != "x86-64" {
-		return nil, nil, fmt.Errorf("lasagne: expected an x86-64 binary, got %q", bin.Arch)
+		return nil, nil, rep, fail(rep, diag.StageDisasm, "",
+			fmt.Sprintf("expected an x86-64 binary, got %q", bin.Arch), nil)
 	}
 	stats := &Stats{}
 
-	m, err := lifter.Lift(bin)
+	// Lift stage. Disassembly, CFG reconstruction and body translation all
+	// recover per function: a function that cannot be lifted becomes a stub
+	// flagged with an Error diagnostic.
+	ml, err := lifter.BeginTolerant(bin, func(sym obj.Symbol, derr error) {
+		rep.Add(diag.Diagnostic{Stage: diag.StageDisasm, Func: sym.Name, Addr: sym.Addr,
+			Severity: diag.Error, Msg: "cannot disassemble function; dropped", Cause: derr})
+	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, rep, fail(rep, diag.StageDisasm, "", "cannot disassemble object", err)
 	}
+
+	var lifted []string
+	for _, s := range ml.Streams() {
+		s := s
+		name := s.Sym.Name
+		gerr := diag.Guard(diag.StageLift, name, func() error {
+			return ml.DeclareFunc(s)
+		})
+		if gerr != nil {
+			rep.Add(diag.Diagnostic{Stage: diag.StageLift, Func: name, Addr: diag.AddrOf(gerr),
+				Severity: diag.Error, Msg: "cannot reconstruct CFG; function dropped", Cause: gerr})
+			continue
+		}
+		lifted = append(lifted, name)
+	}
+	// excluded tracks functions barred from the optimizing stages — lift
+	// failures (stubs) and functions already degraded to their snapshot.
+	excluded := map[string]bool{}
+	for _, name := range lifted {
+		name := name
+		gerr := diag.Guard(diag.StageLift, name, func() error {
+			if err := inject.Hit("lift:" + name); err != nil {
+				return err
+			}
+			return ml.LiftFunc(name)
+		})
+		if gerr == nil {
+			if f := ml.Module().Func(name); f != nil {
+				gerr = diag.Guard(diag.StageVerify, name, func() error { return ir.VerifyFunc(f) })
+			}
+		}
+		if gerr != nil {
+			ml.StubFunc(name)
+			excluded[name] = true
+			rep.Add(diag.Diagnostic{Stage: diag.StageLift, Func: name, Addr: diag.AddrOf(gerr),
+				Severity: diag.Error, Msg: "cannot lift function; emitted a stub returning zero", Cause: gerr})
+		}
+	}
+	m := ml.Module()
 	stats.LiftedInstrs = m.NumInstrs()
 	stats.PtrCastsBefore = refine.CountPtrCasts(m)
 
-	if cfg.Refine {
-		stats.RefineRewrites = refine.Run(m)
-		if err := verify(m, cfg, "refinement"); err != nil {
-			return nil, nil, err
-		}
+	if rep.HasErrors() && !cfg.AllowPartial {
+		fe := rep.FirstError()
+		return nil, stats, rep, fmt.Errorf("lasagne: %s stage failed for @%s: %w (set AllowPartial to translate the rest)",
+			fe.Stage, fe.Func, fe.Cause)
 	}
-	stats.PtrCastsAfter = refine.CountPtrCasts(m)
 
-	stats.FencesPlaced = fences.Place(m, fences.Options{SkipStackAccesses: true})
-	if err := verify(m, cfg, "fence placement"); err != nil {
-		return nil, nil, err
-	}
-	if cfg.MergeFences {
-		stats.FencesMerged = fences.Merge(m)
-	}
-	stats.FencesFinal = fences.Count(m)
-
-	if cfg.Optimize {
-		if err := opt.RunPipeline(m, opt.StandardPipeline, cfg.VerifyIR); err != nil {
-			return nil, nil, err
-		}
-		if err := verify(m, cfg, "optimization"); err != nil {
-			return nil, nil, err
-		}
+	p := &pipeline{ctx: ctx, cfg: cfg, stats: stats, rep: rep, m: m,
+		excluded: excluded, place: true}
+	p.snapshot()
+	if err := p.run(); err != nil {
+		return nil, stats, rep, err
 	}
 	stats.FinalInstrs = m.NumInstrs()
-	return m, stats, nil
+	return m, stats, rep, nil
 }
 
 // TranslateArmToX86 runs the Appendix B direction: an Arm64 object is
@@ -118,48 +202,310 @@ func TranslateToIR(bin *obj.File, cfg Config) (*ir.Module, *Stats, error) {
 // atomics), refined and optimized, and compiled with the x86-64 backend
 // (Fsc becomes MFENCE; Frm/Fww need no instruction under TSO). The
 // weak-to-strong direction requires no fence placement pass: every x86
-// access is already at least as ordered as its Arm counterpart.
-func TranslateArmToX86(bin *obj.File, cfg Config) (*obj.File, *Stats, error) {
+// access is already at least as ordered as its Arm counterpart — which also
+// makes the conservative fallback for this direction simply the unoptimized
+// lifted body.
+func TranslateArmToX86(bin *obj.File, cfg Config) (*obj.File, *Stats, *diag.Report, error) {
+	return TranslateArmToX86Context(context.Background(), bin, cfg)
+}
+
+// TranslateArmToX86Context is TranslateArmToX86 bounded by ctx.
+func TranslateArmToX86Context(ctx context.Context, bin *obj.File, cfg Config) (*obj.File, *Stats, *diag.Report, error) {
+	rep := diag.NewReport()
 	if bin.Arch != "arm64" {
-		return nil, nil, fmt.Errorf("lasagne: expected an arm64 binary, got %q", bin.Arch)
+		return nil, nil, rep, fail(rep, diag.StageDisasm, "",
+			fmt.Sprintf("expected an arm64 binary, got %q", bin.Arch), nil)
 	}
 	stats := &Stats{}
-	m, err := armlifter.Lift(bin)
-	if err != nil {
-		return nil, nil, err
+	var m *ir.Module
+	gerr := diag.Guard(diag.StageLift, "", func() error {
+		var lerr error
+		m, lerr = armlifter.Lift(bin)
+		return lerr
+	})
+	if gerr != nil {
+		return nil, stats, rep, fail(rep, diag.StageLift, "", "cannot lift arm64 object", gerr)
 	}
 	stats.LiftedInstrs = m.NumInstrs()
 	stats.PtrCastsBefore = refine.CountPtrCasts(m)
-	if cfg.Refine {
-		stats.RefineRewrites = refine.Run(m)
-		if err := verify(m, cfg, "refinement"); err != nil {
-			return nil, nil, err
-		}
-	}
-	stats.PtrCastsAfter = refine.CountPtrCasts(m)
-	if cfg.MergeFences {
-		stats.FencesMerged = fences.Merge(m)
-	}
-	stats.FencesFinal = fences.Count(m)
-	if cfg.Optimize {
-		if err := opt.RunPipeline(m, opt.StandardPipeline, cfg.VerifyIR); err != nil {
-			return nil, nil, err
-		}
+
+	p := &pipeline{ctx: ctx, cfg: cfg, stats: stats, rep: rep, m: m,
+		excluded: map[string]bool{}, place: false}
+	p.snapshot()
+	if err := p.run(); err != nil {
+		return nil, stats, rep, err
 	}
 	stats.FinalInstrs = m.NumInstrs()
-	out, err := backend.Compile(m, "x86-64")
-	if err != nil {
-		return nil, nil, fmt.Errorf("lasagne: x86-64 backend: %w", err)
+
+	var out *obj.File
+	gerr = diag.Guard(diag.StageBackend, "", func() error {
+		if err := inject.Hit("backend:module"); err != nil {
+			return err
+		}
+		var cerr error
+		out, cerr = backend.Compile(m, "x86-64")
+		return cerr
+	})
+	if gerr != nil {
+		return nil, stats, rep, fail(rep, diag.StageBackend, "", "x86-64 backend failed", gerr)
 	}
-	return out, stats, nil
+	return out, stats, rep, nil
 }
 
-func verify(m *ir.Module, cfg Config, stage string) error {
-	if !cfg.VerifyIR {
-		return nil
+// funcSnap is the sound post-lift state of one function: its body and its
+// signature (parameter promotion retypes signatures, so a full-module
+// rollback must restore those too).
+type funcSnap struct {
+	blocks   []*ir.Block
+	sig      []ir.Type
+	paramTys []ir.Type
+}
+
+// pipeline runs the recoverable middle stages (refine, fences, opt) over a
+// lifted module.
+type pipeline struct {
+	ctx      context.Context
+	cfg      Config
+	stats    *Stats
+	rep      *diag.Report
+	m        *ir.Module
+	snaps    map[string]*funcSnap
+	excluded map[string]bool
+	place    bool // place Frm/Fww fences (the strong→weak direction)
+}
+
+func (p *pipeline) snapshot() {
+	p.snaps = map[string]*funcSnap{}
+	for _, f := range p.m.Funcs {
+		if f.External || len(f.Blocks) == 0 {
+			continue
+		}
+		s := &funcSnap{blocks: f.CloneBody()}
+		s.sig = append([]ir.Type(nil), f.Sig.Params...)
+		for _, pr := range f.Params {
+			s.paramTys = append(s.paramTys, pr.Ty)
+		}
+		p.snaps[f.Name] = s
 	}
-	if err := ir.Verify(m); err != nil {
-		return fmt.Errorf("lasagne: invalid IR after %s: %w", stage, err)
+}
+
+// degrade restores fn to its lifted snapshot and records the fallback. The
+// conservative fences themselves are placed by the fence stage (or
+// immediately, when the failure happens after it).
+func (p *pipeline) degrade(f *ir.Func, stage diag.Stage, cause error) {
+	if s := p.snaps[f.Name]; s != nil {
+		f.RestoreBody(s.blocks)
+	}
+	p.excluded[f.Name] = true
+	p.rep.Degrade(f.Name, stage, cause)
+}
+
+func (p *pipeline) run() error {
+	if err := p.checkCtx("refine"); err != nil {
+		return err
+	}
+	if p.cfg.Refine {
+		p.refineStage()
+	}
+	p.stats.PtrCastsAfter = refine.CountPtrCasts(p.m)
+	if err := p.checkCtx("fences"); err != nil {
+		return err
+	}
+	p.fenceOptStage()
+	p.stats.FencesFinal = fences.Count(p.m)
+	if p.cfg.VerifyIR {
+		gerr := diag.Guard(diag.StageVerify, "", func() error { return ir.Verify(p.m) })
+		if gerr != nil {
+			return fail(p.rep, diag.StageVerify, "", "final module fails verification", gerr)
+		}
 	}
 	return nil
+}
+
+// checkCtx aborts the whole translation when the caller's context expired;
+// the partial error wraps diag.ErrBudgetExceeded.
+func (p *pipeline) checkCtx(before string) error {
+	if err := p.ctx.Err(); err != nil {
+		return fail(p.rep, diag.StageOpt, "",
+			fmt.Sprintf("translation interrupted before %s stage", before),
+			fmt.Errorf("%w: %v", diag.ErrBudgetExceeded, err))
+	}
+	return nil
+}
+
+// refineStage replicates refine.Run's fixpoint — peephole + dead-cast
+// cleanup, then parameter promotion — with per-function recovery for the
+// peephole and a full-module rollback for promotion (promotion rewrites
+// signatures and call sites across the module, so a mid-flight failure
+// cannot be contained to one function).
+func (p *pipeline) refineStage() {
+	for {
+		n := 0
+		for _, f := range p.m.Funcs {
+			if f.External || len(f.Blocks) == 0 || p.excluded[f.Name] {
+				continue
+			}
+			f := f
+			k := 0
+			gerr := p.guardWithBudget(diag.StageRefine, f.Name, func(fctx context.Context) error {
+				if err := inject.Hit("refine:" + f.Name); err != nil {
+					return err
+				}
+				k = refine.PeepholeFunc(f)
+				refine.CleanupFunc(f)
+				if p.cfg.VerifyIR {
+					if err := ir.VerifyFunc(f); err != nil {
+						return err
+					}
+				}
+				return fctx.Err()
+			})
+			if gerr != nil {
+				p.degrade(f, diag.StageRefine, gerr)
+				continue
+			}
+			n += k
+		}
+		promoted := 0
+		gerr := diag.Guard(diag.StageRefine, "", func() error {
+			if err := inject.Hit("refine:promote"); err != nil {
+				return err
+			}
+			promoted = refine.PromoteParamsFiltered(p.m, func(f *ir.Func) bool {
+				return !p.excluded[f.Name]
+			})
+			return nil
+		})
+		if gerr != nil {
+			// Promotion died mid-rewrite: signatures and call sites may be
+			// inconsistent module-wide. Roll every function back to its
+			// lifted snapshot — the whole module degrades to the
+			// conservative translation.
+			p.rollbackAll(diag.StageRefine, gerr)
+			return
+		}
+		p.stats.PromotedParams += promoted
+		n += promoted
+		if n == 0 {
+			break
+		}
+		p.stats.RefineRewrites += n
+	}
+	for _, f := range p.m.Funcs {
+		if f.External || len(f.Blocks) == 0 || p.excluded[f.Name] {
+			continue
+		}
+		refine.CleanupFunc(f)
+	}
+}
+
+func (p *pipeline) rollbackAll(stage diag.Stage, cause error) {
+	for _, f := range p.m.Funcs {
+		s := p.snaps[f.Name]
+		if s == nil {
+			continue
+		}
+		f.RestoreBody(s.blocks)
+		copy(f.Sig.Params, s.sig)
+		for i, ty := range s.paramTys {
+			f.Params[i].Ty = ty
+		}
+		if !p.excluded[f.Name] {
+			p.excluded[f.Name] = true
+			p.rep.Degrade(f.Name, stage, cause)
+		}
+	}
+}
+
+// fenceOptStage runs optimized fence placement, merging and the opt
+// pipeline one function at a time. A failure in any of them rolls the
+// function back to its snapshot and re-fences it conservatively.
+func (p *pipeline) fenceOptStage() {
+	for _, f := range p.m.Funcs {
+		if f.External || len(f.Blocks) == 0 {
+			continue
+		}
+		f := f
+		if p.excluded[f.Name] {
+			p.conservative(f)
+			continue
+		}
+		placed, merged := 0, 0
+		stage := diag.StageFences
+		gerr := p.guardWithBudget(stage, f.Name, func(fctx context.Context) error {
+			if err := inject.Hit("fences:" + f.Name); err != nil {
+				return err
+			}
+			if p.place {
+				placed = fences.PlaceFunc(f, fences.Options{SkipStackAccesses: true})
+			}
+			if p.cfg.MergeFences {
+				merged = fences.MergeFunc(f)
+			}
+			if p.cfg.VerifyIR {
+				if err := ir.VerifyFunc(f); err != nil {
+					return err
+				}
+			}
+			if err := fctx.Err(); err != nil {
+				return err
+			}
+			if p.cfg.Optimize {
+				stage = diag.StageOpt
+				if err := inject.Hit("opt:" + f.Name); err != nil {
+					return err
+				}
+				if err := opt.RunFuncPipeline(fctx, f, opt.StandardPipeline, p.cfg.VerifyIR); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if gerr != nil {
+			p.degrade(f, stage, gerr)
+			p.conservative(f)
+			continue
+		}
+		p.stats.FencesPlaced += placed
+		p.stats.FencesMerged += merged
+	}
+}
+
+// conservative applies the always-sound Fig. 8a full-fence mapping to a
+// function sitting at its lifted snapshot: every shared load and store gets
+// its fence, stack accesses included, and nothing is merged or optimized.
+func (p *pipeline) conservative(f *ir.Func) {
+	if !p.place {
+		return // weak→strong: the lifted body is already conservative
+	}
+	p.stats.FencesPlaced += fences.PlaceFunc(f, fences.Options{})
+}
+
+// guardWithBudget is diag.Guard plus the per-function deadline: the closure
+// receives a context that expires after Config.FuncBudget, and a deadline
+// error is rewritten to wrap diag.ErrBudgetExceeded.
+func (p *pipeline) guardWithBudget(stage diag.Stage, fn string, body func(context.Context) error) error {
+	fctx := p.ctx
+	cancel := func() {}
+	if p.cfg.FuncBudget > 0 {
+		fctx, cancel = context.WithTimeout(p.ctx, p.cfg.FuncBudget)
+	}
+	defer cancel()
+	err := diag.Guard(stage, fn, func() error { return body(fctx) })
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("%w: %v", diag.ErrBudgetExceeded, err)
+	}
+	return err
+}
+
+// fail records an Error diagnostic and returns the matching error, keeping
+// the invariant that every failed Translate call carries at least one Error
+// in its Report.
+func fail(rep *diag.Report, stage diag.Stage, fn, msg string, cause error) error {
+	rep.Add(diag.Diagnostic{Stage: stage, Func: fn, Addr: diag.AddrOf(cause),
+		Severity: diag.Error, Msg: msg, Cause: cause})
+	if cause != nil {
+		return fmt.Errorf("lasagne: %s: %w", msg, cause)
+	}
+	return fmt.Errorf("lasagne: %s", msg)
 }

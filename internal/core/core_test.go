@@ -64,9 +64,12 @@ func TestTranslateAllConfigs(t *testing.T) {
 	}
 	var cycles = map[string]int64{}
 	for name, cfg := range configs {
-		armObj, stats, err := Translate(bin, cfg)
+		armObj, stats, rep, err := Translate(bin, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Len() != 0 {
+			t.Fatalf("%s: clean translation produced diagnostics:\n%s", name, rep)
 		}
 		if armObj.Arch != "arm64" {
 			t.Fatalf("%s: wrong arch %s", name, armObj.Arch)
@@ -98,14 +101,18 @@ func TestTranslateRejectsWrongArch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Translate(armObj, Default()); err == nil {
+	_, _, rep, err := Translate(armObj, Default())
+	if err == nil {
 		t.Fatal("expected error for non-x86 input")
+	}
+	if !rep.HasErrors() {
+		t.Fatal("failed translation left no Error diagnostic")
 	}
 }
 
 func TestStatsAreConsistent(t *testing.T) {
 	bin, _ := buildX86(t)
-	_, stats, err := Translate(bin, Default())
+	_, stats, _, err := Translate(bin, Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +148,7 @@ func TestTranslateArmToX86(t *testing.T) {
 	}
 	want := mach.Out.String()
 
-	x86Obj, stats, err := TranslateArmToX86(armBin, Default())
+	x86Obj, stats, _, err := TranslateArmToX86(armBin, Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +169,7 @@ func TestTranslateArmToX86(t *testing.T) {
 		t.Fatalf("x86 output %q, want %q", xm.Out.String(), want)
 	}
 	// Reject wrong input arch.
-	if _, _, err := TranslateArmToX86(x86Obj, Default()); err == nil {
+	if _, _, _, err := TranslateArmToX86(x86Obj, Default()); err == nil {
 		t.Fatal("expected arch error")
 	}
 }

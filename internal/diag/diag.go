@@ -1,0 +1,293 @@
+// Package diag is the fault-tolerance substrate of the translation
+// pipeline: typed diagnostics collected into a Report that Translate
+// returns alongside its Stats, a recover boundary (Guard) that downgrades
+// per-function panics to errors, and the shared budget sentinel used by the
+// bounded simulators and the bounded litmus enumeration.
+//
+// The design goal (following "Sound Transpilation from Binary to
+// Machine-Independent Code", Metere et al.) is that a hostile or broken
+// input never crashes the translator and never silently mistranslates:
+// every failure either degrades a single function to the provably
+// conservative full-fence mapping (recorded as a Warning) or surfaces as an
+// Error diagnostic carrying the stage, function and instruction address.
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrBudgetExceeded is the sentinel wrapped by every "ran out of budget"
+// failure across the stack: simulator step limits, enumeration visit caps,
+// and per-function pipeline time budgets. Callers receiving a partial
+// result test for it with errors.Is.
+var ErrBudgetExceeded = errors.New("execution budget exceeded")
+
+// Stage identifies a pipeline stage for diagnostic attribution.
+type Stage string
+
+const (
+	StageDisasm  Stage = "disasm"
+	StageLift    Stage = "lift"
+	StageRefine  Stage = "refine"
+	StageFences  Stage = "fences"
+	StageOpt     Stage = "opt"
+	StageVerify  Stage = "verify"
+	StageBackend Stage = "backend"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Info records something noteworthy that required no intervention.
+	Info Severity = iota
+	// Warning means the pipeline degraded (a stage was skipped or a
+	// function fell back to the conservative translation) but the output
+	// remains sound.
+	Warning
+	// Error means a function or the whole module could not be translated
+	// faithfully; the corresponding output (if any) is a flagged stub.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Diagnostic is one typed pipeline event: which stage, which function (""
+// for module-level events), the offending instruction address when known,
+// and the underlying cause.
+type Diagnostic struct {
+	Stage    Stage
+	Func     string
+	Addr     uint64 // offending instruction address; 0 when unknown
+	Severity Severity
+	Msg      string
+	Cause    error
+}
+
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%s]", d.Severity, d.Stage)
+	if d.Func != "" {
+		fmt.Fprintf(&sb, " @%s", d.Func)
+	}
+	if d.Addr != 0 {
+		fmt.Fprintf(&sb, " at %#x", d.Addr)
+	}
+	sb.WriteString(": ")
+	sb.WriteString(d.Msg)
+	if d.Cause != nil {
+		fmt.Fprintf(&sb, ": %v", d.Cause)
+	}
+	return sb.String()
+}
+
+// Report collects the diagnostics of one pipeline run. It is safe for
+// concurrent use; all methods are nil-receiver safe so pipeline code can
+// report unconditionally.
+type Report struct {
+	mu       sync.Mutex
+	diags    []Diagnostic
+	degraded map[string]Stage // function -> first stage that forced fallback
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report { return &Report{} }
+
+// Add appends a diagnostic.
+func (r *Report) Add(d Diagnostic) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.diags = append(r.diags, d)
+	r.mu.Unlock()
+}
+
+// Degrade records that fn fell back to the conservative full-fence
+// translation because stage failed with cause.
+func (r *Report) Degrade(fn string, stage Stage, cause error) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.degraded == nil {
+		r.degraded = map[string]Stage{}
+	}
+	if _, seen := r.degraded[fn]; !seen {
+		r.degraded[fn] = stage
+	}
+	r.mu.Unlock()
+	r.Add(Diagnostic{
+		Stage:    stage,
+		Func:     fn,
+		Severity: Warning,
+		Msg:      "falling back to the conservative full-fence translation",
+		Cause:    cause,
+		Addr:     AddrOf(cause),
+	})
+}
+
+// Diagnostics returns a copy of the collected diagnostics.
+func (r *Report) Diagnostics() []Diagnostic {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Diagnostic(nil), r.diags...)
+}
+
+// Degraded returns the sorted names of functions that fell back to the
+// conservative translation.
+func (r *Report) Degraded() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.degraded))
+	for fn := range r.degraded {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DegradedStage returns the stage that forced fn's fallback, or "".
+func (r *Report) DegradedStage(fn string) Stage {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.degraded[fn]
+}
+
+// Len returns the number of diagnostics.
+func (r *Report) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.diags)
+}
+
+// Count returns the number of diagnostics at the given severity.
+func (r *Report) Count(sev Severity) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, d := range r.diags {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any Error-severity diagnostic was recorded.
+func (r *Report) HasErrors() bool { return r.Count(Error) > 0 }
+
+// FirstError returns the first Error-severity diagnostic, or nil.
+func (r *Report) FirstError() *Diagnostic {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.diags {
+		if r.diags[i].Severity == Error {
+			d := r.diags[i]
+			return &d
+		}
+	}
+	return nil
+}
+
+// String renders the report, one diagnostic per line, with a degradation
+// summary.
+func (r *Report) String() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, d := range r.Diagnostics() {
+		sb.WriteString(d.String())
+		sb.WriteString("\n")
+	}
+	if deg := r.Degraded(); len(deg) > 0 {
+		fmt.Fprintf(&sb, "%d function(s) degraded to conservative fences: %s\n",
+			len(deg), strings.Join(deg, ", "))
+	}
+	return sb.String()
+}
+
+// PanicError is a panic caught at a Guard boundary, converted into an
+// error. When the panic value is itself an error (e.g. the lifter's typed
+// *InstrError), Unwrap exposes it to errors.Is/As.
+type PanicError struct {
+	Stage Stage
+	Func  string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	where := string(e.Stage)
+	if e.Func != "" {
+		where += " @" + e.Func
+	}
+	return fmt.Sprintf("panic in %s: %v", where, e.Value)
+}
+
+// Unwrap returns the panic value when it is an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Guard runs f, converting a panic into a *PanicError attributed to the
+// given stage and function. This is the recover boundary that keeps one
+// function's failure from killing a whole Translate call.
+func Guard(stage Stage, fn string, f func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Stage: stage, Func: fn, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}
+
+// Addresser is implemented by errors that know the machine address they
+// occurred at (e.g. the lifter's InstrError).
+type Addresser interface{ Address() uint64 }
+
+// AddrOf extracts an instruction address from an error chain, or 0.
+func AddrOf(err error) uint64 {
+	var a Addresser
+	if errors.As(err, &a) {
+		return a.Address()
+	}
+	return 0
+}

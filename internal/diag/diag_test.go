@@ -1,0 +1,111 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type addrErr struct{ addr uint64 }
+
+func (e *addrErr) Error() string   { return fmt.Sprintf("bad instruction at %#x", e.addr) }
+func (e *addrErr) Address() uint64 { return e.addr }
+
+func TestGuardConvertsPanics(t *testing.T) {
+	err := Guard(StageLift, "f", func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected *PanicError, got %T (%v)", err, err)
+	}
+	if pe.Stage != StageLift || pe.Func != "f" || pe.Value != "boom" {
+		t.Errorf("bad panic capture: %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+}
+
+func TestGuardUnwrapsTypedPanicValues(t *testing.T) {
+	cause := &addrErr{addr: 0x401234}
+	err := Guard(StageLift, "f", func() error { panic(cause) })
+	var ae *addrErr
+	if !errors.As(err, &ae) || ae.addr != 0x401234 {
+		t.Fatalf("typed panic value not unwrapped: %v", err)
+	}
+	if AddrOf(err) != 0x401234 {
+		t.Errorf("AddrOf = %#x, want 0x401234", AddrOf(err))
+	}
+}
+
+func TestGuardPassesThroughErrors(t *testing.T) {
+	want := errors.New("plain")
+	if err := Guard(StageOpt, "g", func() error { return want }); err != want {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+	if err := Guard(StageOpt, "g", func() error { return nil }); err != nil {
+		t.Fatalf("got %v, want nil", err)
+	}
+}
+
+func TestReportCollectsConcurrently(t *testing.T) {
+	r := NewReport()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.Add(Diagnostic{Stage: StageOpt, Func: fmt.Sprintf("f%d", i), Severity: Warning, Msg: "m"})
+			if i%4 == 0 {
+				r.Degrade(fmt.Sprintf("f%d", i), StageFences, errors.New("x"))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Len(); got != 16+4 {
+		t.Errorf("Len = %d, want 20", got)
+	}
+	if got := len(r.Degraded()); got != 4 {
+		t.Errorf("Degraded = %d entries, want 4", got)
+	}
+	if r.HasErrors() {
+		t.Error("unexpected errors")
+	}
+	if r.Count(Warning) != 20 {
+		t.Errorf("warnings = %d, want 20", r.Count(Warning))
+	}
+}
+
+func TestReportNilSafe(t *testing.T) {
+	var r *Report
+	r.Add(Diagnostic{})
+	r.Degrade("f", StageOpt, nil)
+	if r.Len() != 0 || r.HasErrors() || r.String() != "" || r.FirstError() != nil {
+		t.Error("nil report misbehaves")
+	}
+	if r.DegradedStage("f") != "" {
+		t.Error("nil DegradedStage")
+	}
+}
+
+func TestReportStringAndFirstError(t *testing.T) {
+	r := NewReport()
+	r.Add(Diagnostic{Stage: StageLift, Func: "f", Addr: 0x40, Severity: Error,
+		Msg: "cannot lift", Cause: errors.New("bad operand")})
+	r.Degrade("g", StageRefine, errors.New("refine blew up"))
+	s := r.String()
+	for _, want := range []string{"error [lift] @f at 0x40", "cannot lift", "bad operand",
+		"warning [refine] @g", "degraded to conservative fences: g"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+	fe := r.FirstError()
+	if fe == nil || fe.Func != "f" {
+		t.Fatalf("FirstError = %+v", fe)
+	}
+	if r.DegradedStage("g") != StageRefine {
+		t.Errorf("DegradedStage(g) = %q", r.DegradedStage("g"))
+	}
+}

@@ -1,0 +1,117 @@
+// Package inject is the fault-injection harness for the translation
+// pipeline. The pipeline calls Hit at each stage boundary with a point name
+// of the form "<stage>:<function>" (e.g. "refine:main", "fences:worker",
+// "opt:module"); tests arm points to force an error, a panic, or a stall at
+// exactly that boundary and then assert that the pipeline degrades instead
+// of crashing.
+//
+// When no point is armed — the production state — Hit is a single atomic
+// load.
+package inject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an armed point does.
+type Mode int
+
+const (
+	// Off disarms the point.
+	Off Mode = iota
+	// Fail makes Hit return a typed *Error.
+	Fail
+	// Panic makes Hit panic with a typed *Error, exercising the pipeline's
+	// recover boundaries.
+	Panic
+	// Stall makes Hit sleep for StallDuration, exercising the pipeline's
+	// time budgets.
+	Stall
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Fail:
+		return "fail"
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// StallDuration is how long a Stall-armed point sleeps.
+var StallDuration = 25 * time.Millisecond
+
+// Error is the typed failure injected at an armed point.
+type Error struct {
+	Point string
+	Mode  Mode
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("inject: forced %s at %q", e.Mode, e.Point)
+}
+
+var (
+	armed  atomic.Int32 // number of armed points; the production fast path
+	mu     sync.Mutex
+	points = map[string]Mode{}
+)
+
+// Arm sets the mode of a point. Arm(point, Off) is equivalent to Disarm.
+func Arm(point string, m Mode) {
+	mu.Lock()
+	defer mu.Unlock()
+	_, was := points[point]
+	if m == Off {
+		if was {
+			delete(points, point)
+			armed.Add(-1)
+		}
+		return
+	}
+	points[point] = m
+	if !was {
+		armed.Add(1)
+	}
+}
+
+// Disarm removes a point.
+func Disarm(point string) { Arm(point, Off) }
+
+// Reset disarms every point.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for p := range points {
+		delete(points, p)
+	}
+	armed.Store(0)
+}
+
+// Hit is called by the pipeline at a stage boundary. With nothing armed it
+// costs one atomic load and returns nil.
+func Hit(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	m := points[point]
+	mu.Unlock()
+	switch m {
+	case Fail:
+		return &Error{Point: point, Mode: Fail}
+	case Panic:
+		panic(&Error{Point: point, Mode: Panic})
+	case Stall:
+		time.Sleep(StallDuration)
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"lasagne/internal/backend"
@@ -24,7 +25,6 @@ import (
 	"lasagne/internal/par"
 	"lasagne/internal/phoenix"
 	"lasagne/internal/refine"
-	"lasagne/internal/sim"
 )
 
 // Variant identifies one build configuration of §9.1.
@@ -205,11 +205,18 @@ func BuildAll(b phoenix.Benchmark) (*Result, error) {
 
 // RunVariant simulates one build and records cycles and output.
 func (r *Result) RunVariant(v Variant) error {
-	mach, err := sim.NewMachine(r.Builds[v].Obj)
+	return r.RunVariantContext(context.Background(), v)
+}
+
+// RunVariantContext is RunVariant bounded by ctx and MaxSimSteps: an
+// expired deadline or exhausted step cap fails the variant with an error
+// wrapping diag.ErrBudgetExceeded.
+func (r *Result) RunVariantContext(ctx context.Context, v Variant) error {
+	mach, err := newMachine(r.Builds[v].Obj)
 	if err != nil {
 		return err
 	}
-	cycles, err := mach.Run()
+	cycles, err := mach.RunContext(ctx)
 	if err != nil {
 		return fmt.Errorf("%s/%s: %w", r.Bench.Name, v, err)
 	}
@@ -222,8 +229,13 @@ func (r *Result) RunVariant(v Variant) error {
 // output. Variants run concurrently: each simulation owns a private Machine
 // and writes only its own Cycles/Output slots.
 func (r *Result) RunAll() error {
+	return r.RunAllContext(context.Background())
+}
+
+// RunAllContext is RunAll with every simulation bounded by ctx.
+func (r *Result) RunAllContext(ctx context.Context) error {
 	if err := par.FirstErr(int(NumVariants), Parallelism, func(i int) error {
-		return r.RunVariant(Variant(i))
+		return r.RunVariantContext(ctx, Variant(i))
 	}); err != nil {
 		return err
 	}
@@ -246,7 +258,7 @@ func FenceOnlyCycles(r *Result) (naive, merged, refined int64, err error) {
 		if err != nil {
 			return 0, err
 		}
-		mach, err := sim.NewMachine(o)
+		mach, err := newMachine(o)
 		if err != nil {
 			return 0, err
 		}
@@ -348,7 +360,7 @@ func AblationFences(b phoenix.Benchmark) (withSkip, withoutSkip int, cyclesSkip,
 		if err != nil {
 			return 0, 0, err
 		}
-		mach, err := sim.NewMachine(o)
+		mach, err := newMachine(o)
 		if err != nil {
 			return 0, 0, err
 		}

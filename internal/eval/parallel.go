@@ -1,6 +1,11 @@
 package eval
 
-import "runtime"
+import (
+	"runtime"
+
+	"lasagne/internal/obj"
+	"lasagne/internal/sim"
+)
 
 // Parallelism bounds the worker pool used by BuildAll, RunAll, RunSuite and
 // the figure helpers. Commands override it via their -parallel flag; setting
@@ -8,3 +13,21 @@ import "runtime"
 // the value: every fan-out writes to index-fixed slots and error selection
 // is lowest-index deterministic.
 var Parallelism = runtime.GOMAXPROCS(0)
+
+// MaxSimSteps caps the instructions executed by each simulation the
+// evaluation runs. Zero keeps the simulator default (sim.DefaultMaxSteps).
+// Commands override it via their -max-steps flag; a simulation that hits
+// the cap fails with an error wrapping diag.ErrBudgetExceeded.
+var MaxSimSteps int64
+
+// newMachine builds a simulator for o with MaxSimSteps applied.
+func newMachine(o *obj.File) (*sim.Machine, error) {
+	mach, err := sim.NewMachine(o)
+	if err != nil {
+		return nil, err
+	}
+	if MaxSimSteps > 0 {
+		mach.MaxSteps = MaxSimSteps
+	}
+	return mach, nil
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -21,6 +22,14 @@ type Suite struct {
 // index-fixed slots, so Results keeps the phoenix.All() order regardless of
 // completion order and the rendered figures are identical to a serial run.
 func RunSuite() (*Suite, error) {
+	return RunSuiteContext(context.Background())
+}
+
+// RunSuiteContext is RunSuite with every simulation bounded by ctx (builds
+// are not interruptible, only simulations poll the context). On expiry the
+// suite fails with an error wrapping diag.ErrBudgetExceeded instead of
+// running to completion.
+func RunSuiteContext(ctx context.Context) (*Suite, error) {
 	benches := phoenix.All()
 	s := &Suite{Results: make([]*Result, len(benches))}
 	if err := par.FirstErr(len(benches), Parallelism, func(i int) error {
@@ -28,7 +37,7 @@ func RunSuite() (*Suite, error) {
 		if err != nil {
 			return err
 		}
-		if err := r.RunAll(); err != nil {
+		if err := r.RunAllContext(ctx); err != nil {
 			return err
 		}
 		s.Results[i] = r

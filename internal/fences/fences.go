@@ -28,29 +28,39 @@ type Options struct {
 func Place(m *ir.Module, opts Options) int {
 	n := 0
 	for _, f := range m.Funcs {
-		for _, b := range f.Blocks {
-			insts := append([]*ir.Instr(nil), b.Instrs...)
-			for _, in := range insts {
-				switch in.Op {
-				case ir.OpLoad:
-					if in.Order == ir.SeqCst {
-						continue
-					}
-					if opts.SkipStackAccesses && isStackPointer(in.Args[0]) {
-						continue
-					}
-					insertAfter(b, in, &ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceRM})
-					n++
-				case ir.OpStore:
-					if in.Order == ir.SeqCst {
-						continue
-					}
-					if opts.SkipStackAccesses && isStackPointer(in.Args[1]) {
-						continue
-					}
-					b.InsertBefore(&ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceWW}, in)
-					n++
+		n += PlaceFunc(f, opts)
+	}
+	return n
+}
+
+// PlaceFunc places fences in a single function. The fault-tolerant pipeline
+// uses this at function granularity: the optimized placement runs per
+// function, and a failed function is re-fenced with the zero Options (the
+// conservative full-fence mapping of Fig. 8a, always sound per §7).
+func PlaceFunc(f *ir.Func, opts Options) int {
+	n := 0
+	for _, b := range f.Blocks {
+		insts := append([]*ir.Instr(nil), b.Instrs...)
+		for _, in := range insts {
+			switch in.Op {
+			case ir.OpLoad:
+				if in.Order == ir.SeqCst {
+					continue
 				}
+				if opts.SkipStackAccesses && isStackPointer(in.Args[0]) {
+					continue
+				}
+				insertAfter(b, in, &ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceRM})
+				n++
+			case ir.OpStore:
+				if in.Order == ir.SeqCst {
+					continue
+				}
+				if opts.SkipStackAccesses && isStackPointer(in.Args[1]) {
+					continue
+				}
+				b.InsertBefore(&ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceWW}, in)
+				n++
 			}
 		}
 	}
@@ -109,9 +119,16 @@ func mayAccessMemory(in *ir.Instr) bool {
 func Merge(m *ir.Module) int {
 	removed := 0
 	for _, f := range m.Funcs {
-		for _, b := range f.Blocks {
-			removed += mergeBlock(b)
-		}
+		removed += MergeFunc(f)
+	}
+	return removed
+}
+
+// MergeFunc merges fences within a single function.
+func MergeFunc(f *ir.Func) int {
+	removed := 0
+	for _, b := range f.Blocks {
+		removed += mergeBlock(b)
 	}
 	return removed
 }
@@ -150,11 +167,18 @@ func mergeBlock(b *ir.Block) int {
 func Count(m *ir.Module) int {
 	n := 0
 	for _, f := range m.Funcs {
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				if in.Op == ir.OpFence {
-					n++
-				}
+		n += CountFunc(f)
+	}
+	return n
+}
+
+// CountFunc counts the fence instructions in one function.
+func CountFunc(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpFence {
+				n++
 			}
 		}
 	}

@@ -7,6 +7,11 @@ package ir
 //
 // The evaluation pipeline uses this to lift a kernel once and run each
 // optimization-pass recipe on its own copy instead of re-lifting.
+//
+// CloneBody/RestoreBody are the function-granular variants: the
+// fault-tolerant pipeline snapshots each function's sound baseline before
+// the optimized (and recoverable) stages run, and restores it when a stage
+// fails so the function can be re-fenced conservatively.
 func (m *Module) Clone() *Module {
 	nm := &Module{
 		Name:         m.Name,
@@ -105,4 +110,71 @@ func (m *Module) Clone() *Module {
 		}
 	}
 	return nm
+}
+
+// CloneBody returns a deep copy of f's basic blocks. Parameters, globals,
+// functions and immutable constants are shared with f (the copy belongs to
+// the same module), so the result can be swapped back in with RestoreBody.
+func (f *Func) CloneBody() []*Block {
+	vmap := make(map[Value]Value)
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	out := make([]*Block, 0, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name, Parent: f}
+		out = append(out, nb)
+		bmap[b] = nb
+	}
+	// Pass 1: shells, so forward references (phis) resolve in pass 2.
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for _, i := range b.Instrs {
+			ni := &Instr{
+				Op:     i.Op,
+				Ty:     i.Ty,
+				Elem:   i.Elem,
+				Order:  i.Order,
+				Fence:  i.Fence,
+				RMWOp:  i.RMWOp,
+				Pred:   i.Pred,
+				ID:     i.ID,
+				Nam:    i.Nam,
+				Parent: nb,
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+			vmap[i] = ni
+		}
+	}
+	// Pass 2: operands and successor blocks.
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for k, i := range b.Instrs {
+			ni := nb.Instrs[k]
+			if len(i.Args) > 0 {
+				ni.Args = make([]Value, len(i.Args))
+				for ai, a := range i.Args {
+					if na, ok := vmap[a]; ok {
+						ni.Args[ai] = na
+					} else {
+						ni.Args[ai] = a // shared param/global/func/constant
+					}
+				}
+			}
+			if len(i.Blocks) > 0 {
+				ni.Blocks = make([]*Block, len(i.Blocks))
+				for bi, sb := range i.Blocks {
+					ni.Blocks[bi] = bmap[sb]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RestoreBody replaces f's blocks with a snapshot previously taken by
+// CloneBody on the same function.
+func (f *Func) RestoreBody(blocks []*Block) {
+	f.Blocks = blocks
+	for _, b := range blocks {
+		b.Parent = f
+	}
 }

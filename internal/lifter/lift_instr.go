@@ -26,7 +26,7 @@ func (fl *fnLifter) liftBlock(mb *machine.Block) error {
 			if len(mb.Succs) != 2 {
 				return fmt.Errorf("conditional branch at %#x without fallthrough", in.Addr)
 			}
-			c := fl.cond(in.Cond)
+			c := fl.cond(in, in.Cond)
 			fl.b.CondBr(c, fl.irBlocks[tgt], fl.irBlocks[mb.Succs[1].Start])
 			return nil
 		case x86.RET:
@@ -286,12 +286,12 @@ func (fl *fnLifter) liftInst(in x86.Inst) error {
 		return fmt.Errorf("pop with unknown stack pointer")
 
 	case x86.SETCC:
-		c := fl.cond(in.Cond)
+		c := fl.cond(in, in.Cond)
 		fl.writeOp(in, in.Ops[0], 1, b.Zext(c, ir.I8))
 		return nil
 
 	case x86.CMOVCC:
-		c := fl.cond(in.Cond)
+		c := fl.cond(in, in.Cond)
 		a := fl.readRegW(in.Ops[0].Reg, w)
 		v := fl.readOp(in, in.Ops[1], w)
 		fl.writeRegW(in.Ops[0].Reg, w, b.Select(c, v, a))

@@ -30,9 +30,73 @@ import (
 	"lasagne/internal/x86"
 )
 
+// InstrError is a typed lifting failure attributed to one machine
+// instruction. The operand/condition helpers deep inside the lifter panic
+// with it when they meet a shape they cannot translate; the fault-tolerant
+// pipeline's recover boundary (diag.Guard) converts the panic back into an
+// error, and Address lets diagnostics report where in the binary the
+// untranslatable instruction sits.
+type InstrError struct {
+	Addr   uint64
+	Op     string
+	Detail string
+}
+
+func (e *InstrError) Error() string {
+	return fmt.Sprintf("lifter: %s at %#x: %s", e.Op, e.Addr, e.Detail)
+}
+
+// Address returns the machine address of the offending instruction
+// (the diag.Addresser contract).
+func (e *InstrError) Address() uint64 { return e.Addr }
+
 // Lift translates an entire x86-64 object file into an IR module.
 func Lift(file *obj.File) (*ir.Module, error) {
-	streams, err := mc.Disassemble(file)
+	ml, err := Begin(file)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range ml.Streams() {
+		if err := ml.DeclareFunc(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range ml.Streams() {
+		if err := ml.LiftFunc(s.Sym.Name); err != nil {
+			return nil, fmt.Errorf("lifter: @%s: %w", s.Sym.Name, err)
+		}
+	}
+	if err := ir.Verify(ml.Module()); err != nil {
+		return nil, fmt.Errorf("lifter: produced invalid IR: %w", err)
+	}
+	return ml.Module(), nil
+}
+
+// ModuleLifter lifts one object incrementally so the fault-tolerant
+// pipeline can wrap each function in its own recover boundary: Begin
+// disassembles and materializes globals, DeclareFunc reconstructs one
+// function's CFG and signature, LiftFunc translates one body, and StubFunc
+// installs a trivial body for a function whose translation failed.
+type ModuleLifter struct {
+	l       *lifter
+	streams []mc.Stream
+}
+
+// Begin disassembles the object and prepares the module shell (runtime
+// declarations plus one [size x i8] global per data symbol).
+func Begin(file *obj.File) (*ModuleLifter, error) { return BeginTolerant(file, nil) }
+
+// BeginTolerant is Begin with per-function disassembly recovery: when bad is
+// non-nil, a function with undecodable bytes is reported through bad and
+// dropped from the stream list instead of failing the whole object.
+func BeginTolerant(file *obj.File, bad func(sym obj.Symbol, err error)) (*ModuleLifter, error) {
+	var streams []mc.Stream
+	var err error
+	if bad == nil {
+		streams, err = mc.Disassemble(file)
+	} else {
+		streams, err = mc.DisassembleEach(file, bad)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -41,8 +105,6 @@ func Lift(file *obj.File) (*ir.Module, error) {
 
 	l := &lifter{file: file, mod: mod, mfuncs: map[string]*machine.Function{}}
 
-	// Globals: every data symbol becomes an [size x i8] global initialized
-	// from the loaded image.
 	data := file.Section(".data")
 	for _, s := range file.Symbols {
 		if s.Kind != obj.SymData {
@@ -53,45 +115,80 @@ func Lift(file *obj.File) (*ir.Module, error) {
 			g.Init = append([]byte(nil), data.Data[s.Addr-data.Addr:s.Addr-data.Addr+s.Size]...)
 		}
 	}
+	return &ModuleLifter{l: l, streams: streams}, nil
+}
 
-	// Phase 1: CFG reconstruction and type discovery for every function.
-	for _, s := range streams {
-		mf, err := machine.Build(s)
-		if err != nil {
-			return nil, err
-		}
-		l.mfuncs[mf.Name] = mf
-		var params []ir.Type
-		for _, p := range mf.Params {
-			switch p.Kind {
-			case machine.ParamInt:
-				params = append(params, ir.I64)
-			case machine.ParamF64:
-				params = append(params, ir.F64)
-			case machine.ParamF32:
-				params = append(params, ir.F32)
-			}
-		}
-		var ret ir.Type = ir.Void
-		switch mf.Ret {
-		case machine.RetInt:
-			ret = ir.I64
-		case machine.RetF64:
-			ret = ir.F64
-		}
-		mod.NewFunc(mf.Name, &ir.FuncType{Ret: ret, Params: params})
-	}
+// Streams returns the per-function instruction streams in object order.
+func (ml *ModuleLifter) Streams() []mc.Stream { return ml.streams }
 
-	// Phase 2: instruction translation.
-	for _, s := range streams {
-		if err := l.liftFunc(l.mfuncs[s.Sym.Name]); err != nil {
-			return nil, fmt.Errorf("lifter: @%s: %w", s.Sym.Name, err)
+// Module returns the module under construction.
+func (ml *ModuleLifter) Module() *ir.Module { return ml.l.mod }
+
+// DeclareFunc runs phase 1 for one function: CFG reconstruction and type
+// discovery, creating the (still empty) IR function. All declarations must
+// happen before any LiftFunc so call instructions can resolve their
+// callees.
+func (ml *ModuleLifter) DeclareFunc(s mc.Stream) error {
+	mf, err := machine.Build(s)
+	if err != nil {
+		return err
+	}
+	ml.l.mfuncs[mf.Name] = mf
+	var params []ir.Type
+	for _, p := range mf.Params {
+		switch p.Kind {
+		case machine.ParamInt:
+			params = append(params, ir.I64)
+		case machine.ParamF64:
+			params = append(params, ir.F64)
+		case machine.ParamF32:
+			params = append(params, ir.F32)
 		}
 	}
-	if err := ir.Verify(mod); err != nil {
-		return nil, fmt.Errorf("lifter: produced invalid IR: %w", err)
+	var ret ir.Type = ir.Void
+	switch mf.Ret {
+	case machine.RetInt:
+		ret = ir.I64
+	case machine.RetF64:
+		ret = ir.F64
 	}
-	return mod, nil
+	ml.l.mod.NewFunc(mf.Name, &ir.FuncType{Ret: ret, Params: params})
+	return nil
+}
+
+// LiftFunc runs phase 2 for one declared function. Untranslatable operand
+// shapes panic with a typed *InstrError; callers that want containment wrap
+// the call in diag.Guard.
+func (ml *ModuleLifter) LiftFunc(name string) error {
+	mf := ml.l.mfuncs[name]
+	if mf == nil {
+		return fmt.Errorf("lifter: function %q was never declared", name)
+	}
+	return ml.l.liftFunc(mf)
+}
+
+// StubFunc discards whatever body name has (possibly half-lifted wreckage
+// from a failed LiftFunc) and installs a single block returning the zero
+// value of the return type. The stub keeps the module verifiable and
+// callable; the pipeline flags it with an Error diagnostic so nobody
+// mistakes it for a faithful translation.
+func (ml *ModuleLifter) StubFunc(name string) {
+	f := ml.l.mod.Func(name)
+	if f == nil || f.External {
+		return
+	}
+	f.Blocks = nil
+	bld := ir.NewBuilder(f.NewBlock("entry"))
+	switch rt := f.Sig.Ret.(type) {
+	case *ir.IntType:
+		bld.Ret(ir.IntConst(rt, 0))
+	case *ir.FloatType:
+		bld.Ret(ir.FloatConst(rt, 0))
+	case *ir.PtrType:
+		bld.Ret(ir.Null(rt))
+	default:
+		bld.Ret(nil)
+	}
 }
 
 type lifter struct {
@@ -410,7 +507,7 @@ func (fl *fnLifter) readOp(in x86.Inst, o x86.Operand, w int) ir.Value {
 	case x86.KindMem:
 		return fl.loadMem(in, o.Mem, w)
 	}
-	panic("lifter: bad operand")
+	panic(&InstrError{Addr: in.Addr, Op: in.Op.String(), Detail: "unreadable operand"})
 }
 
 // writeOp writes v (iW) to a register or memory operand.
@@ -421,7 +518,7 @@ func (fl *fnLifter) writeOp(in x86.Inst, o x86.Operand, w int, v ir.Value) {
 	case x86.KindMem:
 		fl.storeMem(in, o.Mem, w, v)
 	default:
-		panic("lifter: bad write operand")
+		panic(&InstrError{Addr: in.Addr, Op: in.Op.String(), Detail: "unwritable operand"})
 	}
 }
 
@@ -479,7 +576,7 @@ func (fl *fnLifter) flagsLogic(r ir.Value) {
 }
 
 // cond materializes an i1 for an x86 condition code from the flag slots.
-func (fl *fnLifter) cond(cc x86.Cond) ir.Value {
+func (fl *fnLifter) cond(in x86.Inst, cc x86.Cond) ir.Value {
 	not := func(v ir.Value) ir.Value { return fl.b.Xor(v, ir.I1Const(true)) }
 	switch cc {
 	case x86.CondE:
@@ -515,7 +612,7 @@ func (fl *fnLifter) cond(cc x86.Cond) ir.Value {
 	case x86.CondNO:
 		return not(fl.getFlag(fOF))
 	}
-	panic("lifter: bad condition")
+	panic(&InstrError{Addr: in.Addr, Op: in.Op.String(), Detail: fmt.Sprintf("unsupported condition code %d", int(cc))})
 }
 
 // XMM helpers: XMM slots hold the raw low 64 bits as i64.

@@ -16,8 +16,30 @@ type Stream struct {
 	Insts []x86.Inst
 }
 
-// Disassemble decodes every function symbol of an x86-64 object file.
+// Disassemble decodes every function symbol of an x86-64 object file. The
+// first undecodable function fails the whole object; DisassembleEach is the
+// per-function-recoverable variant.
 func Disassemble(f *obj.File) ([]Stream, error) {
+	var firstErr error
+	out, err := DisassembleEach(f, func(sym obj.Symbol, err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// DisassembleEach decodes each function symbol independently: a function
+// that sits outside .text or contains undecodable bytes is reported through
+// bad and skipped, instead of poisoning the whole object. Object-level
+// problems (wrong architecture, missing .text) still return an error.
+func DisassembleEach(f *obj.File, bad func(sym obj.Symbol, err error)) ([]Stream, error) {
 	if f.Arch != "x86-64" {
 		return nil, fmt.Errorf("mc: cannot disassemble %q binaries", f.Arch)
 	}
@@ -28,12 +50,14 @@ func Disassemble(f *obj.File) ([]Stream, error) {
 	var out []Stream
 	for _, sym := range f.FuncSymbols() {
 		if sym.Addr < text.Addr || sym.Addr+sym.Size > text.Addr+uint64(len(text.Data)) {
-			return nil, fmt.Errorf("mc: function %s outside .text", sym.Name)
+			bad(sym, fmt.Errorf("mc: function %s outside .text", sym.Name))
+			continue
 		}
 		start := sym.Addr - text.Addr
 		insts, err := x86.DecodeAll(text.Data[start:start+sym.Size], sym.Addr)
 		if err != nil {
-			return nil, fmt.Errorf("mc: disassembling %s: %w", sym.Name, err)
+			bad(sym, fmt.Errorf("mc: disassembling %s: %w", sym.Name, err))
+			continue
 		}
 		out = append(out, Stream{Sym: sym, Insts: insts})
 	}

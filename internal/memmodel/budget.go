@@ -1,0 +1,151 @@
+package memmodel
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"lasagne/internal/diag"
+)
+
+// Budget bounds an enumeration. The zero value is unbounded — the behavior
+// of the non-Budget entry points. A bounded enumeration that runs out
+// returns an error wrapping diag.ErrBudgetExceeded and whatever partial
+// results were folded before the cutoff.
+type Budget struct {
+	// Ctx aborts the enumeration when it is done. Nil means no deadline.
+	Ctx context.Context
+	// MaxVisits caps the number of candidate executions visited across all
+	// workers. Zero means unlimited.
+	MaxVisits int64
+}
+
+// ctxPollInterval is how many visited candidates pass between context
+// polls; candidate visits are sub-microsecond, so polling each one would
+// dominate the walk.
+const ctxPollInterval = 256
+
+// limiter enforces one Budget across the (possibly parallel) enumeration
+// workers. A nil limiter is the unbounded fast path: one nil check per
+// visited candidate.
+type limiter struct {
+	ctx       context.Context
+	maxVisits int64
+	visits    atomic.Int64
+	stopped   atomic.Bool
+	cause     atomic.Value // error
+}
+
+func newLimiter(b Budget) *limiter {
+	if b.Ctx == nil && b.MaxVisits <= 0 {
+		return nil
+	}
+	return &limiter{ctx: b.Ctx, maxVisits: b.MaxVisits}
+}
+
+// take consumes one candidate visit; false means the walk must stop.
+func (l *limiter) take() bool {
+	if l == nil {
+		return true
+	}
+	if l.stopped.Load() {
+		return false
+	}
+	n := l.visits.Add(1)
+	if l.maxVisits > 0 && n > l.maxVisits {
+		l.stop(fmt.Errorf("memmodel: enumeration cut off after %d candidate executions: %w",
+			l.maxVisits, diag.ErrBudgetExceeded))
+		return false
+	}
+	if l.ctx != nil && n%ctxPollInterval == 0 {
+		if err := l.ctx.Err(); err != nil {
+			l.stop(fmt.Errorf("memmodel: enumeration interrupted after %d candidate executions: %w (%v)",
+				n, diag.ErrBudgetExceeded, err))
+			return false
+		}
+	}
+	return true
+}
+
+func (l *limiter) stop(err error) {
+	if l.stopped.CompareAndSwap(false, true) {
+		l.cause.Store(err)
+	}
+}
+
+// err returns the budget violation, or nil when the walk ran to completion.
+func (l *limiter) err() error {
+	if l == nil || !l.stopped.Load() {
+		return nil
+	}
+	if e, ok := l.cause.Load().(error); ok {
+		return e
+	}
+	return diag.ErrBudgetExceeded
+}
+
+// expired pre-checks a context so an already-dead deadline fails before any
+// enumeration work happens.
+func (l *limiter) expired() bool {
+	if l == nil || l.ctx == nil {
+		return false
+	}
+	if err := l.ctx.Err(); err != nil {
+		l.stop(fmt.Errorf("memmodel: enumeration not started: %w (%v)", diag.ErrBudgetExceeded, err))
+		return true
+	}
+	return false
+}
+
+// VisitExecutionsBudget is VisitExecutions under a Budget: the walk stops
+// as soon as the budget is exhausted and the cutoff is reported as an error
+// wrapping diag.ErrBudgetExceeded. Candidates visited before the cutoff
+// were delivered to visit, so a caller folding results holds a valid
+// partial answer.
+func VisitExecutionsBudget(p *Program, b Budget, visit func(*Execution)) error {
+	lim := newLimiter(b)
+	if lim.expired() {
+		return lim.err()
+	}
+	s := newEnumSpace(p)
+	w := s.newWalker()
+	w.lim = lim
+	w.walkCo(0, visit)
+	return lim.err()
+}
+
+// BehaviorsOfBudget is BehaviorsOf under a Budget. On cutoff the returned
+// map holds the behaviors of the candidates visited so far — a sound
+// underapproximation — together with the budget error.
+func BehaviorsOfBudget(p *Program, m Model, withReads bool, b Budget) (map[string]Behavior, error) {
+	out := map[string]Behavior{}
+	var rbuf *rels
+	err := VisitExecutionsBudget(p, b, func(x *Execution) {
+		rbuf = x.relationsInto(rbuf)
+		if !scPerLoc(x, rbuf) || !atomicity(x, rbuf) {
+			return
+		}
+		if !m.Consistent(x, rbuf) {
+			return
+		}
+		bh := x.behaviorOf()
+		out[bh.Key(withReads)] = bh
+	})
+	return out, err
+}
+
+// CheckMappingBudget verifies Theorem 7.1 on one program under a Budget.
+// A cutoff yields the budget error, never a verdict: behavior-set inclusion
+// over partial sets proves nothing in either direction.
+func CheckMappingBudget(src *Program, srcModel Model, mapFn func(*Program) *Program, tgtModel Model, b Budget) error {
+	tgt := mapFn(src)
+	srcB, err := BehaviorsOfParallelBudget(src, srcModel, true, DefaultParallelism, b)
+	if err != nil {
+		return fmt.Errorf("checking %s under %s: %w", src.Name, srcModel.Name, err)
+	}
+	tgtB, err := BehaviorsOfParallelBudget(tgt, tgtModel, true, DefaultParallelism, b)
+	if err != nil {
+		return fmt.Errorf("checking %s under %s: %w", tgt.Name, tgtModel.Name, err)
+	}
+	return compareBehaviors(src, srcModel, tgtModel, srcB, tgtB)
+}

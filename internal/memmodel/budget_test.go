@@ -1,0 +1,119 @@
+package memmodel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lasagne/internal/diag"
+)
+
+// iriw is large enough that every budget in these tests trips mid-walk.
+func iriw() *Program {
+	return &Program{Name: "IRIW", Threads: [][]Op{
+		{St("X", 1)},
+		{St("Y", 1)},
+		{Ld("X"), Ld("Y")},
+		{Ld("Y"), Ld("X")},
+	}}
+}
+
+func TestBudgetMaxVisits(t *testing.T) {
+	var visits int
+	err := VisitExecutionsBudget(iriw(), Budget{MaxVisits: 5}, func(*Execution) { visits++ })
+	if !errors.Is(err, diag.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if visits != 5 {
+		t.Fatalf("visited %d candidates, want exactly 5", visits)
+	}
+}
+
+func TestBudgetExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var visits int
+	err := VisitExecutionsBudget(iriw(), Budget{Ctx: ctx}, func(*Execution) { visits++ })
+	if !errors.Is(err, diag.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if visits != 0 {
+		t.Fatalf("visited %d candidates under a dead context, want 0", visits)
+	}
+}
+
+func TestBudgetUnboundedMatchesUnbudgeted(t *testing.T) {
+	p := iriw()
+	want := BehaviorsOf(p, Arm, true)
+	got, err := BehaviorsOfBudget(p, Arm, true, Budget{})
+	if err != nil {
+		t.Fatalf("unbounded budget failed: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("behaviors %d != %d", len(got), len(want))
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Fatalf("missing behavior %s", k)
+		}
+	}
+}
+
+func TestBudgetPartialIsSubset(t *testing.T) {
+	p := iriw()
+	full := BehaviorsOf(p, X86, true)
+	part, err := BehaviorsOfBudget(p, X86, true, Budget{MaxVisits: 6})
+	if !errors.Is(err, diag.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	for k := range part {
+		if _, ok := full[k]; !ok {
+			t.Fatalf("partial result %s not in the full behavior set", k)
+		}
+	}
+}
+
+func TestBudgetParallelSharedAcrossWorkers(t *testing.T) {
+	// The cap is shared: the limiter admits exactly MaxVisits candidates in
+	// total no matter how many workers draw from it.
+	var visits atomic.Int64
+	err := VisitExecutionsParallelBudget(iriw(), 4, Budget{MaxVisits: 7}, func(*Execution) {
+		visits.Add(1)
+	})
+	if !errors.Is(err, diag.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if n := visits.Load(); n != 7 {
+		t.Fatalf("visited %d candidates across workers, want exactly 7", n)
+	}
+}
+
+func TestBudgetParallelUnboundedMatchesSerial(t *testing.T) {
+	p := iriw()
+	want := BehaviorsOf(p, LIMM, true)
+	got, err := BehaviorsOfParallelBudget(p, LIMM, true, 4, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("behaviors %d != %d", len(got), len(want))
+	}
+}
+
+func TestCheckMappingBudgetDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond) // guarantee expiry regardless of scheduling
+	err := CheckMappingBudget(iriw(), X86, MapX86ToIR, LIMM, Budget{Ctx: ctx})
+	if !errors.Is(err, diag.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestCheckMappingBudgetUnbounded(t *testing.T) {
+	if err := CheckMappingBudget(iriw(), X86, MapX86ToIR, LIMM, Budget{}); err != nil {
+		t.Fatalf("mapping check failed: %v", err)
+	}
+}

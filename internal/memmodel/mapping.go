@@ -133,6 +133,12 @@ func CheckMapping(src *Program, srcModel Model, mapFn func(*Program) *Program, t
 	tgt := mapFn(src)
 	srcB := BehaviorsOfParallel(src, srcModel, true, DefaultParallelism)
 	tgtB := BehaviorsOfParallel(tgt, tgtModel, true, DefaultParallelism)
+	return compareBehaviors(src, srcModel, tgtModel, srcB, tgtB)
+}
+
+// compareBehaviors is the inclusion check behind CheckMapping: every target
+// behavior must already be a source behavior.
+func compareBehaviors(src *Program, srcModel, tgtModel Model, srcB, tgtB map[string]Behavior) error {
 	var extra []string
 	for b := range tgtB {
 		if _, ok := srcB[b]; !ok {

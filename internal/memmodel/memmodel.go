@@ -373,6 +373,7 @@ type walker struct {
 	s      *enumSpace
 	events []Event
 	x      *Execution
+	lim    *limiter // nil = unbounded
 }
 
 func (s *enumSpace) newWalker() *walker {
@@ -393,30 +394,40 @@ func (s *enumSpace) newWalker() *walker {
 
 // walkReads enumerates rf assignments for reads[ri:] on top of the walker's
 // current co/rf prefix, calling visit with the scratch Execution at each
-// leaf.
-func (w *walker) walkReads(ri int, visit func(*Execution)) {
+// leaf. It returns false when the walker's budget ran out mid-walk; callers
+// must stop enumerating.
+func (w *walker) walkReads(ri int, visit func(*Execution)) bool {
 	if ri == len(w.s.reads) {
+		if !w.lim.take() {
+			return false
+		}
 		visit(w.x)
-		return
+		return true
 	}
 	r := w.s.reads[ri]
 	for _, src := range w.s.rfChoices[ri] {
 		w.x.RF[r.ID] = src
 		w.events[r.ID].Val = w.events[src].Val
-		w.walkReads(ri+1, visit)
+		if !w.walkReads(ri+1, visit) {
+			return false
+		}
 	}
+	return true
 }
 
 // walkCo enumerates coherence orders for locs[ci:], then descends into rf.
-func (w *walker) walkCo(ci int, visit func(*Execution)) {
+// Like walkReads, false means the budget stopped the walk early.
+func (w *walker) walkCo(ci int, visit func(*Execution)) bool {
 	if ci == len(w.s.locs) {
-		w.walkReads(0, visit)
-		return
+		return w.walkReads(0, visit)
 	}
 	for _, order := range w.s.coChoices[ci] {
 		w.x.CO[w.s.locs[ci]] = order
-		w.walkCo(ci+1, visit)
+		if !w.walkCo(ci+1, visit) {
+			return false
+		}
 	}
+	return true
 }
 
 // VisitExecutions streams every candidate execution of p (all rf choices ×
@@ -427,9 +438,10 @@ func (w *walker) walkCo(ci int, visit func(*Execution)) {
 //
 // The *Execution passed to visit is a scratch value reused between calls:
 // visitors must copy anything they retain (see (*Execution).Clone).
+//
+// For a time- or visit-bounded walk use VisitExecutionsBudget.
 func VisitExecutions(p *Program, visit func(*Execution)) {
-	s := newEnumSpace(p)
-	s.newWalker().walkCo(0, visit)
+	VisitExecutionsBudget(p, Budget{}, visit) // unbounded: cannot fail
 }
 
 // Clone returns a deep copy of the execution, safe to retain after the
@@ -670,18 +682,6 @@ type Model struct {
 // relation buffer is reused across candidates, so the peak footprint is one
 // execution regardless of how many candidates the program has.
 func BehaviorsOf(p *Program, m Model, withReads bool) map[string]Behavior {
-	out := map[string]Behavior{}
-	var rbuf *rels
-	VisitExecutions(p, func(x *Execution) {
-		rbuf = x.relationsInto(rbuf)
-		if !scPerLoc(x, rbuf) || !atomicity(x, rbuf) {
-			return
-		}
-		if !m.Consistent(x, rbuf) {
-			return
-		}
-		b := x.behaviorOf()
-		out[b.Key(withReads)] = b
-	})
+	out, _ := BehaviorsOfBudget(p, m, withReads, Budget{}) // unbounded: cannot fail
 	return out
 }

@@ -36,9 +36,20 @@ type enumTask struct {
 // called concurrently from multiple goroutines, each with its own scratch
 // Execution.
 func VisitExecutionsParallel(p *Program, workers int, visit func(*Execution)) {
+	VisitExecutionsParallelBudget(p, workers, Budget{}, visit) // unbounded: cannot fail
+}
+
+// VisitExecutionsParallelBudget is VisitExecutionsParallel under a Budget.
+// All workers draw from one shared limiter, so MaxVisits caps the total
+// candidates visited across goroutines; once any worker trips the budget
+// the others stop at their next candidate or task boundary.
+func VisitExecutionsParallelBudget(p *Program, workers int, b Budget, visit func(*Execution)) error {
 	if workers <= 1 {
-		VisitExecutions(p, visit)
-		return
+		return VisitExecutionsBudget(p, b, visit)
+	}
+	lim := newLimiter(b)
+	if lim.expired() {
+		return lim.err()
 	}
 	s := newEnumSpace(p)
 
@@ -69,8 +80,10 @@ func VisitExecutionsParallel(p *Program, workers int, visit func(*Execution)) {
 		workers = len(tasks)
 	}
 	if workers <= 1 {
-		s.newWalker().walkCo(0, visit)
-		return
+		w := s.newWalker()
+		w.lim = lim
+		w.walkCo(0, visit)
+		return lim.err()
 	}
 
 	var next atomic.Int64
@@ -80,6 +93,7 @@ func VisitExecutionsParallel(p *Program, workers int, visit func(*Execution)) {
 		go func() {
 			defer wg.Done()
 			walk := s.newWalker()
+			walk.lim = lim
 			for {
 				ti := int(next.Add(1)) - 1
 				if ti >= len(tasks) {
@@ -90,26 +104,39 @@ func VisitExecutionsParallel(p *Program, workers int, visit func(*Execution)) {
 					walk.x.CO[s.locs[ci]] = s.coChoices[ci][k]
 				}
 				if t.rf0 < 0 {
-					walk.walkReads(0, visit)
+					if !walk.walkReads(0, visit) {
+						return
+					}
 					continue
 				}
 				r0 := s.reads[0]
 				src := s.rfChoices[0][t.rf0]
 				walk.x.RF[r0.ID] = src
 				walk.events[r0.ID].Val = walk.events[src].Val
-				walk.walkReads(1, visit)
+				if !walk.walkReads(1, visit) {
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return lim.err()
 }
 
 // BehaviorsOfParallel computes BehaviorsOf using the parallel enumeration
 // driver: each worker filters and folds behaviors into a private map, and
 // the maps are merged at the end. The result is identical to BehaviorsOf.
 func BehaviorsOfParallel(p *Program, m Model, withReads bool, workers int) map[string]Behavior {
+	out, _ := BehaviorsOfParallelBudget(p, m, withReads, workers, Budget{}) // unbounded: cannot fail
+	return out
+}
+
+// BehaviorsOfParallelBudget is BehaviorsOfParallel under a Budget. On
+// cutoff the returned map holds the behaviors folded before the budget
+// tripped (a sound underapproximation) alongside the budget error.
+func BehaviorsOfParallelBudget(p *Program, m Model, withReads bool, workers int, b Budget) (map[string]Behavior, error) {
 	if workers <= 1 {
-		return BehaviorsOf(p, m, withReads)
+		return BehaviorsOfBudget(p, m, withReads, b)
 	}
 	type shard struct {
 		out  map[string]Behavior
@@ -117,7 +144,7 @@ func BehaviorsOfParallel(p *Program, m Model, withReads bool, workers int) map[s
 	}
 	var mu sync.Mutex
 	shards := map[*Execution]*shard{} // keyed by each worker's scratch Execution
-	VisitExecutionsParallel(p, workers, func(x *Execution) {
+	err := VisitExecutionsParallelBudget(p, workers, b, func(x *Execution) {
 		mu.Lock()
 		sh := shards[x]
 		if sh == nil {
@@ -141,5 +168,5 @@ func BehaviorsOfParallel(p *Program, m Model, withReads bool, workers int) map[s
 			out[k] = v
 		}
 	}
-	return out
+	return out, err
 }

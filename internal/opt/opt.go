@@ -11,6 +11,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 
 	"lasagne/internal/ir"
@@ -91,6 +92,36 @@ func RunPipeline(m *ir.Module, names []string, verify bool) error {
 // Optimize runs the standard pipeline.
 func Optimize(m *ir.Module) error {
 	return RunPipeline(m, StandardPipeline, false)
+}
+
+// RunFuncPipeline applies a sequence of passes to a single function,
+// checking ctx between passes so a per-function time budget can interrupt a
+// slow pipeline. Every pass in the registry is function-local, so running
+// the pipeline function-major produces the same result as the pass-major
+// RunPipeline; the fault-tolerant pipeline relies on that to optimize (and
+// roll back) one function at a time. When verify is set the function is
+// checked after each pass so a miscompiling pass is caught at the pass that
+// introduced it.
+func RunFuncPipeline(ctx context.Context, f *ir.Func, names []string, verify bool) error {
+	if f.External {
+		return nil
+	}
+	for _, n := range names {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("opt: pipeline interrupted before %s on %s: %w", n, f.Name, err)
+		}
+		p, ok := Registry[n]
+		if !ok {
+			return fmt.Errorf("opt: unknown pass %q", n)
+		}
+		p.Run(f)
+		if verify {
+			if err := ir.VerifyFunc(f); err != nil {
+				return fmt.Errorf("opt: function %s invalid after %s: %w", f.Name, n, err)
+			}
+		}
+	}
+	return nil
 }
 
 // baseObject traces a pointer to its underlying object: an alloca

@@ -30,6 +30,14 @@ func Run(m *ir.Module) int {
 	return total
 }
 
+// PeepholeFunc applies the Fig. 5 rules to one function. The fault-tolerant
+// pipeline runs refinement at this granularity so one function's failure can
+// be contained without discarding the rest of the module's rewrites.
+func PeepholeFunc(f *ir.Func) int { return peepholeFunc(f) }
+
+// CleanupFunc removes dead pure instructions from one function.
+func CleanupFunc(f *ir.Func) int { return cleanupFunc(f) }
+
 // CountPtrCasts counts inttoptr and ptrtoint instructions — the Fig. 13
 // metric.
 func CountPtrCasts(m *ir.Module) int {
@@ -157,10 +165,21 @@ func materializePointer(bld *ir.Builder, b *ir.Block, pos *ir.Instr, base ir.Val
 // PromoteParams applies §5.2: an integer parameter whose only uses are
 // inttoptr instructions is retyped as a pointer; call sites are adjusted.
 // Returns the number of promoted parameters.
-func PromoteParams(m *ir.Module) int {
+func PromoteParams(m *ir.Module) int { return PromoteParamsFiltered(m, nil) }
+
+// PromoteParamsFiltered is PromoteParams restricted to functions for which
+// keep returns true (nil keeps everything). The fault-tolerant pipeline
+// excludes functions that already degraded to their lifted snapshot:
+// retyping a degraded function's signature would desynchronize it from the
+// call-site rewrites applied elsewhere. Call sites *inside* excluded
+// functions are still adjusted — signature changes are module-wide facts.
+func PromoteParamsFiltered(m *ir.Module, keep func(*ir.Func) bool) int {
 	promoted := 0
 	for _, f := range m.Funcs {
 		if f.External || len(f.Blocks) == 0 {
+			continue
+		}
+		if keep != nil && !keep(f) {
 			continue
 		}
 		uses := ir.ComputeUses(f)
@@ -238,24 +257,30 @@ func rewriteCallSites(m *ir.Module, callee *ir.Func, argIdx int, newTy ir.Type) 
 func cleanupDeadCasts(m *ir.Module) int {
 	removed := 0
 	for _, f := range m.Funcs {
-		for {
-			uses := ir.ComputeUses(f)
-			n := 0
-			for _, b := range f.Blocks {
-				for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
-					if in.HasSideEffects() || ir.IsVoid(in.Ty) || in.Op == ir.OpPhi {
-						continue
-					}
-					if len(uses[in]) == 0 {
-						b.Remove(in)
-						n++
-					}
+		removed += cleanupFunc(f)
+	}
+	return removed
+}
+
+func cleanupFunc(f *ir.Func) int {
+	removed := 0
+	for {
+		uses := ir.ComputeUses(f)
+		n := 0
+		for _, b := range f.Blocks {
+			for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+				if in.HasSideEffects() || ir.IsVoid(in.Ty) || in.Op == ir.OpPhi {
+					continue
+				}
+				if len(uses[in]) == 0 {
+					b.Remove(in)
+					n++
 				}
 			}
-			removed += n
-			if n == 0 {
-				break
-			}
+		}
+		removed += n
+		if n == 0 {
+			break
 		}
 	}
 	return removed

@@ -13,12 +13,14 @@
 package sim
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"strings"
 
 	"lasagne/internal/arm64"
+	"lasagne/internal/diag"
 	"lasagne/internal/obj"
 	"lasagne/internal/rt"
 	"lasagne/internal/x86"
@@ -92,6 +94,15 @@ type Machine struct {
 	x86Tab   []x86.Inst // entry per byte offset; Len==0 means not predecoded
 }
 
+// DefaultMaxSteps is the default Machine.MaxSteps: the total-instruction
+// budget after which Run gives up with an error wrapping
+// diag.ErrBudgetExceeded.
+const DefaultMaxSteps = 400_000_000
+
+// ctxCheckInterval is how many scheduler steps pass between context polls
+// in RunContext; checking every step would dominate the interpreter loop.
+const ctxCheckInterval = 1024
+
 // NewMachine loads an object file into a fresh machine.
 func NewMachine(f *obj.File) (*Machine, error) {
 	m := &Machine{
@@ -99,7 +110,7 @@ func NewMachine(f *obj.File) (*Machine, error) {
 		Mem:      make([]byte, MemSize),
 		Out:      &strings.Builder{},
 		NThreads: 4,
-		MaxSteps: 400_000_000,
+		MaxSteps: DefaultMaxSteps,
 		heapTop:  HeapBase,
 	}
 	for _, s := range f.Sections {
@@ -152,7 +163,14 @@ func (m *Machine) predecode() {
 
 // Run executes the entry function on thread 0 until all threads finish.
 // It returns the wall-clock cycle count (max over thread clocks).
-func (m *Machine) Run() (int64, error) {
+func (m *Machine) Run() (int64, error) { return m.RunContext(context.Background()) }
+
+// RunContext is Run bounded by ctx in addition to MaxSteps: the context is
+// polled every ctxCheckInterval scheduler steps, and both a step-limit hit
+// and a context expiry return an error wrapping diag.ErrBudgetExceeded, so
+// callers can distinguish "ran out of budget" from a genuine execution
+// fault with errors.Is.
+func (m *Machine) RunContext(ctx context.Context) (int64, error) {
 	entry := m.File.Symbol(m.File.Entry)
 	if entry == nil {
 		return 0, fmt.Errorf("sim: no entry symbol %q", m.File.Entry)
@@ -197,7 +215,12 @@ func (m *Machine) Run() (int64, error) {
 		}
 		m.steps++
 		if m.steps > m.MaxSteps {
-			return 0, fmt.Errorf("sim: step limit exceeded")
+			return 0, fmt.Errorf("sim: step limit (%d) exceeded: %w", m.MaxSteps, diag.ErrBudgetExceeded)
+		}
+		if m.steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("sim: interrupted after %d steps: %w (%v)", m.steps, diag.ErrBudgetExceeded, err)
+			}
 		}
 	}
 	var wall int64

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"lasagne/internal/arm64"
+	"lasagne/internal/diag"
 	"lasagne/internal/obj"
 	"lasagne/internal/rt"
 	"lasagne/internal/x86"
@@ -355,5 +357,22 @@ func TestExclusiveMonitorInvalidation(t *testing.T) {
 	}
 	if m.Out.String() != "400\n" {
 		t.Fatalf("contended LL/SC counter = %q, want 400 (monitor invalidation broken?)", m.Out.String())
+	}
+}
+
+func TestStepLimitBudgetError(t *testing.T) {
+	f := buildArm(t, []arm64.Inst{
+		{Op: arm64.ORR, Size: 8, Rd: arm64.X0, Rn: arm64.XZR, Rm: arm64.XZR},
+		{Op: arm64.ORR, Size: 8, Rd: arm64.X1, Rn: arm64.XZR, Rm: arm64.XZR},
+		{Op: arm64.RET, Rn: arm64.X30},
+	})
+	m, err := NewMachine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = 1
+	_, err = m.Run()
+	if !errors.Is(err, diag.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 	}
 }

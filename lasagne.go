@@ -16,7 +16,10 @@
 package lasagne
 
 import (
+	"context"
+
 	"lasagne/internal/core"
+	"lasagne/internal/diag"
 	"lasagne/internal/obj"
 )
 
@@ -26,20 +29,32 @@ type Config = core.Config
 // Stats reports pipeline metrics.
 type Stats = core.Stats
 
+// Report is the typed diagnostic report of one pipeline run: per-function
+// errors, warnings, and the list of functions that fell back to the
+// conservative full-fence translation.
+type Report = diag.Report
+
 // Default returns the full Lasagne configuration (the paper's PPOpt).
 func Default() Config { return core.Default() }
 
 // Translate statically translates an x86-64 object file into an Arm64
 // object file, preserving x86-TSO concurrency semantics via the verified
-// fence mapping.
-func Translate(bin *obj.File, cfg Config) (*obj.File, *Stats, error) {
+// fence mapping. The Report describes any per-function degradations or
+// failures; it is non-nil even when err is.
+func Translate(bin *obj.File, cfg Config) (*obj.File, *Stats, *Report, error) {
 	return core.Translate(bin, cfg)
+}
+
+// TranslateContext is Translate bounded by a context: when ctx expires the
+// pipeline stops and returns an error wrapping diag.ErrBudgetExceeded.
+func TranslateContext(ctx context.Context, bin *obj.File, cfg Config) (*obj.File, *Stats, *Report, error) {
+	return core.TranslateContext(ctx, bin, cfg)
 }
 
 // TranslateArmToX86 translates an Arm64 object file into an x86-64 object
 // file (the paper's Appendix B direction): DMB fences map through the IR's
 // LIMM fences onto TSO's implicit ordering (plus MFENCE for full fences),
 // and LL/SC loops become LOCK-prefixed instructions.
-func TranslateArmToX86(bin *obj.File, cfg Config) (*obj.File, *Stats, error) {
+func TranslateArmToX86(bin *obj.File, cfg Config) (*obj.File, *Stats, *Report, error) {
 	return core.TranslateArmToX86(bin, cfg)
 }
