@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify fuzz bench
+.PHONY: build test verify fuzz bench bench-memmodel
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem .
+
+# bench-memmodel measures the axiomatic checking core (the Thm 7.1 bounded
+# mapping sweep and the Fig. 11a reorder checker) and records the raw
+# `go test -json` stream for regression tracking.
+bench-memmodel:
+	$(GO) test -json -run '^$$' -bench 'CheckMappingExhaustive|Fig11aTable|SteadyStateVisit' \
+		-benchmem -count 3 ./internal/memmodel > BENCH_memmodel.json
+	@echo "wrote BENCH_memmodel.json"

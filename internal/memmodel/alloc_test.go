@@ -1,0 +1,51 @@
+package memmodel
+
+import "testing"
+
+// allocProbePrograms are the shapes the steady-state allocation contract is
+// checked on: multi-location, fence-bearing and RMW-bearing programs.
+func allocProbePrograms() []*Program {
+	return []*Program{
+		{Name: "SB", Threads: [][]Op{
+			{St("X", 1), Ld("Y")},
+			{St("Y", 1), Ld("X")},
+		}},
+		{Name: "IRIW+f", Threads: [][]Op{
+			{St("X", 1)},
+			{St("Y", 1)},
+			{Ld("X"), Fn(Fsc), Ld("Y")},
+			{Ld("Y"), Fn(Fsc), Ld("X")},
+		}},
+		{Name: "RMW-MP", Threads: [][]Op{
+			{St("X", 1), RMW("Y", 1)},
+			{Ld("Y"), Ld("X")},
+		}},
+	}
+}
+
+// TestSteadyStateVisitAllocationFree pins the walker/evaluator arena
+// contract: once a program's enumeration has run once (interning every
+// distinct behavior), re-walking the whole space — every candidate visited,
+// consistency-checked and folded — performs zero heap allocations, under
+// every model.
+func TestSteadyStateVisitAllocationFree(t *testing.T) {
+	for _, p := range allocProbePrograms() {
+		for _, m := range []Model{SC, X86, Arm, LIMM} {
+			s := newEnumSpace(p)
+			w := s.newAliasWalker()
+			ev := newEvaluator(s, m)
+			acc := newBehaviorSet(s.stat, true)
+			visit := func(x *Execution) {
+				if ev.consistent(x) {
+					acc.add(x)
+				}
+			}
+			w.walkCo(0, visit) // warm: grow maps, intern every behavior
+			allocs := testing.AllocsPerRun(5, func() { w.walkCo(0, visit) })
+			if allocs != 0 {
+				t.Errorf("%s under %s: %.1f allocs per steady-state enumeration pass, want 0",
+					p.Name, m.Name, allocs)
+			}
+		}
+	}
+}

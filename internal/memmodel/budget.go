@@ -108,7 +108,7 @@ func VisitExecutionsBudget(p *Program, b Budget, visit func(*Execution)) error {
 		return lim.err()
 	}
 	s := newEnumSpace(p)
-	w := s.newWalker()
+	w := s.newWalker(false)
 	w.lim = lim
 	w.walkCo(0, visit)
 	return lim.err()
@@ -117,21 +117,14 @@ func VisitExecutionsBudget(p *Program, b Budget, visit func(*Execution)) error {
 // BehaviorsOfBudget is BehaviorsOf under a Budget. On cutoff the returned
 // map holds the behaviors of the candidates visited so far — a sound
 // underapproximation — together with the budget error.
+//
+// The fold runs on the bitset engine: the model's skeleton-static order is
+// hoisted once, the walker's scratch arena (relation buffers, dense co
+// index, interned behavior keys) is reused across candidates, and the
+// steady-state per-candidate path performs zero heap allocations.
 func BehaviorsOfBudget(p *Program, m Model, withReads bool, b Budget) (map[string]Behavior, error) {
-	out := map[string]Behavior{}
-	var rbuf *rels
-	err := VisitExecutionsBudget(p, b, func(x *Execution) {
-		rbuf = x.relationsInto(rbuf)
-		if !scPerLoc(x, rbuf) || !atomicity(x, rbuf) {
-			return
-		}
-		if !m.Consistent(x, rbuf) {
-			return
-		}
-		bh := x.behaviorOf()
-		out[bh.Key(withReads)] = bh
-	})
-	return out, err
+	acc, err := foldBehaviorsBudget(p, m, withReads, 1, b)
+	return acc.result(), err
 }
 
 // CheckMappingBudget verifies Theorem 7.1 on one program under a Budget.
@@ -139,13 +132,13 @@ func BehaviorsOfBudget(p *Program, m Model, withReads bool, b Budget) (map[strin
 // over partial sets proves nothing in either direction.
 func CheckMappingBudget(src *Program, srcModel Model, mapFn func(*Program) *Program, tgtModel Model, b Budget) error {
 	tgt := mapFn(src)
-	srcB, err := BehaviorsOfParallelBudget(src, srcModel, true, DefaultParallelism, b)
+	srcS, err := foldBehaviorsBudget(src, srcModel, true, DefaultParallelism, b)
 	if err != nil {
 		return fmt.Errorf("checking %s under %s: %w", src.Name, srcModel.Name, err)
 	}
-	tgtB, err := BehaviorsOfParallelBudget(tgt, tgtModel, true, DefaultParallelism, b)
+	tgtS, err := foldBehaviorsBudget(tgt, tgtModel, true, DefaultParallelism, b)
 	if err != nil {
 		return fmt.Errorf("checking %s under %s: %w", tgt.Name, tgtModel.Name, err)
 	}
-	return compareBehaviors(src, srcModel, tgtModel, srcB, tgtB)
+	return compareFolds(src, srcModel, tgtModel, srcS, tgtS)
 }

@@ -1,0 +1,422 @@
+package memmodel
+
+import (
+	"strconv"
+	"strings"
+)
+
+// rmwPair is one rmw read/write event pair of the skeleton.
+type rmwPair struct{ r, w int }
+
+// statics holds every relation and lookup table that depends only on a
+// program's event skeleton — not on any execution's rf/co choice. It is
+// computed once per program in newEnumSpace and then shared read-only by
+// every enumeration worker: the per-execution path only ORs the
+// execution-varying edges on top (see evaluator.consistent).
+type statics struct {
+	n      int
+	events []*Event // skeleton events in ID order
+	locs   []string // sorted location universe
+	reads  []*Event // skeleton read events in ID order
+
+	po    *relation // full program order (init writes precede everything)
+	poLoc *relation // po restricted to same-location non-fence pairs
+	// ext marks "external" pairs — neither po(a,b) nor po(b,a) — which is
+	// exactly the side condition defining rfe/coe/fre. It is symmetric.
+	ext *relation
+
+	rmws   []rmwPair
+	locIdx []int // event ID -> index into locs (-1 for fences)
+	// readKeys are the canonical per-read behavior keys
+	// ("t<tid>.<loc>.<k>"), precomputed so behavior extraction never
+	// re-sorts or re-formats in the hot loop. readSorted lists read indexes
+	// in lexicographic key order — the order Behavior.Key emits them — and
+	// readSlot inverts it (read index -> canonical slot). Packing read
+	// values by canonical slot makes interned keys comparable across two
+	// programs whenever their location and read-key layouts agree.
+	readKeys   []string
+	readSorted []int
+	readSlot   []int
+}
+
+// buildStatics hoists the skeleton-invariant relations of an event skeleton.
+func buildStatics(events []*Event, locs []string, reads []*Event) *statics {
+	n := len(events)
+	arena := newRelArena(n, 3)
+	k := &statics{
+		n: n, events: events, locs: locs, reads: reads,
+		po: &arena[0], poLoc: &arena[1], ext: &arena[2],
+		locIdx: make([]int, n),
+	}
+	for _, e := range events {
+		k.locIdx[e.ID] = -1
+		if e.Kind != EvF {
+			for i, l := range locs { // location universes are tiny; no map
+				if l == e.Loc {
+					k.locIdx[e.ID] = i
+					break
+				}
+			}
+		}
+		if e.Kind == EvR && e.RMW >= 0 {
+			k.rmws = append(k.rmws, rmwPair{r: e.ID, w: e.RMW})
+		}
+	}
+	for _, a := range events {
+		for _, b := range events {
+			if a.ID == b.ID {
+				continue
+			}
+			if poBefore(a, b) {
+				k.po.set(a.ID, b.ID)
+				if a.Kind != EvF && b.Kind != EvF && a.Loc == b.Loc {
+					k.poLoc.set(a.ID, b.ID)
+				}
+			}
+		}
+	}
+	for _, a := range events {
+		for _, b := range events {
+			if a.ID != b.ID && !k.po.has(a.ID, b.ID) && !k.po.has(b.ID, a.ID) {
+				k.ext.set(a.ID, b.ID)
+			}
+		}
+	}
+	// Read slot keys, in (tid, idx) order — which is ID order, because
+	// buildEvents lowers threads in order and ops in order. The occurrence
+	// index is counted by scanning earlier reads: the handful of reads per
+	// litmus program makes that cheaper than a counting map.
+	k.readKeys = make([]string, len(reads))
+	for i, r := range reads {
+		occ := 0
+		for _, prev := range reads[:i] {
+			if prev.Tid == r.Tid && prev.Loc == r.Loc {
+				occ++
+			}
+		}
+		k.readKeys[i] = "t" + strconv.Itoa(r.Tid) + "." + r.Loc + "." + strconv.Itoa(occ)
+	}
+	// Canonical slot order = lexicographic key order (what Behavior.Key
+	// emits). Insertion sort: a handful of reads, and sort.Slice's reflection
+	// setup would cost more than the sort.
+	k.readSorted = make([]int, len(reads))
+	for i := range k.readSorted {
+		k.readSorted[i] = i
+	}
+	for i := 1; i < len(k.readSorted); i++ {
+		for j := i; j > 0 && k.readKeys[k.readSorted[j]] < k.readKeys[k.readSorted[j-1]]; j-- {
+			k.readSorted[j], k.readSorted[j-1] = k.readSorted[j-1], k.readSorted[j]
+		}
+	}
+	k.readSlot = make([]int, len(reads))
+	for slot, si := range k.readSorted {
+		k.readSlot[si] = slot
+	}
+	return k
+}
+
+// evaluator is one enumeration worker's consistency checker: two scratch
+// relation buffers (the model order graph and the SC-per-location graph)
+// plus pointers to the shared statics and the model's hoisted static order.
+// After construction, consistent() performs zero heap allocations.
+type evaluator struct {
+	k  *statics
+	m  Model
+	ms *relation // the model's skeleton-static order (m.static(k))
+	g  *relation // scratch: model order graph
+	s  *relation // scratch: SC-per-location graph
+}
+
+// newEvaluator builds an evaluator for one enumeration of sp under m,
+// computing the model's static order. Use newEvaluatorShared to share a
+// precomputed static order across parallel workers.
+func newEvaluator(sp *enumSpace, m Model) *evaluator {
+	return newEvaluatorShared(sp, m, m.static(sp.stat))
+}
+
+// newEvaluatorShared builds an evaluator around a precomputed (read-only)
+// model static order, so parallel workers hoist it once per enumeration
+// rather than once per worker.
+func newEvaluatorShared(sp *enumSpace, m Model, ms *relation) *evaluator {
+	k := sp.stat
+	scratch := newRelArena(k.n, 2)
+	return &evaluator{k: k, m: m, ms: ms, g: &scratch[0], s: &scratch[1]}
+}
+
+// addDynamic ORs the execution-varying edges into g: rf (write→read), co
+// (per-location total order pairs) and fr (read → writes co-after its
+// source), each restricted to external pairs when the corresponding flag is
+// set. It reads only the walker-maintained dense arrays (rfOf, coOrd,
+// coPos), never the exported maps, and allocates nothing.
+func (e *evaluator) addDynamic(g *relation, x *Execution, extRF, extCO, extFR bool) {
+	k := e.k
+	for _, r := range k.reads {
+		src := int(x.rfOf[r.ID])
+		if src < 0 {
+			continue
+		}
+		if !extRF || k.ext.has(src, r.ID) {
+			g.set(src, r.ID)
+		}
+	}
+	for _, order := range x.coOrd {
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				if !extCO || k.ext.has(order[i], order[j]) {
+					g.set(order[i], order[j])
+				}
+			}
+		}
+	}
+	for _, r := range k.reads {
+		src := int(x.rfOf[r.ID])
+		if src < 0 {
+			continue
+		}
+		order := x.coOrd[k.locIdx[r.ID]]
+		for p := int(x.coPos[src]) + 1; p < len(order); p++ {
+			w := order[p]
+			if !extFR || k.ext.has(r.ID, w) {
+				g.set(r.ID, w)
+			}
+		}
+	}
+}
+
+// consistent decides the full §6.2 consistency predicate — SC-per-location,
+// atomicity, and the model axiom — on one candidate execution, reusing the
+// evaluator's scratch buffers. Zero heap allocations.
+func (e *evaluator) consistent(x *Execution) bool {
+	// SC-per-location: (po|loc ∪ rf ∪ co ∪ fr) acyclic.
+	e.s.copyFrom(e.k.poLoc)
+	e.addDynamic(e.s, x, false, false, false)
+	if !e.s.acyclic() {
+		return false
+	}
+	if !e.atomicity(x) {
+		return false
+	}
+	// The model axiom: (static ∪ dynamic)+ irreflexive.
+	e.g.copyFrom(e.ms)
+	e.addDynamic(e.g, x, e.m.extRF, e.m.extCO, e.m.extFR)
+	return e.g.acyclic()
+}
+
+// atomicity checks rmw ∩ (fre;coe) = ∅ (§6.2) without materializing fre or
+// coe: a violating write w' must sit strictly between the rmw read's rf
+// source and the rmw write in their location's coherence order, so the dense
+// coPos index reduces the check to a scan of that co segment.
+func (e *evaluator) atomicity(x *Execution) bool {
+	k := e.k
+	for _, p := range k.rmws {
+		src := int(x.rfOf[p.r])
+		if src < 0 {
+			continue
+		}
+		i, j := int(x.coPos[src]), int(x.coPos[p.w])
+		if j <= i+1 {
+			continue
+		}
+		order := x.coOrd[k.locIdx[p.r]]
+		for t := i + 1; t < j; t++ {
+			wp := order[t]
+			if k.ext.has(p.r, wp) && k.ext.has(wp, p.w) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ikey is an interned behavior key: up to 16 observation slots (the final
+// value per location in locs order, then — when reads are observed — every
+// read's value in canonical readSorted order), packed 8 bits per slot. Two
+// executions get equal keys iff their behaviors are equal, and because the
+// slot layout is canonical, keys are comparable *across* two programs
+// whenever their layouts agree (see comparable). The string Behavior.Key
+// form is only materialized on demand, outside the enumeration hot loop.
+type ikey struct{ hi, lo uint64 }
+
+// slot extracts observation slot s of the packed key.
+func (key ikey) slot(s int) int {
+	if s < 8 {
+		return int(key.lo >> (8 * uint(s)) & 0xff)
+	}
+	return int(key.hi >> (8 * uint(s-8)) & 0xff)
+}
+
+// behaviorSet folds the behaviors of consistent executions, interning
+// canonical packed keys so the steady-state path is one map assignment per
+// consistent execution — no string building, no Behavior values. The slow
+// map catches programs whose values overflow the packed encoding (>255 or
+// more than 16 observation slots) — none of the generated litmus families
+// do, but correctness never depends on the fast path.
+type behaviorSet struct {
+	k         *statics
+	withReads bool
+	interned  map[ikey]struct{}
+	slow      map[string]Behavior
+}
+
+func newBehaviorSet(k *statics, withReads bool) *behaviorSet {
+	return &behaviorSet{k: k, withReads: withReads, interned: map[ikey]struct{}{}}
+}
+
+// pack encodes x's behavior into an ikey. ok=false means the behavior does
+// not fit the packed encoding and the caller must take the string path.
+func (bs *behaviorSet) pack(x *Execution) (ikey, bool) {
+	k := bs.k
+	slots := len(k.locs)
+	if bs.withReads {
+		slots += len(k.reads)
+	}
+	if slots > 16 {
+		return ikey{}, false
+	}
+	var key ikey
+	put := func(slot, v int) bool {
+		if uint(v) > 255 {
+			return false
+		}
+		if slot < 8 {
+			key.lo |= uint64(v) << (8 * uint(slot))
+		} else {
+			key.hi |= uint64(v) << (8 * uint(slot-8))
+		}
+		return true
+	}
+	for ci := range k.locs {
+		order := x.coOrd[ci]
+		if !put(ci, x.Events[order[len(order)-1]].Val) {
+			return ikey{}, false
+		}
+	}
+	if bs.withReads {
+		for si, r := range k.reads {
+			if !put(len(k.locs)+k.readSlot[si], x.Events[r.ID].Val) {
+				return ikey{}, false
+			}
+		}
+	}
+	return key, true
+}
+
+// add folds one consistent execution's behavior into the set: pack plus one
+// map assignment, with zero allocations for an already-seen behavior.
+func (bs *behaviorSet) add(x *Execution) {
+	key, ok := bs.pack(x)
+	if !ok {
+		b := x.behaviorOf()
+		if bs.slow == nil {
+			bs.slow = map[string]Behavior{}
+		}
+		bs.slow[b.Key(bs.withReads)] = b
+		return
+	}
+	bs.interned[key] = struct{}{}
+}
+
+// merge folds another set over the same enumeration space into bs.
+func (bs *behaviorSet) merge(other *behaviorSet) {
+	for key := range other.interned {
+		bs.interned[key] = struct{}{}
+	}
+	for k, b := range other.slow {
+		if bs.slow == nil {
+			bs.slow = map[string]Behavior{}
+		}
+		bs.slow[k] = b
+	}
+}
+
+// comparable reports whether two sets' interned keys decide behavior
+// equality directly: same observation mode, identical location universes and
+// identical canonical read-key sequences, and nothing on either slow path.
+// This is what lets the inclusion checkers compare a source and a target
+// program without ever materializing behavior strings.
+func (bs *behaviorSet) comparable(other *behaviorSet) bool {
+	a, b := bs.k, other.k
+	if a == nil || b == nil || bs.withReads != other.withReads ||
+		len(bs.slow) > 0 || len(other.slow) > 0 || len(a.locs) != len(b.locs) {
+		return false
+	}
+	for i := range a.locs {
+		if a.locs[i] != b.locs[i] {
+			return false
+		}
+	}
+	if !bs.withReads {
+		return true
+	}
+	if len(a.readKeys) != len(b.readKeys) {
+		return false
+	}
+	for i := range a.readSorted {
+		if a.readKeys[a.readSorted[i]] != b.readKeys[b.readSorted[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// keyString materializes the canonical Behavior.Key string of an interned
+// key — byte-identical to behaviorFromKey(key).Key(bs.withReads).
+func (bs *behaviorSet) keyString(key ikey) string {
+	k := bs.k
+	var sb strings.Builder
+	for ci, l := range k.locs {
+		if ci > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(l)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(key.slot(ci)))
+	}
+	if !bs.withReads {
+		return sb.String()
+	}
+	sb.WriteByte('#')
+	for i, si := range k.readSorted {
+		sb.WriteString(k.readKeys[si])
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(key.slot(len(k.locs) + i)))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// behaviorFromKey reconstructs the Behavior value of an interned key. When
+// reads are not observed the key carries no read values, so Reads is empty —
+// callers observing finals only never consult it.
+func (bs *behaviorSet) behaviorFromKey(key ikey) Behavior {
+	k := bs.k
+	var sb strings.Builder
+	for ci, l := range k.locs {
+		if ci > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(l)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(key.slot(ci)))
+	}
+	rd := map[string]int{}
+	if bs.withReads {
+		for i, si := range k.readSorted {
+			rd[k.readKeys[si]] = key.slot(len(k.locs) + i)
+		}
+	}
+	return Behavior{Finals: sb.String(), Reads: rd}
+}
+
+// result converts the interned set to the canonical string-keyed map the
+// public API returns.
+func (bs *behaviorSet) result() map[string]Behavior {
+	out := make(map[string]Behavior, len(bs.interned)+len(bs.slow))
+	for key := range bs.interned {
+		out[bs.keyString(key)] = bs.behaviorFromKey(key)
+	}
+	for k, b := range bs.slow {
+		out[k] = b
+	}
+	return out
+}

@@ -130,14 +130,30 @@ func MapArmToIR(p *Program) *Program {
 // under the source model. Loads map 1:1 across our mapping schemes, so
 // behaviors are compared including read values.
 func CheckMapping(src *Program, srcModel Model, mapFn func(*Program) *Program, tgtModel Model) error {
-	tgt := mapFn(src)
-	srcB := BehaviorsOfParallel(src, srcModel, true, DefaultParallelism)
-	tgtB := BehaviorsOfParallel(tgt, tgtModel, true, DefaultParallelism)
-	return compareBehaviors(src, srcModel, tgtModel, srcB, tgtB)
+	return CheckMappingBudget(src, srcModel, mapFn, tgtModel, Budget{}) // unbounded: cannot cut off
 }
 
-// compareBehaviors is the inclusion check behind CheckMapping: every target
-// behavior must already be a source behavior.
+// compareFolds is the inclusion check behind CheckMapping: every target
+// behavior must already be a source behavior. Our mapping schemes preserve
+// accesses 1:1 (they only insert fences), so the two folds almost always
+// have identical observation layouts and the check compares interned keys
+// directly; the string maps are only materialized on layout mismatch or
+// when a counterexample must be reported.
+func compareFolds(src *Program, srcModel, tgtModel Model, srcS, tgtS *behaviorSet) error {
+	if !srcS.comparable(tgtS) {
+		return compareBehaviors(src, srcModel, tgtModel, srcS.result(), tgtS.result())
+	}
+	var extra []string
+	for key := range tgtS.interned {
+		if _, ok := srcS.interned[key]; !ok {
+			extra = append(extra, tgtS.keyString(key))
+		}
+	}
+	return unsoundErr(src, srcModel, tgtModel, extra)
+}
+
+// compareBehaviors is the string-keyed fallback of compareFolds, also used
+// by callers holding plain behavior maps.
 func compareBehaviors(src *Program, srcModel, tgtModel Model, srcB, tgtB map[string]Behavior) error {
 	var extra []string
 	for b := range tgtB {
@@ -145,12 +161,16 @@ func compareBehaviors(src *Program, srcModel, tgtModel Model, srcB, tgtB map[str
 			extra = append(extra, b)
 		}
 	}
-	if len(extra) > 0 {
-		sort.Strings(extra) // map order is random; keep the message stable
-		return fmt.Errorf("mapping %s -> %s unsound on %s: target-only behaviors %s",
-			srcModel.Name, tgtModel.Name, src, strings.Join(extra, " | "))
+	return unsoundErr(src, srcModel, tgtModel, extra)
+}
+
+func unsoundErr(src *Program, srcModel, tgtModel Model, extra []string) error {
+	if len(extra) == 0 {
+		return nil
 	}
-	return nil
+	sort.Strings(extra) // map order is random; keep the message stable
+	return fmt.Errorf("mapping %s -> %s unsound on %s: target-only behaviors %s",
+		srcModel.Name, tgtModel.Name, src, strings.Join(extra, " | "))
 }
 
 // ClassicTests returns the named litmus programs used throughout the paper

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // OpKind is a litmus operation kind.
@@ -109,6 +110,10 @@ type Program struct {
 	Name    string
 	Init    map[string]int
 	Threads [][]Op
+
+	// locs caches the Locs() result: the bounded checkers enumerate the
+	// same program many times and the location universe never changes.
+	locs atomic.Pointer[[]string]
 }
 
 func (p *Program) String() string {
@@ -128,24 +133,34 @@ func (p *Program) String() string {
 	return sb.String()
 }
 
-// Locs returns the sorted set of locations used.
+// Locs returns the sorted set of locations used. The result is computed
+// once and cached on the program (enumeration used to re-sort and
+// re-allocate it per walk); callers must not mutate the returned slice.
 func (p *Program) Locs() []string {
-	set := map[string]bool{}
+	if c := p.locs.Load(); c != nil {
+		return *c
+	}
+	var out []string
+	add := func(loc string) {
+		for _, l := range out {
+			if l == loc {
+				return
+			}
+		}
+		out = append(out, loc)
+	}
 	for l := range p.Init {
-		set[l] = true
+		add(l)
 	}
 	for _, t := range p.Threads {
 		for _, o := range t {
 			if o.Kind != OpFence {
-				set[o.Loc] = true
+				add(o.Loc)
 			}
 		}
 	}
-	var out []string
-	for l := range set {
-		out = append(out, l)
-	}
 	sort.Strings(out)
+	p.locs.Store(&out)
 	return out
 }
 
@@ -177,27 +192,47 @@ type Event struct {
 }
 
 // Execution is a candidate execution: events plus the rf and co choices.
+// The exported RF/CO maps are the stable public view; enumeration walkers
+// additionally maintain dense scratch indexes (rfOf, coOrd, coPos) that the
+// bitset evaluator reads so the per-candidate path never hashes a map or
+// scans a coherence order.
 type Execution struct {
 	Events []*Event
 	RF     map[int]int      // read event ID -> write event ID
 	CO     map[string][]int // location -> write event IDs in coherence order
 	n      int
+
+	sp    *enumSpace // the enumeration space this execution belongs to (nil for hand-built executions)
+	rfOf  []int32    // event ID -> rf source write ID (-1 for non-reads)
+	coOrd [][]int    // per location index (sp.locs order): the coherence order
+	coPos []int32    // event ID -> position of a write in its location's coherence order
 }
 
 // buildEvents lowers a program to its event skeleton (shared across all
-// executions).
-func buildEvents(p *Program) []*Event {
-	var evs []*Event
-	id := 0
+// executions). locs is the program's location universe, computed once by the
+// caller (it used to be re-derived on every enumeration).
+func buildEvents(p *Program, locs []string) []*Event {
+	n := len(locs)
+	for _, th := range p.Threads {
+		for _, o := range th {
+			if o.Kind == OpRMW {
+				n += 2
+			} else {
+				n++
+			}
+		}
+	}
+	backing := make([]Event, 0, n) // one allocation for all events
+	evs := make([]*Event, 0, n)
 	add := func(e Event) *Event {
-		e.ID = id
-		id++
-		ev := e
-		evs = append(evs, &ev)
-		return evs[len(evs)-1]
+		e.ID = len(backing)
+		backing = append(backing, e)
+		ev := &backing[len(backing)-1]
+		evs = append(evs, ev)
+		return ev
 	}
 	// Initialization writes.
-	for _, loc := range p.Locs() {
+	for _, loc := range locs {
 		add(Event{Tid: -1, Kind: EvW, Loc: loc, Val: p.Init[loc], RMW: -1})
 	}
 	for tid, th := range p.Threads {
@@ -219,9 +254,11 @@ func buildEvents(p *Program) []*Event {
 	return evs
 }
 
-// po reports program order: same thread, earlier index; for rmw pairs the
-// read precedes the write. Initialization writes precede everything.
-func (x *Execution) po(a, b *Event) bool {
+// poBefore reports program order on skeleton events: same thread, earlier
+// index; for rmw pairs the read precedes the write. Initialization writes
+// precede everything. It depends only on the skeleton, never on an
+// execution's choices.
+func poBefore(a, b *Event) bool {
 	if a.Tid == -1 && b.Tid != -1 {
 		return true
 	}
@@ -235,9 +272,17 @@ func (x *Execution) po(a, b *Event) bool {
 	return a.Kind == EvR && b.Kind == EvW && a.RMW == b.ID
 }
 
+// po reports program order (see poBefore).
+func (x *Execution) po(a, b *Event) bool { return poBefore(a, b) }
+
 // coIndex returns the position of a write in its location's coherence
-// order, with init first.
+// order, with init first. Enumerated executions answer from the dense coPos
+// index maintained by the walker; hand-built executions fall back to the
+// linear scan.
 func (x *Execution) coIndex(w *Event) int {
+	if x.coPos != nil {
+		return int(x.coPos[w.ID])
+	}
 	for i, id := range x.CO[w.Loc] {
 		if id == w.ID {
 			return i
@@ -268,6 +313,9 @@ type enumSpace struct {
 	coChoices [][][]int // per location: the admissible coherence orders
 	reads     []*Event  // skeleton read events, in ID order
 	rfChoices [][]int   // per read: candidate source write IDs
+	// stat holds the skeleton-invariant relations (po, po|loc, the external
+	// pair mask, rmw pairs) hoisted out of the per-execution path.
+	stat *statics
 }
 
 // newEnumSpace lowers p and enumerates the per-location coherence orders
@@ -277,37 +325,32 @@ type enumSpace struct {
 // Similarly, rf choices that contradict an RMW's expected read value are
 // dropped up front.
 func newEnumSpace(p *Program) *enumSpace {
-	s := &enumSpace{skeleton: buildEvents(p), locs: p.Locs()}
-	writesAt := map[string][]*Event{}
+	locs := p.Locs()
+	s := &enumSpace{skeleton: buildEvents(p, locs), locs: locs}
+	locIdxOf := func(loc string) int {
+		for i, l := range s.locs {
+			if l == loc {
+				return i
+			}
+		}
+		return -1
+	}
+	writesAt := make([][]*Event, len(s.locs))
 	for _, e := range s.skeleton {
 		if e.Kind == EvW {
-			writesAt[e.Loc] = append(writesAt[e.Loc], e)
+			ci := locIdxOf(e.Loc)
+			writesAt[ci] = append(writesAt[ci], e)
 		}
 		if e.Kind == EvR {
 			s.reads = append(s.reads, e)
 		}
 	}
 
-	// po among writes of one location, restricted to the skeleton (init
-	// writes have Tid -1 and precede everything).
-	poBefore := func(a, b *Event) bool {
-		if a.Tid == -1 && b.Tid != -1 {
-			return true
-		}
-		if a.Tid != b.Tid {
-			return false
-		}
-		if a.Idx != b.Idx {
-			return a.Idx < b.Idx
-		}
-		return a.Kind == EvR && b.Kind == EvW && a.RMW == b.ID
-	}
-
 	s.coChoices = make([][][]int, len(s.locs))
-	for i, loc := range s.locs {
+	for i := range s.locs {
 		var initW *Event
 		var others []*Event
-		for _, w := range writesAt[loc] {
+		for _, w := range writesAt[i] {
 			if w.Tid == -1 {
 				initW = w
 			} else {
@@ -353,7 +396,7 @@ func newEnumSpace(p *Program) *enumSpace {
 
 	s.rfChoices = make([][]int, len(s.reads))
 	for i, r := range s.reads {
-		for _, w := range writesAt[r.Loc] {
+		for _, w := range writesAt[locIdxOf(r.Loc)] {
 			if w.RMW == r.ID {
 				continue // an rmw's own write cannot feed its read
 			}
@@ -363,33 +406,66 @@ func newEnumSpace(p *Program) *enumSpace {
 			s.rfChoices[i] = append(s.rfChoices[i], w.ID)
 		}
 	}
+	s.stat = buildStatics(s.skeleton, s.locs, s.reads)
 	return s
 }
 
 // walker is one enumeration worker's scratch state: a private copy of the
 // events (read values are filled in place per rf assignment) and a reusable
 // Execution handed to the visit callback.
+//
+// A dense walker leaves the exported RF/CO maps nil and maintains only the
+// dense arrays: the internal behavior folds read nothing else, and skipping
+// the two map writes per enumeration node (one of them string-hashed)
+// measurably speeds up the bounded checkers. Public Visit* entry points use
+// non-dense walkers so callbacks see the documented maps.
 type walker struct {
 	s      *enumSpace
-	events []Event
+	events []Event // private event storage (nil for an aliasing walker)
 	x      *Execution
 	lim    *limiter // nil = unbounded
 }
 
-func (s *enumSpace) newWalker() *walker {
+func (s *enumSpace) newWalker(dense bool) *walker {
 	w := &walker{s: s, events: make([]Event, len(s.skeleton))}
 	evs := make([]*Event, len(s.skeleton))
 	for i, e := range s.skeleton {
 		w.events[i] = *e
 		evs[i] = &w.events[i]
 	}
+	w.finish(evs, dense)
+	return w
+}
+
+// newAliasWalker builds a dense walker that mutates the space's skeleton
+// events in place instead of copying them. Only valid when this walker is
+// the sole user of the space — the single-threaded behavior folds — where it
+// saves the per-program event copy.
+func (s *enumSpace) newAliasWalker() *walker {
+	w := &walker{s: s}
+	w.finish(s.skeleton, true)
+	return w
+}
+
+func (w *walker) finish(evs []*Event, dense bool) {
+	s := w.s
+	n := len(s.skeleton)
+	idx := make([]int32, 2*n) // rfOf and coPos share one backing array
 	w.x = &Execution{
 		Events: evs,
-		RF:     make(map[int]int, len(s.reads)),
-		CO:     make(map[string][]int, len(s.locs)),
-		n:      len(s.skeleton),
+		n:      n,
+		sp:     s,
+		rfOf:   idx[:n:n],
+		coOrd:  make([][]int, len(s.locs)),
+		coPos:  idx[n:],
 	}
-	return w
+	if !dense {
+		w.x.RF = make(map[int]int, len(s.reads))
+		w.x.CO = make(map[string][]int, len(s.locs))
+	}
+	for i := range w.x.rfOf {
+		w.x.rfOf[i] = -1
+	}
 }
 
 // walkReads enumerates rf assignments for reads[ri:] on top of the walker's
@@ -406,13 +482,29 @@ func (w *walker) walkReads(ri int, visit func(*Execution)) bool {
 	}
 	r := w.s.reads[ri]
 	for _, src := range w.s.rfChoices[ri] {
-		w.x.RF[r.ID] = src
-		w.events[r.ID].Val = w.events[src].Val
+		if w.x.RF != nil {
+			w.x.RF[r.ID] = src
+		}
+		w.x.rfOf[r.ID] = int32(src)
+		w.x.Events[r.ID].Val = w.x.Events[src].Val
 		if !w.walkReads(ri+1, visit) {
 			return false
 		}
 	}
 	return true
+}
+
+// setCo assigns one location's coherence order on the walker's scratch
+// execution, updating the exported CO map, the dense per-location order
+// table and the coPos index together.
+func (w *walker) setCo(ci int, order []int) {
+	if w.x.CO != nil {
+		w.x.CO[w.s.locs[ci]] = order
+	}
+	w.x.coOrd[ci] = order
+	for p, id := range order {
+		w.x.coPos[id] = int32(p)
+	}
 }
 
 // walkCo enumerates coherence orders for locs[ci:], then descends into rf.
@@ -422,7 +514,7 @@ func (w *walker) walkCo(ci int, visit func(*Execution)) bool {
 		return w.walkReads(0, visit)
 	}
 	for _, order := range w.s.coChoices[ci] {
-		w.x.CO[w.s.locs[ci]] = order
+		w.setCo(ci, order)
 		if !w.walkCo(ci+1, visit) {
 			return false
 		}
@@ -457,11 +549,35 @@ func (x *Execution) Clone() *Execution {
 		ev := *e
 		c.Events[i] = &ev
 	}
+	if x.RF == nil && x.sp != nil {
+		// Dense enumeration scratch: rebuild the exported maps from the
+		// dense arrays.
+		for _, r := range x.sp.reads {
+			if src := x.rfOf[r.ID]; src >= 0 {
+				c.RF[r.ID] = int(src)
+			}
+		}
+		for ci, loc := range x.sp.locs {
+			c.CO[loc] = append([]int(nil), x.coOrd[ci]...)
+		}
+	}
 	for k, v := range x.RF {
 		c.RF[k] = v
 	}
 	for k, v := range x.CO {
 		c.CO[k] = append([]int(nil), v...)
+	}
+	// The dense scratch indexes are positions/IDs, not pointers into the
+	// walker, so value copies keep the clone fully functional; coOrd is
+	// rebuilt from the cloned CO slices.
+	if x.sp != nil {
+		c.sp = x.sp
+		c.rfOf = append([]int32(nil), x.rfOf...)
+		c.coPos = append([]int32(nil), x.coPos...)
+		c.coOrd = make([][]int, len(x.coOrd))
+		for i, loc := range x.sp.locs {
+			c.coOrd[i] = c.CO[loc]
+		}
 	}
 	return c
 }
@@ -475,134 +591,6 @@ func Executions(p *Program) []*Execution {
 		out = append(out, x.Clone())
 	})
 	return out
-}
-
-// relation is an n×n boolean adjacency matrix over event IDs.
-type relation struct {
-	n int
-	m []bool
-}
-
-func newRel(n int) *relation { return &relation{n: n, m: make([]bool, n*n)} }
-
-func (r *relation) set(a, b int)      { r.m[a*r.n+b] = true }
-func (r *relation) has(a, b int) bool { return r.m[a*r.n+b] }
-func (r *relation) clear() {
-	for i := range r.m {
-		r.m[i] = false
-	}
-}
-func (r *relation) union(o *relation) {
-	for i := range r.m {
-		r.m[i] = r.m[i] || o.m[i]
-	}
-}
-
-// transitiveClosure computes r+ in place (Floyd-Warshall style).
-func (r *relation) transitiveClosure() {
-	for k := 0; k < r.n; k++ {
-		for i := 0; i < r.n; i++ {
-			if !r.has(i, k) {
-				continue
-			}
-			for j := 0; j < r.n; j++ {
-				if r.has(k, j) {
-					r.set(i, j)
-				}
-			}
-		}
-	}
-}
-
-func (r *relation) irreflexive() bool {
-	for i := 0; i < r.n; i++ {
-		if r.has(i, i) {
-			return false
-		}
-	}
-	return true
-}
-
-// baseRelations builds po|loc ∪ rf ∪ co ∪ fr plus the external subsets used
-// by the models.
-type rels struct {
-	n             int
-	events        []*Event
-	poR           *relation // full po
-	rf, co, fr    *relation
-	rfe, coe, fre *relation
-	rmw           *relation
-}
-
-func (x *Execution) relations() *rels { return x.relationsInto(nil) }
-
-// relationsInto computes the relation set, reusing buf's matrices when it
-// was built for the same event skeleton (same size and same backing events,
-// as during one streamed enumeration). The program-order and rmw relations
-// depend only on the skeleton, so a reused buffer keeps them as-is.
-func (x *Execution) relationsInto(buf *rels) *rels {
-	n := x.n
-	var r *rels
-	reuse := buf != nil && buf.n == n && len(buf.events) == len(x.Events) &&
-		len(x.Events) > 0 && buf.events[0] == x.Events[0]
-	if reuse {
-		r = buf
-		for _, m := range []*relation{r.rf, r.co, r.fr, r.rfe, r.coe, r.fre} {
-			m.clear()
-		}
-	} else {
-		r = &rels{
-			n: n, events: x.Events,
-			poR: newRel(n), rf: newRel(n), co: newRel(n), fr: newRel(n),
-			rfe: newRel(n), coe: newRel(n), fre: newRel(n), rmw: newRel(n),
-		}
-	}
-	byID := x.Events // events are stored in dense ID order
-	if !reuse {
-		for _, a := range x.Events {
-			for _, b := range x.Events {
-				if a.ID != b.ID && x.po(a, b) {
-					r.poR.set(a.ID, b.ID)
-				}
-			}
-		}
-		for _, e := range x.Events {
-			if e.Kind == EvR && e.RMW >= 0 {
-				r.rmw.set(e.ID, e.RMW)
-			}
-		}
-	}
-	for rID, wID := range x.RF {
-		r.rf.set(wID, rID)
-		if !x.po(byID[wID], byID[rID]) && !x.po(byID[rID], byID[wID]) {
-			r.rfe.set(wID, rID)
-		}
-	}
-	for _, order := range x.CO {
-		for i := 0; i < len(order); i++ {
-			for j := i + 1; j < len(order); j++ {
-				r.co.set(order[i], order[j])
-				a, b := byID[order[i]], byID[order[j]]
-				if !x.po(a, b) && !x.po(b, a) {
-					r.coe.set(order[i], order[j])
-				}
-			}
-		}
-	}
-	for _, a := range x.Events {
-		if a.Kind != EvR {
-			continue
-		}
-		for _, b := range x.Events {
-			if b.Kind == EvW && a.Loc == b.Loc && x.fr(a, b) {
-				r.fr.set(a.ID, b.ID)
-				if !x.po(a, b) && !x.po(b, a) {
-					r.fre.set(a.ID, b.ID)
-				}
-			}
-		}
-	}
-	return r
 }
 
 // Behavior is the observable result of an execution: the co-maximal value
@@ -634,8 +622,34 @@ func (b Behavior) Key(withReads bool) string {
 	return sb.String()
 }
 
-// behaviorOf extracts the behavior of a consistent execution.
+// behaviorOf extracts the behavior of a consistent execution. Enumerated
+// executions use the precomputed location order and read slot keys of their
+// enumeration space (no re-sorting, no per-read key formatting); hand-built
+// executions fall back to the reference extraction.
 func (x *Execution) behaviorOf() Behavior {
+	if x.sp == nil {
+		return x.referenceBehavior()
+	}
+	k := x.sp.stat
+	var sb strings.Builder
+	for ci, l := range k.locs {
+		if ci > 0 {
+			sb.WriteString(";")
+		}
+		order := x.coOrd[ci]
+		fmt.Fprintf(&sb, "%s=%d", l, x.Events[order[len(order)-1]].Val)
+	}
+	rd := make(map[string]int, len(k.reads))
+	for si, r := range k.reads {
+		rd[k.readKeys[si]] = x.Events[r.ID].Val
+	}
+	return Behavior{Finals: sb.String(), Reads: rd}
+}
+
+// referenceBehavior is the original behavior extraction, kept for executions
+// that were not produced by an enumeration walker (and as the oracle the
+// differential test compares the fast path against).
+func (x *Execution) referenceBehavior() Behavior {
 	byID := x.Events
 	var locs []string
 	for l := range x.CO {
@@ -669,12 +683,6 @@ func (x *Execution) behaviorOf() Behavior {
 		rd[fmt.Sprintf("%s.%d", ok, k)] = e.Val
 	}
 	return Behavior{Finals: strings.Join(fin, ";"), Reads: rd}
-}
-
-// Model is a consistency predicate over executions.
-type Model struct {
-	Name       string
-	Consistent func(x *Execution, r *rels) bool
 }
 
 // BehaviorsOf returns the behaviors of p's consistent executions under the

@@ -365,21 +365,44 @@ func TestProgramPrinting(t *testing.T) {
 
 func TestRelationClosureProperties(t *testing.T) {
 	prop := func(edges []uint16, nRaw uint8) bool {
-		n := int(nRaw%6) + 2
+		// n crosses the 64-bit word boundary often enough (via the %70) to
+		// exercise multi-word rows in the packed representation.
+		n := int(nRaw%70) + 2
 		r := newRel(n)
+		ref := newBoolRel(n)
 		for _, e := range edges {
 			a := int(e>>8) % n
 			b := int(e&0xFF) % n
 			if a != b {
 				r.set(a, b)
+				ref.set(a, b)
 			}
 		}
+		// acyclic() must agree with the reference closure+irreflexivity
+		// (run on a copy, since acyclic is destructive).
+		probe := newRel(n)
+		probe.copyFrom(r)
+		refClosed := newBoolRel(n)
+		refClosed.union(ref)
+		refClosed.transitiveClosure()
+		if probe.acyclic() != refClosed.irreflexive() {
+			return false
+		}
 		r.transitiveClosure()
+		ref.transitiveClosure()
+		// The packed closure equals the reference closure.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if r.has(a, b) != ref.has(a, b) {
+					return false
+				}
+			}
+		}
 		// Idempotence.
-		snapshot := append([]bool(nil), r.m...)
+		snapshot := append([]uint64(nil), r.bits...)
 		r.transitiveClosure()
-		for i := range r.m {
-			if r.m[i] != snapshot[i] {
+		for i := range r.bits {
+			if r.bits[i] != snapshot[i] {
 				return false
 			}
 		}

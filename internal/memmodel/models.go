@@ -1,41 +1,21 @@
 package memmodel
 
-// scPerLoc checks SC-per-location: (po|loc ∪ rf ∪ co ∪ fr) is acyclic.
-// Both x86 and Arm satisfy it, and LIMM requires it (§6.2).
-func scPerLoc(x *Execution, r *rels) bool {
-	rel := newRel(r.n)
-	for _, a := range r.events {
-		for _, b := range r.events {
-			if a.ID == b.ID {
-				continue
-			}
-			if r.poR.has(a.ID, b.ID) && a.Kind != EvF && b.Kind != EvF && a.Loc == b.Loc {
-				rel.set(a.ID, b.ID)
-			}
-		}
-	}
-	rel.union(r.rf)
-	rel.union(r.co)
-	rel.union(r.fr)
-	rel.transitiveClosure()
-	return rel.irreflexive()
-}
-
-// atomicity checks rmw ∩ (fre;coe) = ∅ (§6.2).
-func atomicity(x *Execution, r *rels) bool {
-	for _, a := range r.events {
-		if a.Kind != EvR || a.RMW < 0 {
-			continue
-		}
-		w := a.RMW
-		// Exists w' with fre(a, w') and coe(w', w)?
-		for _, wp := range r.events {
-			if wp.Kind == EvW && r.fre.has(a.ID, wp.ID) && r.coe.has(wp.ID, w) {
-				return false
-			}
-		}
-	}
-	return true
+// Model is a consistency predicate over executions, factored for the bitset
+// engine: `static` builds the skeleton-invariant part of the model's
+// ordering relation (everything derivable from po, event kinds, fences and
+// rmw pairs — computed once per program by the enumeration drivers), and the
+// ext* flags say whether the execution-varying rf/co/fr edges enter the
+// order restricted to external pairs (rfe/coe/fre) or in full. The axiom
+// itself is uniform: static ∪ dynamic edges must be acyclic (see
+// evaluator.consistent in eval.go). The original per-execution closures are
+// retained in reference.go as referenceConsistent.
+type Model struct {
+	Name string
+	// static builds the skeleton-invariant ordering edges on k.
+	static func(k *statics) *relation
+	// extRF/extCO/extFR: true means only external (cross-thread) rf/co/fr
+	// edges enter the order; false means all of them do.
+	extRF, extCO, extFR bool
 }
 
 // X86 implements the (GHB) axiom of Fig. 6:
@@ -44,12 +24,15 @@ func atomicity(x *Execution, r *rels) bool {
 //	implid  = po;[At ∪ F] ∪ [At ∪ F];po      At = dom(rmw) ∪ codom(rmw)
 //	hb      = ppo ∪ implid ∪ rfe ∪ fr ∪ co
 //	axiom: hb+ irreflexive
-var X86 = Model{Name: "x86", Consistent: func(x *Execution, r *rels) bool {
-	hb := newRel(r.n)
+//
+// ppo and implid depend only on the skeleton, so they are hoisted; rfe, fr
+// and co are ORed in per execution.
+var X86 = Model{Name: "x86", extRF: true, static: func(k *statics) *relation {
+	hb := newRel(k.n)
 	isAt := func(e *Event) bool { return e.RMW >= 0 }
-	for _, a := range r.events {
-		for _, b := range r.events {
-			if a.ID == b.ID || !r.poR.has(a.ID, b.ID) {
+	for _, a := range k.events {
+		for _, b := range k.events {
+			if a.ID == b.ID || !k.po.has(a.ID, b.ID) {
 				continue
 			}
 			// ppo.
@@ -67,11 +50,7 @@ var X86 = Model{Name: "x86", Consistent: func(x *Execution, r *rels) bool {
 			}
 		}
 	}
-	hb.union(r.rfe)
-	hb.union(r.fr)
-	hb.union(r.co)
-	hb.transitiveClosure()
-	return hb.irreflexive()
+	return hb
 }}
 
 // Arm implements the (external) axiom of Fig. 6 following Pulte et al.:
@@ -84,18 +63,18 @@ var X86 = Model{Name: "x86", Consistent: func(x *Execution, r *rels) bool {
 // Dependency ordering (dob) is omitted: our litmus programs carry no
 // address/data/control dependencies, and dropping dob only *weakens* the
 // target model, making the mapping-correctness check stricter (§6.2).
-var Arm = Model{Name: "arm", Consistent: func(x *Execution, r *rels) bool {
-	ob := newRel(r.n)
-	ob.union(r.rfe)
-	ob.union(r.coe)
-	ob.union(r.fre)
-	ob.union(r.rmw)
+// aob, bob and the Appendix A half-fence edges are all skeleton-static.
+var Arm = Model{Name: "arm", extRF: true, extCO: true, extFR: true, static: func(k *statics) *relation {
+	ob := newRel(k.n)
+	for _, p := range k.rmws {
+		ob.set(p.r, p.w) // aob
+	}
 	// Release/acquire half-fence ordering (Appendix A, following Pulte et
 	// al.): an acquire read orders before everything po-after it; a
 	// release write orders after everything po-before it.
-	for _, a := range r.events {
-		for _, b := range r.events {
-			if a.ID == b.ID || !r.poR.has(a.ID, b.ID) || a.Tid != b.Tid {
+	for _, a := range k.events {
+		for _, b := range k.events {
+			if a.ID == b.ID || !k.po.has(a.ID, b.ID) || a.Tid != b.Tid {
 				continue
 			}
 			if a.Kind == EvR && a.Acq {
@@ -107,16 +86,16 @@ var Arm = Model{Name: "arm", Consistent: func(x *Execution, r *rels) bool {
 		}
 	}
 	// bob.
-	for _, f := range r.events {
+	for _, f := range k.events {
 		if f.Kind != EvF {
 			continue
 		}
-		for _, a := range r.events {
-			if !r.poR.has(a.ID, f.ID) || a.Tid != f.Tid {
+		for _, a := range k.events {
+			if !k.po.has(a.ID, f.ID) || a.Tid != f.Tid {
 				continue
 			}
-			for _, b := range r.events {
-				if !r.poR.has(f.ID, b.ID) || b.Tid != f.Tid {
+			for _, b := range k.events {
+				if !k.po.has(f.ID, b.ID) || b.Tid != f.Tid {
 					continue
 				}
 				switch f.Fen {
@@ -136,8 +115,7 @@ var Arm = Model{Name: "arm", Consistent: func(x *Execution, r *rels) bool {
 			}
 		}
 	}
-	ob.transitiveClosure()
-	return ob.irreflexive()
+	return ob
 }}
 
 // LIMM implements the (GOrd) axiom of Fig. 7:
@@ -147,11 +125,10 @@ var Arm = Model{Name: "arm", Consistent: func(x *Execution, r *rels) bool {
 //	ord3 = [Fsc ∪ Rsc ∪ codom(rmw)];po
 //	ord4 = po;[Fsc ∪ Wsc ∪ dom(rmw)]
 //	ghb  = (ord ∪ rfe ∪ coe ∪ fre)+ irreflexive
-var LIMM = Model{Name: "limm", Consistent: func(x *Execution, r *rels) bool {
-	ghb := newRel(r.n)
-	ghb.union(r.rfe)
-	ghb.union(r.coe)
-	ghb.union(r.fre)
+//
+// ord1–ord4 are skeleton-static and hoisted.
+var LIMM = Model{Name: "limm", extRF: true, extCO: true, extFR: true, static: func(k *statics) *relation {
+	ghb := newRel(k.n)
 
 	isRsc := func(e *Event) bool { return e.Kind == EvR && e.SC }
 	isWsc := func(e *Event) bool { return e.Kind == EvW && e.SC }
@@ -159,16 +136,16 @@ var LIMM = Model{Name: "limm", Consistent: func(x *Execution, r *rels) bool {
 	rmwW := func(e *Event) bool { return e.Kind == EvW && e.RMW >= 0 }
 
 	// ord1/ord2: fence-mediated ordering between same-thread accesses.
-	for _, f := range r.events {
+	for _, f := range k.events {
 		if f.Kind != EvF {
 			continue
 		}
-		for _, a := range r.events {
-			if !r.poR.has(a.ID, f.ID) || a.Tid != f.Tid {
+		for _, a := range k.events {
+			if !k.po.has(a.ID, f.ID) || a.Tid != f.Tid {
 				continue
 			}
-			for _, b := range r.events {
-				if !r.poR.has(f.ID, b.ID) || b.Tid != f.Tid {
+			for _, b := range k.events {
+				if !k.po.has(f.ID, b.ID) || b.Tid != f.Tid {
 					continue
 				}
 				switch f.Fen {
@@ -185,9 +162,9 @@ var LIMM = Model{Name: "limm", Consistent: func(x *Execution, r *rels) bool {
 		}
 	}
 	// ord3/ord4.
-	for _, a := range r.events {
-		for _, b := range r.events {
-			if a.ID == b.ID || !r.poR.has(a.ID, b.ID) {
+	for _, a := range k.events {
+		for _, b := range k.events {
+			if a.ID == b.ID || !k.po.has(a.ID, b.ID) {
 				continue
 			}
 			aFsc := a.Kind == EvF && a.Fen == Fsc
@@ -200,18 +177,14 @@ var LIMM = Model{Name: "limm", Consistent: func(x *Execution, r *rels) bool {
 			}
 		}
 	}
-	ghb.transitiveClosure()
-	return ghb.irreflexive()
+	return ghb
 }}
 
 // SC is the sequential-consistency reference model (interleaving only),
-// used as an oracle in tests: hb = po ∪ rf ∪ co ∪ fr acyclic.
-var SC = Model{Name: "sc", Consistent: func(x *Execution, r *rels) bool {
-	hb := newRel(r.n)
-	hb.union(r.poR)
-	hb.union(r.rf)
-	hb.union(r.co)
-	hb.union(r.fr)
-	hb.transitiveClosure()
-	return hb.irreflexive()
+// used as an oracle in tests: hb = po ∪ rf ∪ co ∪ fr acyclic. Its static
+// part is po itself.
+var SC = Model{Name: "sc", static: func(k *statics) *relation {
+	hb := newRel(k.n)
+	hb.copyFrom(k.po)
+	return hb
 }}

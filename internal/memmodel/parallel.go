@@ -51,8 +51,15 @@ func VisitExecutionsParallelBudget(p *Program, workers int, b Budget, visit func
 	if lim.expired() {
 		return lim.err()
 	}
-	s := newEnumSpace(p)
+	return newEnumSpace(p).visitParallel(workers, lim, false, visit)
+}
 
+// visitParallel splits the space's enumeration across up to workers
+// goroutines drawing from one shared limiter. It is the engine behind
+// VisitExecutionsParallelBudget, factored out so behavior folds can reuse
+// the already-built space (and its hoisted statics). dense selects
+// map-free scratch executions (see newWalker).
+func (s *enumSpace) visitParallel(workers int, lim *limiter, dense bool, visit func(*Execution)) error {
 	// Materializing tasks is cheap: the co cross product is small (few
 	// writes per location) and only the first read's choices multiply it.
 	var tasks []enumTask
@@ -80,8 +87,8 @@ func VisitExecutionsParallelBudget(p *Program, workers int, b Budget, visit func
 		workers = len(tasks)
 	}
 	if workers <= 1 {
-		w := s.newWalker()
-		w.lim = lim
+		w := s.newWalker(dense) // sole walker: a dense one could alias, but
+		w.lim = lim             // this fallback is cold (fewer tasks than workers)
 		w.walkCo(0, visit)
 		return lim.err()
 	}
@@ -92,7 +99,7 @@ func VisitExecutionsParallelBudget(p *Program, workers int, b Budget, visit func
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			walk := s.newWalker()
+			walk := s.newWalker(dense)
 			walk.lim = lim
 			for {
 				ti := int(next.Add(1)) - 1
@@ -101,7 +108,7 @@ func VisitExecutionsParallelBudget(p *Program, workers int, b Budget, visit func
 				}
 				t := tasks[ti]
 				for ci, k := range t.coSel {
-					walk.x.CO[s.locs[ci]] = s.coChoices[ci][k]
+					walk.setCo(ci, s.coChoices[ci][k])
 				}
 				if t.rf0 < 0 {
 					if !walk.walkReads(0, visit) {
@@ -111,8 +118,11 @@ func VisitExecutionsParallelBudget(p *Program, workers int, b Budget, visit func
 				}
 				r0 := s.reads[0]
 				src := s.rfChoices[0][t.rf0]
-				walk.x.RF[r0.ID] = src
-				walk.events[r0.ID].Val = walk.events[src].Val
+				if walk.x.RF != nil {
+					walk.x.RF[r0.ID] = src
+				}
+				walk.x.rfOf[r0.ID] = int32(src)
+				walk.x.Events[r0.ID].Val = walk.x.Events[src].Val
 				if !walk.walkReads(1, visit) {
 					return
 				}
@@ -135,38 +145,54 @@ func BehaviorsOfParallel(p *Program, m Model, withReads bool, workers int) map[s
 // cutoff the returned map holds the behaviors folded before the budget
 // tripped (a sound underapproximation) alongside the budget error.
 func BehaviorsOfParallelBudget(p *Program, m Model, withReads bool, workers int, b Budget) (map[string]Behavior, error) {
+	acc, err := foldBehaviorsBudget(p, m, withReads, workers, b)
+	return acc.result(), err
+}
+
+// foldBehaviorsBudget is the engine behind every behavior-set entry point:
+// it enumerates p's candidate executions (serially, or split across workers)
+// and folds the consistent ones into one interned behaviorSet. The inclusion
+// checkers consume the set directly — comparing packed keys — and only the
+// public map-returning wrappers pay for string materialization.
+func foldBehaviorsBudget(p *Program, m Model, withReads bool, workers int, b Budget) (*behaviorSet, error) {
+	lim := newLimiter(b)
+	if lim.expired() {
+		return newBehaviorSet(nil, withReads), lim.err()
+	}
+	s := newEnumSpace(p)
+	ms := m.static(s.stat) // hoisted once, shared read-only by every worker
+	acc := newBehaviorSet(s.stat, withReads)
 	if workers <= 1 {
-		return BehaviorsOfBudget(p, m, withReads, b)
+		w := s.newAliasWalker()
+		w.lim = lim
+		ev := newEvaluatorShared(s, m, ms)
+		w.walkCo(0, func(x *Execution) {
+			if ev.consistent(x) {
+				acc.add(x)
+			}
+		})
+		return acc, lim.err()
 	}
 	type shard struct {
-		out  map[string]Behavior
-		rbuf *rels
+		ev  *evaluator
+		acc *behaviorSet
 	}
 	var mu sync.Mutex
 	shards := map[*Execution]*shard{} // keyed by each worker's scratch Execution
-	err := VisitExecutionsParallelBudget(p, workers, b, func(x *Execution) {
+	err := s.visitParallel(workers, lim, true, func(x *Execution) {
 		mu.Lock()
 		sh := shards[x]
 		if sh == nil {
-			sh = &shard{out: map[string]Behavior{}}
+			sh = &shard{ev: newEvaluatorShared(s, m, ms), acc: newBehaviorSet(s.stat, withReads)}
 			shards[x] = sh
 		}
 		mu.Unlock()
-		sh.rbuf = x.relationsInto(sh.rbuf)
-		if !scPerLoc(x, sh.rbuf) || !atomicity(x, sh.rbuf) {
-			return
+		if sh.ev.consistent(x) {
+			sh.acc.add(x)
 		}
-		if !m.Consistent(x, sh.rbuf) {
-			return
-		}
-		b := x.behaviorOf()
-		sh.out[b.Key(withReads)] = b
 	})
-	out := map[string]Behavior{}
 	for _, sh := range shards {
-		for k, v := range sh.out {
-			out[k] = v
-		}
+		acc.merge(sh.acc)
 	}
-	return out, err
+	return acc, err
 }

@@ -8,10 +8,11 @@ import (
 
 // bruteForceBehaviors is an independent reference implementation of
 // BehaviorsOf: it materializes every rf choice × every coherence permutation
-// with no pruning and filters afterwards. The streaming enumerator must
-// produce exactly the same behavior sets.
+// with no pruning, evaluates consistency with the retained map/[]bool
+// reference engine, and filters afterwards. The streaming bitset enumerator
+// must produce exactly the same behavior sets.
 func bruteForceBehaviors(p *Program, m Model, withReads bool) map[string]Behavior {
-	evs := buildEvents(p)
+	evs := buildEvents(p, p.Locs())
 	var reads []*Event
 	writesAt := map[string][]*Event{}
 	for _, e := range evs {
@@ -57,7 +58,7 @@ func bruteForceBehaviors(p *Program, m Model, withReads bool) map[string]Behavio
 		rec = func(ci int) {
 			if ci == len(locs) {
 				r := x.relations()
-				if scPerLoc(x, r) && atomicity(x, r) && m.Consistent(x, r) {
+				if refScPerLoc(x, r) && refAtomicity(x, r) && referenceConsistent(m, x, r) {
 					b := x.behaviorOf()
 					out[b.Key(withReads)] = b
 				}

@@ -107,9 +107,21 @@ func buildContexts() [][]Op {
 }
 
 // inclusion checks Behav(tgt) ⊆ Behav(src) under the model (with reads).
+// The transformed programs share their access layout with the originals, so
+// the check normally compares interned behavior keys; a witness string is
+// materialized only for a failing cell.
 func inclusion(src, tgt *Program, m Model) (string, bool) {
-	srcB := BehaviorsOf(src, m, true)
-	tgtB := BehaviorsOf(tgt, m, true)
+	srcS, _ := foldBehaviorsBudget(src, m, true, 1, Budget{}) // unbounded: cannot fail
+	tgtS, _ := foldBehaviorsBudget(tgt, m, true, 1, Budget{})
+	if srcS.comparable(tgtS) {
+		for key := range tgtS.interned {
+			if _, ok := srcS.interned[key]; !ok {
+				return tgtS.keyString(key), false
+			}
+		}
+		return "", true
+	}
+	srcB, tgtB := srcS.result(), tgtS.result()
 	for k := range tgtB {
 		if _, ok := srcB[k]; !ok {
 			return k, false
@@ -173,7 +185,7 @@ func realOp(o Op) bool { return !(o.Kind == OpFence && o.Fence == FenceNone) }
 
 // wrapOps surrounds mid with the optional pre/post neighbour ops.
 func wrapOps(pre, post Op, mid ...Op) []Op {
-	var t []Op
+	t := make([]Op, 0, len(mid)+2)
 	if realOp(pre) {
 		t = append(t, pre)
 	}
