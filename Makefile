@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify fuzz bench bench-memmodel
+.PHONY: build test verify fuzz bench bench-memmodel bench-translate
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,11 @@ bench-memmodel:
 	$(GO) test -json -run '^$$' -bench 'CheckMappingExhaustive|Fig11aTable|SteadyStateVisit' \
 		-benchmem -count 3 ./internal/memmodel > BENCH_memmodel.json
 	@echo "wrote BENCH_memmodel.json"
+
+# bench-translate measures the staged translation pipeline over the whole
+# Phoenix suite, cold (empty translation cache) and warm (every function
+# replayed from the cache), and records the raw `go test -json` stream.
+bench-translate:
+	$(GO) test -json -run '^$$' -bench 'TranslatePhoenix' \
+		-benchmem -count 3 . > BENCH_translate.json
+	@echo "wrote BENCH_translate.json"

@@ -9,6 +9,7 @@ import (
 
 	"lasagne/internal/backend"
 	"lasagne/internal/core"
+	"lasagne/internal/core/cache"
 	"lasagne/internal/eval"
 	"lasagne/internal/fences"
 	"lasagne/internal/lifter"
@@ -200,6 +201,69 @@ func BenchmarkFig17PassIsolation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// buildPhoenixBinaries compiles every Phoenix kernel to an x86-64 object.
+func buildPhoenixBinaries(b *testing.B) []*obj.File {
+	b.Helper()
+	var bins []*obj.File
+	for _, bench := range phoenix.All() {
+		m, err := minic.Compile(bench.Name, bench.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := opt.Optimize(m); err != nil {
+			b.Fatal(err)
+		}
+		bin, err := backend.Compile(m, "x86-64")
+		if err != nil {
+			b.Fatal(err)
+		}
+		bins = append(bins, bin)
+	}
+	return bins
+}
+
+// BenchmarkTranslatePhoenix measures the staged translation pipeline
+// (lift -> refine -> fences -> opt, Fig. 3) over the whole Phoenix suite.
+// "cold" starts every iteration with an empty translation cache, so each
+// function runs the full per-function suffix and pays the cache Put; "warm"
+// pre-populates the cache once, so every function replays its memoized body
+// — the difference is the cost the cache removes from an unchanged rebuild.
+func BenchmarkTranslatePhoenix(b *testing.B) {
+	bins := buildPhoenixBinaries(b)
+	translateAll := func(b *testing.B, c *cache.Cache) {
+		b.Helper()
+		for _, bin := range bins {
+			cfg := core.Default()
+			cfg.Cache = c
+			m, _, rep, err := core.TranslateToIR(bin, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Len() != 0 {
+				b.Fatalf("diagnostics:\n%s", rep)
+			}
+			if m.NumInstrs() == 0 {
+				b.Fatal("empty module")
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			translateAll(b, cache.New(0))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		c := cache.New(0)
+		translateAll(b, c)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			translateAll(b, c)
+		}
+	})
 }
 
 // BenchmarkEvalSuiteMetrics regenerates all static metrics (no simulation)

@@ -9,7 +9,9 @@
 //	lasagne-bench -fig11a       # the reordering-table "figure"
 //
 // -parallel N bounds the worker pool (1 = fully serial; the output is
-// byte-identical either way). -cpuprofile/-memprofile write pprof profiles.
+// byte-identical either way). -cache-dir enables the persistent translation
+// cache (warm sweeps replay memoized per-function translations; output is
+// byte-identical warm or cold). -cpuprofile/-memprofile write pprof profiles.
 // -timeout bounds the whole evaluation and -max-steps caps each simulation;
 // when either budget trips, the run fails with a partial-result error
 // instead of hanging.
@@ -23,6 +25,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"lasagne/internal/core/cache"
 	"lasagne/internal/eval"
 	"lasagne/internal/memmodel"
 	"lasagne/internal/sim"
@@ -44,6 +47,8 @@ func main() {
 		"deadline for the whole evaluation; on expiry running simulations abort with a partial-result error (default 0 = unbounded)")
 	maxSteps := flag.Int64("max-steps", 0,
 		fmt.Sprintf("per-simulation instruction cap (default 0 = simulator default, %d)", sim.DefaultMaxSteps))
+	cacheDir := flag.String("cache-dir", "",
+		"persistent translation cache directory shared by every build in the sweep (output is byte-identical warm or cold)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -51,6 +56,13 @@ func main() {
 	eval.Parallelism = *parallel
 	memmodel.DefaultParallelism = *parallel
 	eval.MaxSimSteps = *maxSteps
+	if *cacheDir != "" {
+		c, err := cache.Open(*cacheDir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		eval.TranslationCache = c
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -6,7 +6,7 @@
 //
 //	lasagne [-refine=false] [-merge=false] [-opt=false] [-emit-ir]
 //	        [-run] [-stats] [-func-budget 1s] [-allow-partial]
-//	        [-o out.obj] prog.x86.obj
+//	        [-jobs N] [-cache-dir DIR] [-o out.obj] prog.x86.obj
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"lasagne/internal/core"
+	"lasagne/internal/core/cache"
 	"lasagne/internal/diag"
 	"lasagne/internal/obj"
 	"lasagne/internal/sim"
@@ -32,6 +33,10 @@ func main() {
 		"per-function time budget for refine/fences/opt; on expiry the function degrades to conservative fences (0 = unbounded)")
 	allowPartial := flag.Bool("allow-partial", false,
 		"keep translating when a function cannot be lifted (it becomes a flagged stub)")
+	jobs := flag.Int("jobs", 0,
+		"worker count for the function-parallel pipeline stages (0 = one per CPU; output is byte-identical for any value)")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent translation cache directory; repeated translations of unchanged functions replay memoized results")
 	out := flag.String("o", "", "output object file")
 	flag.Parse()
 
@@ -48,7 +53,14 @@ func main() {
 		fatal(err)
 	}
 	cfg := core.Config{Refine: *refineF, MergeFences: *merge, Optimize: *optimize,
-		FuncBudget: *funcBudget, AllowPartial: *allowPartial}
+		FuncBudget: *funcBudget, AllowPartial: *allowPartial, Jobs: *jobs}
+	if *cacheDir != "" {
+		c, err := cache.Open(*cacheDir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cache = c
+	}
 
 	if *reverse {
 		x86Obj, st, rep, err := core.TranslateArmToX86(bin, cfg)
@@ -131,6 +143,10 @@ func printStats(show bool, st *core.Stats) {
 	fmt.Fprintf(os.Stderr, "fences placed/merged:     %d / %d (final %d)\n",
 		st.FencesPlaced, st.FencesMerged, st.FencesFinal)
 	fmt.Fprintf(os.Stderr, "refinement rewrites:      %d\n", st.RefineRewrites)
+	if st.CacheHits+st.CacheMisses > 0 {
+		fmt.Fprintf(os.Stderr, "translation cache:        %d hits / %d misses\n",
+			st.CacheHits, st.CacheMisses)
+	}
 }
 
 func fatal(err error) {

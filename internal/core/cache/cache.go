@@ -1,0 +1,245 @@
+// Package cache implements the content-addressed translation cache of the
+// parallel pipeline: the function-local suffix of the translation (fence
+// placement, fence merging, the optimization pipeline) is memoized keyed by
+// a hash of everything that can influence its output — the pipeline version
+// string, the Config fingerprint, and the canonical byte encoding of the
+// function's signature and body at suffix entry.
+//
+// Entries hold the post-pipeline body in the same canonical encoding plus
+// the per-function statistics deltas, so a hit reproduces the translation
+// byte-for-byte without running any pass. Only cleanly translated functions
+// are stored: degraded/fallback results must re-run (and re-diagnose) every
+// time. The in-memory layer is a bounded LRU; an optional directory adds a
+// persistent second level shared across processes.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"lasagne/internal/ir"
+)
+
+// Key is the content address of one function translation: a SHA-256 over
+// (pipeline version ‖ config fingerprint ‖ signature bytes ‖ body bytes).
+type Key [sha256.Size]byte
+
+// KeyFor computes the cache key for translating function f under the given
+// pipeline version and configuration fingerprint. The hash covers the
+// function's canonical encoded signature and body, so any semantic change
+// to the input IR changes the key.
+func KeyFor(version, fingerprint string, f *ir.Func) Key {
+	h := sha256.New()
+	var lenbuf [8]byte
+	put := func(b []byte) {
+		binary.LittleEndian.PutUint64(lenbuf[:], uint64(len(b)))
+		h.Write(lenbuf[:])
+		h.Write(b)
+	}
+	put([]byte(version))
+	put([]byte(fingerprint))
+	put(EncodeSignature(f))
+	put(EncodeBody(f))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Entry is one memoized function translation: the encoded post-pipeline body
+// plus the statistics deltas the suffix stages would have reported.
+type Entry struct {
+	Body []byte // canonical encoding of the post-pipeline body
+
+	// Per-function statistics deltas, replayed into core.Stats on a hit.
+	FencesPlaced int
+	FencesMerged int
+}
+
+// encodedSize returns the serialized size of the entry on disk.
+func (e *Entry) encodedSize() int { return 8 + 8 + 8 + len(e.Body) }
+
+// Cache is a two-level (memory, optionally disk) translation cache. All
+// methods are safe for concurrent use; the worker pool of the parallel
+// pipeline probes and fills it from many goroutines.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+
+	dir string // "" = memory only
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type lruItem struct {
+	key   Key
+	entry *Entry
+}
+
+// DefaultMaxEntries bounds the in-memory layer when callers pass 0.
+const DefaultMaxEntries = 4096
+
+// New returns a memory-only cache holding at most maxEntries entries
+// (DefaultMaxEntries if maxEntries <= 0).
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		max:   maxEntries,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element),
+	}
+}
+
+// Open returns a cache backed by dir as a persistent second level. The
+// directory is created if missing. Disk reads and writes are best-effort:
+// I/O errors fall back to recomputation, never fail a translation.
+func Open(dir string, maxEntries int) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	c := New(maxEntries)
+	c.dir = dir
+	return c, nil
+}
+
+// Get returns the entry for k and whether it was present in either level.
+// A disk hit is promoted into the memory layer.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*lruItem).entry
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if e, err := readEntryFile(c.path(k)); err == nil {
+			c.insert(k, e)
+			c.hits.Add(1)
+			return e, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores the entry for k in the memory layer and, when configured, on
+// disk. The caller must not mutate the entry afterwards.
+func (c *Cache) Put(k Key, e *Entry) {
+	c.insert(k, e)
+	if c.dir != "" {
+		// Best effort: a failed write only costs future recomputation.
+		_ = writeEntryFile(c.path(k), e)
+	}
+}
+
+func (c *Cache) insert(k Key, e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruItem).entry = e
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruItem{key: k, entry: e})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}
+
+// Len returns the number of entries in the memory layer.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+func (c *Cache) path(k Key) string {
+	name := hex.EncodeToString(k[:])
+	// Shard by the first byte to keep directories small.
+	return filepath.Join(c.dir, name[:2], name[2:]+".lce")
+}
+
+// Disk format: magic, format version, stats fields, body length, body bytes.
+const (
+	diskMagic   = "LCE1"
+	diskVersion = 1
+)
+
+var errBadEntry = errors.New("cache: bad disk entry")
+
+func writeEntryFile(path string, e *Entry) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(diskMagic)+4+e.encodedSize())
+	buf = append(buf, diskMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, diskVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.FencesPlaced))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.FencesMerged))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(e.Body)))
+	buf = append(buf, e.Body...)
+	// Write-then-rename so concurrent readers never observe a torn entry.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func readEntryFile(path string) (*Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := len(diskMagic) + 4 + 24
+	if len(data) < hdr || string(data[:len(diskMagic)]) != diskMagic {
+		return nil, errBadEntry
+	}
+	if binary.LittleEndian.Uint32(data[len(diskMagic):]) != diskVersion {
+		return nil, errBadEntry
+	}
+	p := len(diskMagic) + 4
+	e := &Entry{
+		FencesPlaced: int(binary.LittleEndian.Uint64(data[p:])),
+		FencesMerged: int(binary.LittleEndian.Uint64(data[p+8:])),
+	}
+	n := binary.LittleEndian.Uint64(data[p+16:])
+	body := data[hdr:]
+	if uint64(len(body)) != n {
+		return nil, errBadEntry
+	}
+	e.Body = body
+	return e, nil
+}

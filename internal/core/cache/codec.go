@@ -1,0 +1,523 @@
+// Function-body codec: a lossless, deterministic binary encoding of an
+// ir.Func body (blocks, instructions, operands) that serves two purposes in
+// the translation cache:
+//
+//   - the canonical byte form of a function entering the function-local
+//     fence+opt suffix IS the content-addressed part of its cache key
+//     (hashing the encoding rather than the printed IR makes the key exact:
+//     every field the pipeline can observe is in the byte stream);
+//   - cached post-pipeline bodies are stored encoded, so one entry can be
+//     decoded into any module (in-memory across translations, or from disk
+//     across processes) by re-resolving globals and callees by name.
+//
+// The encoding is two-pass like ir.Func.CloneBody: instructions are indexed
+// in block order first, so operands referencing instructions in later
+// blocks (phis) encode as plain indices.
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lasagne/internal/ir"
+)
+
+// Type kind tags.
+const (
+	tyVoid = iota
+	tyInt
+	tyFloat
+	tyPtr
+	tyVector
+	tyArray
+	tyFunc
+	tyNil // absent type (e.g. Instr.Elem on non-memory ops)
+)
+
+// Value kind tags.
+const (
+	valInstr = iota
+	valParam
+	valGlobal
+	valFunc
+	valConstInt
+	valConstFloat
+	valConstNull
+	valUndef
+)
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) i64(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) typ(t ir.Type) {
+	switch x := t.(type) {
+	case nil:
+		e.u64(tyNil)
+	case ir.VoidType:
+		e.u64(tyVoid)
+	case *ir.IntType:
+		e.u64(tyInt)
+		e.u64(uint64(x.Bits))
+	case *ir.FloatType:
+		e.u64(tyFloat)
+		e.u64(uint64(x.Bits))
+	case *ir.PtrType:
+		e.u64(tyPtr)
+		e.typ(x.Elem)
+	case *ir.VectorType:
+		e.u64(tyVector)
+		e.u64(uint64(x.Len))
+		e.typ(x.Elem)
+	case *ir.ArrayType:
+		e.u64(tyArray)
+		e.u64(uint64(x.Len))
+		e.typ(x.Elem)
+	case *ir.FuncType:
+		e.u64(tyFunc)
+		e.typ(x.Ret)
+		e.u64(uint64(len(x.Params)))
+		for _, p := range x.Params {
+			e.typ(p)
+		}
+		if x.Variadic {
+			e.u64(1)
+		} else {
+			e.u64(0)
+		}
+	default:
+		panic(fmt.Sprintf("cache: unencodable type %T", t))
+	}
+}
+
+func (e *encoder) value(v ir.Value, idx map[*ir.Instr]int) {
+	switch x := v.(type) {
+	case *ir.Instr:
+		i, ok := idx[x]
+		if !ok {
+			panic("cache: operand references an instruction outside the body")
+		}
+		e.u64(valInstr)
+		e.u64(uint64(i))
+	case *ir.Param:
+		e.u64(valParam)
+		e.u64(uint64(x.Idx))
+	case *ir.Global:
+		// Name plus storage type and alignment: the type is observable
+		// through Value.Type(), so it must be part of the content hash, and
+		// the decoder uses it to verify the resolved global matches.
+		e.u64(valGlobal)
+		e.str(x.Name)
+		e.typ(x.Elem)
+		e.u64(uint64(x.Align))
+	case *ir.Func:
+		// Name plus signature, for the same reason as globals.
+		e.u64(valFunc)
+		e.str(x.Name)
+		e.typ(x.Sig)
+	case *ir.ConstInt:
+		e.u64(valConstInt)
+		e.u64(uint64(x.Ty.Bits))
+		e.i64(x.V)
+	case *ir.ConstFloat:
+		e.u64(valConstFloat)
+		e.u64(uint64(x.Ty.Bits))
+		e.u64(math.Float64bits(x.V))
+	case *ir.ConstNull:
+		e.u64(valConstNull)
+		e.typ(x.Ty)
+	case *ir.Undef:
+		e.u64(valUndef)
+		e.typ(x.Ty)
+	default:
+		panic(fmt.Sprintf("cache: unencodable operand %T", v))
+	}
+}
+
+// EncodeSignature encodes the parts of a function's interface that the
+// function-local pipeline suffix can observe: its signature and parameter
+// types/names. The function's own name is deliberately excluded so that
+// structurally identical functions share cache entries.
+func EncodeSignature(f *ir.Func) []byte {
+	e := &encoder{}
+	e.typ(f.Sig)
+	e.u64(uint64(len(f.Params)))
+	for _, p := range f.Params {
+		e.str(p.Nam)
+		e.typ(p.Ty)
+	}
+	return e.buf
+}
+
+// EncodeBody encodes f's basic blocks into a self-contained byte form.
+// Operand references to module-level values (globals, callees) are encoded
+// by name; DecodeBody re-resolves them in the destination module.
+func EncodeBody(f *ir.Func) []byte {
+	idx := make(map[*ir.Instr]int)
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			idx[in] = n
+			n++
+		}
+	}
+	bidx := make(map[*ir.Block]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		bidx[b] = i
+	}
+
+	e := &encoder{buf: make([]byte, 0, 64+n*16)}
+	e.u64(uint64(f.IDBound()))
+	e.u64(uint64(len(f.Blocks)))
+	for _, b := range f.Blocks {
+		e.str(b.Name)
+		e.u64(uint64(len(b.Instrs)))
+		for _, in := range b.Instrs {
+			e.u64(uint64(in.Op))
+			e.typ(in.Ty)
+			e.typ(in.Elem)
+			e.u64(uint64(in.Order))
+			e.u64(uint64(in.Fence))
+			e.u64(uint64(in.RMWOp))
+			e.u64(uint64(in.Pred))
+			e.u64(uint64(in.ID))
+			e.str(in.Nam)
+			e.u64(uint64(len(in.Args)))
+			for _, a := range in.Args {
+				e.value(a, idx)
+			}
+			e.u64(uint64(len(in.Blocks)))
+			for _, sb := range in.Blocks {
+				bi, ok := bidx[sb]
+				if !ok {
+					panic("cache: terminator references a block outside the body")
+				}
+				e.u64(uint64(bi))
+			}
+		}
+	}
+	return e.buf
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("cache: corrupt entry: %s at offset %d", msg, d.off)
+	}
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.u64())
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func intType(bits int) *ir.IntType {
+	switch bits {
+	case 1:
+		return ir.I1
+	case 8:
+		return ir.I8
+	case 16:
+		return ir.I16
+	case 32:
+		return ir.I32
+	case 64:
+		return ir.I64
+	}
+	return &ir.IntType{Bits: bits}
+}
+
+func floatType(bits int) *ir.FloatType {
+	if bits == 32 {
+		return ir.F32
+	}
+	return ir.F64
+}
+
+func (d *decoder) typ() ir.Type {
+	switch kind := d.u64(); kind {
+	case tyNil:
+		return nil
+	case tyVoid:
+		return ir.Void
+	case tyInt:
+		return intType(int(d.u64()))
+	case tyFloat:
+		return floatType(int(d.u64()))
+	case tyPtr:
+		return ir.PointerTo(d.typ())
+	case tyVector:
+		n := int(d.u64())
+		return ir.VectorOf(d.typ(), n)
+	case tyArray:
+		n := int(d.u64())
+		return ir.ArrayOf(d.typ(), n)
+	case tyFunc:
+		ft := &ir.FuncType{Ret: d.typ()}
+		np := int(d.u64())
+		for i := 0; i < np && d.err == nil; i++ {
+			ft.Params = append(ft.Params, d.typ())
+		}
+		ft.Variadic = d.u64() == 1
+		return ft
+	default:
+		d.fail(fmt.Sprintf("unknown type kind %d", kind))
+		return nil
+	}
+}
+
+// skipValue advances past one encoded value without resolving it; pass 1 of
+// DecodeBody uses it because instruction-index operands may point at
+// instructions that do not exist yet.
+func (d *decoder) skipValue() {
+	switch kind := d.u64(); kind {
+	case valInstr, valParam:
+		d.u64()
+	case valGlobal:
+		d.str()
+		d.typ()
+		d.u64()
+	case valFunc:
+		d.str()
+		d.typ()
+	case valConstInt:
+		d.u64()
+		d.i64()
+	case valConstFloat:
+		d.u64()
+		d.u64()
+	case valConstNull, valUndef:
+		d.typ()
+	default:
+		d.fail(fmt.Sprintf("unknown value kind %d", kind))
+	}
+}
+
+func (d *decoder) value(f *ir.Func, instrs []*ir.Instr) ir.Value {
+	switch kind := d.u64(); kind {
+	case valInstr:
+		i := int(d.u64())
+		if d.err == nil && (i < 0 || i >= len(instrs)) {
+			d.fail("instruction index out of range")
+			return nil
+		}
+		if d.err != nil {
+			return nil
+		}
+		return instrs[i]
+	case valParam:
+		i := int(d.u64())
+		if d.err == nil && (i < 0 || i >= len(f.Params)) {
+			d.fail("parameter index out of range")
+			return nil
+		}
+		if d.err != nil {
+			return nil
+		}
+		return f.Params[i]
+	case valGlobal:
+		name := d.str()
+		elem := d.typ()
+		align := int(d.u64())
+		g := f.Module.Global(name)
+		if g == nil {
+			d.fail(fmt.Sprintf("unknown global @%s", name))
+			return nil
+		}
+		if d.err == nil && (elem == nil || !elem.Equal(g.Elem) || align != g.Align) {
+			d.fail(fmt.Sprintf("global @%s does not match the cached shape", name))
+			return nil
+		}
+		return g
+	case valFunc:
+		name := d.str()
+		sig := d.typ()
+		fn := f.Module.Func(name)
+		if fn == nil {
+			d.fail(fmt.Sprintf("unknown function @%s", name))
+			return nil
+		}
+		if d.err == nil && (sig == nil || !sig.Equal(fn.Sig)) {
+			d.fail(fmt.Sprintf("function @%s does not match the cached signature", name))
+			return nil
+		}
+		return fn
+	case valConstInt:
+		bits := int(d.u64())
+		return &ir.ConstInt{Ty: intType(bits), V: d.i64()}
+	case valConstFloat:
+		bits := int(d.u64())
+		return &ir.ConstFloat{Ty: floatType(bits), V: math.Float64frombits(d.u64())}
+	case valConstNull:
+		t, ok := d.typ().(*ir.PtrType)
+		if !ok {
+			d.fail("null constant with non-pointer type")
+			return nil
+		}
+		return &ir.ConstNull{Ty: t}
+	case valUndef:
+		return &ir.Undef{Ty: d.typ()}
+	default:
+		d.fail(fmt.Sprintf("unknown value kind %d", kind))
+		return nil
+	}
+}
+
+// DecodeBody rebuilds an encoded body as fresh blocks parented to f,
+// resolving globals and callees in f's module. It does not install the
+// blocks; callers swap them in with f.RestoreBody on success. The
+// function's value-ID bound is restored so later passes can keep minting
+// unique IDs.
+func DecodeBody(f *ir.Func, data []byte) ([]*ir.Block, error) {
+	d := &decoder{buf: data}
+	idBound := int(d.u64())
+	nblocks := int(d.u64())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nblocks < 0 || nblocks > len(data) {
+		return nil, fmt.Errorf("cache: corrupt entry: implausible block count %d", nblocks)
+	}
+
+	blocks := make([]*ir.Block, 0, nblocks)
+	var instrs []*ir.Instr
+	type rawInstr struct {
+		in  *ir.Instr
+		off int // buffer offset of the operand payload
+	}
+	var raws []rawInstr
+
+	// Pass 1: decode every instruction shell, recording where each operand
+	// payload starts; operands may reference instructions from later blocks
+	// (phis), so they resolve in pass 2.
+	for bi := 0; bi < nblocks; bi++ {
+		b := &ir.Block{Name: d.str(), Parent: f}
+		ninstr := int(d.u64())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if ninstr < 0 || ninstr > len(data) {
+			return nil, fmt.Errorf("cache: corrupt entry: implausible instruction count %d", ninstr)
+		}
+		for k := 0; k < ninstr; k++ {
+			in := &ir.Instr{
+				Op:     ir.Op(d.u64()),
+				Ty:     d.typ(),
+				Elem:   d.typ(),
+				Order:  ir.Ordering(d.u64()),
+				Fence:  ir.FenceKind(d.u64()),
+				RMWOp:  ir.RMWOp(d.u64()),
+				Pred:   ir.Pred(d.u64()),
+				ID:     int(d.u64()),
+				Nam:    d.str(),
+				Parent: b,
+			}
+			if d.err != nil {
+				return nil, d.err
+			}
+			raws = append(raws, rawInstr{in: in, off: d.off})
+			// Skip the operand payload (args then successor block indices);
+			// pass 2 decodes it once every instruction shell exists.
+			nargs := int(d.u64())
+			for a := 0; a < nargs && d.err == nil; a++ {
+				d.skipValue()
+			}
+			nsucc := int(d.u64())
+			for s := 0; s < nsucc && d.err == nil; s++ {
+				d.u64()
+			}
+			if d.err != nil {
+				return nil, d.err
+			}
+			b.Instrs = append(b.Instrs, in)
+			instrs = append(instrs, in)
+		}
+		blocks = append(blocks, b)
+	}
+
+	// Pass 2: operands and successors, now that every instruction and block
+	// shell exists.
+	for _, r := range raws {
+		d2 := &decoder{buf: data, off: r.off}
+		nargs := int(d2.u64())
+		if nargs > 0 {
+			r.in.Args = make([]ir.Value, 0, nargs)
+			for a := 0; a < nargs; a++ {
+				r.in.Args = append(r.in.Args, d2.value(f, instrs))
+			}
+		}
+		nsucc := int(d2.u64())
+		if nsucc > 0 {
+			r.in.Blocks = make([]*ir.Block, 0, nsucc)
+			for s := 0; s < nsucc; s++ {
+				bi := int(d2.u64())
+				if d2.err == nil && (bi < 0 || bi >= len(blocks)) {
+					d2.fail("block index out of range")
+				}
+				if d2.err != nil {
+					break
+				}
+				r.in.Blocks = append(r.in.Blocks, blocks[bi])
+			}
+		}
+		if d2.err != nil {
+			return nil, d2.err
+		}
+	}
+	f.SetIDBound(idBound)
+	return blocks, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"lasagne/internal/backend"
+	"lasagne/internal/core/cache"
+	"lasagne/internal/diag/inject"
+	"lasagne/internal/minic"
+	"lasagne/internal/obj"
+	"lasagne/internal/opt"
+)
+
+// buildX86From compiles src to an x86-64 object the way buildX86 does, for
+// cache tests that need a second, slightly different binary.
+func buildX86From(t *testing.T, src string) *obj.File {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := backend.Compile(m, "x86-64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func TestCacheWarmMatchesCold(t *testing.T) {
+	bin, _ := buildX86(t)
+	cfg := Default()
+
+	mNone, stNone, rep, err := TranslateToIR(bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 0 {
+		t.Fatalf("uncached run produced diagnostics:\n%s", rep)
+	}
+
+	cfg.Cache = cache.New(0)
+	mCold, stCold, _, err := TranslateToIR(bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCold.CacheHits != 0 || stCold.CacheMisses == 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0 hits and >0 misses",
+			stCold.CacheHits, stCold.CacheMisses)
+	}
+	mWarm, stWarm, repWarm, err := TranslateToIR(bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stWarm.CacheMisses != 0 || stWarm.CacheHits != stCold.CacheMisses {
+		t.Fatalf("warm run: hits=%d misses=%d, want %d hits and 0 misses",
+			stWarm.CacheHits, stWarm.CacheMisses, stCold.CacheMisses)
+	}
+	if repWarm.Len() != 0 {
+		t.Fatalf("warm run produced diagnostics:\n%s", repWarm)
+	}
+
+	if mCold.String() != mNone.String() {
+		t.Error("cold cached translation differs from uncached")
+	}
+	if mWarm.String() != mNone.String() {
+		t.Error("warm cached translation differs from uncached")
+	}
+	if stWarm.FencesPlaced != stNone.FencesPlaced || stWarm.FencesMerged != stNone.FencesMerged ||
+		stWarm.FencesFinal != stNone.FencesFinal {
+		t.Errorf("warm stats (placed %d merged %d final %d) differ from uncached (placed %d merged %d final %d)",
+			stWarm.FencesPlaced, stWarm.FencesMerged, stWarm.FencesFinal,
+			stNone.FencesPlaced, stNone.FencesMerged, stNone.FencesFinal)
+	}
+}
+
+func TestCacheMissOnFingerprintVersionAndBytes(t *testing.T) {
+	bin, _ := buildX86(t)
+	c := cache.New(0)
+
+	cfg := Default()
+	cfg.Cache = c
+	_, stCold, _, err := TranslateToIR(bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfuncs := stCold.CacheMisses
+
+	// A different Config fingerprint must miss every entry.
+	cfg2 := cfg
+	cfg2.MergeFences = false
+	_, st2, _, err := TranslateToIR(bin, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CacheHits != 0 {
+		t.Errorf("changed fingerprint hit %d entries", st2.CacheHits)
+	}
+
+	// A bumped pipeline version must miss every entry.
+	saved := PipelineVersion
+	PipelineVersion = saved + ";test-bump"
+	_, st3, _, err := TranslateToIR(bin, cfg)
+	PipelineVersion = saved
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.CacheHits != 0 {
+		t.Errorf("bumped pipeline version hit %d entries", st3.CacheHits)
+	}
+
+	// Changed function bytes must miss for the changed function, and the
+	// warm translation of the new binary must match its own uncached one.
+	const modifiedSrc = `
+int shared[64];
+int total;
+void worker(int tid) {
+  int i;
+  for (i = tid; i < 64; i = i + 4) {
+    shared[i] = i * i + 1;
+    atomic_add(&total, shared[i]);
+  }
+}
+int main() {
+  int t;
+  for (t = 0; t < 4; t = t + 1) spawn(worker, t);
+  join();
+  print_int(total);
+  print_int(shared[10]);
+  return 0;
+}
+`
+	bin2 := buildX86From(t, modifiedSrc)
+	m4, st4, _, err := TranslateToIR(bin2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.CacheMisses == 0 {
+		t.Error("changed function bytes produced no cache misses")
+	}
+	if st4.CacheHits+st4.CacheMisses != nfuncs {
+		t.Errorf("modified binary probed %d functions, original has %d",
+			st4.CacheHits+st4.CacheMisses, nfuncs)
+	}
+	mRef, _, _, err := TranslateToIR(bin2, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.String() != mRef.String() {
+		t.Error("warm translation of the modified binary differs from its uncached translation")
+	}
+}
+
+func TestCacheNeverStoresDegradedFunctions(t *testing.T) {
+	bin, _ := buildX86(t)
+	cfg := Default()
+	cfg.Cache = cache.New(0)
+
+	// Degrade worker in the opt stage with the cache armed.
+	inject.Arm("opt:worker", inject.Fail)
+	_, _, repBad, err := TranslateToIR(bin, cfg)
+	inject.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := repBad.Degraded(); len(got) != 1 || got[0] != "worker" {
+		t.Fatalf("degraded %v, want [worker]", got)
+	}
+
+	// A clean run against the same cache must produce the clean translation
+	// — if the degraded body had been cached, worker would replay degraded
+	// (and diagnostics-free, masking the fault).
+	mClean, stClean, repClean, err := TranslateToIR(bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repClean.Len() != 0 {
+		t.Fatalf("clean warm run produced diagnostics:\n%s", repClean)
+	}
+	if stClean.CacheMisses == 0 {
+		t.Error("worker's suffix replayed from cache after a degraded run")
+	}
+
+	mRef, _, _, err := TranslateToIR(bin, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mClean.String() != mRef.String() {
+		t.Error("translation after a degraded cached run differs from the clean reference")
+	}
+}

@@ -8,6 +8,23 @@
 // Each stage can be toggled via Config to reproduce the paper's evaluation
 // variants (Lifted / Opt / POpt / PPOpt).
 //
+// The pipeline is staged and function-parallel. Module-level steps —
+// disassembly, function declaration, parameter promotion — run serially;
+// everything function-local (body lifting, peephole refinement, fence
+// placement and merging, the optimization pipeline) fans out across a
+// worker pool sized by Config.Jobs. Workers only ever mutate their own
+// function; diagnostics, statistics and the degraded set are merged on the
+// coordinating goroutine in module function order, so serial (Jobs=1) and
+// parallel runs produce byte-identical modules and identically ordered
+// reports.
+//
+// The function-local suffix of the pipeline (fence placement, merging,
+// optimization) can be memoized in a content-addressed cache
+// (Config.Cache): the cache key hashes the pipeline version, the Config
+// fingerprint and the function's canonical IR encoding at suffix entry, and
+// a hit replays the memoized post-pipeline body and statistics instead of
+// re-running the passes. Degraded functions are never cached.
+//
 // The pipeline is fault tolerant at function granularity. Every function
 // passes through the optimizing stages inside its own recover boundary
 // (diag.Guard) and, when Config.FuncBudget is set, under its own deadline.
@@ -24,10 +41,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"lasagne/internal/armlifter"
 	"lasagne/internal/backend"
+	"lasagne/internal/core/cache"
 	"lasagne/internal/diag"
 	"lasagne/internal/diag/inject"
 	"lasagne/internal/fences"
@@ -35,8 +54,15 @@ import (
 	"lasagne/internal/lifter"
 	"lasagne/internal/obj"
 	"lasagne/internal/opt"
+	"lasagne/internal/par"
 	"lasagne/internal/refine"
 )
+
+// PipelineVersion names the semantics of the function-local pipeline suffix
+// for cache keying: any change to fence placement, fence merging or the
+// standard optimization pipeline must be reflected here (bump the prefix or
+// let the pass list change do it), or stale cache entries would replay.
+var PipelineVersion = "core-v2;opt=" + strings.Join(opt.StandardPipeline, ",")
 
 // Config selects pipeline stages. The zero value is the bare correct
 // translation (the paper's "Lifted" variant); Default() enables everything
@@ -64,11 +90,28 @@ type Config struct {
 	// Error diagnostic. Without AllowPartial any lift failure aborts the
 	// translation (the Report still describes every failure).
 	AllowPartial bool
+	// Jobs is the worker count for the function-parallel stages: zero or
+	// negative means one worker per CPU. The translation output is
+	// byte-identical for every worker count.
+	Jobs int
+	// Cache, when non-nil, memoizes the function-local pipeline suffix
+	// (fence placement, merging, optimization) keyed by content: a repeated
+	// translation of an unchanged function under an equivalent Config
+	// replays the memoized body instead of re-running the passes.
+	Cache *cache.Cache
 }
 
 // Default returns the full Lasagne configuration.
 func Default() Config {
 	return Config{Refine: true, MergeFences: true, Optimize: true}
+}
+
+// fingerprint summarizes the Config fields that influence the memoized
+// pipeline suffix. Refine is deliberately absent: its effect is fully
+// captured by the input-body hash (the key is computed after refinement).
+func (c Config) fingerprint(place bool) string {
+	return fmt.Sprintf("merge=%t;opt=%t;verify=%t;place=%t",
+		c.MergeFences, c.Optimize, c.VerifyIR, place)
 }
 
 // Stats reports what the pipeline did.
@@ -82,6 +125,8 @@ type Stats struct {
 	FencesFinal    int // fences left in the final IR
 	RefineRewrites int
 	PromotedParams int
+	CacheHits      int // functions whose pipeline suffix replayed from cache
+	CacheMisses    int // functions that ran the suffix and (if clean) filled it
 }
 
 // Translate lifts an x86-64 object and compiles it to an Arm64 object. The
@@ -128,10 +173,12 @@ func TranslateToIRContext(ctx context.Context, bin *obj.File, cfg Config) (*ir.M
 			fmt.Sprintf("expected an x86-64 binary, got %q", bin.Arch), nil)
 	}
 	stats := &Stats{}
+	workers := par.Workers(cfg.Jobs)
 
 	// Lift stage. Disassembly, CFG reconstruction and body translation all
 	// recover per function: a function that cannot be lifted becomes a stub
-	// flagged with an Error diagnostic.
+	// flagged with an Error diagnostic. Declaration is serial (it creates
+	// module-level functions); body lifting is function-local and fans out.
 	ml, err := lifter.BeginTolerant(bin, func(sym obj.Symbol, derr error) {
 		rep.Add(diag.Diagnostic{Stage: diag.StageDisasm, Func: sym.Name, Addr: sym.Addr,
 			Severity: diag.Error, Msg: "cannot disassemble function; dropped", Cause: derr})
@@ -157,8 +204,8 @@ func TranslateToIRContext(ctx context.Context, bin *obj.File, cfg Config) (*ir.M
 	// excluded tracks functions barred from the optimizing stages — lift
 	// failures (stubs) and functions already degraded to their snapshot.
 	excluded := map[string]bool{}
-	for _, name := range lifted {
-		name := name
+	liftErrs := par.Collect(len(lifted), workers, func(i int) error {
+		name := lifted[i]
 		gerr := diag.Guard(diag.StageLift, name, func() error {
 			if err := inject.Hit("lift:" + name); err != nil {
 				return err
@@ -170,12 +217,17 @@ func TranslateToIRContext(ctx context.Context, bin *obj.File, cfg Config) (*ir.M
 				gerr = diag.Guard(diag.StageVerify, name, func() error { return ir.VerifyFunc(f) })
 			}
 		}
-		if gerr != nil {
-			ml.StubFunc(name)
-			excluded[name] = true
-			rep.Add(diag.Diagnostic{Stage: diag.StageLift, Func: name, Addr: diag.AddrOf(gerr),
-				Severity: diag.Error, Msg: "cannot lift function; emitted a stub returning zero", Cause: gerr})
+		return gerr
+	})
+	for i, gerr := range liftErrs {
+		if gerr == nil {
+			continue
 		}
+		name := lifted[i]
+		ml.StubFunc(name)
+		excluded[name] = true
+		rep.Add(diag.Diagnostic{Stage: diag.StageLift, Func: name, Addr: diag.AddrOf(gerr),
+			Severity: diag.Error, Msg: "cannot lift function; emitted a stub returning zero", Cause: gerr})
 	}
 	m := ml.Module()
 	stats.LiftedInstrs = m.NumInstrs()
@@ -188,7 +240,7 @@ func TranslateToIRContext(ctx context.Context, bin *obj.File, cfg Config) (*ir.M
 	}
 
 	p := &pipeline{ctx: ctx, cfg: cfg, stats: stats, rep: rep, m: m,
-		excluded: excluded, place: true}
+		excluded: excluded, place: true, workers: workers}
 	p.snapshot()
 	if err := p.run(); err != nil {
 		return nil, stats, rep, err
@@ -230,7 +282,7 @@ func TranslateArmToX86Context(ctx context.Context, bin *obj.File, cfg Config) (*
 	stats.PtrCastsBefore = refine.CountPtrCasts(m)
 
 	p := &pipeline{ctx: ctx, cfg: cfg, stats: stats, rep: rep, m: m,
-		excluded: map[string]bool{}, place: false}
+		excluded: map[string]bool{}, place: false, workers: par.Workers(cfg.Jobs)}
 	p.snapshot()
 	if err := p.run(); err != nil {
 		return nil, stats, rep, err
@@ -262,7 +314,9 @@ type funcSnap struct {
 }
 
 // pipeline runs the recoverable middle stages (refine, fences, opt) over a
-// lifted module.
+// lifted module. Function-local work fans out over `workers` goroutines;
+// everything that must stay ordered (diagnostics, statistics, the excluded
+// set) is merged on the calling goroutine in module function order.
 type pipeline struct {
 	ctx      context.Context
 	cfg      Config
@@ -272,6 +326,7 @@ type pipeline struct {
 	snaps    map[string]*funcSnap
 	excluded map[string]bool
 	place    bool // place Frm/Fww fences (the strong→weak direction)
+	workers  int
 }
 
 func (p *pipeline) snapshot() {
@@ -287,6 +342,19 @@ func (p *pipeline) snapshot() {
 		}
 		p.snaps[f.Name] = s
 	}
+}
+
+// bodies returns the defined, non-excluded functions in module order: the
+// work list for a function-parallel stage.
+func (p *pipeline) bodies() []*ir.Func {
+	var fs []*ir.Func
+	for _, f := range p.m.Funcs {
+		if f.External || len(f.Blocks) == 0 || p.excluded[f.Name] {
+			continue
+		}
+		fs = append(fs, f)
+	}
+	return fs
 }
 
 // degrade restores fn to its lifted snapshot and records the fallback. The
@@ -337,21 +405,25 @@ func (p *pipeline) checkCtx(before string) error {
 // cleanup, then parameter promotion — with per-function recovery for the
 // peephole and a full-module rollback for promotion (promotion rewrites
 // signatures and call sites across the module, so a mid-flight failure
-// cannot be contained to one function).
+// cannot be contained to one function). The peephole iteration of each
+// round is function-local and runs on the worker pool; promotion stays
+// serial.
 func (p *pipeline) refineStage() {
+	type peepOut struct {
+		rewrites int
+		gerr     error
+	}
 	for {
 		n := 0
-		for _, f := range p.m.Funcs {
-			if f.External || len(f.Blocks) == 0 || p.excluded[f.Name] {
-				continue
-			}
-			f := f
-			k := 0
-			gerr := p.guardWithBudget(diag.StageRefine, f.Name, func(fctx context.Context) error {
+		fs := p.bodies()
+		outs := par.Collect(len(fs), p.workers, func(i int) peepOut {
+			f := fs[i]
+			var o peepOut
+			o.gerr = p.guardWithBudget(diag.StageRefine, f.Name, func(fctx context.Context) error {
 				if err := inject.Hit("refine:" + f.Name); err != nil {
 					return err
 				}
-				k = refine.PeepholeFunc(f)
+				o.rewrites = refine.PeepholeFunc(f)
 				refine.CleanupFunc(f)
 				if p.cfg.VerifyIR {
 					if err := ir.VerifyFunc(f); err != nil {
@@ -360,11 +432,14 @@ func (p *pipeline) refineStage() {
 				}
 				return fctx.Err()
 			})
-			if gerr != nil {
-				p.degrade(f, diag.StageRefine, gerr)
+			return o
+		})
+		for i, o := range outs {
+			if o.gerr != nil {
+				p.degrade(fs[i], diag.StageRefine, o.gerr)
 				continue
 			}
-			n += k
+			n += o.rewrites
 		}
 		promoted := 0
 		gerr := diag.Guard(diag.StageRefine, "", func() error {
@@ -391,12 +466,10 @@ func (p *pipeline) refineStage() {
 		}
 		p.stats.RefineRewrites += n
 	}
-	for _, f := range p.m.Funcs {
-		if f.External || len(f.Blocks) == 0 || p.excluded[f.Name] {
-			continue
-		}
-		refine.CleanupFunc(f)
-	}
+	final := p.bodies()
+	par.For(len(final), p.workers, func(i int) {
+		refine.CleanupFunc(final[i])
+	})
 }
 
 func (p *pipeline) rollbackAll(stage diag.Stage, cause error) {
@@ -417,30 +490,65 @@ func (p *pipeline) rollbackAll(stage diag.Stage, cause error) {
 	}
 }
 
+// fenceOut is the per-function outcome of the fence+opt suffix, produced on
+// a worker and merged serially.
+type fenceOut struct {
+	placed, merged int
+	stage          diag.Stage
+	gerr           error
+	probed         bool // the cache was consulted
+	hit            bool
+}
+
 // fenceOptStage runs optimized fence placement, merging and the opt
-// pipeline one function at a time. A failure in any of them rolls the
-// function back to its snapshot and re-fences it conservatively.
+// pipeline, one function per worker. A failure in any of them rolls the
+// function back to its snapshot and re-fences it conservatively — all
+// function-local, so recovery happens right on the worker; only the
+// bookkeeping (diagnostics, degraded set, statistics) is merged afterwards
+// in module order. When a cache is configured the whole suffix is skipped
+// for functions whose key hits, and filled for functions that complete
+// cleanly.
 func (p *pipeline) fenceOptStage() {
+	var fs []*ir.Func
 	for _, f := range p.m.Funcs {
 		if f.External || len(f.Blocks) == 0 {
 			continue
 		}
-		f := f
+		fs = append(fs, f)
+	}
+	fp := p.cfg.fingerprint(p.place)
+	outs := par.Collect(len(fs), p.workers, func(i int) fenceOut {
+		f := fs[i]
 		if p.excluded[f.Name] {
-			p.conservative(f)
-			continue
+			return fenceOut{placed: p.conservative(f)}
 		}
-		placed, merged := 0, 0
-		stage := diag.StageFences
-		gerr := p.guardWithBudget(stage, f.Name, func(fctx context.Context) error {
+
+		var key cache.Key
+		if p.cfg.Cache != nil {
+			key = cache.KeyFor(PipelineVersion, fp, f)
+			if e, ok := p.cfg.Cache.Get(key); ok {
+				if blocks, derr := cache.DecodeBody(f, e.Body); derr == nil {
+					f.RestoreBody(blocks)
+					return fenceOut{placed: e.FencesPlaced, merged: e.FencesMerged,
+						probed: true, hit: true}
+				}
+				// An undecodable entry (corrupt disk file, mismatched module
+				// shape) falls through to recomputation.
+			}
+		}
+
+		var o fenceOut
+		o.probed = p.cfg.Cache != nil
+		o.stage = diag.StageFences
+		o.gerr = p.guardWithBudget(diag.StageFences, f.Name, func(fctx context.Context) error {
 			if err := inject.Hit("fences:" + f.Name); err != nil {
 				return err
 			}
 			if p.place {
-				placed = fences.PlaceFunc(f, fences.Options{SkipStackAccesses: true})
+				o.placed = fences.PlaceFunc(f, fences.Options{SkipStackAccesses: true})
 			}
 			if p.cfg.MergeFences {
-				merged = fences.MergeFunc(f)
+				o.merged = fences.MergeFunc(f)
 			}
 			if p.cfg.VerifyIR {
 				if err := ir.VerifyFunc(f); err != nil {
@@ -451,7 +559,7 @@ func (p *pipeline) fenceOptStage() {
 				return err
 			}
 			if p.cfg.Optimize {
-				stage = diag.StageOpt
+				o.stage = diag.StageOpt
 				if err := inject.Hit("opt:" + f.Name); err != nil {
 					return err
 				}
@@ -461,24 +569,54 @@ func (p *pipeline) fenceOptStage() {
 			}
 			return nil
 		})
-		if gerr != nil {
-			p.degrade(f, stage, gerr)
-			p.conservative(f)
-			continue
+		if o.gerr != nil {
+			// Roll back to the lifted snapshot and re-fence conservatively,
+			// both function-local. The report/excluded updates happen at
+			// merge time.
+			if s := p.snaps[f.Name]; s != nil {
+				f.RestoreBody(s.blocks)
+			}
+			o.placed, o.merged = p.conservative(f), 0
+			return o
 		}
-		p.stats.FencesPlaced += placed
-		p.stats.FencesMerged += merged
+		if p.cfg.Cache != nil {
+			// Only clean completions are memoized: degraded functions must
+			// re-run (and re-diagnose) on every translation.
+			p.cfg.Cache.Put(key, &cache.Entry{
+				Body:         cache.EncodeBody(f),
+				FencesPlaced: o.placed,
+				FencesMerged: o.merged,
+			})
+		}
+		return o
+	})
+	for i, o := range outs {
+		f := fs[i]
+		if o.gerr != nil {
+			p.excluded[f.Name] = true
+			p.rep.Degrade(f.Name, o.stage, o.gerr)
+		}
+		p.stats.FencesPlaced += o.placed
+		p.stats.FencesMerged += o.merged
+		if o.probed {
+			if o.hit {
+				p.stats.CacheHits++
+			} else {
+				p.stats.CacheMisses++
+			}
+		}
 	}
 }
 
 // conservative applies the always-sound Fig. 8a full-fence mapping to a
 // function sitting at its lifted snapshot: every shared load and store gets
 // its fence, stack accesses included, and nothing is merged or optimized.
-func (p *pipeline) conservative(f *ir.Func) {
+// It returns the number of fences placed.
+func (p *pipeline) conservative(f *ir.Func) int {
 	if !p.place {
-		return // weak→strong: the lifted body is already conservative
+		return 0 // weak→strong: the lifted body is already conservative
 	}
-	p.stats.FencesPlaced += fences.PlaceFunc(f, fences.Options{})
+	return fences.PlaceFunc(f, fences.Options{})
 }
 
 // guardWithBudget is diag.Guard plus the per-function deadline: the closure

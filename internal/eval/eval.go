@@ -16,6 +16,8 @@ import (
 	"fmt"
 
 	"lasagne/internal/backend"
+	"lasagne/internal/core"
+	"lasagne/internal/core/cache"
 	"lasagne/internal/fences"
 	"lasagne/internal/ir"
 	"lasagne/internal/lifter"
@@ -26,6 +28,11 @@ import (
 	"lasagne/internal/phoenix"
 	"lasagne/internal/refine"
 )
+
+// TranslationCache, when non-nil, memoizes the function-local pipeline
+// suffix across every translation BuildAll performs (all benchmarks, all
+// variants). Drivers set it from -cache-dir; nil leaves caching off.
+var TranslationCache *cache.Cache
 
 // Variant identifies one build configuration of §9.1.
 type Variant int
@@ -121,8 +128,11 @@ func BuildAll(b phoenix.Benchmark) (*Result, error) {
 	res.liftedBase = base
 	res.CastsRaw = refine.CountPtrCasts(base)
 
-	// The five builds are independent given nat/base; each writes only its
-	// own Builds slot (plus CastsRef, owned by the PPOpt job).
+	// The five builds are independent given nat/xbin; each writes only its
+	// own Builds slot (plus CastsRef, owned by the PPOpt job). The four
+	// lifted variants run the core translation pipeline with their variant's
+	// Config, so they share the function-parallel workers and, when
+	// TranslationCache is set, warm cache entries across repeated sweeps.
 	jobs := [NumVariants]func() error{
 		Native: func() error {
 			natObj, err := backend.Compile(nat, "arm64")
@@ -132,75 +142,50 @@ func BuildAll(b phoenix.Benchmark) (*Result, error) {
 			res.Builds[Native] = &Build{Variant: Native, Module: nat, Obj: natObj, IRInstrs: nat.NumInstrs()}
 			return nil
 		},
-		Lifted: func() error {
-			// Naive pipeline, fences only.
-			lm := base.Clone()
-			fences.Place(lm, placement)
-			bl := &Build{Variant: Lifted, Module: lm, Fences: fences.Count(lm), IRInstrs: lm.NumInstrs()}
-			var err error
-			if bl.Obj, err = backend.Compile(lm, "arm64"); err != nil {
-				return fmt.Errorf("%s lifted arm64: %w", b.Name, err)
-			}
-			res.Builds[Lifted] = bl
-			return nil
-		},
-		Opt: func() error {
-			// Lifted + IR re-optimization.
-			om := base.Clone()
-			fences.Place(om, placement)
-			fcount := fences.Count(om)
-			if err := opt.Optimize(om); err != nil {
-				return err
-			}
-			bo := &Build{Variant: Opt, Module: om, Fences: fcount, IRInstrs: om.NumInstrs()}
-			var err error
-			if bo.Obj, err = backend.Compile(om, "arm64"); err != nil {
-				return fmt.Errorf("%s opt arm64: %w", b.Name, err)
-			}
-			res.Builds[Opt] = bo
-			return nil
-		},
-		POpt: func() error {
-			// Opt + fence merging.
-			pm := base.Clone()
-			fences.Place(pm, placement)
-			fences.Merge(pm)
-			fcount := fences.Count(pm)
-			if err := opt.Optimize(pm); err != nil {
-				return err
-			}
-			bp := &Build{Variant: POpt, Module: pm, Fences: fcount, IRInstrs: pm.NumInstrs()}
-			var err error
-			if bp.Obj, err = backend.Compile(pm, "arm64"); err != nil {
-				return fmt.Errorf("%s popt arm64: %w", b.Name, err)
-			}
-			res.Builds[POpt] = bp
-			return nil
-		},
-		PPOpt: func() error {
-			// POpt + IR refinement before fence placement (full Lasagne).
-			qm := base.Clone()
-			refine.Run(qm)
-			res.CastsRef = refine.CountPtrCasts(qm)
-			fences.Place(qm, placement)
-			fences.Merge(qm)
-			fcount := fences.Count(qm)
-			if err := opt.Optimize(qm); err != nil {
-				return err
-			}
-			bq := &Build{Variant: PPOpt, Module: qm, Fences: fcount, IRInstrs: qm.NumInstrs()}
-			var err error
-			if bq.Obj, err = backend.Compile(qm, "arm64"); err != nil {
-				return fmt.Errorf("%s ppopt arm64: %w", b.Name, err)
-			}
-			res.Builds[PPOpt] = bq
-			return nil
-		},
+		Lifted: res.liftedVariant(b, xbin, Lifted),
+		Opt:    res.liftedVariant(b, xbin, Opt),
+		POpt:   res.liftedVariant(b, xbin, POpt),
+		PPOpt:  res.liftedVariant(b, xbin, PPOpt),
 	}
 	if err := par.FirstErr(len(jobs), Parallelism, func(i int) error { return jobs[i]() }); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// VariantConfig returns the core pipeline configuration reproducing variant
+// v of §9.1: Lifted is the bare translation, Opt re-optimizes, POpt merges
+// fences, PPOpt adds refinement (the full Lasagne Default).
+func VariantConfig(v Variant) core.Config {
+	cfg := core.Config{Jobs: Parallelism, Cache: TranslationCache}
+	switch v {
+	case Opt:
+		cfg.Optimize = true
+	case POpt:
+		cfg.Optimize, cfg.MergeFences = true, true
+	case PPOpt:
+		cfg.Refine, cfg.MergeFences, cfg.Optimize = true, true, true
+	}
+	return cfg
+}
+
+// liftedVariant builds one x86→Arm64 variant through the core pipeline.
+func (r *Result) liftedVariant(b phoenix.Benchmark, xbin *obj.File, v Variant) func() error {
+	return func() error {
+		m, st, _, err := core.TranslateToIR(xbin, VariantConfig(v))
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", b.Name, v, err)
+		}
+		bl := &Build{Variant: v, Module: m, Fences: st.FencesFinal, IRInstrs: m.NumInstrs()}
+		if v == PPOpt {
+			r.CastsRef = st.PtrCastsAfter
+		}
+		if bl.Obj, err = backend.Compile(m, "arm64"); err != nil {
+			return fmt.Errorf("%s %s arm64: %w", b.Name, v, err)
+		}
+		r.Builds[v] = bl
+		return nil
+	}
 }
 
 // RunVariant simulates one build and records cycles and output.

@@ -137,6 +137,15 @@ func (f *Func) nextValueID() int {
 	return f.nextID
 }
 
+// IDBound returns the highest value ID allocated in the function so far.
+// Together with SetIDBound it lets external codecs (the translation cache)
+// round-trip a body without perturbing later ID allocation.
+func (f *Func) IDBound() int { return f.nextID }
+
+// SetIDBound restores the value-ID high-water mark, so IDs minted after a
+// decoded body is installed stay unique.
+func (f *Func) SetIDBound(n int) { f.nextID = n }
+
 // RemoveBlock deletes block b from the function.
 func (f *Func) RemoveBlock(b *Block) {
 	for i, bb := range f.Blocks {

@@ -1,0 +1,245 @@
+package opt
+
+import (
+	"lasagne/internal/ir"
+)
+
+// IPSCCP is interprocedural sparse conditional constant propagation over
+// the module call graph. On top of per-function SCCP it propagates:
+//
+//   - argument constants: when every direct call site of a function passes
+//     the same constant for a parameter, uses of that parameter inside the
+//     callee are replaced by the constant;
+//   - return constants: when every return of a function yields the same
+//     constant, uses of its call results are replaced by the constant (the
+//     calls themselves stay, for their side effects).
+//
+// Both rewrites require the call graph to be closed over the function: the
+// callee must be defined, must not be "main" (the external entry point —
+// calls from outside the module are invisible), must have at least one
+// direct call site, and must not be address-taken (a function value used
+// anywhere other than the callee position of a call could be invoked with
+// arbitrary arguments). The pass iterates to a fixpoint — newly propagated
+// constants feed per-function SCCP, which can expose further constant
+// arguments — and visits functions, blocks and instructions strictly in
+// module order, so the result is deterministic.
+func IPSCCP(m *ir.Module) bool {
+	changed := false
+	for propagateConstants(m) {
+		changed = true
+	}
+	return changed
+}
+
+func propagateConstants(m *ir.Module) bool {
+	round := false
+
+	addrTaken := addressTakenFuncs(m)
+	sites := directCallSites(m)
+
+	// Argument propagation.
+	for _, f := range m.Funcs {
+		if f.External || len(f.Blocks) == 0 || f.Name == "main" || addrTaken[f] {
+			continue
+		}
+		calls := sites[f]
+		if len(calls) == 0 {
+			continue
+		}
+		for pi, p := range f.Params {
+			c := commonConstArg(calls, pi)
+			if c == nil {
+				continue
+			}
+			if replaceUsesInFunc(f, p, c) {
+				round = true
+			}
+		}
+	}
+
+	// Return propagation.
+	retConst := map[*ir.Func]ir.Value{}
+	for _, f := range m.Funcs {
+		if f.External || len(f.Blocks) == 0 || f.Name == "main" || addrTaken[f] {
+			continue
+		}
+		if len(sites[f]) == 0 {
+			continue
+		}
+		if c := commonReturnConst(f); c != nil {
+			retConst[f] = c
+		}
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall || ir.IsVoid(in.Ty) {
+					continue
+				}
+				callee, ok := in.Args[0].(*ir.Func)
+				if !ok {
+					continue
+				}
+				c, ok := retConst[callee]
+				if !ok || in == c {
+					continue
+				}
+				if replaceUsesInFunc(f, in, c) {
+					round = true
+				}
+			}
+		}
+	}
+
+	// Per-function SCCP folds the propagated constants onward.
+	for _, f := range m.Funcs {
+		if f.External || len(f.Blocks) == 0 {
+			continue
+		}
+		if SCCP(f) {
+			round = true
+		}
+	}
+	return round
+}
+
+// addressTakenFuncs returns the defined functions whose value escapes: used
+// as an operand anywhere except the callee position of a call.
+func addressTakenFuncs(m *ir.Module) map[*ir.Func]bool {
+	taken := map[*ir.Func]bool{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for ai, a := range in.Args {
+					fn, ok := a.(*ir.Func)
+					if !ok {
+						continue
+					}
+					if in.Op == ir.OpCall && ai == 0 {
+						continue
+					}
+					taken[fn] = true
+				}
+			}
+		}
+	}
+	return taken
+}
+
+// directCallSites returns, per defined function, the argument lists of
+// every direct call to it, in module order.
+func directCallSites(m *ir.Module) map[*ir.Func][][]ir.Value {
+	sites := map[*ir.Func][][]ir.Value{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				callee, ok := in.Args[0].(*ir.Func)
+				if !ok {
+					continue
+				}
+				sites[callee] = append(sites[callee], in.Args[1:])
+			}
+		}
+	}
+	return sites
+}
+
+// commonConstArg returns the constant passed for parameter pi at every call
+// site, or nil when the sites disagree or pass a non-constant.
+func commonConstArg(calls [][]ir.Value, pi int) ir.Value {
+	var c ir.Value
+	for _, args := range calls {
+		if pi >= len(args) {
+			return nil
+		}
+		a := args[pi]
+		if !isPropagatableConst(a) {
+			return nil
+		}
+		if c == nil {
+			c = a
+			continue
+		}
+		if !identicalConst(c, a) {
+			return nil
+		}
+	}
+	return c
+}
+
+// commonReturnConst returns the constant every return of f yields, or nil.
+func commonReturnConst(f *ir.Func) ir.Value {
+	var c ir.Value
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpRet {
+				continue
+			}
+			if len(in.Args) == 0 {
+				return nil
+			}
+			v := in.Args[0]
+			if !isPropagatableConst(v) {
+				return nil
+			}
+			if c == nil {
+				c = v
+				continue
+			}
+			if !identicalConst(c, v) {
+				return nil
+			}
+		}
+	}
+	return c
+}
+
+// isPropagatableConst limits propagation to literal constants with a
+// well-defined identity; undef is excluded (each use may take a different
+// value).
+func isPropagatableConst(v ir.Value) bool {
+	switch v.(type) {
+	case *ir.ConstInt, *ir.ConstFloat, *ir.ConstNull:
+		return true
+	}
+	return false
+}
+
+// identicalConst reports whether two constants are identical in type and
+// value. Constants are not interned, so pointer equality is insufficient;
+// unlike sccp's sameConst it also requires null constants to agree on their
+// pointer type, since the propagated constant replaces typed uses.
+func identicalConst(a, b ir.Value) bool {
+	switch x := a.(type) {
+	case *ir.ConstInt:
+		y, ok := b.(*ir.ConstInt)
+		return ok && x.Ty.Equal(y.Ty) && x.V == y.V
+	case *ir.ConstFloat:
+		y, ok := b.(*ir.ConstFloat)
+		return ok && x.Ty.Equal(y.Ty) && x.V == y.V
+	case *ir.ConstNull:
+		y, ok := b.(*ir.ConstNull)
+		return ok && x.Ty.Equal(y.Ty)
+	}
+	return false
+}
+
+// replaceUsesInFunc rewrites every operand occurrence of old inside f with
+// c, returning whether anything changed.
+func replaceUsesInFunc(f *ir.Func, old, c ir.Value) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for ai, a := range in.Args {
+				if a == old {
+					in.Args[ai] = c
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,154 @@
+package opt
+
+import (
+	"testing"
+
+	"lasagne/internal/ir"
+)
+
+// callWith builds `callee(args...)` twice inside a fresh main that returns
+// the sum of the call results, giving the callee multiple call sites.
+func buildCaller(m *ir.Module, callee *ir.Func, args ...ir.Value) *ir.Func {
+	main := m.NewFunc("main", ir.Signature(ir.I64))
+	b := ir.NewBuilder(main.NewBlock("entry"))
+	r1 := b.Call(callee, args...)
+	r2 := b.Call(callee, args...)
+	b.Ret(b.Add(r1, r2))
+	return main
+}
+
+// usesParam reports whether any instruction in f still reads the parameter.
+func usesParam(f *ir.Func, pi int) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a == f.Params[pi] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestIPSCCPPropagatesArgumentConstants(t *testing.T) {
+	m := ir.NewModule("t")
+	callee := m.NewFunc("addfive", ir.Signature(ir.I64, ir.I64))
+	b := ir.NewBuilder(callee.NewBlock("entry"))
+	b.Ret(b.Add(callee.Params[0], ir.I64Const(5)))
+	buildCaller(m, callee, ir.I64Const(7))
+
+	if !IPSCCP(m) {
+		t.Fatal("IPSCCP reported no change")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if usesParam(callee, 0) {
+		t.Errorf("parameter still used after every call site passed 7:\n%s", callee)
+	}
+	if got := interpRun(t, m); got != 24 {
+		t.Errorf("main() = %d, want 24", got)
+	}
+}
+
+func TestIPSCCPPropagatesReturnConstants(t *testing.T) {
+	m := ir.NewModule("t")
+	callee := m.NewFunc("fortytwo", ir.Signature(ir.I64))
+	b := ir.NewBuilder(callee.NewBlock("entry"))
+	b.Ret(ir.I64Const(42))
+	main := buildCaller(m, callee)
+
+	if !IPSCCP(m) {
+		t.Fatal("IPSCCP reported no change")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// The calls stay (for side effects) but the add must consume constants.
+	for _, in := range main.Blocks[0].Instrs {
+		if in.Op != ir.OpAdd {
+			continue
+		}
+		for _, a := range in.Args {
+			if _, ok := a.(*ir.ConstInt); !ok {
+				if x, isCall := a.(*ir.Instr); isCall && x.Op == ir.OpCall {
+					t.Errorf("call result not replaced by the constant return:\n%s", main)
+				}
+			}
+		}
+	}
+	if got := interpRun(t, m); got != 84 {
+		t.Errorf("main() = %d, want 84", got)
+	}
+}
+
+func TestIPSCCPSkipsAddressTakenFunctions(t *testing.T) {
+	m := ir.NewModule("t")
+	callee := m.NewFunc("escapee", ir.Signature(ir.I64, ir.I64))
+	b := ir.NewBuilder(callee.NewBlock("entry"))
+	b.Ret(b.Add(callee.Params[0], ir.I64Const(5)))
+
+	main := m.NewFunc("main", ir.Signature(ir.I64))
+	mb := ir.NewBuilder(main.NewBlock("entry"))
+	slot := mb.Alloca(callee.Sig)
+	mb.Store(callee, slot) // the function value escapes
+	r := mb.Call(callee, ir.I64Const(7))
+	mb.Ret(r)
+
+	IPSCCP(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if !usesParam(callee, 0) {
+		t.Errorf("parameter of an address-taken function was propagated:\n%s", callee)
+	}
+}
+
+func TestIPSCCPSkipsMainAndUncalledFunctions(t *testing.T) {
+	m := ir.NewModule("t")
+	// main's parameters come from outside the module.
+	main := m.NewFunc("main", ir.Signature(ir.I64, ir.I64))
+	mb := ir.NewBuilder(main.NewBlock("entry"))
+	mb.Ret(mb.Add(main.Params[0], ir.I64Const(1)))
+
+	// uncalled has no call sites: nothing is known about its parameter.
+	uncalled := m.NewFunc("uncalled", ir.Signature(ir.I64, ir.I64))
+	ub := ir.NewBuilder(uncalled.NewBlock("entry"))
+	ub.Ret(ub.Add(uncalled.Params[0], ir.I64Const(2)))
+
+	IPSCCP(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if !usesParam(main, 0) {
+		t.Error("main's parameter was propagated")
+	}
+	if !usesParam(uncalled, 0) {
+		t.Error("an uncalled function's parameter was propagated")
+	}
+}
+
+func TestIPSCCPRejectsDisagreeingCallSites(t *testing.T) {
+	m := ir.NewModule("t")
+	callee := m.NewFunc("addfive", ir.Signature(ir.I64, ir.I64))
+	b := ir.NewBuilder(callee.NewBlock("entry"))
+	b.Ret(b.Add(callee.Params[0], ir.I64Const(5)))
+
+	main := m.NewFunc("main", ir.Signature(ir.I64))
+	mb := ir.NewBuilder(main.NewBlock("entry"))
+	r1 := mb.Call(callee, ir.I64Const(7))
+	r2 := mb.Call(callee, ir.I64Const(8))
+	mb.Ret(mb.Add(r1, r2))
+
+	IPSCCP(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if !usesParam(callee, 0) {
+		t.Errorf("parameter propagated despite disagreeing call sites:\n%s", callee)
+	}
+	if got := interpRun(t, m); got != 25 {
+		t.Errorf("main() = %d, want 25", got)
+	}
+}

@@ -24,11 +24,28 @@ type Pass struct {
 	Run  func(*ir.Func) bool
 }
 
-// Registry lists all passes by name.
+// Registry lists all function-local passes by name.
 var Registry = map[string]Pass{}
+
+// ModulePass is a named module-level transformation: unlike a Pass it may
+// observe and rewrite any function, so it cannot participate in the
+// function-parallel pipeline or the translation cache and always runs as a
+// barrier.
+type ModulePass struct {
+	Name string
+	Run  func(*ir.Module) bool
+}
+
+// ModuleRegistry lists all module-level passes by name. Pass names are
+// unique across both registries.
+var ModuleRegistry = map[string]ModulePass{}
 
 func register(name string, run func(*ir.Func) bool) {
 	Registry[name] = Pass{Name: name, Run: run}
+}
+
+func registerModule(name string, run func(*ir.Module) bool) {
+	ModuleRegistry[name] = ModulePass{Name: name, Run: run}
 }
 
 func init() {
@@ -42,9 +59,9 @@ func init() {
 	register("licm", LICM)
 	register("reassociate", Reassociate)
 	register("sccp", SCCP)
-	register("ipsccp", SCCP) // module-level propagation approximated per-function
 	register("sroa", SROA)
 	register("scalarize", Scalarize)
+	registerModule("ipsccp", IPSCCP)
 }
 
 // StandardPipeline is the -O2-like pipeline used for Native compilation and
@@ -55,8 +72,12 @@ var StandardPipeline = []string{
 	"instcombine", "adce", "simplifycfg", "mem2reg", "sroa", "gvn", "instcombine", "dce",
 }
 
-// Run applies the named pass to every defined function in the module.
+// Run applies the named pass to the module: a function-local pass visits
+// every defined function, a module-level pass runs once on the module.
 func Run(m *ir.Module, name string) (bool, error) {
+	if mp, ok := ModuleRegistry[name]; ok {
+		return mp.Run(m), nil
+	}
 	p, ok := Registry[name]
 	if !ok {
 		return false, fmt.Errorf("opt: unknown pass %q", name)
@@ -73,18 +94,52 @@ func Run(m *ir.Module, name string) (bool, error) {
 	return changed, nil
 }
 
-// RunPipeline applies a sequence of passes, verifying the module after each
-// when verify is set.
+// RunPipeline applies a sequence of passes to the module. Maximal runs of
+// function-local passes execute function-major through the same changed-set
+// worklist as RunFuncPipeline — each function walks the whole segment,
+// skipping passes that already fixpointed on its current body — which is
+// byte-identical to the naive pass-major sweep because every pass in
+// Registry only observes the function it rewrites (pinned by
+// TestWorklistPipelineMatchesPassMajor). Module-level passes are barriers
+// between segments. With verify set, functions are verified after every
+// executed pass and the module after every segment and module pass.
 func RunPipeline(m *ir.Module, names []string, verify bool) error {
-	for _, n := range names {
-		if _, err := Run(m, n); err != nil {
-			return err
+	i := 0
+	for i < len(names) {
+		if mp, ok := ModuleRegistry[names[i]]; ok {
+			mp.Run(m)
+			if verify {
+				if err := ir.Verify(m); err != nil {
+					return fmt.Errorf("opt: module invalid after %s: %w", names[i], err)
+				}
+			}
+			i++
+			continue
+		}
+		j := i
+		for j < len(names) {
+			if _, ok := ModuleRegistry[names[j]]; ok {
+				break
+			}
+			if _, ok := Registry[names[j]]; !ok {
+				return fmt.Errorf("opt: unknown pass %q", names[j])
+			}
+			j++
+		}
+		for _, f := range m.Funcs {
+			if f.External {
+				continue
+			}
+			if err := runFuncWorklist(context.Background(), f, names[i:j], verify); err != nil {
+				return err
+			}
 		}
 		if verify {
 			if err := ir.Verify(m); err != nil {
-				return fmt.Errorf("opt: module invalid after %s: %w", n, err)
+				return fmt.Errorf("opt: module invalid after %s: %w", names[j-1], err)
 			}
 		}
+		i = j
 	}
 	return nil
 }
@@ -94,27 +149,50 @@ func Optimize(m *ir.Module) error {
 	return RunPipeline(m, StandardPipeline, false)
 }
 
-// RunFuncPipeline applies a sequence of passes to a single function,
-// checking ctx between passes so a per-function time budget can interrupt a
-// slow pipeline. Every pass in the registry is function-local, so running
-// the pipeline function-major produces the same result as the pass-major
-// RunPipeline; the fault-tolerant pipeline relies on that to optimize (and
-// roll back) one function at a time. When verify is set the function is
-// checked after each pass so a miscompiling pass is caught at the pass that
-// introduced it.
+// RunFuncPipeline applies a sequence of function-local passes to a single
+// function, checking ctx between passes so a per-function time budget can
+// interrupt a slow pipeline. Every pass in Registry is function-local, so
+// running the pipeline function-major produces the same result as the
+// pass-major sweep; the fault-tolerant pipeline relies on that to optimize
+// (and roll back) one function at a time. Module-level passes are rejected.
+// When verify is set the function is checked after each executed pass so a
+// miscompiling pass is caught at the pass that introduced it.
 func RunFuncPipeline(ctx context.Context, f *ir.Func, names []string, verify bool) error {
 	if f.External {
 		return nil
 	}
+	return runFuncWorklist(ctx, f, names, verify)
+}
+
+// runFuncWorklist walks the pass sequence with a changed-set worklist:
+// `stamp` counts mutations of f, and a pass that reports no change is
+// recorded as fixed at the current stamp — re-encountering it (the standard
+// pipeline repeats instcombine, simplifycfg, mem2reg, sroa and gvn) while
+// the body is still at that stamp skips it, because a pass that just
+// fixpointed on exactly this body is a provable no-op. Any intervening
+// change bumps the stamp and naturally invalidates every recorded fixpoint.
+func runFuncWorklist(ctx context.Context, f *ir.Func, names []string, verify bool) error {
+	stamp := 0
+	fixedAt := make(map[string]int, len(names))
 	for _, n := range names {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("opt: pipeline interrupted before %s on %s: %w", n, f.Name, err)
 		}
 		p, ok := Registry[n]
 		if !ok {
+			if _, isMod := ModuleRegistry[n]; isMod {
+				return fmt.Errorf("opt: module-level pass %q cannot run in a function pipeline", n)
+			}
 			return fmt.Errorf("opt: unknown pass %q", n)
 		}
-		p.Run(f)
+		if at, seen := fixedAt[n]; seen && at == stamp {
+			continue
+		}
+		if p.Run(f) {
+			stamp++
+		} else {
+			fixedAt[n] = stamp
+		}
 		if verify {
 			if err := ir.VerifyFunc(f); err != nil {
 				return fmt.Errorf("opt: function %s invalid after %s: %w", f.Name, n, err)

@@ -1,0 +1,104 @@
+package opt_test
+
+import (
+	"context"
+	"testing"
+
+	"lasagne/internal/backend"
+	"lasagne/internal/fences"
+	"lasagne/internal/ir"
+	"lasagne/internal/lifter"
+	"lasagne/internal/minic"
+	"lasagne/internal/opt"
+)
+
+// liftWorkload compiles workloadSrc, lowers to x86-64, lifts, and places
+// fences — the exact input shape RunPipeline sees inside the translator.
+// Lifting the same binary twice produces byte-identical modules, so the test
+// can run two pipeline strategies on independent copies.
+func liftWorkload(t *testing.T) *ir.Module {
+	t.Helper()
+	orig, err := minic.Compile("t", workloadSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := backend.Compile(orig, "x86-64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lifter.Lift(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fences.Place(m, fences.Options{SkipStackAccesses: true})
+	return m
+}
+
+// TestWorklistPipelineMatchesPassMajor pins the equivalence RunPipeline's
+// doc comment promises: the function-major changed-set worklist produces
+// byte-identical IR to the naive pass-major sweep that unconditionally runs
+// every pass over every function in pipeline order. The worklist only skips
+// a pass when it just fixpointed on exactly the current body, and passes are
+// function-local, so any divergence means a pass lied about its changed
+// result or observed another function.
+func TestWorklistPipelineMatchesPassMajor(t *testing.T) {
+	worklist := liftWorkload(t)
+	if err := opt.RunPipeline(worklist, opt.StandardPipeline, true); err != nil {
+		t.Fatal(err)
+	}
+
+	naive := liftWorkload(t)
+	for _, name := range opt.StandardPipeline {
+		if _, err := opt.Run(naive, name); err != nil {
+			t.Fatal(err)
+		}
+		if err := ir.Verify(naive); err != nil {
+			t.Fatalf("module invalid after %s: %v", name, err)
+		}
+	}
+
+	if got, want := worklist.String(), naive.String(); got != want {
+		t.Errorf("worklist pipeline diverged from the pass-major sweep:\n--- pass-major ---\n%s--- worklist ---\n%s",
+			want, got)
+	}
+}
+
+// TestPipelineWithModulePassBarrier runs a pipeline with ipsccp spliced into
+// the middle: the module pass must act as a barrier between function-local
+// segments and the combined result must match applying the same sequence
+// pass-major.
+func TestPipelineWithModulePassBarrier(t *testing.T) {
+	names := []string{"mem2reg", "sccp", "ipsccp", "instcombine", "dce"}
+
+	a := liftWorkload(t)
+	if err := opt.RunPipeline(a, names, true); err != nil {
+		t.Fatal(err)
+	}
+
+	b := liftWorkload(t)
+	for _, name := range names {
+		if _, err := opt.Run(b, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if a.String() != b.String() {
+		t.Error("pipeline with a module-pass barrier diverged from the pass-major sweep")
+	}
+}
+
+// TestFuncPipelineRejectsModulePass: module-level passes cannot run inside
+// the per-function (cached, parallel) pipeline.
+func TestFuncPipelineRejectsModulePass(t *testing.T) {
+	m := liftWorkload(t)
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		err := opt.RunFuncPipeline(context.Background(), f, []string{"ipsccp"}, false)
+		if err == nil {
+			t.Fatal("RunFuncPipeline accepted a module-level pass")
+		}
+		break
+	}
+}

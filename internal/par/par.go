@@ -4,9 +4,33 @@
 package par
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// Workers resolves a worker-count knob: zero or negative means one worker
+// per available CPU, anything else is taken literally. Every parallel
+// surface (evaluation, model checking, the translation pipeline) funnels
+// its -parallel/-jobs flag through this so the degenerate values behave
+// identically everywhere.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Collect runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the results in index order. Each task writes only its own slot,
+// so the output is deterministic regardless of scheduling; callers merge
+// the slots sequentially to keep diagnostics and statistics in the same
+// order a serial run would produce.
+func Collect[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
 
 // For runs fn(i) for every i in [0, n) on up to workers goroutines. With
 // workers <= 1 it degenerates to a plain sequential loop.
