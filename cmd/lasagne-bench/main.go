@@ -25,10 +25,16 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"lasagne/internal/backend"
+	"lasagne/internal/core"
 	"lasagne/internal/core/cache"
 	"lasagne/internal/eval"
 	"lasagne/internal/memmodel"
+	"lasagne/internal/minic"
+	"lasagne/internal/opt"
+	"lasagne/internal/phoenix"
 	"lasagne/internal/sim"
+	"lasagne/internal/validate"
 )
 
 func main() {
@@ -51,7 +57,14 @@ func main() {
 		"persistent translation cache directory shared by every build in the sweep (output is byte-identical warm or cold)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	diff := flag.Int("diff", 0,
+		"run the differential oracle over the Phoenix suite with N seeded data images per kernel (0 = off)")
+	seed := flag.Int64("seed", 0, "first data seed for -diff")
 	flag.Parse()
+
+	if *diff > 0 {
+		os.Exit(runDiff(*diff, *seed, *maxSteps))
+	}
 
 	eval.Parallelism = *parallel
 	memmodel.DefaultParallelism = *parallel
@@ -101,6 +114,41 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
 	os.Exit(1)
+}
+
+// runDiff runs the differential oracle over every Phoenix kernel: the
+// natively compiled x86 object and its Lasagne translation are simulated on
+// n seeded data images each and their outputs compared.
+func runDiff(n int, seed, maxSteps int64) int {
+	code := 0
+	for _, b := range phoenix.All() {
+		m, err := minic.Compile(b.Name, b.Source)
+		if err != nil {
+			fatal(err)
+		}
+		if err := opt.Optimize(m); err != nil {
+			fatal(err)
+		}
+		xbin, err := backend.Compile(m, "x86-64")
+		if err != nil {
+			fatal(err)
+		}
+		abin, _, rep, err := core.Translate(xbin, core.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lasagne-bench: %s: %v\n%s", b.Name, err, rep)
+			code = 1
+			continue
+		}
+		res := validate.Differential(xbin, abin,
+			validate.DiffOptions{Seeds: n, StartSeed: seed, MaxSteps: maxSteps})
+		if err := res.Err(); err != nil {
+			fmt.Printf("%-18s FAIL  %v\n", b.Name, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%-18s ok    %d seeds compared, %d skipped\n", b.Name, res.Compared, res.Skipped)
+	}
+	return code
 }
 
 func run(ctx context.Context, all, table1, fig11a, fig12, fig13, fig14, fig15, fig16, fig17 bool) int {

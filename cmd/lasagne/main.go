@@ -6,7 +6,9 @@
 //
 //	lasagne [-refine=false] [-merge=false] [-opt=false] [-emit-ir]
 //	        [-run] [-stats] [-func-budget 1s] [-allow-partial]
-//	        [-jobs N] [-cache-dir DIR] [-o out.obj] prog.x86.obj
+//	        [-jobs N] [-cache-dir DIR] [-validate] [-diff-seeds N]
+//	        [-seed S] [-repro-dir DIR] [-o out.obj] prog.x86.obj
+//	lasagne -replay bundle.json
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"lasagne/internal/diag"
 	"lasagne/internal/obj"
 	"lasagne/internal/sim"
+	"lasagne/internal/validate"
 )
 
 func main() {
@@ -37,9 +40,23 @@ func main() {
 		"worker count for the function-parallel pipeline stages (0 = one per CPU; output is byte-identical for any value)")
 	cacheDir := flag.String("cache-dir", "",
 		"persistent translation cache directory; repeated translations of unchanged functions replay memoized results")
+	validateF := flag.Bool("validate", false,
+		"self-check the translation: stage checkpoints (verifier + fence/cast invariants) during the pipeline, then the differential oracle comparing x86 input and Arm64 output on seeded data; mismatches are bisected to the responsible opt pass")
+	diffSeeds := flag.Int("diff-seeds", 32,
+		"number of seeded data images the differential oracle must compare (with -validate)")
+	seed := flag.Int64("seed", 0,
+		"first data seed for the differential oracle; every failure message names the seed that produced it")
+	reproDir := flag.String("repro-dir", "",
+		"directory for self-contained repro bundles when a checkpoint or the oracle fails (with -validate)")
+	replay := flag.String("replay", "",
+		"replay a repro bundle JSON written by -repro-dir and report whether it still reproduces")
 	out := flag.String("o", "", "output object file")
 	flag.Parse()
 
+	if *replay != "" {
+		replayBundle(*replay)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lasagne [flags] prog.x86.obj")
 		os.Exit(2)
@@ -53,7 +70,8 @@ func main() {
 		fatal(err)
 	}
 	cfg := core.Config{Refine: *refineF, MergeFences: *merge, Optimize: *optimize,
-		FuncBudget: *funcBudget, AllowPartial: *allowPartial, Jobs: *jobs}
+		FuncBudget: *funcBudget, AllowPartial: *allowPartial, Jobs: *jobs,
+		Validate: *validateF, ReproDir: *reproDir}
 	if *cacheDir != "" {
 		c, err := cache.Open(*cacheDir, 0)
 		if err != nil {
@@ -99,10 +117,27 @@ func main() {
 		printStats(*stats, st)
 		return
 	}
-	armObj, st, rep, err := core.Translate(bin, cfg)
-	printReport(rep)
-	if err != nil {
-		fatal(err)
+	var (
+		armObj *obj.File
+		st     *core.Stats
+		rep    *diag.Report
+	)
+	if *validateF {
+		var res *validate.DiffResult
+		armObj, st, rep, res, err = core.SelfCheckTranslate(bin, cfg,
+			validate.DiffOptions{Seeds: *diffSeeds, StartSeed: *seed})
+		printReport(rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[validate: %d seeds compared, %d skipped, all matched]\n",
+			res.Compared, res.Skipped)
+	} else {
+		armObj, st, rep, err = core.Translate(bin, cfg)
+		printReport(rep)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	printStats(*stats, st)
 	if *run {
@@ -147,6 +182,24 @@ func printStats(show bool, st *core.Stats) {
 		fmt.Fprintf(os.Stderr, "translation cache:        %d hits / %d misses\n",
 			st.CacheHits, st.CacheMisses)
 	}
+}
+
+// replayBundle replays a repro bundle and exits 0 when it no longer
+// reproduces (the bug is fixed), 1 when it still does.
+func replayBundle(path string) {
+	b, err := validate.Load(path)
+	if err != nil {
+		fatal(err)
+	}
+	failure, err := core.ReplayBundle(b)
+	if err != nil {
+		fatal(err)
+	}
+	if failure != nil {
+		fmt.Fprintf(os.Stderr, "lasagne: bundle still reproduces: %v\n", failure)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "lasagne: bundle no longer reproduces")
 }
 
 func fatal(err error) {

@@ -1,9 +1,6 @@
 package lasagne
 
 import (
-	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 
 	"lasagne/internal/backend"
@@ -13,152 +10,21 @@ import (
 	"lasagne/internal/obj"
 	"lasagne/internal/opt"
 	"lasagne/internal/sim"
+	"lasagne/internal/validate"
 )
 
-// progGen generates random (but always-terminating, division-safe) minic
-// programs for differential testing of the whole translation stack.
-type progGen struct {
-	rng  *rand.Rand
-	sb   strings.Builder
-	vars []string // assignable integer variables
-	ro   []string // read-only (loop induction) variables
-	dbls []string
-}
-
-func (g *progGen) pick(list []string) string { return list[g.rng.Intn(len(list))] }
-
-// scoped runs fn with the variable lists restored afterwards (minic blocks
-// are lexically scoped).
-func (g *progGen) scoped(fn func()) {
-	vs := append([]string(nil), g.vars...)
-	ros := append([]string(nil), g.ro...)
-	ds := append([]string(nil), g.dbls...)
-	fn()
-	g.vars, g.ro, g.dbls = vs, ros, ds
-}
-
-// intExpr produces a random integer expression over the declared variables.
-func (g *progGen) intExpr(depth int) string {
-	if depth <= 0 || g.rng.Intn(3) == 0 {
-		readable := append(append([]string(nil), g.vars...), g.ro...)
-		if len(readable) > 0 && g.rng.Intn(2) == 0 {
-			return g.pick(readable)
-		}
-		return fmt.Sprintf("%d", g.rng.Intn(200)-100)
-	}
-	a := g.intExpr(depth - 1)
-	b := g.intExpr(depth - 1)
-	switch g.rng.Intn(8) {
-	case 0:
-		return fmt.Sprintf("(%s + %s)", a, b)
-	case 1:
-		return fmt.Sprintf("(%s - %s)", a, b)
-	case 2:
-		return fmt.Sprintf("(%s * %s)", a, b)
-	case 3:
-		// Division guarded against zero and INT_MIN/-1 style surprises.
-		return fmt.Sprintf("(%s / (%s %% 13 + 17))", a, b)
-	case 4:
-		return fmt.Sprintf("(%s %% (%s %% 11 + 23))", a, b)
-	case 5:
-		return fmt.Sprintf("(%s & %s)", a, b)
-	case 6:
-		return fmt.Sprintf("(%s ^ %s)", a, b)
-	default:
-		return fmt.Sprintf("(%s << %d)", a, g.rng.Intn(4))
-	}
-}
-
-func (g *progGen) cond() string {
-	ops := []string{"<", "<=", ">", ">=", "==", "!="}
-	return fmt.Sprintf("%s %s %s", g.intExpr(1), ops[g.rng.Intn(len(ops))], g.intExpr(1))
-}
-
-func (g *progGen) stmt(depth int, indent string) {
-	switch g.rng.Intn(7) {
-	case 0, 1: // assignment
-		if len(g.vars) > 0 {
-			fmt.Fprintf(&g.sb, "%s%s = %s;\n", indent, g.pick(g.vars), g.intExpr(2))
-			return
-		}
-		fallthrough
-	case 2: // new variable
-		name := fmt.Sprintf("v%d", len(g.vars))
-		fmt.Fprintf(&g.sb, "%sint %s = %s;\n", indent, name, g.intExpr(2))
-		g.vars = append(g.vars, name)
-	case 3: // if/else (inner declarations are block-scoped: save/restore)
-		if depth <= 0 {
-			g.stmt(0, indent)
-			return
-		}
-		fmt.Fprintf(&g.sb, "%sif (%s) {\n", indent, g.cond())
-		g.scoped(func() { g.stmt(depth-1, indent+"  ") })
-		if g.rng.Intn(2) == 0 {
-			fmt.Fprintf(&g.sb, "%s} else {\n", indent)
-			g.scoped(func() { g.stmt(depth-1, indent+"  ") })
-		}
-		fmt.Fprintf(&g.sb, "%s}\n", indent)
-	case 4: // bounded loop
-		if depth <= 0 {
-			g.stmt(0, indent)
-			return
-		}
-		iv := fmt.Sprintf("i%d", g.rng.Intn(1000))
-		fmt.Fprintf(&g.sb, "%sint %s;\n", indent, iv)
-		fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n",
-			indent, iv, iv, 2+g.rng.Intn(6), iv, iv)
-		g.scoped(func() {
-			g.ro = append(g.ro, iv)
-			g.stmt(depth-1, indent+"  ")
-		})
-		fmt.Fprintf(&g.sb, "%s}\n", indent)
-	case 5: // array traffic through the global
-		fmt.Fprintf(&g.sb, "%sgarr[(%s & 0x7)] = %s;\n", indent, g.intExpr(1), g.intExpr(2))
-	case 6: // double arithmetic
-		if len(g.dbls) > 0 {
-			fmt.Fprintf(&g.sb, "%s%s = %s * 0.5 + (double)(%s);\n",
-				indent, g.pick(g.dbls), g.pick(g.dbls), g.intExpr(1))
-			return
-		}
-		name := fmt.Sprintf("d%d", len(g.dbls))
-		fmt.Fprintf(&g.sb, "%sdouble %s = (double)(%s);\n", indent, name, g.intExpr(1))
-		g.dbls = append(g.dbls, name)
-	}
-}
-
-// generate builds a full program whose observable output is a checksum of
-// every variable and the global array.
-func generate(seed int64) string {
-	g := &progGen{rng: rand.New(rand.NewSource(seed))}
-	g.sb.WriteString("int garr[8];\n")
-	g.sb.WriteString("int main() {\n")
-	n := 4 + g.rng.Intn(8)
-	for i := 0; i < n; i++ {
-		g.stmt(2, "  ")
-	}
-	// Checksum.
-	g.sb.WriteString("  int chk = 0;\n")
-	for _, v := range g.vars {
-		fmt.Fprintf(&g.sb, "  chk = chk * 31 + %s;\n", v)
-	}
-	for _, d := range g.dbls {
-		fmt.Fprintf(&g.sb, "  chk = chk * 31 + (int)%s;\n", d)
-	}
-	g.sb.WriteString("  int k;\n  for (k = 0; k < 8; k = k + 1) chk = chk * 7 + garr[k];\n")
-	g.sb.WriteString("  print_int(chk);\n  return 0;\n}\n")
-	return g.sb.String()
-}
-
-// TestPipelineFuzz generates random programs and checks every execution
-// world agrees: IR interpreter, optimized IR, x86 simulation, and all four
-// translation configurations on the Arm64 simulator.
+// TestPipelineFuzz generates random programs (validate.GenProgram, the same
+// generator the differential oracle uses) and checks every execution world
+// agrees: IR interpreter, optimized IR, x86 simulation, and all translation
+// configurations on the Arm64 simulator. Every failure message carries the
+// program seed, so any failure replays with a one-line test.
 func TestPipelineFuzz(t *testing.T) {
 	n := 100
 	if testing.Short() {
 		n = 10
 	}
 	for seed := int64(1); seed <= int64(n); seed++ {
-		src := generate(seed)
+		src := validate.GenProgram(seed)
 		m, err := minic.Compile("fuzz", src)
 		if err != nil {
 			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
@@ -169,10 +35,12 @@ func TestPipelineFuzz(t *testing.T) {
 		}
 		want := ip.Out.String()
 
-		// Optimized IR agrees.
+		// Optimized IR agrees; verify=true re-checks the module after every
+		// pass, so a verifier regression is attributed to the pass that
+		// introduced it (via *opt.PassError), not discovered at the end.
 		m2, _ := minic.Compile("fuzz", src)
-		if err := opt.Optimize(m2); err != nil {
-			t.Fatalf("seed %d: opt: %v", seed, err)
+		if err := opt.RunPipeline(m2, opt.StandardPipeline, true); err != nil {
+			t.Fatalf("seed %d: opt: %v\n%s", seed, err, src)
 		}
 		if err := ir.Verify(m2); err != nil {
 			t.Fatalf("seed %d: invalid after opt: %v\n%s", seed, err, src)
@@ -266,10 +134,22 @@ func FuzzTranslate(f *testing.F) {
 		for _, cfg := range []core.Config{
 			core.Default(),
 			{Refine: true, MergeFences: true, Optimize: true, AllowPartial: true},
+			{Refine: true, MergeFences: true, Optimize: true, Validate: true, AllowPartial: true},
 		} {
-			_, _, rep, err := core.Translate(fuzzed, cfg)
-			if err != nil && (rep == nil || !rep.HasErrors()) {
-				t.Fatalf("cfg %+v: failure carries no Error diagnostic: %v", cfg, err)
+			m, _, rep, err := core.TranslateToIR(fuzzed, cfg)
+			if err != nil {
+				if rep == nil || !rep.HasErrors() {
+					t.Fatalf("cfg %+v: failure carries no Error diagnostic: %v", cfg, err)
+				}
+				continue
+			}
+			// Whatever the pipeline accepts it must leave verifier-clean, and
+			// the backend must be able to lower it.
+			if verr := ir.Verify(m); verr != nil {
+				t.Fatalf("cfg %+v: translation succeeded with invalid IR: %v", cfg, verr)
+			}
+			if _, cerr := backend.Compile(m, "arm64"); cerr != nil {
+				t.Fatalf("cfg %+v: arm64 backend rejected verified IR: %v", cfg, cerr)
 			}
 		}
 	})

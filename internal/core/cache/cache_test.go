@@ -226,3 +226,44 @@ func TestDiskKeyCollisionFanout(t *testing.T) {
 		}
 	}
 }
+
+func TestModuleShapeRoundTrip(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildTestFunc(m)
+	m.Global("counter").Init = []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	body := EncodeBody(f)
+
+	// A repro bundle carries the shape plus one encoded body: the decoded
+	// skeleton must accept the body and reproduce the function exactly.
+	shape := EncodeModuleShape(m)
+	m2, err := DecodeModuleShape(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := m2.Global("counter"); g == nil || string(g.Init) != "\x01\x02\x03\x04\x05\x06\x07\x08" {
+		t.Fatalf("global initializer lost in shape round-trip: %+v", m2.Global("counter"))
+	}
+	f2 := m2.Func("subject")
+	if f2 == nil || !f2.External {
+		t.Fatalf("shape skeleton function missing or already defined: %+v", f2)
+	}
+	blocks, err := DecodeBody(f2, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.External = false
+	f2.RestoreBody(blocks)
+	if err := ir.VerifyFunc(f2); err != nil {
+		t.Fatalf("replayed function invalid: %v", err)
+	}
+	if got, want := f2.String(), f.String(); got != want {
+		t.Errorf("shape+body replay changed the function:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+
+	// Truncations must error, not panic.
+	for _, n := range []int{0, 1, len(shape) / 2, len(shape) - 1} {
+		if _, err := DecodeModuleShape(shape[:n]); err == nil {
+			t.Errorf("decode of %d-byte shape truncation succeeded", n)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Module-shape codec: the companion of the body codec for repro bundles.
+// An encoded body resolves globals and callees by name in whatever module it
+// is decoded into; a standalone replay therefore needs a skeleton module
+// with the same globals (name, storage type, alignment, initializer) and
+// function signatures as the one the failure occurred in. EncodeModuleShape
+// captures exactly that — declarations only, no bodies — and
+// DecodeModuleShape rebuilds it, leaving every function external until the
+// replayer installs a decoded body with ir.Func.RestoreBody.
+package cache
+
+import (
+	"fmt"
+
+	"lasagne/internal/ir"
+)
+
+// EncodeModuleShape encodes m's declarations: every global with its storage
+// type, alignment and initializer bytes, and every function's name,
+// signature and parameter names. Bodies are not included.
+func EncodeModuleShape(m *ir.Module) []byte {
+	e := &encoder{}
+	e.str(m.Name)
+	e.u64(uint64(len(m.Globals)))
+	for _, g := range m.Globals {
+		e.str(g.Name)
+		e.typ(g.Elem)
+		e.u64(uint64(g.Align))
+		e.u64(uint64(len(g.Init)))
+		e.buf = append(e.buf, g.Init...)
+	}
+	e.u64(uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		e.str(f.Name)
+		e.typ(f.Sig)
+		e.u64(uint64(len(f.Params)))
+		for _, p := range f.Params {
+			e.str(p.Nam)
+		}
+	}
+	return e.buf
+}
+
+// DecodeModuleShape rebuilds the skeleton module encoded by
+// EncodeModuleShape. Every function comes back as an external declaration;
+// replayers decode a body into the function under repair and mark it
+// defined.
+func DecodeModuleShape(data []byte) (*ir.Module, error) {
+	d := &decoder{buf: data}
+	m := ir.NewModule(d.str())
+	nglobals := int(d.u64())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nglobals < 0 || nglobals > len(data) {
+		return nil, fmt.Errorf("cache: corrupt shape: implausible global count %d", nglobals)
+	}
+	for i := 0; i < nglobals; i++ {
+		name := d.str()
+		elem := d.typ()
+		align := int(d.u64())
+		ninit := int(d.u64())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if ninit < 0 || d.off+ninit > len(data) {
+			return nil, fmt.Errorf("cache: corrupt shape: truncated initializer for @%s", name)
+		}
+		g := m.NewGlobal(name, elem)
+		g.Align = align
+		if ninit > 0 {
+			g.Init = append([]byte(nil), data[d.off:d.off+ninit]...)
+			d.off += ninit
+		}
+	}
+	nfuncs := int(d.u64())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nfuncs < 0 || nfuncs > len(data) {
+		return nil, fmt.Errorf("cache: corrupt shape: implausible function count %d", nfuncs)
+	}
+	for i := 0; i < nfuncs; i++ {
+		name := d.str()
+		sigTy := d.typ()
+		sig, ok := sigTy.(*ir.FuncType)
+		if d.err == nil && !ok {
+			return nil, fmt.Errorf("cache: corrupt shape: function @%s has non-function type", name)
+		}
+		nparams := int(d.u64())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if nparams != len(sig.Params) {
+			return nil, fmt.Errorf("cache: corrupt shape: @%s has %d parameter names for %d parameters",
+				name, nparams, len(sig.Params))
+		}
+		f := m.DeclareFunc(name, sig)
+		for k := 0; k < nparams; k++ {
+			f.Params[k].Nam = d.str()
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return m, nil
+}

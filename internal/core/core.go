@@ -56,6 +56,7 @@ import (
 	"lasagne/internal/opt"
 	"lasagne/internal/par"
 	"lasagne/internal/refine"
+	"lasagne/internal/validate"
 )
 
 // PipelineVersion names the semantics of the function-local pipeline suffix
@@ -99,6 +100,26 @@ type Config struct {
 	// translation of an unchanged function under an equivalent Config
 	// replays the memoized body instead of re-running the passes.
 	Cache *cache.Cache
+	// Validate turns on the self-checking checkpoints: ir.Verify plus the
+	// semantic invariants of the §7/§8 mapping (fence coverage, no
+	// reintroduced ptrtoint/inttoptr) run after refinement, after fence
+	// placement+merging, and after every opt pass, attributing any violation
+	// to the exact pass and function. A checkpoint failure degrades the
+	// function like any other stage failure. Validation is observation-only:
+	// the translated output is byte-identical with it on or off, and it does
+	// not change cache keys (cache hits are instead re-checked before being
+	// trusted).
+	Validate bool
+	// OptPasses overrides the opt pass list (nil means
+	// opt.StandardPipeline). A non-nil list extends the cache fingerprint;
+	// the bisection driver uses prefixes of the standard list to pinpoint a
+	// miscompiling pass. Every name must be a registered function-local
+	// pass.
+	OptPasses []string
+	// ReproDir, when set together with Validate, is where checkpoint and
+	// differential failures dump self-contained repro bundles
+	// (validate.Bundle JSON) that replay standalone.
+	ReproDir string
 }
 
 // Default returns the full Lasagne configuration.
@@ -110,8 +131,27 @@ func Default() Config {
 // pipeline suffix. Refine is deliberately absent: its effect is fully
 // captured by the input-body hash (the key is computed after refinement).
 func (c Config) fingerprint(place bool) string {
-	return fmt.Sprintf("merge=%t;opt=%t;verify=%t;place=%t",
+	fp := fmt.Sprintf("merge=%t;opt=%t;verify=%t;place=%t",
 		c.MergeFences, c.Optimize, c.VerifyIR, place)
+	// Validate and ReproDir are deliberately absent: validation is
+	// observation-only, so a validated and a non-validated run share cache
+	// entries (hits are re-checked under Validate instead). A custom pass
+	// list does change the memoized suffix, so it extends the fingerprint —
+	// but only when set, preserving every existing key.
+	if c.OptPasses != nil {
+		fp += ";passes=" + strings.Join(c.OptPasses, ",")
+	}
+	return fp
+}
+
+// passes returns the opt pass list this Config runs: OptPasses when set
+// (including an empty non-nil list, which runs no passes), else the
+// standard pipeline.
+func (c Config) passes() []string {
+	if c.OptPasses != nil {
+		return c.OptPasses
+	}
+	return opt.StandardPipeline
 }
 
 // Stats reports what the pipeline did.
@@ -327,6 +367,16 @@ type pipeline struct {
 	excluded map[string]bool
 	place    bool // place Frm/Fww fences (the strong→weak direction)
 	workers  int
+
+	// castBase is the per-function ptrtoint/inttoptr count recorded after
+	// refinement — the baseline the later checkpoints enforce (§5 removes
+	// casts; nothing downstream may reintroduce them). Only populated under
+	// Config.Validate.
+	castBase map[string]int
+	// shape is the encoded module shape (globals + signatures) captured
+	// before the function-parallel suffix, embedded in pass-kind repro
+	// bundles. Only populated under Config.Validate with a ReproDir.
+	shape []byte
 }
 
 func (p *pipeline) snapshot() {
@@ -369,6 +419,14 @@ func (p *pipeline) degrade(f *ir.Func, stage diag.Stage, cause error) {
 }
 
 func (p *pipeline) run() error {
+	if p.cfg.OptPasses != nil {
+		for _, n := range p.cfg.OptPasses {
+			if _, ok := opt.Registry[n]; !ok {
+				return fail(p.rep, diag.StageOpt, "",
+					fmt.Sprintf("Config.OptPasses names %q, which is not a registered function-local pass", n), nil)
+			}
+		}
+	}
 	if err := p.checkCtx("refine"); err != nil {
 		return err
 	}
@@ -376,18 +434,99 @@ func (p *pipeline) run() error {
 		p.refineStage()
 	}
 	p.stats.PtrCastsAfter = refine.CountPtrCasts(p.m)
+	if p.cfg.Validate {
+		// The post-refinement checkpoint doubles as the baseline recorder:
+		// later checkpoints assert the per-function cast count never grows
+		// past what refinement left behind.
+		p.castBase = map[string]int{}
+		for _, f := range p.bodies() {
+			p.castBase[f.Name] = validate.CountPtrCastsFunc(f)
+		}
+		if p.cfg.ReproDir != "" {
+			p.shape = cache.EncodeModuleShape(p.m)
+		}
+	}
 	if err := p.checkCtx("fences"); err != nil {
 		return err
 	}
 	p.fenceOptStage()
 	p.stats.FencesFinal = fences.Count(p.m)
-	if p.cfg.VerifyIR {
+	if p.cfg.VerifyIR || p.cfg.Validate {
 		gerr := diag.Guard(diag.StageVerify, "", func() error { return ir.Verify(p.m) })
 		if gerr != nil {
 			return fail(p.rep, diag.StageVerify, "", "final module fails verification", gerr)
 		}
 	}
 	return nil
+}
+
+// checkOpts is the semantic-invariant configuration for fn's checkpoints
+// once fences exist: coverage is checked in the strong→weak direction, and
+// the cast bound applies when a baseline was recorded for fn.
+func (p *pipeline) checkOpts(fn string) validate.Opts {
+	o := validate.Opts{FencesPlaced: p.place, MaxPtrCasts: -1}
+	if base, ok := p.castBase[fn]; ok {
+		o.MaxPtrCasts = base
+	}
+	return o
+}
+
+// passBundle builds the pass-kind repro bundle for a checkpoint failure
+// attributed to one opt pass: the module shape, the exact pre-pass body and
+// the checkpoint options — everything validate.ReplayPass needs to
+// reproduce the failure standalone. When the delta debugger can shrink the
+// pre-pass body while the same pass still trips the same checkpoint, the
+// minimized body rides along as Reduced.
+func (p *pipeline) passBundle(fn, pass, failure string, preBody []byte) *validate.Bundle {
+	opts := p.checkOpts(fn)
+	b := &validate.Bundle{
+		Kind:        validate.KindPass,
+		Fingerprint: PipelineVersion + ";" + p.cfg.fingerprint(p.place),
+		Failure:     failure,
+		Func:        fn,
+		Pass:        pass,
+		Opts:        opts,
+		Shape:       p.shape,
+		PreBody:     preBody,
+	}
+	// Replaying the failure on a scratch module keeps the reducer away from
+	// the live (about to be rolled back) function, and records the post-pass
+	// verifier violations for the bundle.
+	m, err := cache.DecodeModuleShape(b.Shape)
+	if err != nil {
+		return b
+	}
+	scratch := m.Func(fn)
+	if scratch == nil {
+		return b
+	}
+	blocks, err := cache.DecodeBody(scratch, preBody)
+	if err != nil {
+		return b
+	}
+	scratch.External = false
+	scratch.RestoreBody(blocks)
+	// Record the post-pass verifier violations (all of them, not just the
+	// first), then restore the pre-pass body for the reducer.
+	save := scratch.CloneBody()
+	if _, aerr := opt.ApplyPass(scratch, pass); aerr == nil {
+		for _, v := range ir.VerifyAllFunc(scratch) {
+			b.Violations = append(b.Violations, v.Error())
+		}
+	}
+	scratch.RestoreBody(save)
+	keep := func(f *ir.Func) bool {
+		ksave := f.CloneBody()
+		defer f.RestoreBody(ksave)
+		if _, aerr := opt.ApplyPass(f, pass); aerr != nil {
+			return false
+		}
+		return validate.CheckFunc(f, opts) != nil
+	}
+	if validate.ReduceFunc(scratch, keep) > 0 {
+		b.Reduced = cache.EncodeBody(scratch)
+	}
+	return b
 }
 
 // checkCtx aborts the whole translation when the caller's context expired;
@@ -425,7 +564,7 @@ func (p *pipeline) refineStage() {
 				}
 				o.rewrites = refine.PeepholeFunc(f)
 				refine.CleanupFunc(f)
-				if p.cfg.VerifyIR {
+				if p.cfg.VerifyIR || p.cfg.Validate {
 					if err := ir.VerifyFunc(f); err != nil {
 						return err
 					}
@@ -495,8 +634,10 @@ func (p *pipeline) rollbackAll(stage diag.Stage, cause error) {
 type fenceOut struct {
 	placed, merged int
 	stage          diag.Stage
+	pass           string // culprit opt pass, when a validate checkpoint fired there
 	gerr           error
-	probed         bool // the cache was consulted
+	bundle         *validate.Bundle // repro bundle to write at merge time
+	probed         bool             // the cache was consulted
 	hit            bool
 }
 
@@ -528,9 +669,23 @@ func (p *pipeline) fenceOptStage() {
 			key = cache.KeyFor(PipelineVersion, fp, f)
 			if e, ok := p.cfg.Cache.Get(key); ok {
 				if blocks, derr := cache.DecodeBody(f, e.Body); derr == nil {
+					if !p.cfg.Validate {
+						f.RestoreBody(blocks)
+						return fenceOut{placed: e.FencesPlaced, merged: e.FencesMerged,
+							probed: true, hit: true}
+					}
+					// Validation never trusts a memoized body blindly: the
+					// decoded body must pass the same checkpoint a fresh run
+					// would have. A failing entry (e.g. a poisoned cache file)
+					// is discarded and the suffix recomputed from the live
+					// body, which is restored first.
+					save := f.CloneBody()
 					f.RestoreBody(blocks)
-					return fenceOut{placed: e.FencesPlaced, merged: e.FencesMerged,
-						probed: true, hit: true}
+					if validate.CheckFunc(f, p.checkOpts(f.Name)) == nil {
+						return fenceOut{placed: e.FencesPlaced, merged: e.FencesMerged,
+							probed: true, hit: true}
+					}
+					f.RestoreBody(save)
 				}
 				// An undecodable entry (corrupt disk file, mismatched module
 				// shape) falls through to recomputation.
@@ -555,6 +710,19 @@ func (p *pipeline) fenceOptStage() {
 					return err
 				}
 			}
+			if p.cfg.Validate {
+				// Post-placement checkpoint: the body must be verifier-clean,
+				// fence-covered and within its cast baseline before the opt
+				// pipeline is allowed to touch it.
+				o.stage = diag.StageValidate
+				if err := inject.Hit("validate:" + f.Name); err != nil {
+					return err
+				}
+				if err := validate.CheckFunc(f, p.checkOpts(f.Name)); err != nil {
+					return err
+				}
+				o.stage = diag.StageFences
+			}
 			if err := fctx.Err(); err != nil {
 				return err
 			}
@@ -563,7 +731,36 @@ func (p *pipeline) fenceOptStage() {
 				if err := inject.Hit("opt:" + f.Name); err != nil {
 					return err
 				}
-				if err := opt.RunFuncPipeline(fctx, f, opt.StandardPipeline, p.cfg.VerifyIR); err != nil {
+				names := p.cfg.passes()
+				if !p.cfg.Validate {
+					if err := opt.RunFuncPipeline(fctx, f, names, p.cfg.VerifyIR); err != nil {
+						return err
+					}
+					return nil
+				}
+				// Per-pass checkpoints: snapshot the pre-pass body (for repro
+				// bundles), run the pass, re-check the semantic invariants. A
+				// violation surfaces as *opt.PassError naming the culprit.
+				var preBody []byte
+				pc := &opt.PassCheck{
+					After: func(f *ir.Func, pass string) error {
+						return validate.CheckFunc(f, p.checkOpts(f.Name))
+					},
+				}
+				if p.cfg.ReproDir != "" {
+					pc.Before = func(f *ir.Func, pass string) {
+						preBody = cache.EncodeBody(f)
+					}
+				}
+				if err := opt.RunFuncPipelineWithCheck(fctx, f, names, pc); err != nil {
+					var pe *opt.PassError
+					if errors.As(err, &pe) {
+						o.pass = pe.Pass
+						o.stage = diag.StageValidate
+						if p.cfg.ReproDir != "" && preBody != nil {
+							o.bundle = p.passBundle(f.Name, pe.Pass, err.Error(), preBody)
+						}
+					}
 					return err
 				}
 			}
@@ -594,7 +791,16 @@ func (p *pipeline) fenceOptStage() {
 		f := fs[i]
 		if o.gerr != nil {
 			p.excluded[f.Name] = true
-			p.rep.Degrade(f.Name, o.stage, o.gerr)
+			p.rep.DegradePass(f.Name, o.stage, o.pass, o.gerr)
+			if o.bundle != nil {
+				if path, werr := o.bundle.Write(p.cfg.ReproDir); werr == nil {
+					p.rep.Add(diag.Diagnostic{Stage: diag.StageValidate, Func: f.Name,
+						Severity: diag.Info, Msg: "repro bundle written to " + path})
+				} else {
+					p.rep.Add(diag.Diagnostic{Stage: diag.StageValidate, Func: f.Name,
+						Severity: diag.Warning, Msg: "cannot write repro bundle", Cause: werr})
+				}
+			}
 		}
 		p.stats.FencesPlaced += o.placed
 		p.stats.FencesMerged += o.merged

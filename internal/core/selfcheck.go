@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"lasagne/internal/diag"
+	"lasagne/internal/obj"
+	"lasagne/internal/validate"
+)
+
+// SelfCheckTranslate is Translate followed by the differential oracle: the
+// x86 input and the translated Arm64 output are simulated over seeded data
+// images and their observable outputs compared. When the oracle finds a
+// mismatch, the opt pass list is bisected — re-translating with growing
+// pass prefixes and re-checking only the diverging seeds — to name the
+// first pass whose inclusion makes the outputs diverge, the attribution is
+// recorded as a StageValidate Error in the Report, and (with Config.ReproDir
+// set) a differential-kind repro bundle is written. The DiffResult is
+// returned even on mismatch so callers can inspect every seed.
+func SelfCheckTranslate(bin *obj.File, cfg Config, diffOpts validate.DiffOptions) (*obj.File, *Stats, *diag.Report, *validate.DiffResult, error) {
+	out, stats, rep, err := Translate(bin, cfg)
+	if err != nil {
+		return out, stats, rep, nil, err
+	}
+	res := validate.Differential(bin, out, diffOpts)
+	if len(res.Mismatches) == 0 {
+		if derr := res.Err(); derr != nil {
+			// Nothing compared at all: not a translation bug, but not a
+			// validation either.
+			rep.Add(diag.Diagnostic{Stage: diag.StageValidate, Severity: diag.Warning,
+				Msg: "differential oracle compared no seeds", Cause: derr})
+		}
+		return out, stats, rep, res, nil
+	}
+
+	var seeds []int64
+	for _, mr := range res.Mismatches {
+		seeds = append(seeds, mr.Seed)
+	}
+	passes := cfg.passes()
+	n, berr := validate.BisectFirstBad(passes, func(prefix []string) (bool, error) {
+		c2 := cfg
+		// An empty non-nil list runs zero passes; bundles are only written
+		// for the final attribution, not per bisection probe.
+		c2.OptPasses = append([]string{}, prefix...)
+		c2.ReproDir = ""
+		out2, _, _, terr := Translate(bin, c2)
+		if terr != nil {
+			return false, terr
+		}
+		r2 := validate.Differential(bin, out2, validate.DiffOptions{
+			SeedList: seeds, MaxSteps: diffOpts.MaxSteps, NThreads: diffOpts.NThreads})
+		return len(r2.Mismatches) > 0, nil
+	})
+
+	culprit, where := "", "the pre-opt stages (lifting, refinement or fence placement)"
+	if berr == nil && n > 0 {
+		culprit = passes[n-1]
+		where = fmt.Sprintf("opt pass %q (pass %d of %d)", culprit, n, len(passes))
+	} else if berr != nil {
+		where = fmt.Sprintf("bisection inconclusive: %v", berr)
+	}
+	msg := fmt.Sprintf("differential mismatch on seeds %s, attributed to %s",
+		seedList(seeds), where)
+	rep.Add(diag.Diagnostic{Stage: diag.StageValidate, Pass: culprit,
+		Severity: diag.Error, Msg: msg, Cause: res.Err()})
+
+	if cfg.ReproDir != "" {
+		b := &validate.Bundle{
+			Kind:        validate.KindDifferential,
+			Fingerprint: PipelineVersion + ";" + cfg.fingerprint(true),
+			Failure:     msg,
+			Pass:        culprit,
+			Input:       bin.Marshal(),
+			Seeds:       seeds,
+			Passes:      append([]string{}, passes...),
+			MaxSteps:    diffOpts.MaxSteps,
+			NThreads:    diffOpts.NThreads,
+		}
+		if path, werr := b.Write(cfg.ReproDir); werr == nil {
+			rep.Add(diag.Diagnostic{Stage: diag.StageValidate, Severity: diag.Info,
+				Msg: "repro bundle written to " + path})
+		} else {
+			rep.Add(diag.Diagnostic{Stage: diag.StageValidate, Severity: diag.Warning,
+				Msg: "cannot write repro bundle", Cause: werr})
+		}
+	}
+	return out, stats, rep, res, fmt.Errorf("lasagne: %s", msg)
+}
+
+func seedList(seeds []int64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ReplayBundle replays a repro bundle of either kind. Pass-kind bundles
+// replay standalone in the validate package (shape + pre-pass body + one
+// pass + checkpoint). Differential-kind bundles re-translate the recorded
+// x86 input with the recorded pass list and re-compare exactly the seeds
+// that diverged. The first return value is the reproduced failure (nil when
+// the bundle no longer reproduces); the second reports problems with the
+// bundle itself.
+func ReplayBundle(b *validate.Bundle) (failure, err error) {
+	switch b.Kind {
+	case validate.KindPass:
+		return validate.ReplayPass(b)
+	case validate.KindDifferential:
+		bin, uerr := obj.Unmarshal(b.Input)
+		if uerr != nil {
+			return nil, fmt.Errorf("core: bundle input does not unmarshal: %w", uerr)
+		}
+		cfg := Default()
+		cfg.OptPasses = append([]string{}, b.Passes...)
+		out, _, _, terr := Translate(bin, cfg)
+		if terr != nil {
+			return nil, terr
+		}
+		res := validate.Differential(bin, out, validate.DiffOptions{
+			SeedList: b.Seeds, MaxSteps: b.MaxSteps, NThreads: b.NThreads})
+		if len(res.Mismatches) > 0 {
+			return res.Err(), nil
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("core: unknown bundle kind %q", b.Kind)
+	}
+}

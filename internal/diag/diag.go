@@ -38,6 +38,10 @@ const (
 	StageOpt     Stage = "opt"
 	StageVerify  Stage = "verify"
 	StageBackend Stage = "backend"
+	// StageValidate marks the self-checking checkpoints: ir.Verify plus the
+	// semantic invariants (fence preservation, pointer-cast bounds) that run
+	// between pipeline stages when core.Config.Validate is set.
+	StageValidate Stage = "validate"
 )
 
 // Severity classifies a diagnostic.
@@ -69,10 +73,12 @@ func (s Severity) String() string {
 
 // Diagnostic is one typed pipeline event: which stage, which function (""
 // for module-level events), the offending instruction address when known,
-// and the underlying cause.
+// and the underlying cause. Pass names the optimization pass a validation
+// checkpoint attributed the event to, when one is known.
 type Diagnostic struct {
 	Stage    Stage
 	Func     string
+	Pass     string // offending optimization pass; "" when not attributable
 	Addr     uint64 // offending instruction address; 0 when unknown
 	Severity Severity
 	Msg      string
@@ -82,6 +88,9 @@ type Diagnostic struct {
 func (d Diagnostic) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s [%s]", d.Severity, d.Stage)
+	if d.Pass != "" {
+		fmt.Fprintf(&sb, " (pass %s)", d.Pass)
+	}
 	if d.Func != "" {
 		fmt.Fprintf(&sb, " @%s", d.Func)
 	}
@@ -121,6 +130,13 @@ func (r *Report) Add(d Diagnostic) {
 // Degrade records that fn fell back to the conservative full-fence
 // translation because stage failed with cause.
 func (r *Report) Degrade(fn string, stage Stage, cause error) {
+	r.DegradePass(fn, stage, "", cause)
+}
+
+// DegradePass is Degrade with the failure attributed to a named
+// optimization pass (the validation checkpoints know which pass broke the
+// function; plain stage failures pass "").
+func (r *Report) DegradePass(fn string, stage Stage, pass string, cause error) {
 	if r == nil {
 		return
 	}
@@ -135,6 +151,7 @@ func (r *Report) Degrade(fn string, stage Stage, cause error) {
 	r.Add(Diagnostic{
 		Stage:    stage,
 		Func:     fn,
+		Pass:     pass,
 		Severity: Warning,
 		Msg:      "falling back to the conservative full-fence translation",
 		Cause:    cause,

@@ -30,6 +30,12 @@ const (
 	// Stall makes Hit sleep for StallDuration, exercising the pipeline's
 	// time budgets.
 	Stall
+	// Corrupt marks a point at which the caller should apply a deterministic
+	// silent corruption (a simulated miscompile). Hit returns nil for
+	// Corrupt points — the mutation is the caller's job, queried through
+	// ModeOf — so the failure is only discoverable by downstream validation
+	// (checkpoints, the differential oracle), exactly like a real pass bug.
+	Corrupt
 )
 
 func (m Mode) String() string {
@@ -42,6 +48,8 @@ func (m Mode) String() string {
 		return "panic"
 	case Stall:
 		return "stall"
+	case Corrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -94,6 +102,18 @@ func Reset() {
 		delete(points, p)
 	}
 	armed.Store(0)
+}
+
+// ModeOf returns the armed mode of a point (Off when disarmed). With
+// nothing armed anywhere it costs one atomic load.
+func ModeOf(point string) Mode {
+	if armed.Load() == 0 {
+		return Off
+	}
+	mu.Lock()
+	m := points[point]
+	mu.Unlock()
+	return m
 }
 
 // Hit is called by the pipeline at a stage boundary. With nothing armed it

@@ -47,7 +47,7 @@ func PlaceFunc(f *ir.Func, opts Options) int {
 				if in.Order == ir.SeqCst {
 					continue
 				}
-				if opts.SkipStackAccesses && isStackPointer(in.Args[0]) {
+				if opts.SkipStackAccesses && IsStackPointer(in.Args[0]) {
 					continue
 				}
 				insertAfter(b, in, &ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceRM})
@@ -56,7 +56,7 @@ func PlaceFunc(f *ir.Func, opts Options) int {
 				if in.Order == ir.SeqCst {
 					continue
 				}
-				if opts.SkipStackAccesses && isStackPointer(in.Args[1]) {
+				if opts.SkipStackAccesses && IsStackPointer(in.Args[1]) {
 					continue
 				}
 				b.InsertBefore(&ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceWW}, in)
@@ -76,11 +76,13 @@ func insertAfter(b *ir.Block, pos, in *ir.Instr) {
 	b.InsertBefore(in, b.Instrs[idx+1])
 }
 
-// isStackPointer walks the use-def chain of a pointer through bitcasts and
+// IsStackPointer walks the use-def chain of a pointer through bitcasts and
 // getelementptrs looking for an alloca (§8 step 1). Anything else —
 // inttoptr chains, parameters, loaded pointers, globals — is conservatively
-// treated as shared memory.
-func isStackPointer(v ir.Value) bool {
+// treated as shared memory. Exported because the validation checkpoints
+// must classify accesses with exactly the placement algorithm's notion of
+// "stack" when checking fence coverage.
+func IsStackPointer(v ir.Value) bool {
 	for depth := 0; depth < 64; depth++ {
 		in, ok := v.(*ir.Instr)
 		if !ok {
@@ -105,9 +107,9 @@ func isStackPointer(v ir.Value) bool {
 func mayAccessMemory(in *ir.Instr) bool {
 	switch in.Op {
 	case ir.OpLoad:
-		return !isStackPointer(in.Args[0])
+		return !IsStackPointer(in.Args[0])
 	case ir.OpStore:
-		return !isStackPointer(in.Args[1])
+		return !IsStackPointer(in.Args[1])
 	case ir.OpRMW, ir.OpCmpXchg, ir.OpCall:
 		return true
 	}

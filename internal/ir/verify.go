@@ -1,6 +1,32 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one verifier finding: which function, block and instruction
+// (when known) broke which well-formedness rule. VerifyAll returns every
+// violation in a module as []*Violation; Verify keeps the historical
+// first-error contract.
+type Violation struct {
+	Func  string
+	Block string // "" for function-level violations
+	Instr string // printed instruction, "" when not tied to one
+	Msg   string
+}
+
+func (v *Violation) Error() string {
+	var sb strings.Builder
+	if v.Block != "" {
+		fmt.Fprintf(&sb, "block %%%s: ", v.Block)
+	}
+	if v.Instr != "" {
+		fmt.Fprintf(&sb, "%q: ", v.Instr)
+	}
+	sb.WriteString(v.Msg)
+	return sb.String()
+}
 
 // Verify checks structural and type well-formedness of the module:
 // terminator placement, operand types, phi consistency and SSA dominance.
@@ -14,46 +40,142 @@ func Verify(m *Module) error {
 	return nil
 }
 
-// VerifyFunc checks a single function.
+// VerifyAll checks every function and collects every violation instead of
+// stopping at the first: the diagnostics mode used by repro bundles, where
+// a single miscompiled function typically breaks several rules at once.
+func VerifyAll(m *Module) []*Violation {
+	var out []*Violation
+	for _, f := range m.Funcs {
+		out = append(out, VerifyAllFunc(f)...)
+	}
+	return out
+}
+
+// VerifyFunc checks a single function, returning the first violation.
 func VerifyFunc(f *Func) error {
-	if f.External {
-		if len(f.Blocks) != 0 {
-			return fmt.Errorf("external function has a body")
-		}
+	v := &verifier{f: f}
+	v.run()
+	if len(v.errs) == 0 {
 		return nil
 	}
+	return v.errs[0]
+}
+
+// VerifyAllFunc checks a single function and collects every violation.
+func VerifyAllFunc(f *Func) []*Violation {
+	v := &verifier{f: f, all: true}
+	v.run()
+	return v.errs
+}
+
+// verifier walks one function collecting violations. In first-error mode
+// (all=false) every check consults stop() and bails as soon as one
+// violation is recorded, preserving the historical Verify behavior.
+type verifier struct {
+	f    *Func
+	all  bool
+	errs []*Violation
+
+	// cfgBroken is set by structural violations (empty blocks, missing
+	// terminators) that make the SSA/dominance phase meaningless or unsafe
+	// to run.
+	cfgBroken bool
+}
+
+func (v *verifier) add(b *Block, in *Instr, format string, args ...any) {
+	viol := &Violation{Func: v.f.Name, Msg: fmt.Sprintf(format, args...)}
+	if b != nil {
+		viol.Block = b.Name
+	}
+	if in != nil {
+		viol.Instr = fmt.Sprint(in)
+	}
+	v.errs = append(v.errs, viol)
+}
+
+func (v *verifier) stop() bool { return !v.all && len(v.errs) > 0 }
+
+func (v *verifier) run() {
+	f := v.f
+	if f.External {
+		if len(f.Blocks) != 0 {
+			v.add(nil, nil, "external function has a body")
+		}
+		return
+	}
 	if len(f.Blocks) == 0 {
-		return fmt.Errorf("defined function has no blocks")
+		v.add(nil, nil, "defined function has no blocks")
+		return
 	}
-	defined := make(map[Value]bool)
-	for _, p := range f.Params {
-		defined[p] = true
+	v.structural()
+	if v.stop() || v.cfgBroken {
+		return
 	}
-	for _, b := range f.Blocks {
+	v.operandsDefined()
+	if v.stop() {
+		return
+	}
+	v.dominance()
+}
+
+// structural checks block shape (non-empty, terminated, phis leading) and
+// per-instruction operand typing.
+func (v *verifier) structural() {
+	for _, b := range v.f.Blocks {
 		if len(b.Instrs) == 0 {
-			return fmt.Errorf("block %%%s is empty", b.Name)
+			v.add(b, nil, "block is empty")
+			v.cfgBroken = true
+			if v.stop() {
+				return
+			}
+			continue
 		}
 		if b.Terminator() == nil {
-			return fmt.Errorf("block %%%s has no terminator", b.Name)
+			v.add(b, nil, "block has no terminator")
+			v.cfgBroken = true
+			if v.stop() {
+				return
+			}
 		}
 		for k, in := range b.Instrs {
 			if in.IsTerminator() && k != len(b.Instrs)-1 {
-				return fmt.Errorf("block %%%s: terminator %q not at end", b.Name, in)
+				v.add(b, nil, "terminator %q not at end", in)
+				v.cfgBroken = true
+				if v.stop() {
+					return
+				}
 			}
 			if in.Op == OpPhi && k > 0 && b.Instrs[k-1].Op != OpPhi {
-				return fmt.Errorf("block %%%s: phi %q after non-phi", b.Name, in)
+				v.add(b, nil, "phi %q after non-phi", in)
+				if v.stop() {
+					return
+				}
 			}
 			if err := checkInstrTypes(in); err != nil {
-				return fmt.Errorf("block %%%s: %q: %w", b.Name, in, err)
+				v.add(b, nil, "%q: %v", in, err)
+				if v.stop() {
+					return
+				}
 			}
+		}
+	}
+}
+
+// operandsDefined checks that every operand is a parameter, module-level
+// value, constant, or an instruction belonging to this function.
+func (v *verifier) operandsDefined() {
+	defined := make(map[Value]bool)
+	for _, p := range v.f.Params {
+		defined[p] = true
+	}
+	for _, b := range v.f.Blocks {
+		for _, in := range b.Instrs {
 			if !IsVoid(in.Ty) {
 				defined[in] = true
 			}
 		}
 	}
-	// All operands must be defined somewhere (params, constants, globals,
-	// funcs or instructions of this function).
-	for _, b := range f.Blocks {
+	for _, b := range v.f.Blocks {
 		for _, in := range b.Instrs {
 			for _, a := range in.Args {
 				switch a.(type) {
@@ -61,41 +183,58 @@ func VerifyFunc(f *Func) error {
 					continue
 				}
 				if !defined[a] {
-					return fmt.Errorf("block %%%s: %q uses undefined value %s", b.Name, in, a.Ref())
+					v.add(b, nil, "%q uses undefined value %s", in, a.Ref())
+					if v.stop() {
+						return
+					}
 				}
 			}
 		}
 	}
-	// SSA dominance for instruction operands.
-	dt := ComputeDomTree(f)
-	reach := ReachableBlocks(f)
-	for _, b := range f.Blocks {
+}
+
+// dominance checks phi edge consistency and SSA dominance of instruction
+// operands over reachable blocks.
+func (v *verifier) dominance() {
+	dt := ComputeDomTree(v.f)
+	reach := ReachableBlocks(v.f)
+	for _, b := range v.f.Blocks {
 		if !reach[b] {
 			continue
 		}
 		for _, in := range b.Instrs {
 			if in.Op == OpPhi {
 				if len(in.Args) != len(in.Blocks) {
-					return fmt.Errorf("phi %q: args/blocks mismatch", in)
+					v.add(b, nil, "phi %q: args/blocks mismatch", in)
+					if v.stop() {
+						return
+					}
+					continue
 				}
 				preds := b.Preds()
 				if len(in.Args) != len(preds) {
-					return fmt.Errorf("phi %q in %%%s: %d incoming edges, %d predecessors",
-						in, b.Name, len(in.Args), len(preds))
+					v.add(b, nil, "phi %q: %d incoming edges, %d predecessors",
+						in, len(in.Args), len(preds))
+					if v.stop() {
+						return
+					}
 				}
 				for k, a := range in.Args {
 					def, ok := a.(*Instr)
 					if !ok {
 						continue
 					}
-					if !reach[def.Parent] {
+					if def.Parent == nil || !reach[def.Parent] {
 						continue
 					}
 					// The definition must dominate the end of the incoming block.
 					inc := in.Blocks[k]
 					if !dt.Dominates(def.Parent, inc) {
-						return fmt.Errorf("phi %q: incoming %s does not dominate edge from %%%s",
+						v.add(b, nil, "phi %q: incoming %s does not dominate edge from %%%s",
 							in, a.Ref(), inc.Name)
+						if v.stop() {
+							return
+						}
 					}
 				}
 				continue
@@ -106,18 +245,24 @@ func VerifyFunc(f *Func) error {
 					continue
 				}
 				if def.Parent == nil {
-					return fmt.Errorf("%q uses removed instruction %s", in, a.Ref())
+					v.add(b, nil, "%q uses removed instruction %s", in, a.Ref())
+					if v.stop() {
+						return
+					}
+					continue
 				}
 				if !reach[def.Parent] {
 					continue
 				}
 				if !InstrDominates(dt, def, in) {
-					return fmt.Errorf("%q: operand %s does not dominate use", in, a.Ref())
+					v.add(b, nil, "%q: operand %s does not dominate use", in, a.Ref())
+					if v.stop() {
+						return
+					}
 				}
 			}
 		}
 	}
-	return nil
 }
 
 func checkInstrTypes(in *Instr) error {

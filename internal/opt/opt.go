@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 
+	"lasagne/internal/diag/inject"
 	"lasagne/internal/ir"
 )
 
@@ -62,6 +63,45 @@ func init() {
 	register("sroa", SROA)
 	register("scalarize", Scalarize)
 	registerModule("ipsccp", IPSCCP)
+}
+
+// PassError attributes a post-pass check failure to the exact pass and
+// function that produced the invalid body. Unwrap exposes the underlying
+// verifier or invariant error to errors.Is/As.
+type PassError struct {
+	Pass string
+	Func string
+	Err  error
+}
+
+func (e *PassError) Error() string {
+	return fmt.Sprintf("opt: function %s invalid after %s: %v", e.Func, e.Pass, e.Err)
+}
+
+func (e *PassError) Unwrap() error { return e.Err }
+
+// PassCheck hooks the per-pass worklist for validation. Before (optional)
+// runs just before a pass executes — the validation pipeline uses it to
+// snapshot the pre-pass body for repro bundles. After (optional) runs after
+// every executed pass; a non-nil error aborts the pipeline wrapped in a
+// *PassError naming that pass. Skipped passes (provable no-ops under the
+// worklist fixpoint rule) trigger neither hook.
+type PassCheck struct {
+	Before func(f *ir.Func, pass string)
+	After  func(f *ir.Func, pass string) error
+}
+
+// verifyCheck is the PassCheck equivalent of the historical verify=true
+// mode: ir.VerifyFunc after every executed pass.
+var verifyCheck = &PassCheck{
+	After: func(f *ir.Func, pass string) error { return ir.VerifyFunc(f) },
+}
+
+func checkFor(verify bool) *PassCheck {
+	if verify {
+		return verifyCheck
+	}
+	return nil
 }
 
 // StandardPipeline is the -O2-like pipeline used for Native compilation and
@@ -130,7 +170,7 @@ func RunPipeline(m *ir.Module, names []string, verify bool) error {
 			if f.External {
 				continue
 			}
-			if err := runFuncWorklist(context.Background(), f, names[i:j], verify); err != nil {
+			if err := runFuncWorklist(context.Background(), f, names[i:j], checkFor(verify)); err != nil {
 				return err
 			}
 		}
@@ -158,10 +198,35 @@ func Optimize(m *ir.Module) error {
 // When verify is set the function is checked after each executed pass so a
 // miscompiling pass is caught at the pass that introduced it.
 func RunFuncPipeline(ctx context.Context, f *ir.Func, names []string, verify bool) error {
+	return RunFuncPipelineWithCheck(ctx, f, names, checkFor(verify))
+}
+
+// RunFuncPipelineWithCheck is RunFuncPipeline with arbitrary per-pass hooks
+// (see PassCheck); the self-checking pipeline uses it to snapshot pre-pass
+// bodies and run semantic invariant checks after each pass.
+func RunFuncPipelineWithCheck(ctx context.Context, f *ir.Func, names []string, pc *PassCheck) error {
 	if f.External {
 		return nil
 	}
-	return runFuncWorklist(ctx, f, names, verify)
+	return runFuncWorklist(ctx, f, names, pc)
+}
+
+// ApplyPass runs one registered function-local pass on f, reporting whether
+// it changed anything. It is the replay primitive used by repro bundles,
+// which re-execute a single pass on a decoded pre-pass body.
+func ApplyPass(f *ir.Func, name string) (bool, error) {
+	p, ok := Registry[name]
+	if !ok {
+		if _, isMod := ModuleRegistry[name]; isMod {
+			return false, fmt.Errorf("opt: module-level pass %q cannot run on a single function", name)
+		}
+		return false, fmt.Errorf("opt: unknown pass %q", name)
+	}
+	changed := p.Run(f)
+	if maybeCorrupt(f, name) {
+		changed = true
+	}
+	return changed, nil
 }
 
 // runFuncWorklist walks the pass sequence with a changed-set worklist:
@@ -171,7 +236,7 @@ func RunFuncPipeline(ctx context.Context, f *ir.Func, names []string, verify boo
 // the body is still at that stamp skips it, because a pass that just
 // fixpointed on exactly this body is a provable no-op. Any intervening
 // change bumps the stamp and naturally invalidates every recorded fixpoint.
-func runFuncWorklist(ctx context.Context, f *ir.Func, names []string, verify bool) error {
+func runFuncWorklist(ctx context.Context, f *ir.Func, names []string, pc *PassCheck) error {
 	stamp := 0
 	fixedAt := make(map[string]int, len(names))
 	for _, n := range names {
@@ -188,18 +253,60 @@ func runFuncWorklist(ctx context.Context, f *ir.Func, names []string, verify boo
 		if at, seen := fixedAt[n]; seen && at == stamp {
 			continue
 		}
-		if p.Run(f) {
+		if pc != nil && pc.Before != nil {
+			pc.Before(f, n)
+		}
+		changed := p.Run(f)
+		if maybeCorrupt(f, n) {
+			changed = true
+		}
+		if changed {
 			stamp++
 		} else {
 			fixedAt[n] = stamp
 		}
-		if verify {
-			if err := ir.VerifyFunc(f); err != nil {
-				return fmt.Errorf("opt: function %s invalid after %s: %w", f.Name, n, err)
+		if pc != nil && pc.After != nil {
+			if err := pc.After(f, n); err != nil {
+				return &PassError{Pass: n, Func: f.Name, Err: err}
 			}
 		}
 	}
 	return nil
+}
+
+// maybeCorrupt applies the fault-injection harness's silent-miscompile
+// modes: with "corrupt-fence:<pass>" armed it deletes the function's first
+// fence (invisible to ir.Verify, caught by the fence-coverage checkpoint);
+// with "corrupt-compute:<pass>" armed it flips the first integer add to a
+// sub (verifier-clean, caught only by the differential oracle). Both are
+// deterministic so a bisection re-run reproduces the same miscompile.
+func maybeCorrupt(f *ir.Func, pass string) bool {
+	corrupted := false
+	if inject.ModeOf("corrupt-fence:"+pass) == inject.Corrupt {
+	fence:
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpFence {
+					b.Remove(in)
+					corrupted = true
+					break fence
+				}
+			}
+		}
+	}
+	if inject.ModeOf("corrupt-compute:"+pass) == inject.Corrupt {
+	compute:
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpAdd && ir.IsInt(in.Ty) {
+					in.Op = ir.OpSub
+					corrupted = true
+					break compute
+				}
+			}
+		}
+	}
+	return corrupted
 }
 
 // baseObject traces a pointer to its underlying object: an alloca

@@ -1,0 +1,48 @@
+package validate
+
+import "fmt"
+
+// BisectFirstBad binary-searches the smallest prefix length n of passes for
+// which fails(passes[:n]) reports true, assuming monotonicity: once a
+// prefix fails, every longer prefix fails too (the miscompile persists —
+// later passes do not un-break the function observably). The return value
+// is the length of the first failing prefix, so passes[n-1] is the culprit
+// pass; n == 0 means the failure predates the opt pipeline entirely
+// (lifting, refinement or fence placement).
+//
+// fails is invoked O(log len(passes)) times, each typically a cheap
+// re-translation of one function (warm after PR 4's content-addressed
+// cache) plus the checkpoint or differential re-check that detected the
+// original failure.
+func BisectFirstBad(passes []string, fails func(prefix []string) (bool, error)) (int, error) {
+	bad, err := fails(passes)
+	if err != nil {
+		return 0, err
+	}
+	if !bad {
+		return 0, fmt.Errorf("validate: bisection precondition failed: full pipeline of %d passes does not reproduce the failure", len(passes))
+	}
+	if len(passes) == 0 {
+		return 0, nil
+	}
+	if bad, err = fails(passes[:0]); err != nil {
+		return 0, err
+	} else if bad {
+		return 0, nil
+	}
+	// Invariant: fails(passes[:lo]) is false, fails(passes[:hi]) is true.
+	lo, hi := 0, len(passes)
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		bad, err := fails(passes[:mid])
+		if err != nil {
+			return 0, err
+		}
+		if bad {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

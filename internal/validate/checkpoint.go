@@ -1,0 +1,155 @@
+package validate
+
+import (
+	"fmt"
+
+	"lasagne/internal/fences"
+	"lasagne/internal/ir"
+)
+
+// Opts selects which semantic invariants a checkpoint enforces on top of
+// the structural verifier. Invariants are phase-dependent: fence coverage
+// only holds once placement has run, and the pointer-cast bound only once
+// refinement has established a baseline.
+type Opts struct {
+	// FencesPlaced asserts the §7/§8 fence-coverage invariant: every
+	// non-seq_cst shared load is followed, within its block and before any
+	// other shared access / call / block end, by an Frm or Fsc fence (or an
+	// RMW/cmpxchg, which Fig. 8a maps to a full fence); symmetrically every
+	// non-seq_cst shared store is preceded by an Fww or Fsc. Placement
+	// establishes it, §7.2 merging preserves it (a fence is only removed
+	// when a covering fence remains with no shared access between), and
+	// every registered opt pass must preserve it — the per-pass property
+	// test pins that.
+	FencesPlaced bool
+	// MaxPtrCasts, when >= 0, bounds the number of ptrtoint/inttoptr
+	// instructions in the function: refinement removes them (§5), so a later
+	// stage reintroducing one regresses the translation's type recovery.
+	// Use -1 to skip the check.
+	MaxPtrCasts int
+}
+
+// CheckFunc runs the structural verifier and the selected semantic
+// invariants on one function, returning the first violation.
+func CheckFunc(f *ir.Func, o Opts) error {
+	if err := ir.VerifyFunc(f); err != nil {
+		return err
+	}
+	if f.External {
+		return nil
+	}
+	if o.MaxPtrCasts >= 0 {
+		if n := CountPtrCastsFunc(f); n > o.MaxPtrCasts {
+			return fmt.Errorf("validate: %d ptrtoint/inttoptr instructions, baseline after refinement was %d",
+				n, o.MaxPtrCasts)
+		}
+	}
+	if o.FencesPlaced {
+		if err := checkFenceCoverage(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountPtrCastsFunc counts ptrtoint/inttoptr instructions in one function
+// (the per-function form of refine.CountPtrCasts).
+func CountPtrCastsFunc(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPtrToInt || in.Op == ir.OpIntToPtr {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// fullFence reports whether the instruction orders both directions like an
+// Fsc: RMW and cmpxchg are seq_cst full fences under the Fig. 8a mapping.
+func fullFence(in *ir.Instr) bool {
+	return in.Op == ir.OpRMW || in.Op == ir.OpCmpXchg
+}
+
+// sharedAccess reports whether the instruction is a load or store of
+// provably-shared (non-stack) memory; these are the accesses fences order
+// and therefore the accesses that interrupt a coverage scan. Calls also
+// interrupt: the callee may access shared memory before any local fence.
+func sharedAccess(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpLoad:
+		return !fences.IsStackPointer(in.Args[0])
+	case ir.OpStore:
+		return !fences.IsStackPointer(in.Args[1])
+	case ir.OpCall:
+		return true
+	}
+	return false
+}
+
+// checkFenceCoverage scans every block for the load→Frm and Fww→store
+// patterns described on Opts.FencesPlaced.
+func checkFenceCoverage(f *ir.Func) error {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoad:
+				if in.Order == ir.SeqCst || fences.IsStackPointer(in.Args[0]) {
+					continue
+				}
+				if !coveredAfter(b, i) {
+					return fmt.Errorf("validate: block %%%s: shared load %q has no trailing Frm/Fsc fence",
+						b.Name, in)
+				}
+			case ir.OpStore:
+				if in.Order == ir.SeqCst || fences.IsStackPointer(in.Args[1]) {
+					continue
+				}
+				if !coveredBefore(b, i) {
+					return fmt.Errorf("validate: block %%%s: shared store %q has no leading Fww/Fsc fence",
+						b.Name, in)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// coveredAfter reports whether the shared load at index i is followed by an
+// Frm/Fsc fence (or full-fence atomic) before any other shared access or
+// the end of the block.
+func coveredAfter(b *ir.Block, i int) bool {
+	for k := i + 1; k < len(b.Instrs); k++ {
+		in := b.Instrs[k]
+		if in.Op == ir.OpFence && (in.Fence == ir.FenceRM || in.Fence == ir.FenceSC) {
+			return true
+		}
+		if fullFence(in) {
+			return true
+		}
+		if sharedAccess(in) {
+			return false
+		}
+	}
+	return false
+}
+
+// coveredBefore reports whether the shared store at index i is preceded by
+// an Fww/Fsc fence (or full-fence atomic) with no other shared access in
+// between.
+func coveredBefore(b *ir.Block, i int) bool {
+	for k := i - 1; k >= 0; k-- {
+		in := b.Instrs[k]
+		if in.Op == ir.OpFence && (in.Fence == ir.FenceWW || in.Fence == ir.FenceSC) {
+			return true
+		}
+		if fullFence(in) {
+			return true
+		}
+		if sharedAccess(in) {
+			return false
+		}
+	}
+	return false
+}

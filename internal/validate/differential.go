@@ -1,0 +1,183 @@
+package validate
+
+import (
+	"fmt"
+
+	"lasagne/internal/obj"
+	"lasagne/internal/sim"
+)
+
+// DiffOptions configures a differential run.
+type DiffOptions struct {
+	// Seeds is the number of successfully compared inputs required (default
+	// 32, the acceptance bar). Seeds that cannot be compared — either
+	// simulator faulted, typically an x86 divide-by-zero on random data that
+	// A64 SDIV maps to 0, or a budget ran out — are skipped and do not
+	// count, up to a 4×Seeds attempt cap.
+	Seeds int
+	// StartSeed is the first data seed tried (default 0, the pristine image
+	// as linked — always compared first so the program's own initializers
+	// are part of every run).
+	StartSeed int64
+	// SeedList, when non-empty, overrides Seeds/StartSeed and compares
+	// exactly these seeds: bisection uses it to re-check the seeds that
+	// originally diverged.
+	SeedList []int64
+	// MaxSteps bounds each simulation (0 = sim.DefaultMaxSteps).
+	MaxSteps int64
+	// NThreads is the __nthreads value for both machines (0 = default).
+	NThreads int
+}
+
+// SeedStatus classifies one seed's comparison.
+type SeedStatus int
+
+const (
+	// SeedMatch: both simulators completed with identical output.
+	SeedMatch SeedStatus = iota
+	// SeedMismatch: both completed, outputs differ — a real translation bug.
+	SeedMismatch
+	// SeedSkipped: at least one simulator faulted or exceeded its budget, so
+	// the outputs are incomparable (not evidence of a bug either way).
+	SeedSkipped
+)
+
+func (s SeedStatus) String() string {
+	switch s {
+	case SeedMatch:
+		return "match"
+	case SeedMismatch:
+		return "mismatch"
+	case SeedSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// SeedResult records one compared input. Every rendering includes the seed
+// so any failure is reproducible from its log line.
+type SeedResult struct {
+	Seed   int64
+	Status SeedStatus
+	Detail string // mismatch diff or skip reason
+	X86Out string
+	ArmOut string
+}
+
+func (r SeedResult) String() string {
+	if r.Detail != "" {
+		return fmt.Sprintf("seed %d: %s: %s", r.Seed, r.Status, r.Detail)
+	}
+	return fmt.Sprintf("seed %d: %s", r.Seed, r.Status)
+}
+
+// DiffResult aggregates a differential run.
+type DiffResult struct {
+	Compared   int // seeds where both simulators completed
+	Skipped    int
+	Mismatches []SeedResult
+	Results    []SeedResult // every seed tried, in order
+}
+
+// Ok reports whether the run compared at least one seed with no mismatch.
+func (r *DiffResult) Ok() bool { return r.Compared > 0 && len(r.Mismatches) == 0 }
+
+// Err summarizes the first mismatch (nil when Ok). The seed is in the
+// message.
+func (r *DiffResult) Err() error {
+	if len(r.Mismatches) > 0 {
+		return fmt.Errorf("validate: differential mismatch: %s", r.Mismatches[0])
+	}
+	if r.Compared == 0 {
+		return fmt.Errorf("validate: differential compared 0 seeds (%d skipped); last: %s",
+			r.Skipped, last(r.Results))
+	}
+	return nil
+}
+
+func last(rs []SeedResult) string {
+	if len(rs) == 0 {
+		return "none tried"
+	}
+	return rs[len(rs)-1].String()
+}
+
+// Differential runs the x86 input object and the translated Arm64 object on
+// their respective simulators over a series of seeded data images and
+// compares observable output. SeedDataSymbols keys the fill by symbol name,
+// so both objects see identical initial data despite different layouts; a
+// mismatch therefore indicts the translation, not the harness.
+func Differential(x86Obj, armObj *obj.File, o DiffOptions) *DiffResult {
+	if o.Seeds <= 0 {
+		o.Seeds = 32
+	}
+	res := &DiffResult{}
+	if len(o.SeedList) > 0 {
+		for _, seed := range o.SeedList {
+			res.record(compareSeed(x86Obj, armObj, seed, o))
+		}
+		return res
+	}
+	seed := o.StartSeed
+	for attempts := 0; res.Compared < o.Seeds && attempts < 4*o.Seeds; attempts++ {
+		res.record(compareSeed(x86Obj, armObj, seed, o))
+		seed++
+	}
+	return res
+}
+
+func (r *DiffResult) record(sr SeedResult) {
+	r.Results = append(r.Results, sr)
+	switch sr.Status {
+	case SeedSkipped:
+		r.Skipped++
+	case SeedMismatch:
+		r.Compared++
+		r.Mismatches = append(r.Mismatches, sr)
+	default:
+		r.Compared++
+	}
+}
+
+// compareSeed runs both objects on one seeded data image. The mismatch
+// verdict requires both runs to complete: x86 and A64 legitimately diverge
+// on faults (x86 #DE traps where A64 SDIV yields 0) and on step budgets
+// (instruction counts differ per ISA), so an error on either side makes the
+// seed incomparable rather than suspicious.
+func compareSeed(x86Obj, armObj *obj.File, seed int64, o DiffOptions) SeedResult {
+	xOut, xErr := runSeeded(x86Obj, seed, o)
+	aOut, aErr := runSeeded(armObj, seed, o)
+	sr := SeedResult{Seed: seed, X86Out: xOut, ArmOut: aOut}
+	switch {
+	case xErr != nil:
+		sr.Status = SeedSkipped
+		sr.Detail = fmt.Sprintf("x86 run failed (seed %d): %v", seed, xErr)
+	case aErr != nil:
+		sr.Status = SeedSkipped
+		sr.Detail = fmt.Sprintf("arm64 run failed (seed %d): %v", seed, aErr)
+	case xOut != aOut:
+		sr.Status = SeedMismatch
+		sr.Detail = fmt.Sprintf("seed %d: x86 output %q, arm64 output %q", seed, xOut, aOut)
+	default:
+		sr.Status = SeedMatch
+	}
+	return sr
+}
+
+func runSeeded(f *obj.File, seed int64, o DiffOptions) (string, error) {
+	m, err := sim.NewMachine(f)
+	if err != nil {
+		return "", err
+	}
+	if o.MaxSteps > 0 {
+		m.MaxSteps = o.MaxSteps
+	}
+	if o.NThreads > 0 {
+		m.NThreads = o.NThreads
+	}
+	m.SeedDataSymbols(seed)
+	if _, err := m.Run(); err != nil {
+		return "", err
+	}
+	return m.Out.String(), nil
+}

@@ -1,0 +1,268 @@
+package validate
+
+import (
+	"lasagne/internal/ir"
+)
+
+// ReduceFunc shrinks f in place while keep(f) stays true and the function
+// stays verifier-clean, so the result is a minimal valid reproducer of
+// whatever property keep tests (typically "this pass still breaks this
+// body"). The reducer alternates three delta-debugging strategies until a
+// full round makes no progress: conditional branches are simplified to
+// unconditional ones (with phi arguments dropped for the removed edges),
+// unreachable blocks are deleted, and instructions are removed in
+// binary-shrinking chunks with their uses replaced by undef. Every trial is
+// checked with ir.VerifyFunc before keep, and rolled back via the body
+// clone when either rejects it. It returns the number of instructions
+// removed.
+func ReduceFunc(f *ir.Func, keep func(*ir.Func) bool) int {
+	if ir.VerifyFunc(f) != nil || !keep(f) {
+		return 0
+	}
+	before := f.NumInstrs()
+	for progress := true; progress; {
+		progress = false
+		if reduceEdges(f, keep) {
+			progress = true
+		}
+		if mergeLinearBlocks(f, keep) {
+			progress = true
+		}
+		if reduceInstrs(f, keep) {
+			progress = true
+		}
+	}
+	return before - f.NumInstrs()
+}
+
+// trial applies mutate to f, keeping the result only if it remains
+// verifier-clean and keep still holds; otherwise the saved body is
+// restored. mutate returning false means "not applicable" and also rolls
+// back.
+func trial(f *ir.Func, keep func(*ir.Func) bool, mutate func() bool) bool {
+	save := f.CloneBody()
+	if mutate() && ir.VerifyFunc(f) == nil && keep(f) {
+		return true
+	}
+	f.RestoreBody(save)
+	return false
+}
+
+// reduceEdges tries to turn each conditional branch into an unconditional
+// one (both directions), cleaning up the CFG after each attempt.
+func reduceEdges(f *ir.Func, keep func(*ir.Func) bool) bool {
+	changed := false
+	for bi := 0; bi < len(f.Blocks); bi++ {
+		for _, target := range []int{0, 1} {
+			ok := trial(f, keep, func() bool {
+				if bi >= len(f.Blocks) {
+					return false
+				}
+				term := f.Blocks[bi].Terminator()
+				if term == nil || term.Op != ir.OpCondBr || target >= len(term.Blocks) {
+					return false
+				}
+				dst := term.Blocks[target]
+				term.Op = ir.OpBr
+				term.Args = nil
+				term.Blocks = []*ir.Block{dst}
+				cleanupCFG(f)
+				return true
+			})
+			if ok {
+				changed = true
+				break // the terminator is no longer conditional
+			}
+		}
+	}
+	return changed
+}
+
+// cleanupCFG removes unreachable blocks, drops phi incomings whose edge no
+// longer exists, and replaces references to instructions that vanished with
+// undef so the trial body stays verifiable.
+func cleanupCFG(f *ir.Func) {
+	reach := ir.ReachableBlocks(f)
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+
+	for _, b := range f.Blocks {
+		preds := map[*ir.Block]bool{}
+		for _, p := range b.Preds() {
+			preds[p] = true
+		}
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			args := in.Args[:0]
+			blocks := in.Blocks[:0]
+			for k := range in.Blocks {
+				if preds[in.Blocks[k]] {
+					args = append(args, in.Args[k])
+					blocks = append(blocks, in.Blocks[k])
+				}
+			}
+			in.Args = args
+			in.Blocks = blocks
+		}
+	}
+	replaceUnknownDefs(f)
+}
+
+// replaceUnknownDefs substitutes undef for any operand whose defining
+// instruction is no longer in the function (it lived in a removed block or
+// was deleted by the instruction reducer).
+func replaceUnknownDefs(f *ir.Func) {
+	defined := map[*ir.Instr]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			defined[in] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if d, ok := a.(*ir.Instr); ok && !defined[d] {
+					in.Args[i] = &ir.Undef{Ty: d.Type()}
+				}
+			}
+		}
+	}
+}
+
+// mergeLinearBlocks splices single-predecessor branch targets into their
+// predecessor, collapsing the br-chains that edge simplification leaves
+// behind.
+func mergeLinearBlocks(f *ir.Func, keep func(*ir.Func) bool) bool {
+	changed := false
+	for bi := 0; bi < len(f.Blocks); bi++ {
+		ok := trial(f, keep, func() bool {
+			if bi >= len(f.Blocks) {
+				return false
+			}
+			b := f.Blocks[bi]
+			term := b.Terminator()
+			if term == nil || term.Op != ir.OpBr {
+				return false
+			}
+			s := term.Blocks[0]
+			if s == b || len(s.Preds()) != 1 {
+				return false
+			}
+			// Single-predecessor phis are just renames of their one incoming.
+			insts := append([]*ir.Instr(nil), s.Instrs...)
+			for _, in := range insts {
+				if in.Op != ir.OpPhi {
+					break
+				}
+				if len(in.Args) != 1 {
+					return false
+				}
+				replaceUses(f, in, in.Args[0])
+				s.Remove(in)
+			}
+			b.Remove(term)
+			for _, in := range append([]*ir.Instr(nil), s.Instrs...) {
+				s.Remove(in)
+				b.Append(in)
+			}
+			kept := f.Blocks[:0]
+			for _, bb := range f.Blocks {
+				if bb != s {
+					kept = append(kept, bb)
+				}
+			}
+			f.Blocks = kept
+			// Phis downstream that named s as their incoming edge now come
+			// from b.
+			for _, bb := range f.Blocks {
+				for _, in := range bb.Instrs {
+					if in.Op != ir.OpPhi {
+						break
+					}
+					for k := range in.Blocks {
+						if in.Blocks[k] == s {
+							in.Blocks[k] = b
+						}
+					}
+				}
+			}
+			return true
+		})
+		if ok {
+			changed = true
+			bi-- // b may now end in another mergeable br
+		}
+	}
+	return changed
+}
+
+func replaceUses(f *ir.Func, old *ir.Instr, with ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = with
+				}
+			}
+		}
+	}
+}
+
+// reduceInstrs deletes non-terminator instructions in binary-shrinking
+// chunks (classic ddmin): big bites first, single instructions last.
+func reduceInstrs(f *ir.Func, keep func(*ir.Func) bool) bool {
+	changed := false
+	for chunk := f.NumInstrs(); chunk >= 1; chunk /= 2 {
+		for start := 0; ; start += chunk {
+			cands := candidates(f)
+			if start >= len(cands) {
+				break
+			}
+			end := start + chunk
+			if end > len(cands) {
+				end = len(cands)
+			}
+			ok := trial(f, keep, func() bool {
+				cs := candidates(f)
+				if start >= len(cs) {
+					return false
+				}
+				e := start + chunk
+				if e > len(cs) {
+					e = len(cs)
+				}
+				for _, in := range cs[start:e] {
+					in.Parent.Remove(in)
+				}
+				replaceUnknownDefs(f)
+				return true
+			})
+			if ok {
+				changed = true
+				start -= chunk // the window now holds fresh candidates
+			}
+		}
+	}
+	return changed
+}
+
+// candidates lists every deletable (non-terminator) instruction in block
+// order.
+func candidates(f *ir.Func) []*ir.Instr {
+	var out []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !in.IsTerminator() {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}

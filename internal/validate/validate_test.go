@@ -1,0 +1,306 @@
+package validate_test
+
+import (
+	"strings"
+	"testing"
+
+	"lasagne/internal/backend"
+	"lasagne/internal/core/cache"
+	"lasagne/internal/diag/inject"
+	"lasagne/internal/fences"
+	"lasagne/internal/ir"
+	"lasagne/internal/minic"
+	"lasagne/internal/validate"
+)
+
+func TestGenProgramDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a, b := validate.GenProgram(seed), validate.GenProgram(seed)
+		if a != b {
+			t.Fatalf("seed %d: GenProgram is not deterministic", seed)
+		}
+		if _, err := minic.Compile("gen", a); err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v\n%s", seed, err, a)
+		}
+	}
+	if validate.GenProgram(1) == validate.GenProgram(2) {
+		t.Fatal("distinct seeds produced identical programs")
+	}
+}
+
+// buildFencedFunc returns a function with one shared load and one shared
+// store, fenced per the Fig. 8a mapping (Frm after the load, Fww before the
+// store), plus stack traffic that needs no fences.
+func buildFencedFunc(t *testing.T) (*ir.Module, *ir.Func) {
+	t.Helper()
+	m := ir.NewModule("t")
+	g := m.NewGlobal("shared", ir.I64)
+	f := m.NewFunc("subject", ir.Signature(ir.I64))
+	bd := ir.NewBuilder(f.NewBlock("entry"))
+	slot := bd.Alloca(ir.I64)
+	bd.Store(ir.I64Const(3), slot) // stack store: exempt
+	v := bd.Load(g)
+	bd.Fence(ir.FenceRM)
+	sv := bd.Load(slot) // stack load: exempt
+	sum := bd.Add(v, sv)
+	bd.Fence(ir.FenceWW)
+	bd.Store(sum, g)
+	bd.Ret(sum)
+	if err := validate.CheckFunc(f, validate.Opts{FencesPlaced: true, MaxPtrCasts: 0}); err != nil {
+		t.Fatalf("fenced function not checkpoint-clean: %v", err)
+	}
+	return m, f
+}
+
+func TestCheckFuncFenceCoverage(t *testing.T) {
+	// Dropping the Frm must trip the load rule.
+	_, f := buildFencedFunc(t)
+	removeFirstFence(f, ir.FenceRM)
+	err := validate.CheckFunc(f, validate.Opts{FencesPlaced: true, MaxPtrCasts: -1})
+	if err == nil || !strings.Contains(err.Error(), "no trailing Frm") {
+		t.Fatalf("dropped Frm: err = %v, want load-coverage violation", err)
+	}
+
+	// Dropping the Fww must trip the store rule.
+	_, f = buildFencedFunc(t)
+	removeFirstFence(f, ir.FenceWW)
+	err = validate.CheckFunc(f, validate.Opts{FencesPlaced: true, MaxPtrCasts: -1})
+	if err == nil || !strings.Contains(err.Error(), "no leading Fww") {
+		t.Fatalf("dropped Fww: err = %v, want store-coverage violation", err)
+	}
+
+	// An Fsc covers both directions, and §7.2 merging keeps coverage.
+	_, f = buildFencedFunc(t)
+	before := fences.CountFunc(f)
+	if removed := fences.MergeFunc(f); removed == 0 || fences.CountFunc(f) != before-removed {
+		t.Fatalf("merge removed %d of %d fences", removed, before)
+	}
+	if err := validate.CheckFunc(f, validate.Opts{FencesPlaced: true, MaxPtrCasts: -1}); err != nil {
+		t.Fatalf("merged function lost coverage: %v", err)
+	}
+}
+
+func TestCheckFuncPtrCastBound(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("shared", ir.I64)
+	f := m.NewFunc("subject", ir.Signature(ir.I64))
+	bd := ir.NewBuilder(f.NewBlock("entry"))
+	pi := bd.PtrToInt(g, ir.I64)
+	bd.Ret(pi)
+	if got := validate.CountPtrCastsFunc(f); got != 1 {
+		t.Fatalf("CountPtrCastsFunc = %d, want 1", got)
+	}
+	if err := validate.CheckFunc(f, validate.Opts{MaxPtrCasts: 1}); err != nil {
+		t.Fatalf("cast at baseline rejected: %v", err)
+	}
+	err := validate.CheckFunc(f, validate.Opts{MaxPtrCasts: 0})
+	if err == nil || !strings.Contains(err.Error(), "ptrtoint") {
+		t.Fatalf("cast above baseline: err = %v, want ptr-cast violation", err)
+	}
+	if err := validate.CheckFunc(f, validate.Opts{MaxPtrCasts: -1}); err != nil {
+		t.Fatalf("MaxPtrCasts=-1 must skip the check: %v", err)
+	}
+}
+
+func removeFirstFence(f *ir.Func, kind ir.FenceKind) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpFence && in.Fence == kind {
+				b.Remove(in)
+				return
+			}
+		}
+	}
+	panic("no such fence")
+}
+
+// TestDifferentialMatches compares the x86 and Arm64 compilations of the
+// same generated programs across 32 seeded data images each — the
+// acceptance bar for the oracle's seed plumbing, on programs fast enough
+// to afford it.
+func TestDifferentialMatches(t *testing.T) {
+	progs := 3
+	if testing.Short() {
+		progs = 1
+	}
+	for p := int64(1); p <= int64(progs); p++ {
+		src := validate.GenProgram(p)
+		m, err := minic.Compile("diff", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x86, err := backend.Compile(m, "x86-64")
+		if err != nil {
+			t.Fatal(err)
+		}
+		arm, err := backend.Compile(m, "arm64")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := validate.Differential(x86, arm, validate.DiffOptions{Seeds: 32})
+		if err := res.Err(); err != nil {
+			t.Fatalf("program %d: %v", p, err)
+		}
+		if res.Compared < 32 {
+			t.Fatalf("program %d: compared %d seeds, want >= 32", p, res.Compared)
+		}
+	}
+}
+
+// TestDifferentialDetectsMismatch feeds the oracle two programs that
+// genuinely differ and checks the mismatch names its seed.
+func TestDifferentialDetectsMismatch(t *testing.T) {
+	m1, err := minic.Compile("a", "int main() { print_int(1); return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := minic.Compile("b", "int main() { print_int(2); return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x86, err := backend.Compile(m1, "x86-64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm, err := backend.Compile(m2, "arm64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := validate.Differential(x86, arm, validate.DiffOptions{Seeds: 2})
+	if res.Ok() {
+		t.Fatal("oracle missed a real output difference")
+	}
+	err = res.Err()
+	if err == nil || !strings.Contains(err.Error(), "seed 0") {
+		t.Fatalf("mismatch message %v does not name its seed", err)
+	}
+}
+
+func TestBisectFirstBad(t *testing.T) {
+	passes := []string{"p1", "p2", "p3", "p4", "p5"}
+	for bad := 0; bad <= len(passes); bad++ {
+		bad := bad
+		n, err := validate.BisectFirstBad(passes, func(prefix []string) (bool, error) {
+			return len(prefix) >= bad, nil
+		})
+		if err != nil {
+			t.Fatalf("bad=%d: %v", bad, err)
+		}
+		if n != bad {
+			t.Fatalf("bad=%d: bisected to %d", bad, n)
+		}
+	}
+	// Non-reproducing failure is an error, not a bogus attribution.
+	if _, err := validate.BisectFirstBad(passes, func([]string) (bool, error) { return false, nil }); err == nil {
+		t.Fatal("bisection of a non-reproducing failure succeeded")
+	}
+}
+
+// TestBundleReplay writes a pass-kind bundle for an injected fence-dropping
+// corruption and replays it standalone from the JSON artifact.
+func TestBundleReplay(t *testing.T) {
+	defer inject.Reset()
+	m, f := buildFencedFunc(t)
+	opts := validate.Opts{FencesPlaced: true, MaxPtrCasts: 0}
+	b := &validate.Bundle{
+		Kind:        validate.KindPass,
+		Fingerprint: "test-fingerprint",
+		Failure:     "validate: injected fence drop",
+		Func:        f.Name,
+		Pass:        "instcombine",
+		Opts:        opts,
+		Shape:       cache.EncodeModuleShape(m),
+		PreBody:     cache.EncodeBody(f),
+	}
+	dir := t.TempDir()
+	path, err := b.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := validate.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the corruption armed (the stand-in for a deterministic pass bug)
+	// the bundle must reproduce the checkpoint violation.
+	inject.Arm("corrupt-fence:instcombine", inject.Corrupt)
+	failure, err := validate.ReplayPass(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failure == nil || !strings.Contains(failure.Error(), "fence") {
+		t.Fatalf("replay failure = %v, want the fence-coverage violation", failure)
+	}
+	// With the bug "fixed" the same bundle must report no failure.
+	inject.Reset()
+	failure, err = validate.ReplayPass(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failure != nil {
+		t.Fatalf("replay of a fixed pass still fails: %v", failure)
+	}
+}
+
+// TestReduceFunc checks the delta debugger shrinks a failing function to a
+// minimal verifier-clean reproducer while the failure persists.
+func TestReduceFunc(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("shared", ir.I64)
+	f := m.NewFunc("subject", ir.Signature(ir.I64, ir.I64))
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	exit := f.NewBlock("exit")
+
+	bd := ir.NewBuilder(entry)
+	slot := bd.Alloca(ir.I64)
+	bd.Store(f.Params[0], slot)
+	a := bd.Load(slot)
+	bb := bd.Mul(a, ir.I64Const(3))
+	cond := bd.ICmp(ir.PredSLT, bb, ir.I64Const(10))
+	bd.CondBr(cond, then, els)
+
+	bd.SetBlock(then)
+	t1 := bd.Add(bb, ir.I64Const(1))
+	bd.Br(exit)
+	bd.SetBlock(els)
+	e1 := bd.Sub(bb, ir.I64Const(1))
+	bd.Br(exit)
+
+	bd.SetBlock(exit)
+	phi := bd.Phi(ir.I64)
+	ir.AddIncoming(phi, t1, then)
+	ir.AddIncoming(phi, e1, els)
+	// The "bug": an uncovered shared load.
+	v := bd.Load(g)
+	sum := bd.Add(phi, v)
+	bd.Ret(sum)
+
+	fails := func(fn *ir.Func) bool {
+		return validate.CheckFunc(fn, validate.Opts{FencesPlaced: true, MaxPtrCasts: -1}) != nil
+	}
+	before := f.NumInstrs()
+	removed := validate.ReduceFunc(f, fails)
+	if removed == 0 {
+		t.Fatal("reducer removed nothing")
+	}
+	if got := f.NumInstrs(); got >= before {
+		t.Fatalf("NumInstrs %d -> %d, want a reduction", before, got)
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("reduced function invalid: %v", err)
+	}
+	if !fails(f) {
+		t.Fatal("reduction lost the failure")
+	}
+	// The minimal reproducer is the load plus the terminator; everything
+	// else (the diamond, the stack traffic, the arithmetic) must be gone.
+	if got := f.NumInstrs(); got > 3 {
+		t.Errorf("reduced to %d instructions, want <= 3:\n%s", got, f.String())
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("reduced to %d blocks, want 1:\n%s", len(f.Blocks), f.String())
+	}
+}
