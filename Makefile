@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify fuzz bench bench-memmodel bench-translate
+.PHONY: build test verify fuzz bench bench-memmodel bench-translate bench-fences
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,12 @@ bench-translate:
 	$(GO) test -json -run '^$$' -bench 'TranslatePhoenix' \
 		-benchmem -count 3 . > BENCH_translate.json
 	@echo "wrote BENCH_translate.json"
+
+# bench-fences measures the weaker-than-DMB lowering: per-kernel fence
+# counts at each tier of the lattice (naive Fig. 8a placement, §7.2 merged,
+# escape-elided + acquire/release) with simulated cycle deltas, plus the
+# placement micro-benchmark, and records the raw `go test -json` stream.
+bench-fences:
+	$(GO) test -json -run 'TestFenceLoweringTable' -bench 'BenchmarkFencePlacement' \
+		-benchmem . > BENCH_fences.json
+	@echo "wrote BENCH_fences.json"

@@ -1,0 +1,83 @@
+// Fence-lowering measurements behind `make bench-fences`: the per-kernel
+// naive/merged/weak fence counts and simulated cycle deltas, plus a
+// placement micro-benchmark covering the single-pass block rebuild.
+package lasagne
+
+import (
+	"fmt"
+	"testing"
+
+	"lasagne/internal/eval"
+	"lasagne/internal/fences"
+	"lasagne/internal/ir"
+	"lasagne/internal/lifter"
+	"lasagne/internal/refine"
+)
+
+// TestFenceLoweringTable records the per-kernel fence counts at each tier
+// of the lowering lattice (naive Fig. 8a, §7.2 merged, weak) and the
+// simulated cycle deltas. `make bench-fences` captures this output into
+// BENCH_fences.json; EXPERIMENTS.md quotes it.
+func TestFenceLoweringTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite simulation; skipped in -short mode")
+	}
+	out, err := eval.FenceLoweringTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", out)
+}
+
+// BenchmarkFencePlacement measures fence placement itself. The synthetic
+// case is a single straight-line block with thousands of shared accesses —
+// the shape fuzzing and litmus generation produce, where the old
+// insert-per-fence placement was quadratic; the phoenix case is the real
+// histogram kernel through place+merge+strengthen.
+func BenchmarkFencePlacement(b *testing.B) {
+	b.Run("synthetic-8k", func(b *testing.B) {
+		mk := func() *ir.Module {
+			m := ir.NewModule("bench")
+			g := m.NewGlobal("g", ir.I64)
+			f := m.NewFunc("f", ir.Signature(ir.Void))
+			bd := ir.NewBuilder(f.NewBlock("entry"))
+			for i := 0; i < 4096; i++ {
+				v := bd.Load(g)
+				bd.Store(v, g)
+			}
+			bd.Ret(nil)
+			return m
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m := mk()
+			b.StartTimer()
+			if n := fences.Place(m, fences.Options{SkipStackAccesses: true}); n != 8192 {
+				b.Fatalf("placed %d fences", n)
+			}
+		}
+	})
+	b.Run("phoenix-histogram", func(b *testing.B) {
+		bin := buildHTBinary(b)
+		base, err := lifter.Lift(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refine.Run(base)
+		locals := fences.LocalGlobalSet(fences.ThreadLocalGlobals(base))
+		opts := fences.Options{SkipStackAccesses: true, UseEscape: true, LocalGlobals: locals}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m := base.Clone()
+			b.StartTimer()
+			fences.Place(m, opts)
+			fences.Merge(m, opts)
+			s := fences.Strengthen(m, opts)
+			if s.AcquireLoads == 0 {
+				b.Fatal(fmt.Sprintf("no acquire conversions: %+v", s))
+			}
+		}
+	})
+}

@@ -135,7 +135,7 @@ func BenchmarkFig14FencePlacement(b *testing.B) {
 		}
 		refine.Run(m)
 		placed := fences.Place(m, fences.Options{SkipStackAccesses: true})
-		fences.Merge(m)
+		fences.Merge(m, fences.Options{SkipStackAccesses: true})
 		if placed == 0 {
 			b.Fatal("no fences placed")
 		}
@@ -151,7 +151,7 @@ func BenchmarkFig15FenceOnlyRuntime(b *testing.B) {
 	}
 	refine.Run(m)
 	fences.Place(m, fences.Options{SkipStackAccesses: true})
-	fences.Merge(m)
+	fences.Merge(m, fences.Options{SkipStackAccesses: true})
 	o, err := backend.Compile(m, "arm64")
 	if err != nil {
 		b.Fatal(err)

@@ -47,6 +47,8 @@ func main() {
 	fig15 := flag.Bool("fig15", false, "runtime reduction from fences alone")
 	fig16 := flag.Bool("fig16", false, "code size increase")
 	fig17 := flag.Bool("fig17", false, "per-pass code reduction on kmeans")
+	fencesF := flag.Bool("fences", false,
+		"print the weak-lowering fence table (naive/merged/weak counts, acquire/release conversions, cycle deltas)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker pool size for builds, simulations and model checking (1 = serial)")
 	timeout := flag.Duration("timeout", 0,
@@ -93,7 +95,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	code := run(ctx, *all, *table1, *fig11a, *fig12, *fig13, *fig14, *fig15, *fig16, *fig17)
+	code := run(ctx, *all, *table1, *fig11a, *fig12, *fig13, *fig14, *fig15, *fig16, *fig17, *fencesF)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -133,7 +135,7 @@ func runDiff(n int, seed, maxSteps int64) int {
 		if err != nil {
 			fatal(err)
 		}
-		abin, _, rep, err := core.Translate(xbin, core.Default())
+		abin, st, rep, err := core.Translate(xbin, core.Default())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lasagne-bench: %s: %v\n%s", b.Name, err, rep)
 			code = 1
@@ -146,12 +148,21 @@ func runDiff(n int, seed, maxSteps int64) int {
 			code = 1
 			continue
 		}
-		fmt.Printf("%-18s ok    %d seeds compared, %d skipped\n", b.Name, res.Compared, res.Skipped)
+		fmt.Printf("%-18s ok    %d seeds compared, %d skipped (fences %d, acq %d, rel %d)\n",
+			b.Name, res.Compared, res.Skipped, st.FencesFinal, st.AcquireLoads, st.ReleaseStores)
 	}
 	return code
 }
 
-func run(ctx context.Context, all, table1, fig11a, fig12, fig13, fig14, fig15, fig16, fig17 bool) int {
+func run(ctx context.Context, all, table1, fig11a, fig12, fig13, fig14, fig15, fig16, fig17, fenceTable bool) int {
+	if fenceTable || all {
+		out, err := eval.FenceLoweringTable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
+			return 1
+		}
+		fmt.Println(out)
+	}
 	if table1 || all {
 		fmt.Println(eval.Table1())
 	}
@@ -167,7 +178,7 @@ func run(ctx context.Context, all, table1, fig11a, fig12, fig13, fig14, fig15, f
 
 	needSuite := all || fig12 || fig13 || fig14 || fig15 || fig16 || fig17
 	if !needSuite {
-		if !table1 && !fig11a {
+		if !table1 && !fig11a && !fenceTable {
 			flag.Usage()
 		}
 		return 0

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lasagne [-refine=false] [-merge=false] [-opt=false] [-emit-ir]
+//	lasagne [-refine=false] [-merge=false] [-weak-fences=false] [-opt=false] [-emit-ir]
 //	        [-run] [-stats] [-func-budget 1s] [-allow-partial]
 //	        [-jobs N] [-cache-dir DIR] [-validate] [-diff-seeds N]
 //	        [-seed S] [-repro-dir DIR] [-o out.obj] prog.x86.obj
@@ -27,6 +27,8 @@ import (
 func main() {
 	refineF := flag.Bool("refine", true, "run IR refinement (§5)")
 	merge := flag.Bool("merge", true, "merge fences (§7.2)")
+	weak := flag.Bool("weak-fences", true,
+		"lower fences below DMB where provably sound: escape-analysis elision of thread-private accesses, acquire/release (LDAR/STLR) strengthening of single-access fences (-weak-fences=false keeps the pure §8 DMB lowering for ablation)")
 	optimize := flag.Bool("opt", true, "re-optimize the lifted IR")
 	emitIR := flag.Bool("emit-ir", false, "print the final IR instead of compiling")
 	run := flag.Bool("run", false, "simulate the translated Arm64 binary")
@@ -69,7 +71,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.Config{Refine: *refineF, MergeFences: *merge, Optimize: *optimize,
+	cfg := core.Config{Refine: *refineF, MergeFences: *merge, WeakFences: *weak,
+		Optimize:   *optimize,
 		FuncBudget: *funcBudget, AllowPartial: *allowPartial, Jobs: *jobs,
 		Validate: *validateF, ReproDir: *reproDir}
 	if *cacheDir != "" {
@@ -177,6 +180,8 @@ func printStats(show bool, st *core.Stats) {
 	fmt.Fprintf(os.Stderr, "pointer casts:            %d -> %d\n", st.PtrCastsBefore, st.PtrCastsAfter)
 	fmt.Fprintf(os.Stderr, "fences placed/merged:     %d / %d (final %d)\n",
 		st.FencesPlaced, st.FencesMerged, st.FencesFinal)
+	fmt.Fprintf(os.Stderr, "acquire/release accesses: %d / %d\n",
+		st.AcquireLoads, st.ReleaseStores)
 	fmt.Fprintf(os.Stderr, "refinement rewrites:      %d\n", st.RefineRewrites)
 	if st.CacheHits+st.CacheMisses > 0 {
 		fmt.Fprintf(os.Stderr, "translation cache:        %d hits / %d misses\n",

@@ -246,6 +246,10 @@ const (
 	STXR // Rs (status) in Ra field
 	LDAXR
 	STLXR
+	// Acquire/release accesses (no exclusive monitor): the lowering targets
+	// for ir.Acquire loads and ir.Release stores.
+	LDAR
+	STLR
 	// Barriers.
 	DMB
 	// Branches.
@@ -284,6 +288,7 @@ var opNames = map[Op]string{
 	LDR: "ldr", STR: "str", LDRR: "ldr", STRR: "str", LDUR: "ldur", STUR: "stur",
 	LDRSB: "ldrsb", LDRSH: "ldrsh", LDRSW: "ldrsw",
 	LDXR: "ldxr", STXR: "stxr", LDAXR: "ldaxr", STLXR: "stlxr",
+	LDAR: "ldar", STLR: "stlr",
 	DMB: "dmb", B: "b", BCOND: "b", BL: "bl", BR: "br", BLR: "blr", RET: "ret",
 	CBZ: "cbz", CBNZ: "cbnz",
 	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FSQRT: "fsqrt",

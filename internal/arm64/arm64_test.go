@@ -96,9 +96,38 @@ func TestRoundTripLoadsStores(t *testing.T) {
 		{Op: LDAXR, Size: 8, Rd: X0, Rn: X1},
 		{Op: STXR, Size: 8, Rd: X0, Rn: X1, Ra: X9},
 		{Op: STLXR, Size: 4, Rd: X2, Rn: X3, Ra: X10},
+		{Op: LDAR, Size: 8, Rd: X0, Rn: X1},
+		{Op: LDAR, Size: 4, Rd: X2, Rn: X3},
+		{Op: LDAR, Size: 2, Rd: X4, Rn: X5},
+		{Op: LDAR, Size: 1, Rd: X6, Rn: X7},
+		{Op: STLR, Size: 8, Rd: X8, Rn: X9},
+		{Op: STLR, Size: 4, Rd: X10, Rn: X11},
+		{Op: STLR, Size: 2, Rd: X12, Rn: X13},
+		{Op: STLR, Size: 1, Rd: X14, Rn: X15},
 	}
 	for _, c := range cases {
 		roundTrip(t, c)
+	}
+}
+
+// TestAcquireReleasePrinting pins the mnemonic/width conventions: sub-word
+// acquire/release accesses use the B/H suffix with a W register.
+func TestAcquireReleasePrinting(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: LDAR, Size: 8, Rd: X0, Rn: X1}, "ldar x0, [x1]"},
+		{Inst{Op: LDAR, Size: 4, Rd: X0, Rn: X1}, "ldar w0, [x1]"},
+		{Inst{Op: LDAR, Size: 2, Rd: X0, Rn: X1}, "ldarh w0, [x1]"},
+		{Inst{Op: LDAR, Size: 1, Rd: X0, Rn: X1}, "ldarb w0, [x1]"},
+		{Inst{Op: STLR, Size: 8, Rd: X2, Rn: SP}, "stlr x2, [sp]"},
+		{Inst{Op: STLR, Size: 1, Rd: X2, Rn: X3}, "stlrb w2, [x3]"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("print %+v = %q, want %q", c.in, got, c.want)
+		}
 	}
 }
 

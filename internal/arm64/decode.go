@@ -219,6 +219,15 @@ func decodeWord(w uint32, addr uint64) (Inst, error) {
 		return Inst{Op: STLXR, Size: exSize(w), Rd: gp(rd, false), Rn: gp(rn, true), Ra: gp(rm, false)}, nil
 	}
 
+	// Acquire/release accesses (all four widths share the mask; size is the
+	// top two bits).
+	if w&0x3FFFFC00 == 0x08DFFC00 {
+		return Inst{Op: LDAR, Size: 1 << (w >> 30), Rd: gp(rd, false), Rn: gp(rn, true)}, nil
+	}
+	if w&0x3FFFFC00 == 0x089FFC00 {
+		return Inst{Op: STLR, Size: 1 << (w >> 30), Rd: gp(rd, false), Rn: gp(rn, true)}, nil
+	}
+
 	// Loads/stores.
 	if w&0x3B000000 == 0x39000000 {
 		// Unsigned scaled offset.

@@ -155,6 +155,19 @@ func Encode(in Inst) (uint32, error) {
 		}
 		return base | in.Ra.Enc()<<16 | rn()<<5 | rd(), nil
 
+	case LDAR, STLR:
+		// LDAR{,B,H}/STLR{,B,H}: size in bits 31:30, Rs=Rt2=ones like the
+		// exclusives but L=1/o0=1 without setting a monitor.
+		sizeBits, err := lsSizeBits(in.Size, false)
+		if err != nil {
+			return 0, err
+		}
+		base := uint32(0x08DFFC00) // LDAR
+		if in.Op == STLR {
+			base = 0x089FFC00
+		}
+		return base | sizeBits<<30 | rn()<<5 | rd(), nil
+
 	case DMB:
 		crm := map[Barrier]uint32{BarrierISH: 0xB, BarrierISHLD: 0x9, BarrierISHST: 0xA}[in.Barrier]
 		return 0xD50330BF | crm<<8, nil

@@ -73,6 +73,16 @@ func (i Inst) String() string {
 		return fmt.Sprintf("%s %s, [%s, %s]", i.Op, rt, i.Rn, i.Rm)
 	case LDXR, LDAXR:
 		return fmt.Sprintf("%s %s, [%s]", i.Op, i.Rd.Name(size), i.Rn)
+	case LDAR, STLR:
+		// Sub-word widths get the B/H mnemonic suffix and a W register.
+		mnem, rsize := i.Op.String(), size
+		switch size {
+		case 1:
+			mnem, rsize = mnem+"b", 4
+		case 2:
+			mnem, rsize = mnem+"h", 4
+		}
+		return fmt.Sprintf("%s %s, [%s]", mnem, i.Rd.Name(rsize), i.Rn)
 	case STXR, STLXR:
 		return fmt.Sprintf("%s %s, %s, [%s]", i.Op, i.Ra.Name(4), i.Rd.Name(size), i.Rn)
 	case DMB:

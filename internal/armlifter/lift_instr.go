@@ -565,6 +565,22 @@ func (fl *fnLifter) liftInst(in arm64.Inst) error {
 		fl.writeReg(in.Rd, b.Sext(v, ir.I64))
 		return nil
 
+	case arm64.LDAR:
+		// Acquire load round-trips to an acquire-ordered IR load, keeping
+		// its ordering through a re-translation instead of degrading to a
+		// plain access.
+		addr := fl.readReg(in.Rn)
+		p := b.IntToPtr(addr, ir.PointerTo(intType(in.Size)))
+		v := b.LoadAtomic(p, ir.Acquire)
+		fl.writeRegW(in.Rd, in.Size, v)
+		return nil
+
+	case arm64.STLR:
+		addr := fl.readReg(in.Rn)
+		p := b.IntToPtr(addr, ir.PointerTo(intType(in.Size)))
+		b.StoreAtomic(fl.readRegW(in.Rd, in.Size), p, ir.Release)
+		return nil
+
 	case arm64.BL:
 		return fl.liftCall(in)
 

@@ -414,14 +414,25 @@ func (g *arm64gen) genInstr(in *ir.Instr) {
 	case ir.OpLoad:
 		g.loadVal(in.Args[0], sA)
 		w := width(in.Ty)
-		g.emit(arm64.Inst{Op: arm64.LDR, Size: w, Rd: sB, Rn: sA, Imm: 0})
+		if in.Order == ir.Acquire {
+			// Weak lowering: an acquire load is its own ordering — LDAR
+			// instead of LDR;DMB ISHLD. The integer scratch register carries
+			// raw bits, so FP-typed loads work unchanged.
+			g.emit(arm64.Inst{Op: arm64.LDAR, Size: w, Rd: sB, Rn: sA})
+		} else {
+			g.emit(arm64.Inst{Op: arm64.LDR, Size: w, Rd: sB, Rn: sA, Imm: 0})
+		}
 		g.storeVal(in, sB)
 
 	case ir.OpStore:
 		g.loadVal(in.Args[0], sB)
 		g.loadVal(in.Args[1], sA)
 		w := width(in.Args[0].Type())
-		g.emit(arm64.Inst{Op: arm64.STR, Size: w, Rd: sB, Rn: sA, Imm: 0})
+		if in.Order == ir.Release {
+			g.emit(arm64.Inst{Op: arm64.STLR, Size: w, Rd: sB, Rn: sA})
+		} else {
+			g.emit(arm64.Inst{Op: arm64.STR, Size: w, Rd: sB, Rn: sA, Imm: 0})
+		}
 
 	case ir.OpFence:
 		// Fig. 8b mapping: Frm→DMB ISHLD, Fww→DMB ISHST, Fsc→DMB ISH.

@@ -63,7 +63,7 @@ import (
 // for cache keying: any change to fence placement, fence merging or the
 // standard optimization pipeline must be reflected here (bump the prefix or
 // let the pass list change do it), or stale cache entries would replay.
-var PipelineVersion = "core-v2;opt=" + strings.Join(opt.StandardPipeline, ",")
+var PipelineVersion = "core-v3;opt=" + strings.Join(opt.StandardPipeline, ",")
 
 // Config selects pipeline stages. The zero value is the bare correct
 // translation (the paper's "Lifted" variant); Default() enables everything
@@ -120,19 +120,27 @@ type Config struct {
 	// differential failures dump self-contained repro bundles
 	// (validate.Bundle JSON) that replay standalone.
 	ReproDir string
+	// WeakFences enables the weaker-than-DMB lowering in the strong→weak
+	// direction: escape-analysis-based fence elimination (beyond §8's
+	// alloca-only test) and the post-merge strengthening of load;Frm /
+	// Fww;store pairs into acquire/release accesses, which the Arm backend
+	// emits as LDAR/STLR instead of standalone DMBs. Every rule is
+	// machine-checked against the LIMM→Arm mapping (memmodel.MapIRToArmWeak)
+	// and covered by the fence-coverage checkpoints.
+	WeakFences bool
 }
 
 // Default returns the full Lasagne configuration.
 func Default() Config {
-	return Config{Refine: true, MergeFences: true, Optimize: true}
+	return Config{Refine: true, MergeFences: true, Optimize: true, WeakFences: true}
 }
 
 // fingerprint summarizes the Config fields that influence the memoized
 // pipeline suffix. Refine is deliberately absent: its effect is fully
 // captured by the input-body hash (the key is computed after refinement).
 func (c Config) fingerprint(place bool) string {
-	fp := fmt.Sprintf("merge=%t;opt=%t;verify=%t;place=%t",
-		c.MergeFences, c.Optimize, c.VerifyIR, place)
+	fp := fmt.Sprintf("merge=%t;opt=%t;verify=%t;place=%t;weak=%t",
+		c.MergeFences, c.Optimize, c.VerifyIR, place, c.WeakFences && place)
 	// Validate and ReproDir are deliberately absent: validation is
 	// observation-only, so a validated and a non-validated run share cache
 	// entries (hits are re-checked under Validate instead). A custom pass
@@ -143,6 +151,22 @@ func (c Config) fingerprint(place bool) string {
 	}
 	return fp
 }
+
+// fingerprint extends Config.fingerprint with the weak-fences state. The
+// thread-local-globals list is module context a function's body hash cannot
+// see (the same body strengthens differently depending on which globals the
+// prepass proved local), so it must key the cache.
+func (p *pipeline) fingerprint() string {
+	fp := p.cfg.fingerprint(p.place)
+	if p.weakFences() {
+		fp += ";locals=" + strings.Join(p.localGlobals, ",")
+	}
+	return fp
+}
+
+// weakFences reports whether the weak lowering applies: it only exists in
+// the strong→weak (x86→Arm) direction, where fences are being placed.
+func (p *pipeline) weakFences() bool { return p.cfg.WeakFences && p.place }
 
 // passes returns the opt pass list this Config runs: OptPasses when set
 // (including an empty non-nil list, which runs no passes), else the
@@ -163,6 +187,8 @@ type Stats struct {
 	FencesPlaced   int // fences inserted by placement
 	FencesMerged   int // fences removed by merging
 	FencesFinal    int // fences left in the final IR
+	AcquireLoads   int // loads strengthened to acquire (lowered as LDAR)
+	ReleaseStores  int // stores strengthened to release (lowered as STLR)
 	RefineRewrites int
 	PromotedParams int
 	CacheHits      int // functions whose pipeline suffix replayed from cache
@@ -377,6 +403,13 @@ type pipeline struct {
 	// before the function-parallel suffix, embedded in pass-kind repro
 	// bundles. Only populated under Config.Validate with a ReproDir.
 	shape []byte
+	// localGlobals is the sorted result of the serial
+	// fences.ThreadLocalGlobals prepass (localSet is its map form), computed
+	// on the refined module before the function-parallel suffix so every
+	// worker — and every checkpoint — classifies globals identically. Only
+	// populated when weakFences().
+	localGlobals []string
+	localSet     map[string]bool
 }
 
 func (p *pipeline) snapshot() {
@@ -449,8 +482,17 @@ func (p *pipeline) run() error {
 	if err := p.checkCtx("fences"); err != nil {
 		return err
 	}
+	if p.weakFences() {
+		// Serial module-level prepass: which globals can only the main
+		// thread reach? Runs before the fan-out so the classification — and
+		// with it the cache fingerprint — is identical for every worker
+		// count.
+		p.localGlobals = fences.ThreadLocalGlobals(p.m)
+		p.localSet = fences.LocalGlobalSet(p.localGlobals)
+	}
 	p.fenceOptStage()
 	p.stats.FencesFinal = fences.Count(p.m)
+	p.stats.AcquireLoads, p.stats.ReleaseStores = fences.CountOrdered(p.m)
 	if p.cfg.VerifyIR || p.cfg.Validate {
 		gerr := diag.Guard(diag.StageVerify, "", func() error { return ir.Verify(p.m) })
 		if gerr != nil {
@@ -468,6 +510,10 @@ func (p *pipeline) checkOpts(fn string) validate.Opts {
 	if base, ok := p.castBase[fn]; ok {
 		o.MaxPtrCasts = base
 	}
+	if p.weakFences() {
+		o.UseEscape = true
+		o.LocalGlobals = p.localGlobals
+	}
 	return o
 }
 
@@ -481,7 +527,7 @@ func (p *pipeline) passBundle(fn, pass, failure string, preBody []byte) *validat
 	opts := p.checkOpts(fn)
 	b := &validate.Bundle{
 		Kind:        validate.KindPass,
-		Fingerprint: PipelineVersion + ";" + p.cfg.fingerprint(p.place),
+		Fingerprint: PipelineVersion + ";" + p.fingerprint(),
 		Failure:     failure,
 		Func:        fn,
 		Pass:        pass,
@@ -657,7 +703,12 @@ func (p *pipeline) fenceOptStage() {
 		}
 		fs = append(fs, f)
 	}
-	fp := p.cfg.fingerprint(p.place)
+	fp := p.fingerprint()
+	popts := fences.Options{SkipStackAccesses: true}
+	if p.weakFences() {
+		popts.UseEscape = true
+		popts.LocalGlobals = p.localSet
+	}
 	outs := par.Collect(len(fs), p.workers, func(i int) fenceOut {
 		f := fs[i]
 		if p.excluded[f.Name] {
@@ -700,10 +751,16 @@ func (p *pipeline) fenceOptStage() {
 				return err
 			}
 			if p.place {
-				o.placed = fences.PlaceFunc(f, fences.Options{SkipStackAccesses: true})
+				o.placed = fences.PlaceFunc(f, popts)
 			}
 			if p.cfg.MergeFences {
-				o.merged = fences.MergeFunc(f)
+				o.merged = fences.MergeFunc(f, popts)
+			}
+			if p.weakFences() {
+				// After merging, so §7.2's Frm·Fww→Fsc wins where it
+				// applies and only single-access fences weaken to
+				// acquire/release accesses.
+				fences.StrengthenFunc(f, popts)
 			}
 			if p.cfg.VerifyIR {
 				if err := ir.VerifyFunc(f); err != nil {

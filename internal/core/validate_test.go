@@ -11,6 +11,7 @@ import (
 	"lasagne/internal/core/cache"
 	"lasagne/internal/diag"
 	"lasagne/internal/diag/inject"
+	"lasagne/internal/fences"
 	"lasagne/internal/minic"
 	"lasagne/internal/obj"
 	"lasagne/internal/opt"
@@ -100,6 +101,43 @@ func TestValidatePhoenixCleanAndIdentical(t *testing.T) {
 // function, must leave it verifier-clean, fence-covered and within its
 // pointer-cast baseline — the invariants the per-pass checkpoints enforce
 // during a validated translation.
+// TestPhoenixDifferentialWeakFences is the acceptance bar for the weak
+// lowering: every Phoenix kernel, translated with acquire/release
+// strengthening and escape-based fence elimination on, must agree with the
+// source x86 binary on 32 seeded data images — and the lowering must have
+// actually fired (otherwise the test would vacuously pass a disabled pass).
+func TestPhoenixDifferentialWeakFences(t *testing.T) {
+	seeds := 32
+	if testing.Short() {
+		seeds = 4
+	}
+	for _, bench := range phoenix.All() {
+		b := bench
+		t.Run(b.Name, func(t *testing.T) {
+			bin := buildPhoenixX86(t, b.Name, b.Source)
+			cfg := Default()
+			cfg.Validate = true
+			out, stats, rep, err := Translate(bin, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Len() != 0 {
+				t.Fatalf("weak translation produced diagnostics:\n%s", rep)
+			}
+			if stats.AcquireLoads+stats.ReleaseStores == 0 {
+				t.Fatalf("weak lowering did not strengthen any access (stats %+v)", stats)
+			}
+			res := validate.Differential(bin, out, validate.DiffOptions{Seeds: seeds})
+			if derr := res.Err(); derr != nil {
+				t.Fatal(derr)
+			}
+			if res.Compared < seeds {
+				t.Fatalf("compared %d seeds, want >= %d (skipped %d)", res.Compared, seeds, res.Skipped)
+			}
+		})
+	}
+}
+
 func TestEveryPassPreservesInvariants(t *testing.T) {
 	names := make([]string, 0, len(opt.Registry))
 	for n := range opt.Registry {
@@ -117,11 +155,16 @@ func TestEveryPassPreservesInvariants(t *testing.T) {
 		if rep.Len() != 0 {
 			t.Fatalf("%s: fenced translation not clean:\n%s", b.Name, rep)
 		}
+		// Default() lowers with the weak classifier, so the checkpoints must
+		// classify with it too — recomputing the thread-local-globals set the
+		// pipeline's prepass produced.
+		locals := fences.ThreadLocalGlobals(m)
 		for _, f := range m.Funcs {
 			if f.External || len(f.Blocks) == 0 {
 				continue
 			}
-			opts := validate.Opts{FencesPlaced: true, MaxPtrCasts: validate.CountPtrCastsFunc(f)}
+			opts := validate.Opts{FencesPlaced: true, MaxPtrCasts: validate.CountPtrCastsFunc(f),
+				UseEscape: true, LocalGlobals: locals}
 			if err := validate.CheckFunc(f, opts); err != nil {
 				t.Fatalf("%s @%s not checkpoint-clean before opt: %v", b.Name, f.Name, err)
 			}

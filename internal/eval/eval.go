@@ -251,8 +251,8 @@ func FenceOnlyCycles(r *Result) (naive, merged, refined int64, err error) {
 	}
 	recipes := []func(m *ir.Module){
 		func(m *ir.Module) { fences.Place(m, placement) },
-		func(m *ir.Module) { fences.Place(m, placement); fences.Merge(m) },
-		func(m *ir.Module) { refine.Run(m); fences.Place(m, placement); fences.Merge(m) },
+		func(m *ir.Module) { fences.Place(m, placement); fences.Merge(m, placement) },
+		func(m *ir.Module) { refine.Run(m); fences.Place(m, placement); fences.Merge(m, placement) },
 	}
 	var cycles [3]int64
 	if err := par.FirstErr(len(recipes), Parallelism, func(i int) error {
@@ -280,7 +280,7 @@ func PassIsolation(r *Result, passes []string) (map[string]float64, error) {
 	}
 	refine.Run(pre)
 	fences.Place(pre, placement)
-	fences.Merge(pre)
+	fences.Merge(pre, placement)
 	before := pre.NumInstrs()
 
 	red := make([]float64, len(passes))

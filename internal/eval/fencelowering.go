@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"lasagne/internal/backend"
+	"lasagne/internal/fences"
+	"lasagne/internal/ir"
+	"lasagne/internal/lifter"
+	"lasagne/internal/par"
+	"lasagne/internal/phoenix"
+	"lasagne/internal/refine"
+)
+
+// FenceLoweringResult is one row of the weak-lowering table: static fence
+// counts and simulated cycles at the three lowering tiers of the DMB
+// lattice (naive Fig. 8a placement, §7.2 merged, and the escape-analysis +
+// acquire/release lowering).
+type FenceLoweringResult struct {
+	Kernel string
+
+	NaiveFences  int // Fig. 8a placement, stack filter only
+	MergedFences int // + §7.2 merging (the §8 baseline)
+	WeakFences   int // + escape elision, acquire/release strengthening
+
+	AcquireLoads  int // LDAR-bound accesses in the weak tier
+	ReleaseStores int // STLR-bound accesses in the weak tier
+
+	NaiveCycles  int64
+	MergedCycles int64
+	WeakCycles   int64
+}
+
+// FenceLowering measures one Phoenix kernel at the three lowering tiers.
+// Each tier is prepared from a clone of the same refined lifted module and
+// simulated to completion on the Arm64 simulator.
+func FenceLowering(b phoenix.Benchmark) (*FenceLoweringResult, error) {
+	src, err := compileSource(b)
+	if err != nil {
+		return nil, err
+	}
+	xbin, err := backend.Compile(src, "x86-64")
+	if err != nil {
+		return nil, err
+	}
+	base, err := lifter.Lift(xbin)
+	if err != nil {
+		return nil, err
+	}
+	refine.Run(base)
+
+	res := &FenceLoweringResult{Kernel: b.Name}
+	type tier struct {
+		prep   func(m *ir.Module)
+		fences *int
+		cycles *int64
+	}
+	weakPrep := func(m *ir.Module) {
+		opts := fences.Options{
+			SkipStackAccesses: true,
+			UseEscape:         true,
+			LocalGlobals:      fences.LocalGlobalSet(fences.ThreadLocalGlobals(m)),
+		}
+		fences.Place(m, opts)
+		fences.Merge(m, opts)
+		fences.Strengthen(m, opts)
+	}
+	tiers := []tier{
+		{func(m *ir.Module) { fences.Place(m, placement) }, &res.NaiveFences, &res.NaiveCycles},
+		{func(m *ir.Module) { fences.Place(m, placement); fences.Merge(m, placement) },
+			&res.MergedFences, &res.MergedCycles},
+		{weakPrep, &res.WeakFences, &res.WeakCycles},
+	}
+	mods := [3]*ir.Module{base, base.Clone(), base.Clone()} // cloned before the fan-out
+	if err := par.FirstErr(len(tiers), Parallelism, func(i int) error {
+		m := mods[i]
+		tiers[i].prep(m)
+		*tiers[i].fences = fences.Count(m)
+		if i == 2 {
+			res.AcquireLoads, res.ReleaseStores = fences.CountOrdered(m)
+		}
+		o, err := backend.Compile(m, "arm64")
+		if err != nil {
+			return err
+		}
+		mach, err := newMachine(o)
+		if err != nil {
+			return err
+		}
+		c, err := mach.Run()
+		if err != nil {
+			return err
+		}
+		*tiers[i].cycles = c
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// FenceLoweringTable runs FenceLowering over the whole Phoenix suite and
+// formats the per-kernel table plus suite totals: the data behind `make
+// bench-fences` and the EXPERIMENTS.md fence table.
+func FenceLoweringTable() (string, error) {
+	benches := phoenix.All()
+	rows := make([]*FenceLoweringResult, len(benches))
+	if err := par.FirstErr(len(benches), Parallelism, func(i int) error {
+		r, err := FenceLowering(benches[i])
+		rows[i] = r
+		return err
+	}); err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Fence lowering (DMB lattice): naive Fig. 8a -> §7.2 merged -> weak (escape + acq/rel)\n")
+	fmt.Fprintf(&sb, "%-18s %7s %7s %7s %5s %5s  %12s %12s %12s %7s\n",
+		"kernel", "naive", "merged", "weak", "acq", "rel",
+		"cyc(naive)", "cyc(merged)", "cyc(weak)", "dCyc%")
+	var tn, tm, tw, ta, tr int
+	var cn, cm, cw int64
+	for _, r := range rows {
+		d := 0.0
+		if r.MergedCycles > 0 {
+			d = 100 * float64(r.MergedCycles-r.WeakCycles) / float64(r.MergedCycles)
+		}
+		fmt.Fprintf(&sb, "%-18s %7d %7d %7d %5d %5d  %12d %12d %12d %6.2f%%\n",
+			r.Kernel, r.NaiveFences, r.MergedFences, r.WeakFences,
+			r.AcquireLoads, r.ReleaseStores,
+			r.NaiveCycles, r.MergedCycles, r.WeakCycles, d)
+		tn += r.NaiveFences
+		tm += r.MergedFences
+		tw += r.WeakFences
+		ta += r.AcquireLoads
+		tr += r.ReleaseStores
+		cn += r.NaiveCycles
+		cm += r.MergedCycles
+		cw += r.WeakCycles
+	}
+	dTot := 0.0
+	if cm > 0 {
+		dTot = 100 * float64(cm-cw) / float64(cm)
+	}
+	fmt.Fprintf(&sb, "%-18s %7d %7d %7d %5d %5d  %12d %12d %12d %6.2f%%\n",
+		"total", tn, tm, tw, ta, tr, cn, cm, cw, dTot)
+	if tm > 0 {
+		fmt.Fprintf(&sb, "static fences vs §8 baseline: %d -> %d (%.1f%% fewer)\n",
+			tm, tw, 100*float64(tm-tw)/float64(tm))
+	}
+	return sb.String(), nil
+}

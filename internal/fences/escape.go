@@ -1,0 +1,425 @@
+package fences
+
+import (
+	"sort"
+
+	"lasagne/internal/ir"
+)
+
+// This file extends §8's alloca-only stack test with a real flow-insensitive
+// escape analysis. Fence placement may skip an access only when the accessed
+// location is provably private to the executing thread; §8 proved that for
+// direct alloca chains only. Here we prove it for two larger classes:
+//
+//   - allocas whose address never escapes the function (tracked through
+//     bitcast, getelementptr, inttoptr/ptrtoint round-trips, pointer
+//     arithmetic, phi and select), and
+//   - module globals that are referenced only by code the spawned threads
+//     can never execute and whose address never escapes into memory another
+//     thread could read.
+//
+// Anything the analysis cannot account for — a derived pointer passed to a
+// call, returned, stored into escaping or unknown memory, or consumed by an
+// instruction outside the tracked set — marks the root as escaping, and
+// every access whose provenance is not fully tracked classifies as shared.
+// The result is therefore conservative by construction: fences are only ever
+// dropped on accesses no other thread can observe.
+
+// Escape holds the per-function escape analysis results. The zero value is
+// unusable; build one with AnalyzeFunc.
+type Escape struct {
+	// derived maps each SSA value to the provenance of the pointer it may
+	// carry: the set of roots (allocas and globals) it can point into, plus
+	// a taint bit set when it may also carry a pointer the analysis does not
+	// track (a parameter, a loaded value, an absolute address).
+	derived map[ir.Value]provenance
+	// escaped marks roots whose address may become visible outside the
+	// tracked dataflow (and so, potentially, to another thread).
+	escaped map[ir.Value]bool
+	// localGlobals names the globals the module prepass proved thread-local
+	// (ThreadLocalGlobals); globals outside the set classify as shared even
+	// when they do not escape this particular function.
+	localGlobals map[string]bool
+}
+
+// provenance is the points-to abstraction for one SSA value.
+type provenance struct {
+	roots map[ir.Value]bool // alloca *ir.Instr or *ir.Global
+	taint bool              // may also hold an untracked pointer
+}
+
+func (p provenance) empty() bool { return len(p.roots) == 0 && !p.taint }
+
+// AnalyzeFunc runs the flow-insensitive escape analysis on one function.
+// localGlobals may be nil (then only allocas can classify as local). The
+// analysis is deterministic: it iterates instructions in program order and
+// resolves the store-edge fixpoint with a monotone worklist, so the result
+// depends only on the function body and the localGlobals set — a property
+// the parallel pipeline's byte-identical-output guarantee relies on.
+func AnalyzeFunc(f *ir.Func, localGlobals map[string]bool) *Escape {
+	e := &Escape{
+		derived:      make(map[ir.Value]provenance),
+		escaped:      make(map[ir.Value]bool),
+		localGlobals: localGlobals,
+	}
+	if f.External {
+		return e
+	}
+
+	// Propagate provenance to a fixpoint. Phi back-edges mean a single
+	// program-order pass can miss flows, so repeat until stable; each pass
+	// only grows root sets, so termination is bounded by #values × #roots.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if e.transfer(in) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Collect escape edges: direct escapes fire immediately; a store of a
+	// derived pointer into tracked memory escapes the stored root only if
+	// the destination root escapes, recorded as a conditional edge.
+	edges := make(map[ir.Value][]ir.Value) // dst root -> roots escaping with it
+	var worklist []ir.Value
+	escape := func(r ir.Value) {
+		if !e.escaped[r] {
+			e.escaped[r] = true
+			worklist = append(worklist, r)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			e.collectEscapes(in, escape, edges)
+		}
+	}
+	for len(worklist) > 0 {
+		r := worklist[0]
+		worklist = worklist[1:]
+		for _, dep := range edges[r] {
+			escape(dep)
+		}
+	}
+	return e
+}
+
+// provenanceOf resolves a value's provenance: globals are their own root,
+// instructions carry whatever the transfer function derived, and everything
+// else (parameters, constants used as addresses, declared functions) is
+// untracked.
+func (e *Escape) provenanceOf(v ir.Value) provenance {
+	switch v := v.(type) {
+	case *ir.Global:
+		return provenance{roots: map[ir.Value]bool{v: true}}
+	case *ir.Instr:
+		return e.derived[v]
+	}
+	return provenance{}
+}
+
+// transfer grows the provenance of in's result from its operands and
+// reports whether anything changed.
+func (e *Escape) transfer(in *ir.Instr) bool {
+	var sources []ir.Value
+	alternatives := false // sources are alternative pointers, not base+offset
+	switch in.Op {
+	case ir.OpAlloca:
+		p := e.derived[in]
+		if p.roots[in] {
+			return false
+		}
+		if p.roots == nil {
+			p.roots = make(map[ir.Value]bool)
+		}
+		p.roots[in] = true
+		e.derived[in] = p
+		return true
+	case ir.OpBitcast, ir.OpIntToPtr, ir.OpPtrToInt:
+		sources = in.Args[:1]
+	case ir.OpGEP:
+		sources = in.Args[:1] // indices offset within the same root
+	case ir.OpAdd, ir.OpSub:
+		// Pointer arithmetic after refinement: ptrtoint %p + offset. Both
+		// operands may carry provenance; untracked operands act as offsets.
+		sources = in.Args
+	case ir.OpPhi:
+		sources = in.Args
+		alternatives = true
+	case ir.OpSelect:
+		sources = in.Args[1:]
+		alternatives = true
+	default:
+		return false
+	}
+
+	cur := e.derived[in]
+	changed := false
+	for _, a := range sources {
+		p := e.provenanceOf(a)
+		taint := p.taint
+		// A phi/select arm carrying no tracked root may be a completely
+		// different pointer (constant address, parameter, loaded value):
+		// the merged value can no longer be attributed to its roots alone.
+		if alternatives && len(p.roots) == 0 {
+			taint = true
+		}
+		if taint && !cur.taint {
+			cur.taint = true
+			changed = true
+		}
+		for r := range p.roots {
+			if cur.roots == nil {
+				cur.roots = make(map[ir.Value]bool)
+			}
+			if !cur.roots[r] {
+				cur.roots[r] = true
+				changed = true
+			}
+		}
+	}
+	if changed {
+		e.derived[in] = cur
+	}
+	return changed
+}
+
+// collectEscapes inspects one instruction's uses of derived values and
+// either escapes the used roots immediately or records conditional
+// store-edges.
+func (e *Escape) collectEscapes(in *ir.Instr, escape func(ir.Value), edges map[ir.Value][]ir.Value) {
+	escapeAll := func(v ir.Value) {
+		for _, r := range sortedRoots(e.provenanceOf(v).roots) {
+			escape(r)
+		}
+	}
+	switch in.Op {
+	case ir.OpCall:
+		// Any derived pointer handed to a callee (including an indirect
+		// callee value) is out of this analysis's sight.
+		for _, a := range in.Args {
+			escapeAll(a)
+		}
+	case ir.OpRet:
+		for _, a := range in.Args {
+			escapeAll(a)
+		}
+	case ir.OpStore:
+		// store val, ptr: the address operand is a plain access (handled by
+		// classification, not escape), but a derived *value* being stored
+		// becomes reachable through the destination memory.
+		val, ptr := in.Args[0], in.Args[1]
+		vp := e.provenanceOf(val)
+		if len(vp.roots) == 0 {
+			return
+		}
+		pp := e.provenanceOf(ptr)
+		if pp.taint || len(pp.roots) == 0 {
+			// Destination unknown: the stored pointer is loose.
+			escapeAll(val)
+			return
+		}
+		// Destination is tracked memory: the stored roots escape exactly
+		// when some destination root does. (A pointer sitting in a
+		// non-escaping alloca — a spilled register slot — is still private.)
+		for _, dst := range sortedRoots(pp.roots) {
+			for _, src := range sortedRoots(vp.roots) {
+				if e.escaped[dst] {
+					escape(src)
+				} else {
+					edges[dst] = append(edges[dst], src)
+				}
+			}
+		}
+	case ir.OpLoad:
+		// Address use only; the loaded result is untracked data.
+	case ir.OpRMW, ir.OpCmpXchg:
+		// Address operand is an access; a derived pointer used as the
+		// stored/compared *operand* escapes like a stored value with an
+		// unknown destination (atomics target shared memory by definition).
+		for _, a := range in.Args[1:] {
+			escapeAll(a)
+		}
+	case ir.OpBitcast, ir.OpIntToPtr, ir.OpPtrToInt, ir.OpGEP,
+		ir.OpAdd, ir.OpSub, ir.OpPhi, ir.OpSelect:
+		// Tracked propagation, handled by transfer. GEP indices beyond the
+		// base are integer offsets; a derived value used as one leaves the
+		// tracked algebra.
+		if in.Op == ir.OpGEP {
+			for _, a := range in.Args[1:] {
+				escapeAll(a)
+			}
+		}
+	case ir.OpICmp:
+		// Comparing addresses reveals at most equality, never the pointee.
+	case ir.OpBr, ir.OpCondBr:
+		// Branch conditions are i1 comparison results; no address flows out.
+	default:
+		// Any other consumer of a derived value (trunc, mul, xor, ...) can
+		// smuggle the address somewhere we cannot follow.
+		for _, a := range in.Args {
+			escapeAll(a)
+		}
+	}
+}
+
+// Local reports whether ptr provably addresses thread-private memory: its
+// provenance is fully tracked (non-empty, untainted) and every root is
+// either a non-escaping alloca or a non-escaping thread-local global.
+func (e *Escape) Local(ptr ir.Value) bool {
+	p := e.provenanceOf(ptr)
+	if p.taint || len(p.roots) == 0 {
+		return false
+	}
+	for r := range p.roots {
+		if e.escaped[r] {
+			return false
+		}
+		if g, ok := r.(*ir.Global); ok && !e.localGlobals[g.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// Escaped reports whether the given root (an alloca instruction or a
+// global) may be reachable outside the tracked dataflow of the analyzed
+// function. Exported for the module prepass and for tests.
+func (e *Escape) Escaped(root ir.Value) bool { return e.escaped[root] }
+
+func sortedRoots(set map[ir.Value]bool) []ir.Value {
+	if len(set) == 0 {
+		return nil
+	}
+	roots := make([]ir.Value, 0, len(set))
+	for r := range set {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return rootKey(roots[i]) < rootKey(roots[j]) })
+	return roots
+}
+
+// rootKey orders roots deterministically: globals by name, allocas by SSA id.
+func rootKey(r ir.Value) string {
+	switch r := r.(type) {
+	case *ir.Global:
+		return "g:" + r.Name
+	case *ir.Instr:
+		return "a:" + r.Ref()
+	}
+	return "?"
+}
+
+// ThreadLocalGlobals computes the set of module globals that are provably
+// accessed by a single thread, returned as sorted names. A global qualifies
+// when (a) no function the spawned threads can execute references it, and
+// (b) its address never escapes the tracked dataflow of any function that
+// does reference it — otherwise a worker could reach it through memory.
+// Spawn targets appear in lifted IR as function addresses used as call
+// operands, so "code a spawned thread can execute" is the call-graph closure
+// of every address-taken function.
+func ThreadLocalGlobals(m *ir.Module) []string {
+	spawned := spawnReachable(m)
+
+	shared := make(map[string]bool)  // referenced from spawn-reachable code
+	escaped := make(map[string]bool) // address escapes somewhere
+	referenced := make(map[string]bool)
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		var esc *Escape
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					g, ok := a.(*ir.Global)
+					if !ok {
+						continue
+					}
+					referenced[g.Name] = true
+					if spawned[f] {
+						shared[g.Name] = true
+						continue
+					}
+					if esc == nil {
+						esc = AnalyzeFunc(f, nil)
+					}
+					if esc.Escaped(g) {
+						escaped[g.Name] = true
+					}
+				}
+			}
+		}
+	}
+
+	var local []string
+	for name := range referenced {
+		if !shared[name] && !escaped[name] {
+			local = append(local, name)
+		}
+	}
+	sort.Strings(local)
+	return local
+}
+
+// spawnReachable returns the set of functions a spawned thread can execute:
+// every function whose address is taken (used as a non-callee operand — the
+// shape `spawn(worker, arg)` lifts to), closed over direct calls.
+func spawnReachable(m *ir.Module) map[*ir.Func]bool {
+	reach := make(map[*ir.Func]bool)
+	var queue []*ir.Func
+	add := func(f *ir.Func) {
+		if f != nil && !reach[f] {
+			reach[f] = true
+			queue = append(queue, f)
+		}
+	}
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for k, a := range in.Args {
+					if in.Op == ir.OpCall && k == 0 {
+						continue // direct callee, not an address-taken use
+					}
+					if fn, ok := a.(*ir.Func); ok {
+						add(fn)
+					}
+				}
+			}
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall || len(in.Args) == 0 {
+					continue
+				}
+				if callee, ok := in.Args[0].(*ir.Func); ok {
+					add(callee)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// LocalGlobalSet converts ThreadLocalGlobals' sorted name list into the map
+// form Options carries. Exported so core and validate build identical
+// classifiers from the serialized list.
+func LocalGlobalSet(names []string) map[string]bool {
+	if len(names) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
+}

@@ -1,0 +1,190 @@
+package fences
+
+import (
+	"testing"
+
+	"lasagne/internal/ir"
+)
+
+func TestEscapeTrackedChains(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	slot := b.Alloca(ir.I64)
+	// ptrtoint / add / inttoptr round-trip — the shape the refinement pass
+	// leaves behind for spilled register slots.
+	addr := b.PtrToInt(slot, ir.I64)
+	off := b.Add(addr, ir.I64Const(0))
+	back := b.IntToPtr(off, ir.PointerTo(ir.I64))
+	b.Store(ir.I64Const(1), back)
+	// bitcast + GEP stays within the root.
+	arr := b.Alloca(ir.ArrayOf(ir.I8, 16))
+	p8 := b.Bitcast(arr, ir.PointerTo(ir.I8))
+	gep := b.GEP(ir.I8, p8, ir.I64Const(8))
+	b.Store(ir.IntConst(ir.I8, 0), gep)
+	b.Ret(nil)
+
+	e := AnalyzeFunc(f, nil)
+	for _, ptr := range []ir.Value{slot, back, gep} {
+		if !e.Local(ptr) {
+			t.Errorf("%s should classify as thread-local", ptr)
+		}
+	}
+	if e.Escaped(slot) || e.Escaped(arr) {
+		t.Error("no root escapes in this function")
+	}
+}
+
+func TestEscapeCallRetAndRMW(t *testing.T) {
+	m := ir.NewModule("t")
+	ext := m.DeclareFunc("ext", ir.Signature(ir.Void, ir.PointerTo(ir.I64)))
+	f := m.NewFunc("f", ir.Signature(ir.PointerTo(ir.I64)))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	byCall := b.Alloca(ir.I64)
+	b.Call(ext, byCall)
+	byRet := b.Alloca(ir.I64)
+	byRMW := b.Alloca(ir.I64)
+	g := m.NewGlobal("box", ir.I64)
+	addr := b.PtrToInt(byRMW, ir.I64)
+	b.RMW(ir.RMWXchg, g, addr) // address smuggled through an atomic operand
+	b.Ret(byRet)
+
+	e := AnalyzeFunc(f, nil)
+	for name, root := range map[string]*ir.Instr{
+		"call arg": byCall, "returned": byRet, "rmw operand": byRMW,
+	} {
+		if !e.Escaped(root) {
+			t.Errorf("%s alloca must escape", name)
+		}
+		if e.Local(root) {
+			t.Errorf("%s alloca must not classify local", name)
+		}
+	}
+}
+
+// A pointer stored into a non-escaping slot stays private (the spilled
+// register-slot shape); the same store into an escaping slot leaks it, even
+// when the destination escapes only later in program order.
+func TestEscapeConditionalStoreEdge(t *testing.T) {
+	m := ir.NewModule("t")
+	ext := m.DeclareFunc("ext", ir.Signature(ir.Void, ir.PointerTo(ir.I64)))
+
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	inner := b.Alloca(ir.I64)
+	slot := b.Alloca(ir.I64)
+	addr := b.PtrToInt(inner, ir.I64)
+	b.Store(addr, slot) // inner's address parked in a private slot
+	b.Ret(nil)
+	e := AnalyzeFunc(f, nil)
+	if e.Escaped(inner) || !e.Local(inner) {
+		t.Error("pointer parked in a private slot must stay local")
+	}
+
+	g := m.NewFunc("g", ir.Signature(ir.Void))
+	b = ir.NewBuilder(g.NewBlock("entry"))
+	inner2 := b.Alloca(ir.I64)
+	leaky := b.Alloca(ir.I64)
+	addr2 := b.PtrToInt(inner2, ir.I64)
+	b.Store(addr2, leaky)
+	b.Call(ext, leaky) // destination escapes after the store
+	b.Ret(nil)
+	e = AnalyzeFunc(g, nil)
+	if !e.Escaped(inner2) {
+		t.Error("pointer stored into an escaping slot must escape transitively")
+	}
+}
+
+// Phi/select arms without tracked provenance taint the merged value: it can
+// no longer be proven private even though one arm is a fresh alloca.
+func TestEscapePhiTaint(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void, ir.PointerTo(ir.I64)))
+	param := f.Params[0]
+	entry := f.NewBlock("entry")
+	join := f.NewBlock("join")
+	b := ir.NewBuilder(entry)
+	slot := b.Alloca(ir.I64)
+	b.Br(join)
+	b.SetBlock(join)
+	sel := b.Select(ir.I1Const(true), slot, param)
+	b.Store(ir.I64Const(1), sel)
+	b.Ret(nil)
+
+	e := AnalyzeFunc(f, nil)
+	if e.Local(sel) {
+		t.Error("select over {alloca, parameter} must not classify local")
+	}
+	if !e.Local(slot) {
+		t.Error("the alloca itself is still private; only the merge is tainted")
+	}
+}
+
+func TestThreadLocalGlobals(t *testing.T) {
+	m := ir.NewModule("t")
+	priv := m.NewGlobal("priv", ir.I64)     // only main touches it
+	shared := m.NewGlobal("shared", ir.I64) // worker touches it
+	leaked := m.NewGlobal("leaked", ir.I64) // address escapes from main
+
+	worker := m.NewFunc("worker", ir.Signature(ir.Void))
+	wb := ir.NewBuilder(worker.NewBlock("entry"))
+	wb.Store(ir.I64Const(1), shared)
+	wb.Ret(nil)
+
+	ext := m.DeclareFunc("spawn", ir.Signature(ir.Void, ir.PointerTo(ir.I8)))
+	main := m.NewFunc("main", ir.Signature(ir.Void))
+	b := ir.NewBuilder(main.NewBlock("entry"))
+	b.Store(ir.I64Const(2), priv)
+	b.Store(ir.I64Const(3), shared)
+	fnAddr := b.Bitcast(worker, ir.PointerTo(ir.I8)) // address-taken => spawn-reachable
+	b.Call(ext, fnAddr)
+	leak := b.Bitcast(leaked, ir.PointerTo(ir.I8))
+	b.Call(ext, leak)
+	b.Ret(nil)
+
+	got := ThreadLocalGlobals(m)
+	if len(got) != 1 || got[0] != "priv" {
+		t.Fatalf("ThreadLocalGlobals = %v, want [priv]", got)
+	}
+
+	// The classifier wired through Options must agree.
+	e := AnalyzeFunc(main, LocalGlobalSet(got))
+	if !e.Local(priv) {
+		t.Error("priv must classify local in main")
+	}
+	if e.Local(shared) || e.Local(leaked) {
+		t.Error("shared/leaked must not classify local")
+	}
+}
+
+// Placement with the escape classifier skips thread-local globals and
+// refined register-slot accesses that §8's alloca-only test could not.
+func TestPlaceWithEscapeAnalysis(t *testing.T) {
+	m := ir.NewModule("t")
+	priv := m.NewGlobal("priv", ir.I64)
+	pub := m.NewGlobal("pub", ir.I64)
+	w := m.NewFunc("w", ir.Signature(ir.Void))
+	wb := ir.NewBuilder(w.NewBlock("entry"))
+	wb.Store(ir.I64Const(3), pub)
+	wb.Ret(nil)
+	ext := m.DeclareFunc("spawn", ir.Signature(ir.Void, ir.PointerTo(ir.I8)))
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Store(ir.I64Const(1), priv)
+	b.Store(ir.I64Const(2), pub)
+	wAddr := b.Bitcast(w, ir.PointerTo(ir.I8)) // worker address-taken => spawn-reachable
+	b.Call(ext, wAddr)
+	b.Ret(nil)
+
+	locals := ThreadLocalGlobals(m)
+	opts := Options{SkipStackAccesses: true, UseEscape: true, LocalGlobals: LocalGlobalSet(locals)}
+	if n := Place(m, opts); n != 2 {
+		t.Fatalf("placed %d fences, want 2 (one per shared pub store):\n%s\n%s", n, f, w)
+	}
+	if got := CountFunc(f); got != 1 {
+		t.Fatalf("f should carry exactly one fence (pub store), got %d:\n%s", got, f)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,12 +1,17 @@
-// Package fences implements the x86-to-IR fence mapping of Fig. 8a and the
-// optimized placement algorithm of §8:
+// Package fences implements the x86-to-IR fence mapping of Fig. 8a, the
+// optimized placement algorithm of §8, and the weaker-than-DMB lowering
+// that goes beyond the paper:
 //
 //  1. every load gets a trailing Frm and every store a leading Fww, unless
-//     the accessed pointer provably refers to stack memory (the use-def
-//     chain, looking through bitcast and getelementptr, reaches an alloca);
+//     the accessed pointer provably refers to thread-private memory (the
+//     alloca-only use-def test of §8, or the escape analysis in escape.go);
 //  2. fence pairs within a basic block merge when no potentially
 //     memory-accessing instruction sits between them, using the §7.2 rules
-//     (equal fences collapse; Frm·Fww strengthens to a single Fsc).
+//     (equal fences collapse; Frm·Fww strengthens to a single Fsc);
+//  3. after merging, a fence that exists solely to order one adjacent
+//     access is folded into the access itself as an acquire load or release
+//     store (strengthen.go), which Fig. 8b then lowers to Arm LDAR/STLR
+//     instead of a standalone DMB.
 //
 // RMW and cmpxchg instructions are already seq_cst and act as full fences
 // (Fig. 8a maps x86 RMWs to RMWsc), so they need no additional fences.
@@ -14,14 +19,42 @@ package fences
 
 import "lasagne/internal/ir"
 
-// Options controls fence placement.
+// Options controls fence placement, merging, and strengthening.
 type Options struct {
 	// SkipStackAccesses enables the use-def stack analysis (§8 step 1).
 	// The naive placement used by the paper's "Lifted" baseline keeps it
 	// on too — it is part of correctness-preserving placement — so this
 	// exists only for ablation studies.
 	SkipStackAccesses bool
+	// UseEscape replaces the alloca-only test with the per-function escape
+	// analysis (escape.go), which also proves derived and spilled pointers
+	// local. Implies the SkipStackAccesses behavior and subsumes it.
+	UseEscape bool
+	// LocalGlobals names the globals the module-level prepass
+	// (ThreadLocalGlobals) proved single-threaded; only consulted when
+	// UseEscape is set. Must be identical across workers — core computes it
+	// once, serially, before the per-function stages fan out.
+	LocalGlobals map[string]bool
 }
+
+// classifierFor returns the thread-private predicate placement, merging,
+// strengthening, and the validate checkpoints all share for f. Exported
+// via Classifier so the checkpoint classifies accesses with exactly the
+// placement algorithm's notion of "local".
+func (o Options) classifierFor(f *ir.Func) func(ir.Value) bool {
+	switch {
+	case o.UseEscape:
+		e := AnalyzeFunc(f, o.LocalGlobals)
+		return e.Local
+	case o.SkipStackAccesses:
+		return IsStackPointer
+	default:
+		return func(ir.Value) bool { return false }
+	}
+}
+
+// Classifier is the exported form of classifierFor.
+func (o Options) Classifier(f *ir.Func) func(ir.Value) bool { return o.classifierFor(f) }
 
 // Place inserts Frm/Fww fences for every shared load/store in the module
 // per the Fig. 8a mapping. It returns the number of fences inserted.
@@ -37,43 +70,62 @@ func Place(m *ir.Module, opts Options) int {
 // uses this at function granularity: the optimized placement runs per
 // function, and a failed function is re-fenced with the zero Options (the
 // conservative full-fence mapping of Fig. 8a, always sound per §7).
+//
+// Each block's instruction slice is rebuilt in one pass: the old
+// insertAfter/InsertBefore pair rescanned the block per insertion, turning
+// placement quadratic on the long straight-line blocks fuzzing and litmus
+// generation produce.
 func PlaceFunc(f *ir.Func, opts Options) int {
 	n := 0
+	local := opts.classifierFor(f)
 	for _, b := range f.Blocks {
-		insts := append([]*ir.Instr(nil), b.Instrs...)
-		for _, in := range insts {
-			switch in.Op {
-			case ir.OpLoad:
-				if in.Order == ir.SeqCst {
-					continue
-				}
-				if opts.SkipStackAccesses && IsStackPointer(in.Args[0]) {
-					continue
-				}
-				insertAfter(b, in, &ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceRM})
-				n++
-			case ir.OpStore:
-				if in.Order == ir.SeqCst {
-					continue
-				}
-				if opts.SkipStackAccesses && IsStackPointer(in.Args[1]) {
-					continue
-				}
-				b.InsertBefore(&ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceWW}, in)
-				n++
+		need := 0
+		for _, in := range b.Instrs {
+			if placementFence(in, local) != nil {
+				need++
 			}
 		}
+		if need == 0 {
+			continue
+		}
+		out := make([]*ir.Instr, 0, len(b.Instrs)+need)
+		for _, in := range b.Instrs {
+			fence := placementFence(in, local)
+			if fence != nil {
+				fence.Parent = b
+			}
+			if in.Op == ir.OpStore && fence != nil {
+				out = append(out, fence, in)
+			} else if fence != nil {
+				out = append(out, in, fence)
+			} else {
+				out = append(out, in)
+			}
+		}
+		b.Instrs = out
+		n += need
 	}
 	return n
 }
 
-func insertAfter(b *ir.Block, pos, in *ir.Instr) {
-	idx := b.Index(pos)
-	if idx == len(b.Instrs)-1 {
-		b.Append(in)
-		return
+// placementFence returns the fence Fig. 8a demands for in (a fresh Frm to
+// follow a shared load, a fresh Fww to precede a shared store), or nil when
+// none is needed. Atomic accesses order themselves: seq_cst maps to a
+// full-fence form, acquire/release to Arm LDAR/STLR.
+func placementFence(in *ir.Instr, local func(ir.Value) bool) *ir.Instr {
+	switch in.Op {
+	case ir.OpLoad:
+		if in.Order != ir.NotAtomic || local(in.Args[0]) {
+			return nil
+		}
+		return &ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceRM}
+	case ir.OpStore:
+		if in.Order != ir.NotAtomic || local(in.Args[1]) {
+			return nil
+		}
+		return &ir.Instr{Op: ir.OpFence, Ty: ir.Void, Fence: ir.FenceWW}
 	}
-	b.InsertBefore(in, b.Instrs[idx+1])
+	return nil
 }
 
 // IsStackPointer walks the use-def chain of a pointer through bitcasts and
@@ -101,15 +153,15 @@ func IsStackPointer(v ir.Value) bool {
 }
 
 // mayAccessMemory reports whether an instruction can observe or modify
-// *shared* memory ordering between two fences. Provably stack-local
-// accesses are thread-private: a fence commutes with them without any
-// observable difference, so they do not block merging.
-func mayAccessMemory(in *ir.Instr) bool {
+// *shared* memory ordering between two fences. Provably thread-private
+// accesses are invisible to other threads: a fence commutes with them
+// without any observable difference, so they do not block merging.
+func mayAccessMemory(in *ir.Instr, local func(ir.Value) bool) bool {
 	switch in.Op {
 	case ir.OpLoad:
-		return !IsStackPointer(in.Args[0])
+		return !local(in.Args[0])
 	case ir.OpStore:
-		return !IsStackPointer(in.Args[1])
+		return !local(in.Args[1])
 	case ir.OpRMW, ir.OpCmpXchg, ir.OpCall:
 		return true
 	}
@@ -118,24 +170,27 @@ func mayAccessMemory(in *ir.Instr) bool {
 
 // Merge applies the fence-merging rules within each basic block and returns
 // the number of fences removed.
-func Merge(m *ir.Module) int {
+func Merge(m *ir.Module, opts Options) int {
 	removed := 0
 	for _, f := range m.Funcs {
-		removed += MergeFunc(f)
+		removed += MergeFunc(f, opts)
 	}
 	return removed
 }
 
-// MergeFunc merges fences within a single function.
-func MergeFunc(f *ir.Func) int {
+// MergeFunc merges fences within a single function. opts must match the
+// Options used for placement: merging may only look through accesses the
+// placement classifier proved thread-private.
+func MergeFunc(f *ir.Func, opts Options) int {
 	removed := 0
+	local := opts.classifierFor(f)
 	for _, b := range f.Blocks {
-		removed += mergeBlock(b)
+		removed += mergeBlock(b, local)
 	}
 	return removed
 }
 
-func mergeBlock(b *ir.Block) int {
+func mergeBlock(b *ir.Block, local func(ir.Value) bool) int {
 	removed := 0
 	var pending *ir.Instr // last fence with no memory access since
 	for i := 0; i < len(b.Instrs); i++ {
@@ -157,7 +212,7 @@ func mergeBlock(b *ir.Block) int {
 				continue
 			}
 			pending = in
-		case mayAccessMemory(in):
+		case mayAccessMemory(in, local):
 			pending = nil
 		}
 	}
@@ -185,4 +240,22 @@ func CountFunc(f *ir.Func) int {
 		}
 	}
 	return n
+}
+
+// CountOrdered counts acquire loads and release stores in the module — the
+// weaker-lowering counterpart of Count for the fence-reduction tables.
+func CountOrdered(m *ir.Module) (acquires, releases int) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch {
+				case in.Op == ir.OpLoad && in.Order == ir.Acquire:
+					acquires++
+				case in.Op == ir.OpStore && in.Order == ir.Release:
+					releases++
+				}
+			}
+		}
+	}
+	return acquires, releases
 }

@@ -121,7 +121,7 @@ func TestMergeAdjacent(t *testing.T) {
 	b.Fence(ir.FenceRM)
 	b.Fence(ir.FenceWW) // Frm·Fww -> Fsc
 	b.Ret(nil)
-	removed := Merge(m)
+	removed := Merge(m, Options{SkipStackAccesses: true})
 	if removed != 1 {
 		t.Fatalf("removed %d, want 1", removed)
 	}
@@ -138,7 +138,7 @@ func TestMergeSameKind(t *testing.T) {
 	b.Fence(ir.FenceRM)
 	b.Fence(ir.FenceRM)
 	b.Ret(nil)
-	Merge(m)
+	Merge(m, Options{SkipStackAccesses: true})
 	if Count(m) != 1 || countKind(f, ir.FenceRM) != 1 {
 		t.Fatalf("same-kind fences should collapse without strengthening: %s", f)
 	}
@@ -153,7 +153,7 @@ func TestMergeBlockedBySharedAccess(t *testing.T) {
 	b.Load(g) // shared access blocks merging
 	b.Fence(ir.FenceWW)
 	b.Ret(nil)
-	if removed := Merge(m); removed != 0 {
+	if removed := Merge(m, Options{SkipStackAccesses: true}); removed != 0 {
 		t.Fatalf("merged across a shared access (removed %d): %s", removed, f)
 	}
 }
@@ -167,7 +167,7 @@ func TestMergeAcrossStackAccess(t *testing.T) {
 	b.Store(ir.I64Const(1), slot) // thread-private: does not block
 	b.Fence(ir.FenceWW)
 	b.Ret(nil)
-	if removed := Merge(m); removed != 1 {
+	if removed := Merge(m, Options{SkipStackAccesses: true}); removed != 1 {
 		t.Fatalf("expected merge across stack access, removed %d", removed)
 	}
 	if countKind(f, ir.FenceSC) != 1 {
@@ -184,7 +184,7 @@ func TestMergeBlockedByCall(t *testing.T) {
 	b.Call(callee)
 	b.Fence(ir.FenceSC)
 	b.Ret(nil)
-	if removed := Merge(m); removed != 0 {
+	if removed := Merge(m, Options{SkipStackAccesses: true}); removed != 0 {
 		t.Fatal("merged across a call")
 	}
 }

@@ -1,0 +1,149 @@
+package fences
+
+import "lasagne/internal/ir"
+
+// This file implements the weaker-than-DMB lowering pass: after placement
+// and §7.2 merging, an Frm whose only job is ordering the single load just
+// before it is replaced by making that load an acquire load (Arm LDAR), and
+// an Fww whose only job is ordering the single store just after it becomes a
+// release store (Arm STLR). LDAR/STLR are strictly stronger for the
+// converted access than the DMB was ([A];po ⊆ ob orders the load against
+// *all* later accesses; po;[L] ⊆ ob orders *all* earlier accesses before the
+// store), and every other access the deleted fence might have ordered keeps
+// its own covering fence by the placement invariant — the soundness argument
+// is spelled out in DESIGN.md and machine-checked by
+// memmodel.MapIRToArmWeak's CheckMapping proofs.
+
+// StrengthenStats reports what StrengthenFunc rewrote.
+type StrengthenStats struct {
+	AcquireLoads  int // load;Frm pairs converted to acquire loads
+	ReleaseStores int // Fww;store pairs converted to release stores
+}
+
+// Strengthen applies StrengthenFunc to every function.
+func Strengthen(m *ir.Module, opts Options) StrengthenStats {
+	var s StrengthenStats
+	for _, f := range m.Funcs {
+		fs := StrengthenFunc(f, opts)
+		s.AcquireLoads += fs.AcquireLoads
+		s.ReleaseStores += fs.ReleaseStores
+	}
+	return s
+}
+
+// StrengthenFunc rewrites load;Frm → acquire-load and Fww;store →
+// release-store within each block of f, deleting the fence, whenever the
+// scan proves the fence's only marginal contribution is ordering that one
+// access. Run it after MergeFunc: merging first lets §7.2 turn Frm·Fww pairs
+// into a single Fsc (which this pass never touches), so merged fences win
+// where they apply and only genuinely single-access fences weaken.
+func StrengthenFunc(f *ir.Func, opts Options) StrengthenStats {
+	var s StrengthenStats
+	local := opts.classifierFor(f)
+	for _, b := range f.Blocks {
+		s.AcquireLoads += strengthenAcquires(b, local)
+		s.ReleaseStores += strengthenReleases(b, local)
+	}
+	return s
+}
+
+// strengthenAcquires handles Frm fences. Scanning backward from the fence,
+// the only reads whose covering fence can be this Frm are those with no
+// other fence, full-fence atomic, call, or block start in between (every
+// other shared read is separated from the fence by a shared access, so the
+// placement invariant guarantees it carries its own earlier cover). If that
+// window holds exactly one shared plain load and nothing the scan cannot
+// account for, the load becomes acquire and the fence goes away.
+func strengthenAcquires(b *ir.Block, local func(ir.Value) bool) int {
+	n := 0
+	for i := 0; i < len(b.Instrs); i++ {
+		fence := b.Instrs[i]
+		if fence.Op != ir.OpFence || fence.Fence != ir.FenceRM {
+			continue
+		}
+		var candidate *ir.Instr
+		ok := true
+	scan:
+		for k := i - 1; k >= 0; k-- {
+			in := b.Instrs[k]
+			switch {
+			case in.Op == ir.OpFence || in.Op == ir.OpRMW || in.Op == ir.OpCmpXchg:
+				// An earlier fence (of any kind) bounds the window: reads
+				// before it are covered before it by the invariant.
+				break scan
+			case in.Op == ir.OpCall:
+				ok = false // callee accesses are out of scan's sight
+				break scan
+			case in.Op == ir.OpLoad && in.Order == ir.NotAtomic && !local(in.Args[0]):
+				if candidate != nil {
+					ok = false // two uncovered reads would share this fence
+					break scan
+				}
+				candidate = in
+			case in.Op == ir.OpLoad && (in.Order == ir.NotAtomic || in.Order == ir.Acquire):
+				// Thread-local plain loads are invisible to other threads;
+				// an acquire load (a previous conversion) is already ordered
+				// against everything later, so neither needs this fence.
+			case in.Op == ir.OpStore && (in.Order == ir.NotAtomic || in.Order == ir.Release):
+				// Frm does not order earlier writes — [R];po;[Frm] only.
+			case in.Op == ir.OpLoad || in.Op == ir.OpStore:
+				ok = false // seq_cst access: unexpected shape, stay conservative
+				break scan
+			}
+		}
+		if ok && candidate != nil {
+			candidate.Order = ir.Acquire
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			i--
+			n++
+		}
+	}
+	return n
+}
+
+// strengthenReleases is the forward dual for Fww fences: the only writes
+// whose leading cover can be this fence sit between it and the next fence,
+// full-fence atomic, call, or block end.
+func strengthenReleases(b *ir.Block, local func(ir.Value) bool) int {
+	n := 0
+	for i := 0; i < len(b.Instrs); i++ {
+		fence := b.Instrs[i]
+		if fence.Op != ir.OpFence || fence.Fence != ir.FenceWW {
+			continue
+		}
+		var candidate *ir.Instr
+		ok := true
+	scan:
+		for k := i + 1; k < len(b.Instrs); k++ {
+			in := b.Instrs[k]
+			switch {
+			case in.Op == ir.OpFence || in.Op == ir.OpRMW || in.Op == ir.OpCmpXchg:
+				break scan
+			case in.Op == ir.OpCall:
+				ok = false
+				break scan
+			case in.Op == ir.OpStore && in.Order == ir.NotAtomic && !local(in.Args[1]):
+				if candidate != nil {
+					ok = false
+					break scan
+				}
+				candidate = in
+			case in.Op == ir.OpStore && (in.Order == ir.NotAtomic || in.Order == ir.Release):
+				// Thread-local plain stores are invisible to other threads; a
+				// release store already orders all earlier accesses before it.
+			case in.Op == ir.OpLoad && (in.Order == ir.NotAtomic || in.Order == ir.Acquire):
+				// Fww does not order reads — [W];po;[Fww];po;[W] only.
+			case in.Op == ir.OpLoad || in.Op == ir.OpStore:
+				ok = false // seq_cst access: unexpected shape, stay conservative
+				break scan
+			}
+		}
+		if ok && candidate != nil {
+			candidate.Order = ir.Release
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			i--
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,246 @@
+package fences
+
+import (
+	"testing"
+
+	"lasagne/internal/ir"
+)
+
+func countOrder(f *ir.Func, op ir.Op, ord ir.Ordering) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op && in.Order == ord {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// The canonical shapes: ld;Frm becomes an acquire load, Fww;st a release
+// store, and the fences disappear.
+func TestStrengthenAdjacent(t *testing.T) {
+	m, f := buildSharedAccess()
+	Place(m, Options{})
+	Merge(m, Options{})
+	// After merge the Frm·Fww pair between load and store is a single Fsc;
+	// rebuild without the store to exercise the pure acquire shape too.
+	s := Strengthen(m, Options{})
+	// ld; Frm; Fww; st merged to ld; Fsc; st: nothing to strengthen.
+	if s.AcquireLoads != 0 || s.ReleaseStores != 0 {
+		t.Fatalf("merged Fsc must not strengthen: %+v\n%s", s, f)
+	}
+	if countKind(f, ir.FenceSC) != 1 {
+		t.Fatalf("want the merged Fsc to survive:\n%s", f)
+	}
+
+	// A lone load and a lone store (separate functions) strengthen fully.
+	m2 := ir.NewModule("t")
+	g := m2.NewGlobal("g", ir.I64)
+	lf := m2.NewFunc("lf", ir.Signature(ir.I64))
+	b := ir.NewBuilder(lf.NewBlock("entry"))
+	v := b.Load(g)
+	b.Ret(v)
+	sf := m2.NewFunc("sf", ir.Signature(ir.Void))
+	b = ir.NewBuilder(sf.NewBlock("entry"))
+	b.Store(ir.I64Const(1), g)
+	b.Ret(nil)
+
+	Place(m2, Options{})
+	Merge(m2, Options{})
+	s = Strengthen(m2, Options{})
+	if s.AcquireLoads != 1 || s.ReleaseStores != 1 {
+		t.Fatalf("want 1 acquire + 1 release, got %+v\n%s\n%s", s, lf, sf)
+	}
+	if CountFunc(lf) != 0 || CountFunc(sf) != 0 {
+		t.Fatalf("fences must be deleted after strengthening:\n%s\n%s", lf, sf)
+	}
+	if countOrder(lf, ir.OpLoad, ir.Acquire) != 1 || countOrder(sf, ir.OpStore, ir.Release) != 1 {
+		t.Fatalf("accesses must carry the new orderings:\n%s\n%s", lf, sf)
+	}
+	if a, r := CountOrdered(m2); a != 1 || r != 1 {
+		t.Fatalf("CountOrdered = %d/%d, want 1/1", a, r)
+	}
+	if err := ir.Verify(m2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Consecutive covered loads: the first conversion must not block the
+// second — an acquire load in the scan window is skipped, not treated as a
+// second uncovered read.
+func TestStrengthenConsecutiveLoads(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	h := m.NewGlobal("h", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Load(g)
+	b.Load(h)
+	b.Ret(nil)
+	Place(m, Options{})
+	Merge(m, Options{})
+	s := Strengthen(m, Options{})
+	if s.AcquireLoads != 2 || CountFunc(f) != 0 {
+		t.Fatalf("both loads should become acquire (got %+v):\n%s", s, f)
+	}
+}
+
+// §7.2 edge case: merging stops at block boundaries, and so does the
+// strengthening scan — a fence whose candidate access sits in a
+// predecessor block must survive untouched.
+func TestStrengthenBlockBoundary(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	entry := f.NewBlock("entry")
+	next := f.NewBlock("next")
+	b := ir.NewBuilder(entry)
+	b.Load(g)
+	b.Br(next)
+	b.SetBlock(next)
+	b.Fence(ir.FenceRM) // hand-built: covering fence in the wrong block
+	b.Ret(nil)
+
+	s := Strengthen(m, Options{})
+	if s.AcquireLoads != 0 {
+		t.Fatalf("cross-block strengthening is unsound, got %+v:\n%s", s, f)
+	}
+	if CountFunc(f) != 1 {
+		t.Fatalf("the fence must survive:\n%s", f)
+	}
+	if n := MergeFunc(f, Options{}); n != 0 {
+		t.Fatalf("nothing to merge across blocks, removed %d:\n%s", n, f)
+	}
+}
+
+// §7.2 edge case: a Frm·Fww pair straddling a seq_cst RMW does not merge
+// (the RMW is a memory access), and neither fence may strengthen through
+// it — but each side can still convert its own adjacent access, bounded by
+// the RMW acting as a full fence.
+func TestStrengthenAroundSeqCstRMW(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	h := m.NewGlobal("h", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Load(g)                           // -> ld; Frm
+	b.RMW(ir.RMWAdd, h, ir.I64Const(1)) // full-fence atomic, no placement fence
+	b.Store(ir.I64Const(2), g)          // -> Fww; st
+	b.Ret(nil)
+
+	Place(m, Options{})
+	if merged := Merge(m, Options{}); merged != 0 {
+		t.Fatalf("Frm and Fww must not merge across the RMW, removed %d:\n%s", merged, f)
+	}
+	s := Strengthen(m, Options{})
+	// The RMW bounds both scan windows: the load converts (window = load
+	// only), the store converts (window = store only).
+	if s.AcquireLoads != 1 || s.ReleaseStores != 1 {
+		t.Fatalf("want 1 acquire + 1 release around the RMW, got %+v:\n%s", s, f)
+	}
+	// The RMW itself must stay seq_cst — elided placement, never weakened.
+	if countOrder(f, ir.OpRMW, ir.SeqCst) != 1 {
+		t.Fatalf("RMW ordering must stay seq_cst:\n%s", f)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// §7.2 edge case: same as above with a cmpxchg; the merged Fsc produced by
+// an adjacent Frm·Fww pair sits next to the cmpxchg and must be left alone
+// (elided by neither merging nor strengthening).
+func TestMergedFscAdjacentToCmpXchg(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	h := m.NewGlobal("h", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Load(g)
+	b.Store(ir.I64Const(1), h) // ld; Frm; Fww; st -> ld; Fsc; st after merge
+	b.CmpXchg(g, ir.I64Const(0), ir.I64Const(1))
+	b.Ret(nil)
+
+	Place(m, Options{})
+	if merged := Merge(m, Options{}); merged != 1 {
+		t.Fatalf("Frm·Fww should merge to Fsc, removed %d:\n%s", merged, f)
+	}
+	s := Strengthen(m, Options{})
+	if s.AcquireLoads != 0 || s.ReleaseStores != 0 {
+		t.Fatalf("Fsc next to a cmpxchg must not strengthen, got %+v:\n%s", s, f)
+	}
+	if countKind(f, ir.FenceSC) != 1 {
+		t.Fatalf("the merged Fsc must survive:\n%s", f)
+	}
+	if countOrder(f, ir.OpCmpXchg, ir.SeqCst) != 1 {
+		t.Fatalf("cmpxchg must stay seq_cst:\n%s", f)
+	}
+}
+
+// Merge-then-strengthen interaction: where the merger wins (adjacent
+// Frm·Fww collapses to one Fsc) the strengthener must not undo it, and
+// where merging is impossible the strengthener picks up the slack. Both
+// effects in one function.
+func TestMergeThenStrengthen(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	h := m.NewGlobal("h", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.I64))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Load(g)                  // ld; Frm   --\ merge to Fsc
+	b.Store(ir.I64Const(1), h) // Fww; st   --/
+	v := b.Load(h)             // ld; Frm   -- isolated: strengthens
+	b.Ret(v)
+
+	Place(m, Options{})
+	Merge(m, Options{})
+	s := Strengthen(m, Options{})
+	if s.AcquireLoads != 1 || s.ReleaseStores != 0 {
+		t.Fatalf("want exactly the isolated load strengthened, got %+v:\n%s", s, f)
+	}
+	if countKind(f, ir.FenceSC) != 1 || CountFunc(f) != 1 {
+		t.Fatalf("want one surviving Fsc and no other fences:\n%s", f)
+	}
+}
+
+// A call aborts the scan: callee accesses are invisible, so the fence must
+// stay and the load must stay plain.
+func TestStrengthenAbortsOnCall(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	ext := m.DeclareFunc("ext", ir.Signature(ir.Void))
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Load(g)
+	b.Call(ext)
+	b.Fence(ir.FenceRM) // hand-built: fence separated from its load by a call
+	b.Ret(nil)
+
+	s := Strengthen(m, Options{})
+	if s.AcquireLoads != 0 || CountFunc(f) != 1 {
+		t.Fatalf("call must abort the scan, got %+v:\n%s", s, f)
+	}
+}
+
+// Thread-local accesses inside the window are skipped, so a shared load
+// still converts across them.
+func TestStrengthenSkipsLocalAccesses(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	slot := b.Alloca(ir.I64)
+	v := b.Load(g)
+	b.Store(v, slot) // spill to a private slot between load and fence
+	b.Ret(nil)
+
+	opts := Options{SkipStackAccesses: true, UseEscape: true}
+	Place(m, opts)
+	Merge(m, opts)
+	s := Strengthen(m, opts)
+	if s.AcquireLoads != 1 || CountFunc(f) != 0 {
+		t.Fatalf("shared load should convert across the private spill, got %+v:\n%s", s, f)
+	}
+}

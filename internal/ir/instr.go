@@ -94,8 +94,10 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", int(o))
 }
 
-// Ordering is the atomic memory ordering of a load, store or RMW. LIMM only
-// distinguishes non-atomic accesses from seq_cst atomics (§6.3).
+// Ordering is the atomic memory ordering of a load, store or RMW. LIMM
+// distinguishes non-atomic accesses from seq_cst atomics (§6.3); the
+// weak-fence lowering adds acquire loads and release stores, which map to
+// Arm LDAR/STLR instead of standalone DMB barriers.
 type Ordering int
 
 const (
@@ -104,11 +106,22 @@ const (
 	NotAtomic Ordering = iota
 	// SeqCst marks sequentially consistent atomic accesses.
 	SeqCst
+	// Acquire marks an acquire load: it orders with every later access of
+	// the same thread (lowered to Arm LDAR). Only valid on loads.
+	Acquire
+	// Release marks a release store: every earlier access of the same
+	// thread orders with it (lowered to Arm STLR). Only valid on stores.
+	Release
 )
 
 func (o Ordering) String() string {
-	if o == SeqCst {
+	switch o {
+	case SeqCst:
 		return "seq_cst"
+	case Acquire:
+		return "acquire"
+	case Release:
+		return "release"
 	}
 	return "na"
 }
@@ -337,7 +350,7 @@ func (i *Instr) IsAtomic() bool {
 	case OpFence:
 		return true
 	case OpLoad, OpStore, OpRMW, OpCmpXchg:
-		return i.Order == SeqCst
+		return i.Order != NotAtomic
 	}
 	return false
 }

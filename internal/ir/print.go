@@ -79,15 +79,15 @@ func (i *Instr) String() string {
 			fmt.Fprintf(&b, ", %s %s", i.Args[0].Type(), i.Args[0].Ref())
 		}
 	case OpLoad:
-		if i.Order == SeqCst {
-			fmt.Fprintf(&b, "load atomic %s, %s %s seq_cst", i.Ty, i.Args[0].Type(), i.Args[0].Ref())
+		if i.Order != NotAtomic {
+			fmt.Fprintf(&b, "load atomic %s, %s %s %s", i.Ty, i.Args[0].Type(), i.Args[0].Ref(), i.Order)
 		} else {
 			fmt.Fprintf(&b, "load %s, %s %s", i.Ty, i.Args[0].Type(), i.Args[0].Ref())
 		}
 	case OpStore:
-		if i.Order == SeqCst {
-			fmt.Fprintf(&b, "store atomic %s %s, %s %s seq_cst",
-				i.Args[0].Type(), i.Args[0].Ref(), i.Args[1].Type(), i.Args[1].Ref())
+		if i.Order != NotAtomic {
+			fmt.Fprintf(&b, "store atomic %s %s, %s %s %s",
+				i.Args[0].Type(), i.Args[0].Ref(), i.Args[1].Type(), i.Args[1].Ref(), i.Order)
 		} else {
 			fmt.Fprintf(&b, "store %s %s, %s %s",
 				i.Args[0].Type(), i.Args[0].Ref(), i.Args[1].Type(), i.Args[1].Ref())

@@ -284,6 +284,9 @@ func checkInstrTypes(in *Instr) error {
 		if !pt.Elem.Equal(in.Ty) {
 			return fmt.Errorf("load type %s from %s", in.Ty, pt)
 		}
+		if in.Order == Release {
+			return fmt.Errorf("load with release ordering")
+		}
 	case OpStore:
 		if err := argn(2); err != nil {
 			return err
@@ -295,6 +298,9 @@ func checkInstrTypes(in *Instr) error {
 		if !pt.Elem.Equal(in.Args[0].Type()) {
 			return fmt.Errorf("store %s to %s", in.Args[0].Type(), pt)
 		}
+		if in.Order == Acquire {
+			return fmt.Errorf("store with acquire ordering")
+		}
 	case OpRMW:
 		if err := argn(2); err != nil {
 			return err
@@ -302,12 +308,18 @@ func checkInstrTypes(in *Instr) error {
 		if !IsPtr(in.Args[0].Type()) {
 			return fmt.Errorf("atomicrmw on non-pointer")
 		}
+		if in.Order != SeqCst {
+			return fmt.Errorf("atomicrmw with %s ordering (only seq_cst is mapped)", in.Order)
+		}
 	case OpCmpXchg:
 		if err := argn(3); err != nil {
 			return err
 		}
 		if !IsPtr(in.Args[0].Type()) {
 			return fmt.Errorf("cmpxchg on non-pointer")
+		}
+		if in.Order != SeqCst {
+			return fmt.Errorf("cmpxchg with %s ordering (only seq_cst is mapped)", in.Order)
 		}
 	case OpGEP:
 		if len(in.Args) < 2 {

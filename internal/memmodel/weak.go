@@ -1,0 +1,274 @@
+package memmodel
+
+import "fmt"
+
+// This file models the weaker-than-DMB lowering implemented by
+// internal/fences: the strengthening pass (ld;Frm -> LDAR, Fww;st -> STLR)
+// and the escape-analysis fence elimination (accesses proven thread-local
+// get no fences at all). Each rule is stated as a litmus-level program
+// mapping so CheckMapping can verify it exhaustively against the models.
+
+// StrengthenIR rewrites an IR (LIMM) program with the same window scan as
+// fences.StrengthenFunc: an Frm whose backward window (up to the previous
+// Frm/Fsc/RMWsc or thread start) contains exactly one plain load is
+// deleted and that load becomes an acquire load; an Fww whose forward
+// window contains exactly one plain store is deleted and that store
+// becomes a release store.
+//
+// The window conditions are what make this sound without any assumption on
+// the input program (the compiler gets them for free from the placement
+// invariant, but the fence merger may feed us arbitrary shapes):
+//
+//   - Frm orders every earlier read before every later access. Deleting it
+//     loses those edges for all in-window reads except the converted one,
+//     so any other plain read in the window aborts the rewrite. Acquire
+//     loads are skipped: [A];po already orders them against everything
+//     later. Writes are skipped: Frm never ordered them. A previous
+//     Frm/Fsc/RMWsc bounds the window because reads before it stay ordered
+//     through it.
+//   - Dually for Fww over writes: release stores are skipped (po;[L]
+//     orders all earlier accesses before them), reads are skipped (Fww
+//     never orders reads), a second plain store aborts.
+//   - SC accesses abort the scan, mirroring the compiler's conservatism
+//     around RMW/cmpxchg lowering.
+func StrengthenIR(p *Program) *Program {
+	out := &Program{Name: p.Name + "+acqrel", Init: p.Init}
+	for _, th := range p.Threads {
+		t := append([]Op(nil), th...)
+		t = strengthenAcquires(t)
+		t = strengthenReleases(t)
+		out.Threads = append(out.Threads, t)
+	}
+	return out
+}
+
+func strengthenAcquires(t []Op) []Op {
+	for i := 0; i < len(t); i++ {
+		if t[i].Kind != OpFence || t[i].Fence != Frm {
+			continue
+		}
+		cand := -1
+		ok := true
+	scan:
+		for j := i - 1; j >= 0; j-- {
+			o := t[j]
+			switch o.Kind {
+			case OpFence:
+				if o.Fence == Frm || o.Fence == Fsc {
+					break scan // reads before it remain covered
+				}
+				// Fww: no read ordering; keep scanning.
+			case OpRMW:
+				break scan // RMWsc is a full fence
+			case OpLoad:
+				switch {
+				case o.Acq:
+					// already self-ordered against everything later
+				case o.SC:
+					ok = false
+					break scan
+				case cand >= 0:
+					ok = false // second uncovered read would lose its edges
+					break scan
+				default:
+					cand = j
+				}
+			case OpStore:
+				if o.SC {
+					ok = false
+					break scan
+				}
+				// Frm never ordered stores; skip.
+			}
+		}
+		if ok && cand >= 0 {
+			t[cand] = LdA(t[cand].Loc)
+			t = append(t[:i], t[i+1:]...)
+			i--
+		}
+	}
+	return t
+}
+
+func strengthenReleases(t []Op) []Op {
+	for i := 0; i < len(t); i++ {
+		if t[i].Kind != OpFence || t[i].Fence != Fww {
+			continue
+		}
+		cand := -1
+		ok := true
+	scan:
+		for j := i + 1; j < len(t); j++ {
+			o := t[j]
+			switch o.Kind {
+			case OpFence:
+				if o.Fence == Fww || o.Fence == Fsc {
+					break scan // writes beyond it remain covered
+				}
+				// Frm: no write-write ordering; keep scanning.
+			case OpRMW:
+				break scan
+			case OpStore:
+				switch {
+				case o.Rel:
+					// po;[L] already orders all earlier accesses before it
+				case o.SC:
+					ok = false
+					break scan
+				case cand >= 0:
+					ok = false
+					break scan
+				default:
+					cand = j
+				}
+			case OpLoad:
+				if o.SC {
+					ok = false
+					break scan
+				}
+				// Fww never ordered reads; skip.
+			}
+		}
+		if ok && cand >= 0 {
+			t[cand] = StR(t[cand].Loc, t[cand].Val)
+			t = append(t[:i], t[i+1:]...)
+			i--
+		}
+	}
+	return t
+}
+
+// MapIRToArmWeak applies the Fig. 8b mapping after the strengthening
+// rewrite: surviving Frm/Fww/Fsc lower to DMB LD/ST/FF as in MapIRToArm,
+// and acquire loads / release stores pass through to LDAR/STLR events
+// (Op.Acq/Op.Rel on the Arm side).
+func MapIRToArmWeak(p *Program) *Program {
+	s := StrengthenIR(p)
+	out := &Program{Name: p.Name + "→Arm(weak)", Init: p.Init}
+	for _, th := range s.Threads {
+		var t []Op
+		for _, o := range th {
+			switch o.Kind {
+			case OpLoad, OpStore:
+				t = append(t, o) // Acq/Rel flags carry over to LDAR/STLR
+			case OpRMW:
+				t = append(t, Fn(DMBFF), o, Fn(DMBFF))
+			case OpFence:
+				switch o.Fence {
+				case Frm:
+					t = append(t, Fn(DMBLD))
+				case Fww:
+					t = append(t, Fn(DMBST))
+				default:
+					t = append(t, Fn(DMBFF))
+				}
+			}
+		}
+		out.Threads = append(out.Threads, t)
+	}
+	return out
+}
+
+// PrivateLocs returns the set of locations accessed by at most one thread
+// of p. This is the litmus-level analogue of what the escape analysis
+// proves about an allocation or non-address-taken global: no other thread
+// can reach it.
+func PrivateLocs(p *Program) map[string]bool {
+	owner := map[string]int{}
+	for tid, th := range p.Threads {
+		for _, o := range th {
+			if o.Kind == OpFence {
+				continue
+			}
+			if prev, ok := owner[o.Loc]; ok && prev != tid {
+				owner[o.Loc] = -1 // shared
+			} else if !ok {
+				owner[o.Loc] = tid
+			}
+		}
+	}
+	private := map[string]bool{}
+	for loc, tid := range owner {
+		if tid >= 0 {
+			private[loc] = true
+		}
+	}
+	return private
+}
+
+// MapX86ToIRElide applies the Fig. 8a mapping but skips fence insertion
+// for accesses to locations in private — modeling the escape-analysis
+// elimination (fences.Options.UseEscape): loads and stores the analysis
+// proves thread-local are placed with no Frm/Fww at all. Shared accesses
+// keep their fences, so inter-thread ordering on shared locations is
+// untouched; private accesses need no ordering because no other thread
+// observes them (po-loc coherence pins their values).
+func MapX86ToIRElide(p *Program, private map[string]bool) *Program {
+	out := &Program{Name: p.Name + "→IR(elide)", Init: p.Init}
+	for _, th := range p.Threads {
+		var t []Op
+		for _, o := range th {
+			switch o.Kind {
+			case OpLoad:
+				t = append(t, Ld(o.Loc))
+				if !private[o.Loc] {
+					t = append(t, Fn(Frm))
+				}
+			case OpStore:
+				if !private[o.Loc] {
+					t = append(t, Fn(Fww))
+				}
+				t = append(t, St(o.Loc, o.Val))
+			case OpRMW:
+				t = append(t, o)
+			case OpFence:
+				t = append(t, Fn(Fsc))
+			}
+		}
+		out.Threads = append(out.Threads, t)
+	}
+	return out
+}
+
+// GenerateIRPrograms enumerates all two-thread LIMM programs with up to
+// maxOps ops per thread over two shared locations, including every fence
+// kind — the source domain for verifying IR→Arm mappings exhaustively
+// (MapIRToArm and MapIRToArmWeak take arbitrary IR programs, not just
+// images of the x86 mapping, because the fence merger §7.2 rewrites the
+// fence structure before lowering).
+func GenerateIRPrograms(maxOps int) []*Program {
+	ops := []Op{
+		Ld("X"), Ld("Y"),
+		St("X", 1), St("Y", 1),
+		RMW("X", 2),
+		Fn(Frm), Fn(Fww), Fn(Fsc),
+	}
+	var threads [][]Op
+	var gen func(cur []Op)
+	gen = func(cur []Op) {
+		if len(cur) > 0 {
+			threads = append(threads, append([]Op(nil), cur...))
+		}
+		if len(cur) == maxOps {
+			return
+		}
+		for _, o := range ops {
+			gen(append(cur, o))
+		}
+	}
+	gen(nil)
+
+	var out []*Program
+	for i, t0 := range threads {
+		for j, t1 := range threads {
+			if j < i {
+				continue // symmetric
+			}
+			out = append(out, &Program{
+				Name:    fmt.Sprintf("gen_%d_%d", i, j),
+				Threads: [][]Op{t0, t1},
+			})
+		}
+	}
+	return out
+}

@@ -175,7 +175,7 @@ func TestFenceMergingReducesFences(t *testing.T) {
 	}
 	fences.Place(m, fences.Options{SkipStackAccesses: true})
 	before := fences.Count(m)
-	removed := fences.Merge(m)
+	removed := fences.Merge(m, fences.Options{SkipStackAccesses: true})
 	after := fences.Count(m)
 	if removed == 0 || after >= before {
 		t.Fatalf("merging removed %d fences (%d -> %d)", removed, before, after)

@@ -376,6 +376,36 @@ func (c *arm64CPU) Step() error {
 		}
 		cost = CostMem
 
+	case arm64.LDAR:
+		// Acquire load: the interleaving simulator is sequentially
+		// consistent, so the acquire ordering is already enforced; what the
+		// model charges is the ordered-access cost instead of a DMB. No
+		// exclusive monitor is set (unlike LDAXR).
+		addr := c.rd(in.Rn, 8)
+		v, err := c.m.load(addr, in.Size)
+		if err != nil {
+			return err
+		}
+		if in.Rd.IsFP() {
+			c.v[in.Rd-arm64.D0] = v
+		} else {
+			c.wr(in.Rd, 8, v)
+		}
+		cost = CostLDAR
+	case arm64.STLR:
+		addr := c.rd(in.Rn, 8)
+		var v uint64
+		if in.Rd.IsFP() {
+			v = c.v[in.Rd-arm64.D0]
+		} else {
+			v = c.rd(in.Rd, 8)
+		}
+		if err := c.m.store(addr, in.Size, v); err != nil {
+			return err
+		}
+		c.m.invalidateMonitors(addr, in.Size, c)
+		cost = CostSTLR
+
 	case arm64.LDXR, arm64.LDAXR:
 		addr := c.rd(in.Rn, 8)
 		v, err := c.m.load(addr, in.Size)

@@ -40,6 +40,8 @@ const (
 	CostDMBST  = 25
 	CostLock   = 18 // x86 LOCK-prefixed operation
 	CostExcl   = 6  // one exclusive (LL/SC) access
+	CostLDAR   = 8  // acquire load: ordered access, far cheaper than DMB LD
+	CostSTLR   = 8  // release store: ordered access, far cheaper than DMB ST
 )
 
 // Address-space layout of the simulated machine.

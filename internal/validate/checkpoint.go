@@ -10,23 +10,47 @@ import (
 // Opts selects which semantic invariants a checkpoint enforces on top of
 // the structural verifier. Invariants are phase-dependent: fence coverage
 // only holds once placement has run, and the pointer-cast bound only once
-// refinement has established a baseline.
+// refinement has established a baseline. Opts must stay JSON-serializable —
+// repro bundles embed it so a checkpoint failure replays standalone.
 type Opts struct {
-	// FencesPlaced asserts the §7/§8 fence-coverage invariant: every
-	// non-seq_cst shared load is followed, within its block and before any
+	// FencesPlaced asserts the §7/§8 fence-coverage invariant: every plain
+	// (non-atomic) shared load is followed, within its block and before any
 	// other shared access / call / block end, by an Frm or Fsc fence (or an
 	// RMW/cmpxchg, which Fig. 8a maps to a full fence); symmetrically every
-	// non-seq_cst shared store is preceded by an Fww or Fsc. Placement
-	// establishes it, §7.2 merging preserves it (a fence is only removed
-	// when a covering fence remains with no shared access between), and
-	// every registered opt pass must preserve it — the per-pass property
-	// test pins that.
+	// plain shared store is preceded by an Fww or Fsc. Atomic accesses are
+	// self-ordered: seq_cst by its full-fence lowering, acquire/release by
+	// LDAR/STLR. Placement establishes the invariant, §7.2 merging preserves
+	// it (a fence is only removed when a covering fence remains with no
+	// shared access between), strengthening preserves it (the deleted
+	// fence's only uncovered access becomes acquire/release), and every
+	// registered opt pass must preserve it — the per-pass property test pins
+	// that.
 	FencesPlaced bool
 	// MaxPtrCasts, when >= 0, bounds the number of ptrtoint/inttoptr
 	// instructions in the function: refinement removes them (§5), so a later
 	// stage reintroducing one regresses the translation's type recovery.
 	// Use -1 to skip the check.
 	MaxPtrCasts int
+	// UseEscape switches the shared/local classifier from the alloca-only
+	// IsStackPointer test to the escape analysis, mirroring
+	// fences.Options.UseEscape. The checkpoint must classify accesses with
+	// exactly the placement algorithm's notion of "local", or it would
+	// demand fences placement legitimately skipped.
+	UseEscape bool
+	// LocalGlobals is the sorted ThreadLocalGlobals result the pipeline's
+	// prepass computed (module context a single function cannot recover),
+	// serialized by name so bundles replay with the same classification.
+	LocalGlobals []string `json:",omitempty"`
+}
+
+// fenceOptions translates Opts into the fences.Options whose classifier
+// placement used.
+func (o Opts) fenceOptions() fences.Options {
+	return fences.Options{
+		SkipStackAccesses: true,
+		UseEscape:         o.UseEscape,
+		LocalGlobals:      fences.LocalGlobalSet(o.LocalGlobals),
+	}
 }
 
 // CheckFunc runs the structural verifier and the selected semantic
@@ -45,7 +69,7 @@ func CheckFunc(f *ir.Func, o Opts) error {
 		}
 	}
 	if o.FencesPlaced {
-		if err := checkFenceCoverage(f); err != nil {
+		if err := checkFenceCoverage(f, o.fenceOptions().Classifier(f)); err != nil {
 			return err
 		}
 	}
@@ -73,15 +97,16 @@ func fullFence(in *ir.Instr) bool {
 }
 
 // sharedAccess reports whether the instruction is a load or store of
-// provably-shared (non-stack) memory; these are the accesses fences order
-// and therefore the accesses that interrupt a coverage scan. Calls also
-// interrupt: the callee may access shared memory before any local fence.
-func sharedAccess(in *ir.Instr) bool {
+// possibly-shared (non-thread-private) memory; these are the accesses
+// fences order and therefore the accesses that interrupt a coverage scan.
+// Calls also interrupt: the callee may access shared memory before any
+// local fence.
+func sharedAccess(in *ir.Instr, local func(ir.Value) bool) bool {
 	switch in.Op {
 	case ir.OpLoad:
-		return !fences.IsStackPointer(in.Args[0])
+		return !local(in.Args[0])
 	case ir.OpStore:
-		return !fences.IsStackPointer(in.Args[1])
+		return !local(in.Args[1])
 	case ir.OpCall:
 		return true
 	}
@@ -90,23 +115,23 @@ func sharedAccess(in *ir.Instr) bool {
 
 // checkFenceCoverage scans every block for the load→Frm and Fww→store
 // patterns described on Opts.FencesPlaced.
-func checkFenceCoverage(f *ir.Func) error {
+func checkFenceCoverage(f *ir.Func, local func(ir.Value) bool) error {
 	for _, b := range f.Blocks {
 		for i, in := range b.Instrs {
 			switch in.Op {
 			case ir.OpLoad:
-				if in.Order == ir.SeqCst || fences.IsStackPointer(in.Args[0]) {
-					continue
+				if in.Order != ir.NotAtomic || local(in.Args[0]) {
+					continue // atomic loads are self-ordered
 				}
-				if !coveredAfter(b, i) {
+				if !coveredAfter(b, i, local) {
 					return fmt.Errorf("validate: block %%%s: shared load %q has no trailing Frm/Fsc fence",
 						b.Name, in)
 				}
 			case ir.OpStore:
-				if in.Order == ir.SeqCst || fences.IsStackPointer(in.Args[1]) {
-					continue
+				if in.Order != ir.NotAtomic || local(in.Args[1]) {
+					continue // atomic stores are self-ordered
 				}
-				if !coveredBefore(b, i) {
+				if !coveredBefore(b, i, local) {
 					return fmt.Errorf("validate: block %%%s: shared store %q has no leading Fww/Fsc fence",
 						b.Name, in)
 				}
@@ -119,7 +144,7 @@ func checkFenceCoverage(f *ir.Func) error {
 // coveredAfter reports whether the shared load at index i is followed by an
 // Frm/Fsc fence (or full-fence atomic) before any other shared access or
 // the end of the block.
-func coveredAfter(b *ir.Block, i int) bool {
+func coveredAfter(b *ir.Block, i int, local func(ir.Value) bool) bool {
 	for k := i + 1; k < len(b.Instrs); k++ {
 		in := b.Instrs[k]
 		if in.Op == ir.OpFence && (in.Fence == ir.FenceRM || in.Fence == ir.FenceSC) {
@@ -128,7 +153,7 @@ func coveredAfter(b *ir.Block, i int) bool {
 		if fullFence(in) {
 			return true
 		}
-		if sharedAccess(in) {
+		if sharedAccess(in, local) {
 			return false
 		}
 	}
@@ -138,7 +163,7 @@ func coveredAfter(b *ir.Block, i int) bool {
 // coveredBefore reports whether the shared store at index i is preceded by
 // an Fww/Fsc fence (or full-fence atomic) with no other shared access in
 // between.
-func coveredBefore(b *ir.Block, i int) bool {
+func coveredBefore(b *ir.Block, i int, local func(ir.Value) bool) bool {
 	for k := i - 1; k >= 0; k-- {
 		in := b.Instrs[k]
 		if in.Op == ir.OpFence && (in.Fence == ir.FenceWW || in.Fence == ir.FenceSC) {
@@ -147,7 +172,7 @@ func coveredBefore(b *ir.Block, i int) bool {
 		if fullFence(in) {
 			return true
 		}
-		if sharedAccess(in) {
+		if sharedAccess(in, local) {
 			return false
 		}
 	}

@@ -81,7 +81,7 @@ func (g *progGen) cond() string {
 }
 
 func (g *progGen) stmt(depth int, indent string) {
-	switch g.rng.Intn(7) {
+	switch g.rng.Intn(8) {
 	case 0, 1: // assignment
 		if len(g.vars) > 0 {
 			fmt.Fprintf(&g.sb, "%s%s = %s;\n", indent, g.pick(g.vars), g.intExpr(2))
@@ -120,7 +120,24 @@ func (g *progGen) stmt(depth int, indent string) {
 		fmt.Fprintf(&g.sb, "%s}\n", indent)
 	case 5: // array traffic through the global
 		fmt.Fprintf(&g.sb, "%sgarr[(%s & 0x7)] = %s;\n", indent, g.intExpr(1), g.intExpr(2))
-	case 6: // double arithmetic
+	case 6: // shared-global traffic: the one location the escape analysis
+		// must keep fenced (the worker thread also touches it), so these
+		// statements are what exercise acquire/release lowering downstream.
+		switch g.rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&g.sb, "%sgshr = %s;\n", indent, g.intExpr(2))
+		case 1:
+			fmt.Fprintf(&g.sb, "%satomic_add(&gshr, (%s & 0x7));\n", indent, g.intExpr(1))
+		default:
+			if len(g.vars) > 0 {
+				fmt.Fprintf(&g.sb, "%s%s = gshr + %s;\n", indent, g.pick(g.vars), g.intExpr(1))
+			} else {
+				name := fmt.Sprintf("v%d", len(g.vars))
+				fmt.Fprintf(&g.sb, "%sint %s = gshr;\n", indent, name)
+				g.vars = append(g.vars, name)
+			}
+		}
+	case 7: // double arithmetic
 		if len(g.dbls) > 0 {
 			fmt.Fprintf(&g.sb, "%s%s = %s * 0.5 + (double)(%s);\n",
 				indent, g.pick(g.dbls), g.pick(g.dbls), g.intExpr(1))
@@ -139,7 +156,16 @@ func (g *progGen) stmt(depth int, indent string) {
 func GenProgram(seed int64) string {
 	g := &progGen{rng: rand.New(rand.NewSource(seed))}
 	g.sb.WriteString("int garr[8];\n")
+	g.sb.WriteString("int gshr;\n")
+	// A spawned worker shares gshr with main, so the escape analysis must
+	// classify it shared and main's gshr accesses keep their fences (which
+	// the strengthening pass then turns into acquire/release accesses).
+	// garr stays main-only and provably thread-local. The join() before
+	// main's first statement keeps the schedule deterministic for the
+	// differential oracle.
+	g.sb.WriteString("void wrk(int id) {\n  atomic_add(&gshr, id + 1);\n}\n")
 	g.sb.WriteString("int main() {\n")
+	g.sb.WriteString("  spawn(wrk, 2);\n  join();\n")
 	n := 4 + g.rng.Intn(8)
 	for i := 0; i < n; i++ {
 		g.stmt(2, "  ")
@@ -153,6 +179,7 @@ func GenProgram(seed int64) string {
 		fmt.Fprintf(&g.sb, "  chk = chk * 31 + (int)%s;\n", d)
 	}
 	g.sb.WriteString("  int k;\n  for (k = 0; k < 8; k = k + 1) chk = chk * 7 + garr[k];\n")
+	g.sb.WriteString("  chk = chk * 31 + gshr;\n")
 	g.sb.WriteString("  print_int(chk);\n  return 0;\n}\n")
 	return g.sb.String()
 }
