@@ -750,17 +750,22 @@ func (p *pipeline) fenceOptStage() {
 			if err := inject.Hit("fences:" + f.Name); err != nil {
 				return err
 			}
+			// One escape-analysis fixpoint serves placement, merging,
+			// strengthening and the post-placement checkpoint: the fence
+			// passes never change points-to facts. The opt passes do, so
+			// their per-pass checkpoints re-derive classifiers below.
+			local := popts.Classifier(f)
 			if p.place {
-				o.placed = fences.PlaceFunc(f, popts)
+				o.placed = fences.PlaceFuncWith(f, local)
 			}
 			if p.cfg.MergeFences {
-				o.merged = fences.MergeFunc(f, popts)
+				o.merged = fences.MergeFuncWith(f, local)
 			}
 			if p.weakFences() {
 				// After merging, so §7.2's Frm·Fww→Fsc wins where it
 				// applies and only single-access fences weaken to
 				// acquire/release accesses.
-				fences.StrengthenFunc(f, popts)
+				fences.StrengthenFuncWith(f, local)
 			}
 			if p.cfg.VerifyIR {
 				if err := ir.VerifyFunc(f); err != nil {
@@ -775,7 +780,7 @@ func (p *pipeline) fenceOptStage() {
 				if err := inject.Hit("validate:" + f.Name); err != nil {
 					return err
 				}
-				if err := validate.CheckFunc(f, p.checkOpts(f.Name)); err != nil {
+				if err := validate.CheckFuncWith(f, p.checkOpts(f.Name), local); err != nil {
 					return err
 				}
 				o.stage = diag.StageFences

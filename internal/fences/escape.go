@@ -24,6 +24,15 @@ import (
 // every access whose provenance is not fully tracked classifies as shared.
 // The result is therefore conservative by construction: fences are only ever
 // dropped on accesses no other thread can observe.
+//
+// Loads are part of the tracked dataflow: the analysis keeps, per alloca,
+// the provenance of every value stored into it, and a load whose address
+// points into such a slot yields that union — so a pointer spilled into a
+// private register slot, reloaded, and then leaked (the shape refinement
+// leaves behind) escapes its root exactly as a direct leak would. Loads the
+// per-function view cannot bound — through a parameter, a global (other
+// functions store into globals too), or a tainted address — yield a tainted
+// value that can never classify as thread-private.
 
 // Escape holds the per-function escape analysis results. The zero value is
 // unusable; build one with AnalyzeFunc.
@@ -33,6 +42,12 @@ type Escape struct {
 	// a taint bit set when it may also carry a pointer the analysis does not
 	// track (a parameter, a loaded value, an absolute address).
 	derived map[ir.Value]provenance
+	// contents maps each alloca root to the union of provenances of the
+	// values stored into it. Loads from the slot yield this union, so
+	// spill/reload chains keep (and leaks through them lose) privacy. Only
+	// allocas are keyed: global contents are writable by other functions,
+	// so loads through globals taint instead.
+	contents map[ir.Value]provenance
 	// escaped marks roots whose address may become visible outside the
 	// tracked dataflow (and so, potentially, to another thread).
 	escaped map[ir.Value]bool
@@ -59,6 +74,7 @@ func (p provenance) empty() bool { return len(p.roots) == 0 && !p.taint }
 func AnalyzeFunc(f *ir.Func, localGlobals map[string]bool) *Escape {
 	e := &Escape{
 		derived:      make(map[ir.Value]provenance),
+		contents:     make(map[ir.Value]provenance),
 		escaped:      make(map[ir.Value]bool),
 		localGlobals: localGlobals,
 	}
@@ -140,11 +156,23 @@ func (e *Escape) transfer(in *ir.Instr) bool {
 	case ir.OpBitcast, ir.OpIntToPtr, ir.OpPtrToInt:
 		sources = in.Args[:1]
 	case ir.OpGEP:
-		sources = in.Args[:1] // indices offset within the same root
+		// Indices offset within the same root. Source-level GEPs promise
+		// in-bounds addressing (refinement only emits them for recovered
+		// frame/object layouts), so variable indices keep the base's root —
+		// unlike raw OpAdd arithmetic below, which gets no such promise.
+		sources = in.Args[:1]
 	case ir.OpAdd, ir.OpSub:
-		// Pointer arithmetic after refinement: ptrtoint %p + offset. Both
-		// operands may carry provenance; untracked operands act as offsets.
-		sources = in.Args
+		return e.transferArith(in)
+	case ir.OpLoad:
+		return e.transferLoad(in)
+	case ir.OpStore:
+		return e.transferStore(in)
+	case ir.OpRMW, ir.OpCmpXchg:
+		// The result is the old memory value: data read back from memory
+		// the same way a load reads it, but atomics target shared memory by
+		// construction — never a provably-private slot — so the result is
+		// simply untrackable.
+		return e.addTaint(in)
 	case ir.OpPhi:
 		sources = in.Args
 		alternatives = true
@@ -186,6 +214,144 @@ func (e *Escape) transfer(in *ir.Instr) bool {
 	return changed
 }
 
+// transferArith handles OpAdd/OpSub — pointer arithmetic after refinement:
+// ptrtoint %p ± offset. The result keeps the roots of every
+// provenance-carrying operand (a later leak must still escape them), but
+// lifted binary code computes raw addresses with no in-bounds guarantee, so
+// the result is additionally tainted — and thus never thread-private —
+// unless every offset operand is a compile-time integer constant (the
+// in-frame addressing shape the lifter materializes for stack slots).
+// Summing two derived pointers yields a garbage address and taints too.
+func (e *Escape) transferArith(in *ir.Instr) bool {
+	cur := e.derived[in]
+	changed := false
+	taint := cur.taint
+	carriers := 0
+	for _, a := range in.Args {
+		p := e.provenanceOf(a)
+		if p.taint {
+			taint = true
+		}
+		if !p.empty() {
+			carriers++
+		} else if _, isConst := a.(*ir.ConstInt); !isConst {
+			// Untracked non-constant offset: may re-target any location.
+			taint = true
+		}
+		for r := range p.roots {
+			if cur.roots == nil {
+				cur.roots = make(map[ir.Value]bool)
+			}
+			if !cur.roots[r] {
+				cur.roots[r] = true
+				changed = true
+			}
+		}
+	}
+	if carriers > 1 {
+		taint = true
+	}
+	if taint && !cur.taint {
+		cur.taint = true
+		changed = true
+	}
+	if changed {
+		e.derived[in] = cur
+	}
+	return changed
+}
+
+// transferLoad gives a load result the union of everything that may have
+// been stored into the slots its address can point to. Addresses the
+// per-function view cannot bound — untracked, tainted, or pointing into a
+// global (whose contents any function may write) — taint the result
+// instead: it may carry a pointer we cannot attribute, so it must never
+// classify as thread-private, and anything it could legitimately reveal has
+// already escaped (a tracked root only reaches unbounded memory through an
+// escaping store).
+func (e *Escape) transferLoad(in *ir.Instr) bool {
+	ap := e.provenanceOf(in.Args[0])
+	cur := e.derived[in]
+	changed := false
+	taint := cur.taint || ap.taint || len(ap.roots) == 0
+	for d := range ap.roots {
+		if _, isGlobal := d.(*ir.Global); isGlobal {
+			taint = true
+			continue
+		}
+		c := e.contents[d]
+		if c.taint {
+			taint = true
+		}
+		for r := range c.roots {
+			if cur.roots == nil {
+				cur.roots = make(map[ir.Value]bool)
+			}
+			if !cur.roots[r] {
+				cur.roots[r] = true
+				changed = true
+			}
+		}
+	}
+	if taint && !cur.taint {
+		cur.taint = true
+		changed = true
+	}
+	if changed {
+		e.derived[in] = cur
+	}
+	return changed
+}
+
+// transferStore records what a store parks inside tracked alloca slots:
+// contents[d] grows by the stored value's provenance for every alloca the
+// address may point into. Global destinations are not recorded — their
+// contents are world-readable, so collectEscapes escapes the stored roots
+// outright — and the escape side of unknown destinations is likewise
+// collectEscapes' job.
+func (e *Escape) transferStore(in *ir.Instr) bool {
+	vp := e.provenanceOf(in.Args[0])
+	if vp.empty() {
+		return false
+	}
+	pp := e.provenanceOf(in.Args[1])
+	changed := false
+	for d := range pp.roots {
+		if _, isGlobal := d.(*ir.Global); isGlobal {
+			continue
+		}
+		c := e.contents[d]
+		if vp.taint && !c.taint {
+			c.taint = true
+			changed = true
+		}
+		for r := range vp.roots {
+			if c.roots == nil {
+				c.roots = make(map[ir.Value]bool)
+			}
+			if !c.roots[r] {
+				c.roots[r] = true
+				changed = true
+			}
+		}
+		if changed {
+			e.contents[d] = c
+		}
+	}
+	return changed
+}
+
+// addTaint taints in's result unconditionally.
+func (e *Escape) addTaint(in *ir.Instr) bool {
+	cur := e.derived[in]
+	if cur.taint {
+		return false
+	}
+	cur.taint = true
+	e.derived[in] = cur
+	return true
+}
+
 // collectEscapes inspects one instruction's uses of derived values and
 // either escapes the used roots immediately or records conditional
 // store-edges.
@@ -221,12 +387,16 @@ func (e *Escape) collectEscapes(in *ir.Instr, escape func(ir.Value), edges map[i
 			escapeAll(val)
 			return
 		}
-		// Destination is tracked memory: the stored roots escape exactly
-		// when some destination root does. (A pointer sitting in a
-		// non-escaping alloca — a spilled register slot — is still private.)
+		// Destination is tracked memory. A pointer stored into a global
+		// escapes outright: any function — on any thread — can load the
+		// global and recover it, whether or not the global's own address
+		// leaks. A pointer stored into an alloca escapes exactly when the
+		// alloca does (a pointer sitting in a non-escaping spill slot is
+		// still private), recorded as a conditional edge.
 		for _, dst := range sortedRoots(pp.roots) {
+			_, dstGlobal := dst.(*ir.Global)
 			for _, src := range sortedRoots(vp.roots) {
-				if e.escaped[dst] {
+				if dstGlobal || e.escaped[dst] {
 					escape(src)
 				} else {
 					edges[dst] = append(edges[dst], src)
@@ -234,13 +404,22 @@ func (e *Escape) collectEscapes(in *ir.Instr, escape func(ir.Value), edges map[i
 			}
 		}
 	case ir.OpLoad:
-		// Address use only; the loaded result is untracked data.
+		// Address use only; the loaded result's provenance is derived by
+		// transferLoad and escapes through its own consumers.
 	case ir.OpRMW, ir.OpCmpXchg:
 		// Address operand is an access; a derived pointer used as the
 		// stored/compared *operand* escapes like a stored value with an
 		// unknown destination (atomics target shared memory by definition).
 		for _, a := range in.Args[1:] {
 			escapeAll(a)
+		}
+		// And the atomic's result reveals the slot's old contents to an
+		// untrackable consumer (transferLoad's reasoning, result tainted):
+		// anything parked in a targeted alloca is loose.
+		for _, d := range sortedRoots(e.provenanceOf(in.Args[0]).roots) {
+			for _, r := range sortedRoots(e.contents[d].roots) {
+				escape(r)
+			}
 		}
 	case ir.OpBitcast, ir.OpIntToPtr, ir.OpPtrToInt, ir.OpGEP,
 		ir.OpAdd, ir.OpSub, ir.OpPhi, ir.OpSelect:

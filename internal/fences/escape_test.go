@@ -95,6 +95,148 @@ func TestEscapeConditionalStoreEdge(t *testing.T) {
 	}
 }
 
+// The reload-leak shape: a pointer parked in a private slot, reloaded, and
+// handed to a callee must escape its root — the load result carries the
+// slot's contents provenance.
+func TestEscapeReloadLeak(t *testing.T) {
+	m := ir.NewModule("t")
+	ext := m.DeclareFunc("ext", ir.Signature(ir.Void, ir.I64))
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	inner := b.Alloca(ir.I64)
+	slot := b.Alloca(ir.I64)
+	addr := b.PtrToInt(inner, ir.I64)
+	b.Store(addr, slot)
+	p := b.Load(slot) // reload of &inner
+	b.Call(ext, p)    // leak: ext can publish &inner to another thread
+	b.Ret(nil)
+
+	e := AnalyzeFunc(f, nil)
+	if !e.Escaped(inner) {
+		t.Error("root reloaded from a slot and passed to a call must escape")
+	}
+	if e.Local(inner) {
+		t.Error("leaked root must not classify thread-local")
+	}
+	if e.Escaped(slot) || !e.Local(slot) {
+		t.Error("the slot itself never escapes (only its contents leak)")
+	}
+}
+
+// The precision side of reload tracking: a reloaded pointer used purely as
+// an address keeps its provenance, so the spill/reload shape still
+// classifies thread-private.
+func TestEscapeReloadStaysLocal(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	inner := b.Alloca(ir.I64)
+	slot := b.Alloca(ir.I64)
+	b.Store(b.PtrToInt(inner, ir.I64), slot)
+	back := b.IntToPtr(b.Load(slot), ir.PointerTo(ir.I64))
+	b.Store(ir.I64Const(1), back)
+	b.Ret(nil)
+
+	e := AnalyzeFunc(f, nil)
+	if e.Escaped(inner) {
+		t.Error("address-only reload must not escape the root")
+	}
+	if !e.Local(back) {
+		t.Error("reloaded spill pointer must keep the root's provenance")
+	}
+}
+
+// Loads through memory the per-function view cannot bound — a parameter
+// pointer or a global (other functions store into globals too) — taint the
+// result: laundering a pointer through them must never produce a value that
+// classifies thread-local, even when this function also parked a clean
+// pointer in the same place.
+func TestEscapeUnboundedLoadsTaint(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("box", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void, ir.PointerTo(ir.I64)))
+	param := f.Params[0]
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	local := b.Alloca(ir.I64)
+	b.Store(b.PtrToInt(local, ir.I64), g) // clean pointer parked in a global
+	viaGlobal := b.IntToPtr(b.Load(g), ir.PointerTo(ir.I64))
+	b.Store(ir.I64Const(1), viaGlobal)
+	viaParam := b.IntToPtr(b.Load(param), ir.PointerTo(ir.I64))
+	b.Store(ir.I64Const(2), viaParam)
+	// The tainted reload parked in a private slot poisons the slot's
+	// contents: a second reload stays shared.
+	slot := b.Alloca(ir.I64)
+	b.Store(b.Load(param), slot)
+	relaunder := b.IntToPtr(b.Load(slot), ir.PointerTo(ir.I64))
+	b.Store(ir.I64Const(3), relaunder)
+	b.Ret(nil)
+
+	e := AnalyzeFunc(f, nil)
+	for name, v := range map[string]ir.Value{
+		"load via global": viaGlobal, "load via param": viaParam,
+		"slot-laundered load": relaunder,
+	} {
+		if e.Local(v) {
+			t.Errorf("%s must not classify thread-local", name)
+		}
+	}
+	// Storing the local's address into a global escapes it outright: any
+	// function, on any thread, can load the global and recover it.
+	if !e.Escaped(local) || e.Local(local) {
+		t.Error("pointer stored into a global must escape")
+	}
+}
+
+// A global's address parked in a slot, reloaded, and leaked escapes the
+// global — and ThreadLocalGlobals must then exclude it.
+func TestThreadLocalGlobalsReloadLeak(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("priv", ir.I64)
+	ext := m.DeclareFunc("ext", ir.Signature(ir.Void, ir.I64))
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Store(ir.I64Const(1), g) // reference that would otherwise stay local
+	slot := b.Alloca(ir.I64)
+	b.Store(b.PtrToInt(g, ir.I64), slot)
+	b.Call(ext, b.Load(slot))
+	b.Ret(nil)
+
+	if e := AnalyzeFunc(f, nil); !e.Escaped(g) {
+		t.Error("global reloaded from a slot and leaked must escape")
+	}
+	if got := ThreadLocalGlobals(m); len(got) != 0 {
+		t.Errorf("ThreadLocalGlobals = %v, want none (priv leaks via reload)", got)
+	}
+}
+
+// Raw pointer arithmetic with a non-constant offset may re-target any
+// address (lifted code gets no inbounds guarantee), so the result keeps its
+// roots for escape purposes but never classifies thread-local.
+func TestEscapeVariableOffsetTaints(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Signature(ir.Void, ir.I64))
+	idx := f.Params[0]
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	arr := b.Alloca(ir.ArrayOf(ir.I64, 4))
+	base := b.PtrToInt(arr, ir.I64)
+	constp := b.IntToPtr(b.Add(base, ir.I64Const(16)), ir.PointerTo(ir.I64))
+	b.Store(ir.I64Const(1), constp)
+	varp := b.IntToPtr(b.Add(base, idx), ir.PointerTo(ir.I64))
+	b.Store(ir.I64Const(2), varp)
+	b.Ret(nil)
+
+	e := AnalyzeFunc(f, nil)
+	if !e.Local(constp) {
+		t.Error("constant in-frame offset must stay thread-local")
+	}
+	if e.Local(varp) {
+		t.Error("runtime offset must not classify thread-local")
+	}
+	if e.Escaped(arr) {
+		t.Error("address arithmetic alone does not escape the root")
+	}
+}
+
 // Phi/select arms without tracked provenance taint the merged value: it can
 // no longer be proven private even though one arm is a fresh alloca.
 func TestEscapePhiTaint(t *testing.T) {

@@ -70,14 +70,22 @@ func Place(m *ir.Module, opts Options) int {
 // uses this at function granularity: the optimized placement runs per
 // function, and a failed function is re-fenced with the zero Options (the
 // conservative full-fence mapping of Fig. 8a, always sound per §7).
+func PlaceFunc(f *ir.Func, opts Options) int {
+	return PlaceFuncWith(f, opts.classifierFor(f))
+}
+
+// PlaceFuncWith is PlaceFunc with a prebuilt thread-private classifier.
+// The pipeline computes the escape analysis once per function and shares
+// the classifier across placement, merging, strengthening, and the
+// post-placement checkpoint: inserting or removing fences changes no
+// points-to facts, so one fixpoint serves all of them.
 //
 // Each block's instruction slice is rebuilt in one pass: the old
 // insertAfter/InsertBefore pair rescanned the block per insertion, turning
 // placement quadratic on the long straight-line blocks fuzzing and litmus
 // generation produce.
-func PlaceFunc(f *ir.Func, opts Options) int {
+func PlaceFuncWith(f *ir.Func, local func(ir.Value) bool) int {
 	n := 0
-	local := opts.classifierFor(f)
 	for _, b := range f.Blocks {
 		need := 0
 		for _, in := range b.Instrs {
@@ -182,8 +190,12 @@ func Merge(m *ir.Module, opts Options) int {
 // Options used for placement: merging may only look through accesses the
 // placement classifier proved thread-private.
 func MergeFunc(f *ir.Func, opts Options) int {
+	return MergeFuncWith(f, opts.classifierFor(f))
+}
+
+// MergeFuncWith is MergeFunc with a prebuilt classifier (see PlaceFuncWith).
+func MergeFuncWith(f *ir.Func, local func(ir.Value) bool) int {
 	removed := 0
-	local := opts.classifierFor(f)
 	for _, b := range f.Blocks {
 		removed += mergeBlock(b, local)
 	}

@@ -38,8 +38,13 @@ func Strengthen(m *ir.Module, opts Options) StrengthenStats {
 // into a single Fsc (which this pass never touches), so merged fences win
 // where they apply and only genuinely single-access fences weaken.
 func StrengthenFunc(f *ir.Func, opts Options) StrengthenStats {
+	return StrengthenFuncWith(f, opts.classifierFor(f))
+}
+
+// StrengthenFuncWith is StrengthenFunc with a prebuilt classifier (see
+// PlaceFuncWith).
+func StrengthenFuncWith(f *ir.Func, local func(ir.Value) bool) StrengthenStats {
 	var s StrengthenStats
-	local := opts.classifierFor(f)
 	for _, b := range f.Blocks {
 		s.AcquireLoads += strengthenAcquires(b, local)
 		s.ReleaseStores += strengthenReleases(b, local)
@@ -48,12 +53,17 @@ func StrengthenFunc(f *ir.Func, opts Options) StrengthenStats {
 }
 
 // strengthenAcquires handles Frm fences. Scanning backward from the fence,
-// the only reads whose covering fence can be this Frm are those with no
-// other fence, full-fence atomic, call, or block start in between (every
-// other shared read is separated from the fence by a shared access, so the
-// placement invariant guarantees it carries its own earlier cover). If that
+// the window is bounded by the previous Frm/Fsc fence, full-fence atomic,
+// call, or block start; an intervening Fww is scanned *through* — it orders
+// no reads, so a read before it may still be relying on this Frm. If the
 // window holds exactly one shared plain load and nothing the scan cannot
 // account for, the load becomes acquire and the fence goes away.
+//
+// The scan is deliberately identical to memmodel.StrengthenIR's (which
+// TestStrengthenMatchesModel pins instruction-for-instruction): the
+// CheckMapping proofs over the exhaustive program enumeration then verify
+// exactly the rule shipped here, with no residual reliance on the
+// placement-coverage invariant.
 func strengthenAcquires(b *ir.Block, local func(ir.Value) bool) int {
 	n := 0
 	for i := 0; i < len(b.Instrs); i++ {
@@ -67,10 +77,14 @@ func strengthenAcquires(b *ir.Block, local func(ir.Value) bool) int {
 		for k := i - 1; k >= 0; k-- {
 			in := b.Instrs[k]
 			switch {
-			case in.Op == ir.OpFence || in.Op == ir.OpRMW || in.Op == ir.OpCmpXchg:
-				// An earlier fence (of any kind) bounds the window: reads
-				// before it are covered before it by the invariant.
-				break scan
+			case in.Op == ir.OpFence:
+				if in.Fence == ir.FenceRM || in.Fence == ir.FenceSC {
+					// Reads before an Frm/Fsc stay ordered through it.
+					break scan
+				}
+				// Fww orders no reads: scan through it, as the model does.
+			case in.Op == ir.OpRMW || in.Op == ir.OpCmpXchg:
+				break scan // seq_cst atomics are full fences
 			case in.Op == ir.OpCall:
 				ok = false // callee accesses are out of scan's sight
 				break scan
@@ -101,9 +115,9 @@ func strengthenAcquires(b *ir.Block, local func(ir.Value) bool) int {
 	return n
 }
 
-// strengthenReleases is the forward dual for Fww fences: the only writes
-// whose leading cover can be this fence sit between it and the next fence,
-// full-fence atomic, call, or block end.
+// strengthenReleases is the forward dual for Fww fences: the window runs to
+// the next Fww/Fsc fence, full-fence atomic, call, or block end, scanning
+// through any intervening Frm (it orders no writes).
 func strengthenReleases(b *ir.Block, local func(ir.Value) bool) int {
 	n := 0
 	for i := 0; i < len(b.Instrs); i++ {
@@ -117,7 +131,13 @@ func strengthenReleases(b *ir.Block, local func(ir.Value) bool) int {
 		for k := i + 1; k < len(b.Instrs); k++ {
 			in := b.Instrs[k]
 			switch {
-			case in.Op == ir.OpFence || in.Op == ir.OpRMW || in.Op == ir.OpCmpXchg:
+			case in.Op == ir.OpFence:
+				if in.Fence == ir.FenceWW || in.Fence == ir.FenceSC {
+					// Writes after an Fww/Fsc stay ordered through it.
+					break scan
+				}
+				// Frm orders no writes: scan through it, as the model does.
+			case in.Op == ir.OpRMW || in.Op == ir.OpCmpXchg:
 				break scan
 			case in.Op == ir.OpCall:
 				ok = false

@@ -1,9 +1,11 @@
 package fences
 
 import (
+	"strings"
 	"testing"
 
 	"lasagne/internal/ir"
+	"lasagne/internal/memmodel"
 )
 
 func countOrder(f *ir.Func, op ir.Op, ord ir.Ordering) int {
@@ -203,6 +205,205 @@ func TestMergeThenStrengthen(t *testing.T) {
 	if countKind(f, ir.FenceSC) != 1 || CountFunc(f) != 1 {
 		t.Fatalf("want one surviving Fsc and no other fences:\n%s", f)
 	}
+}
+
+// An Fww between a plain load and the Frm does not bound the acquire
+// window — Fww orders no reads, so the earlier load may still be relying on
+// this Frm. Two uncovered loads in the window: nothing converts. (The model
+// declines this shape; TestStrengthenWindowAbort in memmodel shows why
+// accepting it is unsound.)
+func TestStrengthenScansThroughFww(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	h := m.NewGlobal("h", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Load(g)
+	b.Fence(ir.FenceWW) // hand-built: transparent to the backward read scan
+	b.Load(h)
+	b.Fence(ir.FenceRM)
+	b.Ret(nil)
+
+	s := Strengthen(m, Options{})
+	if s.AcquireLoads != 0 || CountFunc(f) != 2 {
+		t.Fatalf("Fww must not bound the window (two uncovered reads), got %+v:\n%s", s, f)
+	}
+}
+
+// The release dual: an Frm between the Fww and a later plain store is
+// transparent to the forward write scan.
+func TestStrengthenScansThroughFrm(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64)
+	h := m.NewGlobal("h", ir.I64)
+	f := m.NewFunc("f", ir.Signature(ir.Void))
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	b.Fence(ir.FenceWW)
+	b.Store(ir.I64Const(1), g)
+	b.Fence(ir.FenceRM) // hand-built: transparent to the forward write scan
+	b.Store(ir.I64Const(2), h)
+	b.Ret(nil)
+
+	s := Strengthen(m, Options{})
+	if s.ReleaseStores != 0 || CountFunc(f) != 2 {
+		t.Fatalf("Frm must not bound the window (two uncovered writes), got %+v:\n%s", s, f)
+	}
+}
+
+// The compiler scan and the machine-checked model must implement the same
+// rule instruction-for-instruction: over every thread shape of up to four
+// ops from the model's alphabet (two locations, plain loads/stores, a
+// seq_cst RMW, all three fence kinds), StrengthenFunc and
+// memmodel.StrengthenIR produce identical op sequences. The CheckMapping
+// proofs over the exhaustive enumeration therefore verify exactly the rule
+// shipped here — not a more conservative cousin of it.
+func TestStrengthenMatchesModel(t *testing.T) {
+	type atom int
+	const (
+		ldX atom = iota
+		ldY
+		stX
+		stY
+		rmwX
+		frm
+		fww
+		fsc
+		numAtoms
+	)
+
+	irSig := func(f *ir.Func, gx *ir.Global) string {
+		var parts []string
+		for _, in := range f.Blocks[0].Instrs {
+			switch in.Op {
+			case ir.OpLoad:
+				s := "ldY"
+				if in.Args[0] == ir.Value(gx) {
+					s = "ldX"
+				}
+				if in.Order == ir.Acquire {
+					s += ".acq"
+				}
+				parts = append(parts, s)
+			case ir.OpStore:
+				s := "stY"
+				if in.Args[1] == ir.Value(gx) {
+					s = "stX"
+				}
+				if in.Order == ir.Release {
+					s += ".rel"
+				}
+				parts = append(parts, s)
+			case ir.OpRMW:
+				parts = append(parts, "rmwX")
+			case ir.OpFence:
+				switch in.Fence {
+				case ir.FenceRM:
+					parts = append(parts, "Frm")
+				case ir.FenceWW:
+					parts = append(parts, "Fww")
+				default:
+					parts = append(parts, "Fsc")
+				}
+			}
+		}
+		return strings.Join(parts, ";")
+	}
+	modelSig := func(th []memmodel.Op) string {
+		var parts []string
+		for _, o := range th {
+			switch o.Kind {
+			case memmodel.OpLoad:
+				s := "ld" + o.Loc
+				if o.Acq {
+					s += ".acq"
+				}
+				parts = append(parts, s)
+			case memmodel.OpStore:
+				s := "st" + o.Loc
+				if o.Rel {
+					s += ".rel"
+				}
+				parts = append(parts, s)
+			case memmodel.OpRMW:
+				parts = append(parts, "rmwX")
+			case memmodel.OpFence:
+				switch o.Fence {
+				case memmodel.Frm:
+					parts = append(parts, "Frm")
+				case memmodel.Fww:
+					parts = append(parts, "Fww")
+				default:
+					parts = append(parts, "Fsc")
+				}
+			}
+		}
+		return strings.Join(parts, ";")
+	}
+
+	checked := 0
+	check := func(seq []atom) {
+		m := ir.NewModule("t")
+		gx := m.NewGlobal("X", ir.I64)
+		gy := m.NewGlobal("Y", ir.I64)
+		f := m.NewFunc("f", ir.Signature(ir.Void))
+		b := ir.NewBuilder(f.NewBlock("entry"))
+		var th []memmodel.Op
+		for _, a := range seq {
+			switch a {
+			case ldX:
+				b.Load(gx)
+				th = append(th, memmodel.Ld("X"))
+			case ldY:
+				b.Load(gy)
+				th = append(th, memmodel.Ld("Y"))
+			case stX:
+				b.Store(ir.I64Const(1), gx)
+				th = append(th, memmodel.St("X", 1))
+			case stY:
+				b.Store(ir.I64Const(1), gy)
+				th = append(th, memmodel.St("Y", 1))
+			case rmwX:
+				b.RMW(ir.RMWAdd, gx, ir.I64Const(2))
+				th = append(th, memmodel.RMW("X", 2))
+			case frm:
+				b.Fence(ir.FenceRM)
+				th = append(th, memmodel.Fn(memmodel.Frm))
+			case fww:
+				b.Fence(ir.FenceWW)
+				th = append(th, memmodel.Fn(memmodel.Fww))
+			case fsc:
+				b.Fence(ir.FenceSC)
+				th = append(th, memmodel.Fn(memmodel.Fsc))
+			}
+		}
+		b.Ret(nil)
+
+		StrengthenFunc(f, Options{})
+		got := irSig(f, gx)
+		s := memmodel.StrengthenIR(&memmodel.Program{
+			Name:    "diff",
+			Threads: [][]memmodel.Op{th},
+		})
+		want := modelSig(s.Threads[0])
+		if got != want {
+			t.Fatalf("scan divergence on %v:\ncompiler: %s\nmodel:    %s", seq, got, want)
+		}
+		checked++
+	}
+	var gen func(cur []atom)
+	gen = func(cur []atom) {
+		if len(cur) > 0 {
+			check(cur)
+		}
+		if len(cur) == 4 {
+			return
+		}
+		for a := atom(0); a < numAtoms; a++ {
+			gen(append(cur, a))
+		}
+	}
+	gen(nil)
+	t.Logf("compared %d thread shapes against the model", checked)
 }
 
 // A call aborts the scan: callee accesses are invisible, so the fence must

@@ -56,6 +56,16 @@ func (o Opts) fenceOptions() fences.Options {
 // CheckFunc runs the structural verifier and the selected semantic
 // invariants on one function, returning the first violation.
 func CheckFunc(f *ir.Func, o Opts) error {
+	return CheckFuncWith(f, o, nil)
+}
+
+// CheckFuncWith is CheckFunc with an optional prebuilt thread-private
+// classifier. The pipeline passes the classifier its fence passes used so
+// the post-placement checkpoint does not re-run the escape analysis; nil
+// derives a fresh one from o. Callers must only reuse a classifier while
+// the function's access graph is unchanged (fence insertion/removal is
+// fine; the opt passes are not — re-derive after them).
+func CheckFuncWith(f *ir.Func, o Opts, local func(ir.Value) bool) error {
 	if err := ir.VerifyFunc(f); err != nil {
 		return err
 	}
@@ -69,7 +79,10 @@ func CheckFunc(f *ir.Func, o Opts) error {
 		}
 	}
 	if o.FencesPlaced {
-		if err := checkFenceCoverage(f, o.fenceOptions().Classifier(f)); err != nil {
+		if local == nil {
+			local = o.fenceOptions().Classifier(f)
+		}
+		if err := checkFenceCoverage(f, local); err != nil {
 			return err
 		}
 	}
