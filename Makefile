@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify fuzz bench bench-memmodel bench-translate bench-fences
+.PHONY: build test verify fuzz bench bench-memmodel bench-translate bench-fences bench-serve
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the robustness gate: static analysis plus the diagnostic and
-# fault-injection suites under the race detector.
+# verify is the robustness gate: static analysis plus the diagnostic,
+# fault-injection, cache crash-safety, and daemon chaos suites under the
+# race detector.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/diag/... ./internal/core/...
+	$(GO) test -race ./internal/diag/... ./internal/core/... ./internal/serve/...
 
 # fuzz runs the FuzzTranslate target for 30s (the fault-tolerance contract:
 # no escaped panics, every failure yields a diagnostic).
@@ -37,6 +38,14 @@ bench-translate:
 	$(GO) test -json -run '^$$' -bench 'TranslatePhoenix' \
 		-benchmem -count 3 . > BENCH_translate.json
 	@echo "wrote BENCH_translate.json"
+
+# bench-serve drives an in-process lasagned with 8 clients round-robining
+# over 4 Phoenix modules against one shared translation cache and records
+# throughput plus latency percentiles. Fails if any response is malformed
+# or any clean 200 is not byte-identical to the batch pipeline's output.
+bench-serve:
+	$(GO) run ./cmd/lasagne-bench -serve-load 8x4 -serve-requests 32 -serve-out BENCH_serve.json
+	@echo "wrote BENCH_serve.json"
 
 # bench-fences measures the weaker-than-DMB lowering: per-kernel fence
 # counts at each tier of the lattice (naive Fig. 8a placement, §7.2 merged,

@@ -62,10 +62,19 @@ func main() {
 	diff := flag.Int("diff", 0,
 		"run the differential oracle over the Phoenix suite with N seeded data images per kernel (0 = off)")
 	seed := flag.Int64("seed", 0, "first data seed for -diff")
+	serveLoad := flag.String("serve-load", "",
+		"drive a lasagned instance with NxM load (N clients round-robining over M Phoenix modules) and write throughput/latency percentiles to -serve-out")
+	serveAddr := flag.String("serve-addr", "",
+		"base URL of a running lasagned for -serve-load (default: start an in-process server)")
+	serveRequests := flag.Int("serve-requests", 32, "requests per client for -serve-load")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path for -serve-load results")
 	flag.Parse()
 
 	if *diff > 0 {
 		os.Exit(runDiff(*diff, *seed, *maxSteps))
+	}
+	if *serveLoad != "" {
+		os.Exit(runServeLoad(*serveLoad, *serveAddr, *cacheDir, *serveOut, *serveRequests))
 	}
 
 	eval.Parallelism = *parallel

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lasagne/internal/backend"
+	"lasagne/internal/core"
+	"lasagne/internal/core/cache"
+	"lasagne/internal/minic"
+	"lasagne/internal/opt"
+	"lasagne/internal/phoenix"
+	"lasagne/internal/serve"
+)
+
+// serveLoadResult is the BENCH_serve.json schema.
+type serveLoadResult struct {
+	Clients       int            `json:"clients"`
+	Modules       int            `json:"modules"`
+	Requests      int            `json:"requests"`
+	OK            int            `json:"ok"`
+	Shed          int            `json:"shed"`
+	Failed        int            `json:"failed"`
+	Seconds       float64        `json:"seconds"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Latency       latencySummary `json:"latency_ms"`
+	Cache         *cache.Health  `json:"cache,omitempty"`
+}
+
+type latencySummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// parseServeLoad parses "NxM" into (clients, modules).
+func parseServeLoad(s string) (int, int, error) {
+	var n, m int
+	if _, err := fmt.Sscanf(s, "%dx%d", &n, &m); err != nil || n < 1 || m < 1 {
+		return 0, 0, fmt.Errorf("bad -serve-load %q, want NxM with N,M >= 1", s)
+	}
+	return n, m, nil
+}
+
+// loadModule is one prebuilt request payload plus its batch reference.
+type loadModule struct {
+	name string
+	body []byte // JSON request body
+	ref  []byte // batch pipeline output, the byte-identity oracle
+}
+
+func buildLoadModules(m int) ([]loadModule, error) {
+	bench := phoenix.All()
+	if m > len(bench) {
+		m = len(bench)
+	}
+	mods := make([]loadModule, 0, m)
+	for _, b := range bench[:m] {
+		mod, err := minic.Compile(b.Name, b.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		if err := opt.Optimize(mod); err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		xbin, err := backend.Compile(mod, "x86-64")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		ref, _, _, err := core.Translate(xbin, core.Default())
+		if err != nil {
+			return nil, fmt.Errorf("%s: batch reference: %w", b.Name, err)
+		}
+		body, err := json.Marshal(serve.Request{
+			Module: base64.StdEncoding.EncodeToString(xbin.Marshal()),
+		})
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, loadModule{name: b.Name, body: body, ref: ref.Marshal()})
+	}
+	return mods, nil
+}
+
+// runServeLoad drives a lasagned instance with clients×requests concurrent
+// load and writes throughput and latency percentiles to outPath. When addr
+// is empty an in-process server is started (sharing cacheDir if set). Every
+// response must be well-formed — a known status with a decodable JSON body —
+// and every clean 200 must be byte-identical to the batch pipeline's output
+// for that module; anything else fails the run.
+func runServeLoad(spec, addr, cacheDir, outPath string, perClient int) int {
+	clients, nmods, err := parseServeLoad(spec)
+	if err != nil {
+		fatal(err)
+	}
+	mods, err := buildLoadModules(nmods)
+	if err != nil {
+		fatal(err)
+	}
+	nmods = len(mods)
+
+	var localCache *cache.Cache
+	base := strings.TrimRight(addr, "/")
+	if base == "" {
+		if cacheDir != "" {
+			if localCache, err = cache.Open(cacheDir, 0); err != nil {
+				fatal(err)
+			}
+		} else {
+			localCache = cache.New(0)
+		}
+		s := serve.New(serve.Options{QueueDepth: 2 * clients, Cache: localCache})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		httpSrv := &http.Server{Handler: s.Handler()}
+		go httpSrv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			httpSrv.Shutdown(ctx)
+			s.Drain(ctx)
+		}()
+		base = "http://" + ln.Addr().String()
+	}
+
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusUnprocessableEntity: true,
+		http.StatusTooManyRequests:     true,
+		http.StatusInternalServerError: true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      true,
+	}
+	var (
+		mu                          sync.Mutex
+		latencies                   []float64
+		ok, shed, failed, malformed int
+	)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cli := 0; cli < clients; cli++ {
+		wg.Add(1)
+		go func(cli int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				m := mods[(cli+r)%nmods]
+				t0 := time.Now()
+				hres, err := client.Post(base+"/translate", "application/json",
+					bytes.NewReader(m.body))
+				lat := time.Since(t0)
+				if err != nil {
+					mu.Lock()
+					malformed++
+					mu.Unlock()
+					fmt.Fprintf(os.Stderr, "lasagne-bench: transport error: %v\n", err)
+					continue
+				}
+				var resp serve.Response
+				derr := json.NewDecoder(hres.Body).Decode(&resp)
+				hres.Body.Close()
+				mu.Lock()
+				latencies = append(latencies, float64(lat)/float64(time.Millisecond))
+				switch {
+				case derr != nil || !allowed[hres.StatusCode]:
+					malformed++
+					fmt.Fprintf(os.Stderr, "lasagne-bench: malformed response: status %d, decode err %v\n",
+						hres.StatusCode, derr)
+				case hres.StatusCode == http.StatusOK:
+					got, berr := base64.StdEncoding.DecodeString(resp.Object)
+					if berr != nil || (len(resp.Degraded) == 0 && !bytes.Equal(got, m.ref)) {
+						malformed++
+						fmt.Fprintf(os.Stderr,
+							"lasagne-bench: %s: response not byte-identical to batch output\n", m.name)
+					} else {
+						ok++
+					}
+				case hres.StatusCode == http.StatusTooManyRequests:
+					shed++
+				default:
+					failed++
+				}
+				mu.Unlock()
+			}
+		}(cli)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var health *cache.Health
+	if localCache != nil {
+		h := localCache.Health()
+		health = &h
+	} else {
+		// External daemon: pull cache health off /healthz, best-effort.
+		if hres, err := client.Get(base + "/healthz"); err == nil {
+			var hb serve.HealthBody
+			if json.NewDecoder(hres.Body).Decode(&hb) == nil {
+				health = hb.Cache
+			}
+			hres.Body.Close()
+		}
+	}
+
+	sort.Float64s(latencies)
+	total := clients * perClient
+	res := serveLoadResult{
+		Clients:       clients,
+		Modules:       nmods,
+		Requests:      total,
+		OK:            ok,
+		Shed:          shed,
+		Failed:        failed,
+		Seconds:       elapsed.Seconds(),
+		ThroughputRPS: float64(total) / elapsed.Seconds(),
+		Latency: latencySummary{
+			P50: percentile(latencies, 0.50),
+			P90: percentile(latencies, 0.90),
+			P99: percentile(latencies, 0.99),
+			Max: percentile(latencies, 1.0),
+		},
+		Cache: health,
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serve-load %dx%d: %d requests in %.2fs (%.1f req/s), ok %d, shed %d, failed %d; p50 %.1fms p90 %.1fms p99 %.1fms -> %s\n",
+		clients, nmods, total, res.Seconds, res.ThroughputRPS, ok, shed, failed,
+		res.Latency.P50, res.Latency.P90, res.Latency.P99, outPath)
+	if malformed > 0 {
+		fmt.Fprintf(os.Stderr, "lasagne-bench: %d malformed or non-identical responses\n", malformed)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,170 @@
+// lasagned is the translation daemon: a long-running HTTP/JSON service
+// wrapping the Lasagne pipeline with admission control, per-request
+// deadline/budget propagation, panic isolation, a shared crash-safe
+// translation cache, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	lasagned [-addr 127.0.0.1:7333] [-workers N] [-queue N]
+//	         [-drain-timeout 10s] [-cache-dir DIR] [-cache-entries N]
+//	         [-jobs N] [-func-budget D] [-max-deadline D]
+//	         [-validate] [-allow-partial] [-inject 'point=mode[:n],...']
+//
+// Endpoints:
+//
+//	POST /translate  {"module": "<base64 obj>", "reverse": bool,
+//	                  "config": {"refine": bool, ...}}
+//	                 headers: X-Lasagne-Deadline-Ms, X-Lasagne-Func-Budget-Ms
+//	GET  /healthz    process liveness + queue/cache counters
+//	GET  /readyz     200 while admitting; 503 when draining or saturated
+//
+// On SIGTERM the daemon stops admitting, finishes in-flight work under
+// -drain-timeout, then exits 0 (or 1 when the drain deadline expired with
+// work still running).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lasagne/internal/core"
+	"lasagne/internal/core/cache"
+	"lasagne/internal/diag/inject"
+	"lasagne/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7333", "listen address")
+	workers := flag.Int("workers", 0, "translation worker pool size (0 = one per CPU)")
+	queue := flag.Int("queue", 64, "admission queue depth; a full queue sheds load with 429")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long SIGTERM waits for in-flight work before giving up")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent translation cache directory shared by all requests (crash-safe; empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 0,
+		fmt.Sprintf("in-memory cache capacity (0 = %d)", cache.DefaultMaxEntries))
+	jobs := flag.Int("jobs", 1,
+		"per-request worker count for the function-parallel stages (output is byte-identical at any value)")
+	funcBudget := flag.Duration("func-budget", 0,
+		"default per-function time budget (overridable per request via X-Lasagne-Func-Budget-Ms)")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute,
+		"cap on the per-request deadline (X-Lasagne-Deadline-Ms is clamped to this)")
+	validateF := flag.Bool("validate", false, "run the self-checking checkpoints on every request")
+	allowPartial := flag.Bool("allow-partial", false,
+		"translate past unliftable functions (they become flagged stubs)")
+	injectF := flag.String("inject", "",
+		"arm failpoints for chaos testing: comma-separated point=mode[:n] "+
+			"(mode: fail|panic|stall; n = auto-disarm after n hits), e.g. 'serve:request=fail:1'")
+	flag.Parse()
+
+	if err := armInjections(*injectF); err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Default()
+	cfg.Validate = *validateF
+	cfg.AllowPartial = *allowPartial
+	cfg.FuncBudget = *funcBudget
+
+	opts := serve.Options{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxDeadline: *maxDeadline,
+		Config:      cfg,
+		Jobs:        *jobs,
+	}
+	if *cacheDir != "" {
+		c, err := cache.Open(*cacheDir, *cacheEntries)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cache = c
+	} else {
+		opts.Cache = cache.New(*cacheEntries)
+	}
+
+	s := serve.New(opts)
+	httpSrv := &http.Server{Handler: s.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("lasagned: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "lasagned: %v: draining (timeout %s)\n", sig, *drainTimeout)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	// Drain: stop admitting first so readyz flips and new jobs bounce, then
+	// let the HTTP server finish in-flight handlers (each waiting on its
+	// job), then park the worker pool.
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	serr := httpSrv.Shutdown(ctx)
+	derr := s.Drain(ctx)
+	if serr != nil || derr != nil {
+		fmt.Fprintf(os.Stderr, "lasagned: unclean drain: shutdown=%v drain=%v\n", serr, derr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "lasagned: drained cleanly")
+}
+
+// armInjections parses -inject: "point=mode" or "point=mode:n", comma
+// separated. It exists so chaos and CI smoke runs can fault the real binary
+// exactly like the in-process tests fault the library.
+func armInjections(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		point, rest, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || point == "" {
+			return fmt.Errorf("lasagned: bad -inject entry %q: want point=mode[:n]", part)
+		}
+		modeStr, nStr, hasN := strings.Cut(rest, ":")
+		var mode inject.Mode
+		switch modeStr {
+		case "fail":
+			mode = inject.Fail
+		case "panic":
+			mode = inject.Panic
+		case "stall":
+			mode = inject.Stall
+		default:
+			return fmt.Errorf("lasagned: bad -inject mode %q: want fail|panic|stall", modeStr)
+		}
+		if hasN {
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("lasagned: bad -inject count %q: want a positive integer", nStr)
+			}
+			inject.ArmN(point, mode, n)
+		} else {
+			inject.Arm(point, mode)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lasagned:", err)
+	os.Exit(1)
+}

@@ -9,8 +9,18 @@
 // the per-function statistics deltas, so a hit reproduces the translation
 // byte-for-byte without running any pass. Only cleanly translated functions
 // are stored: degraded/fallback results must re-run (and re-diagnose) every
-// time. The in-memory layer is a bounded LRU; an optional directory adds a
-// persistent second level shared across processes.
+// time.
+//
+// The in-memory layer is a bounded LRU, sharded by key prefix so the
+// many-goroutine probe/fill traffic of a long-lived server never serializes
+// on one lock. An optional directory adds a persistent second level shared
+// across processes; that layer is crash-safe: entries are fsynced (file and
+// parent directory) before the publishing rename, carry an end-to-end
+// checksum that is verified on every read, and a corrupt or truncated file
+// is quarantined — moved aside, counted, and treated as a miss — never
+// returned. Disk writes retry transient failures with capped exponential
+// backoff and remain best-effort: a write that still fails only costs
+// future recomputation.
 package cache
 
 import (
@@ -20,11 +30,14 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"lasagne/internal/diag/inject"
 	"lasagne/internal/ir"
 )
 
@@ -63,22 +76,40 @@ type Entry struct {
 	FencesMerged int
 }
 
-// encodedSize returns the serialized size of the entry on disk.
+// encodedSize returns the serialized size of the entry payload on disk
+// (stats fields, body length, body bytes — excluding magic/version/crc).
 func (e *Entry) encodedSize() int { return 8 + 8 + 8 + len(e.Body) }
 
-// Cache is a two-level (memory, optionally disk) translation cache. All
-// methods are safe for concurrent use; the worker pool of the parallel
-// pipeline probes and fills it from many goroutines.
-type Cache struct {
+// numShards splits the in-memory LRU by key prefix. SHA-256 keys are
+// uniform, so the first byte spreads load evenly; 16 shards keeps lock
+// hold times negligible at server concurrency without bloating the struct.
+const numShards = 16
+
+// shard is one lock-striped slice of the in-memory LRU.
+type shard struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used
 	items map[Key]*list.Element
+}
+
+// Cache is a two-level (memory, optionally disk) translation cache. All
+// methods are safe for concurrent use; the worker pool of the parallel
+// pipeline — and, in the daemon, many concurrent requests — probe and fill
+// it from many goroutines.
+type Cache struct {
+	shards [numShards]shard
 
 	dir string // "" = memory only
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	flightWaits atomic.Int64 // misses served by waiting on another caller's computation
+	quarantined atomic.Int64 // corrupt disk entries moved aside
+	diskErrors  atomic.Int64 // disk writes that failed even after retries
+
+	flmu    sync.Mutex
+	flights map[Key]*Flight
 }
 
 type lruItem struct {
@@ -89,17 +120,26 @@ type lruItem struct {
 // DefaultMaxEntries bounds the in-memory layer when callers pass 0.
 const DefaultMaxEntries = 4096
 
-// New returns a memory-only cache holding at most maxEntries entries
-// (DefaultMaxEntries if maxEntries <= 0).
+// New returns a memory-only cache holding roughly maxEntries entries
+// (DefaultMaxEntries if maxEntries <= 0). The bound is enforced per shard —
+// ceil(maxEntries/numShards) each — so with the uniform SHA-256 key
+// distribution total occupancy converges on maxEntries while eviction never
+// takes a cross-shard lock.
 func New(maxEntries int) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMaxEntries
 	}
-	return &Cache{
-		max:   maxEntries,
-		ll:    list.New(),
-		items: make(map[Key]*list.Element),
+	perShard := (maxEntries + numShards - 1) / numShards
+	if perShard < 1 {
+		perShard = 1
 	}
+	c := &Cache{flights: map[Key]*Flight{}}
+	for i := range c.shards {
+		c.shards[i].max = perShard
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[Key]*list.Element)
+	}
+	return c
 }
 
 // Open returns a cache backed by dir as a persistent second level. The
@@ -114,27 +154,48 @@ func Open(dir string, maxEntries int) (*Cache, error) {
 	return c, nil
 }
 
+func (c *Cache) shard(k Key) *shard { return &c.shards[int(k[0])%numShards] }
+
 // Get returns the entry for k and whether it was present in either level.
 // A disk hit is promoted into the memory layer.
 func (c *Cache) Get(k Key) (*Entry, bool) {
-	c.mu.Lock()
-	if el, ok := c.items[k]; ok {
-		c.ll.MoveToFront(el)
-		e := el.Value.(*lruItem).entry
-		c.mu.Unlock()
+	if e, ok := c.get(k); ok {
 		c.hits.Add(1)
 		return e, true
 	}
-	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// get is Get without the hit/miss accounting, shared with the single-flight
+// retry loop (whose re-probes must not inflate the counters).
+func (c *Cache) get(k Key) (*Entry, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
+		e := el.Value.(*lruItem).entry
+		s.mu.Unlock()
+		return e, true
+	}
+	s.mu.Unlock()
 
 	if c.dir != "" {
-		if e, err := readEntryFile(c.path(k)); err == nil {
+		path := c.path(k)
+		e, err := readEntryFile(path)
+		switch {
+		case err == nil:
 			c.insert(k, e)
-			c.hits.Add(1)
 			return e, true
+		case errors.Is(err, errBadEntry):
+			// Never trust a corrupt or truncated entry: move it aside so it
+			// stops matching, keep it for post-mortem, and recompute.
+			c.quarantine(path)
+		case errors.Is(err, errStaleEntry):
+			// A valid file in an older format: silently superseded.
+			_ = os.Remove(path)
 		}
 	}
-	c.misses.Add(1)
 	return nil, false
 }
 
@@ -144,36 +205,82 @@ func (c *Cache) Put(k Key, e *Entry) {
 	c.insert(k, e)
 	if c.dir != "" {
 		// Best effort: a failed write only costs future recomputation.
-		_ = writeEntryFile(c.path(k), e)
+		if err := writeEntryFileRetry(c.path(k), e); err != nil {
+			c.diskErrors.Add(1)
+		}
 	}
 }
 
 func (c *Cache) insert(k Key, e *Entry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
-		c.ll.MoveToFront(el)
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
 		el.Value.(*lruItem).entry = e
 		return
 	}
-	c.items[k] = c.ll.PushFront(&lruItem{key: k, entry: e})
-	for c.ll.Len() > c.max {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruItem).key)
+	s.items[k] = s.ll.PushFront(&lruItem{key: k, entry: e})
+	for s.ll.Len() > s.max {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*lruItem).key)
 	}
+}
+
+// quarantine moves a corrupt disk entry into the quarantine/ subdirectory
+// (falling back to deletion when even that fails) so it can never be
+// returned again but remains inspectable.
+func (c *Cache) quarantine(path string) {
+	qdir := filepath.Join(c.dir, "quarantine")
+	err := os.MkdirAll(qdir, 0o755)
+	if err == nil {
+		err = os.Rename(path, filepath.Join(qdir, filepath.Base(path)))
+	}
+	if err != nil {
+		_ = os.Remove(path)
+	}
+	c.quarantined.Add(1)
 }
 
 // Len returns the number of entries in the memory layer.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns the cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Health is a point-in-time snapshot of the cache's counters, exposed by
+// the daemon's health endpoints.
+type Health struct {
+	Entries     int   `json:"entries"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	FlightWaits int64 `json:"flight_waits"`
+	Quarantined int64 `json:"quarantined"`
+	DiskErrors  int64 `json:"disk_errors"`
+}
+
+// Health snapshots the cache counters.
+func (c *Cache) Health() Health {
+	return Health{
+		Entries:     c.Len(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		FlightWaits: c.flightWaits.Load(),
+		Quarantined: c.quarantined.Load(),
+		DiskErrors:  c.diskErrors.Load(),
+	}
 }
 
 func (c *Cache) path(k Key) string {
@@ -182,40 +289,133 @@ func (c *Cache) path(k Key) string {
 	return filepath.Join(c.dir, name[:2], name[2:]+".lce")
 }
 
-// Disk format: magic, format version, stats fields, body length, body bytes.
+// Disk format v2: magic, format version, stats fields, body length, body
+// bytes, then a CRC-32C over everything before it. The checksum is the
+// end-to-end integrity check: rename gives atomic visibility, but only the
+// checksum catches a torn or bit-flipped entry that a crash (or a bad disk)
+// left behind with a plausible length.
 const (
-	diskMagic   = "LCE1"
-	diskVersion = 1
+	diskMagic   = "LCE2"
+	diskVersion = 2
 )
 
-var errBadEntry = errors.New("cache: bad disk entry")
+// Failpoint names for the disk layer, armed by crash-safety tests via
+// diag/inject to simulate kill-during-write and transient I/O faults.
+const (
+	InjectWrite   = "cache:write"   // before writing the temp file
+	InjectFsync   = "cache:fsync"   // before fsyncing the temp file
+	InjectRename  = "cache:rename"  // before the publishing rename
+	InjectDirsync = "cache:dirsync" // before fsyncing the parent directory
+)
 
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	errBadEntry   = errors.New("cache: bad disk entry")
+	errStaleEntry = errors.New("cache: stale disk entry format")
+)
+
+// Disk write retry policy: transient I/O errors (EINTR, brief ENOSPC,
+// network filesystems hiccuping) get a few quick retries with doubling,
+// capped backoff; persistent failure is surfaced to the caller, who treats
+// the write as best-effort.
+var (
+	writeRetries     = 3
+	writeBackoffBase = time.Millisecond
+	writeBackoffMax  = 10 * time.Millisecond
+	// retrySleep is swappable so tests exercise the retry loop without
+	// real sleeps.
+	retrySleep = time.Sleep
+)
+
+func writeEntryFileRetry(path string, e *Entry) error {
+	backoff := writeBackoffBase
+	var err error
+	for attempt := 0; attempt <= writeRetries; attempt++ {
+		if attempt > 0 {
+			retrySleep(backoff)
+			backoff *= 2
+			if backoff > writeBackoffMax {
+				backoff = writeBackoffMax
+			}
+		}
+		if err = writeEntryFile(path, e); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// writeEntryFile publishes one entry crash-safely: build the checksummed
+// image, write it to a temp file in the destination directory, fsync the
+// temp file, rename it over the final name, and fsync the directory so the
+// rename itself survives power loss. Concurrent readers see either no entry
+// or the complete entry, and a crash at any point leaves at worst an
+// orphaned temp file (ignored by readers) — never a live corrupt entry.
 func writeEntryFile(path string, e *Entry) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	buf := make([]byte, 0, len(diskMagic)+4+e.encodedSize())
+	buf := make([]byte, 0, len(diskMagic)+4+e.encodedSize()+4)
 	buf = append(buf, diskMagic...)
 	buf = binary.LittleEndian.AppendUint32(buf, diskVersion)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.FencesPlaced))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.FencesMerged))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(e.Body)))
 	buf = append(buf, e.Body...)
-	// Write-then-rename so concurrent readers never observe a torn entry.
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(buf); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
+	}
+	if err := inject.Hit(InjectWrite); err != nil {
+		return cleanup(err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return cleanup(err)
+	}
+	if err := inject.Hit(InjectFsync); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := inject.Hit(InjectRename); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := inject.Hit(InjectDirsync); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry's name is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func readEntryFile(path string) (*Entry, error) {
@@ -223,11 +423,18 @@ func readEntryFile(path string) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(data) >= 4 && string(data[:4]) == "LCE1" {
+		return nil, errStaleEntry
+	}
 	hdr := len(diskMagic) + 4 + 24
-	if len(data) < hdr || string(data[:len(diskMagic)]) != diskMagic {
+	if len(data) < hdr+4 || string(data[:len(diskMagic)]) != diskMagic {
 		return nil, errBadEntry
 	}
 	if binary.LittleEndian.Uint32(data[len(diskMagic):]) != diskVersion {
+		return nil, errStaleEntry
+	}
+	payload, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, crcTable) != sum {
 		return nil, errBadEntry
 	}
 	p := len(diskMagic) + 4
@@ -236,7 +443,7 @@ func readEntryFile(path string) (*Entry, error) {
 		FencesMerged: int(binary.LittleEndian.Uint64(data[p+8:])),
 	}
 	n := binary.LittleEndian.Uint64(data[p+16:])
-	body := data[hdr:]
+	body := payload[hdr:]
 	if uint64(len(body)) != n {
 		return nil, errBadEntry
 	}

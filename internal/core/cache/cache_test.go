@@ -127,10 +127,12 @@ func TestKeySensitivity(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(2)
+	// The LRU bound is per shard (ceil(max/numShards)); keep every key in
+	// one shard (same first byte) so the eviction order is observable.
+	c := New(2 * numShards)
 	keys := make([]Key, 3)
 	for i := range keys {
-		keys[i][0] = byte(i + 1)
+		keys[i][1] = byte(i + 1)
 		c.Put(keys[i], &Entry{Body: []byte{byte(i)}})
 	}
 	if c.Len() != 2 {
@@ -149,7 +151,7 @@ func TestLRUEviction(t *testing.T) {
 		t.Fatal("entry 1 missing")
 	}
 	var k4 Key
-	k4[0] = 4
+	k4[1] = 4
 	c.Put(k4, &Entry{})
 	if _, ok := c.Get(keys[2]); ok {
 		t.Error("LRU evicted the most recently used entry instead of the oldest")
@@ -157,6 +159,27 @@ func TestLRUEviction(t *testing.T) {
 	hits, misses := c.Stats()
 	if hits == 0 || misses == 0 {
 		t.Errorf("Stats = (%d, %d), want both nonzero", hits, misses)
+	}
+}
+
+func TestShardedCapacityAndSpread(t *testing.T) {
+	// Keys spread across shards must not evict each other while each shard
+	// stays within its own bound.
+	c := New(numShards) // one entry per shard
+	for i := 0; i < numShards; i++ {
+		var k Key
+		k[0] = byte(i)
+		c.Put(k, &Entry{Body: []byte{byte(i)}})
+	}
+	if c.Len() != numShards {
+		t.Fatalf("Len = %d, want %d", c.Len(), numShards)
+	}
+	for i := 0; i < numShards; i++ {
+		var k Key
+		k[0] = byte(i)
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("cross-shard entry %d evicted spuriously", i)
+		}
 	}
 }
 

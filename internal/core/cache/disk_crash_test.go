@@ -1,0 +1,331 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lasagne/internal/diag/inject"
+)
+
+func testEntry(i int) *Entry {
+	return &Entry{Body: []byte(fmt.Sprintf("body-%d", i)), FencesPlaced: i, FencesMerged: i / 2}
+}
+
+func keyN(b0, b1 byte) Key {
+	var k Key
+	k[0], k[1] = b0, b1
+	return k
+}
+
+// listFiles returns every regular file under dir, relative, sorted-ish.
+func listFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			rel, _ := filepath.Rel(dir, path)
+			out = append(out, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// A crash before the publishing rename (simulated by a failing rename
+// failpoint) must leave no visible entry and no live garbage: readers see a
+// plain miss and the temp file is cleaned up.
+func TestCrashBeforeRenameLeavesNoEntry(t *testing.T) {
+	defer inject.Reset()
+	dir := t.TempDir()
+	c, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject.Arm(InjectRename, inject.Fail)
+	k := keyN(0xaa, 1)
+	c.Put(k, testEntry(1)) // best-effort: must not panic or corrupt
+	inject.Reset()
+
+	// The write failed after retries: counted, and a fresh cache sees a miss.
+	if h := c.Health(); h.DiskErrors == 0 {
+		t.Error("failed disk write not counted in Health().DiskErrors")
+	}
+	c2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(k); ok {
+		t.Error("entry visible on disk despite rename never happening")
+	}
+	for _, f := range listFiles(t, dir) {
+		if strings.Contains(f, ".tmp-") {
+			t.Errorf("orphaned temp file left behind: %s", f)
+		}
+	}
+}
+
+// A transient fsync failure must be retried: with the failpoint armed for
+// exactly one hit, the Put succeeds on the second attempt and the entry is
+// durable and readable.
+func TestTransientFsyncFailureIsRetried(t *testing.T) {
+	defer inject.Reset()
+	// No real sleeping in the retry loop.
+	oldSleep := retrySleep
+	retrySleep = func(d time.Duration) {}
+	defer func() { retrySleep = oldSleep }()
+
+	dir := t.TempDir()
+	c, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject.ArmN(InjectFsync, inject.Fail, 1)
+	k := keyN(0xbb, 2)
+	want := testEntry(2)
+	c.Put(k, want)
+	if h := c.Health(); h.DiskErrors != 0 {
+		t.Errorf("retried write still counted as a disk error (DiskErrors=%d)", h.DiskErrors)
+	}
+	c2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(k)
+	if !ok {
+		t.Fatal("entry not durable after a retried transient fsync failure")
+	}
+	if !bytes.Equal(got.Body, want.Body) {
+		t.Errorf("retried entry body = %q, want %q", got.Body, want.Body)
+	}
+}
+
+// A persistently failing write gives up after its capped retries without
+// corrupting anything; later writes (fault cleared) succeed.
+func TestPersistentWriteFailureGivesUpCleanly(t *testing.T) {
+	defer inject.Reset()
+	oldSleep := retrySleep
+	slept := 0
+	retrySleep = func(d time.Duration) {
+		slept++
+		if d > writeBackoffMax {
+			t.Errorf("backoff %v exceeds cap %v", d, writeBackoffMax)
+		}
+	}
+	defer func() { retrySleep = oldSleep }()
+
+	dir := t.TempDir()
+	c, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject.Arm(InjectWrite, inject.Fail)
+	k := keyN(0xcc, 3)
+	c.Put(k, testEntry(3))
+	if slept != writeRetries {
+		t.Errorf("retry loop slept %d times, want %d", slept, writeRetries)
+	}
+	inject.Reset()
+
+	// Memory layer still serves it; disk recovered for the next write.
+	if _, ok := c.Get(k); !ok {
+		t.Error("memory layer lost the entry after a failed disk write")
+	}
+	k2 := keyN(0xcc, 4)
+	c.Put(k2, testEntry(4))
+	c2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(k2); !ok {
+		t.Error("write after cleared fault did not reach disk")
+	}
+}
+
+// A torn entry — the rename happened but the data is truncated, the power-
+// loss shape fsync-before-rename exists to prevent, and which the checksum
+// must catch if it ever appears — is quarantined, never served.
+func TestTruncatedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyN(0xdd, 5)
+	c.Put(k, testEntry(5))
+	p := c.path(k)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(k); ok {
+		t.Fatal("truncated disk entry was served")
+	}
+	if h := c2.Health(); h.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", h.Quarantined)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Error("truncated entry still present at its live path")
+	}
+	qfiles := listFiles(t, filepath.Join(dir, "quarantine"))
+	if len(qfiles) != 1 {
+		t.Errorf("quarantine dir holds %d files, want 1 (%v)", len(qfiles), qfiles)
+	}
+	// Quarantine is sticky: the key keeps missing, no re-quarantine storm.
+	if _, ok := c2.Get(k); ok {
+		t.Error("quarantined key served on re-probe")
+	}
+}
+
+// A bit-flipped entry with a plausible length fails the checksum and is
+// quarantined.
+func TestBitFlippedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyN(0xee, 6)
+	c.Put(k, testEntry(6))
+	p := c.path(k)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40 // flip a body bit, length stays plausible
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(k); ok {
+		t.Fatal("bit-flipped disk entry passed the checksum")
+	}
+	if h := c2.Health(); h.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", h.Quarantined)
+	}
+}
+
+// Entries in the superseded v1 format (no checksum) are removed silently —
+// they are stale, not corrupt — and never quarantined or served.
+func TestStaleFormatEntryRemoved(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyN(0xf0, 7)
+	p := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A well-formed v1 entry: magic, version, stats, length, body.
+	v1 := []byte("LCE1")
+	v1 = append(v1, 1, 0, 0, 0)
+	v1 = append(v1, make([]byte, 16)...)
+	v1 = append(v1, 4, 0, 0, 0, 0, 0, 0, 0)
+	v1 = append(v1, 'b', 'o', 'd', 'y')
+	if err := os.WriteFile(p, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("stale-format entry was served")
+	}
+	if h := c.Health(); h.Quarantined != 0 {
+		t.Errorf("stale entry was quarantined (Quarantined=%d), want silent removal", h.Quarantined)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Error("stale-format entry not removed")
+	}
+}
+
+// Concurrent writers and readers over one directory, with corruption
+// happening mid-flight, must stay well-formed: every Get returns either a
+// correct entry or a miss. Run under -race in CI.
+func TestConcurrentDiskCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nkeys = 8
+	entries := make([]*Entry, nkeys)
+	keys := make([]Key, nkeys)
+	for i := range keys {
+		keys[i] = keyN(byte(i), byte(i))
+		entries[i] = testEntry(i)
+		c.Put(keys[i], entries[i])
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Corruptor: repeatedly truncates random live entry files.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := c.path(keys[i%nkeys])
+			if data, err := os.ReadFile(p); err == nil && len(data) > 4 {
+				_ = os.WriteFile(p, data[:len(data)-3], 0o644)
+			}
+		}
+	}()
+	// Readers: fresh caches (disk-only view) must never see a wrong body.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r, err := Open(dir, 2) // tiny memory layer forces disk traffic
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 200; i++ {
+				ki := (g + i) % nkeys
+				if e, ok := r.Get(keys[ki]); ok {
+					if !bytes.Equal(e.Body, entries[ki].Body) {
+						t.Errorf("corrupted body served for key %d", ki)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Writer: keeps republishing good entries over the corruptor.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.Put(keys[i%nkeys], entries[i%nkeys])
+		}
+		close(stop)
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,104 @@
+// Single-flight deduplication of concurrent identical cache misses: when N
+// goroutines miss on the same key at the same time (the daemon receiving
+// the same module from N clients), exactly one — the leader — runs the
+// translation suffix; the others wait for its entry and replay it like a
+// hit. A leader that fails (the function degraded, or its context expired)
+// wakes the waiters empty-handed and each retries, so deduplication never
+// converts one caller's failure into everybody's failure.
+package cache
+
+import "context"
+
+// Flight is a leadership token for one in-progress computation. The holder
+// must call exactly one of Complete or Cancel; Cancel after Complete is a
+// no-op, so `defer fl.Cancel()` is the safe idiom — a leader that panics or
+// errors out on any path still releases its waiters.
+type Flight struct {
+	c    *Cache
+	key  Key
+	done chan struct{}
+	e    *Entry // non-nil iff Complete was called
+}
+
+// GetOrBegin is Get with single-flight deduplication. It returns:
+//
+//   - (e, true, nil): a hit — from the cache, or from waiting on another
+//     caller's just-completed computation;
+//   - (nil, false, fl): a miss with fl non-nil — the caller is the leader
+//     and must compute, then publish via fl.Complete (on a clean result)
+//     or fl.Cancel (on failure);
+//   - (nil, false, nil): a miss with no token — ctx expired while waiting
+//     on a leader. The caller should compute for itself without publishing.
+//
+// Waiting respects ctx so a deadline-bounded request is never wedged behind
+// a slow leader.
+func (c *Cache) GetOrBegin(ctx context.Context, k Key) (*Entry, bool, *Flight) {
+	first := true
+	for {
+		if e, ok := c.get(k); ok {
+			if first {
+				c.hits.Add(1)
+			}
+			return e, true, nil
+		}
+		c.flmu.Lock()
+		f, inFlight := c.flights[k]
+		if !inFlight {
+			f = &Flight{c: c, key: k, done: make(chan struct{})}
+			c.flights[k] = f
+			c.flmu.Unlock()
+			if first {
+				c.misses.Add(1)
+			}
+			return nil, false, f
+		}
+		c.flmu.Unlock()
+		select {
+		case <-f.done:
+			if f.e != nil {
+				c.hits.Add(1)
+				c.flightWaits.Add(1)
+				return f.e, true, nil
+			}
+			// The leader failed; loop to retry (possibly becoming the new
+			// leader). Only the first probe counts toward hit/miss stats.
+			first = false
+		case <-ctx.Done():
+			if first {
+				c.misses.Add(1)
+			}
+			return nil, false, nil
+		}
+	}
+}
+
+// Complete publishes the leader's entry — into the cache (both levels) and
+// to every waiter — and releases the flight.
+func (f *Flight) Complete(e *Entry) {
+	if f.e != nil {
+		return
+	}
+	f.e = e
+	f.c.Put(f.key, e)
+	f.release()
+}
+
+// Cancel releases the flight without an entry: waiters wake and recompute
+// for themselves. A no-op after Complete.
+func (f *Flight) Cancel() {
+	select {
+	case <-f.done:
+		return // already released
+	default:
+	}
+	f.release()
+}
+
+func (f *Flight) release() {
+	f.c.flmu.Lock()
+	if f.c.flights[f.key] == f {
+		delete(f.c.flights, f.key)
+	}
+	f.c.flmu.Unlock()
+	close(f.done)
+}

@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// N concurrent misses on one key elect exactly one leader; the rest wait
+// and share its entry.
+func TestFlightDeduplicatesConcurrentMisses(t *testing.T) {
+	c := New(8)
+	k := keyN(1, 1)
+	const n = 16
+	var leaders, waited atomic.Int64
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			e, ok, fl := c.GetOrBegin(context.Background(), k)
+			if fl != nil {
+				leaders.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the overlap window
+				fl.Complete(testEntry(7))
+				return
+			}
+			if !ok {
+				t.Error("miss without a flight token under no contention for leadership")
+				return
+			}
+			waited.Add(1)
+			if string(e.Body) != string(testEntry(7).Body) {
+				t.Error("waiter received a wrong entry")
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if leaders.Load() != 1 {
+		t.Errorf("%d leaders for one key, want exactly 1", leaders.Load())
+	}
+	if waited.Load() != n-1 {
+		t.Errorf("%d waiters shared the result, want %d", waited.Load(), n-1)
+	}
+	h := c.Health()
+	if h.Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (the leader)", h.Misses)
+	}
+	if h.FlightWaits != n-1 {
+		t.Errorf("FlightWaits = %d, want %d", h.FlightWaits, n-1)
+	}
+}
+
+// A failed leader (Cancel) must not fail its waiters: they wake and retry,
+// one becoming the new leader.
+func TestFlightLeaderFailureWakesWaiters(t *testing.T) {
+	c := New(8)
+	k := keyN(2, 2)
+
+	_, ok, fl := c.GetOrBegin(context.Background(), k)
+	if ok || fl == nil {
+		t.Fatal("first probe should lead")
+	}
+	const n = 4
+	var wg sync.WaitGroup
+	results := make([]bool, n) // got an entry eventually
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, ok, fl2 := c.GetOrBegin(context.Background(), k)
+			if fl2 != nil {
+				// Promoted to leader after the failure: compute and publish.
+				fl2.Complete(testEntry(9))
+				results[i] = true
+				return
+			}
+			results[i] = ok && e != nil
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond) // let the waiters park
+	fl.Cancel()
+	wg.Wait()
+	for i, got := range results {
+		if !got {
+			t.Errorf("waiter %d ended empty-handed after leader failure", i)
+		}
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Error("no entry published after the retry generation")
+	}
+}
+
+// Cancel after Complete is a no-op (the `defer fl.Cancel()` idiom), and a
+// completed flight's entry is in the cache.
+func TestFlightCompleteThenCancel(t *testing.T) {
+	c := New(8)
+	k := keyN(3, 3)
+	_, _, fl := c.GetOrBegin(context.Background(), k)
+	if fl == nil {
+		t.Fatal("expected leadership")
+	}
+	fl.Complete(testEntry(1))
+	fl.Cancel() // must not panic or un-publish
+	if e, ok := c.Get(k); !ok || string(e.Body) != string(testEntry(1).Body) {
+		t.Error("entry lost after Complete-then-Cancel")
+	}
+}
+
+// A waiter whose context expires is released with (nil, false, nil): it
+// computes for itself rather than wedging behind a slow leader.
+func TestFlightWaitRespectsContext(t *testing.T) {
+	c := New(8)
+	k := keyN(4, 4)
+	_, _, fl := c.GetOrBegin(context.Background(), k)
+	if fl == nil {
+		t.Fatal("expected leadership")
+	}
+	defer fl.Cancel()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e, ok, fl2 := c.GetOrBegin(ctx, k)
+		if e != nil || ok || fl2 != nil {
+			t.Error("expired waiter should get (nil, false, nil)")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter wedged behind a slow leader despite context expiry")
+	}
+}
+
+// Distinct keys never contend for a flight.
+func TestFlightDistinctKeysIndependent(t *testing.T) {
+	c := New(8)
+	_, _, fl1 := c.GetOrBegin(context.Background(), keyN(5, 5))
+	_, _, fl2 := c.GetOrBegin(context.Background(), keyN(5, 6))
+	if fl1 == nil || fl2 == nil {
+		t.Fatal("distinct keys should both lead immediately")
+	}
+	fl1.Complete(testEntry(1))
+	fl2.Cancel()
+}

@@ -716,9 +716,22 @@ func (p *pipeline) fenceOptStage() {
 		}
 
 		var key cache.Key
+		var fl *cache.Flight
 		if p.cfg.Cache != nil {
 			key = cache.KeyFor(PipelineVersion, fp, f)
-			if e, ok := p.cfg.Cache.Get(key); ok {
+			// Single-flight: concurrent misses on the same key (the daemon
+			// translating the same module for N clients at once) elect one
+			// leader to run the suffix; everyone else waits for its entry
+			// and replays it like a hit. A nil flight on a miss means either
+			// we lead, or waiting was cut short (context expiry / leader
+			// failure) and we compute without publishing.
+			e, ok, lead := p.cfg.Cache.GetOrBegin(p.ctx, key)
+			fl = lead
+			if fl != nil {
+				// Released on every exit path; a no-op once Complete ran.
+				defer fl.Cancel()
+			}
+			if ok {
 				if blocks, derr := cache.DecodeBody(f, e.Body); derr == nil {
 					if !p.cfg.Validate {
 						f.RestoreBody(blocks)
@@ -840,12 +853,20 @@ func (p *pipeline) fenceOptStage() {
 		}
 		if p.cfg.Cache != nil {
 			// Only clean completions are memoized: degraded functions must
-			// re-run (and re-diagnose) on every translation.
-			p.cfg.Cache.Put(key, &cache.Entry{
+			// re-run (and re-diagnose) on every translation. Completing the
+			// flight publishes to the cache and to any waiting followers in
+			// one step; without a flight (we recomputed past a corrupt or
+			// stale entry) a plain Put suffices.
+			e := &cache.Entry{
 				Body:         cache.EncodeBody(f),
 				FencesPlaced: o.placed,
 				FencesMerged: o.merged,
-			})
+			}
+			if fl != nil {
+				fl.Complete(e)
+			} else {
+				p.cfg.Cache.Put(key, e)
+			}
 		}
 		return o
 	})

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"lasagne/internal/core/cache"
+	"lasagne/internal/diag/inject"
+)
+
+// N concurrent translations of the same module over one shared cache must
+// run the function-local suffix once per function, not once per request:
+// the leader computes, everyone else either waits on its flight or hits the
+// filled cache. Without deduplication every concurrent run would count its
+// own miss, so the strict miss bound below fails.
+func TestConcurrentTranslationsSingleFlight(t *testing.T) {
+	defer inject.Reset()
+	bin, _ := buildX86(t)
+	cfg := Default()
+	cfg.Cache = cache.New(0)
+
+	// Reference output (its own cache, so the shared one stays cold).
+	refCfg := Default()
+	ref, _, _, err := TranslateToIR(bin, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.String()
+
+	// Stall the fence stage so concurrent suffix runs genuinely overlap.
+	inject.Arm("fences:worker", inject.Stall)
+	inject.Arm("fences:main", inject.Stall)
+
+	const runs = 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var totalHits, totalMisses int
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, st, rep, err := TranslateToIR(bin, cfg)
+			if err != nil {
+				t.Errorf("concurrent translation failed: %v\n%s", err, rep)
+				return
+			}
+			if got := m.String(); got != want {
+				t.Error("concurrent cached translation differs from the reference")
+			}
+			mu.Lock()
+			totalHits += st.CacheHits
+			totalMisses += st.CacheMisses
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	nfuncs := totalHits + totalMisses
+	nfuncs /= runs // per-run probe count = defined functions
+	if totalMisses != nfuncs {
+		t.Errorf("suffix computed %d times for %d functions across %d concurrent runs; single-flight should make it exactly %d",
+			totalMisses, nfuncs, runs, nfuncs)
+	}
+	h := cfg.Cache.Health()
+	if h.Misses != int64(nfuncs) {
+		t.Errorf("cache counted %d misses, want %d", h.Misses, nfuncs)
+	}
+	if h.Hits != int64(nfuncs*(runs-1)) {
+		t.Errorf("cache counted %d hits, want %d", h.Hits, nfuncs*(runs-1))
+	}
+}

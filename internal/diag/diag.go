@@ -42,6 +42,10 @@ const (
 	// semantic invariants (fence preservation, pointer-cast bounds) that run
 	// between pipeline stages when core.Config.Validate is set.
 	StageValidate Stage = "validate"
+	// StageServe marks the daemon's request-handling boundary: the recover
+	// guard that turns a per-request panic into a diag.Report response
+	// instead of a dead process.
+	StageServe Stage = "serve"
 )
 
 // Severity classifies a diagnostic.

@@ -67,14 +67,37 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("inject: forced %s at %q", e.Mode, e.Point)
 }
 
+// armedPoint is one armed failpoint: its mode and, when remaining >= 0, how
+// many more Hits it fires for before auto-disarming (-1 = unlimited).
+type armedPoint struct {
+	mode      Mode
+	remaining int
+}
+
 var (
 	armed  atomic.Int32 // number of armed points; the production fast path
 	mu     sync.Mutex
-	points = map[string]Mode{}
+	points = map[string]*armedPoint{}
 )
 
 // Arm sets the mode of a point. Arm(point, Off) is equivalent to Disarm.
 func Arm(point string, m Mode) {
+	armN(point, m, -1)
+}
+
+// ArmN arms a point for exactly n Hits: after firing n times the point
+// disarms itself. This is the "kill once, then recover" shape chaos tests
+// want — a transient fault the subject must absorb and then proceed past.
+// n <= 0 is equivalent to Disarm.
+func ArmN(point string, m Mode, n int) {
+	if n <= 0 {
+		Disarm(point)
+		return
+	}
+	armN(point, m, n)
+}
+
+func armN(point string, m Mode, n int) {
 	mu.Lock()
 	defer mu.Unlock()
 	_, was := points[point]
@@ -85,7 +108,7 @@ func Arm(point string, m Mode) {
 		}
 		return
 	}
-	points[point] = m
+	points[point] = &armedPoint{mode: m, remaining: n}
 	if !was {
 		armed.Add(1)
 	}
@@ -105,15 +128,18 @@ func Reset() {
 }
 
 // ModeOf returns the armed mode of a point (Off when disarmed). With
-// nothing armed anywhere it costs one atomic load.
+// nothing armed anywhere it costs one atomic load. ModeOf does not consume
+// a count-limited arming; only Hit does.
 func ModeOf(point string) Mode {
 	if armed.Load() == 0 {
 		return Off
 	}
 	mu.Lock()
-	m := points[point]
-	mu.Unlock()
-	return m
+	defer mu.Unlock()
+	if p, ok := points[point]; ok {
+		return p.mode
+	}
+	return Off
 }
 
 // Hit is called by the pipeline at a stage boundary. With nothing armed it
@@ -123,7 +149,17 @@ func Hit(point string) error {
 		return nil
 	}
 	mu.Lock()
-	m := points[point]
+	m := Off
+	if p, ok := points[point]; ok {
+		m = p.mode
+		if p.remaining > 0 {
+			p.remaining--
+			if p.remaining == 0 {
+				delete(points, point)
+				armed.Add(-1)
+			}
+		}
+	}
 	mu.Unlock()
 	switch m {
 	case Fail:

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lasagne/internal/core"
+	"lasagne/internal/core/cache"
+	"lasagne/internal/diag/inject"
+	"lasagne/internal/obj"
+)
+
+// chaosSrc generates module variants with distinct bodies (and therefore
+// distinct cache keys) that still exercise the concurrent fence machinery.
+func chaosSrc(scale int) string {
+	return fmt.Sprintf(`
+int shared[64];
+int total;
+void worker(int tid) {
+  int i;
+  for (i = tid; i < 64; i = i + 4) {
+    shared[i] = i * %d;
+    atomic_add(&total, shared[i]);
+  }
+}
+int main() {
+  int t;
+  for (t = 0; t < 4; t = t + 1) spawn(worker, t);
+  join();
+  print_int(total);
+  return 0;
+}
+`, scale+2)
+}
+
+// TestChaosMatrix is the acceptance harness of the service layer: concurrent
+// clients drive the daemon while failpoints fire inside the pipeline and the
+// serve boundary, the shared disk cache is being actively corrupted, and a
+// slice of requests carries tiny deadlines or cancels mid-flight. The
+// contract under all of that:
+//
+//   - every request gets a well-formed response with a known status;
+//   - every clean 200 is byte-identical to the batch pipeline's output;
+//   - nothing wedges: the storm finishes, a post-storm request per module is
+//     clean and identical, and the drain completes inside its deadline.
+func TestChaosMatrix(t *testing.T) {
+	defer inject.Reset()
+	const nmods = 3
+	bins := make([]*obj.File, nmods)
+	refs := make([][]byte, nmods)
+	for i := range bins {
+		bins[i] = buildObj(t, fmt.Sprintf("m%d", i), chaosSrc(i))
+		want, _, _, err := core.Translate(bins[i], core.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = want.Marshal()
+	}
+
+	// A deliberately tiny memory layer: most probes fall through to disk,
+	// straight into the corruptor's line of fire.
+	cacheDir := t.TempDir()
+	c, err := cache.Open(cacheDir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := startServer(t, Options{Workers: 4, QueueDepth: 8, Cache: c})
+
+	// The fault storm: transient failures, panics, and stalls inside pipeline
+	// stages, a fault at the serve boundary itself, and flaky disk syncs. All
+	// count-limited — the system must absorb them and then run clean.
+	oldStall := inject.StallDuration
+	inject.StallDuration = 20 * time.Millisecond
+	defer func() { inject.StallDuration = oldStall }()
+	inject.ArmN("fences:worker", inject.Fail, 4)
+	inject.ArmN("fences:main", inject.Stall, 8)
+	inject.ArmN("opt:main", inject.Panic, 4)
+	inject.ArmN("serve:request", inject.Fail, 2)
+	inject.ArmN(cache.InjectFsync, inject.Fail, 3)
+
+	// Corruptor: garbles live cache entry files while requests stream.
+	stopCorrupt := make(chan struct{})
+	var corrupted int
+	var corruptWG sync.WaitGroup
+	corruptWG.Add(1)
+	go func() {
+		defer corruptWG.Done()
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stopCorrupt:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			_ = filepath.Walk(cacheDir, func(path string, info os.FileInfo, err error) error {
+				if err != nil || info.IsDir() || !strings.HasSuffix(path, ".lce") {
+					return nil
+				}
+				if strings.Contains(path, "quarantine") {
+					return nil
+				}
+				if rng.Intn(4) == 0 {
+					if data, rerr := os.ReadFile(path); rerr == nil && len(data) > 8 {
+						data[rng.Intn(len(data))] ^= 0xff
+						if os.WriteFile(path, data[:len(data)-rng.Intn(4)], 0o644) == nil {
+							corrupted++
+						}
+					}
+				}
+				return nil
+			})
+		}
+	}()
+
+	const (
+		clients  = 6
+		perCli   = 8
+		deadline = 60 * time.Second // wedge detector for the whole storm
+	)
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusUnprocessableEntity: true, // translation failed, typed report
+		http.StatusTooManyRequests:     true, // load shed
+		http.StatusInternalServerError: true, // isolated panic / serve fault
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      true, // per-request deadline expired
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	statusCounts := map[int]int{}
+	cleanOK := 0
+	for cli := 0; cli < clients; cli++ {
+		wg.Add(1)
+		go func(cli int) {
+			defer wg.Done()
+			for r := 0; r < perCli; r++ {
+				mod := (cli + r) % nmods
+				body, _ := json.Marshal(Request{Module: moduleB64(bins[mod])})
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/translate", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				kind := (cli*perCli + r) % 8
+				var cancel context.CancelFunc
+				switch kind {
+				case 5: // tiny deadline: must come back 504 (or beat the clock)
+					req.Header.Set("X-Lasagne-Deadline-Ms", "1")
+				case 6: // client hangs up mid-request
+					var cctx context.Context
+					cctx, cancel = context.WithTimeout(req.Context(), 3*time.Millisecond)
+					req = req.WithContext(cctx)
+				}
+				hres, err := http.DefaultClient.Do(req)
+				if cancel != nil {
+					cancel()
+				}
+				if err != nil {
+					if kind != 6 {
+						t.Errorf("client %d req %d: transport error: %v", cli, r, err)
+					}
+					continue
+				}
+				var resp Response
+				derr := json.NewDecoder(hres.Body).Decode(&resp)
+				hres.Body.Close()
+				if derr != nil {
+					t.Errorf("client %d req %d: malformed response JSON (status %d): %v",
+						cli, r, hres.StatusCode, derr)
+					continue
+				}
+				if !allowed[hres.StatusCode] {
+					t.Errorf("client %d req %d: unexpected status %d (%s)",
+						cli, r, hres.StatusCode, resp.Error)
+					continue
+				}
+				mu.Lock()
+				statusCounts[hres.StatusCode]++
+				mu.Unlock()
+				if hres.StatusCode == http.StatusOK {
+					if resp.Object == "" {
+						t.Errorf("200 with no object (%+v)", resp)
+						continue
+					}
+					got, err := base64.StdEncoding.DecodeString(resp.Object)
+					if err != nil {
+						t.Errorf("200 with undecodable object: %v", err)
+						continue
+					}
+					if len(resp.Degraded) == 0 {
+						if !bytes.Equal(got, refs[mod]) {
+							t.Errorf("clean 200 for module %d is not byte-identical to the batch output", mod)
+						}
+						mu.Lock()
+						cleanOK++
+						mu.Unlock()
+					}
+				} else if resp.Error == "" {
+					t.Errorf("status %d with empty error", hres.StatusCode)
+				}
+			}
+		}(cli)
+	}
+
+	stormDone := make(chan struct{})
+	go func() { wg.Wait(); close(stormDone) }()
+	select {
+	case <-stormDone:
+	case <-time.After(deadline):
+		t.Fatalf("chaos storm wedged: queued=%d inflight=%d", s.Queued(), s.Inflight())
+	}
+	close(stopCorrupt)
+	corruptWG.Wait()
+
+	if cleanOK == 0 {
+		t.Error("no clean responses at all during the storm — nothing was actually verified")
+	}
+	t.Logf("storm: statuses=%v cleanOK=%d corrupted=%d cacheHealth=%+v",
+		statusCounts, cleanOK, corrupted, c.Health())
+
+	// Post-storm: faults cleared, every module translates clean and
+	// byte-identical — the corrupted cache recovered by quarantine +
+	// recompute, the workers all survived.
+	inject.Reset()
+	for i := range bins {
+		status, resp := post(t, ts.URL, Request{Module: moduleB64(bins[i])})
+		if status != http.StatusOK || len(resp.Degraded) != 0 {
+			t.Fatalf("post-storm request for module %d: status %d degraded %v (%s)",
+				i, status, resp.Degraded, resp.Error)
+		}
+		got, err := base64.StdEncoding.DecodeString(resp.Object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, refs[i]) {
+			t.Errorf("post-storm output for module %d differs from batch", i)
+		}
+	}
+
+	// And the drain completes inside its deadline: no wedged queue.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("post-storm drain failed: %v", err)
+	}
+
+	// Restart after total disk corruption: garble every persisted entry,
+	// bring up a fresh server over the same directory (cold memory layer, so
+	// every probe reads disk), and require byte-identical output anyway. The
+	// poisoned entries must land in quarantine, never in a response.
+	ncorrupt := 0
+	err = filepath.Walk(cacheDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".lce") {
+			return nil
+		}
+		if strings.Contains(path, "quarantine") {
+			return nil
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil || len(data) < 8 {
+			return nil
+		}
+		data[len(data)/2] ^= 0x55
+		if os.WriteFile(path, data, 0o644) == nil {
+			ncorrupt++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ncorrupt == 0 {
+		t.Fatal("nothing persisted to corrupt — the disk layer never engaged")
+	}
+	c2, err := cache.Open(cacheDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := startServer(t, Options{Workers: 2, QueueDepth: 4, Cache: c2})
+	for i := range bins {
+		status, resp := post(t, ts2.URL, Request{Module: moduleB64(bins[i])})
+		if status != http.StatusOK || len(resp.Degraded) != 0 {
+			t.Fatalf("post-corruption request for module %d: status %d degraded %v (%s)",
+				i, status, resp.Degraded, resp.Error)
+		}
+		got, err := base64.StdEncoding.DecodeString(resp.Object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, refs[i]) {
+			t.Errorf("post-corruption output for module %d differs from batch", i)
+		}
+	}
+	if h := c2.Health(); h.Quarantined == 0 {
+		t.Errorf("restart over %d corrupted entries quarantined nothing: %+v", ncorrupt, h)
+	}
+}

@@ -1,0 +1,133 @@
+// The wire protocol of the daemon: JSON request/response shapes and the
+// projections of core.Stats and diag.Report onto them. Objects travel as
+// base64 of the obj byte format — the same bytes cmd/lasagne reads and
+// writes, so a daemon response is directly comparable to batch output.
+package serve
+
+import (
+	"lasagne/internal/core"
+	"lasagne/internal/diag"
+)
+
+// Request is the POST /translate body.
+type Request struct {
+	// Module is the base64-encoded input object (obj.Marshal bytes).
+	Module string `json:"module"`
+	// Reverse selects the Arm64→x86-64 direction.
+	Reverse bool `json:"reverse,omitempty"`
+	// Config overrides individual stages of the server's baseline config.
+	Config *ConfigJSON `json:"config,omitempty"`
+}
+
+// ConfigJSON is a partial core.Config: nil fields keep the server default.
+type ConfigJSON struct {
+	Refine       *bool `json:"refine,omitempty"`
+	MergeFences  *bool `json:"merge_fences,omitempty"`
+	Optimize     *bool `json:"optimize,omitempty"`
+	WeakFences   *bool `json:"weak_fences,omitempty"`
+	Validate     *bool `json:"validate,omitempty"`
+	AllowPartial *bool `json:"allow_partial,omitempty"`
+}
+
+func (c *ConfigJSON) apply(cfg *core.Config) {
+	set := func(dst *bool, src *bool) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	set(&cfg.Refine, c.Refine)
+	set(&cfg.MergeFences, c.MergeFences)
+	set(&cfg.Optimize, c.Optimize)
+	set(&cfg.WeakFences, c.WeakFences)
+	set(&cfg.Validate, c.Validate)
+	set(&cfg.AllowPartial, c.AllowPartial)
+}
+
+// Response is every /translate reply, success or failure: exactly one of
+// Object or Error is set, and Diagnostics carries the typed report either
+// way — a degraded-but-sound translation is a 200 with warnings.
+type Response struct {
+	// Object is the base64-encoded translated object (on success).
+	Object string `json:"object,omitempty"`
+	// Error is the top-level failure (on non-200s).
+	Error       string     `json:"error,omitempty"`
+	Stats       *StatsJSON `json:"stats,omitempty"`
+	Diagnostics []DiagJSON `json:"diagnostics,omitempty"`
+	Degraded    []string   `json:"degraded,omitempty"`
+}
+
+// StatsJSON mirrors core.Stats.
+type StatsJSON struct {
+	LiftedInstrs   int `json:"lifted_instrs"`
+	FinalInstrs    int `json:"final_instrs"`
+	PtrCastsBefore int `json:"ptr_casts_before"`
+	PtrCastsAfter  int `json:"ptr_casts_after"`
+	FencesPlaced   int `json:"fences_placed"`
+	FencesMerged   int `json:"fences_merged"`
+	FencesFinal    int `json:"fences_final"`
+	AcquireLoads   int `json:"acquire_loads"`
+	ReleaseStores  int `json:"release_stores"`
+	CacheHits      int `json:"cache_hits"`
+	CacheMisses    int `json:"cache_misses"`
+}
+
+func statsJSON(st *core.Stats) *StatsJSON {
+	if st == nil {
+		return nil
+	}
+	return &StatsJSON{
+		LiftedInstrs:   st.LiftedInstrs,
+		FinalInstrs:    st.FinalInstrs,
+		PtrCastsBefore: st.PtrCastsBefore,
+		PtrCastsAfter:  st.PtrCastsAfter,
+		FencesPlaced:   st.FencesPlaced,
+		FencesMerged:   st.FencesMerged,
+		FencesFinal:    st.FencesFinal,
+		AcquireLoads:   st.AcquireLoads,
+		ReleaseStores:  st.ReleaseStores,
+		CacheHits:      st.CacheHits,
+		CacheMisses:    st.CacheMisses,
+	}
+}
+
+// DiagJSON mirrors diag.Diagnostic.
+type DiagJSON struct {
+	Stage    string `json:"stage"`
+	Func     string `json:"func,omitempty"`
+	Pass     string `json:"pass,omitempty"`
+	Addr     uint64 `json:"addr,omitempty"`
+	Severity string `json:"severity"`
+	Msg      string `json:"msg"`
+	Cause    string `json:"cause,omitempty"`
+}
+
+func diagsJSON(rep *diag.Report) []DiagJSON {
+	ds := rep.Diagnostics()
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]DiagJSON, 0, len(ds))
+	for _, d := range ds {
+		j := DiagJSON{
+			Stage:    string(d.Stage),
+			Func:     d.Func,
+			Pass:     d.Pass,
+			Addr:     d.Addr,
+			Severity: d.Severity.String(),
+			Msg:      d.Msg,
+		}
+		if d.Cause != nil {
+			j.Cause = d.Cause.Error()
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+func errResponse(msg string, rep *diag.Report) *Response {
+	return &Response{
+		Error:       msg,
+		Diagnostics: diagsJSON(rep),
+		Degraded:    rep.Degraded(),
+	}
+}

@@ -1,0 +1,424 @@
+// Package serve is the translation-as-a-service layer: a long-lived HTTP
+// server wrapping the core pipeline, built so that robustness — not raw
+// endpoint count — is the feature.
+//
+//   - Admission control: jobs enter a bounded queue drained by a fixed
+//     worker pool. When the queue is full the server sheds load explicitly
+//     (429 + Retry-After) instead of letting latency collapse.
+//   - Deadline and budget propagation: the X-Lasagne-Deadline-Ms and
+//     X-Lasagne-Func-Budget-Ms request headers become the request context
+//     deadline and core.Config.FuncBudget, so a slow translation degrades
+//     per the pipeline's own budget machinery instead of wedging a worker.
+//   - Panic isolation: every request runs inside diag.Guard(StageServe); a
+//     panic anywhere in the pipeline becomes a typed diag.Report response
+//     and the worker lives on.
+//   - Graceful drain: BeginDrain stops admission (readyz flips to 503, new
+//     jobs are refused), Drain waits for in-flight work under the caller's
+//     deadline, then the worker pool shuts down.
+//   - One shared content-addressed cache across all requests: concurrent
+//     identical misses dedup through the cache's single-flight layer, and
+//     the crash-safe disk level persists across restarts.
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lasagne/internal/core"
+	"lasagne/internal/core/cache"
+	"lasagne/internal/diag"
+	"lasagne/internal/diag/inject"
+	"lasagne/internal/obj"
+)
+
+// Options configures a Server. The zero value is usable: one worker per
+// CPU, a 64-deep queue, the full default pipeline config, no cache.
+type Options struct {
+	// Workers is the translation worker pool size (<= 0: one per CPU).
+	Workers int
+	// QueueDepth bounds the admission queue (<= 0: 64). A full queue sheds
+	// load with 429 + Retry-After.
+	QueueDepth int
+	// MaxRequestBytes caps the request body (<= 0: 64 MiB).
+	MaxRequestBytes int64
+	// MaxDeadline caps the per-request deadline a client may ask for
+	// (<= 0: 2 minutes). Requests that set no deadline get the cap.
+	MaxDeadline time.Duration
+	// Config is the baseline pipeline configuration; per-request JSON
+	// fields override individual stages. Config.Cache is ignored — set
+	// Options.Cache instead.
+	Config core.Config
+	// Jobs is the per-request worker count for the function-parallel
+	// pipeline stages (<= 0: 1 — with a pool of request workers, one
+	// pipeline goroutine per request keeps the box loaded without
+	// oversubscribing; output is byte-identical at any value).
+	Jobs int
+	// Cache, when non-nil, is shared by every request.
+	Cache *cache.Cache
+}
+
+// Server is the daemon: an http.Handler plus the worker pool behind it.
+type Server struct {
+	opts  Options
+	queue chan *job
+
+	// admitMu makes drain airtight: handlers hold it shared around the
+	// draining check + enqueue, BeginDrain takes it exclusively to flip the
+	// flag. After BeginDrain returns, no new job can enter the queue.
+	admitMu  sync.RWMutex
+	draining bool
+
+	jobs    sync.WaitGroup // admitted, not yet completed jobs
+	workers sync.WaitGroup
+	stop    chan struct{} // closed to park the worker pool
+	stopped sync.Once
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	served   atomic.Int64 // completed requests (any outcome)
+	shed     atomic.Int64 // 429s
+	panics   atomic.Int64 // requests that panicked and were isolated
+}
+
+// job is one admitted translation request.
+type job struct {
+	ctx  context.Context
+	bin  *obj.File
+	cfg  core.Config
+	rev  bool
+	done chan *result
+}
+
+type result struct {
+	status int
+	resp   *Response
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.MaxRequestBytes <= 0 {
+		opts.MaxRequestBytes = 64 << 20
+	}
+	if opts.MaxDeadline <= 0 {
+		opts.MaxDeadline = 2 * time.Minute
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = 1
+	}
+	if !opts.Config.Refine && !opts.Config.Optimize &&
+		!opts.Config.MergeFences && !opts.Config.WeakFences {
+		// A Config with every stage off means "unset", not "skip the whole
+		// pipeline": enable the full pipeline, as cmd/lasagne does, keeping
+		// the caller's budget/validation knobs. Embedders that want a
+		// reduced pipeline must enable at least one stage explicitly.
+		opts.Config.Refine = true
+		opts.Config.MergeFences = true
+		opts.Config.Optimize = true
+		opts.Config.WeakFences = true
+	}
+	s := &Server{
+		opts:  opts,
+		queue: make(chan *job, opts.QueueDepth),
+		stop:  make(chan struct{}),
+	}
+	s.workers.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP mux: POST /translate, GET /healthz, GET /readyz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/translate", s.handleTranslate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
+}
+
+// BeginDrain stops admission: in-flight and queued jobs keep running, new
+// requests are refused with 503 and readyz reports not-ready. Idempotent.
+func (s *Server) BeginDrain() {
+	s.admitMu.Lock()
+	s.draining = true
+	s.admitMu.Unlock()
+}
+
+// Drain performs the graceful shutdown: stop admitting, wait for every
+// admitted job to finish (bounded by ctx), then stop the worker pool. It
+// returns an error when ctx expires with work still in flight — the worker
+// pool is stopped regardless, abandoning the stragglers to their request
+// contexts.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	idle := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(idle)
+	}()
+	var derr error
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		derr = fmt.Errorf("serve: drain deadline exceeded with %d queued and %d in flight",
+			s.queued.Load(), s.inflight.Load())
+	}
+	s.stopped.Do(func() { close(s.stop) })
+	if derr == nil {
+		s.workers.Wait()
+	}
+	return derr
+}
+
+// Draining reports whether admission is closed.
+func (s *Server) Draining() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.draining
+}
+
+// Queued and Inflight expose the live queue counters (used by tests and the
+// health endpoints).
+func (s *Server) Queued() int64   { return s.queued.Load() }
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.queued.Add(-1)
+			s.inflight.Add(1)
+			j.done <- s.process(j)
+			s.inflight.Add(-1)
+			s.served.Add(1)
+			s.jobs.Done()
+		}
+	}
+}
+
+// process runs one job with panic isolation: whatever the pipeline does,
+// the worker survives and the client gets a well-formed typed response.
+func (s *Server) process(j *job) *result {
+	var (
+		out  *obj.File
+		st   *core.Stats
+		rep  *diag.Report
+		terr error
+	)
+	gerr := diag.Guard(diag.StageServe, "", func() error {
+		if err := inject.Hit("serve:request"); err != nil {
+			return err
+		}
+		if j.rev {
+			out, st, rep, terr = core.TranslateArmToX86Context(j.ctx, j.bin, j.cfg)
+		} else {
+			out, st, rep, terr = core.TranslateContext(j.ctx, j.bin, j.cfg)
+		}
+		return nil
+	})
+	if gerr != nil {
+		// A panic (or an injected serve fault) crossed the request boundary:
+		// isolate it, report it, keep the worker.
+		var pe *diag.PanicError
+		if errors.As(gerr, &pe) {
+			s.panics.Add(1)
+		}
+		if rep == nil {
+			rep = diag.NewReport()
+		}
+		rep.Add(diag.Diagnostic{Stage: diag.StageServe, Severity: diag.Error,
+			Msg: "request failed inside the serve boundary", Cause: gerr})
+		return &result{status: http.StatusInternalServerError,
+			resp: errResponse(gerr.Error(), rep)}
+	}
+	if terr != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(terr, diag.ErrBudgetExceeded) || j.ctx.Err() != nil {
+			status = http.StatusGatewayTimeout
+		}
+		return &result{status: status, resp: errResponse(terr.Error(), rep)}
+	}
+	resp := &Response{
+		Object:      base64.StdEncoding.EncodeToString(out.Marshal()),
+		Stats:       statsJSON(st),
+		Diagnostics: diagsJSON(rep),
+		Degraded:    rep.Degraded(),
+	}
+	return &result{status: http.StatusOK, resp: resp}
+}
+
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse("POST required", nil))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxRequestBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse("cannot read request body: "+err.Error(), nil))
+		return
+	}
+	if int64(len(body)) > s.opts.MaxRequestBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errResponse(fmt.Sprintf("request body exceeds %d bytes", s.opts.MaxRequestBytes), nil))
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse("bad request JSON: "+err.Error(), nil))
+		return
+	}
+	raw, err := base64.StdEncoding.DecodeString(req.Module)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse("module is not valid base64: "+err.Error(), nil))
+		return
+	}
+	bin, err := obj.Unmarshal(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse("cannot parse object: "+err.Error(), nil))
+		return
+	}
+
+	cfg := s.opts.Config
+	cfg.Cache = s.opts.Cache
+	cfg.Jobs = s.opts.Jobs
+	if req.Config != nil {
+		req.Config.apply(&cfg)
+	}
+
+	// Per-request budgets ride in on headers and land in the pipeline's own
+	// context/budget machinery.
+	deadline := s.opts.MaxDeadline
+	if d, ok, err := durationHeader(r, "X-Lasagne-Deadline-Ms"); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse(err.Error(), nil))
+		return
+	} else if ok && d < deadline {
+		deadline = d
+	}
+	if b, ok, err := durationHeader(r, "X-Lasagne-Func-Budget-Ms"); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse(err.Error(), nil))
+		return
+	} else if ok {
+		cfg.FuncBudget = b
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	j := &job{ctx: ctx, bin: bin, cfg: cfg, rev: req.Reverse, done: make(chan *result, 1)}
+
+	// Admission: shared-lock the drain flag, then try a non-blocking send
+	// into the bounded queue. Full queue = explicit load shedding.
+	s.admitMu.RLock()
+	if s.draining {
+		s.admitMu.RUnlock()
+		writeJSON(w, http.StatusServiceUnavailable, errResponse("server is draining", nil))
+		return
+	}
+	admitted := false
+	select {
+	case s.queue <- j:
+		s.jobs.Add(1)
+		s.queued.Add(1)
+		admitted = true
+	default:
+	}
+	s.admitMu.RUnlock()
+	if !admitted {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errResponse("admission queue full", nil))
+		return
+	}
+
+	select {
+	case res := <-j.done:
+		writeJSON(w, res.status, res.resp)
+	case <-r.Context().Done():
+		// Client gone: the job still drains through the worker (its context
+		// is cancelled, so it finishes fast); nothing useful to write.
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthBody())
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	code := http.StatusOK
+	if s.Draining() || int(s.queued.Load()) >= s.opts.QueueDepth {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, s.healthBody())
+}
+
+// HealthBody is the healthz/readyz payload: queue and cache state at a
+// glance, so orchestrators and tests can see why readiness flipped.
+type HealthBody struct {
+	Draining      bool          `json:"draining"`
+	Queued        int64         `json:"queued"`
+	QueueCapacity int           `json:"queue_capacity"`
+	Inflight      int64         `json:"inflight"`
+	Workers       int           `json:"workers"`
+	Served        int64         `json:"served"`
+	Shed          int64         `json:"shed"`
+	Panics        int64         `json:"panics"`
+	Cache         *cache.Health `json:"cache,omitempty"`
+}
+
+func (s *Server) healthBody() *HealthBody {
+	h := &HealthBody{
+		Draining:      s.Draining(),
+		Queued:        s.queued.Load(),
+		QueueCapacity: s.opts.QueueDepth,
+		Inflight:      s.inflight.Load(),
+		Workers:       s.opts.Workers,
+		Served:        s.served.Load(),
+		Shed:          s.shed.Load(),
+		Panics:        s.panics.Load(),
+	}
+	if s.opts.Cache != nil {
+		ch := s.opts.Cache.Health()
+		h.Cache = &ch
+	}
+	return h
+}
+
+// durationHeader parses an integer-millisecond header. ok reports whether
+// the header was present.
+func durationHeader(r *http.Request, name string) (time.Duration, bool, error) {
+	v := r.Header.Get(name)
+	if v == "" {
+		return 0, false, nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, false, fmt.Errorf("bad %s header %q: want a positive integer millisecond count", name, v)
+	}
+	return time.Duration(ms) * time.Millisecond, true, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
