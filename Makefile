@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify fuzz bench bench-memmodel bench-translate bench-fences bench-serve
+.PHONY: build test verify fuzz bench bench-memmodel bench-translate bench-fences bench-serve bench-litmus
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ bench-translate:
 bench-serve:
 	$(GO) run ./cmd/lasagne-bench -serve-load 8x4 -serve-requests 32 -serve-out BENCH_serve.json
 	@echo "wrote BENCH_serve.json"
+
+# bench-litmus measures the incremental litmus campaign engine at bound 3:
+# family size, symmetry-prune factor, cold full-verification time, and the
+# warm re-run (100% fingerprint hits) with its speedup over cold.
+bench-litmus:
+	$(GO) run ./cmd/lasagne-bench -litmus 3 -litmus-out BENCH_litmus.json
+	@echo "wrote BENCH_litmus.json"
 
 # bench-fences measures the weaker-than-DMB lowering: per-kernel fence
 # counts at each tier of the lattice (naive Fig. 8a placement, §7.2 merged,

@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"runtime/pprof"
 
 	"lasagne/internal/backend"
+	"lasagne/internal/campaign"
 	"lasagne/internal/core"
 	"lasagne/internal/core/cache"
 	"lasagne/internal/eval"
@@ -68,10 +70,18 @@ func main() {
 		"base URL of a running lasagned for -serve-load (default: start an in-process server)")
 	serveRequests := flag.Int("serve-requests", 32, "requests per client for -serve-load")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path for -serve-load results")
+	litmusN := flag.Int("litmus", 0,
+		"run a cold+warm litmus mapping campaign at this per-thread op bound and write the measurements to -litmus-out (0 = off)")
+	litmusState := flag.String("litmus-state", "",
+		"campaign verdict store directory for -litmus (default: a fresh temporary directory, so cold really is cold)")
+	litmusOut := flag.String("litmus-out", "BENCH_litmus.json", "output path for -litmus results")
 	flag.Parse()
 
 	if *diff > 0 {
 		os.Exit(runDiff(*diff, *seed, *maxSteps))
+	}
+	if *litmusN > 0 {
+		os.Exit(runLitmus(*litmusN, *litmusState, *litmusOut, *parallel, *maxSteps))
 	}
 	if *serveLoad != "" {
 		os.Exit(runServeLoad(*serveLoad, *serveAddr, *cacheDir, *serveOut, *serveRequests))
@@ -125,6 +135,82 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
 	os.Exit(1)
+}
+
+// litmusBench is the BENCH_litmus.json shape: the campaign engine's perf
+// trajectory (symmetry pruning, cold/warm split, warm speedup) tracked like
+// the other subsystems.
+type litmusBench struct {
+	Bound       int     `json:"bound"`
+	Generated   int64   `json:"generated"`
+	Orbits      int64   `json:"orbits"`
+	PruneFactor float64 `json:"prune_factor"`
+	ColdMS      float64 `json:"cold_ms"`
+	ColdChecked int64   `json:"cold_checked"`
+	WarmMS      float64 `json:"warm_ms"`
+	WarmHits    int64   `json:"warm_hits"`
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	Unsound     int     `json:"unsound"`
+	Unresolved  int64   `json:"unresolved"`
+}
+
+// runLitmus drives the campaign engine cold then warm against one state
+// directory and records both runs, so the JSON captures the symmetry-prune
+// factor and the incremental-rerun speedup in one artifact.
+func runLitmus(bound int, stateDir, out string, workers int, maxVisits int64) int {
+	if stateDir == "" {
+		d, err := os.MkdirTemp("", "litmus-campaign-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(d)
+		stateDir = d
+	}
+	opts := campaign.Options{
+		Bound:             bound,
+		Workers:           workers,
+		StateDir:          stateDir,
+		MaxVisitsPerCheck: maxVisits,
+	}
+	cold, err := campaign.Run(context.Background(), opts)
+	if err != nil {
+		fatal(err)
+	}
+	warm, err := campaign.Run(context.Background(), opts)
+	if err != nil {
+		fatal(err)
+	}
+	b := litmusBench{
+		Bound:       bound,
+		Generated:   cold.Generated,
+		Orbits:      cold.Orbits,
+		PruneFactor: cold.PruneFactor(),
+		ColdMS:      float64(cold.Elapsed.Microseconds()) / 1000,
+		ColdChecked: cold.Checked,
+		WarmMS:      float64(warm.Elapsed.Microseconds()) / 1000,
+		WarmHits:    warm.Hits,
+		WarmSpeedup: float64(cold.Elapsed) / float64(warm.Elapsed),
+		Unsound:     len(cold.Unsound),
+		Unresolved:  cold.Unresolved + warm.Unresolved,
+	}
+	if warm.Orbits > 0 {
+		b.WarmHitRate = float64(warm.Hits) / float64(warm.Orbits)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("litmus campaign bound %d: %d programs -> %d orbits (%.2fx pruned), cold %.0fms, warm %.0fms (%.1fx, %.0f%% hits)\n",
+		bound, b.Generated, b.Orbits, b.PruneFactor, b.ColdMS, b.WarmMS, b.WarmSpeedup, b.WarmHitRate*100)
+	fmt.Printf("wrote %s\n", out)
+	if len(cold.Unsound) > 0 || b.Unresolved > 0 {
+		return 1
+	}
+	return 0
 }
 
 // runDiff runs the differential oracle over every Phoenix kernel: the

@@ -1,0 +1,346 @@
+// Package campaign implements the incremental litmus campaign engine behind
+// `litmus -campaign`: bounded exhaustive Theorem 7.1 verification over the
+// generated x86 program family, made affordable by three multiplying layers.
+//
+// Symmetry reduction: the generated family is hugely redundant — programs
+// that differ only by thread order, by a consistent renaming of locations
+// and (nonzero) written values, or by semantically inert fence placement
+// (leading/trailing fences, adjacent duplicate fences) have isomorphic
+// behavior sets and identical mapping verdicts. Canonicalization picks one
+// representative per orbit, so only it is ever checked.
+//
+// Streaming sharded generation: programs are never materialized as a single
+// slice. The engine walks thread-skeleton pairs (see
+// memmodel.X86ThreadSkeletons) and feeds budgeted checkers through a worker
+// pool, so memory stays flat at any bound and progress is monotone.
+//
+// Incremental persistence: verdicts are keyed by canonical 128-bit program
+// fingerprint under a (checker version × mapping chain) namespace and
+// appended to crash-safe CRC-framed shard files (see Store). An interrupted
+// or repeated campaign resumes from where it stopped; a clean re-run is
+// ~100% fingerprint hits.
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"lasagne/internal/memmodel"
+)
+
+// fpVersion is bumped whenever the canonical encoding changes, so stale
+// fingerprints can never alias fresh ones.
+const fpVersion = "lcp1"
+
+// Fingerprint is the 128-bit content address of a canonical program:
+// SHA-256 over the versioned canonical encoding, truncated to 16 bytes.
+type Fingerprint [16]byte
+
+func (f Fingerprint) String() string { return fmt.Sprintf("%x", f[:]) }
+
+// Action records how a program was moved onto its canonical representative:
+// which original threads survive (and in what order), and the location and
+// value bijections applied. Tests use it to transport behavior sets between
+// orbit members.
+type Action struct {
+	// Threads[i] is the original index of the thread placed at canonical
+	// position i. Threads that normalize to empty are dropped and absent.
+	Threads []int
+	// Locs maps each original location to its canonical name.
+	Locs map[string]string
+	// Vals maps each original written/expected value to its canonical
+	// value. The initial value 0 is always fixed: Vals[0] == 0.
+	Vals map[int]int
+}
+
+// canonLocNames are the canonical location names, assigned in order of
+// first appearance in the winning thread order.
+var canonLocNames = []string{"X", "Y", "Z", "W", "V", "U", "T", "S"}
+
+func canonLoc(i int) string {
+	if i < len(canonLocNames) {
+		return canonLocNames[i]
+	}
+	return fmt.Sprintf("L%d", i)
+}
+
+// Canonicalizer computes canonical forms and fingerprints. It holds
+// reusable scratch buffers, so one canonicalizer per worker makes
+// steady-state canonicalization allocation-free. Not safe for concurrent
+// use.
+type Canonicalizer struct {
+	norm    [][]Op // normalized threads (buffers reused)
+	normBuf [][]Op // backing storage for norm's threads
+	perm    []int
+	enc     []byte
+	best    []byte
+	bestP   []int
+	locID   map[string]uint64
+	valID   map[int]uint64
+	h       [sha256.Size]byte
+}
+
+// Op aliases the memmodel op type for brevity.
+type Op = memmodel.Op
+
+// NewCanonicalizer returns an empty canonicalizer; buffers grow on first
+// use and are reused afterwards.
+func NewCanonicalizer() *Canonicalizer {
+	return &Canonicalizer{
+		locID: make(map[string]uint64, 8),
+		valID: make(map[int]uint64, 8),
+	}
+}
+
+// inertFence reports whether op i of thread t is dropped by fence
+// normalization: fences before the first access or after the last access of
+// their thread order nothing observable (initialization writes are sources
+// in every model's order graph, so edges out of them never close cycles),
+// and of a run of identical adjacent fences only the first matters.
+func inertFence(t []Op, i int) bool {
+	o := t[i]
+	if o.Kind != memmodel.OpFence {
+		return false
+	}
+	// Leading: no access before it.
+	lead := true
+	for j := 0; j < i; j++ {
+		if t[j].Kind != memmodel.OpFence {
+			lead = false
+			break
+		}
+	}
+	if lead {
+		return true
+	}
+	// Trailing: no access after it.
+	trail := true
+	for j := i + 1; j < len(t); j++ {
+		if t[j].Kind != memmodel.OpFence {
+			trail = false
+			break
+		}
+	}
+	if trail {
+		return true
+	}
+	// Duplicate of an immediately preceding identical fence.
+	return t[i-1].Kind == memmodel.OpFence && t[i-1].Fence == o.Fence
+}
+
+// normalize applies the per-thread op-order invariants, writing the surviving
+// threads into c.norm and returning, per surviving thread, its original
+// index.
+func (c *Canonicalizer) normalize(threads [][]Op) []int {
+	c.norm = c.norm[:0]
+	c.normBuf = c.normBuf[:0]
+	var kept []int
+	for ti, t := range threads {
+		var nt []Op
+		if len(c.normBuf) < cap(c.normBuf) {
+			c.normBuf = c.normBuf[:len(c.normBuf)+1]
+			nt = c.normBuf[len(c.normBuf)-1][:0]
+		} else {
+			c.normBuf = append(c.normBuf, nil)
+		}
+		for i := range t {
+			if !inertFence(t, i) {
+				nt = append(nt, t[i])
+			}
+		}
+		c.normBuf[len(c.normBuf)-1] = nt
+		if len(nt) > 0 {
+			c.norm = append(c.norm, nt)
+			kept = append(kept, ti)
+		}
+	}
+	return kept
+}
+
+// encodePerm serializes c.norm under the given thread order with greedy
+// first-appearance location and value numbering, into c.enc. The encoding
+// is injective on (thread sequence, op fields): every op starts with a kind
+// tag, threads end with a separator tag, and all ids are uvarints.
+func (c *Canonicalizer) encodePerm(perm []int) []byte {
+	enc := c.enc[:0]
+	clear(c.locID)
+	clear(c.valID)
+	c.valID[0] = 0 // the initial value is a fixed point of the orbit action
+	nextLoc, nextVal := uint64(0), uint64(1)
+	loc := func(l string) uint64 {
+		id, ok := c.locID[l]
+		if !ok {
+			id = nextLoc
+			c.locID[l] = id
+			nextLoc++
+		}
+		return id
+	}
+	val := func(v int) uint64 {
+		id, ok := c.valID[v]
+		if !ok {
+			id = nextVal
+			c.valID[v] = id
+			nextVal++
+		}
+		return id
+	}
+	flags := func(o Op) uint64 {
+		var f uint64
+		if o.SC {
+			f |= 1
+		}
+		if o.Acq {
+			f |= 2
+		}
+		if o.Rel {
+			f |= 4
+		}
+		if o.HasExp {
+			f |= 8
+		}
+		return f
+	}
+	for _, ti := range perm {
+		for _, o := range c.norm[ti] {
+			enc = append(enc, byte(o.Kind)+1) // 0 is the thread separator
+			switch o.Kind {
+			case memmodel.OpFence:
+				enc = binary.AppendUvarint(enc, uint64(o.Fence))
+			case memmodel.OpLoad:
+				enc = binary.AppendUvarint(enc, loc(o.Loc))
+				enc = binary.AppendUvarint(enc, flags(o))
+			case memmodel.OpStore:
+				enc = binary.AppendUvarint(enc, loc(o.Loc))
+				enc = binary.AppendUvarint(enc, val(o.Val))
+				enc = binary.AppendUvarint(enc, flags(o))
+			case memmodel.OpRMW:
+				enc = binary.AppendUvarint(enc, loc(o.Loc))
+				enc = binary.AppendUvarint(enc, val(o.Val))
+				enc = binary.AppendUvarint(enc, flags(o))
+				if o.HasExp {
+					enc = binary.AppendUvarint(enc, val(o.Exp))
+				}
+			}
+		}
+		enc = append(enc, 0)
+	}
+	c.enc = enc
+	return enc
+}
+
+// Canonical computes the canonical representative of threads' orbit and the
+// action mapping the input onto it: fence normalization, then the
+// lexicographically least encoding over all orders of the surviving
+// threads, with locations and values renamed by first appearance. The
+// returned thread slices share the canonicalizer's buffers and are only
+// valid until the next call; callers needing a persistent program use
+// CanonicalProgram.
+func (c *Canonicalizer) Canonical(threads [][]Op) ([][]Op, Action) {
+	kept := c.normalize(threads)
+	n := len(c.norm)
+
+	// Minimize over thread permutations (Heap's algorithm). The greedy
+	// renaming is recomputed per order, so every orbit member explores the
+	// same candidate set and the minimum is a true canonical form.
+	c.perm = c.perm[:0]
+	for i := 0; i < n; i++ {
+		c.perm = append(c.perm, i)
+	}
+	c.best = append(c.best[:0], c.encodePerm(c.perm)...)
+	c.bestP = append(c.bestP[:0], c.perm...)
+	var heap func(k int)
+	heap = func(k int) {
+		if k <= 1 {
+			if bytes.Compare(c.encodePerm(c.perm), c.best) < 0 {
+				c.best = append(c.best[:0], c.enc...)
+				c.bestP = append(c.bestP[:0], c.perm...)
+			}
+			return
+		}
+		for i := 0; i < k; i++ {
+			heap(k - 1)
+			if k%2 == 0 {
+				c.perm[i], c.perm[k-1] = c.perm[k-1], c.perm[i]
+			} else {
+				c.perm[0], c.perm[k-1] = c.perm[k-1], c.perm[0]
+			}
+		}
+	}
+	if n > 1 {
+		heap(n)
+	}
+
+	// Rebuild the winning renaming and apply it.
+	act := Action{Locs: map[string]string{}, Vals: map[int]int{0: 0}}
+	clear(c.locID)
+	clear(c.valID)
+	c.valID[0] = 0
+	nextLoc, nextVal := 0, 1
+	out := c.norm[:0:0] // fresh header; thread storage is still c.normBuf's
+	for _, ti := range c.bestP {
+		act.Threads = append(act.Threads, kept[ti])
+		t := c.norm[ti]
+		for i, o := range t {
+			if o.Kind == memmodel.OpFence {
+				continue
+			}
+			if _, ok := c.locID[o.Loc]; !ok {
+				c.locID[o.Loc] = uint64(nextLoc)
+				act.Locs[o.Loc] = canonLoc(nextLoc)
+				nextLoc++
+			}
+			o.Loc = act.Locs[o.Loc]
+			ren := func(v int) int {
+				if _, ok := c.valID[v]; !ok {
+					c.valID[v] = uint64(nextVal)
+					act.Vals[v] = nextVal
+					nextVal++
+				}
+				return act.Vals[v]
+			}
+			if o.Kind == memmodel.OpStore || o.Kind == memmodel.OpRMW {
+				o.Val = ren(o.Val)
+			}
+			if o.HasExp {
+				o.Exp = ren(o.Exp)
+			}
+			t[i] = o
+		}
+		out = append(out, t)
+	}
+	return out, act
+}
+
+// Fingerprint hashes the canonical encoding of the given canonical threads.
+// It must be called on Canonical's output (it re-encodes in identity order
+// without re-minimizing).
+func (c *Canonicalizer) Fingerprint(canon [][]Op) Fingerprint {
+	c.norm = append(c.norm[:0], canon...)
+	c.perm = c.perm[:0]
+	for i := range canon {
+		c.perm = append(c.perm, i)
+	}
+	enc := c.encodePerm(c.perm)
+	h := sha256.New()
+	h.Write([]byte(fpVersion))
+	h.Write(enc)
+	h.Sum(c.h[:0])
+	var fp Fingerprint
+	copy(fp[:], c.h[:16])
+	return fp
+}
+
+// CanonicalProgram canonicalizes threads into a standalone Program named
+// after its fingerprint, with deep-copied thread storage safe to retain.
+func (c *Canonicalizer) CanonicalProgram(threads [][]Op) (*memmodel.Program, Fingerprint, Action) {
+	canon, act := c.Canonical(threads)
+	fp := c.Fingerprint(canon)
+	own := make([][]Op, len(canon))
+	for i, t := range canon {
+		own[i] = append([]Op(nil), t...)
+	}
+	return &memmodel.Program{Name: "c" + fp.String()[:12], Threads: own}, fp, act
+}

@@ -1,0 +1,41 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestCampaignMeasure is the manual measurement harness behind the numbers
+// in EXPERIMENTS.md ("The incremental litmus campaign engine"): it runs a
+// cold campaign then a warm re-run against one state directory and prints
+// both. Skipped unless CAMPAIGN_MEASURE_BOUND is set — bound 4 sweeps a
+// ~3.9M-program family and is an offline job, not a CI test.
+//
+//	CAMPAIGN_MEASURE_BOUND=4 CAMPAIGN_MEASURE_STATE=/tmp/b4 \
+//	    go test ./internal/campaign -run TestCampaignMeasure -v -timeout 0
+func TestCampaignMeasure(t *testing.T) {
+	bound, _ := strconv.Atoi(os.Getenv("CAMPAIGN_MEASURE_BOUND"))
+	if bound == 0 {
+		t.Skip("set CAMPAIGN_MEASURE_BOUND=N (and optionally CAMPAIGN_MEASURE_STATE=dir) to run")
+	}
+	dir := os.Getenv("CAMPAIGN_MEASURE_STATE")
+	if dir == "" {
+		dir = t.TempDir()
+	}
+	cold, err := Run(context.Background(), Options{Bound: bound, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("bound %d cold: generated=%d orbits=%d checked=%d hits=%d dups=%d prune=%.2fx unsound=%d unresolved=%d elapsed=%s\n",
+		bound, cold.Generated, cold.Orbits, cold.Checked, cold.Hits, cold.Dups,
+		cold.PruneFactor(), len(cold.Unsound), cold.Unresolved, cold.Elapsed)
+	warm, err := Run(context.Background(), Options{Bound: bound, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("bound %d warm: checked=%d hits=%d elapsed=%s speedup=%.1fx\n",
+		bound, warm.Checked, warm.Hits, warm.Elapsed, float64(cold.Elapsed)/float64(warm.Elapsed))
+}

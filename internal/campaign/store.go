@@ -1,0 +1,390 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// This file implements the campaign verdict store: an append-only,
+// CRC-framed, sharded on-disk map from canonical program fingerprint to
+// mapping verdict. It follows the crash-safety discipline of
+// internal/core/cache — every record carries an end-to-end checksum
+// verified on replay, metadata files are published with the
+// tmp/fsync/rename dance, and a torn tail (a crash mid-append) is detected
+// and truncated away on open, never surfaced. A verdict that was claimed
+// but not yet durably recorded when a campaign died is simply rechecked by
+// the next run; a recorded verdict is never rechecked and never lost.
+
+// Status is a persisted mapping verdict.
+type Status uint8
+
+const (
+	// StatusSound: the mapping preserved all behaviors on this program.
+	StatusSound Status = 1
+	// StatusUnsound: the check found target-only behaviors; the record
+	// carries the counterexample message.
+	StatusUnsound Status = 2
+)
+
+// Claim classifies a fingerprint's first presentation to the store.
+type Claim uint8
+
+const (
+	// ClaimNew: never seen — the caller owns checking it and must Record.
+	ClaimNew Claim = iota
+	// ClaimHit: verdict loaded from a previous run's shard files.
+	ClaimHit
+	// ClaimDup: already claimed or recorded earlier in this run.
+	ClaimDup
+)
+
+// Meta namespaces a store directory: verdicts are only comparable between
+// identical checker versions and mapping chains, so each distinct Meta gets
+// its own shard-file subdirectory (named by a hash of the canonical JSON).
+type Meta struct {
+	CheckerVersion string `json:"checker_version"`
+	Mapping        string `json:"mapping"` // e.g. "x86→IR→arm"
+}
+
+const (
+	storeMagic   = "LCS1"
+	numShards    = 16
+	maxMsgLen    = 1 << 16 // counterexample messages are truncated to this
+	metaFileName = "meta.json"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record framing, after the file header:
+//
+//	[fp 16] [status 1] [msgLen u32 LE] [msg msgLen] [crc32c u32 LE]
+//
+// The CRC covers fp..msg. Fixed-width lengths keep the replay scanner
+// trivially able to distinguish "clean EOF" from "torn tail".
+const recFixed = 16 + 1 + 4 + 4
+
+type entry struct {
+	status   Status
+	fromDisk bool
+	pending  bool // claimed this run, verdict not yet recorded
+}
+
+type storeShard struct {
+	mu sync.Mutex
+	m  map[Fingerprint]entry
+	// msgs keeps unsound counterexample messages; almost every verdict is
+	// sound, so they live outside the hot map's value type.
+	msgs map[Fingerprint]string
+
+	f *os.File      // nil in memory-only mode
+	w *bufio.Writer // nil in memory-only mode
+}
+
+// Store maps canonical fingerprints to verdicts, in memory and (unless
+// opened with an empty directory) durably on disk. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir    string // "" = memory only
+	shards [numShards]storeShard
+}
+
+// OpenStore opens (creating as needed) the verdict store for meta under
+// dir, replaying existing shard files into memory. An empty dir yields a
+// memory-only store: same semantics, nothing persisted.
+func OpenStore(dir string, meta Meta) (*Store, error) {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[Fingerprint]entry)
+		s.shards[i].msgs = make(map[Fingerprint]string)
+	}
+	if dir == "" {
+		return s, nil
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	sub := fmt.Sprintf("%x", crc32.Checksum(metaJSON, crcTable))
+	s.dir = filepath.Join(dir, fmt.Sprintf("%s-%s-%s", sanitize(meta.CheckerVersion), sanitize(meta.Mapping), sub))
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := publishFile(filepath.Join(s.dir, metaFileName), metaJSON); err != nil {
+		return nil, err
+	}
+	for i := range s.shards {
+		if err := s.openShard(i); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// sanitize keeps directory names portable.
+func sanitize(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '.' {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// publishFile writes data via the tmp/fsync/rename dance so readers never
+// observe a partial file. Existing identical content is left alone.
+func publishFile(path string, data []byte) error {
+	if old, err := os.ReadFile(path); err == nil && string(old) == string(data) {
+		return nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// openShard replays shard i's file (truncating any torn tail) and leaves it
+// open for appending.
+func (s *Store) openShard(i int) error {
+	path := filepath.Join(s.dir, fmt.Sprintf("shard-%02x.bin", i))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	sh := &s.shards[i]
+	valid, err := sh.replay(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("campaign store shard %02x: %w", i, err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	sh.f = f
+	sh.w = bufio.NewWriterSize(f, 1<<16)
+	if valid == 0 {
+		sh.w.WriteString(storeMagic)
+	}
+	return nil
+}
+
+// replay scans the shard file, loading every intact record and returning
+// the byte offset of the last one. A bad magic is an error (the file is not
+// ours); a torn or corrupt tail just ends the scan — appends from there
+// overwrite it.
+func (sh *storeShard) replay(f *os.File) (validEnd int64, err error) {
+	r := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		if err == io.EOF {
+			return 0, nil // fresh file
+		}
+		return 0, nil // shorter than the magic: torn header, rewrite
+	}
+	if string(magic) != storeMagic {
+		return 0, fmt.Errorf("bad shard magic %q", magic)
+	}
+	valid := int64(len(storeMagic))
+	hdr := make([]byte, 16+1+4)
+	var msg []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return valid, nil // clean EOF or torn fixed header
+		}
+		msgLen := binary.LittleEndian.Uint32(hdr[17:])
+		if msgLen > maxMsgLen {
+			return valid, nil // corrupt length: treat as torn tail
+		}
+		if cap(msg) < int(msgLen) {
+			msg = make([]byte, msgLen)
+		}
+		msg = msg[:msgLen]
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return valid, nil
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+			return valid, nil
+		}
+		crc := crc32.Checksum(hdr, crcTable)
+		crc = crc32.Update(crc, crcTable, msg)
+		if crc != binary.LittleEndian.Uint32(crcBuf[:]) {
+			return valid, nil // checksum mismatch: torn/corrupt record
+		}
+		st := Status(hdr[16])
+		if st != StatusSound && st != StatusUnsound {
+			return valid, nil
+		}
+		var fp Fingerprint
+		copy(fp[:], hdr[:16])
+		sh.m[fp] = entry{status: st, fromDisk: true}
+		if st == StatusUnsound {
+			sh.msgs[fp] = string(msg)
+		}
+		valid += int64(len(hdr)) + int64(msgLen) + 4
+	}
+}
+
+func (s *Store) shardOf(fp Fingerprint) *storeShard {
+	return &s.shards[fp[0]&(numShards-1)]
+}
+
+// ClaimFP presents a fingerprint. ClaimNew means the caller must check the
+// program and Record the verdict; ClaimHit returns the persisted verdict;
+// ClaimDup means this run already saw the fingerprint (its verdict, when
+// already recorded, is returned too).
+func (s *Store) ClaimFP(fp Fingerprint) (Claim, Status) {
+	sh := s.shardOf(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.m[fp]
+	if !ok {
+		sh.m[fp] = entry{pending: true}
+		return ClaimNew, 0
+	}
+	if e.pending {
+		return ClaimDup, 0
+	}
+	if e.fromDisk {
+		// First presentation this run: report the hit, then treat repeats
+		// as in-run duplicates.
+		e.fromDisk = false
+		sh.m[fp] = e
+		return ClaimHit, e.status
+	}
+	return ClaimDup, e.status
+}
+
+// Record stores the verdict for a fingerprint claimed ClaimNew and appends
+// it to the shard file. msg carries the counterexample for unsound
+// verdicts and is ignored for sound ones.
+func (s *Store) Record(fp Fingerprint, st Status, msg string) error {
+	if st == StatusSound {
+		msg = ""
+	} else if len(msg) > maxMsgLen {
+		msg = msg[:maxMsgLen]
+	}
+	sh := s.shardOf(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[fp] = entry{status: st}
+	if st == StatusUnsound {
+		sh.msgs[fp] = msg
+	}
+	if sh.w == nil {
+		return nil
+	}
+	var hdr [16 + 1 + 4]byte
+	copy(hdr[:16], fp[:])
+	hdr[16] = byte(st)
+	binary.LittleEndian.PutUint32(hdr[17:], uint32(len(msg)))
+	crc := crc32.Checksum(hdr[:], crcTable)
+	crc = crc32.Update(crc, crcTable, []byte(msg))
+	sh.w.Write(hdr[:])
+	sh.w.WriteString(msg)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc)
+	_, err := sh.w.Write(crcBuf[:])
+	return err
+}
+
+// Message returns the stored counterexample for an unsound fingerprint.
+func (s *Store) Message(fp Fingerprint) string {
+	sh := s.shardOf(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.msgs[fp]
+}
+
+// Len reports how many verdicts the store holds (recorded, not pending).
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.m {
+			if !e.pending {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Flush pushes buffered records to the OS and fsyncs the shard files, making
+// every Record so far durable.
+func (s *Store) Flush() error {
+	var first error
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.w != nil {
+			if err := sh.w.Flush(); err != nil && first == nil {
+				first = err
+			}
+			if err := sh.f.Sync(); err != nil && first == nil {
+				first = err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// Close flushes and closes the shard files. The store is unusable after.
+func (s *Store) Close() error {
+	first := s.Flush()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.f != nil {
+			if err := sh.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sh.f, sh.w = nil, nil
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}

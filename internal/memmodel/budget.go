@@ -142,3 +142,27 @@ func CheckMappingBudget(src *Program, srcModel Model, mapFn func(*Program) *Prog
 	}
 	return compareFolds(src, srcModel, tgtModel, srcS, tgtS)
 }
+
+// CheckMappingScratch is CheckMappingBudget with every per-check structure
+// drawn from sc and both folds run serially on the calling goroutine. It is
+// the campaign engine's inner loop: a sweep checking many small programs
+// holds one scratch per worker, and once the scratch is warm each additional
+// check allocates nothing beyond the mapped program itself. A nil scratch
+// falls back to plain allocation.
+func CheckMappingScratch(src *Program, srcModel Model, mapFn func(*Program) *Program, tgtModel Model, b Budget, sc *CheckScratch) error {
+	var a *arena
+	if sc != nil {
+		a = &sc.a
+		a.reset()
+	}
+	tgt := mapFn(src)
+	srcS, err := foldBehaviorsArena(src, srcModel, true, 1, b, a)
+	if err != nil {
+		return fmt.Errorf("checking %s under %s: %w", src.Name, srcModel.Name, err)
+	}
+	tgtS, err := foldBehaviorsArena(tgt, tgtModel, true, 1, b, a)
+	if err != nil {
+		return fmt.Errorf("checking %s under %s: %w", tgt.Name, tgtModel.Name, err)
+	}
+	return compareFolds(src, srcModel, tgtModel, srcS, tgtS)
+}

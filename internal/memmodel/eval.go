@@ -40,13 +40,34 @@ type statics struct {
 }
 
 // buildStatics hoists the skeleton-invariant relations of an event skeleton.
-func buildStatics(events []*Event, locs []string, reads []*Event) *statics {
+// A non-nil arena supplies the relation words, index slices and interned
+// read-key strings.
+func buildStatics(events []*Event, locs []string, reads []*Event, a *arena) *statics {
 	n := len(events)
-	arena := newRelArena(n, 3)
-	k := &statics{
+	rels := a.relArena(n, 3)
+	var k *statics
+	if a != nil {
+		k = &a.stats.take(1)[0]
+	} else {
+		k = &statics{}
+	}
+	*k = statics{
 		n: n, events: events, locs: locs, reads: reads,
-		po: &arena[0], poLoc: &arena[1], ext: &arena[2],
-		locIdx: make([]int, n),
+		po: &rels[0], poLoc: &rels[1], ext: &rels[2],
+	}
+	if a != nil {
+		k.locIdx = a.ints.take(n)
+	} else {
+		k.locIdx = make([]int, n)
+	}
+	nrmw := 0
+	for _, e := range events {
+		if e.Kind == EvR && e.RMW >= 0 {
+			nrmw++
+		}
+	}
+	if a != nil {
+		k.rmws = a.rmwps.take(nrmw)[:0]
 	}
 	for _, e := range events {
 		k.locIdx[e.ID] = -1
@@ -85,8 +106,14 @@ func buildStatics(events []*Event, locs []string, reads []*Event) *statics {
 	// Read slot keys, in (tid, idx) order — which is ID order, because
 	// buildEvents lowers threads in order and ops in order. The occurrence
 	// index is counted by scanning earlier reads: the handful of reads per
-	// litmus program makes that cheaper than a counting map.
-	k.readKeys = make([]string, len(reads))
+	// litmus program makes that cheaper than a counting map. Arena mode
+	// interns the key strings, so a bounded sweep builds each distinct key
+	// exactly once.
+	if a != nil {
+		k.readKeys = a.strs.take(len(reads))
+	} else {
+		k.readKeys = make([]string, len(reads))
+	}
 	for i, r := range reads {
 		occ := 0
 		for _, prev := range reads[:i] {
@@ -94,12 +121,28 @@ func buildStatics(events []*Event, locs []string, reads []*Event) *statics {
 				occ++
 			}
 		}
-		k.readKeys[i] = "t" + strconv.Itoa(r.Tid) + "." + r.Loc + "." + strconv.Itoa(occ)
+		if a != nil {
+			a.keyBuf = append(a.keyBuf[:0], 't')
+			a.keyBuf = strconv.AppendInt(a.keyBuf, int64(r.Tid), 10)
+			a.keyBuf = append(a.keyBuf, '.')
+			a.keyBuf = append(a.keyBuf, r.Loc...)
+			a.keyBuf = append(a.keyBuf, '.')
+			a.keyBuf = strconv.AppendInt(a.keyBuf, int64(occ), 10)
+			k.readKeys[i] = a.internKey()
+		} else {
+			k.readKeys[i] = "t" + strconv.Itoa(r.Tid) + "." + r.Loc + "." + strconv.Itoa(occ)
+		}
 	}
 	// Canonical slot order = lexicographic key order (what Behavior.Key
 	// emits). Insertion sort: a handful of reads, and sort.Slice's reflection
 	// setup would cost more than the sort.
-	k.readSorted = make([]int, len(reads))
+	if a != nil {
+		k.readSorted = a.ints.take(len(reads))
+		k.readSlot = a.ints.take(len(reads))
+	} else {
+		k.readSorted = make([]int, len(reads))
+		k.readSlot = make([]int, len(reads))
+	}
 	for i := range k.readSorted {
 		k.readSorted[i] = i
 	}
@@ -108,7 +151,6 @@ func buildStatics(events []*Event, locs []string, reads []*Event) *statics {
 			k.readSorted[j], k.readSorted[j-1] = k.readSorted[j-1], k.readSorted[j]
 		}
 	}
-	k.readSlot = make([]int, len(reads))
 	for slot, si := range k.readSorted {
 		k.readSlot[si] = slot
 	}
@@ -131,16 +173,29 @@ type evaluator struct {
 // computing the model's static order. Use newEvaluatorShared to share a
 // precomputed static order across parallel workers.
 func newEvaluator(sp *enumSpace, m Model) *evaluator {
-	return newEvaluatorShared(sp, m, m.static(sp.stat))
+	return newEvaluatorShared(sp, m, m.static(sp.stat, nil))
 }
 
 // newEvaluatorShared builds an evaluator around a precomputed (read-only)
 // model static order, so parallel workers hoist it once per enumeration
 // rather than once per worker.
 func newEvaluatorShared(sp *enumSpace, m Model, ms *relation) *evaluator {
+	return newEvaluatorIn(sp, m, ms, nil)
+}
+
+// newEvaluatorIn is newEvaluatorShared with the scratch relations drawn from
+// the arena.
+func newEvaluatorIn(sp *enumSpace, m Model, ms *relation, a *arena) *evaluator {
 	k := sp.stat
-	scratch := newRelArena(k.n, 2)
-	return &evaluator{k: k, m: m, ms: ms, g: &scratch[0], s: &scratch[1]}
+	scratch := a.relArena(k.n, 2)
+	var ev *evaluator
+	if a != nil {
+		ev = &a.evals.take(1)[0]
+	} else {
+		ev = &evaluator{}
+	}
+	*ev = evaluator{k: k, m: m, ms: ms, g: &scratch[0], s: &scratch[1]}
+	return ev
 }
 
 // addDynamic ORs the execution-varying edges into g: rf (write→read), co

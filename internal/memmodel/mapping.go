@@ -220,10 +220,12 @@ func ClassicTests() []*Program {
 	}
 }
 
-// GenerateX86Programs enumerates small x86-level litmus programs: two
-// threads, up to maxOps operations each, over two locations. This is the
-// exhaustive family backing the bounded mapping proofs.
-func GenerateX86Programs(maxOps int) []*Program {
+// X86ThreadSkeletons enumerates the nonempty per-thread instruction
+// sequences — up to maxOps operations over the fixed two-location x86 op
+// alphabet — underlying GenerateX86Programs. The campaign engine shards
+// generation by thread-skeleton pair instead of materializing the whole
+// program family, so bound-4 campaigns stream in flat memory.
+func X86ThreadSkeletons(maxOps int) [][]Op {
 	ops := []Op{
 		Ld("X"), Ld("Y"),
 		St("X", 1), St("Y", 1),
@@ -244,16 +246,22 @@ func GenerateX86Programs(maxOps int) []*Program {
 		}
 	}
 	gen(nil)
+	return threads
+}
 
+// GenerateX86Programs enumerates small x86-level litmus programs: two
+// threads, up to maxOps operations each, over two locations. This is the
+// exhaustive family backing the bounded mapping proofs. Prefer the campaign
+// engine (internal/campaign) for large bounds — it pairs the skeletons
+// lazily instead of materializing every program up front.
+func GenerateX86Programs(maxOps int) []*Program {
+	threads := X86ThreadSkeletons(maxOps)
 	var out []*Program
 	for i, t0 := range threads {
-		for j, t1 := range threads {
-			if j < i {
-				continue // symmetric
-			}
+		for j := i; j < len(threads); j++ { // j < i is symmetric
 			out = append(out, &Program{
 				Name:    fmt.Sprintf("gen_%d_%d", i, j),
-				Threads: [][]Op{t0, t1},
+				Threads: [][]Op{t0, threads[j]},
 			})
 		}
 	}

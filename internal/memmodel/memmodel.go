@@ -140,14 +140,42 @@ func (p *Program) Locs() []string {
 	if c := p.locs.Load(); c != nil {
 		return *c
 	}
-	var out []string
+	out := p.appendLocs(nil)
+	sort.Strings(out)
+	p.locs.Store(&out)
+	return out
+}
+
+// locsIn is Locs with the result drawn from the arena instead of cached on
+// the program. The bounded sweeps construct (or re-point) ephemeral programs
+// for every check, so the per-program cache never hits and its allocation
+// would dominate; the arena path computes into slab storage and skips
+// caching entirely.
+func (p *Program) locsIn(a *arena) []string {
+	if a == nil {
+		return p.Locs()
+	}
+	if c := p.locs.Load(); c != nil {
+		return *c
+	}
+	n := len(p.Init)
+	for _, t := range p.Threads {
+		n += len(t)
+	}
+	out := p.appendLocs(a.strs.take(n)[:0])
+	sort.Strings(out)
+	return out
+}
+
+// appendLocs appends the deduplicated location set to dst.
+func (p *Program) appendLocs(dst []string) []string {
 	add := func(loc string) {
-		for _, l := range out {
+		for _, l := range dst {
 			if l == loc {
 				return
 			}
 		}
-		out = append(out, loc)
+		dst = append(dst, loc)
 	}
 	for l := range p.Init {
 		add(l)
@@ -159,9 +187,7 @@ func (p *Program) Locs() []string {
 			}
 		}
 	}
-	sort.Strings(out)
-	p.locs.Store(&out)
-	return out
+	return dst
 }
 
 // EvKind classifies events.
@@ -210,8 +236,9 @@ type Execution struct {
 
 // buildEvents lowers a program to its event skeleton (shared across all
 // executions). locs is the program's location universe, computed once by the
-// caller (it used to be re-derived on every enumeration).
-func buildEvents(p *Program, locs []string) []*Event {
+// caller (it used to be re-derived on every enumeration). A non-nil arena
+// supplies the event storage from its slabs.
+func buildEvents(p *Program, locs []string, a *arena) []*Event {
 	n := len(locs)
 	for _, th := range p.Threads {
 		for _, o := range th {
@@ -222,8 +249,15 @@ func buildEvents(p *Program, locs []string) []*Event {
 			}
 		}
 	}
-	backing := make([]Event, 0, n) // one allocation for all events
-	evs := make([]*Event, 0, n)
+	var backing []Event
+	var evs []*Event
+	if a != nil {
+		backing = a.events.take(n)[:0]
+		evs = a.evptrs.take(n)[:0]
+	} else {
+		backing = make([]Event, 0, n) // one allocation for all events
+		evs = make([]*Event, 0, n)
+	}
 	add := func(e Event) *Event {
 		e.ID = len(backing)
 		backing = append(backing, e)
@@ -324,9 +358,21 @@ type enumSpace struct {
 // has a 2-cycle) for every rf choice, so such permutations are never built.
 // Similarly, rf choices that contradict an RMW's expected read value are
 // dropped up front.
-func newEnumSpace(p *Program) *enumSpace {
-	locs := p.Locs()
-	s := &enumSpace{skeleton: buildEvents(p, locs), locs: locs}
+func newEnumSpace(p *Program) *enumSpace { return newEnumSpaceIn(p, nil) }
+
+// newEnumSpaceIn is newEnumSpace drawing every per-program structure from
+// the arena (nil = plain allocation). Counting passes replace the append
+// patterns of the original so slices can be taken at their exact size.
+func newEnumSpaceIn(p *Program, a *arena) *enumSpace {
+	locs := p.locsIn(a)
+	var s *enumSpace
+	if a != nil {
+		s = &a.spaces.take(1)[0]
+		a.orders = a.orders[:0]
+	} else {
+		s = &enumSpace{}
+	}
+	s.skeleton, s.locs = buildEvents(p, locs, a), locs
 	locIdxOf := func(loc string) int {
 		for i, l := range s.locs {
 			if l == loc {
@@ -335,7 +381,34 @@ func newEnumSpace(p *Program) *enumSpace {
 		}
 		return -1
 	}
-	writesAt := make([][]*Event, len(s.locs))
+	// Count writes per location and reads up front so the arena slices are
+	// exact.
+	nr := 0
+	var writeCounts []int
+	if a != nil {
+		writeCounts = a.ints.take(len(s.locs))
+	} else {
+		writeCounts = make([]int, len(s.locs))
+	}
+	for _, e := range s.skeleton {
+		if e.Kind == EvW {
+			writeCounts[locIdxOf(e.Loc)]++
+		}
+		if e.Kind == EvR {
+			nr++
+		}
+	}
+	var writesAt [][]*Event
+	if a != nil {
+		writesAt = a.evptrss.take(len(s.locs))
+		for i, c := range writeCounts {
+			writesAt[i] = a.evptrs.take(c)[:0]
+		}
+		s.reads = a.evptrs.take(nr)[:0]
+	} else {
+		writesAt = make([][]*Event, len(s.locs))
+		s.reads = make([]*Event, 0, nr)
+	}
 	for _, e := range s.skeleton {
 		if e.Kind == EvW {
 			ci := locIdxOf(e.Loc)
@@ -346,10 +419,17 @@ func newEnumSpace(p *Program) *enumSpace {
 		}
 	}
 
-	s.coChoices = make([][][]int, len(s.locs))
+	if a != nil {
+		s.coChoices = a.intsss.take(len(s.locs))
+	} else {
+		s.coChoices = make([][][]int, len(s.locs))
+	}
 	for i := range s.locs {
 		var initW *Event
 		var others []*Event
+		if a != nil {
+			others = a.evptrs.take(len(writesAt[i]))[:0]
+		}
 		for _, w := range writesAt[i] {
 			if w.Tid == -1 {
 				initW = w
@@ -358,14 +438,36 @@ func newEnumSpace(p *Program) *enumSpace {
 			}
 		}
 		// Build permutations of the non-init writes, pruning any prefix that
-		// places a write before one of its po-predecessors.
-		order := make([]int, 1, len(others)+1)
+		// places a write before one of its po-predecessors. Arena mode
+		// collects the permutations into a.orders and slices the result out;
+		// the backing may be superseded by a later location's growth, but the
+		// superseded block keeps the already-written orders valid.
+		var order []int
+		var used []bool
+		if a != nil {
+			order = a.ints.take(len(others) + 1)[:1]
+			used = a.bools.take(len(others))
+		} else {
+			order = make([]int, 1, len(others)+1)
+			used = make([]bool, len(others))
+		}
 		order[0] = initW.ID
-		used := make([]bool, len(others))
+		start := 0
+		if a != nil {
+			start = len(a.orders)
+		}
 		var rec func()
 		rec = func() {
 			if len(order) == len(others)+1 {
-				s.coChoices[i] = append(s.coChoices[i], append([]int(nil), order...))
+				var perm []int
+				if a != nil {
+					perm = a.ints.take(len(order))
+					copy(perm, order)
+					a.orders = append(a.orders, perm)
+				} else {
+					perm = append([]int(nil), order...)
+					s.coChoices[i] = append(s.coChoices[i], perm)
+				}
 				return
 			}
 			for k, w := range others {
@@ -392,21 +494,43 @@ func newEnumSpace(p *Program) *enumSpace {
 			}
 		}
 		rec()
-	}
-
-	s.rfChoices = make([][]int, len(s.reads))
-	for i, r := range s.reads {
-		for _, w := range writesAt[locIdxOf(r.Loc)] {
-			if w.RMW == r.ID {
-				continue // an rmw's own write cannot feed its read
-			}
-			if r.HasExp && w.Val != r.Exp {
-				continue // expected-value RMW: this rf can never satisfy it
-			}
-			s.rfChoices[i] = append(s.rfChoices[i], w.ID)
+		if a != nil {
+			s.coChoices[i] = a.orders[start:len(a.orders):len(a.orders)]
 		}
 	}
-	s.stat = buildStatics(s.skeleton, s.locs, s.reads)
+
+	if a != nil {
+		s.rfChoices = a.intss.take(len(s.reads))
+	} else {
+		s.rfChoices = make([][]int, len(s.reads))
+	}
+	for i, r := range s.reads {
+		rfOK := func(w *Event) bool {
+			if w.RMW == r.ID {
+				return false // an rmw's own write cannot feed its read
+			}
+			if r.HasExp && w.Val != r.Exp {
+				return false // expected-value RMW: this rf can never satisfy it
+			}
+			return true
+		}
+		ws := writesAt[locIdxOf(r.Loc)]
+		if a != nil {
+			n := 0
+			for _, w := range ws {
+				if rfOK(w) {
+					n++
+				}
+			}
+			s.rfChoices[i] = a.ints.take(n)[:0]
+		}
+		for _, w := range ws {
+			if rfOK(w) {
+				s.rfChoices[i] = append(s.rfChoices[i], w.ID)
+			}
+		}
+	}
+	s.stat = buildStatics(s.skeleton, s.locs, s.reads, a)
 	return s
 }
 
@@ -433,7 +557,7 @@ func (s *enumSpace) newWalker(dense bool) *walker {
 		w.events[i] = *e
 		evs[i] = &w.events[i]
 	}
-	w.finish(evs, dense)
+	w.finish(evs, dense, nil)
 	return w
 }
 
@@ -441,22 +565,44 @@ func (s *enumSpace) newWalker(dense bool) *walker {
 // events in place instead of copying them. Only valid when this walker is
 // the sole user of the space — the single-threaded behavior folds — where it
 // saves the per-program event copy.
-func (s *enumSpace) newAliasWalker() *walker {
-	w := &walker{s: s}
-	w.finish(s.skeleton, true)
+func (s *enumSpace) newAliasWalker() *walker { return s.newAliasWalkerIn(nil) }
+
+// newAliasWalkerIn is newAliasWalker with the walker scratch drawn from the
+// arena.
+func (s *enumSpace) newAliasWalkerIn(a *arena) *walker {
+	var w *walker
+	if a != nil {
+		w = &a.walkers.take(1)[0]
+	} else {
+		w = &walker{}
+	}
+	w.s = s
+	w.finish(s.skeleton, true, a)
 	return w
 }
 
-func (w *walker) finish(evs []*Event, dense bool) {
+func (w *walker) finish(evs []*Event, dense bool, a *arena) {
 	s := w.s
 	n := len(s.skeleton)
-	idx := make([]int32, 2*n) // rfOf and coPos share one backing array
-	w.x = &Execution{
+	var idx []int32
+	var x *Execution
+	var coOrd [][]int
+	if a != nil {
+		idx = a.int32s.take(2 * n)
+		x = &a.execs.take(1)[0]
+		coOrd = a.intss.take(len(s.locs))
+	} else {
+		idx = make([]int32, 2*n) // rfOf and coPos share one backing array
+		x = &Execution{}
+		coOrd = make([][]int, len(s.locs))
+	}
+	w.x = x
+	*w.x = Execution{
 		Events: evs,
 		n:      n,
 		sp:     s,
 		rfOf:   idx[:n:n],
-		coOrd:  make([][]int, len(s.locs)),
+		coOrd:  coOrd,
 		coPos:  idx[n:],
 	}
 	if !dense {

@@ -11,8 +11,10 @@ package memmodel
 // retained in reference.go as referenceConsistent.
 type Model struct {
 	Name string
-	// static builds the skeleton-invariant ordering edges on k.
-	static func(k *statics) *relation
+	// static builds the skeleton-invariant ordering edges on k. The arena
+	// may be nil (plain allocation); when non-nil the relation is drawn from
+	// it and lives until the arena's next reset.
+	static func(k *statics, a *arena) *relation
 	// extRF/extCO/extFR: true means only external (cross-thread) rf/co/fr
 	// edges enter the order; false means all of them do.
 	extRF, extCO, extFR bool
@@ -27,8 +29,8 @@ type Model struct {
 //
 // ppo and implid depend only on the skeleton, so they are hoisted; rfe, fr
 // and co are ORed in per execution.
-var X86 = Model{Name: "x86", extRF: true, static: func(k *statics) *relation {
-	hb := newRel(k.n)
+var X86 = Model{Name: "x86", extRF: true, static: func(k *statics, a *arena) *relation {
+	hb := a.newRel(k.n)
 	isAt := func(e *Event) bool { return e.RMW >= 0 }
 	for _, a := range k.events {
 		for _, b := range k.events {
@@ -64,8 +66,8 @@ var X86 = Model{Name: "x86", extRF: true, static: func(k *statics) *relation {
 // address/data/control dependencies, and dropping dob only *weakens* the
 // target model, making the mapping-correctness check stricter (§6.2).
 // aob, bob and the Appendix A half-fence edges are all skeleton-static.
-var Arm = Model{Name: "arm", extRF: true, extCO: true, extFR: true, static: func(k *statics) *relation {
-	ob := newRel(k.n)
+var Arm = Model{Name: "arm", extRF: true, extCO: true, extFR: true, static: func(k *statics, a *arena) *relation {
+	ob := a.newRel(k.n)
 	for _, p := range k.rmws {
 		ob.set(p.r, p.w) // aob
 	}
@@ -127,8 +129,8 @@ var Arm = Model{Name: "arm", extRF: true, extCO: true, extFR: true, static: func
 //	ghb  = (ord ∪ rfe ∪ coe ∪ fre)+ irreflexive
 //
 // ord1–ord4 are skeleton-static and hoisted.
-var LIMM = Model{Name: "limm", extRF: true, extCO: true, extFR: true, static: func(k *statics) *relation {
-	ghb := newRel(k.n)
+var LIMM = Model{Name: "limm", extRF: true, extCO: true, extFR: true, static: func(k *statics, a *arena) *relation {
+	ghb := a.newRel(k.n)
 
 	isRsc := func(e *Event) bool { return e.Kind == EvR && e.SC }
 	isWsc := func(e *Event) bool { return e.Kind == EvW && e.SC }
@@ -183,8 +185,8 @@ var LIMM = Model{Name: "limm", extRF: true, extCO: true, extFR: true, static: fu
 // SC is the sequential-consistency reference model (interleaving only),
 // used as an oracle in tests: hb = po ∪ rf ∪ co ∪ fr acyclic. Its static
 // part is po itself.
-var SC = Model{Name: "sc", static: func(k *statics) *relation {
-	hb := newRel(k.n)
+var SC = Model{Name: "sc", static: func(k *statics, a *arena) *relation {
+	hb := a.newRel(k.n)
 	hb.copyFrom(k.po)
 	return hb
 }}

@@ -155,17 +155,28 @@ func BehaviorsOfParallelBudget(p *Program, m Model, withReads bool, workers int,
 // checkers consume the set directly — comparing packed keys — and only the
 // public map-returning wrappers pay for string materialization.
 func foldBehaviorsBudget(p *Program, m Model, withReads bool, workers int, b Budget) (*behaviorSet, error) {
+	return foldBehaviorsArena(p, m, withReads, workers, b, nil)
+}
+
+// foldBehaviorsArena is foldBehaviorsBudget with the serial path's scratch
+// structures drawn from the arena (nil falls back to plain allocation). The
+// parallel path ignores the arena — its per-worker shards are built lazily
+// and must not share a single-threaded arena.
+func foldBehaviorsArena(p *Program, m Model, withReads bool, workers int, b Budget, a *arena) (*behaviorSet, error) {
 	lim := newLimiter(b)
 	if lim.expired() {
 		return newBehaviorSet(nil, withReads), lim.err()
 	}
-	s := newEnumSpace(p)
-	ms := m.static(s.stat) // hoisted once, shared read-only by every worker
-	acc := newBehaviorSet(s.stat, withReads)
+	if workers > 1 {
+		a = nil
+	}
+	s := newEnumSpaceIn(p, a)
+	ms := m.static(s.stat, a) // hoisted once, shared read-only by every worker
+	acc := a.behaviorSet(s.stat, withReads)
 	if workers <= 1 {
-		w := s.newAliasWalker()
+		w := s.newAliasWalkerIn(a)
 		w.lim = lim
-		ev := newEvaluatorShared(s, m, ms)
+		ev := newEvaluatorIn(s, m, ms, a)
 		w.walkCo(0, func(x *Execution) {
 			if ev.consistent(x) {
 				acc.add(x)

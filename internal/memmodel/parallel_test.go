@@ -12,7 +12,7 @@ import (
 // reference engine, and filters afterwards. The streaming bitset enumerator
 // must produce exactly the same behavior sets.
 func bruteForceBehaviors(p *Program, m Model, withReads bool) map[string]Behavior {
-	evs := buildEvents(p, p.Locs())
+	evs := buildEvents(p, p.Locs(), nil)
 	var reads []*Event
 	writesAt := map[string][]*Event{}
 	for _, e := range evs {

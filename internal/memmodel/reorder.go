@@ -111,8 +111,18 @@ func buildContexts() [][]Op {
 // the check normally compares interned behavior keys; a witness string is
 // materialized only for a failing cell.
 func inclusion(src, tgt *Program, m Model) (string, bool) {
-	srcS, _ := foldBehaviorsBudget(src, m, true, 1, Budget{}) // unbounded: cannot fail
-	tgtS, _ := foldBehaviorsBudget(tgt, m, true, 1, Budget{})
+	sc := checkScratchPool.Get().(*CheckScratch)
+	defer checkScratchPool.Put(sc)
+	return inclusionScratch(src, tgt, m, sc)
+}
+
+// inclusionScratch is inclusion with all per-check scratch drawn from sc.
+// One arena reset cycle covers both folds: the two behavior sets stay alive
+// together until compared, per the arena's lifetime contract.
+func inclusionScratch(src, tgt *Program, m Model, sc *CheckScratch) (string, bool) {
+	sc.a.reset()
+	srcS, _ := foldBehaviorsArena(src, m, true, 1, Budget{}, &sc.a) // unbounded: cannot fail
+	tgtS, _ := foldBehaviorsArena(tgt, m, true, 1, Budget{}, &sc.a)
 	if srcS.comparable(tgtS) {
 		for key := range tgtS.interned {
 			if _, ok := srcS.interned[key]; !ok {
@@ -128,6 +138,49 @@ func inclusion(src, tgt *Program, m Model) (string, bool) {
 		}
 	}
 	return "", true
+}
+
+// reorderScratch bundles everything one bounded-transformation worker
+// reuses across checks: the enumeration scratch plus source/target program
+// shells and thread buffers, so steady-state cell checking allocates
+// nothing per context.
+type reorderScratch struct {
+	sc         CheckScratch
+	src, tgt   Program
+	srcThreads [2][]Op
+	tgtThreads [2][]Op
+	t0src      []Op
+	t0tgt      []Op
+}
+
+var reorderScratchPool = sync.Pool{New: func() any { return &reorderScratch{} }}
+
+// point re-aims the reusable program shells at the given thread-0 ops and
+// observer context, invalidating the location cache left by the previous
+// check (the shells are mutated in place, so the cache would be stale).
+func (rs *reorderScratch) point(t0src, t0tgt, ctx []Op) (src, tgt *Program) {
+	rs.src.Name, rs.tgt.Name = "reorder-src", "reorder-tgt"
+	rs.srcThreads = [2][]Op{t0src, ctx}
+	rs.tgtThreads = [2][]Op{t0tgt, ctx}
+	rs.src.Threads = rs.srcThreads[:]
+	rs.tgt.Threads = rs.tgtThreads[:]
+	rs.src.locs.Store(nil)
+	rs.tgt.locs.Store(nil)
+	return &rs.src, &rs.tgt
+}
+
+// wrapInto is wrapOps for the fixed two-op patterns, writing into dst's
+// storage instead of allocating.
+func wrapInto(dst []Op, pre, post, a, b Op) []Op {
+	dst = dst[:0]
+	if realOp(pre) {
+		dst = append(dst, pre)
+	}
+	dst = append(dst, a, b)
+	if realOp(post) {
+		dst = append(dst, post)
+	}
+	return dst
 }
 
 // neighborOps are the same-thread instructions wrapped around a transformed
@@ -166,9 +219,12 @@ func checkReorder(a, b Cat, workers int) (Verdict, string) {
 		pre := neighborOps[i/(len(neighborOps)*nc)]
 		post := neighborOps[(i/nc)%len(neighborOps)]
 		ctx := ctxs[i%nc]
-		src := &Program{Name: "reorder-src", Threads: [][]Op{wrapOps(pre, post, opA, opB), ctx}}
-		tgt := &Program{Name: "reorder-tgt", Threads: [][]Op{wrapOps(pre, post, opB, opA), ctx}}
-		if witness, ok := inclusion(src, tgt, LIMM); !ok {
+		rs := reorderScratchPool.Get().(*reorderScratch)
+		defer reorderScratchPool.Put(rs)
+		rs.t0src = wrapInto(rs.t0src, pre, post, opA, opB)
+		rs.t0tgt = wrapInto(rs.t0tgt, pre, post, opB, opA)
+		src, tgt := rs.point(rs.t0src, rs.t0tgt, ctx)
+		if witness, ok := inclusionScratch(src, tgt, LIMM, &rs.sc); !ok {
 			return fmt.Errorf("pre=%v post=%v context %v admits %s", pre, post, ctx, witness)
 		}
 		return nil
