@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify fuzz bench bench-memmodel bench-translate bench-fences bench-serve bench-litmus
+.PHONY: build test verify fuzz bench bench-memmodel bench-translate bench-fences bench-serve bench-litmus bench-sim
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ bench-serve:
 bench-litmus:
 	$(GO) run ./cmd/lasagne-bench -litmus 3 -litmus-out BENCH_litmus.json
 	@echo "wrote BENCH_litmus.json"
+
+# bench-sim times both interpreter engines (reference per-step vs threaded
+# fused-superblock) on every Phoenix and lock-free kernel, both the x86-64
+# input binary and its Arm64 translation, best of 3 runs each. Fails if the
+# engines diverge on output, cycle count, or instruction count anywhere.
+bench-sim:
+	$(GO) run ./cmd/lasagne-bench -sim 3 -sim-out BENCH_sim.json
+	@echo "wrote BENCH_sim.json"
 
 # bench-fences measures the weaker-than-DMB lowering: per-kernel fence
 # counts at each tier of the lattice (naive Fig. 8a placement, §7.2 merged,

@@ -105,6 +105,54 @@ func BenchmarkFig12TranslatedRuntime(b *testing.B) {
 	}
 }
 
+// BenchmarkSimPhoenix times the two interpreter engines over the whole
+// Phoenix suite: one iteration simulates every kernel's x86-64 input
+// binary and its Lasagne Arm64 translation end to end. Compare the
+// reference and threaded sub-benchmarks for the engine speedup
+// (`make bench-sim` renders the per-kernel split into BENCH_sim.json).
+func BenchmarkSimPhoenix(b *testing.B) {
+	var bins []*obj.File
+	for _, bench := range phoenix.All() {
+		m, err := minic.Compile(bench.Name, bench.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := opt.Optimize(m); err != nil {
+			b.Fatal(err)
+		}
+		xbin, err := backend.Compile(m, "x86-64")
+		if err != nil {
+			b.Fatal(err)
+		}
+		abin, _, _, err := core.Translate(xbin, core.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bins = append(bins, xbin, abin)
+	}
+	for _, eng := range sim.Engines {
+		eng := eng
+		b.Run(eng.String(), func(b *testing.B) {
+			var instrs int64
+			for i := 0; i < b.N; i++ {
+				instrs = 0
+				for _, bin := range bins {
+					mach, err := sim.NewMachine(bin)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mach.Engine = eng
+					if _, err := mach.Run(); err != nil {
+						b.Fatal(err)
+					}
+					instrs += mach.InstrCount()
+				}
+			}
+			b.ReportMetric(float64(instrs)/float64(b.Elapsed().Seconds())*float64(b.N)/1e6, "Minstr/s")
+		})
+	}
+}
+
 // BenchmarkFig13Refinement measures the lift+refine pipeline behind the
 // pointer-cast reduction figure.
 func BenchmarkFig13Refinement(b *testing.B) {

@@ -75,8 +75,25 @@ func main() {
 	litmusState := flag.String("litmus-state", "",
 		"campaign verdict store directory for -litmus (default: a fresh temporary directory, so cold really is cold)")
 	litmusOut := flag.String("litmus-out", "BENCH_litmus.json", "output path for -litmus results")
+	simBench := flag.Int("sim", 0,
+		"benchmark the interpreter engines (reference vs threaded) on every kernel with N repetitions each and write the measurements to -sim-out (0 = off)")
+	simOut := flag.String("sim-out", "BENCH_sim.json", "output path for -sim results")
+	simEngine := flag.String("sim-engine", "",
+		"interpreter engine for every simulation this run performs: threaded (default) or reference (the seed per-instruction oracle)")
+	lockfree := flag.Bool("lockfree", false,
+		"build and simulate the lock-free extension kernels (outside Table 1) across all variants")
 	flag.Parse()
 
+	if *simEngine != "" {
+		k, err := sim.ParseEngine(*simEngine)
+		if err != nil {
+			fatal(err)
+		}
+		sim.Engine = k
+	}
+	if *simBench > 0 {
+		os.Exit(runSimBench(*simBench, *simOut, *maxSteps))
+	}
 	if *diff > 0 {
 		os.Exit(runDiff(*diff, *seed, *maxSteps))
 	}
@@ -114,7 +131,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	code := run(ctx, *all, *table1, *fig11a, *fig12, *fig13, *fig14, *fig15, *fig16, *fig17, *fencesF)
+	code := run(ctx, *all, *table1, *fig11a, *fig12, *fig13, *fig14, *fig15, *fig16, *fig17, *fencesF, *lockfree)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -249,9 +266,20 @@ func runDiff(n int, seed, maxSteps int64) int {
 	return code
 }
 
-func run(ctx context.Context, all, table1, fig11a, fig12, fig13, fig14, fig15, fig16, fig17, fenceTable bool) int {
+func run(ctx context.Context, all, table1, fig11a, fig12, fig13, fig14, fig15, fig16, fig17, fenceTable, lockfree bool) int {
 	if fenceTable || all {
 		out, err := eval.FenceLoweringTable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
+			return 1
+		}
+		fmt.Println(out)
+	}
+	// The lock-free kernels are opt-in only: -all reproduces exactly the
+	// paper's tables and figures, and the captured evaluation transcript
+	// must stay byte-identical as the suite grows sideways.
+	if lockfree {
+		out, err := eval.LockFreeTableContext(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lasagne-bench:", err)
 			return 1
@@ -273,7 +301,7 @@ func run(ctx context.Context, all, table1, fig11a, fig12, fig13, fig14, fig15, f
 
 	needSuite := all || fig12 || fig13 || fig14 || fig15 || fig16 || fig17
 	if !needSuite {
-		if !table1 && !fig11a && !fenceTable {
+		if !table1 && !fig11a && !fenceTable && !lockfree {
 			flag.Usage()
 		}
 		return 0

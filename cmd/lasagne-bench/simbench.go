@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"lasagne/internal/backend"
+	"lasagne/internal/core"
+	"lasagne/internal/minic"
+	"lasagne/internal/obj"
+	"lasagne/internal/opt"
+	"lasagne/internal/phoenix"
+	"lasagne/internal/sim"
+)
+
+// simKernel is one row of BENCH_sim.json: both interpreter engines timed
+// on the same binary. The row is only emitted after the engines agree on
+// program output, simulated cycles and instruction count, so the speedup
+// is a like-for-like measurement, not an approximation.
+type simKernel struct {
+	Name       string  `json:"name"`
+	Arch       string  `json:"arch"`
+	Cycles     int64   `json:"cycles"`
+	Instrs     int64   `json:"instructions"`
+	RefMS      float64 `json:"reference_ms"`
+	ThreadedMS float64 `json:"threaded_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// simBenchOut is the BENCH_sim.json shape.
+type simBenchOut struct {
+	Reps         int         `json:"reps"`
+	Kernels      []simKernel `json:"kernels"`
+	GMeanSpeedup float64     `json:"geomean_speedup"`
+}
+
+// timeEngine simulates bin under engine k, reps times, and returns the
+// fastest wall time plus the run's observables.
+func timeEngine(bin *obj.File, k sim.EngineKind, reps int, maxSteps int64) (best time.Duration, cycles, instrs int64, out string, err error) {
+	best = time.Duration(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		m, e := sim.NewMachine(bin)
+		if e != nil {
+			return 0, 0, 0, "", e
+		}
+		m.Engine = k
+		if maxSteps > 0 {
+			m.MaxSteps = maxSteps
+		}
+		t0 := time.Now()
+		c, e := m.Run()
+		d := time.Since(t0)
+		if e != nil {
+			return 0, 0, 0, "", fmt.Errorf("%s engine: %w", k, e)
+		}
+		if d < best {
+			best = d
+		}
+		cycles, instrs, out = c, m.InstrCount(), m.Out.String()
+	}
+	return best, cycles, instrs, out, nil
+}
+
+// runSimBench times the reference and threaded interpreter engines on
+// every Phoenix kernel plus the lock-free extension kernels — both the
+// x86-64 input binary and its Lasagne Arm64 translation — cross-checking
+// that the engines are observationally identical, and writes the rows to
+// BENCH_sim.json.
+func runSimBench(reps int, outPath string, maxSteps int64) int {
+	var rows []simKernel
+	for _, b := range append(phoenix.All(), phoenix.LockFree()...) {
+		m, err := minic.Compile(b.Name, b.Source)
+		if err != nil {
+			fatal(err)
+		}
+		if err := opt.Optimize(m); err != nil {
+			fatal(err)
+		}
+		xbin, err := backend.Compile(m, "x86-64")
+		if err != nil {
+			fatal(err)
+		}
+		abin, _, rep, err := core.Translate(xbin, core.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lasagne-bench: %s: %v\n%s", b.Name, err, rep)
+			return 1
+		}
+		for _, bin := range []*obj.File{xbin, abin} {
+			refT, refC, refI, refOut, err := timeEngine(bin, sim.Reference, reps, maxSteps)
+			if err != nil {
+				fatal(fmt.Errorf("%s/%s: %w", b.Name, bin.Arch, err))
+			}
+			thrT, thrC, thrI, thrOut, err := timeEngine(bin, sim.Threaded, reps, maxSteps)
+			if err != nil {
+				fatal(fmt.Errorf("%s/%s: %w", b.Name, bin.Arch, err))
+			}
+			if thrOut != refOut || thrC != refC || thrI != refI {
+				fmt.Fprintf(os.Stderr,
+					"lasagne-bench: %s/%s: engines diverge: cycles %d/%d instrs %d/%d out %q/%q\n",
+					b.Name, bin.Arch, refC, thrC, refI, thrI, refOut, thrOut)
+				return 1
+			}
+			rows = append(rows, simKernel{
+				Name:       b.Name,
+				Arch:       bin.Arch,
+				Cycles:     refC,
+				Instrs:     refI,
+				RefMS:      float64(refT.Microseconds()) / 1000,
+				ThreadedMS: float64(thrT.Microseconds()) / 1000,
+				Speedup:    float64(refT) / float64(thrT),
+			})
+		}
+	}
+	lg := 0.0
+	for _, r := range rows {
+		lg += math.Log(r.Speedup)
+	}
+	out := simBenchOut{
+		Reps:         reps,
+		Kernels:      rows,
+		GMeanSpeedup: math.Exp(lg / float64(len(rows))),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-20s %-8s %12s %12s %10s %10s %8s\n",
+		"kernel", "arch", "cycles", "instrs", "ref-ms", "thr-ms", "speedup")
+	for _, r := range rows {
+		fmt.Printf("%-20s %-8s %12d %12d %10.1f %10.1f %7.2fx\n",
+			r.Name, r.Arch, r.Cycles, r.Instrs, r.RefMS, r.ThreadedMS, r.Speedup)
+	}
+	fmt.Printf("geomean speedup %.2fx (engines observationally identical on every kernel)\n",
+		out.GMeanSpeedup)
+	fmt.Printf("wrote %s\n", outPath)
+	return 0
+}

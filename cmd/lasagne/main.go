@@ -7,7 +7,7 @@
 //	lasagne [-refine=false] [-merge=false] [-weak-fences=false] [-opt=false] [-emit-ir]
 //	        [-run] [-stats] [-func-budget 1s] [-allow-partial]
 //	        [-jobs N] [-cache-dir DIR] [-validate] [-diff-seeds N]
-//	        [-seed S] [-repro-dir DIR] [-o out.obj] prog.x86.obj
+//	        [-seed S] [-repro-dir DIR] [-sim-engine E] [-o out.obj] prog.x86.obj
 //	lasagne -replay bundle.json
 package main
 
@@ -52,8 +52,16 @@ func main() {
 		"directory for self-contained repro bundles when a checkpoint or the oracle fails (with -validate)")
 	replay := flag.String("replay", "",
 		"replay a repro bundle JSON written by -repro-dir and report whether it still reproduces")
+	simEngine := flag.String("sim-engine", "threaded",
+		"interpreter engine for -run and the -validate oracle: threaded (fused superblocks) or reference (the original per-step interpreter); the two are observationally identical")
 	out := flag.String("o", "", "output object file")
 	flag.Parse()
+
+	eng, err := sim.ParseEngine(*simEngine)
+	if err != nil {
+		fatal(err)
+	}
+	sim.Engine = eng
 
 	if *replay != "" {
 		replayBundle(*replay)

@@ -239,9 +239,10 @@ func TestSimInterruptedByContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
-	defer cancel()
-	time.Sleep(2 * time.Millisecond)
+	// A context cancelled before the run starts: deterministic, unlike a
+	// short deadline whose timer goroutine races a fast simulation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
 	if _, err := mach.RunContext(ctx); !errors.Is(err, diag.ErrBudgetExceeded) {
 		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 	}

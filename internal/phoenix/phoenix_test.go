@@ -3,12 +3,15 @@ package phoenix
 import (
 	"testing"
 
+	"lasagne/internal/backend"
 	"lasagne/internal/ir"
 	"lasagne/internal/minic"
+	"lasagne/internal/opt"
+	"lasagne/internal/sim"
 )
 
 func TestAllCompile(t *testing.T) {
-	for _, b := range All() {
+	for _, b := range append(All(), LockFree()...) {
 		m, err := minic.Compile(b.Name, b.Source)
 		if err != nil {
 			t.Errorf("%s: %v", b.Name, err)
@@ -53,8 +56,67 @@ func TestGet(t *testing.T) {
 	if Get("HT") == nil || Get("histogram") == nil {
 		t.Fatal("lookup by abbrev and name")
 	}
+	if Get("SR") == nil || Get("spsc_ring") == nil {
+		t.Fatal("lock-free kernels must resolve by abbrev and name")
+	}
 	if Get("nope") != nil {
 		t.Fatal("unknown benchmark should be nil")
+	}
+}
+
+// TestLockFreeRunDeterministically runs the lock-free kernels on the
+// simulator, which schedules spawned threads concurrently. The sequential
+// reference interpreter used above cannot run them: a bounded SPSC ring
+// blocks when the producer outruns a consumer that never gets scheduled.
+func TestLockFreeRunDeterministically(t *testing.T) {
+	for _, b := range LockFree() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			run := func() string {
+				m, err := minic.Compile(b.Name, b.Source)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := opt.Optimize(m); err != nil {
+					t.Fatal(err)
+				}
+				bin, err := backend.Compile(m, "arm64")
+				if err != nil {
+					t.Fatal(err)
+				}
+				mach, err := sim.NewMachine(bin)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := mach.Run(); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return mach.Out.String()
+			}
+			out1 := run()
+			if out1 == "" {
+				t.Fatal("no output")
+			}
+			if out2 := run(); out2 != out1 {
+				t.Fatalf("nondeterministic output:\n%q\n%q", out1, out2)
+			}
+		})
+	}
+}
+
+// TestLockFreeIsNotInTable1 pins the registry split: the lock-free
+// extension kernels must never leak into All(), whose order and content
+// feed Table 1 and the captured evaluation transcript.
+func TestLockFreeIsNotInTable1(t *testing.T) {
+	for _, b := range All() {
+		for _, lf := range LockFree() {
+			if b.Name == lf.Name {
+				t.Fatalf("%s is in both All() and LockFree()", b.Name)
+			}
+		}
+	}
+	if len(LockFree()) == 0 {
+		t.Fatal("no lock-free kernels registered")
 	}
 }
 

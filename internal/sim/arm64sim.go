@@ -146,29 +146,44 @@ func (c *arm64CPU) cond(cc arm64.Cond) bool {
 	return false
 }
 
+// stepPLT dispatches the builtin whose PLT slot the pc points at. Both
+// engines route runtime calls through it so spawn/join/print semantics and
+// cycle charging are shared.
+func (c *arm64CPU) stepPLT(idx int) error {
+	intArgs := []uint64{c.x[0], c.x[1], c.x[2]}
+	fpArgs := []uint64{c.v[0]}
+	r, fr, isFP, joining, err := c.m.callBuiltin(idx, c.clock, intArgs, fpArgs)
+	if err != nil {
+		return err
+	}
+	if isFP {
+		c.v[0] = fr
+	} else {
+		c.x[0] = r
+	}
+	c.pc = c.x[30]
+	c.clock += CostCall
+	c.joining = joining
+	return nil
+}
+
 func (c *arm64CPU) Step() error {
 	if idx := pltIndex(c.pc); idx >= 0 {
-		intArgs := []uint64{c.x[0], c.x[1], c.x[2]}
-		fpArgs := []uint64{c.v[0]}
-		r, fr, isFP, joining, err := c.m.callBuiltin(idx, c.clock, intArgs, fpArgs)
-		if err != nil {
-			return err
-		}
-		if isFP {
-			c.v[0] = fr
-		} else {
-			c.x[0] = r
-		}
-		c.pc = c.x[30]
-		c.clock += CostCall
-		c.joining = joining
-		return nil
+		return c.stepPLT(idx)
 	}
 
 	in, err := c.fetch()
 	if err != nil {
 		return err
 	}
+	return c.exec(in)
+}
+
+// exec executes one fetched instruction. It is the reference semantics every
+// specialized threaded-code handler must match bit for bit; the threaded
+// compiler also uses it (with the instruction captured at compile time) as
+// the fallback handler for ops it does not specialize.
+func (c *arm64CPU) exec(in arm64.Inst) error {
 	c.icount++
 	next := c.pc + 4
 	size := in.Size
@@ -412,7 +427,7 @@ func (c *arm64CPU) Step() error {
 		if err != nil {
 			return err
 		}
-		c.exclAddr, c.exclValid = addr, true
+		c.setMonitor(addr)
 		c.wr(in.Rd, 8, v)
 		cost = CostExcl
 	case arm64.STXR, arm64.STLXR:
@@ -426,7 +441,7 @@ func (c *arm64CPU) Step() error {
 		} else {
 			c.wr(in.Ra, 8, 1) // failure
 		}
-		c.exclValid = false
+		c.clearMonitor()
 		cost = CostExcl
 
 	case arm64.DMB:
@@ -546,6 +561,24 @@ func (c *arm64CPU) Step() error {
 	c.pc = next
 	c.clock += cost
 	return nil
+}
+
+// setMonitor arms the exclusive monitor, keeping the machine-wide count of
+// live monitors (Machine.monitors) in sync so stores can skip the
+// invalidation scan entirely while no monitor is armed.
+func (c *arm64CPU) setMonitor(addr uint64) {
+	if !c.exclValid {
+		c.m.monitors++
+	}
+	c.exclAddr, c.exclValid = addr, true
+}
+
+// clearMonitor disarms the exclusive monitor and maintains the live count.
+func (c *arm64CPU) clearMonitor() {
+	if c.exclValid {
+		c.m.monitors--
+		c.exclValid = false
+	}
 }
 
 // fval reads an FP register as a float64 (f32 registers are widened).

@@ -80,10 +80,21 @@ type Machine struct {
 	NThreads int
 	// MaxSteps bounds total executed instructions.
 	MaxSteps int64
+	// Engine selects the interpreter (initialized from the package-level
+	// Engine default in NewMachine; override before Run).
+	Engine EngineKind
 
 	threads []cpu
-	heapTop uint64
-	steps   int64
+	// Concrete per-arch views of threads, maintained by newThread so the
+	// threaded scheduler and the monitor-invalidation scan never go through
+	// interface dispatch.
+	armCPUs []*arm64CPU
+	x86CPUs []*x86CPU
+	// monitors counts CPUs holding a valid exclusive reservation, letting
+	// stores skip the invalidation scan while no monitor is armed.
+	monitors int
+	heapTop  uint64
+	steps    int64
 
 	// Predecoded instruction table over .text, built once per machine and
 	// shared by all CPUs: fetch is an array index on the pc offset instead
@@ -94,6 +105,11 @@ type Machine struct {
 	armTab   []arm64.Inst // entry per 4-byte word; armOK marks valid decodes
 	armOK    []bool
 	x86Tab   []x86.Inst // entry per byte offset; Len==0 means not predecoded
+
+	// Threaded-code programs over .text, compiled lazily on the first
+	// threaded Run and shared by all CPUs of the machine.
+	armProg *armProg
+	x86Prog *x86Prog
 }
 
 // DefaultMaxSteps is the default Machine.MaxSteps: the total-instruction
@@ -113,6 +129,7 @@ func NewMachine(f *obj.File) (*Machine, error) {
 		Out:      &strings.Builder{},
 		NThreads: 4,
 		MaxSteps: DefaultMaxSteps,
+		Engine:   Engine,
 		heapTop:  HeapBase,
 	}
 	for _, s := range f.Sections {
@@ -177,12 +194,28 @@ func (m *Machine) RunContext(ctx context.Context) (int64, error) {
 	if entry == nil {
 		return 0, fmt.Errorf("sim: no entry symbol %q", m.File.Entry)
 	}
-	t, err := m.newThread(entry.Addr, 0, 0)
-	if err != nil {
+	m.threads = nil
+	m.armCPUs, m.x86CPUs = nil, nil
+	m.monitors = 0
+	if _, err := m.newThread(entry.Addr, 0, 0); err != nil {
 		return 0, err
 	}
-	m.threads = []cpu{t}
+	if m.Engine == Threaded {
+		switch m.File.Arch {
+		case "arm64":
+			return m.runThreadedArm(ctx)
+		case "x86-64":
+			return m.runThreadedX86(ctx)
+		}
+	}
+	return m.runReference(ctx)
+}
 
+// runReference is the seed per-instruction interpreter loop: one cpu.Step
+// per scheduler step. It is retained as the differential oracle for the
+// threaded engine (selected with sim.Engine = Reference).
+func (m *Machine) runReference(ctx context.Context) (int64, error) {
+	poll := int64(ctxCheckInterval)
 	for {
 		// Pick the runnable thread with the smallest clock.
 		var pick cpu
@@ -217,14 +250,31 @@ func (m *Machine) RunContext(ctx context.Context) (int64, error) {
 		}
 		m.steps++
 		if m.steps > m.MaxSteps {
-			return 0, fmt.Errorf("sim: step limit (%d) exceeded: %w", m.MaxSteps, diag.ErrBudgetExceeded)
+			return 0, m.budgetErr()
 		}
-		if m.steps%ctxCheckInterval == 0 {
+		// Countdown instead of a modulo on every step: the divide was
+		// measurable in the interpreter loop.
+		if poll--; poll <= 0 {
+			poll = ctxCheckInterval
 			if err := ctx.Err(); err != nil {
-				return 0, fmt.Errorf("sim: interrupted after %d steps: %w (%v)", m.steps, diag.ErrBudgetExceeded, err)
+				return 0, m.interruptErr(err)
 			}
 		}
 	}
+	return m.wall()
+}
+
+func (m *Machine) budgetErr() error {
+	return fmt.Errorf("sim: step limit (%d) exceeded: %w", m.MaxSteps, diag.ErrBudgetExceeded)
+}
+
+func (m *Machine) interruptErr(cause error) error {
+	return fmt.Errorf("sim: interrupted after %d steps: %w (%v)", m.steps, diag.ErrBudgetExceeded, cause)
+}
+
+// wall computes the machine wall clock (max over thread clocks) after the
+// scheduler found no runnable thread, detecting join deadlocks.
+func (m *Machine) wall() (int64, error) {
 	var wall int64
 	for _, th := range m.threads {
 		if !th.Done() {
@@ -256,7 +306,8 @@ func (m *Machine) othersDone(self cpu) bool {
 }
 
 // newThread creates a cpu for the machine's architecture starting at addr
-// with one integer argument and an initial clock.
+// with one integer argument and an initial clock, and registers it with the
+// scheduler (both the interface slice and the concrete per-arch slice).
 func (m *Machine) newThread(addr uint64, arg uint64, clock int64) (cpu, error) {
 	id := len(m.threads)
 	if id >= MaxThread {
@@ -265,9 +316,21 @@ func (m *Machine) newThread(addr uint64, arg uint64, clock int64) (cpu, error) {
 	stackTop := uint64(StackBase + (id+1)*StackSize - 64)
 	switch m.File.Arch {
 	case "x86-64":
-		return newX86CPU(m, addr, arg, stackTop, clock)
+		c, err := newX86CPU(m, addr, arg, stackTop, clock)
+		if err != nil {
+			return nil, err
+		}
+		m.threads = append(m.threads, c)
+		m.x86CPUs = append(m.x86CPUs, c)
+		return c, nil
 	case "arm64":
-		return newArm64CPU(m, addr, arg, stackTop, clock)
+		c, err := newArm64CPU(m, addr, arg, stackTop, clock)
+		if err != nil {
+			return nil, err
+		}
+		m.threads = append(m.threads, c)
+		m.armCPUs = append(m.armCPUs, c)
+		return c, nil
 	}
 	return nil, fmt.Errorf("sim: unknown arch %q", m.File.Arch)
 }
@@ -275,31 +338,27 @@ func (m *Machine) newThread(addr uint64, arg uint64, clock int64) (cpu, error) {
 // invalidateMonitors clears every other Arm CPU's exclusive monitor whose
 // reservation overlaps a store to [addr, addr+size). This models the
 // global exclusive-monitor semantics LL/SC relies on: an intervening store
-// by another core must make the pending STXR fail.
+// by another core must make the pending STXR fail. The m.monitors counter
+// lets the common no-reservation case skip the scan entirely.
 func (m *Machine) invalidateMonitors(addr uint64, size int, self cpu) {
-	for _, th := range m.threads {
-		if th == self {
-			continue
-		}
-		a, ok := th.(*arm64CPU)
-		if !ok || !a.exclValid {
+	if m.monitors == 0 {
+		return
+	}
+	for _, a := range m.armCPUs {
+		if cpu(a) == self || !a.exclValid {
 			continue
 		}
 		// Monitors reserve the 8 bytes at the monitored address.
 		if addr < a.exclAddr+8 && a.exclAddr < addr+uint64(size) {
-			a.exclValid = false
+			a.clearMonitor()
 		}
 	}
 }
 
 // spawn starts a new thread at function address fn.
 func (m *Machine) spawn(fn uint64, arg uint64, clock int64) error {
-	t, err := m.newThread(fn, arg, clock)
-	if err != nil {
-		return err
-	}
-	m.threads = append(m.threads, t)
-	return nil
+	_, err := m.newThread(fn, arg, clock)
+	return err
 }
 
 // alloc serves the __alloc builtin.
@@ -364,6 +423,71 @@ func (m *Machine) load(addr uint64, size int) (uint64, error) {
 		return binary.LittleEndian.Uint64(m.Mem[addr:]), nil
 	}
 	return 0, fmt.Errorf("sim: bad load size %d", size)
+}
+
+// Size-specialized accessors for the threaded engine's hot paths: one
+// bounds compare, then a direct little-endian access. The error path
+// delegates to the generic accessors so the message construction (and its
+// allocations) stay off the fast path.
+
+func (m *Machine) load8(addr uint64) (uint64, error) {
+	if addr <= MemSize-8 {
+		return binary.LittleEndian.Uint64(m.Mem[addr:]), nil
+	}
+	return m.load(addr, 8)
+}
+
+func (m *Machine) load4(addr uint64) (uint64, error) {
+	if addr <= MemSize-4 {
+		return uint64(binary.LittleEndian.Uint32(m.Mem[addr:])), nil
+	}
+	return m.load(addr, 4)
+}
+
+func (m *Machine) load2(addr uint64) (uint64, error) {
+	if addr <= MemSize-2 {
+		return uint64(binary.LittleEndian.Uint16(m.Mem[addr:])), nil
+	}
+	return m.load(addr, 2)
+}
+
+func (m *Machine) load1(addr uint64) (uint64, error) {
+	if addr < MemSize {
+		return uint64(m.Mem[addr]), nil
+	}
+	return m.load(addr, 1)
+}
+
+func (m *Machine) store8(addr uint64, v uint64) error {
+	if addr <= MemSize-8 {
+		binary.LittleEndian.PutUint64(m.Mem[addr:], v)
+		return nil
+	}
+	return m.store(addr, 8, v)
+}
+
+func (m *Machine) store4(addr uint64, v uint64) error {
+	if addr <= MemSize-4 {
+		binary.LittleEndian.PutUint32(m.Mem[addr:], uint32(v))
+		return nil
+	}
+	return m.store(addr, 4, v)
+}
+
+func (m *Machine) store2(addr uint64, v uint64) error {
+	if addr <= MemSize-2 {
+		binary.LittleEndian.PutUint16(m.Mem[addr:], uint16(v))
+		return nil
+	}
+	return m.store(addr, 2, v)
+}
+
+func (m *Machine) store1(addr uint64, v uint64) error {
+	if addr < MemSize {
+		m.Mem[addr] = byte(v)
+		return nil
+	}
+	return m.store(addr, 1, v)
 }
 
 func (m *Machine) store(addr uint64, size int, v uint64) error {

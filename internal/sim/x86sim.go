@@ -214,38 +214,52 @@ func memTouched(ops []x86.Operand) bool {
 	return false
 }
 
+// stepPLT dispatches the builtin whose PLT slot rip points at. Both engines
+// route runtime calls through it so spawn/join/print semantics and cycle
+// charging are shared.
+func (c *x86CPU) stepPLT(idx int) error {
+	intArgs := []uint64{c.regs[x86.RDI], c.regs[x86.RSI], c.regs[x86.RDX]}
+	fpArgs := []uint64{c.xmm[0][0]}
+	r, fr, isFP, joining, err := c.m.callBuiltin(idx, c.clock, intArgs, fpArgs)
+	if err != nil {
+		return err
+	}
+	if isFP {
+		c.xmm[0][0] = fr
+	} else {
+		c.regs[x86.RAX] = r
+	}
+	ret, err := c.pop()
+	if err != nil {
+		return err
+	}
+	c.rip = ret
+	c.clock += CostCall
+	c.joining = joining
+	if joining {
+		// Retry the join by staying before the return: the builtin
+		// has already "returned"; mark blocked until others finish.
+	}
+	return nil
+}
+
 func (c *x86CPU) Step() error {
 	// PLT entry: runtime call.
 	if idx := pltIndex(c.rip); idx >= 0 {
-		intArgs := []uint64{c.regs[x86.RDI], c.regs[x86.RSI], c.regs[x86.RDX]}
-		fpArgs := []uint64{c.xmm[0][0]}
-		r, fr, isFP, joining, err := c.m.callBuiltin(idx, c.clock, intArgs, fpArgs)
-		if err != nil {
-			return err
-		}
-		if isFP {
-			c.xmm[0][0] = fr
-		} else {
-			c.regs[x86.RAX] = r
-		}
-		ret, err := c.pop()
-		if err != nil {
-			return err
-		}
-		c.rip = ret
-		c.clock += CostCall
-		c.joining = joining
-		if joining {
-			// Retry the join by staying before the return: the builtin
-			// has already "returned"; mark blocked until others finish.
-		}
-		return nil
+		return c.stepPLT(idx)
 	}
 
 	in, err := c.fetch()
 	if err != nil {
 		return err
 	}
+	return c.exec(in)
+}
+
+// exec executes one fetched instruction. It is the reference semantics every
+// specialized threaded-code handler must match bit for bit, and the
+// threaded compiler's fallback handler for unspecialized ops.
+func (c *x86CPU) exec(in x86.Inst) error {
 	c.icount++
 	next := in.Addr + uint64(in.Len)
 	size := in.Size

@@ -27,6 +27,9 @@ type DiffOptions struct {
 	MaxSteps int64
 	// NThreads is the __nthreads value for both machines (0 = default).
 	NThreads int
+	// Engine selects the interpreter for both machines. The zero value is
+	// sim.Threaded; pass sim.Reference to cross-check against the oracle.
+	Engine sim.EngineKind
 }
 
 // SeedStatus classifies one seed's comparison.
@@ -175,6 +178,7 @@ func runSeeded(f *obj.File, seed int64, o DiffOptions) (string, error) {
 	if o.NThreads > 0 {
 		m.NThreads = o.NThreads
 	}
+	m.Engine = o.Engine
 	m.SeedDataSymbols(seed)
 	if _, err := m.Run(); err != nil {
 		return "", err
