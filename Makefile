@@ -9,8 +9,9 @@ test:
 	$(GO) test ./...
 
 # verify is the robustness gate: static analysis plus the diagnostic,
-# fault-injection, cache crash-safety, and daemon chaos suites under the
-# race detector.
+# fault-injection, cache crash-safety, daemon chaos (streaming, resume,
+# slowloris eviction), and self-healing-client suites under the race
+# detector (./internal/serve/... includes internal/serve/client).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/diag/... ./internal/core/... ./internal/serve/...
@@ -40,11 +41,13 @@ bench-translate:
 	@echo "wrote BENCH_translate.json"
 
 # bench-serve drives an in-process lasagned with 8 clients round-robining
-# over 4 Phoenix modules against one shared translation cache and records
-# throughput plus latency percentiles. Fails if any response is malformed
-# or any clean 200 is not byte-identical to the batch pipeline's output.
+# over 4 Phoenix modules against one shared translation cache, then a
+# streaming phase (4 full-suite /translate/stream batches per client via
+# the self-healing client), and records throughput, latency percentiles,
+# and streaming health. Fails if any response or frame is malformed or any
+# clean result is not byte-identical to the batch pipeline's output.
 bench-serve:
-	$(GO) run ./cmd/lasagne-bench -serve-load 8x4 -serve-requests 32 -serve-out BENCH_serve.json
+	$(GO) run ./cmd/lasagne-bench -serve-load 8x4 -serve-requests 32 -serve-stream 4 -serve-out BENCH_serve.json
 	@echo "wrote BENCH_serve.json"
 
 # bench-litmus measures the incremental litmus campaign engine at bound 3:

@@ -69,6 +69,8 @@ func main() {
 	serveAddr := flag.String("serve-addr", "",
 		"base URL of a running lasagned for -serve-load (default: start an in-process server)")
 	serveRequests := flag.Int("serve-requests", 32, "requests per client for -serve-load")
+	serveStream := flag.Int("serve-stream", 0,
+		"after the unary phase, send this many full-suite /translate/stream batches per client through the self-healing client; any malformed frame or non-identical result fails the run (0 = off)")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path for -serve-load results")
 	litmusN := flag.Int("litmus", 0,
 		"run a cold+warm litmus mapping campaign at this per-thread op bound and write the measurements to -litmus-out (0 = off)")
@@ -101,7 +103,7 @@ func main() {
 		os.Exit(runLitmus(*litmusN, *litmusState, *litmusOut, *parallel, *maxSteps))
 	}
 	if *serveLoad != "" {
-		os.Exit(runServeLoad(*serveLoad, *serveAddr, *cacheDir, *serveOut, *serveRequests))
+		os.Exit(runServeLoad(*serveLoad, *serveAddr, *cacheDir, *serveOut, *serveRequests, *serveStream))
 	}
 
 	eval.Parallelism = *parallel

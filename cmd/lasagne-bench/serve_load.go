@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -21,20 +22,42 @@ import (
 	"lasagne/internal/opt"
 	"lasagne/internal/phoenix"
 	"lasagne/internal/serve"
+	"lasagne/internal/serve/client"
 )
 
 // serveLoadResult is the BENCH_serve.json schema.
 type serveLoadResult struct {
-	Clients       int            `json:"clients"`
-	Modules       int            `json:"modules"`
-	Requests      int            `json:"requests"`
-	OK            int            `json:"ok"`
-	Shed          int            `json:"shed"`
-	Failed        int            `json:"failed"`
-	Seconds       float64        `json:"seconds"`
-	ThroughputRPS float64        `json:"throughput_rps"`
-	Latency       latencySummary `json:"latency_ms"`
-	Cache         *cache.Health  `json:"cache,omitempty"`
+	Clients       int               `json:"clients"`
+	Modules       int               `json:"modules"`
+	Requests      int               `json:"requests"`
+	OK            int               `json:"ok"`
+	Shed          int               `json:"shed"`
+	Failed        int               `json:"failed"`
+	Seconds       float64           `json:"seconds"`
+	ThroughputRPS float64           `json:"throughput_rps"`
+	Latency       latencySummary    `json:"latency_ms"`
+	Cache         *cache.Health     `json:"cache,omitempty"`
+	Stream        *streamLoadResult `json:"stream,omitempty"`
+}
+
+// streamLoadResult is the streaming/batch section of BENCH_serve.json:
+// every client sends the whole module set as one /translate/stream batch
+// through the self-healing client, and every reassembled module must be
+// byte-identical to the batch pipeline. The health counters record what
+// the run cost the server in streaming terms.
+type streamLoadResult struct {
+	Batches            int            `json:"batches"`
+	OK                 int            `json:"ok"`
+	Failed             int            `json:"failed"`
+	FuncFrames         int            `json:"func_frames"`
+	Seconds            float64        `json:"seconds"`
+	BatchesPerSec      float64        `json:"batches_per_sec"`
+	Latency            latencySummary `json:"latency_ms"`
+	ClientAttempts     int64          `json:"client_attempts"`
+	ClientBreakerOpens int64          `json:"client_breaker_opens"`
+	ActiveStreams      int64          `json:"active_streams"`
+	EvictedSlowReaders int64          `json:"evicted_slow_readers"`
+	ResumedJobs        int64          `json:"resumed_jobs"`
 }
 
 type latencySummary struct {
@@ -65,6 +88,7 @@ func parseServeLoad(s string) (int, int, error) {
 type loadModule struct {
 	name string
 	body []byte // JSON request body
+	b64  string // base64 object, for streaming batch entries
 	ref  []byte // batch pipeline output, the byte-identity oracle
 }
 
@@ -90,13 +114,12 @@ func buildLoadModules(m int) ([]loadModule, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: batch reference: %w", b.Name, err)
 		}
-		body, err := json.Marshal(serve.Request{
-			Module: base64.StdEncoding.EncodeToString(xbin.Marshal()),
-		})
+		b64 := base64.StdEncoding.EncodeToString(xbin.Marshal())
+		body, err := json.Marshal(serve.Request{Module: b64})
 		if err != nil {
 			return nil, err
 		}
-		mods = append(mods, loadModule{name: b.Name, body: body, ref: ref.Marshal()})
+		mods = append(mods, loadModule{name: b.Name, body: body, b64: b64, ref: ref.Marshal()})
 	}
 	return mods, nil
 }
@@ -107,7 +130,106 @@ func buildLoadModules(m int) ([]loadModule, error) {
 // response must be well-formed — a known status with a decodable JSON body —
 // and every clean 200 must be byte-identical to the batch pipeline's output
 // for that module; anything else fails the run.
-func runServeLoad(spec, addr, cacheDir, outPath string, perClient int) int {
+// runStreamPhase drives the streaming/batch mode: each of the clients
+// sends `batches` full-suite batches to /translate/stream through the
+// self-healing client and verifies every reassembled module against the
+// batch pipeline's bytes. Any malformed frame (the client turns protocol
+// violations into terminal errors) or non-identical object fails the run.
+func runStreamPhase(base string, mods []loadModule, clients, batches int) (*streamLoadResult, int) {
+	reqMods := make([]serve.ModuleRequest, len(mods))
+	for i, m := range mods {
+		reqMods[i] = serve.ModuleRequest{Name: m.name, Module: m.b64}
+	}
+	refs := make(map[string][]byte, len(mods))
+	for _, m := range mods {
+		refs[m.name] = m.ref
+	}
+
+	cl := client.New(client.Options{BaseURL: base})
+	var (
+		mu                    sync.Mutex
+		latencies             []float64
+		ok, failed, malformed int
+		funcFrames            int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cli := 0; cli < clients; cli++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < batches; r++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+				t0 := time.Now()
+				results, err := cl.TranslateStream(ctx, reqMods, nil)
+				lat := time.Since(t0)
+				cancel()
+				mu.Lock()
+				latencies = append(latencies, float64(lat)/float64(time.Millisecond))
+				switch {
+				case errors.Is(err, client.ErrMalformedStream):
+					malformed++
+					fmt.Fprintf(os.Stderr, "lasagne-bench: stream: %v\n", err)
+				case err != nil:
+					failed++
+					fmt.Fprintf(os.Stderr, "lasagne-bench: stream: %v\n", err)
+				default:
+					bad := false
+					for name, mr := range results {
+						if mr.Status != http.StatusOK ||
+							(len(mr.Degraded) == 0 && !bytes.Equal(mr.Object, refs[name])) {
+							bad = true
+							fmt.Fprintf(os.Stderr,
+								"lasagne-bench: stream: %s not byte-identical to batch output (status %d)\n",
+								name, mr.Status)
+						}
+						funcFrames += len(mr.Funcs)
+					}
+					if bad {
+						malformed++
+					} else {
+						ok++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	total := clients * batches
+	res := &streamLoadResult{
+		Batches:       total,
+		OK:            ok,
+		Failed:        failed,
+		FuncFrames:    funcFrames,
+		Seconds:       elapsed.Seconds(),
+		BatchesPerSec: float64(total) / elapsed.Seconds(),
+		Latency: latencySummary{
+			P50: percentile(latencies, 0.50),
+			P90: percentile(latencies, 0.90),
+			P99: percentile(latencies, 0.99),
+			Max: percentile(latencies, 1.0),
+		},
+		ClientAttempts:     cl.Attempts(),
+		ClientBreakerOpens: cl.BreakerOpens(),
+	}
+	// Streaming health off /healthz: what the phase cost the server.
+	if hres, err := http.Get(base + "/healthz"); err == nil {
+		var hb serve.HealthBody
+		if json.NewDecoder(hres.Body).Decode(&hb) == nil {
+			res.ActiveStreams = hb.ActiveStreams
+			res.EvictedSlowReaders = hb.EvictedSlowReaders
+			res.ResumedJobs = hb.ResumedJobs
+		}
+		hres.Body.Close()
+	}
+	return res, malformed
+}
+
+func runServeLoad(spec, addr, cacheDir, outPath string, perClient, streamBatches int) int {
 	clients, nmods, err := parseServeLoad(spec)
 	if err != nil {
 		fatal(err)
@@ -208,6 +330,13 @@ func runServeLoad(spec, addr, cacheDir, outPath string, perClient int) int {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	var streamRes *streamLoadResult
+	if streamBatches > 0 {
+		sr, smal := runStreamPhase(base, mods, clients, streamBatches)
+		streamRes = sr
+		malformed += smal
+	}
+
 	var health *cache.Health
 	if localCache != nil {
 		h := localCache.Health()
@@ -240,7 +369,8 @@ func runServeLoad(spec, addr, cacheDir, outPath string, perClient int) int {
 			P99: percentile(latencies, 0.99),
 			Max: percentile(latencies, 1.0),
 		},
-		Cache: health,
+		Cache:  health,
+		Stream: streamRes,
 	}
 	out, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -252,6 +382,12 @@ func runServeLoad(spec, addr, cacheDir, outPath string, perClient int) int {
 	fmt.Printf("serve-load %dx%d: %d requests in %.2fs (%.1f req/s), ok %d, shed %d, failed %d; p50 %.1fms p90 %.1fms p99 %.1fms -> %s\n",
 		clients, nmods, total, res.Seconds, res.ThroughputRPS, ok, shed, failed,
 		res.Latency.P50, res.Latency.P90, res.Latency.P99, outPath)
+	if streamRes != nil {
+		fmt.Printf("serve-stream: %d batches in %.2fs (%.2f/s), ok %d, failed %d, %d func frames, %d attempts; p50 %.1fms p99 %.1fms\n",
+			streamRes.Batches, streamRes.Seconds, streamRes.BatchesPerSec,
+			streamRes.OK, streamRes.Failed, streamRes.FuncFrames,
+			streamRes.ClientAttempts, streamRes.Latency.P50, streamRes.Latency.P99)
+	}
 	if malformed > 0 {
 		fmt.Fprintf(os.Stderr, "lasagne-bench: %d malformed or non-identical responses\n", malformed)
 		return 1

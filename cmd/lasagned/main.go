@@ -8,15 +8,20 @@
 //	lasagned [-addr 127.0.0.1:7333] [-workers N] [-queue N]
 //	         [-drain-timeout 10s] [-cache-dir DIR] [-cache-entries N]
 //	         [-jobs N] [-func-budget D] [-max-deadline D]
+//	         [-max-body-bytes N] [-max-batch N]
+//	         [-stream-buffer N] [-stream-write-timeout D] [-retry-jitter N]
 //	         [-validate] [-allow-partial] [-inject 'point=mode[:n],...']
 //
 // Endpoints:
 //
-//	POST /translate  {"module": "<base64 obj>", "reverse": bool,
-//	                  "config": {"refine": bool, ...}}
-//	                 headers: X-Lasagne-Deadline-Ms, X-Lasagne-Func-Budget-Ms
-//	GET  /healthz    process liveness + queue/cache counters
-//	GET  /readyz     200 while admitting; 503 when draining or saturated
+//	POST /translate         {"module": "<base64 obj>", "reverse": bool,
+//	                         "config": {"refine": bool, ...}}
+//	                        headers: X-Lasagne-Deadline-Ms, X-Lasagne-Func-Budget-Ms
+//	POST /translate/stream  {"modules": [{"name": ..., "module": ...}, ...],
+//	                         "config": ..., "acked": ["<hex key>", ...]}
+//	                        → NDJSON frames (func/module/done) as work finishes
+//	GET  /healthz           process liveness + queue/cache/stream counters
+//	GET  /readyz            200 while admitting; 503 when draining or saturated
 //
 // On SIGTERM the daemon stops admitting, finishes in-flight work under
 // -drain-timeout, then exits 0 (or 1 when the drain deadline expired with
@@ -58,6 +63,16 @@ func main() {
 		"default per-function time budget (overridable per request via X-Lasagne-Func-Budget-Ms)")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute,
 		"cap on the per-request deadline (X-Lasagne-Deadline-Ms is clamped to this)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0,
+		"cap on the request body size; larger bodies are refused with 413 (0 = 64 MiB)")
+	maxBatch := flag.Int("max-batch", 0,
+		"cap on the module count of one /translate/stream batch (0 = 64)")
+	streamBuffer := flag.Int("stream-buffer", 0,
+		"per-connection response frame buffer; when full, the pipeline pauses (backpressure) until the reader drains or the write timeout evicts it (0 = 32)")
+	streamWriteTimeout := flag.Duration("stream-write-timeout", 0,
+		"bound on one frame write and one backpressure pause; a reader slower than this is evicted (0 = 10s)")
+	retryJitter := flag.Int("retry-jitter", 0,
+		"maximum whole seconds of jitter added to Retry-After on 429, spreading retry storms (0 = 2)")
 	validateF := flag.Bool("validate", false, "run the self-checking checkpoints on every request")
 	allowPartial := flag.Bool("allow-partial", false,
 		"translate past unliftable functions (they become flagged stubs)")
@@ -76,11 +91,16 @@ func main() {
 	cfg.FuncBudget = *funcBudget
 
 	opts := serve.Options{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		MaxDeadline: *maxDeadline,
-		Config:      cfg,
-		Jobs:        *jobs,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		MaxDeadline:        *maxDeadline,
+		MaxRequestBytes:    *maxBodyBytes,
+		MaxBatchModules:    *maxBatch,
+		StreamBuffer:       *streamBuffer,
+		StreamWriteTimeout: *streamWriteTimeout,
+		RetryAfterJitterS:  *retryJitter,
+		Config:             cfg,
+		Jobs:               *jobs,
 	}
 	if *cacheDir != "" {
 		c, err := cache.Open(*cacheDir, *cacheEntries)

@@ -42,6 +42,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"lasagne/internal/armlifter"
@@ -128,7 +130,48 @@ type Config struct {
 	// machine-checked against the LIMM→Arm mapping (memmodel.MapIRToArmWeak)
 	// and covered by the fence-coverage checkpoints.
 	WeakFences bool
+	// FuncDone, when non-nil, is invoked on a pipeline worker goroutine as
+	// each function leaves the fence/opt suffix — cache hits, clean
+	// completions and degraded fallbacks alike. With Jobs > 1 calls are
+	// concurrent. The hook may block: a blocked hook pauses exactly that
+	// worker, which is how a downstream consumer (the daemon's bounded
+	// per-connection response buffer) backpressures the fan-out instead of
+	// buffering unboundedly. A non-nil return cancels the translation:
+	// in-flight functions finish, remaining ones are skipped, and
+	// TranslateContext fails with an error wrapping ErrHookAborted. FuncDone
+	// never influences the translation output or the cache keys — a run with
+	// the hook attached is byte-identical to one without.
+	FuncDone func(FuncEvent) error
 }
+
+// FuncEvent describes one function completing the fence/opt suffix of the
+// pipeline. It is the unit of the daemon's streamed responses: the
+// content-addressed key lets a client acknowledge work it already holds,
+// and the canonical body is the exact bytes a cache entry would memoize.
+type FuncEvent struct {
+	// Func is the function name.
+	Func string
+	// Key is the content-addressed key of the function's pipeline suffix
+	// (the translation-cache key). Keyed reports whether it is meaningful:
+	// degraded fallbacks are never keyed — their results are not cacheable,
+	// so they must not be acknowledged or resumed.
+	Key   cache.Key
+	Keyed bool
+	// Body is the canonical encoding of the post-suffix body (the cache
+	// codec; cache.DecodeBody reverses it).
+	Body []byte
+	// Placed and Merged are the per-function fence statistics deltas.
+	Placed, Merged int
+	// Degraded reports that the function fell back to the conservative
+	// full-fence translation (or was stubbed/rolled back earlier).
+	Degraded bool
+	// CacheHit reports that the suffix replayed from the translation cache.
+	CacheHit bool
+}
+
+// ErrHookAborted is wrapped by the error TranslateContext returns when a
+// Config.FuncDone hook cancelled the translation.
+var ErrHookAborted = errors.New("translation aborted by FuncDone hook")
 
 // Default returns the full Lasagne configuration.
 func Default() Config {
@@ -410,6 +453,19 @@ type pipeline struct {
 	// populated when weakFences().
 	localGlobals []string
 	localSet     map[string]bool
+
+	// hookAborted flips when a Config.FuncDone hook returns an error;
+	// workers that have not started yet short-circuit, and the stage fails
+	// with hookErr (first abort wins) wrapped in ErrHookAborted.
+	hookAborted atomic.Bool
+	hookOnce    sync.Once
+	hookErr     error
+}
+
+// abortWith records the first hook error and flips the abort flag.
+func (p *pipeline) abortWith(err error) {
+	p.hookOnce.Do(func() { p.hookErr = err })
+	p.hookAborted.Store(true)
 }
 
 func (p *pipeline) snapshot() {
@@ -490,7 +546,9 @@ func (p *pipeline) run() error {
 		p.localGlobals = fences.ThreadLocalGlobals(p.m)
 		p.localSet = fences.LocalGlobalSet(p.localGlobals)
 	}
-	p.fenceOptStage()
+	if err := p.fenceOptStage(); err != nil {
+		return err
+	}
 	p.stats.FencesFinal = fences.Count(p.m)
 	p.stats.AcquireLoads, p.stats.ReleaseStores = fences.CountOrdered(p.m)
 	if p.cfg.VerifyIR || p.cfg.Validate {
@@ -685,6 +743,10 @@ type fenceOut struct {
 	bundle         *validate.Bundle // repro bundle to write at merge time
 	probed         bool             // the cache was consulted
 	hit            bool
+	key            cache.Key // suffix content address (valid when keyed)
+	keyed          bool
+	body           []byte // canonical post-suffix body, for FuncDone events
+	skipped        bool   // never ran: a FuncDone hook aborted the stage
 }
 
 // fenceOptStage runs optimized fence placement, merging and the opt
@@ -695,7 +757,7 @@ type fenceOut struct {
 // in module order. When a cache is configured the whole suffix is skipped
 // for functions whose key hits, and filled for functions that complete
 // cleanly.
-func (p *pipeline) fenceOptStage() {
+func (p *pipeline) fenceOptStage() error {
 	var fs []*ir.Func
 	for _, f := range p.m.Funcs {
 		if f.External || len(f.Blocks) == 0 {
@@ -711,167 +773,20 @@ func (p *pipeline) fenceOptStage() {
 	}
 	outs := par.Collect(len(fs), p.workers, func(i int) fenceOut {
 		f := fs[i]
-		if p.excluded[f.Name] {
-			return fenceOut{placed: p.conservative(f)}
+		if p.hookAborted.Load() {
+			// A FuncDone hook already cancelled the translation; the module
+			// will be discarded, so skip the remaining work entirely.
+			return fenceOut{skipped: true}
 		}
-
-		var key cache.Key
-		var fl *cache.Flight
-		if p.cfg.Cache != nil {
-			key = cache.KeyFor(PipelineVersion, fp, f)
-			// Single-flight: concurrent misses on the same key (the daemon
-			// translating the same module for N clients at once) elect one
-			// leader to run the suffix; everyone else waits for its entry
-			// and replays it like a hit. A nil flight on a miss means either
-			// we lead, or waiting was cut short (context expiry / leader
-			// failure) and we compute without publishing.
-			e, ok, lead := p.cfg.Cache.GetOrBegin(p.ctx, key)
-			fl = lead
-			if fl != nil {
-				// Released on every exit path; a no-op once Complete ran.
-				defer fl.Cancel()
-			}
-			if ok {
-				if blocks, derr := cache.DecodeBody(f, e.Body); derr == nil {
-					if !p.cfg.Validate {
-						f.RestoreBody(blocks)
-						return fenceOut{placed: e.FencesPlaced, merged: e.FencesMerged,
-							probed: true, hit: true}
-					}
-					// Validation never trusts a memoized body blindly: the
-					// decoded body must pass the same checkpoint a fresh run
-					// would have. A failing entry (e.g. a poisoned cache file)
-					// is discarded and the suffix recomputed from the live
-					// body, which is restored first.
-					save := f.CloneBody()
-					f.RestoreBody(blocks)
-					if validate.CheckFunc(f, p.checkOpts(f.Name)) == nil {
-						return fenceOut{placed: e.FencesPlaced, merged: e.FencesMerged,
-							probed: true, hit: true}
-					}
-					f.RestoreBody(save)
-				}
-				// An undecodable entry (corrupt disk file, mismatched module
-				// shape) falls through to recomputation.
-			}
-		}
-
-		var o fenceOut
-		o.probed = p.cfg.Cache != nil
-		o.stage = diag.StageFences
-		o.gerr = p.guardWithBudget(diag.StageFences, f.Name, func(fctx context.Context) error {
-			if err := inject.Hit("fences:" + f.Name); err != nil {
-				return err
-			}
-			// One escape-analysis fixpoint serves placement, merging,
-			// strengthening and the post-placement checkpoint: the fence
-			// passes never change points-to facts. The opt passes do, so
-			// their per-pass checkpoints re-derive classifiers below.
-			local := popts.Classifier(f)
-			if p.place {
-				o.placed = fences.PlaceFuncWith(f, local)
-			}
-			if p.cfg.MergeFences {
-				o.merged = fences.MergeFuncWith(f, local)
-			}
-			if p.weakFences() {
-				// After merging, so §7.2's Frm·Fww→Fsc wins where it
-				// applies and only single-access fences weaken to
-				// acquire/release accesses.
-				fences.StrengthenFuncWith(f, local)
-			}
-			if p.cfg.VerifyIR {
-				if err := ir.VerifyFunc(f); err != nil {
-					return err
-				}
-			}
-			if p.cfg.Validate {
-				// Post-placement checkpoint: the body must be verifier-clean,
-				// fence-covered and within its cast baseline before the opt
-				// pipeline is allowed to touch it.
-				o.stage = diag.StageValidate
-				if err := inject.Hit("validate:" + f.Name); err != nil {
-					return err
-				}
-				if err := validate.CheckFuncWith(f, p.checkOpts(f.Name), local); err != nil {
-					return err
-				}
-				o.stage = diag.StageFences
-			}
-			if err := fctx.Err(); err != nil {
-				return err
-			}
-			if p.cfg.Optimize {
-				o.stage = diag.StageOpt
-				if err := inject.Hit("opt:" + f.Name); err != nil {
-					return err
-				}
-				names := p.cfg.passes()
-				if !p.cfg.Validate {
-					if err := opt.RunFuncPipeline(fctx, f, names, p.cfg.VerifyIR); err != nil {
-						return err
-					}
-					return nil
-				}
-				// Per-pass checkpoints: snapshot the pre-pass body (for repro
-				// bundles), run the pass, re-check the semantic invariants. A
-				// violation surfaces as *opt.PassError naming the culprit.
-				var preBody []byte
-				pc := &opt.PassCheck{
-					After: func(f *ir.Func, pass string) error {
-						return validate.CheckFunc(f, p.checkOpts(f.Name))
-					},
-				}
-				if p.cfg.ReproDir != "" {
-					pc.Before = func(f *ir.Func, pass string) {
-						preBody = cache.EncodeBody(f)
-					}
-				}
-				if err := opt.RunFuncPipelineWithCheck(fctx, f, names, pc); err != nil {
-					var pe *opt.PassError
-					if errors.As(err, &pe) {
-						o.pass = pe.Pass
-						o.stage = diag.StageValidate
-						if p.cfg.ReproDir != "" && preBody != nil {
-							o.bundle = p.passBundle(f.Name, pe.Pass, err.Error(), preBody)
-						}
-					}
-					return err
-				}
-			}
-			return nil
-		})
-		if o.gerr != nil {
-			// Roll back to the lifted snapshot and re-fence conservatively,
-			// both function-local. The report/excluded updates happen at
-			// merge time.
-			if s := p.snaps[f.Name]; s != nil {
-				f.RestoreBody(s.blocks)
-			}
-			o.placed, o.merged = p.conservative(f), 0
-			return o
-		}
-		if p.cfg.Cache != nil {
-			// Only clean completions are memoized: degraded functions must
-			// re-run (and re-diagnose) on every translation. Completing the
-			// flight publishes to the cache and to any waiting followers in
-			// one step; without a flight (we recomputed past a corrupt or
-			// stale entry) a plain Put suffices.
-			e := &cache.Entry{
-				Body:         cache.EncodeBody(f),
-				FencesPlaced: o.placed,
-				FencesMerged: o.merged,
-			}
-			if fl != nil {
-				fl.Complete(e)
-			} else {
-				p.cfg.Cache.Put(key, e)
-			}
-		}
+		o := p.suffixFunc(f, fp, popts)
+		p.emitFuncDone(f, &o)
 		return o
 	})
 	for i, o := range outs {
 		f := fs[i]
+		if o.skipped {
+			continue
+		}
 		if o.gerr != nil {
 			p.excluded[f.Name] = true
 			p.rep.DegradePass(f.Name, o.stage, o.pass, o.gerr)
@@ -895,6 +810,214 @@ func (p *pipeline) fenceOptStage() {
 			}
 		}
 	}
+	if p.hookAborted.Load() {
+		return fail(p.rep, diag.StageServe, "", "translation cancelled by its consumer",
+			fmt.Errorf("%w: %v", ErrHookAborted, p.hookErr))
+	}
+	return nil
+}
+
+// emitFuncDone delivers one FuncEvent to the Config.FuncDone hook. It runs
+// on the worker that just finished f, so a blocking hook pauses exactly
+// that worker — the backpressure path. A hook error aborts the stage.
+func (p *pipeline) emitFuncDone(f *ir.Func, o *fenceOut) {
+	if p.cfg.FuncDone == nil || p.hookAborted.Load() {
+		return
+	}
+	if o.body == nil {
+		o.body = cache.EncodeBody(f)
+	}
+	ev := FuncEvent{
+		Func:     f.Name,
+		Key:      o.key,
+		Keyed:    o.keyed && o.gerr == nil,
+		Body:     o.body,
+		Placed:   o.placed,
+		Merged:   o.merged,
+		Degraded: o.gerr != nil || p.excluded[f.Name],
+		CacheHit: o.hit,
+	}
+	if err := p.cfg.FuncDone(ev); err != nil {
+		p.abortWith(err)
+	}
+}
+
+// suffixFunc runs the fence/merge/strengthen/opt suffix for one function —
+// cache probe and fill included — and returns its outcome. It is
+// function-local: recovery (snapshot rollback + conservative re-fencing)
+// happens right here on the worker; only bookkeeping merges later.
+func (p *pipeline) suffixFunc(f *ir.Func, fp string, popts fences.Options) fenceOut {
+	if p.excluded[f.Name] {
+		return fenceOut{placed: p.conservative(f)}
+	}
+
+	var key cache.Key
+	keyed := false
+	if p.cfg.Cache != nil || p.cfg.FuncDone != nil {
+		// The key is also the resume token of a streamed translation, so it
+		// is computed whenever a FuncDone consumer is listening, cache or no
+		// cache.
+		key = cache.KeyFor(PipelineVersion, fp, f)
+		keyed = true
+	}
+	var fl *cache.Flight
+	if p.cfg.Cache != nil {
+		// Single-flight: concurrent misses on the same key (the daemon
+		// translating the same module for N clients at once) elect one
+		// leader to run the suffix; everyone else waits for its entry
+		// and replays it like a hit. A nil flight on a miss means either
+		// we lead, or waiting was cut short (context expiry / leader
+		// failure) and we compute without publishing.
+		e, ok, lead := p.cfg.Cache.GetOrBegin(p.ctx, key)
+		fl = lead
+		if fl != nil {
+			// Released on every exit path; a no-op once Complete ran.
+			defer fl.Cancel()
+		}
+		if ok {
+			if blocks, derr := cache.DecodeBody(f, e.Body); derr == nil {
+				if !p.cfg.Validate {
+					f.RestoreBody(blocks)
+					return fenceOut{placed: e.FencesPlaced, merged: e.FencesMerged,
+						probed: true, hit: true, key: key, keyed: keyed, body: e.Body}
+				}
+				// Validation never trusts a memoized body blindly: the
+				// decoded body must pass the same checkpoint a fresh run
+				// would have. A failing entry (e.g. a poisoned cache file)
+				// is discarded and the suffix recomputed from the live
+				// body, which is restored first.
+				save := f.CloneBody()
+				f.RestoreBody(blocks)
+				if validate.CheckFunc(f, p.checkOpts(f.Name)) == nil {
+					return fenceOut{placed: e.FencesPlaced, merged: e.FencesMerged,
+						probed: true, hit: true, key: key, keyed: keyed, body: e.Body}
+				}
+				f.RestoreBody(save)
+			}
+			// An undecodable entry (corrupt disk file, mismatched module
+			// shape) falls through to recomputation.
+		}
+	}
+
+	var o fenceOut
+	o.key, o.keyed = key, keyed
+	o.probed = p.cfg.Cache != nil
+	o.stage = diag.StageFences
+	o.gerr = p.guardWithBudget(diag.StageFences, f.Name, func(fctx context.Context) error {
+		if err := inject.Hit("fences:" + f.Name); err != nil {
+			return err
+		}
+		// One escape-analysis fixpoint serves placement, merging,
+		// strengthening and the post-placement checkpoint: the fence
+		// passes never change points-to facts. The opt passes do, so
+		// their per-pass checkpoints re-derive classifiers below.
+		local := popts.Classifier(f)
+		if p.place {
+			o.placed = fences.PlaceFuncWith(f, local)
+		}
+		if p.cfg.MergeFences {
+			o.merged = fences.MergeFuncWith(f, local)
+		}
+		if p.weakFences() {
+			// After merging, so §7.2's Frm·Fww→Fsc wins where it
+			// applies and only single-access fences weaken to
+			// acquire/release accesses.
+			fences.StrengthenFuncWith(f, local)
+		}
+		if p.cfg.VerifyIR {
+			if err := ir.VerifyFunc(f); err != nil {
+				return err
+			}
+		}
+		if p.cfg.Validate {
+			// Post-placement checkpoint: the body must be verifier-clean,
+			// fence-covered and within its cast baseline before the opt
+			// pipeline is allowed to touch it.
+			o.stage = diag.StageValidate
+			if err := inject.Hit("validate:" + f.Name); err != nil {
+				return err
+			}
+			if err := validate.CheckFuncWith(f, p.checkOpts(f.Name), local); err != nil {
+				return err
+			}
+			o.stage = diag.StageFences
+		}
+		if err := fctx.Err(); err != nil {
+			return err
+		}
+		if p.cfg.Optimize {
+			o.stage = diag.StageOpt
+			if err := inject.Hit("opt:" + f.Name); err != nil {
+				return err
+			}
+			names := p.cfg.passes()
+			if !p.cfg.Validate {
+				if err := opt.RunFuncPipeline(fctx, f, names, p.cfg.VerifyIR); err != nil {
+					return err
+				}
+				return nil
+			}
+			// Per-pass checkpoints: snapshot the pre-pass body (for repro
+			// bundles), run the pass, re-check the semantic invariants. A
+			// violation surfaces as *opt.PassError naming the culprit.
+			var preBody []byte
+			pc := &opt.PassCheck{
+				After: func(f *ir.Func, pass string) error {
+					return validate.CheckFunc(f, p.checkOpts(f.Name))
+				},
+			}
+			if p.cfg.ReproDir != "" {
+				pc.Before = func(f *ir.Func, pass string) {
+					preBody = cache.EncodeBody(f)
+				}
+			}
+			if err := opt.RunFuncPipelineWithCheck(fctx, f, names, pc); err != nil {
+				var pe *opt.PassError
+				if errors.As(err, &pe) {
+					o.pass = pe.Pass
+					o.stage = diag.StageValidate
+					if p.cfg.ReproDir != "" && preBody != nil {
+						o.bundle = p.passBundle(f.Name, pe.Pass, err.Error(), preBody)
+					}
+				}
+				return err
+			}
+		}
+		return nil
+	})
+	if o.gerr != nil {
+		// Roll back to the lifted snapshot and re-fence conservatively,
+		// both function-local. The report/excluded updates happen at
+		// merge time.
+		if s := p.snaps[f.Name]; s != nil {
+			f.RestoreBody(s.blocks)
+		}
+		o.placed, o.merged = p.conservative(f), 0
+		return o
+	}
+	if p.cfg.Cache != nil || p.cfg.FuncDone != nil {
+		o.body = cache.EncodeBody(f)
+	}
+	if p.cfg.Cache != nil {
+		// Only clean completions are memoized: degraded functions must
+		// re-run (and re-diagnose) on every translation. Completing the
+		// flight publishes to the cache and to any waiting followers in
+		// one step; without a flight (we recomputed past a corrupt or
+		// stale entry) a plain Put suffices. The publish is synchronous —
+		// disk write included — so a FuncDone event (emitted after this
+		// returns) never acknowledges work the cache has not yet seen.
+		e := &cache.Entry{
+			Body:         o.body,
+			FencesPlaced: o.placed,
+			FencesMerged: o.merged,
+		}
+		if fl != nil {
+			fl.Complete(e)
+		} else {
+			p.cfg.Cache.Put(key, e)
+		}
+	}
+	return o
 }
 
 // conservative applies the always-sound Fig. 8a full-fence mapping to a

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"lasagne/internal/core/cache"
+)
+
+// The FuncDone hook is the streaming daemon's tap into the fan-out. Its
+// contract: one event per defined function, keys that match the cache's
+// content addresses, bodies that are the exact canonical encodings of the
+// final module's functions — and zero influence on the translation itself.
+func TestFuncDoneEventsMatchBatch(t *testing.T) {
+	bin, _ := buildX86(t)
+
+	// Reference: the plain batch translation and its final IR.
+	want, _, _, err := Translate(bin, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIR, _, _, err := TranslateToIR(bin, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, jobs := range []int{1, 4} {
+		var mu sync.Mutex
+		events := map[string]FuncEvent{}
+		cfg := Default()
+		cfg.Jobs = jobs
+		cfg.FuncDone = func(ev FuncEvent) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := events[ev.Func]; dup {
+				t.Errorf("jobs=%d: duplicate event for %s", jobs, ev.Func)
+			}
+			events[ev.Func] = ev
+			return nil
+		}
+		got, _, rep, err := Translate(bin, cfg)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if rep.Len() != 0 {
+			t.Fatalf("jobs=%d: diagnostics on a clean module:\n%s", jobs, rep)
+		}
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Errorf("jobs=%d: hooked translation is not byte-identical to batch", jobs)
+		}
+
+		// One event per defined function, each body the canonical encoding
+		// of the matching final function.
+		defined := 0
+		for _, f := range refIR.Funcs {
+			if f.External || len(f.Blocks) == 0 {
+				continue
+			}
+			defined++
+			ev, ok := events[f.Name]
+			if !ok {
+				t.Errorf("jobs=%d: no event for %s", jobs, f.Name)
+				continue
+			}
+			if ev.Degraded || ev.CacheHit {
+				t.Errorf("jobs=%d: %s unexpectedly degraded=%t hit=%t", jobs, f.Name, ev.Degraded, ev.CacheHit)
+			}
+			if !ev.Keyed {
+				t.Errorf("jobs=%d: %s event carries no key", jobs, f.Name)
+			}
+			if !bytes.Equal(ev.Body, cache.EncodeBody(f)) {
+				t.Errorf("jobs=%d: %s event body differs from the final module's encoding", jobs, f.Name)
+			}
+		}
+		if len(events) != defined {
+			t.Errorf("jobs=%d: %d events for %d defined functions", jobs, len(events), defined)
+		}
+	}
+}
+
+// Event keys are the cache's content addresses: a second translation with a
+// shared cache must report every event as a hit under the same key.
+func TestFuncDoneKeysAreCacheKeys(t *testing.T) {
+	bin, _ := buildX86(t)
+	c := cache.New(0)
+
+	run := func() map[string]FuncEvent {
+		var mu sync.Mutex
+		events := map[string]FuncEvent{}
+		cfg := Default()
+		cfg.Cache = c
+		cfg.FuncDone = func(ev FuncEvent) error {
+			mu.Lock()
+			events[ev.Func] = ev
+			mu.Unlock()
+			return nil
+		}
+		if _, _, _, err := Translate(bin, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	cold := run()
+	warm := run()
+	if len(cold) == 0 || len(cold) != len(warm) {
+		t.Fatalf("event counts differ: cold %d, warm %d", len(cold), len(warm))
+	}
+	for fn, cev := range cold {
+		wev := warm[fn]
+		if cev.CacheHit {
+			t.Errorf("%s: cold run reported a cache hit", fn)
+		}
+		if !wev.CacheHit {
+			t.Errorf("%s: warm run did not hit the cache", fn)
+		}
+		if cev.Key != wev.Key {
+			t.Errorf("%s: key changed between runs", fn)
+		}
+		if !bytes.Equal(cev.Body, wev.Body) {
+			t.Errorf("%s: body changed between runs", fn)
+		}
+	}
+}
+
+// A hook error cancels the translation: the returned error wraps
+// ErrHookAborted, and functions past the aborting one are never delivered.
+func TestFuncDoneAborts(t *testing.T) {
+	bin, _ := buildX86(t)
+	boom := errors.New("reader went away")
+	for _, jobs := range []int{1, 4} {
+		var mu sync.Mutex
+		delivered := 0
+		cfg := Default()
+		cfg.Jobs = jobs
+		cfg.FuncDone = func(ev FuncEvent) error {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+			return boom
+		}
+		out, _, rep, err := Translate(bin, cfg)
+		if err == nil || out != nil {
+			t.Fatalf("jobs=%d: aborted translation succeeded", jobs)
+		}
+		if !errors.Is(err, ErrHookAborted) {
+			t.Errorf("jobs=%d: error does not wrap ErrHookAborted: %v", jobs, err)
+		}
+		if !rep.HasErrors() {
+			t.Errorf("jobs=%d: aborted translation left no Error diagnostic", jobs)
+		}
+		// Every worker may complete its in-flight function before noticing
+		// the abort, so at most `jobs` events can be delivered.
+		if delivered > jobs {
+			t.Errorf("jobs=%d: %d events delivered after abort", jobs, delivered)
+		}
+	}
+}
+
+// Degraded functions are delivered with Degraded set and no key: their
+// conservative fallbacks are not content-addressed, so a streaming client
+// can never acknowledge (and skip recomputation of) a degraded result.
+func TestFuncDoneDegradedUnkeyed(t *testing.T) {
+	bin, _ := buildX86(t)
+	var mu sync.Mutex
+	events := map[string]FuncEvent{}
+	cfg := Default()
+	cfg.Cache = cache.New(0)
+	// A 1ns function budget deterministically degrades every function.
+	cfg.FuncBudget = 1
+	cfg.FuncDone = func(ev FuncEvent) error {
+		mu.Lock()
+		events[ev.Func] = ev
+		mu.Unlock()
+		return nil
+	}
+	out, _, rep, err := Translate(bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Degraded()) == 0 {
+		t.Fatal("nothing degraded under a 1ns function budget")
+	}
+	for _, fn := range rep.Degraded() {
+		ev, ok := events[fn]
+		if !ok {
+			t.Errorf("no event for degraded %s", fn)
+			continue
+		}
+		if !ev.Degraded {
+			t.Errorf("%s: degraded function delivered without Degraded", fn)
+		}
+		if ev.Keyed {
+			t.Errorf("%s: degraded function delivered with a resume key", fn)
+		}
+	}
+	if out == nil {
+		t.Fatal("no output object")
+	}
+}

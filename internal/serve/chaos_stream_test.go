@@ -1,0 +1,487 @@
+// Chaos tests of the streaming layer, all race-clean: slowloris readers,
+// mid-stream disconnects, torn-frame failpoints, and a daemon kill/restart
+// with client resume over the crash-safe disk cache. The invariants under
+// attack: a slow reader never pins a worker (it is evicted on a bounded
+// timer while other requests stay fast), no reader ever observes a torn
+// complete frame (only torn tails, which the protocol defines away), and a
+// resumed batch recomputes nothing that was already acked.
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lasagne/internal/core"
+	"lasagne/internal/core/cache"
+	"lasagne/internal/diag/inject"
+	"lasagne/internal/serve"
+	"lasagne/internal/serve/client"
+)
+
+// genSrc builds a minic module with funcs worker functions of stmts
+// statements each — a volume knob for tests that need the stream to carry
+// more bytes than kernel socket buffers can hide.
+func genSrc(funcs, stmts int) string {
+	var b strings.Builder
+	b.WriteString("int g;\nint data[64];\n")
+	for f := 0; f < funcs; f++ {
+		fmt.Fprintf(&b, "void f%d(int x) {\n", f)
+		for s := 0; s < stmts; s++ {
+			fmt.Fprintf(&b, "  data[%d] = data[%d] + x * %d;\n", s%64, (s+7)%64, s+1)
+			if s%8 == 0 {
+				fmt.Fprintf(&b, "  atomic_add(&g, data[%d]);\n", s%64)
+			}
+		}
+		b.WriteString("}\n")
+	}
+	b.WriteString("int main() {\n")
+	for f := 0; f < funcs; f++ {
+		fmt.Fprintf(&b, "  spawn(f%d, %d);\n", f, f)
+	}
+	b.WriteString("  join();\n  print_int(g);\n  return 0;\n}\n")
+	return b.String()
+}
+
+// smallBufListener pins SO_SNDBUF on accepted connections so the kernel
+// cannot absorb megabytes of unread stream on the slowloris's behalf —
+// TCP autotuning would otherwise make "reader never reads" take many MB
+// of frames to detect.
+type smallBufListener struct{ net.Listener }
+
+func (l smallBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetWriteBuffer(16 << 10)
+	}
+	return c, nil
+}
+
+// A slowloris reader — connects, never reads — must be evicted on the
+// write-timeout clock, and while it is attached, concurrent fast clients
+// keep completing with bounded latency: the slow connection can cost one
+// worker at most one eviction timeout.
+func TestChaosSlowlorisEvicted(t *testing.T) {
+	big := buildObjX(t, "big", genSrc(60, 10))
+	small := buildObjX(t, "small", concurrentSrcX)
+
+	s := serve.New(serve.Options{
+		Workers:            2,
+		Cache:              cache.New(0),
+		StreamBuffer:       2,
+		StreamWriteTimeout: 400 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &httptest.Server{Listener: smallBufListener{ln}, Config: &http.Server{Handler: s.Handler()}}
+	ts.Start()
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+
+	// The slowloris's own connection also pins its receive buffer, so the
+	// client kernel can't soak up the stream either.
+	slowClient := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := (&net.Dialer{}).DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			if tc, ok := c.(*net.TCPConn); ok {
+				_ = tc.SetReadBuffer(16 << 10)
+			}
+			return c, nil
+		},
+	}}
+
+	// Warm the cache first so the slowloris batch produces its frames at
+	// full speed: the test measures the wire-level backpressure, not the
+	// pipeline's compute time.
+	warmBody, _ := json.Marshal(serve.Request{Module: moduleB64X(big)})
+	warmRes, err := http.Post(ts.URL+"/translate", "application/json", bytes.NewReader(warmBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, warmRes.Body)
+	warmRes.Body.Close()
+	if warmRes.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status %d", warmRes.StatusCode)
+	}
+
+	// The batch repeats the big module under different names: identical
+	// content dedups through the cache, but every copy's frames still
+	// travel the wire, which is what overwhelms a reader that never reads.
+	var mods []serve.ModuleRequest
+	for i := 0; i < 3; i++ {
+		mods = append(mods, serve.ModuleRequest{Name: fmt.Sprintf("copy%d", i), Module: moduleB64X(big)})
+	}
+	body, _ := json.Marshal(serve.StreamRequest{Modules: mods})
+	res, err := slowClient.Post(ts.URL+"/translate/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", res.StatusCode)
+	}
+	// Never read res.Body: the eviction timer is the only way out.
+
+	// Fast clients keep flowing while the slowloris hangs.
+	smallBody, _ := json.Marshal(serve.Request{Module: moduleB64X(small)})
+	var wg sync.WaitGroup
+	var worst atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			r, err := http.Post(ts.URL+"/translate", "application/json", bytes.NewReader(smallBody))
+			if err != nil {
+				t.Errorf("fast client: %v", err)
+				return
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			if r.StatusCode != http.StatusOK {
+				t.Errorf("fast client status %d", r.StatusCode)
+			}
+			if d := time.Since(start); d.Nanoseconds() > worst.Load() {
+				worst.Store(d.Nanoseconds())
+			}
+		}()
+	}
+	wg.Wait()
+	if d := time.Duration(worst.Load()); d > 10*time.Second {
+		t.Errorf("fast-client worst latency %v with a slowloris attached", d)
+	}
+
+	waitCondX(t, "slow-reader eviction", 30*time.Second, func() bool {
+		return health(t, ts.URL).EvictedSlowReaders >= 1
+	})
+	// Eviction released the pipeline: all workers return to idle.
+	waitCondX(t, "workers idle after eviction", 10*time.Second, func() bool {
+		return s.Inflight() == 0 && s.Queued() == 0
+	})
+}
+
+// A client that disconnects mid-stream frees its worker promptly and the
+// server keeps serving.
+func TestChaosMidStreamDisconnect(t *testing.T) {
+	// Registered before startServerX so the restore runs after the drain.
+	old := inject.StallDuration
+	t.Cleanup(func() { inject.Reset(); inject.StallDuration = old })
+	inject.StallDuration = 300 * time.Millisecond
+	inject.Arm("fences:main", inject.Stall)
+
+	bin := buildObjX(t, "t", concurrentSrcX)
+	s, ts := startServerX(t, serve.Options{Workers: 1})
+
+	body, _ := json.Marshal(serve.StreamRequest{Modules: []serve.ModuleRequest{
+		{Name: "t", Module: moduleB64X(bin)},
+	}})
+	res, err := http.Post(ts.URL+"/translate/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(res.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	res.Body.Close() // hang up mid-stream
+
+	waitCondX(t, "worker freed after disconnect", 10*time.Second, func() bool {
+		return s.Inflight() == 0 && health(t, ts.URL).ActiveStreams == 0
+	})
+	inject.Reset()
+	status, frames := streamFrames(t, ts.URL, serve.StreamRequest{Modules: []serve.ModuleRequest{
+		{Name: "t", Module: moduleB64X(bin)},
+	}})
+	if status != http.StatusOK || len(frames) == 0 {
+		t.Fatalf("request after disconnect: status %d, %d frames", status, len(frames))
+	}
+}
+
+// tornTransport simulates a connection dying mid-stream at an exact frame
+// boundary offset: the first streaming response passes through `lines`
+// complete frames plus `extra` bytes of the next one, then fails — the
+// torn-tail shape a real disconnect produces, made deterministic.
+type tornTransport struct {
+	base  http.RoundTripper
+	used  atomic.Bool
+	lines int
+	extra int
+}
+
+func (tt *tornTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	res, err := tt.base.RoundTrip(req)
+	if err != nil || !strings.HasSuffix(req.URL.Path, "/translate/stream") {
+		return res, err
+	}
+	if !tt.used.CompareAndSwap(false, true) {
+		return res, err
+	}
+	res.Body = &tornBody{rc: res.Body, linesLeft: tt.lines, extraLeft: tt.extra}
+	return res, nil
+}
+
+type tornBody struct {
+	rc        io.ReadCloser
+	linesLeft int
+	extraLeft int
+	dead      bool
+}
+
+func (tb *tornBody) Read(p []byte) (int, error) {
+	if tb.dead {
+		return 0, io.ErrUnexpectedEOF
+	}
+	var b [1]byte
+	n, err := tb.rc.Read(b[:])
+	if n == 0 {
+		return 0, err
+	}
+	p[0] = b[0]
+	if tb.linesLeft > 0 {
+		if b[0] == '\n' {
+			tb.linesLeft--
+		}
+	} else {
+		tb.extraLeft--
+		if tb.extraLeft <= 0 {
+			tb.dead = true
+		}
+	}
+	return 1, err
+}
+
+func (tb *tornBody) Close() error { return tb.rc.Close() }
+
+// Mid-stream disconnect + transparent client resume: the retry carries the
+// two acked keys, the server suppresses those frames (no duplicates reach
+// the caller) and serves them from cache (no recomputation), and the final
+// result is byte-identical to the offline pipeline.
+func TestChaosClientResumeAfterDisconnect(t *testing.T) {
+	src := genSrc(4, 12) // 5 defined functions: f0..f3 + main
+	bin := buildObjX(t, "t", src)
+	want, _, _, err := core.Translate(bin, core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := definedBodies(t, bin)
+
+	_, ts := startServerX(t, serve.Options{Workers: 2, Cache: cache.New(0)})
+	cl := client.New(client.Options{
+		BaseURL:     ts.URL,
+		HTTPClient:  &http.Client{Transport: &tornTransport{base: http.DefaultTransport, lines: 2, extra: 10}},
+		BaseBackoff: 5 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	results, err := cl.TranslateStream(ctx, []serve.ModuleRequest{{Name: "t", Module: moduleB64X(bin)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := results["t"]
+	if mr == nil || mr.Status != http.StatusOK {
+		t.Fatalf("module result: %+v", mr)
+	}
+	if !bytes.Equal(mr.Object, want.Marshal()) {
+		t.Error("resumed object differs from offline pipeline")
+	}
+	if got := cl.Attempts(); got != 2 {
+		t.Errorf("attempts = %d, want 2 (one torn, one resumed)", got)
+	}
+	seen := map[string]bool{}
+	for _, f := range mr.Funcs {
+		if seen[f.Func] {
+			t.Errorf("duplicate func frame for %s across resume", f.Func)
+		}
+		seen[f.Func] = true
+		if !bytes.Equal(f.Body, bodies[f.Func]) {
+			t.Errorf("%s: resumed body differs from the final IR encoding", f.Func)
+		}
+	}
+	if len(seen) != len(bodies) {
+		t.Errorf("%d distinct funcs across attempts, want %d", len(seen), len(bodies))
+	}
+	// The two acked functions were cache hits on the resumed attempt:
+	// nothing already delivered was recomputed.
+	if mr.Stats == nil || mr.Stats.CacheHits < 2 {
+		t.Errorf("resumed attempt stats %+v: want >= 2 cache hits for the acked functions", mr.Stats)
+	}
+	if h := health(t, ts.URL); h.ResumedJobs < 1 {
+		t.Errorf("healthz resumed_jobs = %d, want >= 1", h.ResumedJobs)
+	}
+}
+
+// The partial-write failpoint: the server tears a frame mid-line and drops
+// the connection. The client discards the unterminated tail (it never
+// surfaces a malformed frame) and retries to an identical result, even
+// with cache fsync failures injected underneath.
+func TestChaosFrameTearFailpoint(t *testing.T) {
+	defer inject.Reset()
+	bin := buildObjX(t, "t", concurrentSrcX)
+	want, _, _, err := core.Translate(bin, core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dcache, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startServerX(t, serve.Options{Workers: 2, Cache: dcache})
+
+	inject.ArmN(serve.InjectFrame, inject.Fail, 1) // tear the first frame once
+	inject.ArmN(cache.InjectFsync, inject.Fail, 2) // and make persistence flaky
+
+	cl := client.New(client.Options{BaseURL: ts.URL, BaseBackoff: 5 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	results, err := cl.TranslateStream(ctx, []serve.ModuleRequest{{Name: "t", Module: moduleB64X(bin)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := results["t"]
+	if mr == nil || mr.Status != http.StatusOK {
+		t.Fatalf("module result: %+v", mr)
+	}
+	if !bytes.Equal(mr.Object, want.Marshal()) {
+		t.Error("object after frame tear differs from offline pipeline")
+	}
+	if got := cl.Attempts(); got < 2 {
+		t.Errorf("attempts = %d, want >= 2 (the tear forces a retry)", got)
+	}
+}
+
+// Kill the daemon mid-batch, restart it over the same disk cache, resume
+// with the acked keys: nothing acked is re-sent, nothing acked is
+// recomputed (every acked result is a disk-cache hit on the new process),
+// and the reassembled modules are byte-identical to the offline pipeline.
+func TestChaosKillDaemonMidBatchRestartResume(t *testing.T) {
+	src := genSrc(8, 10) // 9 defined functions
+	bin := buildObjX(t, "t", src)
+	want, _, _, err := core.Translate(bin, core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	cacheA, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA := serve.New(serve.Options{Workers: 2, Cache: cacheA})
+	tsA := httptest.NewServer(sA.Handler())
+	body, _ := json.Marshal(serve.StreamRequest{Modules: []serve.ModuleRequest{
+		{Name: "t", Module: moduleB64X(bin)},
+	}})
+	res, err := http.Post(tsA.URL+"/translate/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Read until two keyed func frames are in hand — those are "acked".
+	br := bufio.NewReaderSize(res.Body, 256<<10)
+	var acked []string
+	for len(acked) < 2 {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream died before 2 keyed frames: %v", err)
+		}
+		var fr serve.Frame
+		if err := json.Unmarshal([]byte(line), &fr); err != nil {
+			t.Fatalf("malformed frame: %v", err)
+		}
+		if fr.Type == serve.FrameFunc && fr.Key != "" {
+			acked = append(acked, fr.Key)
+		}
+	}
+
+	// Kill the daemon mid-batch: sever every connection, drain, shut down.
+	tsA.CloseClientConnections()
+	res.Body.Close()
+	ctxA, cancelA := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancelA()
+	if err := sA.Drain(ctxA); err != nil {
+		t.Fatalf("killed daemon did not drain: %v", err)
+	}
+	tsA.Close()
+
+	// Restart over the same disk cache. The acked⇒persisted invariant is
+	// what makes this work: a frame is only emitted after its cache entry
+	// is durably written, so everything the client acked is on disk.
+	cacheB, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB := serve.New(serve.Options{Workers: 2, Cache: cacheB})
+	tsB := httptest.NewServer(sB.Handler())
+	t.Cleanup(func() {
+		tsB.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		_ = sB.Drain(ctx)
+	})
+
+	status, frames := streamFrames(t, tsB.URL, serve.StreamRequest{
+		Modules: []serve.ModuleRequest{{Name: "t", Module: moduleB64X(bin)}},
+		Acked:   acked,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("resume status %d", status)
+	}
+	ackedSet := map[string]bool{}
+	for _, k := range acked {
+		ackedSet[k] = true
+	}
+	var moduleFr *serve.Frame
+	for i := range frames {
+		fr := &frames[i]
+		switch fr.Type {
+		case serve.FrameFunc:
+			if ackedSet[fr.Key] {
+				t.Errorf("acked function %s re-sent after restart", fr.Func)
+			}
+		case serve.FrameModule:
+			moduleFr = fr
+		}
+	}
+	if moduleFr == nil || moduleFr.Status != http.StatusOK {
+		t.Fatalf("resumed module frame: %+v", moduleFr)
+	}
+	got, err := base64.StdEncoding.DecodeString(moduleFr.Object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Marshal()) {
+		t.Error("resumed object across restart differs from offline pipeline")
+	}
+	if moduleFr.Stats == nil || moduleFr.Stats.CacheHits < len(acked) {
+		t.Errorf("stats %+v: want >= %d disk-cache hits for the acked functions",
+			moduleFr.Stats, len(acked))
+	}
+	if h := health(t, tsB.URL); h.ResumedJobs < 1 {
+		t.Errorf("restarted daemon resumed_jobs = %d, want >= 1", h.ResumedJobs)
+	}
+}

@@ -1,0 +1,300 @@
+// Package client is the self-healing consumer of the lasagned wire
+// protocol. It owns the failure modes the server deliberately surfaces —
+// 429 shed, 5xx, dropped connections, torn stream tails — and turns them
+// into three mechanisms:
+//
+//   - retry with exponential backoff + full jitter, bounded by a per-call
+//     attempt budget and the caller's context deadline (which also rides to
+//     the server as X-Lasagne-Deadline-Ms);
+//   - a circuit breaker that trips on consecutive shed/5xx/transport
+//     failures, fails fast while open, and recovers through a single
+//     half-open probe;
+//   - transparent stream resume: every acked function key is replayed to
+//     the server on reconnect, so an interrupted batch recomputes nothing
+//     already delivered (the server's shared cache turns acked work into
+//     hits) and already-completed modules are dropped from the retry.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lasagne/internal/serve"
+)
+
+// Options configures a Client. The zero value (plus BaseURL) is usable.
+type Options struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8631".
+	BaseURL string
+	// HTTPClient is the transport (nil: a fresh http.Client).
+	HTTPClient *http.Client
+	// MaxAttempts bounds HTTP attempts per logical call (<= 0: 8).
+	// Breaker-open fast failures do not consume attempts.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (<= 0: 50ms); each retry
+	// sleeps a full-jitter duration in [0, min(MaxBackoff, Base·2^n)).
+	BaseBackoff time.Duration
+	// MaxBackoff caps one backoff sleep (<= 0: 2s).
+	MaxBackoff time.Duration
+	// BreakerThreshold is the consecutive retryable-failure count that
+	// trips the breaker (<= 0: 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting a
+	// half-open probe through (<= 0: 5s).
+	BreakerCooldown time.Duration
+	// FuncBudget, when > 0, rides to the server as
+	// X-Lasagne-Func-Budget-Ms on every request.
+	FuncBudget time.Duration
+}
+
+// Client is safe for concurrent use; the breaker state is shared across
+// calls, which is the point — one flapping server trips it for everyone.
+type Client struct {
+	opts Options
+	hc   *http.Client
+
+	mu        sync.Mutex
+	state     breakerState
+	fails     int // consecutive retryable failures while closed
+	openUntil time.Time
+
+	attempts     atomic.Int64 // HTTP attempts actually sent (all calls)
+	breakerOpens atomic.Int64
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// ErrBreakerOpen is returned (wrapped) when the breaker rejects a call
+// without attempting the network.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// ErrMalformedStream marks a protocol violation — an unparsable complete
+// frame line, a sequence gap, an unknown frame type. It is never retried:
+// the server is broken, not busy.
+var ErrMalformedStream = errors.New("client: malformed stream")
+
+// StatusError is a non-retryable HTTP failure (4xx other than 429).
+type StatusError struct {
+	Code int
+	Resp *serve.Response
+}
+
+func (e *StatusError) Error() string {
+	msg := ""
+	if e.Resp != nil {
+		msg = ": " + e.Resp.Error
+	}
+	return fmt.Sprintf("client: server returned %d%s", e.Code, msg)
+}
+
+// New builds a Client.
+func New(opts Options) *Client {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{}
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 8
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = 50 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 2 * time.Second
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 5
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
+	return &Client{opts: opts, hc: opts.HTTPClient}
+}
+
+// Attempts reports the HTTP attempts sent over the client's lifetime.
+func (c *Client) Attempts() int64 { return c.attempts.Load() }
+
+// BreakerOpens reports how many times the breaker tripped open.
+func (c *Client) BreakerOpens() int64 { return c.breakerOpens.Load() }
+
+// allow asks the breaker for permission. When the cooldown has elapsed the
+// first caller becomes the half-open probe; everyone else keeps failing
+// fast until the probe reports.
+func (c *Client) allow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case breakerOpen:
+		if time.Now().Before(c.openUntil) {
+			return ErrBreakerOpen
+		}
+		c.state = breakerHalfOpen
+		return nil
+	case breakerHalfOpen:
+		return ErrBreakerOpen
+	default:
+		return nil
+	}
+}
+
+// report feeds one attempt's outcome to the breaker.
+func (c *Client) report(ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ok {
+		c.state = breakerClosed
+		c.fails = 0
+		return
+	}
+	c.fails++
+	if c.state == breakerHalfOpen || c.fails >= c.opts.BreakerThreshold {
+		c.state = breakerOpen
+		c.openUntil = time.Now().Add(c.opts.BreakerCooldown)
+		c.fails = 0
+		c.breakerOpens.Add(1)
+	}
+}
+
+// openRemaining is how long the breaker stays closed to callers.
+func (c *Client) openRemaining() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Until(c.openUntil)
+}
+
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// backoff sleeps the full-jitter exponential delay for retry n (0-based),
+// bounded by ctx.
+func (c *Client) backoff(ctx context.Context, n int) error {
+	d := c.opts.BaseBackoff << uint(n)
+	if d <= 0 || d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	d = time.Duration(rand.Int63n(int64(d) + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// sleepUntilProbe waits out a breaker-open window (bounded by ctx) so the
+// next loop iteration can be the half-open probe. It does not consume an
+// attempt: every open window was paid for by a real attempt already.
+func (c *Client) sleepUntilProbe(ctx context.Context) error {
+	d := c.openRemaining()
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// headers stamps the deadline/budget propagation headers.
+func (c *Client) headers(ctx context.Context, req *http.Request) {
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set("X-Lasagne-Deadline-Ms", strconv.FormatInt(ms, 10))
+		}
+	}
+	if c.opts.FuncBudget > 0 {
+		req.Header.Set("X-Lasagne-Func-Budget-Ms",
+			strconv.FormatInt(c.opts.FuncBudget.Milliseconds(), 10))
+	}
+	req.Header.Set("Content-Type", "application/json")
+}
+
+// Translate posts one module to /translate with retry, backoff and the
+// breaker. On 200 it returns the decoded response; a non-retryable status
+// returns a *StatusError carrying the server's typed response.
+func (c *Client) Translate(ctx context.Context, module []byte, reverse bool, cfg *serve.ConfigJSON) (*serve.Response, error) {
+	body, err := json.Marshal(&serve.Request{
+		Module:  base64.StdEncoding.EncodeToString(module),
+		Reverse: reverse,
+		Config:  cfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; {
+		if err := c.allow(); err != nil {
+			lastErr = err
+			if werr := c.sleepUntilProbe(ctx); werr != nil {
+				return nil, fmt.Errorf("%w (last error: %v)", werr, lastErr)
+			}
+			continue
+		}
+		attempt++
+		resp, code, aerr := c.post(ctx, "/translate", body)
+		if aerr != nil {
+			c.report(false)
+			lastErr = aerr
+		} else if retryableStatus(code) {
+			c.report(false)
+			lastErr = &StatusError{Code: code, Resp: resp}
+		} else if code != http.StatusOK {
+			c.report(true) // the server is healthy; the request is wrong
+			return resp, &StatusError{Code: code, Resp: resp}
+		} else {
+			c.report(true)
+			return resp, nil
+		}
+		if err := c.backoff(ctx, attempt-1); err != nil {
+			return nil, fmt.Errorf("%w (last error: %v)", err, lastErr)
+		}
+	}
+	return nil, fmt.Errorf("client: %d attempts exhausted: %w", c.opts.MaxAttempts, lastErr)
+}
+
+// post sends one request and decodes the JSON body (whatever the status).
+func (c *Client) post(ctx context.Context, path string, body []byte) (*serve.Response, int, error) {
+	c.attempts.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.opts.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	c.headers(ctx, req)
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	var sr serve.Response
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return nil, res.StatusCode, fmt.Errorf("client: bad response JSON (status %d): %w", res.StatusCode, err)
+	}
+	return &sr, res.StatusCode, nil
+}

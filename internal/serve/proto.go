@@ -19,6 +19,89 @@ type Request struct {
 	Config *ConfigJSON `json:"config,omitempty"`
 }
 
+// StreamRequest is the POST /translate/stream body: a batch of modules
+// translated through the shared admission queue and streamed back as NDJSON
+// frames (one JSON object per line) while the pipeline runs.
+type StreamRequest struct {
+	// Modules is the batch. Each module is translated independently: one
+	// module's panic or budget exhaustion degrades only its own entry in
+	// the stream.
+	Modules []ModuleRequest `json:"modules"`
+	// Config overrides individual stages for every module in the batch.
+	Config *ConfigJSON `json:"config,omitempty"`
+	// Acked is the set of function-result keys (Frame.Key values) the
+	// client already holds from an earlier, interrupted stream of the same
+	// batch. The server suppresses those frames, and the shared cache
+	// turns the suppressed work into hits instead of recomputation.
+	Acked []string `json:"acked,omitempty"`
+}
+
+// ModuleRequest is one module of a streaming batch.
+type ModuleRequest struct {
+	// Name labels the module's frames; it must be unique within the batch
+	// (empty names default to "m<index>").
+	Name string `json:"name,omitempty"`
+	// Module is the base64-encoded input object (obj.Marshal bytes).
+	Module string `json:"module"`
+	// Reverse selects the Arm64→x86-64 direction for this module.
+	Reverse bool `json:"reverse,omitempty"`
+}
+
+// Frame is one line of a streamed response. The framing invariant clients
+// rely on: a frame is exactly one newline-terminated JSON object (JSON
+// string escaping guarantees the payload contains no raw newline), so any
+// complete line is a complete frame and a torn tail is always a line
+// without a trailing newline — discard it and resume.
+type Frame struct {
+	// Type is FrameFunc (one function finished), FrameModule (one module's
+	// final result) or FrameDone (the stream is complete; nothing follows).
+	Type string `json:"type"`
+	// Seq numbers frames 0,1,2,... within one response so a client can
+	// detect a gap a broken transport introduced.
+	Seq int `json:"seq"`
+	// Module names the batch entry this frame belongs to (func and module
+	// frames).
+	Module string `json:"module,omitempty"`
+
+	// Func frames: one per defined function, emitted as the pipeline's
+	// fence/opt suffix finishes it.
+	Func string `json:"func,omitempty"`
+	// Key is the hex content-address of the result in internal/core/cache —
+	// the resume token. Degraded functions carry no key and can never be
+	// acked.
+	Key string `json:"key,omitempty"`
+	// Body is the base64 canonical encoding of the function's final IR
+	// (cache.EncodeBody bytes) — byte-comparable to the batch result.
+	Body         string `json:"body,omitempty"`
+	Placed       int    `json:"placed,omitempty"`
+	Merged       int    `json:"merged,omitempty"`
+	FuncDegraded bool   `json:"func_degraded,omitempty"`
+	CacheHit     bool   `json:"cache_hit,omitempty"`
+
+	// Module frames: the per-module Response plus its HTTP-equivalent
+	// status, so a batch entry can fail with the same shape /translate
+	// would have produced.
+	Status      int        `json:"status,omitempty"`
+	Object      string     `json:"object,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Stats       *StatsJSON `json:"stats,omitempty"`
+	Diagnostics []DiagJSON `json:"diagnostics,omitempty"`
+	Degraded    []string   `json:"degraded,omitempty"`
+
+	// Done frame: stream totals.
+	Modules int `json:"modules,omitempty"`
+	Funcs   int `json:"funcs,omitempty"`
+	// Skipped counts func frames suppressed because the client acked them.
+	Skipped int `json:"skipped,omitempty"`
+}
+
+// Frame types.
+const (
+	FrameFunc   = "func"
+	FrameModule = "module"
+	FrameDone   = "done"
+)
+
 // ConfigJSON is a partial core.Config: nil fields keep the server default.
 type ConfigJSON struct {
 	Refine       *bool `json:"refine,omitempty"`

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -65,6 +66,21 @@ type Options struct {
 	Jobs int
 	// Cache, when non-nil, is shared by every request.
 	Cache *cache.Cache
+	// StreamBuffer bounds the per-connection response frame buffer of
+	// /translate/stream (<= 0: 32 frames). A full buffer blocks the
+	// producing pipeline worker — that pause is the connection-level
+	// backpressure — until StreamWriteTimeout evicts the reader.
+	StreamBuffer int
+	// StreamWriteTimeout bounds both one response write and one
+	// full-buffer stall before a slow reader is evicted (<= 0: 10s).
+	StreamWriteTimeout time.Duration
+	// MaxBatchModules caps the module count of one streaming batch
+	// (<= 0: 64; overflow is 413).
+	MaxBatchModules int
+	// RetryAfterJitterS is the maximum whole seconds of jitter added to
+	// the 1s base Retry-After on 429 shed responses, so synchronized
+	// clients spread out instead of retrying in lockstep (<= 0: 2).
+	RetryAfterJitterS int
 }
 
 // Server is the daemon: an http.Handler plus the worker pool behind it.
@@ -88,6 +104,10 @@ type Server struct {
 	served   atomic.Int64 // completed requests (any outcome)
 	shed     atomic.Int64 // 429s
 	panics   atomic.Int64 // requests that panicked and were isolated
+
+	activeStreams atomic.Int64 // open /translate/stream connections (gauge)
+	evictedSlow   atomic.Int64 // stream readers evicted for not keeping up
+	resumed       atomic.Int64 // stream requests that carried acked keys
 }
 
 // job is one admitted translation request.
@@ -121,6 +141,18 @@ func New(opts Options) *Server {
 	if opts.Jobs <= 0 {
 		opts.Jobs = 1
 	}
+	if opts.StreamBuffer <= 0 {
+		opts.StreamBuffer = 32
+	}
+	if opts.StreamWriteTimeout <= 0 {
+		opts.StreamWriteTimeout = 10 * time.Second
+	}
+	if opts.MaxBatchModules <= 0 {
+		opts.MaxBatchModules = 64
+	}
+	if opts.RetryAfterJitterS <= 0 {
+		opts.RetryAfterJitterS = 2
+	}
 	if !opts.Config.Refine && !opts.Config.Optimize &&
 		!opts.Config.MergeFences && !opts.Config.WeakFences {
 		// A Config with every stage off means "unset", not "skip the whole
@@ -144,10 +176,12 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the HTTP mux: POST /translate, GET /healthz, GET /readyz.
+// Handler returns the HTTP mux: POST /translate, POST /translate/stream,
+// GET /healthz, GET /readyz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/translate", s.handleTranslate)
+	mux.HandleFunc("/translate/stream", s.handleTranslateStream)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
@@ -272,14 +306,8 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errResponse("POST required", nil))
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxRequestBytes+1))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errResponse("cannot read request body: "+err.Error(), nil))
-		return
-	}
-	if int64(len(body)) > s.opts.MaxRequestBytes {
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			errResponse(fmt.Sprintf("request body exceeds %d bytes", s.opts.MaxRequestBytes), nil))
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
 	var req Request
@@ -305,46 +333,24 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		req.Config.apply(&cfg)
 	}
 
-	// Per-request budgets ride in on headers and land in the pipeline's own
-	// context/budget machinery.
-	deadline := s.opts.MaxDeadline
-	if d, ok, err := durationHeader(r, "X-Lasagne-Deadline-Ms"); err != nil {
+	deadline, err := s.deadlineAndBudget(r, &cfg)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errResponse(err.Error(), nil))
 		return
-	} else if ok && d < deadline {
-		deadline = d
-	}
-	if b, ok, err := durationHeader(r, "X-Lasagne-Func-Budget-Ms"); err != nil {
-		writeJSON(w, http.StatusBadRequest, errResponse(err.Error(), nil))
-		return
-	} else if ok {
-		cfg.FuncBudget = b
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
 	j := &job{ctx: ctx, bin: bin, cfg: cfg, rev: req.Reverse, done: make(chan *result, 1)}
 
-	// Admission: shared-lock the drain flag, then try a non-blocking send
-	// into the bounded queue. Full queue = explicit load shedding.
-	s.admitMu.RLock()
-	if s.draining {
-		s.admitMu.RUnlock()
+	admitted, draining := s.tryAdmit(j)
+	if draining {
 		writeJSON(w, http.StatusServiceUnavailable, errResponse("server is draining", nil))
 		return
 	}
-	admitted := false
-	select {
-	case s.queue <- j:
-		s.jobs.Add(1)
-		s.queued.Add(1)
-		admitted = true
-	default:
-	}
-	s.admitMu.RUnlock()
 	if !admitted {
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, http.StatusTooManyRequests, errResponse("admission queue full", nil))
 		return
 	}
@@ -356,6 +362,91 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		// Client gone: the job still drains through the worker (its context
 		// is cancelled, so it finishes fast); nothing useful to write.
 	}
+}
+
+// readBody reads the request body under the MaxRequestBytes cap, writing
+// the 400/413 response itself on failure.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxRequestBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse("cannot read request body: "+err.Error(), nil))
+		return nil, false
+	}
+	if int64(len(body)) > s.opts.MaxRequestBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errResponse(fmt.Sprintf("request body exceeds %d bytes", s.opts.MaxRequestBytes), nil))
+		return nil, false
+	}
+	return body, true
+}
+
+// deadlineAndBudget applies the per-request budget headers: the deadline
+// header bounds the request context (capped by MaxDeadline), the budget
+// header lands in the pipeline's own FuncBudget machinery.
+func (s *Server) deadlineAndBudget(r *http.Request, cfg *core.Config) (time.Duration, error) {
+	deadline := s.opts.MaxDeadline
+	if d, ok, err := durationHeader(r, "X-Lasagne-Deadline-Ms"); err != nil {
+		return 0, err
+	} else if ok && d < deadline {
+		deadline = d
+	}
+	if b, ok, err := durationHeader(r, "X-Lasagne-Func-Budget-Ms"); err != nil {
+		return 0, err
+	} else if ok {
+		cfg.FuncBudget = b
+	}
+	return deadline, nil
+}
+
+// tryAdmit attempts non-blocking admission: shared-lock the drain flag,
+// then a non-blocking send into the bounded queue. A full queue is explicit
+// load shedding, never a hidden wait.
+func (s *Server) tryAdmit(j *job) (admitted, draining bool) {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		return false, true
+	}
+	select {
+	case s.queue <- j:
+		s.jobs.Add(1)
+		s.queued.Add(1)
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// admitPoll is the retry interval of admitWait. Polling (rather than a
+// blocking channel send) keeps the drain invariant airtight: no goroutine
+// ever sits inside a send to the queue while BeginDrain flips the flag.
+const admitPoll = 2 * time.Millisecond
+
+// admitWait admits j, waiting for queue space under ctx. Streaming batches
+// use it for modules after the first: the batch is already admitted as a
+// request, so a full queue backpressures instead of shedding, while drain
+// still refuses new work.
+func (s *Server) admitWait(ctx context.Context, j *job) error {
+	for {
+		admitted, draining := s.tryAdmit(j)
+		if admitted {
+			return nil
+		}
+		if draining {
+			return errors.New("server is draining")
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(admitPoll):
+		}
+	}
+}
+
+// retryAfter is the jittered Retry-After of a shed response: 1s base plus
+// up to RetryAfterJitterS whole seconds.
+func (s *Server) retryAfter() string {
+	return strconv.Itoa(1 + rand.Intn(s.opts.RetryAfterJitterS+1))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -373,15 +464,21 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // HealthBody is the healthz/readyz payload: queue and cache state at a
 // glance, so orchestrators and tests can see why readiness flipped.
 type HealthBody struct {
-	Draining      bool          `json:"draining"`
-	Queued        int64         `json:"queued"`
-	QueueCapacity int           `json:"queue_capacity"`
-	Inflight      int64         `json:"inflight"`
-	Workers       int           `json:"workers"`
-	Served        int64         `json:"served"`
-	Shed          int64         `json:"shed"`
-	Panics        int64         `json:"panics"`
-	Cache         *cache.Health `json:"cache,omitempty"`
+	Draining      bool  `json:"draining"`
+	Queued        int64 `json:"queued"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Inflight      int64 `json:"inflight"`
+	Workers       int   `json:"workers"`
+	Served        int64 `json:"served"`
+	Shed          int64 `json:"shed"`
+	Panics        int64 `json:"panics"`
+	// Streaming/backpressure state: open streams right now, readers
+	// evicted for falling behind, and requests that resumed with acked
+	// keys.
+	ActiveStreams      int64         `json:"active_streams"`
+	EvictedSlowReaders int64         `json:"evicted_slow_readers"`
+	ResumedJobs        int64         `json:"resumed_jobs"`
+	Cache              *cache.Health `json:"cache,omitempty"`
 }
 
 func (s *Server) healthBody() *HealthBody {
@@ -394,6 +491,10 @@ func (s *Server) healthBody() *HealthBody {
 		Served:        s.served.Load(),
 		Shed:          s.shed.Load(),
 		Panics:        s.panics.Load(),
+
+		ActiveStreams:      s.activeStreams.Load(),
+		EvictedSlowReaders: s.evictedSlow.Load(),
+		ResumedJobs:        s.resumed.Load(),
 	}
 	if s.opts.Cache != nil {
 		ch := s.opts.Cache.Health()

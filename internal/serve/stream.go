@@ -1,0 +1,378 @@
+// Streaming responses: POST /translate/stream accepts a batch of modules
+// and answers with NDJSON frames — one per finished function, one per
+// finished module, one terminal done frame — while the pipeline runs.
+//
+// The robustness chain, end to end:
+//
+//	pipeline worker → core.Config.FuncDone → stream.emit → bounded frame
+//	buffer → writer goroutine → http connection (write deadline)
+//
+// A slow reader stops draining the connection; the writer blocks until its
+// write deadline; the frame buffer fills; emit blocks the pipeline worker
+// (that pause is the backpressure) for at most the same timeout, then
+// evicts the connection. Eviction cancels the request context, the FuncDone
+// hook returns an error, and the pipeline aborts — a stalled reader can
+// delay a worker by one timeout, never pin it.
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lasagne/internal/core"
+	"lasagne/internal/diag/inject"
+	"lasagne/internal/obj"
+)
+
+// InjectFrame is the chaos failpoint inside the frame writer: an armed
+// failure tears the current frame mid-line (a deliberate partial write) and
+// drops the connection, exercising the client's torn-tail discard path.
+const InjectFrame = "serve:frame"
+
+var errStreamDead = errors.New("serve: stream reader gone or evicted")
+
+// stream is one /translate/stream connection: a bounded frame buffer, the
+// writer goroutine draining it, and the eviction latch shared by both.
+type stream struct {
+	s      *Server
+	frames chan []byte
+	stall  time.Duration
+
+	// dead is closed exactly once when the connection is lost or evicted;
+	// cancel tears down every job of the request at the same moment.
+	dead     chan struct{}
+	deadOnce sync.Once
+	cancel   context.CancelFunc
+
+	// mu serializes emit so Seq order and channel order agree.
+	mu     sync.Mutex
+	closed bool
+	seq    int
+
+	funcs   atomic.Int64 // func frames emitted
+	skipped atomic.Int64 // func frames suppressed because the client acked them
+	wg      sync.WaitGroup
+}
+
+func newStream(s *Server, cancel context.CancelFunc) *stream {
+	return &stream{
+		s:      s,
+		frames: make(chan []byte, s.opts.StreamBuffer),
+		stall:  s.opts.StreamWriteTimeout,
+		dead:   make(chan struct{}),
+		cancel: cancel,
+	}
+}
+
+// alive reports the eviction latch as an error.
+func (st *stream) alive() error {
+	select {
+	case <-st.dead:
+		return errStreamDead
+	default:
+		return nil
+	}
+}
+
+// evictSlow latches the stream dead because the reader could not keep up;
+// dropConn latches it dead for any other connection loss. Both cancel the
+// request context so in-flight pipeline work aborts promptly.
+func (st *stream) evictSlow() {
+	st.deadOnce.Do(func() {
+		st.s.evictedSlow.Add(1)
+		st.cancel()
+		close(st.dead)
+	})
+}
+
+func (st *stream) dropConn() {
+	st.deadOnce.Do(func() {
+		st.cancel()
+		close(st.dead)
+	})
+}
+
+// emit serializes one frame and hands it to the writer. When the buffer is
+// full the calling goroutine — for func frames, the pipeline worker that
+// produced the result — blocks: that pause is the connection-level
+// backpressure. The block is bounded by the write timeout; on expiry the
+// reader is evicted and the error propagates back through FuncDone into the
+// pipeline, aborting the translation.
+func (st *stream) emit(f *Frame) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.alive(); err != nil {
+		return err
+	}
+	f.Seq = st.seq
+	b, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	t := time.NewTimer(st.stall)
+	defer t.Stop()
+	select {
+	case st.frames <- b:
+		st.seq++
+		if f.Type == FrameFunc {
+			st.funcs.Add(1)
+		}
+		return nil
+	case <-st.dead:
+		return errStreamDead
+	case <-t.C:
+		st.evictSlow()
+		return errStreamDead
+	}
+}
+
+// start launches the writer goroutine: it drains the frame buffer onto the
+// connection under a per-write deadline and flushes after every frame, so
+// each complete line reaches a live reader promptly and a dead one is
+// detected within one timeout.
+func (st *stream) start(w http.ResponseWriter) {
+	rc := http.NewResponseController(w)
+	st.wg.Add(1)
+	go func() {
+		defer st.wg.Done()
+		for b := range st.frames {
+			if err := inject.Hit(InjectFrame); err != nil {
+				// Chaos: tear the frame mid-line, then drop the connection.
+				// Readers must treat the unterminated tail as garbage.
+				_, _ = w.Write(b[:len(b)/2])
+				_ = rc.Flush()
+				st.dropConn()
+				return
+			}
+			_ = rc.SetWriteDeadline(time.Now().Add(st.stall))
+			_, err := w.Write(b)
+			if err == nil {
+				// The deadline error can surface in the flush rather than the
+				// write when the frame fit the connection's internal buffer —
+				// classify both the same way.
+				err = rc.Flush()
+			}
+			if err != nil {
+				if errors.Is(err, os.ErrDeadlineExceeded) {
+					st.evictSlow()
+				} else {
+					st.dropConn()
+				}
+				return
+			}
+		}
+	}()
+}
+
+// finish closes the frame buffer and waits for the writer. Callers must
+// guarantee no emit can still be in flight — either every producer has
+// completed, or the dead latch is closed (which unblocks any emit).
+func (st *stream) finish() {
+	st.mu.Lock()
+	st.closed = true
+	close(st.frames)
+	st.mu.Unlock()
+	st.wg.Wait()
+}
+
+// streamMod is one decoded batch entry.
+type streamMod struct {
+	name string
+	bin  *obj.File
+	rev  bool
+}
+
+func funcFrame(module string, ev core.FuncEvent) *Frame {
+	f := &Frame{
+		Type:         FrameFunc,
+		Module:       module,
+		Func:         ev.Func,
+		Body:         base64.StdEncoding.EncodeToString(ev.Body),
+		Placed:       ev.Placed,
+		Merged:       ev.Merged,
+		FuncDegraded: ev.Degraded,
+		CacheHit:     ev.CacheHit,
+	}
+	if ev.Keyed {
+		f.Key = hex.EncodeToString(ev.Key[:])
+	}
+	return f
+}
+
+func (s *Server) handleTranslateStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse("POST required", nil))
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req StreamRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse("bad request JSON: "+err.Error(), nil))
+		return
+	}
+	n := len(req.Modules)
+	if n == 0 {
+		writeJSON(w, http.StatusBadRequest, errResponse("empty batch", nil))
+		return
+	}
+	if n > s.opts.MaxBatchModules {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errResponse(fmt.Sprintf("batch of %d exceeds %d modules", n, s.opts.MaxBatchModules), nil))
+		return
+	}
+	mods := make([]streamMod, n)
+	names := make(map[string]bool, n)
+	for i, m := range req.Modules {
+		name := m.Name
+		if name == "" {
+			name = fmt.Sprintf("m%d", i)
+		}
+		if names[name] {
+			writeJSON(w, http.StatusBadRequest,
+				errResponse(fmt.Sprintf("duplicate module name %q", name), nil))
+			return
+		}
+		names[name] = true
+		raw, err := base64.StdEncoding.DecodeString(m.Module)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errResponse(fmt.Sprintf("module %q is not valid base64: %v", name, err), nil))
+			return
+		}
+		bin, err := obj.Unmarshal(raw)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errResponse(fmt.Sprintf("cannot parse module %q: %v", name, err), nil))
+			return
+		}
+		mods[i] = streamMod{name: name, bin: bin, rev: m.Reverse}
+	}
+	acked := make(map[string]bool, len(req.Acked))
+	for _, k := range req.Acked {
+		acked[k] = true
+	}
+
+	cfg := s.opts.Config
+	cfg.Cache = s.opts.Cache
+	cfg.Jobs = s.opts.Jobs
+	if req.Config != nil {
+		req.Config.apply(&cfg)
+	}
+	deadline, err := s.deadlineAndBudget(r, &cfg)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse(err.Error(), nil))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	st := newStream(s, cancel)
+
+	// One job per module, all sharing the request context: a module's
+	// panic or budget exhaustion degrades only its own frames (process()
+	// isolates it), while losing the reader cancels the whole batch.
+	jobs := make([]*job, n)
+	for i := range mods {
+		name := mods[i].name
+		mcfg := cfg
+		mcfg.FuncDone = func(ev core.FuncEvent) error {
+			if ev.Keyed && acked[hex.EncodeToString(ev.Key[:])] {
+				// The client already holds this result from the interrupted
+				// stream; with the shared cache the work behind it was a hit,
+				// so nothing is recomputed and nothing is re-sent.
+				st.skipped.Add(1)
+				return st.alive()
+			}
+			return st.emit(funcFrame(name, ev))
+		}
+		jobs[i] = &job{ctx: ctx, bin: mods[i].bin, cfg: mcfg, rev: mods[i].rev,
+			done: make(chan *result, 1)}
+	}
+
+	// Admission decides before the stream commits to a 200: the first
+	// module is admitted non-blockingly, so a draining server refuses the
+	// batch and a full queue sheds it exactly like /translate.
+	admitted, draining := s.tryAdmit(jobs[0])
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse("server is draining", nil))
+		return
+	}
+	if !admitted {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeJSON(w, http.StatusTooManyRequests, errResponse("admission queue full", nil))
+		return
+	}
+
+	// Committed: from here every outcome is frames on a 200 stream.
+	s.activeStreams.Add(1)
+	defer s.activeStreams.Add(-1)
+	if len(req.Acked) > 0 {
+		s.resumed.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	st.start(w)
+
+	// The rest of the batch rides the same bounded queue. The batch is
+	// already admitted as a request, so a full queue backpressures (a
+	// bounded wait under the request deadline) instead of shedding; drain
+	// still refuses, failing only the not-yet-admitted modules.
+	for i := 1; i < n; i++ {
+		if aerr := s.admitWait(ctx, jobs[i]); aerr != nil {
+			code := http.StatusServiceUnavailable
+			if ctx.Err() != nil {
+				code = http.StatusGatewayTimeout
+			}
+			jobs[i].done <- &result{status: code,
+				resp: errResponse("module not admitted: "+aerr.Error(), nil)}
+		}
+	}
+
+	// Emit module frames in batch order as results land. On eviction the
+	// jobs abort through the cancelled context and drain via the worker
+	// pool; nothing waits on the dead connection.
+	completed := 0
+	for i := 0; i < n; i++ {
+		var res *result
+		select {
+		case res = <-jobs[i].done:
+		case <-st.dead:
+		}
+		if res == nil {
+			break
+		}
+		fr := &Frame{
+			Type:        FrameModule,
+			Module:      mods[i].name,
+			Status:      res.status,
+			Object:      res.resp.Object,
+			Error:       res.resp.Error,
+			Stats:       res.resp.Stats,
+			Diagnostics: res.resp.Diagnostics,
+			Degraded:    res.resp.Degraded,
+		}
+		if st.emit(fr) != nil {
+			break
+		}
+		completed++
+	}
+	if completed == n {
+		_ = st.emit(&Frame{Type: FrameDone, Modules: n,
+			Funcs: int(st.funcs.Load()), Skipped: int(st.skipped.Load())})
+	}
+	st.finish()
+}
